@@ -1,0 +1,156 @@
+// Ablation: the paper's dimensioning rules (Sec. III-A).
+//
+//  1. d = n*lambda vs (n+1/2)*lambda — the n-lambda rule makes like-phase
+//     inputs interfere constructively; the half-integer offset flips the
+//     behaviour (and on d4 it implements the inverted output).
+//  2. Output tap distance d4 sweep: logic vs n_out in steps of lambda/4 —
+//     only the integer (and half-integer, inverted) taps detect reliably.
+//  3. Arm-length mismatch tolerance: how much asymmetry between the two
+//     input arms the MAJ gate tolerates before the truth table breaks —
+//     the fabrication-margin number the paper's variability discussion
+//     (Sec. IV-D) asks for.
+//
+// Output: console tables + bench_ablation_dimensions.csv.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/logic.h"
+#include "core/triangle_gate.h"
+#include "core/validator.h"
+#include "io/csv.h"
+#include "io/table.h"
+#include "math/constants.h"
+
+using namespace swsim;
+using namespace swsim::math;
+using swsim::io::Table;
+
+namespace {
+
+bool maj_passes(const geom::TriangleGateParams& params) {
+  core::TriangleGateConfig cfg;
+  cfg.params = params;
+  core::TriangleMajGate gate(cfg);
+  return core::validate_gate(gate).all_pass;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: dimensioning design rules ===\n\n";
+  io::CsvWriter csv("bench_ablation_dimensions.csv");
+
+  // 1. n-lambda vs (n+1/2)-lambda on each dimension class.
+  std::cout << "rule 1: n*lambda vs (n+1/2)*lambda (MAJ3 truth table)\n\n";
+  Table rule1({"dimension", "nominal", "+lambda/2", "behaviour"});
+  csv.write_row({"sweep", "dimension", "value", "pass"});
+  {
+    const auto base = geom::TriangleGateParams::paper_maj3();
+
+    auto arm = base;
+    arm.n_arm += 0.5;
+    rule1.add_row({"d1 (arms)", maj_passes(base) ? "PASS" : "FAIL",
+                   maj_passes(arm) ? "PASS" : "FAIL",
+                   "arm waves arrive inverted: gate logic flips/breaks"});
+
+    auto axis = base;
+    // +lambda/2 per half-axis: the arm waves shift by a full lambda (no
+    // change mod lambda) but I3 — which only traverses one half — shifts
+    // by lambda/2 relative to them.
+    axis.n_axis_half += 0.5;
+    rule1.add_row({"d2 (axis)", maj_passes(base) ? "PASS" : "FAIL",
+                   maj_passes(axis) ? "PASS" : "FAIL",
+                   "I3 arrives inverted vs I1/I2 at the second stage"});
+
+    auto tap = base;
+    tap.n_out += 0.5;
+    core::TriangleGateConfig inv_cfg;
+    inv_cfg.params = tap;
+    core::TriangleMajGate inverted(inv_cfg);
+    bool inverted_is_minority = true;
+    for (const auto& p : core::all_input_patterns(3)) {
+      inverted_is_minority = inverted_is_minority &&
+                             (inverted.evaluate(p).o1.logic ==
+                              !core::maj3(p[0], p[1], p[2]));
+    }
+    rule1.add_row({"d4 (output)", maj_passes(base) ? "PASS" : "FAIL",
+                   inverted_is_minority ? "INVERTS (minority gate)" : "FAIL",
+                   "the paper's (n+1/2)-lambda inverted-output rule"});
+  }
+  std::cout << rule1.str() << '\n';
+
+  // 2. Output distance sweep in quarter-wavelength steps.
+  std::cout << "rule 2: output tap distance sweep (MAJ3)\n\n";
+  Table rule2({"n_out", "reads MAJ", "reads NOT(MAJ)", "comment"});
+  for (double n_out : {1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0}) {
+    auto params = geom::TriangleGateParams::paper_maj3();
+    params.n_out = 0;          // bake the sweep value into the layout via
+    params.n_feed += n_out;    // the tap distance (must stay half-integer)
+    const bool rep_ok = std::fabs(n_out * 2 - std::round(n_out * 2)) < 1e-9;
+    std::string maj = "-";
+    std::string inv = "-";
+    std::string comment;
+    if (!rep_ok) {
+      comment = "not representable: violates the half-integer design rule";
+    } else {
+      core::TriangleGateConfig cfg;
+      cfg.params = params;
+      core::TriangleMajGate gate(cfg);
+      bool is_maj = true, is_min = true;
+      for (const auto& p : core::all_input_patterns(3)) {
+        const bool got = gate.evaluate(p).o1.logic;
+        const bool want = core::maj3(p[0], p[1], p[2]);
+        is_maj = is_maj && got == want;
+        is_min = is_min && got == !want;
+      }
+      maj = is_maj ? "yes" : "no";
+      inv = is_min ? "yes" : "no";
+      if (!is_maj && !is_min) comment = "quadrature tap: unreliable phase";
+    }
+    rule2.add_row({Table::num(n_out, 2), maj, inv, comment});
+    csv.write_row({"n_out", Table::num(n_out, 2), maj, inv});
+  }
+  std::cout << rule2.str() << '\n';
+
+  // 3. Arm mismatch tolerance (variability margin).
+  std::cout << "rule 3: arm-length mismatch tolerance (MAJ3)\n\n";
+  Table rule3({"d1 mismatch (lambda)", "worst margin (rad)", "pass"});
+  double failure_at = -1.0;
+  for (double mismatch = 0.0; mismatch <= 0.5001; mismatch += 0.05) {
+    // Lengthen one arm by `mismatch` wavelengths via the network model:
+    // equivalent to an input phase error of 2*pi*mismatch on I1.
+    core::TriangleGateConfig cfg;
+    cfg.params = geom::TriangleGateParams::paper_maj3();
+    core::TriangleMajGate gate(cfg);
+    const wavenet::PhaseDetector det;
+    bool pass = true;
+    double worst = kPi;
+    for (const auto& p : core::all_input_patterns(3)) {
+      std::vector<double> phases{core::logic_phase(p[0]) + kTwoPi * mismatch,
+                                 core::logic_phase(p[1]),
+                                 core::logic_phase(p[2])};
+      const auto [p1, p2] = gate.solve_phasors(phases);
+      const auto d1 = det.detect(p1);
+      const auto d2 = det.detect(p2);
+      const bool want = core::maj3(p[0], p[1], p[2]);
+      pass = pass && d1.logic == want && d2.logic == want;
+      worst = std::min({worst, d1.margin, d2.margin});
+    }
+    if (!pass && failure_at < 0.0) failure_at = mismatch;
+    rule3.add_row({Table::num(mismatch, 2), Table::num(worst, 3),
+                   pass ? "yes" : "NO"});
+    csv.write_row({"arm_mismatch", Table::num(mismatch, 3),
+                   Table::num(worst, 4), pass ? "1" : "0"});
+  }
+  std::cout << rule3.str() << '\n';
+  if (failure_at > 0.0) {
+    std::cout << "MAJ3 tolerates arm mismatch up to ~"
+              << Table::num(failure_at - 0.05, 2)
+              << " lambda (" << Table::num((failure_at - 0.05) * 55, 0)
+              << " nm at the paper's 55 nm wavelength)\n";
+  } else {
+    std::cout << "MAJ3 passed the entire sweep\n";
+  }
+  return 0;
+}

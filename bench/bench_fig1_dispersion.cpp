@@ -1,0 +1,89 @@
+// Fig. 1 reproduction: spin-wave parameters (wavelength, wavenumber, phase,
+// amplitude) — rendered as sampled wave profiles for the paper's two cases
+// (phi = 0, k = 1 unit and phi = pi, k = 3 units) — plus the quantitative
+// companion the paper's Sec. IV-A relies on: the FVSW dispersion relation
+// f(k) of the 1 nm FeCoB film, group velocity and attenuation length at the
+// operating point.
+//
+// Output: console table + bench_fig1_dispersion.csv (k, f, v_g, L_att).
+#include <cmath>
+#include <iostream>
+
+#include "io/csv.h"
+#include "io/table.h"
+#include "mag/material.h"
+#include "math/constants.h"
+#include "wavenet/dispersion.h"
+
+using namespace swsim;
+using namespace swsim::math;
+
+namespace {
+
+void print_wave_profile(double phase, int k_units) {
+  // One spatial period of the reference wave (k = 1 unit) sampled over a
+  // fixed window, as in Fig. 1: higher k -> shorter wavelength.
+  constexpr int kCols = 64;
+  constexpr int kRows = 9;
+  char canvas[kRows][kCols + 1];
+  for (auto& row : canvas) {
+    for (int c = 0; c < kCols; ++c) row[c] = ' ';
+    row[kCols] = '\0';
+  }
+  for (int c = 0; c < kCols; ++c) {
+    const double x = static_cast<double>(c) / (kCols - 1);
+    const double v = std::cos(kTwoPi * k_units * x + phase);
+    const int r = static_cast<int>(std::lround((1.0 - v) / 2.0 * (kRows - 1)));
+    canvas[r][c] = '*';
+  }
+  std::cout << "wave: phi = " << (phase == 0.0 ? "0" : "pi")
+            << ", k = " << k_units << " (arbitrary units)\n";
+  for (const auto& row : canvas) std::cout << "  |" << row << "|\n";
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 1: spin wave parameters ===\n\n";
+  print_wave_profile(0.0, 1);   // Fig. 1a: phi = 0, k = 1
+  print_wave_profile(kPi, 3);   // Fig. 1b: phi = pi, k = 3
+
+  const mag::Material mat = mag::Material::fecob();
+  const wavenet::Dispersion disp(mat, nm(1));
+
+  std::cout << "FVSW dispersion, " << mat.name
+            << " film, t = 1 nm (Kalinikos-Slavin, lowest mode):\n\n";
+  io::Table table({"lambda (nm)", "k (rad/um)", "f (GHz)", "v_g (m/s)",
+                   "L_att (um)"});
+  io::CsvWriter csv("bench_fig1_dispersion.csv");
+  csv.write_row({"lambda_nm", "k_rad_per_um", "f_ghz", "vg_m_per_s",
+                 "latt_um"});
+  for (double lambda_nm :
+       {500.0, 250.0, 125.0, 100.0, 80.0, 55.0, 40.0, 30.0, 20.0}) {
+    const double k = wavenet::Dispersion::k_of_lambda(nm(lambda_nm));
+    const double f = disp.frequency(k);
+    const double vg = disp.group_velocity(k);
+    const double latt = disp.attenuation_length(k);
+    table.add_row({io::Table::num(lambda_nm, 0), io::Table::num(k * 1e-6, 1),
+                   io::Table::num(to_ghz(f), 2), io::Table::num(vg, 0),
+                   io::Table::num(latt * 1e6, 2)});
+    csv.write_row({io::Table::num(lambda_nm, 1), io::Table::num(k * 1e-6, 3),
+                   io::Table::num(to_ghz(f), 4), io::Table::num(vg, 2),
+                   io::Table::num(latt * 1e6, 4)});
+  }
+  std::cout << table.str() << '\n';
+
+  const double k55 = wavenet::Dispersion::k_of_lambda(nm(55));
+  std::cout << "operating point (paper Sec. IV-A):\n"
+            << "  lambda = 55 nm -> k = " << io::Table::num(k55 * 1e-6, 1)
+            << " rad/um, f = " << io::Table::num(to_ghz(disp.frequency(k55)), 2)
+            << " GHz\n"
+            << "  (the paper quotes f = 10 GHz at k = 50 rad/um; note "
+               "k(55 nm) = 114 rad/um — see EXPERIMENTS.md)\n"
+            << "  f(k = 50 rad/um) = "
+            << io::Table::num(to_ghz(disp.frequency(50e6)), 2) << " GHz\n"
+            << "  FMR floor f(0) = "
+            << io::Table::num(to_ghz(disp.frequency(0.0)), 2) << " GHz\n";
+  return 0;
+}

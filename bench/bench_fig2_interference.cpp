@@ -1,0 +1,81 @@
+// Fig. 2 reproduction: constructive and destructive interference of two
+// equal-amplitude spin waves — the computing primitive of the whole paper.
+//
+// Two waves are launched into a merge junction with phase difference
+// delta-phi; the resulting amplitude follows |1 + e^{i dphi}| =
+// 2|cos(dphi/2)|. The sweep prints the full curve and marks the two cases
+// of Fig. 2b (dphi = 0: constructive, dphi = pi: destructive).
+//
+// Output: console table + bench_fig2_interference.csv.
+#include <cmath>
+#include <iostream>
+
+#include "io/csv.h"
+#include "io/table.h"
+#include "mag/material.h"
+#include "math/constants.h"
+#include "wavenet/dispersion.h"
+#include "wavenet/network.h"
+
+using namespace swsim;
+using namespace swsim::math;
+
+int main() {
+  std::cout << "=== Fig. 2: two-wave interference ===\n\n";
+
+  const mag::Material mat = mag::Material::fecob();
+  const wavenet::Dispersion disp(mat, nm(1));
+  const double lambda = nm(55);
+
+  wavenet::WaveNetwork net;
+  const auto a = net.add_source("A");
+  const auto b = net.add_source("B");
+  const auto j = net.add_junction("J");
+  const auto d = net.add_detector("D");
+  net.connect(a, j, 6 * lambda);
+  net.connect(b, j, 6 * lambda);
+  net.connect(j, d, lambda);
+
+  // Lossless model so the ideal 2|cos(dphi/2)| is exact.
+  wavenet::PropagationModel model;
+  model.k = wavenet::Dispersion::k_of_lambda(lambda);
+  model.attenuation_length = 0.0;
+  model.split = wavenet::SplitPolicy::kLossless;
+
+  io::Table table({"dphi (deg)", "amplitude", "ideal 2|cos(dphi/2)|", "case"});
+  io::CsvWriter csv("bench_fig2_interference.csv");
+  csv.write_row({"dphi_deg", "amplitude", "ideal"});
+  for (int deg = 0; deg <= 360; deg += 15) {
+    const double dphi = deg * kPi / 180.0;
+    net.excite(a, 1.0, 0.0);
+    net.excite(b, 1.0, dphi);
+    const auto result = net.solve(model);
+    const double amp = std::abs(result.detector_phasor.at(d));
+    const double ideal = 2.0 * std::fabs(std::cos(dphi / 2.0));
+    std::string label;
+    if (deg == 0 || deg == 360) label = "constructive (Fig. 2b top)";
+    if (deg == 180) label = "destructive (Fig. 2b bottom)";
+    table.add_row({std::to_string(deg), io::Table::num(amp, 4),
+                   io::Table::num(ideal, 4), label});
+    csv.write_row({std::to_string(deg), io::Table::num(amp, 6),
+                   io::Table::num(ideal, 6)});
+  }
+  std::cout << table.str() << '\n';
+
+  // With physical attenuation both cases scale by the same decay factor,
+  // so the logic contrast is unchanged — quantify it.
+  wavenet::PropagationModel damped = wavenet::PropagationModel::from_dispersion(
+      disp, lambda, wavenet::SplitPolicy::kLossless);
+  net.excite(a, 1.0, 0.0);
+  net.excite(b, 1.0, 0.0);
+  const double c_damped =
+      std::abs(net.solve(damped).detector_phasor.at(d));
+  net.excite(b, 1.0, kPi);
+  const double d_damped =
+      std::abs(net.solve(damped).detector_phasor.at(d));
+  std::cout << "with FeCoB damping over the same paths: constructive = "
+            << io::Table::num(c_damped, 4)
+            << ", destructive = " << io::Table::num(d_damped, 6)
+            << " (contrast preserved)\n";
+  return 0;
+}

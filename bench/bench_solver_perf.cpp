@@ -1,0 +1,137 @@
+// Micro-benchmarks of the simulation substrate (google-benchmark):
+// effective-field terms, steppers, FFT demag, and a full gate evaluation.
+// Not a paper table — engineering data for anyone extending the solver.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/triangle_gate.h"
+#include "mag/anisotropy_field.h"
+#include "mag/demag_field.h"
+#include "mag/exchange_field.h"
+#include "mag/llg.h"
+#include "mag/simulation.h"
+#include "math/fft.h"
+
+using namespace swsim;
+using namespace swsim::math;
+
+namespace {
+
+mag::System make_system(std::size_t n) {
+  return mag::System(Grid(n, n, 1, 5e-9, 5e-9, 1e-9),
+                     mag::Material::fecob());
+}
+
+void BM_ExchangeField(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mag::System sys = make_system(n);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(sys.grid());
+  mag::ExchangeField ex;
+  for (auto _ : state) {
+    h.fill(Vec3{});
+    ex.accumulate(sys, m, 0.0, h);
+    benchmark::DoNotOptimize(h.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_ExchangeField)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ThinFilmDemag(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mag::System sys = make_system(n);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(sys.grid());
+  mag::ThinFilmDemagField demag;
+  for (auto _ : state) {
+    h.fill(Vec3{});
+    demag.accumulate(sys, m, 0.0, h);
+    benchmark::DoNotOptimize(h.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_ThinFilmDemag)->Arg(64)->Arg(128);
+
+void BM_NewellDemag(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mag::System sys = make_system(n);
+  mag::NewellDemagField demag(sys);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(sys.grid());
+  for (auto _ : state) {
+    h.fill(Vec3{});
+    demag.accumulate(sys, m, 0.0, h);
+    benchmark::DoNotOptimize(h.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_NewellDemag)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_StepperRk4(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mag::System sys = make_system(n);
+  std::vector<std::unique_ptr<mag::FieldTerm>> terms;
+  terms.push_back(std::make_unique<mag::ExchangeField>());
+  terms.push_back(std::make_unique<mag::UniaxialAnisotropyField>());
+  terms.push_back(std::make_unique<mag::ThinFilmDemagField>());
+  auto m = sys.uniform_magnetization({0, 0, 1});
+  mag::Stepper stepper(mag::StepperKind::kRk4, 0.25e-12);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += stepper.step(sys, terms, m, t);
+    benchmark::DoNotOptimize(m.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_StepperRk4)->Arg(32)->Arg(64);
+
+void BM_StepperHeun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mag::System sys = make_system(n);
+  std::vector<std::unique_ptr<mag::FieldTerm>> terms;
+  terms.push_back(std::make_unique<mag::ExchangeField>());
+  terms.push_back(std::make_unique<mag::UniaxialAnisotropyField>());
+  terms.push_back(std::make_unique<mag::ThinFilmDemagField>());
+  auto m = sys.uniform_magnetization({0, 0, 1});
+  mag::Stepper stepper(mag::StepperKind::kHeun, 0.25e-12);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += stepper.step(sys, terms, m, t);
+    benchmark::DoNotOptimize(m.data().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n));
+}
+BENCHMARK(BM_StepperHeun)->Arg(32)->Arg(64);
+
+void BM_Fft3d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Complex> data(n * n);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = Complex{static_cast<double>(i % 7), 0.0};
+  }
+  for (auto _ : state) {
+    fft3d(data, n, n, 1);
+    fft3d(data, n, n, 1, /*inverse=*/true);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft3d)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TriangleGateEvaluate(benchmark::State& state) {
+  core::TriangleMajGate gate = core::TriangleMajGate::paper_device();
+  gate.reference_amplitude();  // warm the normalization cache
+  const std::vector<bool> pattern{true, false, true};
+  for (auto _ : state) {
+    auto out = gate.evaluate(pattern);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_TriangleGateEvaluate);
+
+}  // namespace

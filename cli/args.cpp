@@ -1,0 +1,75 @@
+#include "cli/args.h"
+
+#include <stdexcept>
+
+namespace swsim::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  int i = 1;
+  if (i < argc && std::string(argv[i]).rfind("--", 0) != 0) {
+    args.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string tok = argv[i];
+    if (tok == "--") {
+      throw std::invalid_argument("Args: bare '--' is not a valid option");
+    }
+    if (tok.rfind("--", 0) == 0) {
+      const std::string key = tok.substr(2);
+      if (key.empty()) {
+        throw std::invalid_argument("Args: empty option name");
+      }
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options_[key] = argv[i + 1];
+        ++i;
+      } else {
+        args.options_[key] = "";  // bare flag
+      }
+    } else {
+      args.positional_.push_back(tok);
+    }
+  }
+  return args;
+}
+
+bool Args::has(const std::string& key) const {
+  return options_.count(key) > 0;
+}
+
+std::optional<std::string> Args::value(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end() || it->second.empty()) return std::nullopt;
+  return it->second;
+}
+
+double Args::number(const std::string& key, double fallback) const {
+  const auto v = value(key);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Args: option --" + key +
+                                " expects a number, got '" + *v + "'");
+  }
+}
+
+long Args::integer(const std::string& key, long fallback) const {
+  const auto v = value(key);
+  if (!v) return fallback;
+  try {
+    std::size_t used = 0;
+    const long parsed = std::stol(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing junk");
+    return parsed;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Args: option --" + key +
+                                " expects an integer, got '" + *v + "'");
+  }
+}
+
+}  // namespace swsim::cli

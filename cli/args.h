@@ -1,0 +1,39 @@
+// Minimal command-line argument parsing for the swsim CLI.
+//
+// Grammar: swsim <command> [positional...] [--flag] [--key value]...
+// Values never start with "--"; a "--key" followed by another "--key" (or
+// nothing) is a boolean flag.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace swsim::cli {
+
+class Args {
+ public:
+  // Parses argv[1..]; argv[1] (if present and not an option) becomes the
+  // command. Throws std::invalid_argument on a malformed option (e.g. a
+  // bare "--").
+  static Args parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& key) const;
+  // Returns the value of --key, or nullopt when absent or a bare flag.
+  std::optional<std::string> value(const std::string& key) const;
+  // Numeric access with a default; throws std::invalid_argument when the
+  // value is present but not a number.
+  double number(const std::string& key, double fallback) const;
+  long integer(const std::string& key, long fallback) const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> options_;  // "" marks a bare flag
+};
+
+}  // namespace swsim::cli

@@ -1,0 +1,212 @@
+// swsim — command-line driver for the spin-wave gate library.
+//
+//   swsim truthtable <maj|xor|xnor|and|or|nand|nor|maj5|maj7>
+//         [--lambda <nm>] [--width <nm>]
+//   swsim dispersion [--thickness <nm>] [--material <fecob|yig|permalloy>]
+//         [--applied <kA/m>]
+//   swsim yield [--gate <maj|xor>] [--sigma-length <nm>] [--sigma-amp <frac>]
+//         [--trials <n>] [--lambda <nm>]
+//   swsim compare                      (Table III)
+//   swsim micromag [--xor] [--lambda <nm>] [--width <nm>] [--cell <nm>]
+//         (runs the LLG backend truth table; slow)
+//   swsim help
+#include <iostream>
+#include <memory>
+
+#include "cli/args.h"
+#include "core/derived_gates.h"
+#include "core/micromag_gate.h"
+#include "core/multi_input_gate.h"
+#include "core/triangle_gate.h"
+#include "core/validator.h"
+#include "core/variability.h"
+#include "io/table.h"
+#include "math/constants.h"
+#include "perf/comparison.h"
+#include "wavenet/dispersion.h"
+
+using namespace swsim;
+using namespace swsim::math;
+using swsim::io::Table;
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "swsim - fan-out-of-2 triangle spin-wave logic gates\n"
+      "\n"
+      "commands:\n"
+      "  truthtable <maj|xor|xnor|and|or|nand|nor|maj5|maj7>\n"
+      "             [--lambda <nm>] [--width <nm>]\n"
+      "  dispersion [--thickness <nm>] [--material fecob|yig|permalloy]\n"
+      "             [--applied <kA/m>]\n"
+      "  yield      [--gate maj|xor] [--sigma-length <nm>]\n"
+      "             [--sigma-amp <frac>] [--trials <n>] [--lambda <nm>]\n"
+      "  compare    (regenerate the paper's Table III)\n"
+      "  micromag   [--xor] [--lambda <nm>] [--width <nm>] [--cell <nm>]\n"
+      "  help\n";
+  return 0;
+}
+
+geom::TriangleGateParams params_from(const cli::Args& args, bool maj) {
+  auto p = maj ? geom::TriangleGateParams::paper_maj3()
+               : geom::TriangleGateParams::paper_xor();
+  const double lambda_nm = args.number("lambda", 55.0);
+  p.wavelength = nm(lambda_nm);
+  p.width = nm(args.number("width", 0.4 * lambda_nm));
+  return p;
+}
+
+int cmd_truthtable(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "truthtable: missing gate name\n";
+    return 2;
+  }
+  const std::string kind = args.positional()[0];
+  std::unique_ptr<core::FanoutGate> gate;
+
+  core::TriangleGateConfig cfg;
+  cfg.params = params_from(args, /*maj=*/true);
+  if (kind == "maj") {
+    gate = std::make_unique<core::TriangleMajGate>(cfg);
+  } else if (kind == "xor" || kind == "xnor") {
+    cfg.params = params_from(args, /*maj=*/false);
+    cfg.inverted = kind == "xnor";
+    gate = std::make_unique<core::TriangleXorGate>(cfg);
+  } else if (kind == "and" || kind == "or" || kind == "nand" ||
+             kind == "nor") {
+    const core::TwoInputFunction fn =
+        kind == "and"    ? core::TwoInputFunction::kAnd
+        : kind == "or"   ? core::TwoInputFunction::kOr
+        : kind == "nand" ? core::TwoInputFunction::kNand
+                         : core::TwoInputFunction::kNor;
+    gate = std::make_unique<core::ControlledMajGate>(cfg, fn);
+  } else if (kind == "maj5" || kind == "maj7") {
+    core::MultiInputMajConfig mcfg;
+    mcfg.num_inputs = kind == "maj5" ? 5 : 7;
+    mcfg.params = cfg.params;
+    gate = std::make_unique<core::MultiInputMajGate>(mcfg);
+  } else {
+    std::cerr << "truthtable: unknown gate '" << kind << "'\n";
+    return 2;
+  }
+
+  const auto report = core::validate_gate(*gate);
+  std::cout << core::format_report(report);
+  return report.all_pass ? 0 : 1;
+}
+
+int cmd_dispersion(const cli::Args& args) {
+  mag::Material mat = mag::Material::fecob();
+  const auto name = args.value("material").value_or("fecob");
+  if (name == "yig") mat = mag::Material::yig();
+  else if (name == "permalloy") mat = mag::Material::permalloy();
+  else if (name != "fecob") {
+    std::cerr << "dispersion: unknown material '" << name << "'\n";
+    return 2;
+  }
+  const double thickness = nm(args.number("thickness", 1.0));
+  const double applied = ka_per_m(args.number("applied", 0.0));
+  const wavenet::Dispersion disp(mat, thickness, applied);
+
+  Table t({"lambda (nm)", "f (GHz)", "v_g (m/s)", "L_att (um)"});
+  for (double l : {500.0, 250.0, 125.0, 80.0, 55.0, 40.0, 30.0, 20.0}) {
+    const double k = wavenet::Dispersion::k_of_lambda(nm(l));
+    t.add_row({Table::num(l, 0), Table::num(to_ghz(disp.frequency(k)), 2),
+               Table::num(disp.group_velocity(k), 0),
+               Table::num(disp.attenuation_length(k) * 1e6, 2)});
+  }
+  std::cout << mat.name << ", t = " << to_nm(thickness) << " nm, FMR floor "
+            << Table::num(to_ghz(disp.frequency(0)), 2) << " GHz\n\n"
+            << t.str();
+  return 0;
+}
+
+int cmd_yield(const cli::Args& args) {
+  const double lambda_nm = args.number("lambda", 55.0);
+  core::VariabilityModel model;
+  model.sigma_phase = core::VariabilityModel::phase_sigma_for_length(
+      nm(args.number("sigma-length", 2.0)), nm(lambda_nm));
+  model.sigma_amplitude = args.number("sigma-amp", 0.05);
+  const auto trials = static_cast<std::size_t>(args.integer("trials", 500));
+
+  const std::string kind = args.value("gate").value_or("maj");
+  core::TriangleGateConfig cfg;
+  std::unique_ptr<core::TriangleGateBase> gate;
+  if (kind == "maj") {
+    cfg.params = params_from(args, true);
+    gate = std::make_unique<core::TriangleMajGate>(cfg);
+  } else if (kind == "xor") {
+    cfg.params = params_from(args, false);
+    gate = std::make_unique<core::TriangleXorGate>(cfg);
+  } else {
+    std::cerr << "yield: unknown gate '" << kind << "'\n";
+    return 2;
+  }
+
+  const auto r = core::estimate_yield(*gate, model, trials);
+  std::cout << "gate " << kind << ", " << r.trials << " virtual devices:\n"
+            << "  yield               " << Table::num(r.yield * 100, 1)
+            << "%\n"
+            << "  row failures        " << r.worst_row_failures << '\n'
+            << "  mean worst margin   " << Table::num(r.mean_worst_margin, 3)
+            << '\n';
+  return 0;
+}
+
+int cmd_compare() {
+  const perf::Comparison cmp;
+  Table t({"design", "function", "cells", "delay (ns)", "energy (aJ)"});
+  for (const auto& row : cmp.rows()) {
+    t.add_row({row.design, row.function, std::to_string(row.cells),
+               Table::num(to_ns(row.delay), 2),
+               Table::num(to_aj(row.energy), 1)});
+  }
+  std::cout << t.str();
+  const auto h = cmp.headlines();
+  std::cout << "\nMAJ saving vs ladder: " << Table::num(
+                   h.maj_saving_vs_ladder * 100, 0)
+            << "%   XOR saving vs ladder: "
+            << Table::num(h.xor_saving_vs_ladder * 100, 0) << "%\n";
+  return 0;
+}
+
+int cmd_micromag(const cli::Args& args) {
+  const double lambda_nm = args.number("lambda", 50.0);
+  const double width_nm = args.number("width", 20.0);
+  core::MicromagGateConfig cfg;
+  cfg.params = args.has("xor")
+                   ? geom::TriangleGateParams::reduced_xor(nm(lambda_nm),
+                                                           nm(width_nm))
+                   : geom::TriangleGateParams::reduced_maj3(nm(lambda_nm),
+                                                            nm(width_nm));
+  cfg.cell_size = nm(args.number("cell", 4.0));
+  core::MicromagTriangleGate gate(cfg);
+  std::cout << "running LLG truth table (" << (1u << gate.num_inputs())
+            << " patterns + calibration, f = "
+            << Table::num(to_ghz(gate.drive_frequency()), 1)
+            << " GHz)...\n";
+  const auto report = core::validate_gate(gate);
+  std::cout << core::format_report(report);
+  return report.all_pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const cli::Args args = cli::Args::parse(argc, argv);
+    const std::string& cmd = args.command();
+    if (cmd.empty() || cmd == "help") return usage();
+    if (cmd == "truthtable") return cmd_truthtable(args);
+    if (cmd == "dispersion") return cmd_dispersion(args);
+    if (cmd == "yield") return cmd_yield(args);
+    if (cmd == "compare") return cmd_compare();
+    if (cmd == "micromag") return cmd_micromag(args);
+    std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,132 @@
+// Parametric gate designer: pick an operating wavelength (or frequency) and
+// a material, get a manufacturable triangle-gate design back — dimensions
+// per the paper's rules, the dispersion operating point, attenuation
+// budget, a functional verification, and the energy/delay cost.
+//
+//   $ ./gate_designer                 (paper design: FeCoB, 55 nm)
+//   $ ./gate_designer 80              (lambda in nm)
+//   $ ./gate_designer 80 yig          (material: fecob | yig | permalloy)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/triangle_gate.h"
+#include "core/validator.h"
+#include "io/table.h"
+#include "math/constants.h"
+#include "perf/gate_cost.h"
+
+using namespace swsim;
+using namespace swsim::math;
+using swsim::io::Table;
+
+int main(int argc, char** argv) {
+  const double lambda_nm = argc > 1 ? std::atof(argv[1]) : 55.0;
+  const std::string mat_name = argc > 2 ? argv[2] : "fecob";
+
+  mag::Material material;
+  double applied = 0.0;
+  if (mat_name == "fecob") {
+    material = mag::Material::fecob();
+  } else if (mat_name == "yig") {
+    material = mag::Material::yig();
+    // YIG has no PMA: bias out of plane with an external field.
+    applied = 1.5 * material.ms;
+  } else if (mat_name == "permalloy") {
+    material = mag::Material::permalloy();
+    applied = 1.5 * material.ms;
+  } else {
+    std::cerr << "unknown material '" << mat_name
+              << "' (use fecob | yig | permalloy)\n";
+    return 1;
+  }
+  if (!(lambda_nm >= 10.0 && lambda_nm <= 1000.0)) {
+    std::cerr << "lambda must be in [10, 1000] nm\n";
+    return 1;
+  }
+
+  std::cout << "=== triangle FO2 gate designer ===\n\n"
+            << "material: " << material.name << " (Ms = " << material.ms / 1e3
+            << " kA/m, Aex = " << material.aex * 1e12
+            << " pJ/m, alpha = " << material.alpha << ")\n";
+  if (applied > 0.0) {
+    std::cout << "bias field: " << applied / 1e3
+              << " kA/m out of plane (no PMA in this material)\n";
+  }
+
+  const double thickness = nm(1);
+  wavenet::Dispersion disp(material, thickness, applied);
+  const double lambda = nm(lambda_nm);
+  const double k = wavenet::Dispersion::k_of_lambda(lambda);
+  const double f = disp.frequency(k);
+  const double vg = disp.group_velocity(k);
+  const double latt = disp.attenuation_length(k);
+
+  std::cout << "\noperating point:\n"
+            << "  lambda = " << lambda_nm << " nm -> f = " << to_ghz(f)
+            << " GHz, v_g = " << vg << " m/s, L_att = " << latt * 1e6
+            << " um\n";
+
+  // Dimension synthesis per Sec. III-A: the paper's multiples, scaled.
+  geom::TriangleGateParams params = geom::TriangleGateParams::paper_maj3();
+  params.wavelength = lambda;
+  params.width = 0.4 * lambda;  // single-mode: width < lambda/2
+
+  Table dims({"dimension", "rule", "value (nm)"});
+  dims.add_row({"width", "w < lambda/2 (single transverse mode)",
+                Table::num(to_nm(params.width), 1)});
+  dims.add_row({"d1 (arms)", "n1 * lambda, n1 = 6",
+                Table::num(to_nm(params.d1()), 1)});
+  dims.add_row({"d2 (axis)", "n2 * lambda, n2 = 16 (I3 at midpoint)",
+                Table::num(to_nm(params.d2()), 1)});
+  dims.add_row({"d3 (taps)", "n3 * lambda, n3 = 4",
+                Table::num(to_nm(params.d3()), 1)});
+  dims.add_row({"d4 (detectors)", "n4 * lambda (n4 + 1/2 inverts), n4 = 1",
+                Table::num(to_nm(params.d4()), 1)});
+  std::cout << '\n' << dims.str();
+
+  const double longest =
+      params.d1() + params.d2() + params.d3() + params.d4();
+  std::cout << "\nattenuation budget: longest path " << to_nm(longest) / 1000
+            << " um = " << Table::num(longest / latt, 2)
+            << " L_att -> amplitude retained "
+            << Table::num(100 * std::exp(-longest / latt), 1) << "%\n";
+  if (longest > 1.5 * latt) {
+    std::cout << "WARNING: path exceeds 1.5 attenuation lengths - consider "
+                 "a repeater (ref. [37]) or smaller multiples\n";
+  }
+
+  // Functional verification on the wave-network backend.
+  core::TriangleGateConfig cfg;
+  cfg.params = params;
+  cfg.material = material;
+  // Fold the bias field into the dispersion via a custom material proxy is
+  // not needed: the gate uses its own Dispersion; rebuild it to match.
+  bool pass = false;
+  std::string note;
+  try {
+    if (applied > 0.0) {
+      // The gate's internal dispersion assumes PMA-only; emulate the bias
+      // by boosting Ku to produce the same internal field.
+      cfg.material.ku =
+          0.5 * kMu0 * cfg.material.ms *
+          (cfg.material.ms + applied + disp.internal_field() -
+           cfg.material.internal_field(applied));
+    }
+    core::TriangleMajGate maj(cfg);
+    auto report = core::validate_gate(maj);
+    pass = report.all_pass;
+    std::cout << "\nverification (MAJ3 truth table on the wave backend): "
+              << (pass ? "PASS" : "FAIL") << ", worst margin "
+              << Table::num(report.min_margin, 3) << " rad\n";
+  } catch (const std::exception& e) {
+    note = e.what();
+    std::cout << "\nverification failed to construct: " << note << '\n';
+  }
+
+  const auto cost = perf::SwGateCost::triangle_maj3();
+  std::cout << "cost (ME-cell model): " << to_aj(cost.energy())
+            << " aJ/op, " << to_ns(cost.delay()) << " ns, "
+            << cost.total_cells() << " transducers\n";
+  return pass ? 0 : 1;
+}

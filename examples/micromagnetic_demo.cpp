@@ -1,0 +1,55 @@
+// End-to-end micromagnetic demonstration: watch a spin-wave XOR evaluate.
+//
+// Runs the reduced-scale triangle XOR through the full LLG solver for two
+// input patterns (in-phase and antiphase), printing ASCII frames of the
+// m_x precession map as the waves launch, merge at the triangle vertex,
+// and either flood the outputs (logic 0) or cancel (logic 1). This is the
+// library's "hello physics" program.
+//
+//   $ ./micromagnetic_demo
+#include <iostream>
+
+#include "core/micromag_gate.h"
+#include "io/render.h"
+#include "math/constants.h"
+
+using namespace swsim;
+using namespace swsim::math;
+
+int main() {
+  std::cout << "=== micromagnetic spin-wave XOR, live ===\n\n";
+
+  core::MicromagGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::reduced_xor(nm(50), nm(20));
+  core::MicromagTriangleGate gate(cfg);
+
+  std::cout << "device: bowtie XOR, lambda = " << to_nm(cfg.params.wavelength)
+            << " nm, width = " << to_nm(cfg.params.width) << " nm, f = "
+            << to_ghz(gate.drive_frequency()) << " GHz\n"
+            << "grid: " << gate.grid().nx() << " x " << gate.grid().ny()
+            << " cells of " << to_nm(cfg.cell_size) << " nm, "
+            << gate.body_mask().count() << " magnetic cells\n"
+            << "simulated time per run: " << to_ns(gate.simulated_duration())
+            << " ns\n\n";
+
+  struct Case {
+    bool i1, i2;
+    const char* label;
+  };
+  for (const Case& c : {Case{false, false, "{0,0}: in-phase -> constructive "
+                                           "-> strong output (logic 0)"},
+                        Case{true, false, "{1,0}: antiphase -> destructive "
+                                          "-> suppressed output (logic 1)"}}) {
+    std::cout << "inputs " << c.label << "\n";
+    const auto ev = gate.evaluate_full({c.i1, c.i2});
+    std::cout << io::ascii_map(ev.snapshot_mx, 2e-4, &ev.body, 0, 120) << '\n'
+              << "  O1: normalized " << ev.outputs.normalized_o1 << " -> logic "
+              << ev.outputs.o1.logic << "   O2: normalized "
+              << ev.outputs.normalized_o2 << " -> logic "
+              << ev.outputs.o2.logic << "\n\n";
+  }
+
+  std::cout << "threshold detection at 0.5 of the reference amplitude "
+               "(paper Sec. III-B / Table II)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: build the paper's fan-out-of-2 triangle gates and validate
+// their truth tables (Tables I and II of the paper).
+//
+//   $ ./quickstart
+//
+// Walks through: device geometry from the paper's dimensions, the FVSW
+// dispersion fixing the operating frequency, truth-table validation with
+// phase detection (MAJ3) and threshold detection (XOR), and the energy/delay
+// cost under the paper's ME-cell model.
+#include <iostream>
+
+#include "core/derived_gates.h"
+#include "core/triangle_gate.h"
+#include "core/validator.h"
+#include "math/constants.h"
+#include "perf/gate_cost.h"
+
+int main() {
+  using namespace swsim;
+
+  std::cout << "=== swsim quickstart: triangle FO2 spin-wave gates ===\n\n";
+
+  // 1. The paper's device: lambda = 55 nm on a 50 nm wide, 1 nm thick
+  //    Fe60Co20B20 waveguide with PMA.
+  core::TriangleMajGate maj = core::TriangleMajGate::paper_device();
+  const auto& params = maj.layout().params();
+  std::cout << "geometry: d1 = " << math::to_nm(params.d1())
+            << " nm, d3 = " << math::to_nm(params.d3())
+            << " nm, d4 = " << math::to_nm(params.d4())
+            << " nm, d2 (axis) = " << math::to_nm(params.d2())
+            << " nm\n";
+
+  const double k = wavenet::Dispersion::k_of_lambda(params.wavelength);
+  std::cout << "dispersion: f(" << math::to_nm(params.wavelength)
+            << " nm) = " << math::to_ghz(maj.dispersion().frequency(k))
+            << " GHz, v_g = " << maj.dispersion().group_velocity(k)
+            << " m/s, L_att = "
+            << math::to_nm(maj.dispersion().attenuation_length(k)) / 1000.0
+            << " um\n\n";
+
+  // 2. Majority gate truth table (phase detection).
+  auto maj_report = core::validate_gate(maj);
+  std::cout << core::format_report(maj_report) << '\n';
+
+  // 3. XOR gate truth table (threshold detection at 0.5).
+  core::TriangleXorGate xg = core::TriangleXorGate::paper_device();
+  auto xor_report = core::validate_gate(xg);
+  std::cout << core::format_report(xor_report) << '\n';
+
+  // 4. Derived gates: MAJ with I3 as a control input.
+  for (auto fn : {core::TwoInputFunction::kAnd, core::TwoInputFunction::kOr,
+                  core::TwoInputFunction::kNand, core::TwoInputFunction::kNor}) {
+    core::ControlledMajGate g = core::ControlledMajGate::paper_device(fn);
+    auto report = core::validate_gate(g);
+    std::cout << g.name() << ": " << (report.all_pass ? "PASS" : "FAIL")
+              << '\n';
+  }
+
+  // 5. Cost under the paper's ME-cell model.
+  const auto maj_cost = perf::SwGateCost::triangle_maj3();
+  const auto xor_cost = perf::SwGateCost::triangle_xor();
+  std::cout << "\nenergy: MAJ3 = " << math::to_aj(maj_cost.energy())
+            << " aJ, XOR = " << math::to_aj(xor_cost.energy())
+            << " aJ; delay = " << math::to_ns(maj_cost.delay()) << " ns\n";
+
+  const bool ok = maj_report.all_pass && xor_report.all_pass;
+  std::cout << "\nquickstart " << (ok ? "PASSED" : "FAILED") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// Logic-level composition of spin-wave gates into circuits.
+//
+// The point of a fan-out-of-2 gate (the paper's motivation, Sec. I) is that
+// one structure can feed two downstream gates without replication. This
+// netlist model enforces exactly that: every gate output may drive at most
+// two loads before a repeater (ref. [37]) or gate replication is required,
+// and the cost roll-up charges energy per excitation transducer and delay
+// per pipeline stage — so the FO2 advantage shows up as hard numbers in
+// circuit-level comparisons (see bench_ladder_vs_triangle and the
+// full-adder example).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "perf/transducer.h"
+
+namespace swsim::core {
+
+enum class CircuitGateKind { kMaj3, kXor2, kNot, kRepeater };
+
+std::string to_string(CircuitGateKind kind);
+
+// A signal in the netlist (an index into the circuit's node table).
+using Signal = std::size_t;
+
+struct CircuitCost {
+  int maj_gates = 0;
+  int xor_gates = 0;
+  int repeaters = 0;
+  int excitation_cells = 0;  // total driven transducers per evaluation
+  int detection_cells = 0;
+  double energy = 0.0;       // [J] per evaluation
+  double delay = 0.0;        // [s] critical path
+  std::size_t depth = 0;     // gate stages on the critical path
+};
+
+class Circuit {
+ public:
+  // max_fanout: loads allowed per gate output (2 for the paper's devices).
+  explicit Circuit(int max_fanout = 2);
+
+  // Primary input / constant signals (no fan-out limit: they are transducer
+  // driven and can be replicated at the boundary).
+  Signal input(std::string name);
+  Signal constant(bool value);
+
+  // Gates. Each returns the output signal. Throws std::invalid_argument on
+  // unknown operands; throws std::runtime_error when an operand's fan-out
+  // budget is exhausted (insert a repeater or duplicate the driver).
+  Signal add_maj3(Signal a, Signal b, Signal c, bool inverted = false);
+  Signal add_xor2(Signal a, Signal b, bool inverted = false);
+  // AND/OR via the controlled MAJ construction (I3 = constant).
+  Signal add_and2(Signal a, Signal b) {
+    return add_maj3(a, b, constant(false));
+  }
+  Signal add_or2(Signal a, Signal b) { return add_maj3(a, b, constant(true)); }
+  // Inversion via a half-wavelength output tap: costs no transducer but
+  // occupies a gate output slot.
+  Signal add_not(Signal a);
+  // Repeater (ref. [37]): regenerates a signal, resetting its fan-out
+  // budget, at one excitation transducer of cost.
+  Signal add_repeater(Signal a);
+
+  // Marks a signal as a primary output (detection transducer).
+  void mark_output(Signal s, std::string name);
+
+  std::size_t gate_count() const { return gates_.size(); }
+  int fanout_of(Signal s) const;
+
+  // Evaluates the circuit for the given primary input values (ordered as
+  // created). Returns the primary outputs (ordered as marked).
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+  // Energy / delay / cell-count roll-up under the paper's cost model.
+  CircuitCost cost(
+      const perf::TransducerModel& t = perf::TransducerModel::me_cell()) const;
+
+ private:
+  enum class NodeKind { kInput, kConst, kGate };
+  struct Node {
+    NodeKind kind = NodeKind::kInput;
+    std::string name;
+    bool const_value = false;
+    CircuitGateKind gate_kind = CircuitGateKind::kMaj3;
+    bool inverted = false;
+    std::vector<Signal> operands;
+    int fanout = 0;
+    std::size_t depth = 0;  // gate stages from the inputs
+  };
+
+  Signal add_gate(CircuitGateKind kind, std::vector<Signal> operands,
+                  bool inverted);
+  void use(Signal s);
+  void check(Signal s) const;
+
+  int max_fanout_;
+  std::vector<Node> nodes_;
+  std::vector<Signal> inputs_;
+  std::vector<Signal> gates_;
+  std::vector<std::pair<Signal, std::string>> outputs_;
+};
+
+// Convenience builders used by the examples and tests.
+
+// One-bit full adder: sum = a ^ b ^ cin, cout = MAJ3(a, b, cin). Exploits
+// the FO2 MAJ output pair (one output is cout, the other could drive a
+// sum-correction stage in larger designs).
+struct FullAdderSignals {
+  Signal a, b, cin, sum, cout;
+};
+FullAdderSignals build_full_adder(Circuit& c);
+
+// n-bit ripple-carry adder; returns per-bit sum signals plus carry-out.
+struct RippleAdderSignals {
+  std::vector<Signal> a, b, sum;
+  Signal cin, cout;
+};
+RippleAdderSignals build_ripple_adder(Circuit& c, std::size_t bits);
+
+// Triple-modular-redundancy voter: MAJ3 over three module copies.
+Signal build_tmr_voter(Circuit& c, Signal m0, Signal m1, Signal m2);
+
+}  // namespace swsim::core

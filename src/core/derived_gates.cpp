@@ -1,0 +1,60 @@
+#include "core/derived_gates.h"
+
+#include <stdexcept>
+
+namespace swsim::core {
+
+std::string to_string(TwoInputFunction fn) {
+  switch (fn) {
+    case TwoInputFunction::kAnd: return "AND";
+    case TwoInputFunction::kOr: return "OR";
+    case TwoInputFunction::kNand: return "NAND";
+    case TwoInputFunction::kNor: return "NOR";
+  }
+  return "?";
+}
+
+ControlledMajGate::ControlledMajGate(const TriangleGateConfig& maj_config,
+                                     TwoInputFunction fn)
+    : fn_(fn) {
+  TriangleGateConfig cfg = maj_config;
+  // MAJ(a, b, 0) = AND(a, b); MAJ(a, b, 1) = OR(a, b). The inverting
+  // variants read through an inverted output.
+  control_ = (fn == TwoInputFunction::kOr || fn == TwoInputFunction::kNor);
+  // The TriangleMajGate realizes the inversion with a half-wavelength
+  // output tap internally.
+  cfg.inverted = (fn == TwoInputFunction::kNand ||
+                  fn == TwoInputFunction::kNor);
+  maj_ = std::make_unique<TriangleMajGate>(cfg);
+}
+
+ControlledMajGate ControlledMajGate::paper_device(TwoInputFunction fn) {
+  TriangleGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::paper_maj3();
+  return ControlledMajGate(cfg, fn);
+}
+
+std::string ControlledMajGate::name() const {
+  return "triangle-FO2-" + to_string(fn_);
+}
+
+FanoutOutputs ControlledMajGate::evaluate(const std::vector<bool>& inputs) {
+  if (inputs.size() != 2) {
+    throw std::invalid_argument(name() + ": expected 2 inputs");
+  }
+  return maj_->evaluate({inputs[0], inputs[1], control_});
+}
+
+bool ControlledMajGate::reference(const std::vector<bool>& inputs) const {
+  const bool a = inputs.at(0);
+  const bool b = inputs.at(1);
+  switch (fn_) {
+    case TwoInputFunction::kAnd: return a && b;
+    case TwoInputFunction::kOr: return a || b;
+    case TwoInputFunction::kNand: return !(a && b);
+    case TwoInputFunction::kNor: return !(a || b);
+  }
+  throw std::logic_error("ControlledMajGate: unreachable");
+}
+
+}  // namespace swsim::core

@@ -1,0 +1,46 @@
+// Gates derived from the triangle structures (paper Sec. III-A/B):
+//
+// * (N)AND / (N)OR: the MAJ3 with I3 tied to a control constant —
+//   I3 = 0 gives AND(I1, I2), I3 = 1 gives OR(I1, I2); the inverting
+//   variants come from an inverted output (d4 = (n+1/2) lambda).
+// * XNOR: the XOR structure with the flipped threshold condition.
+//
+// ControlledMajGate wraps a TriangleMajGate and fixes I3; it still exposes
+// the 2-input FanoutGate interface and the fan-out-of-2 outputs.
+#pragma once
+
+#include <memory>
+
+#include "core/triangle_gate.h"
+
+namespace swsim::core {
+
+enum class TwoInputFunction { kAnd, kOr, kNand, kNor };
+
+std::string to_string(TwoInputFunction fn);
+
+class ControlledMajGate final : public FanoutGate {
+ public:
+  // Builds the required control constant and inversion from the function.
+  ControlledMajGate(const TriangleGateConfig& maj_config, TwoInputFunction fn);
+
+  // Paper-scale device implementing fn.
+  static ControlledMajGate paper_device(TwoInputFunction fn);
+
+  std::string name() const override;
+  std::size_t num_inputs() const override { return 2; }
+  FanoutOutputs evaluate(const std::vector<bool>& inputs) override;
+  bool reference(const std::vector<bool>& inputs) const override;
+
+  // The control constant still costs an excitation transducer.
+  int excitation_cells() const override { return 3; }
+
+  bool control_value() const { return control_; }
+
+ private:
+  TwoInputFunction fn_;
+  bool control_;
+  std::unique_ptr<TriangleMajGate> maj_;
+};
+
+}  // namespace swsim::core

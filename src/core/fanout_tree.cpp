@@ -1,0 +1,149 @@
+#include "core/fanout_tree.h"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "core/logic.h"
+
+namespace swsim::core {
+
+using wavenet::NodeId;
+
+namespace {
+
+int levels_for(int fanout) {
+  int levels = 0;
+  int leaves = 1;
+  while (leaves < fanout) {
+    leaves *= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+FanoutTree::FanoutTree(const TriangleGateConfig& gate_config,
+                       const FanoutTreeConfig& tree_config)
+    : tree_config_(tree_config),
+      gate_config_(gate_config),
+      dispersion_(gate_config.material, gate_config.film_thickness) {
+  if (tree_config.fanout < 2) {
+    throw std::invalid_argument("FanoutTree: fanout must be >= 2");
+  }
+  if (std::fabs(tree_config.n_branch - std::round(tree_config.n_branch)) >
+      1e-9 ||
+      tree_config.n_branch < 1.0) {
+    throw std::invalid_argument(
+        "FanoutTree: n_branch must be a positive integer (the n-lambda "
+        "design rule)");
+  }
+  model_ = wavenet::PropagationModel::from_dispersion(
+      dispersion_, gate_config_.params.wavelength, gate_config_.split);
+
+  // The gate network, as in TriangleGateBase, but with O1 feeding the
+  // splitter tree instead of a detector. O2 stays a detector (the mirror
+  // output keeps its ordinary load).
+  const auto& p = gate_config_.params;
+  const double half_axis = p.d2() / 2.0;
+  const NodeId s1 = net_.add_source("I1");
+  const NodeId s2 = net_.add_source("I2");
+  const NodeId v = net_.add_junction("V");
+  const NodeId s = net_.add_junction("S");
+  net_.connect(s1, v, p.d1());
+  net_.connect(s2, v, p.d1());
+  sources_ = {s1, s2};
+  if (p.has_third_input) {
+    const NodeId t3 = net_.add_tap("I3");
+    net_.connect(v, t3, half_axis);
+    net_.connect(t3, s, half_axis);
+    sources_.push_back(t3);
+  } else {
+    net_.connect(v, s, 2.0 * half_axis);
+  }
+  mirror_out_ = net_.add_detector("O2");
+  net_.connect(s, mirror_out_, p.branch_out());
+
+  // Splitter tree off the O1 branch.
+  const double branch = tree_config_.n_branch * p.wavelength;
+  const int levels = levels_for(tree_config_.fanout);
+
+  // Recursive lambda: returns the root node of a subtree with
+  // `remaining` split levels below it.
+  std::function<NodeId(int, const std::string&)> make_subtree =
+      [&](int remaining, const std::string& name) -> NodeId {
+    if (remaining == 0) {
+      const NodeId leaf = net_.add_detector("L" + name);
+      leaf_ids_.push_back(leaf);
+      return leaf;
+    }
+    const NodeId split = net_.add_junction("C" + name);  // coupler
+    for (int child = 0; child < 2; ++child) {
+      const std::string child_name = name + (child == 0 ? "a" : "b");
+      const NodeId sub = make_subtree(remaining - 1, child_name);
+      if (tree_config_.use_repeaters) {
+        const NodeId rep = net_.add_repeater("R" + child_name);
+        ++repeater_count_;
+        net_.connect(split, rep, branch);
+        net_.connect(rep, sub, branch);
+      } else {
+        net_.connect(split, sub, 2.0 * branch);
+      }
+    }
+    return split;
+  };
+
+  const NodeId tree_root = make_subtree(levels, "");
+  if (levels == 0) {
+    // fanout rounded to 1 leaf can't happen (fanout >= 2 checked above).
+    throw std::logic_error("FanoutTree: degenerate tree");
+  }
+  net_.connect(s, tree_root, p.branch_out());
+}
+
+int FanoutTree::replication_excitation_cells() const {
+  const int inputs = gate_config_.params.has_third_input ? 3 : 2;
+  const int gates = (tree_config_.fanout + 1) / 2;  // 2 outputs per gate
+  return gates * inputs;
+}
+
+FanoutTreeResult FanoutTree::evaluate(const std::vector<bool>& inputs) {
+  if (inputs.size() != sources_.size()) {
+    throw std::invalid_argument("FanoutTree: wrong input count");
+  }
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    net_.excite(sources_[i], 1.0, logic_phase(inputs[i]));
+  }
+  const auto solved = net_.solve(model_);
+
+  // Reference: the mirror output O2, which sees the plain gate's wave.
+  const double direct = std::abs(solved.detector_phasor.at(mirror_out_));
+
+  FanoutTreeResult result;
+  result.excitation_cells =
+      static_cast<int>(sources_.size()) + repeater_count_;
+  const wavenet::PhaseDetector det;
+  result.min_relative_amplitude = 1e300;
+  bool first = true;
+  bool first_logic = false;
+  for (const NodeId leaf : leaf_ids_) {
+    FanoutLeaf fl;
+    fl.phasor = solved.detector_phasor.at(leaf);
+    fl.detection = det.detect(fl.phasor);
+    if (first) {
+      first_logic = fl.detection.logic;
+      first = false;
+    } else if (fl.detection.logic != first_logic) {
+      result.coherent = false;
+    }
+    result.min_relative_amplitude =
+        std::min(result.min_relative_amplitude,
+                 direct > 0.0 ? std::abs(fl.phasor) / direct : 0.0);
+    result.leaves.push_back(std::move(fl));
+  }
+  return result;
+}
+
+}  // namespace swsim::core

@@ -1,0 +1,79 @@
+// Fan-out beyond 2 (paper Sec. III-A, last paragraph):
+//
+//   "the gate fan-out capabilities can be extended beyond 2 by using
+//    directional couplers [36] to split the spin wave into multiple arms
+//    and using repeaters [37] to regenerate a strong SW in the different
+//    waveguides."
+//
+// FanoutTree implements exactly that: a binary splitter tree of
+// directional couplers hanging off one output of a triangle gate, with
+// optional repeaters after each split level. The alternative the paper
+// argues against — replicating the whole gate per extra load — is modeled
+// alongside for the energy comparison.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "core/triangle_gate.h"
+#include "perf/transducer.h"
+
+namespace swsim::core {
+
+struct FanoutTreeConfig {
+  // Total leaves required (>= 2); rounded up to the next power of two
+  // internally for the binary tree.
+  int fanout = 4;
+  // Insert an amplitude-regenerating repeater after each splitter level.
+  bool use_repeaters = true;
+  // Coupler arm length between levels, in wavelengths (integer keeps the
+  // phase logic intact).
+  double n_branch = 2;
+};
+
+struct FanoutLeaf {
+  std::complex<double> phasor;
+  wavenet::Detection detection;  // phase detection vs reference 0
+};
+
+struct FanoutTreeResult {
+  std::vector<FanoutLeaf> leaves;
+  // Worst leaf amplitude relative to the direct (no-tree) gate output.
+  double min_relative_amplitude = 0.0;
+  // Are all leaves logically identical (true fan-out)?
+  bool coherent = true;
+  // Cost: excitation transducers driven per evaluation, incl. repeaters.
+  int excitation_cells = 0;
+};
+
+class FanoutTree {
+ public:
+  // Builds the tree on top of a MAJ3 gate configuration. Throws
+  // std::invalid_argument on fanout < 2 or a non-integer branch multiple.
+  FanoutTree(const TriangleGateConfig& gate_config,
+             const FanoutTreeConfig& tree_config);
+
+  std::size_t leaf_count() const { return leaf_ids_.size(); }
+
+  // Evaluates the underlying MAJ3 for the given inputs and propagates its
+  // O1 wave through the splitter tree.
+  FanoutTreeResult evaluate(const std::vector<bool>& inputs);
+
+  // Cost of achieving the same fan-out by replicating the whole gate:
+  // ceil(fanout / 2) gate copies x excitation cells per gate.
+  int replication_excitation_cells() const;
+
+ private:
+  FanoutTreeConfig tree_config_;
+  TriangleGateConfig gate_config_;
+  wavenet::Dispersion dispersion_;
+  wavenet::PropagationModel model_;
+  wavenet::WaveNetwork net_;
+  std::vector<wavenet::NodeId> sources_;
+  std::vector<wavenet::NodeId> leaf_ids_;
+  wavenet::NodeId mirror_out_ = 0;  // the gate's other output (O2)
+  int repeater_count_ = 0;
+  double direct_reference_ = -1.0;
+};
+
+}  // namespace swsim::core

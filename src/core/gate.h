@@ -1,0 +1,47 @@
+// The fan-out-of-2 spin-wave gate interface.
+//
+// Every gate in this library — the proposed triangle MAJ3/XOR, the derived
+// (N)AND/(N)OR/XNOR, the ladder baseline, and the micromagnetic-backend
+// variants — evaluates a vector of logic inputs and produces TWO outputs
+// (the paper's fan-out of 2), each carrying the detected logic value plus
+// the raw analog quantities (amplitude, phase, normalized magnetization)
+// that Tables I and II report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wavenet/detector.h"
+
+namespace swsim::core {
+
+struct FanoutOutputs {
+  wavenet::Detection o1;
+  wavenet::Detection o2;
+  // Output amplitude normalized to the all-inputs-equal (fully constructive)
+  // reference — the "normalized output magnetization" of Tables I / II.
+  double normalized_o1 = 0.0;
+  double normalized_o2 = 0.0;
+};
+
+class FanoutGate {
+ public:
+  virtual ~FanoutGate() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t num_inputs() const = 0;
+
+  // Evaluates the gate. Throws std::invalid_argument if inputs.size() !=
+  // num_inputs().
+  virtual FanoutOutputs evaluate(const std::vector<bool>& inputs) = 0;
+
+  // The Boolean function this gate is supposed to implement (used by the
+  // validator); must be pure.
+  virtual bool reference(const std::vector<bool>& inputs) const = 0;
+
+  // Number of excitation transducers an evaluation drives (for the energy
+  // model).
+  virtual int excitation_cells() const = 0;
+};
+
+}  // namespace swsim::core

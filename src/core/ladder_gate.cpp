@@ -1,0 +1,109 @@
+#include "core/ladder_gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/logic.h"
+
+namespace swsim::core {
+
+using wavenet::Complex;
+using wavenet::NodeId;
+
+LadderMajGate::LadderMajGate(const LadderGateConfig& config)
+    : config_(config),
+      dispersion_(config.material, config.film_thickness) {
+  config_.params.validate();
+  model_ = wavenet::PropagationModel::from_dispersion(
+      dispersion_, config_.params.wavelength, config_.split);
+
+  const double lam = config_.params.wavelength;
+  const double half_rail = 0.5 * config_.params.n_rail * lam;
+  const double rung = config_.params.n_rung * lam;
+  const double out = std::max(config_.params.n_out, 0.5) * lam;
+
+  const NodeId s1 = net_.add_source("I1");
+  const NodeId s2 = net_.add_source("I2");
+  const NodeId s3 = net_.add_source("I3");
+  const NodeId s3r = net_.add_source("I3r");  // the replicated input
+  const NodeId p = net_.add_junction("P");
+  const NodeId q1 = net_.add_junction("Q1");
+  const NodeId q2 = net_.add_junction("Q2");
+  out1_ = net_.add_detector("O1");
+  out2_ = net_.add_detector("O2");
+
+  net_.connect(s1, p, half_rail);
+  net_.connect(s2, p, half_rail);
+  net_.connect(p, q1, half_rail);   // rail A continues to the merge with I3
+  net_.connect(p, q2, rung);        // rung down to rail B
+  net_.connect(s3, q1, half_rail);
+  net_.connect(s3r, q2, half_rail);
+  net_.connect(q1, out1_, out);
+  net_.connect(q2, out2_, out);
+
+  sources_ = {s1, s2, s3, s3r};
+
+  // Calibration: the I1/I2 waves pass one extra junction split (P, degree 4
+  // -> 3 branches) and, on the rail-B route, the longer rung; boost their
+  // drive so they arrive at the merge junctions with the same amplitude as
+  // the direct I3 waves (rail A reference).
+  amplitudes_.assign(4, 1.0);
+  if (config_.calibrated_excitation) {
+    const double split_loss =
+        config_.split == wavenet::SplitPolicy::kUnitary ? 1.0 / std::sqrt(3.0)
+                                                        : 1.0;
+    const double i12_arrival =
+        split_loss * std::exp(-(2.0 * half_rail) /
+                              model_.attenuation_length);
+    const double i3_arrival =
+        std::exp(-half_rail / model_.attenuation_length);
+    const double boost = i3_arrival / i12_arrival;
+    amplitudes_[0] = boost;
+    amplitudes_[1] = boost;
+  }
+}
+
+double LadderMajGate::excitation_level_ratio() const {
+  const auto [lo, hi] =
+      std::minmax_element(amplitudes_.begin(), amplitudes_.end());
+  return *hi / *lo;
+}
+
+std::pair<Complex, Complex> LadderMajGate::solve(
+    const std::vector<bool>& inputs) {
+  if (inputs.size() != 3) {
+    throw std::invalid_argument("LadderMajGate: expected 3 inputs");
+  }
+  // The replicated source carries the same logic value as I3.
+  const bool values[4] = {inputs[0], inputs[1], inputs[2], inputs[2]};
+  for (std::size_t i = 0; i < 4; ++i) {
+    net_.excite(sources_[i], amplitudes_[i], logic_phase(values[i]));
+  }
+  const auto result = net_.solve(model_);
+  return {result.detector_phasor.at(out1_), result.detector_phasor.at(out2_)};
+}
+
+FanoutOutputs LadderMajGate::evaluate(const std::vector<bool>& inputs) {
+  const auto [p1, p2] = solve(inputs);
+  if (reference_amplitude_ < 0.0) {
+    const auto [r1, r2] = solve({false, false, false});
+    reference_amplitude_ = std::max(std::abs(r1), std::abs(r2));
+    if (!(reference_amplitude_ > 0.0)) {
+      throw std::runtime_error("LadderMajGate: zero reference amplitude");
+    }
+  }
+  const wavenet::PhaseDetector det;
+  FanoutOutputs o;
+  o.o1 = det.detect(p1);
+  o.o2 = det.detect(p2);
+  o.normalized_o1 = std::abs(p1) / reference_amplitude_;
+  o.normalized_o2 = std::abs(p2) / reference_amplitude_;
+  return o;
+}
+
+bool LadderMajGate::reference(const std::vector<bool>& inputs) const {
+  return maj3(inputs.at(0), inputs.at(1), inputs.at(2));
+}
+
+}  // namespace swsim::core

@@ -1,0 +1,68 @@
+// The ladder-shape fan-out-of-2 baseline of refs. [22]/[23].
+//
+// Topology (abstracted to the wave network):
+//
+//   S1 --\                                     rail A
+//         P ---- Q1 ---- O1      S3  --- Q1
+//   S2 --/       |
+//                | rung (carries the combined I1+I2 wave to rail B)
+//                |
+//   S3r -------- Q2 ---- O2                    rail B
+//
+// The fan-out is bought with a *replicated* input transducer (S3r) — the
+// extra ME cell whose energy cost the triangle design eliminates — and the
+// split at P means the I1/I2 waves arrive weaker than I3 unless the inputs
+// are excited at different levels (the paper's Sec. IV-D observation).
+// `calibrated_excitation` compensates the split losses; with it disabled the
+// gate runs at equal levels and its margins degrade, which is exactly the
+// behaviour bench_ladder_vs_triangle quantifies.
+#pragma once
+
+#include "core/gate.h"
+#include "geom/gate_layout.h"
+#include "wavenet/dispersion.h"
+#include "wavenet/network.h"
+
+namespace swsim::core {
+
+struct LadderGateConfig {
+  geom::LadderGateParams params;
+  swsim::mag::Material material = swsim::mag::Material::fecob();
+  double film_thickness = swsim::math::nm(1);
+  wavenet::SplitPolicy split = wavenet::SplitPolicy::kUnitary;
+  // Excite the rail inputs at boosted levels so all waves arrive at the
+  // merge junctions with equal amplitude (required for clean operation).
+  bool calibrated_excitation = true;
+  double threshold = 0.5;  // XOR threshold
+};
+
+class LadderMajGate final : public FanoutGate {
+ public:
+  explicit LadderMajGate(const LadderGateConfig& config);
+
+  std::string name() const override { return "ladder-FO2-MAJ3"; }
+  std::size_t num_inputs() const override { return 3; }
+  FanoutOutputs evaluate(const std::vector<bool>& inputs) override;
+  bool reference(const std::vector<bool>& inputs) const override;
+  // 4: I1, I2, I3 plus the replicated I3 — the baseline's energy penalty.
+  int excitation_cells() const override { return 4; }
+
+  // Peak-to-lowest input excitation amplitude ratio actually used — 1.0 for
+  // equal-level drive, > 1 when calibration is on (the ladder's hidden cost).
+  double excitation_level_ratio() const;
+
+ private:
+  LadderGateConfig config_;
+  wavenet::Dispersion dispersion_;
+  wavenet::PropagationModel model_;
+  wavenet::WaveNetwork net_;
+  std::vector<wavenet::NodeId> sources_;   // S1, S2, S3, S3r
+  wavenet::NodeId out1_ = 0, out2_ = 0;
+  std::vector<double> amplitudes_;         // per-source drive level
+  double reference_amplitude_ = -1.0;
+
+  std::pair<wavenet::Complex, wavenet::Complex> solve(
+      const std::vector<bool>& inputs);
+};
+
+}  // namespace swsim::core

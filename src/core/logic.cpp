@@ -1,0 +1,47 @@
+#include "core/logic.h"
+
+#include <stdexcept>
+
+#include "math/constants.h"
+#include "math/lockin.h"
+
+namespace swsim::core {
+
+bool maj3(bool a, bool b, bool c) {
+  return (static_cast<int>(a) + static_cast<int>(b) + static_cast<int>(c)) >= 2;
+}
+
+bool xor2(bool a, bool b) { return a != b; }
+
+bool majority(const std::vector<bool>& inputs) {
+  if (inputs.empty() || inputs.size() % 2 == 0) {
+    throw std::invalid_argument("majority: need an odd number of inputs");
+  }
+  std::size_t ones = 0;
+  for (bool v : inputs) ones += v ? 1 : 0;
+  return 2 * ones > inputs.size();
+}
+
+std::vector<std::vector<bool>> all_input_patterns(std::size_t n) {
+  if (n > 20) {
+    throw std::invalid_argument("all_input_patterns: n too large");
+  }
+  std::vector<std::vector<bool>> rows;
+  const std::size_t count = std::size_t{1} << n;
+  rows.reserve(count);
+  for (std::size_t r = 0; r < count; ++r) {
+    std::vector<bool> row(n);
+    for (std::size_t b = 0; b < n; ++b) row[b] = (r >> b) & 1u;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double logic_phase(bool value) { return value ? swsim::math::kPi : 0.0; }
+
+bool phase_logic(double phase) {
+  return swsim::math::phase_distance(phase, swsim::math::kPi) <
+         swsim::math::kPi / 2.0;
+}
+
+}  // namespace swsim::core

@@ -1,0 +1,31 @@
+// Logic-level reference functions and truth-table helpers.
+//
+// Phase encoding convention (paper Sec. III-A): spin-wave phase 0 represents
+// logic 0 and phase pi represents logic 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swsim::core {
+
+// 3-input majority — the paper's core primitive (also the full-adder carry).
+bool maj3(bool a, bool b, bool c);
+
+// 2-input exclusive OR.
+bool xor2(bool a, bool b);
+
+// n-input majority (n odd); throws std::invalid_argument for even n.
+bool majority(const std::vector<bool>& inputs);
+
+// All 2^n input combinations in ascending binary order; bit i of the row
+// index maps to inputs[i] (inputs[0] is the LSB).
+std::vector<std::vector<bool>> all_input_patterns(std::size_t n);
+
+// Spin-wave phase for a logic value: 0 -> 0, 1 -> pi.
+double logic_phase(bool value);
+
+// Inverse: phase within pi/2 of pi reads as logic 1.
+bool phase_logic(double phase);
+
+}  // namespace swsim::core

@@ -1,0 +1,50 @@
+// n-input majority gates (paper Sec. III-A: "more inputs can be added
+// below I2 or above I1 and I3").
+//
+// Generalizes the bowtie: n-1 input arms (each d1 = n-lambda long) merge
+// at the vertex V, the n-th input taps the axis at C, and the splitter S
+// fans the result out to the two detectors. Phase detection reads the sign
+// of the phasor sum of n equal-weight waves — an n-input majority for odd
+// n. Implemented on the wave-network backend; the 3-input instance is
+// bitwise-compatible with TriangleMajGate.
+#pragma once
+
+#include "core/gate.h"
+#include "geom/gate_layout.h"
+#include "wavenet/dispersion.h"
+#include "wavenet/network.h"
+
+namespace swsim::core {
+
+struct MultiInputMajConfig {
+  std::size_t num_inputs = 5;  // odd, >= 3
+  geom::TriangleGateParams params = geom::TriangleGateParams::paper_maj3();
+  swsim::mag::Material material = swsim::mag::Material::fecob();
+  double film_thickness = swsim::math::nm(1);
+  wavenet::SplitPolicy split = wavenet::SplitPolicy::kUnitary;
+};
+
+class MultiInputMajGate final : public FanoutGate {
+ public:
+  // Throws std::invalid_argument for even or < 3 input counts.
+  explicit MultiInputMajGate(const MultiInputMajConfig& config);
+
+  std::string name() const override;
+  std::size_t num_inputs() const override { return config_.num_inputs; }
+  FanoutOutputs evaluate(const std::vector<bool>& inputs) override;
+  bool reference(const std::vector<bool>& inputs) const override;
+  int excitation_cells() const override {
+    return static_cast<int>(config_.num_inputs);
+  }
+
+ private:
+  MultiInputMajConfig config_;
+  wavenet::Dispersion dispersion_;
+  wavenet::PropagationModel model_;
+  wavenet::WaveNetwork net_;
+  std::vector<wavenet::NodeId> sources_;
+  wavenet::NodeId out1_ = 0, out2_ = 0;
+  double reference_amplitude_ = -1.0;
+};
+
+}  // namespace swsim::core

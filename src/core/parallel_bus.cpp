@@ -1,0 +1,94 @@
+#include "core/parallel_bus.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swsim::core {
+
+namespace {
+
+bool is_integer(double v, double tol = 1e-9) {
+  return std::fabs(v - std::round(v)) <= tol;
+}
+
+}  // namespace
+
+ParallelMajBus::ParallelMajBus(const ParallelBusConfig& config)
+    : config_(config) {
+  if (config.channels == 0) {
+    throw std::invalid_argument("ParallelMajBus: need at least one channel");
+  }
+  const auto& p = config.params;
+  if (!is_integer(p.n_arm) || !is_integer(p.n_axis_half) ||
+      !is_integer(p.n_feed) || !is_integer(p.n_out)) {
+    throw std::invalid_argument(
+        "ParallelMajBus: channel synthesis requires integer dimension "
+        "multiples (every path must divide by every channel wavelength)");
+  }
+
+  for (std::size_t c = 0; c < config.channels; ++c) {
+    TriangleGateConfig gate_cfg;
+    gate_cfg.params = p;
+    // Channel c rides at lambda_0 / (c+1): all multiples scale by (c+1)
+    // and stay integers, so the design rules hold on every channel.
+    const double divisor = static_cast<double>(c + 1);
+    gate_cfg.params.wavelength = p.wavelength / divisor;
+    gate_cfg.params.n_arm = p.n_arm * divisor;
+    gate_cfg.params.n_axis_half = p.n_axis_half * divisor;
+    gate_cfg.params.n_feed = p.n_feed * divisor;
+    gate_cfg.params.n_out = p.n_out * divisor;
+    // Keep the physical width: it must stay below lambda_c / 2 for
+    // single-mode operation, which bounds the usable channel count.
+    if (p.width > gate_cfg.params.wavelength) {
+      throw std::invalid_argument(
+          "ParallelMajBus: channel " + std::to_string(c + 1) +
+          " wavelength (" +
+          std::to_string(gate_cfg.params.wavelength * 1e9) +
+          " nm) falls below the waveguide width - reduce channel count or "
+          "width");
+    }
+    gate_cfg.material = config.material;
+    gate_cfg.film_thickness = config.film_thickness;
+    gate_cfg.split = config.split;
+    gates_.emplace_back(gate_cfg);
+  }
+}
+
+double ParallelMajBus::channel_wavelength(std::size_t c) const {
+  if (c >= gates_.size()) {
+    throw std::out_of_range("ParallelMajBus: bad channel index");
+  }
+  return config_.params.wavelength / static_cast<double>(c + 1);
+}
+
+double ParallelMajBus::channel_frequency(std::size_t c) const {
+  if (c >= gates_.size()) {
+    throw std::out_of_range("ParallelMajBus: bad channel index");
+  }
+  const wavenet::Dispersion& disp = gates_[c].dispersion();
+  return disp.frequency(
+      wavenet::Dispersion::k_of_lambda(channel_wavelength(c)));
+}
+
+BusResult ParallelMajBus::evaluate(
+    const std::vector<std::vector<bool>>& words) {
+  if (words.size() != gates_.size()) {
+    throw std::invalid_argument("ParallelMajBus: expected " +
+                                std::to_string(gates_.size()) + " words");
+  }
+  BusResult result;
+  for (std::size_t c = 0; c < gates_.size(); ++c) {
+    BusChannelResult ch;
+    ch.wavelength = channel_wavelength(c);
+    ch.frequency = channel_frequency(c);
+    ch.outputs = gates_[c].evaluate(words[c]);
+    const bool expected = gates_[c].reference(words[c]);
+    result.all_correct = result.all_correct &&
+                         ch.outputs.o1.logic == expected &&
+                         ch.outputs.o2.logic == expected;
+    result.channels.push_back(std::move(ch));
+  }
+  return result;
+}
+
+}  // namespace swsim::core

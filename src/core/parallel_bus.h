@@ -1,0 +1,71 @@
+// Frequency-division-multiplexed (n-bit data parallel) majority bus —
+// the concept of the authors' companion paper (ref. [9], DATE 2020)
+// realized on the triangle structure.
+//
+// Spin-wave propagation is linear at small amplitudes, so waves at
+// different frequencies traverse the same waveguide independently. If a
+// set of wavelengths {lambda_c} all divide every path segment of the
+// device an integer number of times, then *each* frequency channel sees a
+// valid n-lambda design and the one physical structure evaluates one
+// majority per channel simultaneously — an n-bit parallel gate with no
+// extra waveguide area.
+//
+// Channel wavelengths are synthesized from the layout's unit length: with
+// all dimension multiples integers, every path is a multiple of lambda_0,
+// so lambda_c = lambda_0 / c (c = 1, 2, 3, ...) all satisfy the design
+// rules. Higher channels ride higher on the dispersion (shorter waves,
+// higher frequency), exactly like ref. [9]'s frequency lanes.
+#pragma once
+
+#include <vector>
+
+#include "core/triangle_gate.h"
+
+namespace swsim::core {
+
+struct ParallelBusConfig {
+  std::size_t channels = 4;  // bits evaluated in parallel (>= 1)
+  geom::TriangleGateParams params = geom::TriangleGateParams::paper_maj3();
+  swsim::mag::Material material = swsim::mag::Material::fecob();
+  double film_thickness = swsim::math::nm(1);
+  wavenet::SplitPolicy split = wavenet::SplitPolicy::kUnitary;
+};
+
+struct BusChannelResult {
+  double wavelength = 0.0;  // [m]
+  double frequency = 0.0;   // [Hz]
+  FanoutOutputs outputs;
+};
+
+struct BusResult {
+  std::vector<BusChannelResult> channels;
+  bool all_correct = true;
+};
+
+class ParallelMajBus {
+ public:
+  // Throws std::invalid_argument for zero channels, non-integer dimension
+  // multiples (the channel synthesis needs them), or channels whose
+  // frequency falls outside the validated dispersion range.
+  explicit ParallelMajBus(const ParallelBusConfig& config);
+
+  std::size_t channels() const { return gates_.size(); }
+  double channel_wavelength(std::size_t c) const;
+  double channel_frequency(std::size_t c) const;
+
+  // Evaluates one MAJ3 per channel: words[c] holds channel c's three
+  // inputs. Throws on shape mismatch.
+  BusResult evaluate(const std::vector<std::vector<bool>>& words);
+
+  // Energy accounting: one structure, `channels` x 3 excitation tones.
+  // (Multi-tone transducers are charged per tone, as in ref. [9].)
+  int excitation_tones() const { return static_cast<int>(channels()) * 3; }
+
+ private:
+  ParallelBusConfig config_;
+  // One gate object per channel: same geometry, different propagation
+  // model (k, attenuation). Linearity makes the per-channel solves exact.
+  std::vector<TriangleMajGate> gates_;
+};
+
+}  // namespace swsim::core

@@ -1,0 +1,194 @@
+#include "core/triangle_gate.h"
+
+#include <stdexcept>
+
+#include "core/logic.h"
+
+namespace swsim::core {
+
+using geom::Port;
+using wavenet::Complex;
+using wavenet::NodeId;
+
+TriangleGateBase::TriangleGateBase(const TriangleGateConfig& config)
+    : config_(config),
+      layout_(config.params),
+      dispersion_(config.material, config.film_thickness) {
+  model_ = wavenet::PropagationModel::from_dispersion(
+      dispersion_, config_.params.wavelength, config_.split);
+
+  // Graph mirror of the TriangleGateLayout bowtie topology: arms merge at
+  // V, the combined wave crosses the transparent I3 tap at the axis
+  // midpoint C, and splits at S to the two detectors (see
+  // geom/gate_layout.h for the diagram).
+  const auto& p = config_.params;
+  const double half_axis = p.d2() / 2.0;
+  const NodeId s1 = net_.add_source("I1");
+  const NodeId s2 = net_.add_source("I2");
+  const NodeId v = net_.add_junction("V");
+  const NodeId s = net_.add_junction("S");
+  out1_ = net_.add_detector("O1");
+  out2_ = net_.add_detector("O2");
+
+  net_.connect(s1, v, p.d1());
+  net_.connect(s2, v, p.d1());
+  net_.connect(s, out1_, p.branch_out());
+  net_.connect(s, out2_, p.branch_out());
+
+  sources_ = {s1, s2};
+  if (p.has_third_input) {
+    const NodeId t3 = net_.add_tap("I3");
+    net_.connect(v, t3, half_axis);
+    net_.connect(t3, s, half_axis);
+    sources_.push_back(t3);
+  } else {
+    net_.connect(v, s, 2.0 * half_axis);
+  }
+}
+
+std::pair<Complex, Complex> TriangleGateBase::solve_phasors(
+    const std::vector<double>& input_phases) {
+  std::vector<Complex> waves;
+  waves.reserve(input_phases.size());
+  for (double ph : input_phases) {
+    waves.emplace_back(std::cos(ph), std::sin(ph));
+  }
+  return solve_wave_phasors(waves);
+}
+
+std::pair<Complex, Complex> TriangleGateBase::solve_wave_phasors(
+    const std::vector<Complex>& input_waves) {
+  if (input_waves.size() != sources_.size()) {
+    throw std::invalid_argument(name() + ": expected " +
+                                std::to_string(sources_.size()) +
+                                " input waves");
+  }
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    net_.excite(sources_[i], std::abs(input_waves[i]),
+                std::arg(input_waves[i]));
+  }
+  const auto result = net_.solve(model_);
+  return {result.detector_phasor.at(out1_), result.detector_phasor.at(out2_)};
+}
+
+double TriangleGateBase::reference_amplitude() {
+  if (reference_amplitude_ < 0.0) {
+    const std::vector<double> zeros(sources_.size(), 0.0);
+    const auto [p1, p2] = solve_phasors(zeros);
+    reference_amplitude_ = std::max(std::abs(p1), std::abs(p2));
+    if (!(reference_amplitude_ > 0.0)) {
+      throw std::runtime_error(name() +
+                               ": zero reference amplitude - no wave "
+                               "reaches the outputs");
+    }
+  }
+  return reference_amplitude_;
+}
+
+namespace {
+
+std::vector<double> phases_for(const std::vector<bool>& inputs) {
+  std::vector<double> phases(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    phases[i] = logic_phase(inputs[i]);
+  }
+  return phases;
+}
+
+}  // namespace
+
+// --- Majority gate -----------------------------------------------------------
+
+namespace {
+
+// Logical inversion is realized physically (paper Sec. III-A): an output tap
+// at d4 = (n + 1/2) lambda receives the wave with an extra pi of phase, so
+// the fixed phase detector reads the complement. The detector itself never
+// changes.
+TriangleGateConfig with_inverting_tap(TriangleGateConfig config) {
+  if (config.inverted) config.params.n_out += 0.5;
+  return config;
+}
+
+}  // namespace
+
+TriangleMajGate::TriangleMajGate(const TriangleGateConfig& config)
+    : TriangleGateBase(with_inverting_tap(config)) {
+  if (!config.params.has_third_input) {
+    throw std::invalid_argument(
+        "TriangleMajGate: params must have has_third_input = true");
+  }
+}
+
+TriangleMajGate TriangleMajGate::paper_device() {
+  TriangleGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::paper_maj3();
+  return TriangleMajGate(cfg);
+}
+
+std::string TriangleMajGate::name() const {
+  return config_.inverted ? "triangle-FO2-MINORITY3" : "triangle-FO2-MAJ3";
+}
+
+FanoutOutputs TriangleMajGate::evaluate(const std::vector<bool>& inputs) {
+  if (inputs.size() != 3) {
+    throw std::invalid_argument("TriangleMajGate: expected 3 inputs");
+  }
+  const auto [p1, p2] = solve_phasors(phases_for(inputs));
+  const double ref = reference_amplitude();
+  const wavenet::PhaseDetector det(/*reference_phase=*/0.0);
+  FanoutOutputs out;
+  out.o1 = det.detect(p1);
+  out.o2 = det.detect(p2);
+  out.normalized_o1 = std::abs(p1) / ref;
+  out.normalized_o2 = std::abs(p2) / ref;
+  return out;
+}
+
+bool TriangleMajGate::reference(const std::vector<bool>& inputs) const {
+  const bool m = maj3(inputs.at(0), inputs.at(1), inputs.at(2));
+  return config_.inverted ? !m : m;
+}
+
+// --- XOR gate ----------------------------------------------------------------
+
+TriangleXorGate::TriangleXorGate(const TriangleGateConfig& config)
+    : TriangleGateBase(config) {
+  if (config.params.has_third_input) {
+    throw std::invalid_argument(
+        "TriangleXorGate: params must have has_third_input = false");
+  }
+}
+
+TriangleXorGate TriangleXorGate::paper_device(bool xnor) {
+  TriangleGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::paper_xor();
+  cfg.inverted = xnor;
+  return TriangleXorGate(cfg);
+}
+
+std::string TriangleXorGate::name() const {
+  return config_.inverted ? "triangle-FO2-XNOR" : "triangle-FO2-XOR";
+}
+
+FanoutOutputs TriangleXorGate::evaluate(const std::vector<bool>& inputs) {
+  if (inputs.size() != 2) {
+    throw std::invalid_argument("TriangleXorGate: expected 2 inputs");
+  }
+  const auto [p1, p2] = solve_phasors(phases_for(inputs));
+  const double ref = reference_amplitude();
+  const wavenet::ThresholdDetector det(config_.threshold, config_.inverted);
+  FanoutOutputs out;
+  out.o1 = det.detect(p1, ref);
+  out.o2 = det.detect(p2, ref);
+  out.normalized_o1 = std::abs(p1) / ref;
+  out.normalized_o2 = std::abs(p2) / ref;
+  return out;
+}
+
+bool TriangleXorGate::reference(const std::vector<bool>& inputs) const {
+  const bool x = xor2(inputs.at(0), inputs.at(1));
+  return config_.inverted ? !x : x;
+}
+
+}  // namespace swsim::core

@@ -1,0 +1,96 @@
+// The paper's contribution: triangle-shape fan-out-of-2 gates on the
+// analytical wave-network backend.
+//
+// TriangleMajGate — 3-input majority, phase detection at both outputs
+// (Sec. III-A). TriangleXorGate — 2-input X(N)OR, threshold detection
+// (Sec. III-B). Both are built from a TriangleGateLayout (geometry +
+// path lengths) and a Dispersion (material physics); the wave network is
+// constructed once and re-excited per evaluation.
+#pragma once
+
+#include <memory>
+
+#include "core/gate.h"
+#include "geom/gate_layout.h"
+#include "wavenet/dispersion.h"
+#include "wavenet/network.h"
+
+namespace swsim::core {
+
+struct TriangleGateConfig {
+  geom::TriangleGateParams params;
+  swsim::mag::Material material = swsim::mag::Material::fecob();
+  double film_thickness = swsim::math::nm(1);
+  wavenet::SplitPolicy split = wavenet::SplitPolicy::kUnitary;
+  // Inverted output: in hardware d4 = (n+1/2) lambda adds a pi phase shift;
+  // detection-side this flips the phase reference / threshold condition.
+  bool inverted = false;
+  double threshold = 0.5;  // XOR threshold (paper Sec. IV-C: 0.5)
+};
+
+// Shared machinery: builds the network, computes the reference (all-zero
+// inputs) amplitude for normalization.
+class TriangleGateBase : public FanoutGate {
+ public:
+  const geom::TriangleGateLayout& layout() const { return layout_; }
+  const wavenet::Dispersion& dispersion() const { return dispersion_; }
+  const wavenet::PropagationModel& model() const { return model_; }
+
+  // Raw output phasors for a set of input phases (radians), bypassing logic
+  // encoding — used by phase-error robustness studies.
+  std::pair<wavenet::Complex, wavenet::Complex> solve_phasors(
+      const std::vector<double>& input_phases);
+
+  // Full complex excitation per input (amplitude and phase) — the interface
+  // wave-level cascading uses: a downstream gate is driven by the upstream
+  // gate's attenuated output phasor, per the paper's assumption (v) that
+  // outputs feed the next gate directly.
+  std::pair<wavenet::Complex, wavenet::Complex> solve_wave_phasors(
+      const std::vector<wavenet::Complex>& input_waves);
+
+  // Amplitude of either output when all inputs are excited at phase 0
+  // (the normalization reference of Tables I / II).
+  double reference_amplitude();
+
+  int excitation_cells() const override {
+    return static_cast<int>(num_inputs());
+  }
+
+ protected:
+  explicit TriangleGateBase(const TriangleGateConfig& config);
+
+  TriangleGateConfig config_;
+  geom::TriangleGateLayout layout_;
+  wavenet::Dispersion dispersion_;
+  wavenet::PropagationModel model_;
+  wavenet::WaveNetwork net_;
+  std::vector<wavenet::NodeId> sources_;
+  wavenet::NodeId out1_ = 0, out2_ = 0;
+  double reference_amplitude_ = -1.0;  // lazily computed
+};
+
+class TriangleMajGate final : public TriangleGateBase {
+ public:
+  explicit TriangleMajGate(const TriangleGateConfig& config);
+  // Paper-scale device (lambda = 55 nm FeCoB film of Sec. IV-A).
+  static TriangleMajGate paper_device();
+
+  std::string name() const override;
+  std::size_t num_inputs() const override { return 3; }
+  FanoutOutputs evaluate(const std::vector<bool>& inputs) override;
+  bool reference(const std::vector<bool>& inputs) const override;
+};
+
+class TriangleXorGate final : public TriangleGateBase {
+ public:
+  // config.inverted = true yields the XNOR.
+  explicit TriangleXorGate(const TriangleGateConfig& config);
+  static TriangleXorGate paper_device(bool xnor = false);
+
+  std::string name() const override;
+  std::size_t num_inputs() const override { return 2; }
+  FanoutOutputs evaluate(const std::vector<bool>& inputs) override;
+  bool reference(const std::vector<bool>& inputs) const override;
+};
+
+}  // namespace swsim::core

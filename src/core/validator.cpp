@@ -1,0 +1,70 @@
+#include "core/validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/logic.h"
+#include "io/table.h"
+
+namespace swsim::core {
+
+ValidationReport validate_gate(FanoutGate& gate) {
+  ValidationReport report;
+  report.gate_name = gate.name();
+  report.all_pass = true;
+  report.min_margin = std::numeric_limits<double>::infinity();
+
+  for (const auto& pattern : all_input_patterns(gate.num_inputs())) {
+    ValidationRow row;
+    row.inputs = pattern;
+    row.expected = gate.reference(pattern);
+    row.outputs = gate.evaluate(pattern);
+    row.pass_o1 = row.outputs.o1.logic == row.expected;
+    row.pass_o2 = row.outputs.o2.logic == row.expected;
+    report.all_pass = report.all_pass && row.pass_o1 && row.pass_o2;
+    report.max_output_asymmetry =
+        std::max(report.max_output_asymmetry,
+                 std::fabs(row.outputs.normalized_o1 -
+                           row.outputs.normalized_o2));
+    report.min_margin = std::min({report.min_margin, row.outputs.o1.margin,
+                                  row.outputs.o2.margin});
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string format_report(const ValidationReport& report) {
+  std::vector<std::string> headers;
+  const std::size_t n = report.rows.empty() ? 0 : report.rows[0].inputs.size();
+  // Paper table convention: I3 I2 I1 (MSB..LSB) column order.
+  for (std::size_t i = n; i-- > 0;) {
+    headers.push_back("I" + std::to_string(i + 1));
+  }
+  headers.insert(headers.end(), {"O1 (norm)", "O2 (norm)", "O1", "O2",
+                                 "expected", "pass"});
+  swsim::io::Table table(headers);
+  for (const auto& row : report.rows) {
+    std::vector<std::string> cells;
+    for (std::size_t i = row.inputs.size(); i-- > 0;) {
+      cells.push_back(row.inputs[i] ? "1" : "0");
+    }
+    cells.push_back(swsim::io::Table::num(row.outputs.normalized_o1, 3));
+    cells.push_back(swsim::io::Table::num(row.outputs.normalized_o2, 3));
+    cells.push_back(row.outputs.o1.logic ? "1" : "0");
+    cells.push_back(row.outputs.o2.logic ? "1" : "0");
+    cells.push_back(row.expected ? "1" : "0");
+    cells.push_back(row.pass_o1 && row.pass_o2 ? "yes" : "NO");
+    table.add_row(std::move(cells));
+  }
+  std::ostringstream os;
+  os << report.gate_name << " truth table\n" << table.str();
+  os << "fan-out symmetry: max |O1 - O2| = "
+     << swsim::io::Table::num(report.max_output_asymmetry, 4)
+     << "   worst margin = " << swsim::io::Table::num(report.min_margin, 4)
+     << "   verdict: " << (report.all_pass ? "PASS" : "FAIL") << '\n';
+  return os.str();
+}
+
+}  // namespace swsim::core

@@ -1,0 +1,41 @@
+// Truth-table validation harness.
+//
+// Runs a FanoutGate over every input combination and reports, per row, the
+// detected logic at both outputs, the normalized output magnetization
+// (Tables I / II of the paper), the detection margins, and the fan-out-of-2
+// symmetry |O1 - O2|.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/gate.h"
+
+namespace swsim::core {
+
+struct ValidationRow {
+  std::vector<bool> inputs;
+  bool expected = false;
+  FanoutOutputs outputs;
+  bool pass_o1 = false;
+  bool pass_o2 = false;
+};
+
+struct ValidationReport {
+  std::string gate_name;
+  std::vector<ValidationRow> rows;
+  bool all_pass = false;
+  // Fan-out-of-2 quality: worst |normalized_o1 - normalized_o2| over rows.
+  double max_output_asymmetry = 0.0;
+  // Worst detection margin over rows and outputs (radians for phase
+  // detection, normalized amplitude for threshold detection).
+  double min_margin = 0.0;
+};
+
+// Evaluates all 2^n input patterns.
+ValidationReport validate_gate(FanoutGate& gate);
+
+// Renders a Table I/II-style table (inputs, O1, O2, logic, pass/fail).
+std::string format_report(const ValidationReport& report);
+
+}  // namespace swsim::core

@@ -1,0 +1,51 @@
+// Monte-Carlo variability analysis — the quantitative version of the
+// paper's Sec. IV-D discussion ("we will explore deeply the variability
+// and thermal noise effects on the proposed gates in the near future").
+//
+// Fabrication and transducer imperfections reach the interference logic
+// as two disturbances:
+//   * phase errors: waveguide length errors delta-L (and transducer phase
+//     offsets) shift each input's arrival phase by 2 pi delta-L / lambda;
+//   * amplitude errors: transducer efficiency spread and local Ms/width
+//     variation scale each input's arrival amplitude.
+// The Monte-Carlo engine samples both on every input of a gate, replays
+// the full truth table per sample, and reports the yield (fraction of
+// samples whose every row is still detected correctly) plus margin
+// statistics — the numbers a designer needs to set tolerances.
+#pragma once
+
+#include <cstdint>
+
+#include "core/triangle_gate.h"
+
+namespace swsim::core {
+
+struct VariabilityModel {
+  // Std. dev. of the per-input arrival phase error [rad]. A length error
+  // sigma_L maps to sigma_phase = 2 pi sigma_L / lambda.
+  double sigma_phase = 0.0;
+  // Std. dev. of the relative per-input amplitude error (0.05 = 5 %).
+  double sigma_amplitude = 0.0;
+  std::uint64_t seed = 1;
+
+  // Convenience: the phase sigma for a geometric length tolerance.
+  static double phase_sigma_for_length(double sigma_length,
+                                       double wavelength);
+};
+
+struct YieldReport {
+  std::size_t trials = 0;
+  std::size_t passing = 0;      // trials with ALL truth-table rows correct
+  double yield = 0.0;           // passing / trials
+  double mean_worst_margin = 0.0;  // mean over trials of the worst row margin
+  std::size_t worst_row_failures = 0;  // total row-level failures observed
+};
+
+// Runs `trials` Monte-Carlo samples of the gate under the model. The gate
+// is evaluated through its raw phasor interface so disturbances compose
+// with the real propagation physics (attenuation, splits, multi-bounce).
+// Works for any TriangleGateBase-derived gate (MAJ, XOR, derived).
+YieldReport estimate_yield(TriangleGateBase& gate, const VariabilityModel& model,
+                           std::size_t trials);
+
+}  // namespace swsim::core

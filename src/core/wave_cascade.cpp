@@ -1,0 +1,225 @@
+#include "core/wave_cascade.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/logic.h"
+
+namespace swsim::core {
+
+using wavenet::Complex;
+
+namespace {
+
+TriangleGateConfig derive_xor_design(TriangleGateConfig maj) {
+  maj.params.has_third_input = false;
+  return maj;
+}
+
+}  // namespace
+
+WaveCascade::WaveCascade(const TriangleGateConfig& maj_design)
+    : maj_design_(maj_design), xor_design_(derive_xor_design(maj_design)) {
+  if (!maj_design.params.has_third_input) {
+    throw std::invalid_argument(
+        "WaveCascade: the shared design must be the MAJ3 (3-input) layout");
+  }
+}
+
+WaveCascade::WaveCascade() : WaveCascade([] {
+  TriangleGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::paper_maj3();
+  return cfg;
+}()) {}
+
+WaveCascade::SignalId WaveCascade::new_signal(Signal s) {
+  signals_.push_back(std::move(s));
+  return signals_.size() - 1;
+}
+
+WaveCascade::SignalId WaveCascade::primary() {
+  Signal s;
+  s.kind = Kind::kPrimary;
+  s.index = primary_count_++;
+  return new_signal(std::move(s));
+}
+
+WaveCascade::SignalId WaveCascade::constant(bool value) {
+  Signal s;
+  s.kind = Kind::kConstant;
+  s.const_value = value;
+  return new_signal(std::move(s));
+}
+
+void WaveCascade::use(SignalId id, bool as_gate_input) {
+  if (id >= signals_.size()) {
+    throw std::invalid_argument("WaveCascade: unknown signal");
+  }
+  Signal& s = signals_[id];
+  if (as_gate_input && s.encoding == Encoding::kAmplitude) {
+    throw std::logic_error(
+        "WaveCascade: XOR outputs are amplitude-encoded and cannot drive a "
+        "phase-encoded gate input; insert a normalization/readout stage");
+  }
+  const bool boundary = s.kind == Kind::kPrimary || s.kind == Kind::kConstant;
+  if (!boundary && s.fanout >= 2) {
+    throw std::runtime_error(
+        "WaveCascade: fan-out of 2 exhausted on a gate output; add a "
+        "repeater or use the second output");
+  }
+  ++s.fanout;
+}
+
+std::pair<WaveCascade::SignalId, WaveCascade::SignalId> WaveCascade::add_maj3(
+    SignalId a, SignalId b, SignalId c) {
+  use(a, true);
+  use(b, true);
+  use(c, true);
+  gates_.push_back(Stage{true, {a, b, c}});
+  Signal o1;
+  o1.kind = Kind::kGateOut;
+  o1.index = gates_.size() - 1;
+  o1.which = 0;
+  Signal o2 = o1;
+  o2.which = 1;
+  const SignalId s1 = new_signal(std::move(o1));
+  const SignalId s2 = new_signal(std::move(o2));
+  evaluated_ = false;
+  return {s1, s2};
+}
+
+std::pair<WaveCascade::SignalId, WaveCascade::SignalId> WaveCascade::add_xor2(
+    SignalId a, SignalId b) {
+  use(a, true);
+  use(b, true);
+  gates_.push_back(Stage{false, {a, b}});
+  Signal o1;
+  o1.kind = Kind::kGateOut;
+  o1.encoding = Encoding::kAmplitude;
+  o1.index = gates_.size() - 1;
+  o1.which = 0;
+  Signal o2 = o1;
+  o2.which = 1;
+  const SignalId s1 = new_signal(std::move(o1));
+  const SignalId s2 = new_signal(std::move(o2));
+  evaluated_ = false;
+  return {s1, s2};
+}
+
+WaveCascade::SignalId WaveCascade::add_repeater(SignalId src) {
+  use(src, false);
+  Signal s;
+  s.kind = Kind::kRepeater;
+  s.upstream = src;
+  ++repeater_count_;
+  evaluated_ = false;
+  return new_signal(std::move(s));
+}
+
+int WaveCascade::excitation_cells() const {
+  // Primaries and constants are driven transducers; repeaters are clocked
+  // cells; gate stages reuse the incident wave (assumption (v)).
+  return static_cast<int>(primary_count_) +
+         static_cast<int>(std::count_if(
+             signals_.begin(), signals_.end(),
+             [](const Signal& s) { return s.kind == Kind::kConstant; })) +
+         repeater_count_;
+}
+
+void WaveCascade::evaluate(const std::vector<bool>& primary_values) {
+  if (primary_values.size() != primary_count_) {
+    throw std::invalid_argument("WaveCascade: expected " +
+                                std::to_string(primary_count_) +
+                                " primary values");
+  }
+  // Shared physical gate models (stateless between solves).
+  TriangleMajGate maj(maj_design_);
+  TriangleXorGate xr(xor_design_);
+
+  // Per-stage cached results (value and reference), filled in stage order;
+  // signals are created after the stage they reference, so a single pass
+  // in creation order sees the stage operands already computed.
+  std::vector<std::pair<Complex, Complex>> stage_value(gates_.size());
+  std::vector<std::pair<Complex, Complex>> stage_ref(gates_.size());
+  std::vector<bool> stage_done(gates_.size(), false);
+
+  for (Signal& s : signals_) {
+    switch (s.kind) {
+      case Kind::kPrimary: {
+        const double ph = logic_phase(primary_values[s.index]);
+        s.value = Complex{std::cos(ph), std::sin(ph)};
+        s.reference = 1.0;
+        break;
+      }
+      case Kind::kConstant: {
+        const double ph = logic_phase(s.const_value);
+        s.value = Complex{std::cos(ph), std::sin(ph)};
+        s.reference = 1.0;
+        break;
+      }
+      case Kind::kRepeater: {
+        const Signal& up = signals_[s.upstream];
+        const double mag = std::abs(up.value);
+        s.value = mag > 0.0 ? up.value / mag : Complex{1.0, 0.0};
+        s.reference = 1.0;
+        s.encoding = up.encoding;
+        break;
+      }
+      case Kind::kGateOut: {
+        if (!stage_done[s.index]) {
+          const Stage& st = gates_[s.index];
+          std::vector<Complex> in, ref_in;
+          for (SignalId op : st.operands) {
+            in.push_back(signals_[op].value);
+            ref_in.emplace_back(signals_[op].reference, 0.0);
+          }
+          if (st.is_maj) {
+            stage_value[s.index] = maj.solve_wave_phasors(in);
+            stage_ref[s.index] = maj.solve_wave_phasors(ref_in);
+          } else {
+            stage_value[s.index] = xr.solve_wave_phasors(in);
+            stage_ref[s.index] = xr.solve_wave_phasors(ref_in);
+          }
+          stage_done[s.index] = true;
+        }
+        const auto& v = stage_value[s.index];
+        const auto& r = stage_ref[s.index];
+        s.value = s.which == 0 ? v.first : v.second;
+        s.reference = std::abs(s.which == 0 ? r.first : r.second);
+        break;
+      }
+    }
+  }
+  evaluated_ = true;
+}
+
+Complex WaveCascade::phasor(SignalId id) const {
+  if (!evaluated_) {
+    throw std::logic_error("WaveCascade: call evaluate() first");
+  }
+  if (id >= signals_.size()) {
+    throw std::invalid_argument("WaveCascade: unknown signal");
+  }
+  return signals_[id].value;
+}
+
+wavenet::Detection WaveCascade::read_phase(SignalId id) const {
+  const wavenet::PhaseDetector det;
+  return det.detect(phasor(id));
+}
+
+wavenet::Detection WaveCascade::read_threshold(SignalId id,
+                                               double threshold) const {
+  if (!evaluated_) {
+    throw std::logic_error("WaveCascade: call evaluate() first");
+  }
+  if (id >= signals_.size()) {
+    throw std::invalid_argument("WaveCascade: unknown signal");
+  }
+  const wavenet::ThresholdDetector det(threshold);
+  const Signal& s = signals_[id];
+  return det.detect(s.value, s.reference > 0.0 ? s.reference : 1.0);
+}
+
+}  // namespace swsim::core

@@ -1,0 +1,111 @@
+// Wave-level cascading of spin-wave gates.
+//
+// The paper's energy model rests on assumption (v): "the output is passed
+// directly to be used by another SW gate" — no re-transduction between
+// stages. This module makes that assumption testable: gates are chained at
+// the *phasor* level, so a downstream gate is excited by the upstream
+// gate's attenuated, phase-shifted output wave, not by a regenerated logic
+// level. Consequences the logic-level netlist cannot show:
+//
+//   * amplitude decays multiplicatively along a cascade; after enough
+//     stages the signal drops below any practical detection floor and a
+//     repeater (ref. [37]) must regenerate it;
+//   * MAJ outputs are phase-encoded and cascade cleanly; the XOR's output
+//     is amplitude-encoded (Sec. III-B), so an XOR can only terminate a
+//     phase-encoded cascade — feeding it onward requires a normalization
+//     stage (the problem ref. [8] of the paper addresses).
+//
+// The cascade enforces the devices' fan-out of 2 per gate output, exactly
+// like the logic-level Circuit.
+#pragma once
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "core/triangle_gate.h"
+
+namespace swsim::core {
+
+class WaveCascade {
+ public:
+  using SignalId = std::size_t;
+
+  // All gates in the cascade share one device design (one gate type is one
+  // physical layout); the MAJ design is configurable, the XOR design is
+  // derived from it.
+  explicit WaveCascade(const TriangleGateConfig& maj_design);
+  WaveCascade();
+
+  // A primary input: a transducer-launched unit wave carrying the logic
+  // value supplied at evaluate() time (in creation order).
+  SignalId primary();
+
+  // A constant-value transducer wave.
+  SignalId constant(bool value);
+
+  // FO2 MAJ3 stage driven by three upstream waves; returns its two output
+  // signals. Throws std::runtime_error when an operand's fan-out budget
+  // (2) is exhausted.
+  std::pair<SignalId, SignalId> add_maj3(SignalId a, SignalId b, SignalId c);
+
+  // FO2 XOR stage. Its outputs are amplitude-encoded: they may only be
+  // read with read_threshold() or regenerated, not fed to further gates —
+  // add_maj3/add_xor2 on an XOR output throws std::logic_error.
+  std::pair<SignalId, SignalId> add_xor2(SignalId a, SignalId b);
+
+  // Repeater (ref. [37]): regenerates a phase-encoded wave to unit
+  // amplitude, resetting its fan-out budget; costs one excitation cell.
+  SignalId add_repeater(SignalId s);
+
+  // Number of driven transducers per evaluation (primaries + constants +
+  // gate inputs are internal waves; cost counts primaries, constants and
+  // repeaters — gate stages reuse the incoming wave).
+  int excitation_cells() const;
+
+  // Evaluates the cascade for the given primary logic values; afterwards
+  // the read_* functions inspect any signal.
+  void evaluate(const std::vector<bool>& primary_values);
+
+  // Raw phasor of a signal (after evaluate()).
+  std::complex<double> phasor(SignalId s) const;
+  // Phase detection (MAJ-style readout).
+  wavenet::Detection read_phase(SignalId s) const;
+  // Threshold detection (XOR-style readout) against the amplitude the
+  // same signal would carry in the all-constructive case.
+  wavenet::Detection read_threshold(SignalId s, double threshold = 0.5) const;
+
+  std::size_t stage_count() const { return gates_.size(); }
+
+ private:
+  enum class Kind { kPrimary, kConstant, kGateOut, kRepeater };
+  enum class Encoding { kPhase, kAmplitude };
+  struct Signal {
+    Kind kind;
+    Encoding encoding = Encoding::kPhase;
+    std::size_t index = 0;   // primary index / gate index
+    int which = 0;           // gate output 0/1
+    bool const_value = false;
+    SignalId upstream = 0;   // repeater source
+    int fanout = 0;
+    std::complex<double> value{};
+    double reference = 1.0;  // all-constructive amplitude at this signal
+  };
+  struct Stage {
+    bool is_maj = false;
+    std::vector<SignalId> operands;
+  };
+
+  SignalId new_signal(Signal s);
+  void use(SignalId s, bool as_gate_input);
+
+  TriangleGateConfig maj_design_;
+  TriangleGateConfig xor_design_;
+  std::vector<Signal> signals_;
+  std::vector<Stage> gates_;
+  std::size_t primary_count_ = 0;
+  int repeater_count_ = 0;
+  bool evaluated_ = false;
+};
+
+}  // namespace swsim::core

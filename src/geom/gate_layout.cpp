@@ -1,0 +1,329 @@
+#include "geom/gate_layout.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swsim::geom {
+
+namespace {
+
+// True iff v is within tol of a non-negative multiple of 0.5.
+bool is_half_integer(double v, double tol = 1e-9) {
+  const double scaled = v * 2.0;
+  return std::fabs(scaled - std::round(scaled)) <= tol;
+}
+
+}  // namespace
+
+std::string to_string(Port p) {
+  switch (p) {
+    case Port::kIn1: return "I1";
+    case Port::kIn2: return "I2";
+    case Port::kIn3: return "I3";
+    case Port::kOut1: return "O1";
+    case Port::kOut2: return "O2";
+  }
+  return "?";
+}
+
+void TriangleGateParams::validate() const {
+  if (!(wavelength > 0.0)) {
+    throw std::invalid_argument("TriangleGateParams: wavelength must be > 0");
+  }
+  if (!(width > 0.0)) {
+    throw std::invalid_argument("TriangleGateParams: width must be > 0");
+  }
+  // Design rule (Sec. III-A): waveguide width <= lambda so the interference
+  // pattern stays single-moded and clear.
+  if (width > wavelength * (1.0 + 1e-12)) {
+    throw std::invalid_argument(
+        "TriangleGateParams: width must be <= wavelength");
+  }
+  if (!(n_arm > 0.0) || !(n_feed > 0.0) || !(n_axis_half > 0.0)) {
+    throw std::invalid_argument(
+        "TriangleGateParams: arm/feed/axis multiples must be positive");
+  }
+  if (!is_half_integer(n_arm) || !is_half_integer(n_feed) ||
+      !is_half_integer(n_axis_half)) {
+    throw std::invalid_argument(
+        "TriangleGateParams: n_arm, n_feed and n_axis_half must be "
+        "multiples of 1/2 (n*lambda or (n+1/2)*lambda per the design rules)");
+  }
+  if (!(arm_half_angle_deg > 5.0) || !(arm_half_angle_deg < 85.0)) {
+    throw std::invalid_argument(
+        "TriangleGateParams: arm_half_angle_deg must be in (5, 85)");
+  }
+  if (has_third_input) {
+    if (!(n_out >= 0.0) || !is_half_integer(n_out)) {
+      throw std::invalid_argument(
+          "TriangleGateParams: n_out must be a non-negative multiple of 1/2");
+    }
+  } else {
+    if (!(xor_out_distance > 0.0)) {
+      throw std::invalid_argument(
+          "TriangleGateParams: xor_out_distance must be > 0");
+    }
+  }
+}
+
+TriangleGateParams TriangleGateParams::paper_maj3() {
+  TriangleGateParams p;
+  p.wavelength = swsim::math::nm(55);
+  p.width = swsim::math::nm(50);
+  p.n_arm = 6;        // d1 = 330 nm
+  p.n_axis_half = 8;  // d2 = 880 nm total, I3 at the midpoint
+  p.n_feed = 4;       // d3 = 220 nm
+  p.n_out = 1;        // d4 = 55 nm
+  p.has_third_input = true;
+  return p;
+}
+
+TriangleGateParams TriangleGateParams::paper_xor() {
+  TriangleGateParams p = paper_maj3();
+  p.has_third_input = false;
+  p.n_axis_half = 1;  // XOR: minimal axis (no I3 to host)
+  p.xor_out_distance = swsim::math::nm(40);  // d2 of Fig. 4
+  return p;
+}
+
+TriangleGateParams TriangleGateParams::reduced_maj3(double wavelength,
+                                                    double width) {
+  TriangleGateParams p;
+  p.wavelength = wavelength;
+  p.width = width;
+  p.n_arm = 2;
+  p.n_axis_half = 1;
+  p.n_feed = 1;
+  p.n_out = 1;
+  p.has_third_input = true;
+  return p;
+}
+
+TriangleGateParams TriangleGateParams::reduced_xor(double wavelength,
+                                                   double width) {
+  TriangleGateParams p = reduced_maj3(wavelength, width);
+  p.has_third_input = false;
+  p.xor_out_distance = wavelength;
+  return p;
+}
+
+TriangleGateLayout::TriangleGateLayout(const TriangleGateParams& params)
+    : params_(params) {
+  params_.validate();
+
+  const double d1 = params_.d1();
+  const double w = params_.width;
+  const double half_axis = params_.n_axis_half * params_.wavelength;
+  const double out_len = params_.branch_out();
+  const double angle = params_.arm_half_angle_deg * swsim::math::kPi / 180.0;
+
+  v_ = {0, 0, 0};
+  c_ = {half_axis, 0, 0};
+  s_ = {2.0 * half_axis, 0, 0};
+
+  // Input arms approach V from the left at +-angle; output branches leave S
+  // to the right at the mirrored angles.
+  const Vec3 u1{std::cos(angle), std::sin(angle), 0};   // I1 launch (lower)
+  const Vec3 u2{std::cos(angle), -std::sin(angle), 0};  // I2 launch (upper)
+  const Vec3 b1{std::cos(angle), std::sin(angle), 0};   // branch to O1
+  const Vec3 b2{std::cos(angle), -std::sin(angle), 0};  // branch to O2
+
+  const Vec3 i1 = v_ - d1 * u1;
+  const Vec3 i2 = v_ - d1 * u2;
+  const Vec3 o1 = s_ + out_len * b1;
+  const Vec3 o2 = s_ + out_len * b2;
+
+  ports_.push_back({Port::kIn1, i1, u1});
+  ports_.push_back({Port::kIn2, i2, u2});
+  if (params_.has_third_input) {
+    ports_.push_back({Port::kIn3, c_, Vec3{1, 0, 0}});
+  }
+  ports_.push_back({Port::kOut1, o1, b1});
+  ports_.push_back({Port::kOut2, o2, b2});
+
+  body_ = std::make_unique<Union>();
+  // Arms, extended slightly past V so the wedge closes cleanly.
+  body_->add(std::make_unique<Segment>(i1, v_ + (w / 2) * u1, w));
+  body_->add(std::make_unique<Segment>(i2, v_ + (w / 2) * u2, w));
+  // Axis V -> S.
+  body_->add(std::make_unique<Segment>(v_, s_, w));
+  // Output branches, extended half a width beyond the detectors so the
+  // detection regions sit in bulk material.
+  body_->add(std::make_unique<Segment>(s_ - (w / 2) * b1,
+                                       o1 + (w / 2) * b1, w));
+  body_->add(std::make_unique<Segment>(s_ - (w / 2) * b2,
+                                       o2 + (w / 2) * b2, w));
+}
+
+bool TriangleGateLayout::has_port(Port p) const {
+  for (const auto& site : ports_) {
+    if (site.port == p) return true;
+  }
+  return false;
+}
+
+const PortSite& TriangleGateLayout::port(Port p) const {
+  for (const auto& site : ports_) {
+    if (site.port == p) return site;
+  }
+  throw std::invalid_argument("TriangleGateLayout: gate has no port " +
+                              to_string(p));
+}
+
+double TriangleGateLayout::path_length(Port input, Port output) const {
+  if (output != Port::kOut1 && output != Port::kOut2) {
+    throw std::invalid_argument("path_length: second argument must be O1/O2");
+  }
+  const double tail = params_.branch_out();  // S -> detector
+  switch (input) {
+    case Port::kIn1:
+    case Port::kIn2:
+      return params_.d1() + params_.d2() + tail;
+    case Port::kIn3:
+      if (!params_.has_third_input) {
+        throw std::invalid_argument("path_length: XOR layout has no I3");
+      }
+      return params_.d2() / 2.0 + tail;
+    default:
+      throw std::invalid_argument(
+          "path_length: first argument must be an input port");
+  }
+}
+
+Rect TriangleGateLayout::bounding_box(double margin) const {
+  double x0 = v_.x, x1 = s_.x, y0 = v_.y, y1 = v_.y;
+  for (const auto& site : ports_) {
+    x0 = std::min(x0, site.center.x);
+    x1 = std::max(x1, site.center.x);
+    y0 = std::min(y0, site.center.y);
+    y1 = std::max(y1, site.center.y);
+  }
+  const double pad = margin + params_.width;
+  return Rect(x0 - pad, y0 - pad, x1 + pad, y1 + pad);
+}
+
+Mask TriangleGateLayout::body_mask(const Grid& grid) const {
+  return rasterize(grid, *body_);
+}
+
+Mask TriangleGateLayout::port_mask(const Grid& grid, Port p,
+                                   double extent) const {
+  const PortSite& site = port(p);
+  const Vec3 half = site.direction * (extent / 2.0);
+  const Segment patch(site.center - half, site.center + half, params_.width);
+  Mask m = rasterize(grid, patch);
+  m &= body_mask(grid);
+  return m;
+}
+
+// --- Ladder baseline ---------------------------------------------------------
+
+void LadderGateParams::validate() const {
+  if (!(wavelength > 0.0) || !(width > 0.0)) {
+    throw std::invalid_argument("LadderGateParams: dimensions must be > 0");
+  }
+  if (width > wavelength * (1.0 + 1e-12)) {
+    throw std::invalid_argument("LadderGateParams: width must be <= lambda");
+  }
+  if (!(n_rail > 0.0) || !(n_rung > 0.0) || !(n_out >= 0.0)) {
+    throw std::invalid_argument("LadderGateParams: multiples must be >= 0");
+  }
+}
+
+std::string to_string(LadderPort p) {
+  switch (p) {
+    case LadderPort::kIn1: return "I1";
+    case LadderPort::kIn2: return "I2";
+    case LadderPort::kIn3: return "I3";
+    case LadderPort::kIn3Replica: return "I3r";
+    case LadderPort::kOut1: return "O1";
+    case LadderPort::kOut2: return "O2";
+  }
+  return "?";
+}
+
+LadderGateLayout::LadderGateLayout(const LadderGateParams& params)
+    : params_(params) {
+  params_.validate();
+
+  const double lam = params_.wavelength;
+  const double w = params_.width;
+  const double h = 0.5 * params_.n_rung * lam;     // rail offset from center
+  const double half_rail = 0.5 * params_.n_rail * lam;
+  const double out = std::max(params_.n_out, 0.5) * lam;
+
+  // Rail A (top, y = +h): I1 -> P -> Q1 -> O1; rail B (bottom, y = -h):
+  // I3r -> Q2 -> O2. The rung P--Q2 is vertical at x = 0; stub inputs I2
+  // (at P) and I3 (at Q1) hang above rail A.
+  const Vec3 p{0, h, 0};
+  const Vec3 q1{half_rail, h, 0};
+  const Vec3 q2{0, -h, 0};
+  const Vec3 i1{-half_rail, h, 0};
+  const Vec3 i2{0, h + half_rail, 0};
+  const Vec3 i3{half_rail, h + half_rail, 0};
+  const Vec3 i3r{-half_rail, -h, 0};
+  const Vec3 o1{half_rail + out, h, 0};
+  const Vec3 o2{half_rail + out, -h, 0};
+
+  ports_.push_back({LadderPort::kIn1, i1, Vec3{1, 0, 0}});
+  ports_.push_back({LadderPort::kIn2, i2, Vec3{0, -1, 0}});
+  ports_.push_back({LadderPort::kIn3, i3, Vec3{0, -1, 0}});
+  ports_.push_back({LadderPort::kIn3Replica, i3r, Vec3{1, 0, 0}});
+  ports_.push_back({LadderPort::kOut1, o1, Vec3{1, 0, 0}});
+  ports_.push_back({LadderPort::kOut2, o2, Vec3{1, 0, 0}});
+
+  body_ = std::make_unique<Union>();
+  body_->add(std::make_unique<Segment>(i1, o1 + Vec3{w / 2, 0, 0}, w));
+  body_->add(std::make_unique<Segment>(i3r, o2 + Vec3{w / 2, 0, 0}, w));
+  body_->add(std::make_unique<Segment>(p, q2, w));      // rung
+  body_->add(std::make_unique<Segment>(i2, p, w));      // I2 stub
+  body_->add(std::make_unique<Segment>(i3, q1, w));     // I3 stub
+}
+
+const LadderPortSite& LadderGateLayout::port(LadderPort p) const {
+  for (const auto& site : ports_) {
+    if (site.port == p) return site;
+  }
+  throw std::invalid_argument("LadderGateLayout: no port " + to_string(p));
+}
+
+Rect LadderGateLayout::bounding_box(double margin) const {
+  double x0 = ports_.front().center.x, x1 = x0;
+  double y0 = ports_.front().center.y, y1 = y0;
+  for (const auto& site : ports_) {
+    x0 = std::min(x0, site.center.x);
+    x1 = std::max(x1, site.center.x);
+    y0 = std::min(y0, site.center.y);
+    y1 = std::max(y1, site.center.y);
+  }
+  const double pad = margin + params_.width;
+  return Rect(x0 - pad, y0 - pad, x1 + pad, y1 + pad);
+}
+
+Mask LadderGateLayout::body_mask(const Grid& grid) const {
+  return rasterize(grid, *body_);
+}
+
+int LadderGateLayout::excitation_cells() const {
+  // Refs. [22]/[23]: fan-out in the ladder needs one extra excitation
+  // transducer: the MAJ replicates one of its 3 inputs (-> 4), the
+  // programmable XOR replicates both of its 2 inputs (-> 4).
+  return 4;
+}
+
+double LadderGateLayout::path_length(int logical_input, int output) const {
+  const int max_input = params_.is_xor ? 1 : 2;
+  if (logical_input < 0 || logical_input > max_input) {
+    throw std::invalid_argument("LadderGateLayout: bad logical input index");
+  }
+  if (output < 0 || output > 1) {
+    throw std::invalid_argument("LadderGateLayout: bad output index");
+  }
+  // Thanks to replication every logical input has a same-rail route to each
+  // output: rail transit plus the output stub. The replicated copy on the
+  // far rail covers the other output, so no rung transit appears in the
+  // first-order path; the rung only carries the synchronization wave.
+  return (params_.n_rail + params_.n_out) * params_.wavelength;
+}
+
+}  // namespace swsim::geom

@@ -1,0 +1,214 @@
+// Parametric layout of the paper's triangle-shape fan-out-of-2 gates.
+//
+// Reconstruction of Fig. 3 / Fig. 4. The paper gives dimension labels and
+// values but no coordinates; the layout below is the one consistent with
+// (a) the operation description of Sec. III (two interference stages, two
+// identical outputs, no input replication, equal-level excitation), (b) the
+// multiplicity of the dimension labels in the figures (d1 x4, d2 x2, d3 x2,
+// d4 x2), and (c) micromagnetically sound wave routing (the combined wave
+// never has to turn a sharp corner):
+//
+//   I2 .                                . O1     <- detector, d4 past the tap
+//        \ d1                      d3 /
+//         \            I3            /           <- J1/J2 taps at d3 from S
+//          V-----------C------------S
+//         /   d2/2          d2/2     \.
+//        / d1                      d3 \.
+//   I1 .                                . O2
+//
+// * I1 and I2 excite spin waves on the two input arms (length d1 = n1
+//   lambda each) that merge and interfere at the triangle vertex V — the
+//   first interference stage.
+// * The combined wave runs along the axis V -> S (total length d2, an
+//   integer number of wavelengths). The I3 antenna sits transparently at
+//   the axis midpoint C, adding its wave — the second interference stage.
+// * At the splitter vertex S the total splits symmetrically into the two
+//   output branches: the fan-out of 2. The branch taps J1/J2 sit d3 from S
+//   and the detectors d4 further. d4 = n lambda gives the non-inverted
+//   gate, d4 = (n + 1/2) lambda the inverting one.
+//
+// The two halves (I1-V-I2 wedge and O1-S-O2 fork) are the "triangle
+// shapes" of the title. The XOR gate (Fig. 4) is the same structure with
+// I3 removed; its detectors sit `xor_out_distance` (paper: 40 nm, "as
+// close as possible") beyond S because threshold detection wants maximum
+// amplitude, not a particular phase.
+//
+// Every propagation path is a sum of the nominal multiples of lambda, so
+// the paper's design rules (n lambda for like-phase constructive
+// interference, (n+1/2) lambda for the inverted behaviour) apply verbatim.
+// All dimensions are expressed in multiples of the design wavelength so
+// the same builder produces the paper-scale device and the reduced-scale
+// micromagnetic test articles.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geom/shape.h"
+#include "math/constants.h"
+
+namespace swsim::geom {
+
+// Which port of a gate a region belongs to.
+enum class Port { kIn1, kIn2, kIn3, kOut1, kOut2 };
+
+std::string to_string(Port p);
+
+struct PortSite {
+  Port port;
+  Vec3 center;        // antenna / detector center position
+  Vec3 direction;     // unit vector: wave launch direction (inputs) or
+                      // arrival direction (outputs)
+};
+
+struct TriangleGateParams {
+  double wavelength = swsim::math::nm(55);
+  double width = swsim::math::nm(50);  // must be <= wavelength (Sec. III-A)
+  // Arm length |Ii -> V| in wavelengths (paper: 6 -> d1 = 330 nm).
+  double n_arm = 6;
+  // Half-axis |V -> C| = |C -> S| in wavelengths; the paper's d2 = 880 nm
+  // is the full axis, so 8 per half.
+  double n_axis_half = 8;
+  // Branch tap distance |S -> Jk| in wavelengths (paper: 4 -> d3 = 220 nm).
+  double n_feed = 4;
+  // Tap-to-detector distance |Jk -> Ok| in wavelengths (paper MAJ: 1 ->
+  // d4 = 55 nm). Integer -> non-inverted output; integer + 0.5 -> inverted.
+  double n_out = 1;
+  // Half-opening angle of the input wedge at V and the output fork at S,
+  // in degrees. Shallow angles keep the merge/split adiabatic.
+  double arm_half_angle_deg = 35;
+  bool has_third_input = true;  // false -> XOR structure (Fig. 4)
+  // XOR-only: absolute splitter->detector distance (paper: 40 nm). Ignored
+  // when has_third_input is true.
+  double xor_out_distance = swsim::math::nm(40);
+
+  // Throws std::invalid_argument when the parameter set violates a design
+  // rule (width > lambda, non-positive dimensions, non-(half-)integer
+  // multiples where one is required, ...).
+  void validate() const;
+
+  double lambda() const { return wavelength; }
+  double d1() const { return n_arm * wavelength; }
+  double d2() const { return 2.0 * n_axis_half * wavelength; }  // full axis
+  double d3() const { return n_feed * wavelength; }
+  double d4() const { return n_out * wavelength; }
+  // Splitter-to-detector distance along a branch.
+  double branch_out() const {
+    return has_third_input ? d3() + d4() : xor_out_distance;
+  }
+
+  // Paper-scale parameter sets.
+  static TriangleGateParams paper_maj3();
+  static TriangleGateParams paper_xor();
+  // Reduced-scale sets used for CPU-feasible micromagnetic validation; the
+  // n-lambda / (n+1/2)-lambda design rules are identical, only the
+  // multiples shrink.
+  static TriangleGateParams reduced_maj3(double wavelength, double width);
+  static TriangleGateParams reduced_xor(double wavelength, double width);
+};
+
+// Fully resolved layout: coordinates, shapes, port sites and path lengths.
+class TriangleGateLayout {
+ public:
+  explicit TriangleGateLayout(const TriangleGateParams& params);
+
+  const TriangleGateParams& params() const { return params_; }
+
+  // Key coordinates (see diagram above).
+  const Vec3& merge_point() const { return v_; }    // V: arm merge
+  const Vec3& tap_point() const { return c_; }      // C: I3 antenna site
+  const Vec3& split_point() const { return s_; }    // S: branch splitter
+
+  const std::vector<PortSite>& ports() const { return ports_; }
+  const PortSite& port(Port p) const;
+  bool has_port(Port p) const;
+
+  // The waveguide body as a shape (union of segments).
+  const Shape& body() const { return *body_; }
+
+  // Physical path length from an input port to an output port following the
+  // waveguide (I1/I2 -> V -> S -> O; I3 -> C -> S -> O). Throws on a
+  // (port, port) pair that is not an (input, output) combination.
+  double path_length(Port input, Port output) const;
+
+  // Bounding box of the body with a margin (used to size simulation grids).
+  Rect bounding_box(double margin) const;
+
+  // Rasterizes the body onto `grid`.
+  Mask body_mask(const Grid& grid) const;
+
+  // Rasterizes an antenna/detector region: a patch of waveguide centered on
+  // the port site, `extent` long along the local propagation direction.
+  Mask port_mask(const Grid& grid, Port p, double extent) const;
+
+ private:
+  TriangleGateParams params_;
+  Vec3 v_, c_, s_;
+  std::vector<PortSite> ports_;
+  std::unique_ptr<Union> body_;
+};
+
+// Ladder-shape fan-out-of-2 gate of refs. [22]/[23] — the baseline the paper
+// compares against. Its defining costs: one input must be *replicated*
+// (an extra excitation transducer), and the rungs force unequal excitation
+// levels. We model the topology for the wave-network backend plus the
+// transducer count for the energy model.
+struct LadderGateParams {
+  double wavelength = swsim::math::nm(55);
+  double width = swsim::math::nm(50);
+  double n_rail = 6;   // input -> rung junction distance, in wavelengths
+  double n_rung = 4;   // rung length between the two rails, in wavelengths
+  double n_out = 1;    // junction -> output distance, in wavelengths
+  bool is_xor = false;
+  void validate() const;
+};
+
+// The ladder's transducer sites (note the replicated input I3r — the extra
+// excitation cell the triangle design eliminates).
+enum class LadderPort { kIn1, kIn2, kIn3, kIn3Replica, kOut1, kOut2 };
+
+std::string to_string(LadderPort p);
+
+struct LadderPortSite {
+  LadderPort port;
+  Vec3 center;
+  Vec3 direction;
+};
+
+class LadderGateLayout {
+ public:
+  explicit LadderGateLayout(const LadderGateParams& params);
+
+  const LadderGateParams& params() const { return params_; }
+  // Number of excitation transducers (MAJ: 4 — one input replicated;
+  // XOR: 4 — both inputs replicated, per [23]).
+  int excitation_cells() const;
+  // Number of detection transducers (always 2: fan-out of 2).
+  int detection_cells() const { return 2; }
+  // Whether the design requires inputs excited at different energy levels
+  // (true for the ladder per Sec. IV-D; a cost the triangle avoids).
+  bool requires_unequal_excitation() const { return true; }
+
+  // Path length from logical input (0..2; replicated copies share the
+  // logical index) to output (0..1) along the rails/rungs.
+  double path_length(int logical_input, int output) const;
+
+  // Full 2D reconstruction (two rails at +-n_rung/2 lambda, a vertical
+  // rung carrying the merged wave between them, input stubs on top):
+  // body shape, port sites and bounding box — enough to rasterize the
+  // device and to compute its area for the comparisons.
+  const Shape& body() const { return *body_; }
+  const std::vector<LadderPortSite>& ports() const { return ports_; }
+  const LadderPortSite& port(LadderPort p) const;
+  Rect bounding_box(double margin) const;
+  Mask body_mask(const Grid& grid) const;
+
+ private:
+  LadderGateParams params_;
+  std::vector<LadderPortSite> ports_;
+  std::unique_ptr<Union> body_;
+};
+
+}  // namespace swsim::geom

@@ -1,0 +1,101 @@
+#include "geom/roughness.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace swsim::geom {
+
+using swsim::math::Grid;
+using swsim::math::Mask;
+using swsim::math::Pcg32;
+
+namespace {
+
+// Correlated unit-variance noise sequence: first-order autoregressive
+// process with correlation rho per step.
+std::vector<double> ar1_noise(std::size_t n, double rho, Pcg32& rng) {
+  std::vector<double> out(n);
+  const double innov = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  double v = rng.normal();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = v;
+    v = rho * v + innov * rng.normal();
+  }
+  return out;
+}
+
+}  // namespace
+
+Mask apply_edge_roughness(const Mask& mask, const RoughnessParams& params) {
+  if (params.amplitude <= 0.0) return mask;
+  const Grid& g = mask.grid();
+  Pcg32 rng(params.seed);
+
+  // Boundary displacement is applied along both grid axes so diagonal
+  // waveguides roughen as well: a cell flips if its distance to the
+  // material boundary is within the local noise displacement.
+  const double rho_x =
+      params.correlation_length > 0.0
+          ? std::exp(-g.dx() / params.correlation_length)
+          : 0.0;
+  const double rho_y =
+      params.correlation_length > 0.0
+          ? std::exp(-g.dy() / params.correlation_length)
+          : 0.0;
+  // Two independent correlated profiles, indexed by column and row.
+  const auto noise_x = ar1_noise(g.nx(), rho_x, rng);
+  const auto noise_y = ar1_noise(g.ny(), rho_y, rng);
+
+  auto boundary = [&](std::size_t ix, std::size_t iy, std::size_t iz) {
+    const bool inside = mask.at(ix, iy, iz);
+    auto differs = [&](long dx, long dy) {
+      const long jx = static_cast<long>(ix) + dx;
+      const long jy = static_cast<long>(iy) + dy;
+      if (jx < 0 || jy < 0 || jx >= static_cast<long>(g.nx()) ||
+          jy >= static_cast<long>(g.ny())) {
+        return inside;  // material touching the box edge counts as boundary
+      }
+      return mask.at(static_cast<std::size_t>(jx), static_cast<std::size_t>(jy),
+                     iz) != inside;
+    };
+    return differs(1, 0) || differs(-1, 0) || differs(0, 1) || differs(0, -1);
+  };
+
+  Mask out = mask;
+  for (std::size_t iz = 0; iz < g.nz(); ++iz) {
+    for (std::size_t iy = 0; iy < g.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < g.nx(); ++ix) {
+        if (!boundary(ix, iy, iz)) continue;
+        // Local displacement in meters; positive pushes the edge outward.
+        const double disp =
+            0.5 * params.amplitude * (noise_x[ix] + noise_y[iy]);
+        const bool inside = mask.at(ix, iy, iz);
+        const double cell = 0.5 * std::min(g.dx(), g.dy());
+        if (inside && disp < -cell) {
+          out.set(g.index(ix, iy, iz), false);  // edge recedes: cell removed
+        } else if (!inside && disp > cell) {
+          out.set(g.index(ix, iy, iz), true);  // edge advances: cell added
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double trapezoid_effective_width(double top_width, double thickness,
+                                 double sidewall_angle) {
+  if (!(top_width > 0.0) || !(thickness > 0.0)) {
+    throw std::invalid_argument(
+        "trapezoid_effective_width: dimensions must be positive");
+  }
+  const double loss = thickness * std::tan(std::fabs(sidewall_angle));
+  const double eff = top_width - loss;
+  if (!(eff > 0.0)) {
+    throw std::invalid_argument(
+        "trapezoid_effective_width: sidewall angle consumes entire width");
+  }
+  return eff;
+}
+
+}  // namespace swsim::geom

@@ -1,0 +1,36 @@
+// Fabrication-variability models: waveguide edge roughness and trapezoidal
+// cross-section (Sec. IV-D of the paper; effects studied in refs. [36][43]).
+//
+// Edge roughness perturbs the rasterized mask: each boundary column/row of
+// the waveguide gains or loses cells following a correlated random walk,
+// emulating line-edge roughness with a given amplitude and correlation
+// length. The trapezoid model maps a sidewall angle to an effective width
+// reduction used by the analytical backend.
+#pragma once
+
+#include "math/field.h"
+#include "math/rng.h"
+
+namespace swsim::geom {
+
+struct RoughnessParams {
+  double amplitude = 0.0;           // peak edge displacement [m]
+  double correlation_length = 0.0;  // along-edge correlation [m]
+  std::uint64_t seed = 1;
+};
+
+// Returns a copy of `mask` with rough edges. Cells are only ever
+// added/removed within `amplitude` of the original boundary, so the
+// structure's topology (connectivity of the waveguide network) is preserved
+// for amplitudes below half the waveguide width.
+swsim::math::Mask apply_edge_roughness(const swsim::math::Mask& mask,
+                                       const RoughnessParams& params);
+
+// Effective magnetic width of a trapezoidal-cross-section waveguide: a
+// sidewall angle theta (radians from vertical) on a film of thickness t
+// loses t*tan(theta) of full-thickness material on each side.
+// Throws std::invalid_argument if the resulting width would be <= 0.
+double trapezoid_effective_width(double top_width, double thickness,
+                                 double sidewall_angle);
+
+}  // namespace swsim::geom

@@ -1,0 +1,108 @@
+#include "geom/shape.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace swsim::geom {
+
+Rect::Rect(double x0, double y0, double x1, double y1)
+    : x0_(x0), y0_(y0), x1_(x1), y1_(y1) {
+  if (!(x1 > x0) || !(y1 > y0)) {
+    throw std::invalid_argument("Rect: requires x1 > x0 and y1 > y0");
+  }
+}
+
+bool Rect::contains(const Vec3& p) const {
+  return p.x >= x0_ && p.x <= x1_ && p.y >= y0_ && p.y <= y1_;
+}
+
+Segment::Segment(const Vec3& a, const Vec3& b, double width)
+    : a_{a.x, a.y, 0}, b_{b.x, b.y, 0}, width_(width) {
+  if (!(width > 0.0)) {
+    throw std::invalid_argument("Segment: width must be positive");
+  }
+  length_ = swsim::math::distance(a_, b_);
+  if (length_ == 0.0) {
+    throw std::invalid_argument("Segment: endpoints coincide");
+  }
+  axis_ = (b_ - a_) / length_;
+}
+
+bool Segment::contains(const Vec3& p) const {
+  const Vec3 q{p.x - a_.x, p.y - a_.y, 0};
+  const double along = q.x * axis_.x + q.y * axis_.y;
+  if (along < 0.0 || along > length_) return false;
+  const double across = std::fabs(q.x * (-axis_.y) + q.y * axis_.x);
+  return across <= width_ / 2.0;
+}
+
+Circle::Circle(const Vec3& center, double radius)
+    : center_{center.x, center.y, 0}, radius_(radius) {
+  if (!(radius > 0.0)) {
+    throw std::invalid_argument("Circle: radius must be positive");
+  }
+}
+
+bool Circle::contains(const Vec3& p) const {
+  const double dx = p.x - center_.x;
+  const double dy = p.y - center_.y;
+  return dx * dx + dy * dy <= radius_ * radius_;
+}
+
+Polygon::Polygon(std::vector<Vec3> vertices) : vertices_(std::move(vertices)) {
+  if (vertices_.size() < 3) {
+    throw std::invalid_argument("Polygon: need at least 3 vertices");
+  }
+}
+
+bool Polygon::contains(const Vec3& p) const {
+  // Even-odd ray casting along +x.
+  bool inside = false;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec3& vi = vertices_[i];
+    const Vec3& vj = vertices_[j];
+    const bool crosses = (vi.y > p.y) != (vj.y > p.y);
+    if (crosses) {
+      const double x_at =
+          vj.x + (p.y - vj.y) * (vi.x - vj.x) / (vi.y - vj.y);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool Union::contains(const Vec3& p) const {
+  for (const auto& s : parts_) {
+    if (s->contains(p)) return true;
+  }
+  return false;
+}
+
+Difference::Difference(std::unique_ptr<Shape> base,
+                       std::unique_ptr<Shape> subtracted)
+    : base_(std::move(base)), sub_(std::move(subtracted)) {
+  if (!base_ || !sub_) {
+    throw std::invalid_argument("Difference: null operand");
+  }
+}
+
+bool Difference::contains(const Vec3& p) const {
+  return base_->contains(p) && !sub_->contains(p);
+}
+
+Mask rasterize(const Grid& grid, const Shape& shape) {
+  Mask mask(grid);
+  for (std::size_t iy = 0; iy < grid.ny(); ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx(); ++ix) {
+      const Vec3 c = grid.cell_center(ix, iy, 0);
+      if (!shape.contains(c)) continue;
+      for (std::size_t iz = 0; iz < grid.nz(); ++iz) {
+        mask.set(grid.index(ix, iy, iz), true);
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace swsim::geom

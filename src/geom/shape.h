@@ -1,0 +1,112 @@
+// 2D shape primitives and boolean combinations, rasterizable to cell masks.
+//
+// Device geometries (the triangle gate of Fig. 3/4, the ladder baseline) are
+// described as unions of oriented rectangular waveguide segments; the
+// micromagnetic solver consumes the rasterized Mask. Shapes operate in the
+// xy-plane (the film plane); z is ignored.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "math/field.h"
+#include "math/grid.h"
+#include "math/vec3.h"
+
+namespace swsim::geom {
+
+using swsim::math::Grid;
+using swsim::math::Mask;
+using swsim::math::Vec3;
+
+class Shape {
+ public:
+  virtual ~Shape() = default;
+  // True iff point p (z ignored) is inside the shape.
+  virtual bool contains(const Vec3& p) const = 0;
+};
+
+// Axis-aligned rectangle [x0, x1] x [y0, y1].
+class Rect final : public Shape {
+ public:
+  Rect(double x0, double y0, double x1, double y1);
+  bool contains(const Vec3& p) const override;
+
+  double x0() const { return x0_; }
+  double y0() const { return y0_; }
+  double x1() const { return x1_; }
+  double y1() const { return y1_; }
+  Vec3 center() const { return {(x0_ + x1_) / 2, (y0_ + y1_) / 2, 0}; }
+
+ private:
+  double x0_, y0_, x1_, y1_;
+};
+
+// A waveguide segment: rectangle of width `width` whose axis runs from a to b
+// (inclusive of the end caps, so consecutive segments overlap cleanly).
+class Segment final : public Shape {
+ public:
+  Segment(const Vec3& a, const Vec3& b, double width);
+  bool contains(const Vec3& p) const override;
+
+  const Vec3& a() const { return a_; }
+  const Vec3& b() const { return b_; }
+  double width() const { return width_; }
+  double length() const { return length_; }
+
+ private:
+  Vec3 a_, b_;
+  double width_;
+  double length_;
+  Vec3 axis_;  // unit vector a -> b
+};
+
+// Circle (disk) of given center and radius.
+class Circle final : public Shape {
+ public:
+  Circle(const Vec3& center, double radius);
+  bool contains(const Vec3& p) const override;
+
+ private:
+  Vec3 center_;
+  double radius_;
+};
+
+// Simple polygon (even-odd rule). Vertices in order; closed implicitly.
+class Polygon final : public Shape {
+ public:
+  explicit Polygon(std::vector<Vec3> vertices);
+  bool contains(const Vec3& p) const override;
+
+ private:
+  std::vector<Vec3> vertices_;
+};
+
+// Union of owned sub-shapes.
+class Union final : public Shape {
+ public:
+  Union() = default;
+  void add(std::unique_ptr<Shape> s) { parts_.push_back(std::move(s)); }
+  bool contains(const Vec3& p) const override;
+  std::size_t size() const { return parts_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Shape>> parts_;
+};
+
+// base minus subtracted.
+class Difference final : public Shape {
+ public:
+  Difference(std::unique_ptr<Shape> base, std::unique_ptr<Shape> subtracted);
+  bool contains(const Vec3& p) const override;
+
+ private:
+  std::unique_ptr<Shape> base_;
+  std::unique_ptr<Shape> sub_;
+};
+
+// Rasterizes a shape onto a grid by cell-center sampling: a cell is occupied
+// iff its center lies inside the shape. All z-layers get the same footprint.
+Mask rasterize(const Grid& grid, const Shape& shape);
+
+}  // namespace swsim::geom

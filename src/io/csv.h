@@ -1,0 +1,27 @@
+// Minimal CSV writer with RFC-4180-style quoting.
+//
+// Bench binaries dump their sweep data as CSV next to the console tables so
+// the figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace swsim::io {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) the file; throws std::runtime_error if it cannot.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  // Quotes a cell if it contains a comma, quote, or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace swsim::io

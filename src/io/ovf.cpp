@@ -1,0 +1,118 @@
+#include "io/ovf.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swsim::io {
+
+using swsim::math::Grid;
+using swsim::math::Vec3;
+using swsim::math::VectorField;
+
+void write_ovf(const std::string& path, const VectorField& field,
+               const std::string& title) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_ovf: cannot open " + path);
+  const Grid& g = field.grid();
+
+  out << "# OOMMF OVF 2.0\n"
+      << "# Segment count: 1\n"
+      << "# Begin: Segment\n"
+      << "# Begin: Header\n"
+      << "# Title: " << title << '\n'
+      << "# meshtype: rectangular\n"
+      << "# meshunit: m\n"
+      << "# valueunit: 1\n"
+      << "# valuedim: 3\n"
+      << "# xmin: 0\n# ymin: 0\n# zmin: 0\n"
+      << "# xmax: " << g.size_x() << '\n'
+      << "# ymax: " << g.size_y() << '\n'
+      << "# zmax: " << g.size_z() << '\n'
+      << "# xnodes: " << g.nx() << '\n'
+      << "# ynodes: " << g.ny() << '\n'
+      << "# znodes: " << g.nz() << '\n'
+      << "# xstepsize: " << g.dx() << '\n'
+      << "# ystepsize: " << g.dy() << '\n'
+      << "# zstepsize: " << g.dz() << '\n'
+      << "# End: Header\n"
+      << "# Begin: Data Text\n";
+  out.precision(9);
+  for (std::size_t z = 0; z < g.nz(); ++z) {
+    for (std::size_t y = 0; y < g.ny(); ++y) {
+      for (std::size_t x = 0; x < g.nx(); ++x) {
+        const Vec3& v = field.at(x, y, z);
+        out << v.x << ' ' << v.y << ' ' << v.z << '\n';
+      }
+    }
+  }
+  out << "# End: Data Text\n"
+      << "# End: Segment\n";
+  if (!out) throw std::runtime_error("write_ovf: write failed for " + path);
+}
+
+VectorField read_ovf(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_ovf: cannot open " + path);
+
+  std::size_t nx = 0, ny = 0, nz = 0;
+  double dx = 0.0, dy = 0.0, dz = 0.0;
+  std::string line;
+  bool in_data = false;
+
+  auto header_value = [](const std::string& l) {
+    const auto colon = l.find(':');
+    return colon == std::string::npos ? std::string{}
+                                      : l.substr(colon + 1);
+  };
+
+  std::vector<Vec3> values;
+  while (std::getline(in, line)) {
+    if (line.rfind("# Begin: Data Text", 0) == 0) {
+      in_data = true;
+      continue;
+    }
+    if (line.rfind("# End: Data", 0) == 0) {
+      in_data = false;
+      continue;
+    }
+    if (!line.empty() && line[0] == '#') {
+      if (line.find("xnodes:") != std::string::npos) {
+        nx = std::stoul(header_value(line));
+      } else if (line.find("ynodes:") != std::string::npos) {
+        ny = std::stoul(header_value(line));
+      } else if (line.find("znodes:") != std::string::npos) {
+        nz = std::stoul(header_value(line));
+      } else if (line.find("xstepsize:") != std::string::npos) {
+        dx = std::stod(header_value(line));
+      } else if (line.find("ystepsize:") != std::string::npos) {
+        dy = std::stod(header_value(line));
+      } else if (line.find("zstepsize:") != std::string::npos) {
+        dz = std::stod(header_value(line));
+      }
+      continue;
+    }
+    if (in_data) {
+      std::istringstream ls(line);
+      Vec3 v;
+      if (ls >> v.x >> v.y >> v.z) values.push_back(v);
+    }
+  }
+
+  if (nx == 0 || ny == 0 || nz == 0 || !(dx > 0.0) || !(dy > 0.0) ||
+      !(dz > 0.0)) {
+    throw std::runtime_error("read_ovf: missing or invalid mesh header in " +
+                             path);
+  }
+  if (values.size() != nx * ny * nz) {
+    throw std::runtime_error("read_ovf: data count mismatch in " + path);
+  }
+
+  const Grid g(nx, ny, nz, dx, dy, dz);
+  VectorField field(g);
+  // OVF data order: x fastest, then y, then z — same as our linear index.
+  for (std::size_t i = 0; i < values.size(); ++i) field[i] = values[i];
+  return field;
+}
+
+}  // namespace swsim::io

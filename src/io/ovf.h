@@ -1,0 +1,24 @@
+// OVF 2.0 (OOMMF Vector Field) text I/O.
+//
+// The interchange format of the micromagnetic world: MuMax3 and OOMMF both
+// read/write it, so fields simulated here can be compared against those
+// packages (and vice versa). Only the rectangular-mesh, text-data subset
+// is implemented — the part the ecosystem actually uses for m-files.
+#pragma once
+
+#include <string>
+
+#include "math/field.h"
+
+namespace swsim::io {
+
+// Writes a vector field as OVF 2.0 text. `title` lands in the Title
+// header. Throws std::runtime_error when the file cannot be written.
+void write_ovf(const std::string& path, const swsim::math::VectorField& field,
+               const std::string& title = "swsim magnetization");
+
+// Reads an OVF 2.0 text file written by write_ovf (or by MuMax3/OOMMF with
+// text data). Throws std::runtime_error on malformed input.
+swsim::math::VectorField read_ovf(const std::string& path);
+
+}  // namespace swsim::io

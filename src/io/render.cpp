@@ -1,0 +1,100 @@
+#include "io/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace swsim::io {
+
+namespace {
+
+using swsim::math::Mask;
+using swsim::math::ScalarField;
+
+// Downsampling step so wide fields still fit a terminal.
+std::size_t stride_for(std::size_t nx, std::size_t max_width) {
+  std::size_t stride = 1;
+  while (nx / stride > max_width) ++stride;
+  return stride;
+}
+
+bool cell_active(const Mask* mask, std::size_t ix, std::size_t iy,
+                 std::size_t iz) {
+  return mask == nullptr || mask->at(ix, iy, iz);
+}
+
+}  // namespace
+
+std::string ascii_map(const ScalarField& f, double scale, const Mask* mask,
+                      std::size_t iz, std::size_t max_width) {
+  static const char kPos[] = {'.', ':', '-', '=', '+', '*', '#', '%', '@'};
+  static const char kNeg[] = {',', ';', '~', 'o', 'x', 'w', 'W', '&', 'M'};
+  const auto& g = f.grid();
+  const std::size_t stride = stride_for(g.nx(), max_width);
+  std::ostringstream os;
+  for (std::size_t yy = g.ny(); yy-- > 0;) {
+    if (yy % stride != 0) continue;
+    for (std::size_t xx = 0; xx < g.nx(); xx += stride) {
+      if (!cell_active(mask, xx, yy, iz)) {
+        os << ' ';
+        continue;
+      }
+      const double v = f.at(xx, yy, iz);
+      const double a = scale > 0.0 ? std::clamp(std::fabs(v) / scale, 0.0, 1.0)
+                                   : 0.0;
+      if (a < 1.0 / 9.0) {
+        os << ' ';
+      } else {
+        const auto idx = std::min<std::size_t>(
+            static_cast<std::size_t>(a * 9.0), 8);
+        os << (v >= 0.0 ? kPos[idx] : kNeg[idx]);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string sign_map(const ScalarField& f, double threshold, const Mask* mask,
+                     std::size_t iz, std::size_t max_width) {
+  const auto& g = f.grid();
+  const std::size_t stride = stride_for(g.nx(), max_width);
+  std::ostringstream os;
+  for (std::size_t yy = g.ny(); yy-- > 0;) {
+    if (yy % stride != 0) continue;
+    for (std::size_t xx = 0; xx < g.nx(); xx += stride) {
+      if (!cell_active(mask, xx, yy, iz)) {
+        os << ' ';
+        continue;
+      }
+      const double v = f.at(xx, yy, iz);
+      os << (v > threshold ? '+' : (v < -threshold ? '-' : '0'));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_pgm(const std::string& path, const ScalarField& f, double scale,
+               const Mask* mask, std::size_t iz) {
+  const auto& g = f.grid();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << g.nx() << ' ' << g.ny() << "\n255\n";
+  for (std::size_t yy = g.ny(); yy-- > 0;) {
+    for (std::size_t xx = 0; xx < g.nx(); ++xx) {
+      unsigned char px = 0;
+      if (cell_active(mask, xx, yy, iz) && scale > 0.0) {
+        const double t =
+            std::clamp((f.at(xx, yy, iz) / scale + 1.0) * 0.5, 0.0, 1.0);
+        px = static_cast<unsigned char>(std::lround(t * 255.0));
+      }
+      out.put(static_cast<char>(px));
+    }
+  }
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+}  // namespace swsim::io

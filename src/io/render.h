@@ -1,0 +1,36 @@
+// Rendering of scalar fields (m_z maps) as ASCII art and binary PGM images.
+//
+// This is how we reproduce the paper's Fig. 5 panels: MuMax3 renders m_z as a
+// blue-to-red color map; we render the same quantity as a symmetric-range
+// grayscale PGM plus a terminal-friendly ASCII map (blue = '-', red = '+').
+#pragma once
+
+#include <string>
+
+#include "math/field.h"
+
+namespace swsim::io {
+
+// Renders layer iz of a scalar field as ASCII. Values are mapped over
+// [-scale, +scale] to the ramp " .:-=+*#%@" for positive and mirrored
+// characters for negative; cells outside `mask` (if given) render as ' '.
+// Rows are emitted top (max y) to bottom so the picture matches the usual
+// plot orientation.
+std::string ascii_map(const swsim::math::ScalarField& f, double scale,
+                      const swsim::math::Mask* mask = nullptr,
+                      std::size_t iz = 0, std::size_t max_width = 160);
+
+// Signed three-symbol map: '+' for value > +threshold, '-' for < -threshold,
+// '0' otherwise, ' ' outside the mask. Good for phase snapshots.
+std::string sign_map(const swsim::math::ScalarField& f, double threshold,
+                     const swsim::math::Mask* mask = nullptr,
+                     std::size_t iz = 0, std::size_t max_width = 160);
+
+// Writes layer iz as an 8-bit binary PGM with value v mapped linearly from
+// [-scale, +scale] to [0, 255] (clamped); masked-out cells map to 0.
+// Throws std::runtime_error when the file cannot be written.
+void write_pgm(const std::string& path, const swsim::math::ScalarField& f,
+               double scale, const swsim::math::Mask* mask = nullptr,
+               std::size_t iz = 0);
+
+}  // namespace swsim::io

@@ -1,0 +1,36 @@
+// Aligned console table rendering.
+//
+// Every bench binary regenerates one of the paper's tables; this printer
+// produces the fixed-width layout those binaries share, so "paper vs ours"
+// rows line up and are easy to diff.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace swsim::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; throws std::invalid_argument if the cell count does not
+  // match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience for mixed string/double rows via pre-formatting.
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Renders with a header underline and 2-space column padding.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace swsim::io

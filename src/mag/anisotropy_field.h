@@ -1,0 +1,26 @@
+// Uniaxial magnetocrystalline anisotropy along a fixed axis:
+//   H_ani = (2 Ku / (mu0 Ms)) (m . u) u
+// The paper's film has perpendicular anisotropy, u = z.
+#pragma once
+
+#include "mag/field_term.h"
+
+namespace swsim::mag {
+
+class UniaxialAnisotropyField final : public FieldTerm {
+ public:
+  // Axis is normalized on construction; throws on a zero axis.
+  explicit UniaxialAnisotropyField(const Vec3& axis = {0, 0, 1});
+
+  std::string name() const override { return "anisotropy"; }
+  void accumulate(const System& sys, const VectorField& m, double t,
+                  VectorField& h) override;
+  double energy(const System& sys, const VectorField& m) const override;
+
+  const Vec3& axis() const { return axis_; }
+
+ private:
+  Vec3 axis_;
+};
+
+}  // namespace swsim::mag

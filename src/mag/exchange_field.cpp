@@ -1,0 +1,53 @@
+#include "mag/exchange_field.h"
+
+#include "math/constants.h"
+
+namespace swsim::mag {
+
+using swsim::math::kMu0;
+
+void ExchangeField::accumulate(const System& sys, const VectorField& m,
+                               double /*t*/, VectorField& h) {
+  const auto& g = sys.grid();
+  const auto& mask = sys.mask();
+  const double inv_dx2 = 1.0 / (g.dx() * g.dx());
+  const double inv_dy2 = 1.0 / (g.dy() * g.dy());
+  const double inv_dz2 = 1.0 / (g.dz() * g.dz());
+  const double pref = 2.0 * sys.material().aex / (kMu0 * sys.material().ms);
+
+  const std::size_t nx = g.nx(), ny = g.ny(), nz = g.nz();
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const std::size_t i = g.index(x, y, z);
+        if (!mask[i]) continue;
+        const Vec3& mi = m[i];
+        Vec3 lap{};
+        auto add_neighbor = [&](std::size_t j, double inv_d2) {
+          // Free BC: absent or non-magnetic neighbours contribute nothing.
+          if (mask[j]) lap += (m[j] - mi) * inv_d2;
+        };
+        if (x > 0) add_neighbor(g.index(x - 1, y, z), inv_dx2);
+        if (x + 1 < nx) add_neighbor(g.index(x + 1, y, z), inv_dx2);
+        if (y > 0) add_neighbor(g.index(x, y - 1, z), inv_dy2);
+        if (y + 1 < ny) add_neighbor(g.index(x, y + 1, z), inv_dy2);
+        if (z > 0) add_neighbor(g.index(x, y, z - 1), inv_dz2);
+        if (z + 1 < nz) add_neighbor(g.index(x, y, z + 1), inv_dz2);
+        h[i] += pref * lap;
+      }
+    }
+  }
+}
+
+double ExchangeField::energy(const System& sys, const VectorField& m) const {
+  // E = -mu0/2 * integral Ms m . H_ex  (valid for the linear exchange field).
+  VectorField h(sys.grid());
+  const_cast<ExchangeField*>(this)->accumulate(sys, m, 0.0, h);
+  double e = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    e += sys.ms_at(i) * dot(m[i], h[i]);
+  }
+  return -0.5 * kMu0 * e * sys.grid().cell_volume();
+}
+
+}  // namespace swsim::mag

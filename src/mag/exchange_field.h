@@ -1,0 +1,20 @@
+// Heisenberg exchange as a six-point finite-difference Laplacian:
+//   H_ex = (2 Aex / (mu0 Ms)) * laplace(m)
+// with free (Neumann) boundary conditions at mask and box edges — a missing
+// neighbour simply does not contribute, equivalent to dm/dn = 0, the standard
+// micromagnetic boundary condition for unpinned surfaces.
+#pragma once
+
+#include "mag/field_term.h"
+
+namespace swsim::mag {
+
+class ExchangeField final : public FieldTerm {
+ public:
+  std::string name() const override { return "exchange"; }
+  void accumulate(const System& sys, const VectorField& m, double t,
+                  VectorField& h) override;
+  double energy(const System& sys, const VectorField& m) const override;
+};
+
+}  // namespace swsim::mag

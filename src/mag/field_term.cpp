@@ -1,0 +1,13 @@
+#include "mag/field_term.h"
+
+#include <limits>
+
+namespace swsim::mag {
+
+double FieldTerm::energy(const System&, const VectorField&) const {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void FieldTerm::advance_step(double) {}
+
+}  // namespace swsim::mag

@@ -1,0 +1,208 @@
+#include "mag/llg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/constants.h"
+
+namespace swsim::mag {
+
+using swsim::math::kGamma;
+using swsim::math::kMu0;
+
+void effective_field(const System& sys,
+                     const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                     const VectorField& m, double t, VectorField& h) {
+  h.fill(Vec3{});
+  for (const auto& term : terms) {
+    term->accumulate(sys, m, t, h);
+  }
+}
+
+void llg_rhs(const System& sys, const VectorField& m, const VectorField& h,
+             VectorField& dmdt) {
+  const auto& mask = sys.mask();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!mask[i]) {
+      dmdt[i] = Vec3{};
+      continue;
+    }
+    const double alpha = sys.alpha_at(i);
+    const double pref = -kGamma * kMu0 / (1.0 + alpha * alpha);
+    const Vec3 mxh = cross(m[i], h[i]);
+    dmdt[i] = pref * (mxh + alpha * cross(m[i], mxh));
+  }
+}
+
+void renormalize(const System& sys, VectorField& m) {
+  const auto& mask = sys.mask();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (mask[i]) m[i] = swsim::math::normalized(m[i]);
+  }
+}
+
+Stepper::Stepper(StepperKind kind, double dt, double tolerance)
+    : kind_(kind), dt_(dt), tolerance_(tolerance) {
+  if (!(dt > 0.0)) throw std::invalid_argument("Stepper: dt must be > 0");
+  if (!(tolerance > 0.0)) {
+    throw std::invalid_argument("Stepper: tolerance must be > 0");
+  }
+}
+
+void Stepper::eval(const System& sys,
+                   const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                   const VectorField& m, double t, VectorField& dmdt) {
+  if (h_.size() != m.size()) h_ = VectorField(sys.grid());
+  effective_field(sys, terms, m, t, h_);
+  llg_rhs(sys, m, h_, dmdt);
+  ++stats_.field_evaluations;
+}
+
+double Stepper::step(const System& sys,
+                     const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                     VectorField& m, double t) {
+  // Stochastic terms draw one noise realization per step, scaled by the
+  // step size the integrator is about to take.
+  for (const auto& term : terms) term->advance_step(dt_);
+
+  double taken = 0.0;
+  switch (kind_) {
+    case StepperKind::kHeun:
+      taken = step_heun(sys, terms, m, t);
+      break;
+    case StepperKind::kRk4:
+      taken = step_rk4(sys, terms, m, t);
+      break;
+    case StepperKind::kRkf45:
+      taken = step_rkf45(sys, terms, m, t);
+      break;
+  }
+  renormalize(sys, m);
+  ++stats_.steps_taken;
+  stats_.last_dt = taken;
+  return taken;
+}
+
+double Stepper::step_heun(const System& sys,
+                          const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                          VectorField& m, double t) {
+  VectorField k1(sys.grid()), k2(sys.grid());
+  eval(sys, terms, m, t, k1);
+  VectorField mp = m;
+  for (std::size_t i = 0; i < m.size(); ++i) mp[i] += dt_ * k1[i];
+  eval(sys, terms, mp, t + dt_, k2);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] += 0.5 * dt_ * (k1[i] + k2[i]);
+  }
+  return dt_;
+}
+
+double Stepper::step_rk4(const System& sys,
+                         const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                         VectorField& m, double t) {
+  VectorField k1(sys.grid()), k2(sys.grid()), k3(sys.grid()), k4(sys.grid());
+  VectorField tmp = m;
+
+  eval(sys, terms, m, t, k1);
+  for (std::size_t i = 0; i < m.size(); ++i) tmp[i] = m[i] + 0.5 * dt_ * k1[i];
+  eval(sys, terms, tmp, t + 0.5 * dt_, k2);
+  for (std::size_t i = 0; i < m.size(); ++i) tmp[i] = m[i] + 0.5 * dt_ * k2[i];
+  eval(sys, terms, tmp, t + 0.5 * dt_, k3);
+  for (std::size_t i = 0; i < m.size(); ++i) tmp[i] = m[i] + dt_ * k3[i];
+  eval(sys, terms, tmp, t + dt_, k4);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m[i] += (dt_ / 6.0) * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+  return dt_;
+}
+
+double Stepper::step_rkf45(const System& sys,
+                           const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                           VectorField& m, double t) {
+  // Fehlberg coefficients.
+  static constexpr double a2 = 1.0 / 4.0;
+  static constexpr double a3 = 3.0 / 8.0, b31 = 3.0 / 32.0, b32 = 9.0 / 32.0;
+  static constexpr double a4 = 12.0 / 13.0, b41 = 1932.0 / 2197.0,
+                          b42 = -7200.0 / 2197.0, b43 = 7296.0 / 2197.0;
+  static constexpr double a5 = 1.0, b51 = 439.0 / 216.0, b52 = -8.0,
+                          b53 = 3680.0 / 513.0, b54 = -845.0 / 4104.0;
+  static constexpr double a6 = 1.0 / 2.0, b61 = -8.0 / 27.0, b62 = 2.0,
+                          b63 = -3544.0 / 2565.0, b64 = 1859.0 / 4104.0,
+                          b65 = -11.0 / 40.0;
+  // 5th-order solution weights.
+  static constexpr double c1 = 16.0 / 135.0, c3 = 6656.0 / 12825.0,
+                          c4 = 28561.0 / 56430.0, c5 = -9.0 / 50.0,
+                          c6 = 2.0 / 55.0;
+  // Error weights (5th - 4th).
+  static constexpr double e1 = 16.0 / 135.0 - 25.0 / 216.0;
+  static constexpr double e3 = 6656.0 / 12825.0 - 1408.0 / 2565.0;
+  static constexpr double e4 = 28561.0 / 56430.0 - 2197.0 / 4104.0;
+  static constexpr double e5 = -9.0 / 50.0 + 1.0 / 5.0;
+  static constexpr double e6 = 2.0 / 55.0;
+
+  VectorField k1(sys.grid()), k2(sys.grid()), k3(sys.grid()), k4(sys.grid()),
+      k5(sys.grid()), k6(sys.grid());
+  VectorField tmp = m;
+
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const double h = dt_;
+    eval(sys, terms, m, t, k1);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      tmp[i] = m[i] + h * a2 * k1[i];
+    }
+    eval(sys, terms, tmp, t + a2 * h, k2);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      tmp[i] = m[i] + h * (b31 * k1[i] + b32 * k2[i]);
+    }
+    eval(sys, terms, tmp, t + a3 * h, k3);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      tmp[i] = m[i] + h * (b41 * k1[i] + b42 * k2[i] + b43 * k3[i]);
+    }
+    eval(sys, terms, tmp, t + a4 * h, k4);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      tmp[i] = m[i] + h * (b51 * k1[i] + b52 * k2[i] + b53 * k3[i] +
+                           b54 * k4[i]);
+    }
+    eval(sys, terms, tmp, t + a5 * h, k5);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      tmp[i] = m[i] + h * (b61 * k1[i] + b62 * k2[i] + b63 * k3[i] +
+                           b64 * k4[i] + b65 * k5[i]);
+    }
+    eval(sys, terms, tmp, t + a6 * h, k6);
+
+    double err = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const Vec3 de = h * (e1 * k1[i] + e3 * k3[i] + e4 * k4[i] + e5 * k5[i] +
+                           e6 * k6[i]);
+      err = std::max(err, norm(de));
+    }
+
+    if (err <= tolerance_ || dt_ <= 1e-18) {
+      for (std::size_t i = 0; i < m.size(); ++i) {
+        m[i] += h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c5 * k5[i] +
+                     c6 * k6[i]);
+      }
+      // Grow the step gently for the next call (bounded at 2x).
+      if (err > 0.0) {
+        const double factor =
+            std::min(2.0, 0.9 * std::pow(tolerance_ / err, 0.2));
+        dt_ *= std::max(factor, 0.5);
+      } else {
+        dt_ *= 2.0;
+      }
+      return h;
+    }
+
+    // Reject: shrink and retry.
+    ++stats_.steps_rejected;
+    const double factor =
+        std::max(0.1, 0.9 * std::pow(tolerance_ / err, 0.25));
+    dt_ *= factor;
+  }
+  throw std::runtime_error(
+      "Stepper(RKF45): step size underflow - system too stiff for the "
+      "requested tolerance");
+}
+
+}  // namespace swsim::mag

@@ -1,0 +1,92 @@
+// Landau-Lifshitz-Gilbert right-hand side and time steppers.
+//
+// The LLG equation in the (numerically convenient) Landau-Lifshitz form:
+//   dm/dt = -gamma mu0 / (1 + alpha^2) * [ m x H + alpha m x (m x H) ]
+// where m is the unit magnetization and H the effective field in A/m. This
+// is algebraically identical to the Gilbert form quoted as Eq. (1) of the
+// paper.
+//
+// Steppers:
+//   Heun  — 2nd order, 2 field evaluations/step; the standard choice for
+//           stochastic (finite-temperature) runs.
+//   RK4   — 4th order, 4 evaluations/step; the workhorse for deterministic
+//           wave-propagation runs.
+//   RKF45 — Runge-Kutta-Fehlberg embedded 4(5) pair with adaptive step-size
+//           control on the max-norm of dm.
+//
+// After every accepted step the magnetization is renormalized cell-wise
+// (masked cells stay zero), which keeps |m| = 1 against integration drift.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mag/field_term.h"
+#include "mag/system.h"
+
+namespace swsim::mag {
+
+// Computes H_eff (sum of all terms) for state m at time t into h (h is
+// zeroed first).
+void effective_field(const System& sys,
+                     const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                     const VectorField& m, double t, VectorField& h);
+
+// Computes the LLG right-hand side dm/dt into dmdt given m and H_eff.
+void llg_rhs(const System& sys, const VectorField& m, const VectorField& h,
+             VectorField& dmdt);
+
+// Renormalizes every masked cell of m to unit length.
+void renormalize(const System& sys, VectorField& m);
+
+enum class StepperKind { kHeun, kRk4, kRkf45 };
+
+struct StepperStats {
+  std::size_t steps_taken = 0;
+  std::size_t steps_rejected = 0;  // RKF45 only
+  std::size_t field_evaluations = 0;
+  double last_dt = 0.0;
+};
+
+// Owns the integration state machinery; the Simulation driver calls step().
+class Stepper {
+ public:
+  // dt is the fixed step for Heun/RK4 and the initial step for RKF45.
+  // tolerance is the RKF45 per-step max-norm error target (ignored by the
+  // fixed-step methods).
+  Stepper(StepperKind kind, double dt, double tolerance = 1e-5);
+
+  // Advances m from time t by one step; returns the step size actually taken
+  // (RKF45 may shrink it). Notifies the terms via advance_step() so
+  // stochastic terms redraw their noise.
+  double step(const System& sys,
+              const std::vector<std::unique_ptr<FieldTerm>>& terms,
+              VectorField& m, double t);
+
+  const StepperStats& stats() const { return stats_; }
+  StepperKind kind() const { return kind_; }
+  double dt() const { return dt_; }
+
+ private:
+  double step_heun(const System& sys,
+                   const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                   VectorField& m, double t);
+  double step_rk4(const System& sys,
+                  const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                  VectorField& m, double t);
+  double step_rkf45(const System& sys,
+                    const std::vector<std::unique_ptr<FieldTerm>>& terms,
+                    VectorField& m, double t);
+
+  void eval(const System& sys,
+            const std::vector<std::unique_ptr<FieldTerm>>& terms,
+            const VectorField& m, double t, VectorField& dmdt);
+
+  StepperKind kind_;
+  double dt_;
+  double tolerance_;
+  StepperStats stats_;
+  VectorField h_;  // scratch field buffer reused across steps
+};
+
+}  // namespace swsim::mag

@@ -1,0 +1,63 @@
+#include "mag/material.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/constants.h"
+
+namespace swsim::mag {
+
+using namespace swsim::math;
+
+double Material::exchange_length() const {
+  return std::sqrt(2.0 * aex / (kMu0 * ms * ms));
+}
+
+double Material::anisotropy_field() const {
+  return 2.0 * ku / (kMu0 * ms);
+}
+
+double Material::internal_field(double applied) const {
+  return anisotropy_field() - ms + applied;
+}
+
+void Material::validate() const {
+  if (!(ms > 0.0)) throw std::invalid_argument("Material: Ms must be > 0");
+  if (!(aex > 0.0)) throw std::invalid_argument("Material: Aex must be > 0");
+  if (!(alpha >= 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("Material: alpha must be in [0, 1]");
+  }
+  if (ku < 0.0) throw std::invalid_argument("Material: Ku must be >= 0");
+}
+
+Material Material::fecob() {
+  Material m;
+  m.name = "Fe60Co20B20";
+  m.ms = ka_per_m(1100);
+  m.aex = pj_per_m(18.5);
+  m.alpha = 0.004;
+  m.ku = mj_per_m3(0.832);
+  return m;
+}
+
+Material Material::yig() {
+  Material m;
+  m.name = "YIG";
+  m.ms = ka_per_m(140);
+  m.aex = pj_per_m(3.5);
+  m.alpha = 2e-4;
+  m.ku = 0.0;
+  return m;
+}
+
+Material Material::permalloy() {
+  Material m;
+  m.name = "Permalloy";
+  m.ms = ka_per_m(800);
+  m.aex = pj_per_m(13);
+  m.alpha = 0.01;
+  m.ku = 0.0;
+  return m;
+}
+
+}  // namespace swsim::mag

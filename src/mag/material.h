@@ -1,0 +1,47 @@
+// Magnetic material parameters.
+//
+// The paper's device is a 1 nm Fe60Co20B20 film with perpendicular magnetic
+// anisotropy (PMA); parameters from Sec. IV-A / ref. [39]. Other common
+// magnonic materials are provided for the example programs and tests.
+#pragma once
+
+#include <string>
+
+namespace swsim::mag {
+
+struct Material {
+  std::string name = "custom";
+  double ms = 0.0;     // saturation magnetization [A/m]
+  double aex = 0.0;    // exchange stiffness [J/m]
+  double alpha = 0.0;  // Gilbert damping [-]
+  double ku = 0.0;     // uniaxial anisotropy constant [J/m^3]
+  // Anisotropy axis is +z (out of plane) throughout this library, matching
+  // the PMA film of the paper.
+
+  // Exchange length sqrt(2 Aex / (mu0 Ms^2)) [m].
+  double exchange_length() const;
+
+  // Anisotropy field 2 Ku / (mu0 Ms) [A/m].
+  double anisotropy_field() const;
+
+  // Effective out-of-plane internal field for a PMA film magnetized along z:
+  // H_ani - Ms (thin-film demag), optionally plus an applied field [A/m].
+  // This must be positive for a stable out-of-plane ground state (required
+  // for forward-volume spin waves); callers should check.
+  double internal_field(double applied = 0.0) const;
+
+  // Throws std::invalid_argument when parameters are unphysical.
+  void validate() const;
+
+  // Fe60Co20B20, 1 nm, PMA — the paper's waveguide material (Sec. IV-A):
+  // Ms = 1100 kA/m, Aex = 18.5 pJ/m, alpha = 0.004, Ku = 0.832 MJ/m^3.
+  static Material fecob();
+
+  // Yttrium iron garnet — the classic low-damping magnonic material.
+  static Material yig();
+
+  // Permalloy (Ni80Fe20) — ubiquitous metallic test material.
+  static Material permalloy();
+};
+
+}  // namespace swsim::mag

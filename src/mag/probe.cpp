@@ -1,0 +1,54 @@
+#include "mag/probe.h"
+
+#include <stdexcept>
+
+namespace swsim::mag {
+
+RegionProbe::RegionProbe(std::string name, const swsim::math::Mask& region,
+                         double sample_dt)
+    : name_(std::move(name)), region_(region), sample_dt_(sample_dt) {
+  if (!(sample_dt > 0.0)) {
+    throw std::invalid_argument("RegionProbe: sample_dt must be > 0");
+  }
+  if (region_.count() == 0) {
+    throw std::invalid_argument("RegionProbe '" + name_ + "': empty region");
+  }
+}
+
+void RegionProbe::maybe_record(const System& sys, const VectorField& m,
+                               double t) {
+  if (t + 1e-18 < next_sample_) return;
+  if (!(region_.grid() == sys.grid())) {
+    throw std::invalid_argument("RegionProbe '" + name_ +
+                                "': grid mismatch with system");
+  }
+  Vec3 acc{};
+  std::size_t n = 0;
+  const auto& mask = sys.mask();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (region_[i] && mask[i]) {
+      acc += m[i];
+      ++n;
+    }
+  }
+  if (n == 0) {
+    throw std::runtime_error("RegionProbe '" + name_ +
+                             "': region contains no magnetic cells");
+  }
+  acc /= static_cast<double>(n);
+  t_.push_back(t);
+  mx_.push_back(acc.x);
+  my_.push_back(acc.y);
+  mz_.push_back(acc.z);
+  next_sample_ += sample_dt_;
+}
+
+void RegionProbe::clear() {
+  t_.clear();
+  mx_.clear();
+  my_.clear();
+  mz_.clear();
+  next_sample_ = 0.0;
+}
+
+}  // namespace swsim::mag

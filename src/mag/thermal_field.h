@@ -1,0 +1,42 @@
+// Stochastic thermal field (Brown 1963), the finite-temperature extension of
+// LLG used for the robustness study of Sec. IV-D.
+//
+// Each magnetic cell receives an independent Gaussian field with
+//   sigma_H = sqrt( 2 alpha k_B T / (mu0 gamma Ms V_cell dt) )   [A/m]
+// per component, held constant across the stages of one integrator step and
+// redrawn via advance_step(). This is the standard Heun-compatible
+// discretization of the thermal torque (MuMax3 uses the same expression).
+#pragma once
+
+#include "mag/field_term.h"
+#include "math/rng.h"
+
+namespace swsim::mag {
+
+class ThermalField final : public FieldTerm {
+ public:
+  // temperature in kelvin; seed fixes the noise realization.
+  ThermalField(double temperature, std::uint64_t seed = 42);
+
+  std::string name() const override { return "thermal"; }
+  void accumulate(const System& sys, const VectorField& m, double t,
+                  VectorField& h) override;
+  void advance_step(double dt) override;
+
+  double temperature() const { return temperature_; }
+
+  // Standard deviation of each field component [A/m] for the given system
+  // and step size. Exposed for tests (fluctuation magnitude scaling).
+  double sigma(const System& sys, double dt) const;
+
+ private:
+  void ensure_noise(const System& sys);
+
+  double temperature_;
+  swsim::math::Pcg32 rng_;
+  double dt_ = 0.0;  // set by advance_step; 0 means "no step taken yet"
+  VectorField noise_;  // unit-variance Gaussian triples, rescaled on use
+  bool noise_ready_ = false;
+};
+
+}  // namespace swsim::mag

@@ -1,0 +1,52 @@
+// Physical constants and unit helpers used across the spin-wave simulator.
+//
+// All quantities are SI unless a suffix says otherwise. The simulator works
+// in SI throughout; helpers below exist so that device descriptions can be
+// written in the units the paper uses (nm, GHz, aJ, ...) without sprinkling
+// magic powers of ten through the code.
+#pragma once
+
+namespace swsim::math {
+
+// Vacuum permeability [T m / A].
+inline constexpr double kMu0 = 1.25663706212e-6;
+
+// Electron gyromagnetic ratio magnitude [rad / (s T)].
+// gamma = g * e / (2 m_e) with g ~= 2.002; this is the value micromagnetic
+// packages (OOMMF, MuMax3) use by default via gamma_LL = 1.7595e11 rad/(s T).
+inline constexpr double kGamma = 1.7595e11;
+
+// Boltzmann constant [J / K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+// Reduced Planck constant [J s].
+inline constexpr double kHbar = 1.054571817e-34;
+
+// Bohr magneton [J / T].
+inline constexpr double kMuB = 9.2740100783e-24;
+
+// pi, to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+// --- Unit helpers -----------------------------------------------------------
+
+inline constexpr double nm(double v) { return v * 1e-9; }
+inline constexpr double um(double v) { return v * 1e-6; }
+inline constexpr double ps(double v) { return v * 1e-12; }
+inline constexpr double ns(double v) { return v * 1e-9; }
+inline constexpr double ghz(double v) { return v * 1e9; }
+inline constexpr double mhz(double v) { return v * 1e6; }
+inline constexpr double aj(double v) { return v * 1e-18; }   // attojoule
+inline constexpr double nw(double v) { return v * 1e-9; }    // nanowatt
+inline constexpr double ka_per_m(double v) { return v * 1e3; }
+inline constexpr double pj_per_m(double v) { return v * 1e-12; }
+inline constexpr double mj_per_m3(double v) { return v * 1e6; }
+
+// Inverse helpers for reporting.
+inline constexpr double to_nm(double v) { return v * 1e9; }
+inline constexpr double to_ns(double v) { return v * 1e9; }
+inline constexpr double to_ghz(double v) { return v * 1e-9; }
+inline constexpr double to_aj(double v) { return v * 1e18; }
+
+}  // namespace swsim::math

@@ -1,0 +1,120 @@
+#include "math/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/constants.h"
+
+namespace swsim::math {
+
+std::size_t next_pow2(std::size_t n) {
+  if (n == 0) throw std::invalid_argument("next_pow2: n must be >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 1.0 : -1.0) * kTwoPi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const Complex u = data[i + j];
+        const Complex v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : data) c *= inv_n;
+  }
+}
+
+void fft3d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
+           std::size_t nz, bool inverse) {
+  if (data.size() != nx * ny * nz) {
+    throw std::invalid_argument("fft3d: data size does not match dimensions");
+  }
+  if (!is_pow2(nx) || !is_pow2(ny) || !is_pow2(nz)) {
+    throw std::invalid_argument("fft3d: all dimensions must be powers of two");
+  }
+
+  std::vector<Complex> line;
+
+  // Along x (contiguous).
+  line.resize(nx);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      const std::size_t base = nx * (y + ny * z);
+      for (std::size_t x = 0; x < nx; ++x) line[x] = data[base + x];
+      fft(line, inverse);
+      for (std::size_t x = 0; x < nx; ++x) data[base + x] = line[x];
+    }
+  }
+
+  // Along y.
+  line.resize(ny);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      for (std::size_t y = 0; y < ny; ++y) line[y] = data[x + nx * (y + ny * z)];
+      fft(line, inverse);
+      for (std::size_t y = 0; y < ny; ++y) data[x + nx * (y + ny * z)] = line[y];
+    }
+  }
+
+  // Along z.
+  if (nz > 1) {
+    line.resize(nz);
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        for (std::size_t z = 0; z < nz; ++z) {
+          line[z] = data[x + nx * (y + ny * z)];
+        }
+        fft(line, inverse);
+        for (std::size_t z = 0; z < nz; ++z) {
+          data[x + nx * (y + ny * z)] = line[z];
+        }
+      }
+    }
+  }
+}
+
+std::vector<Complex> circular_convolve(const std::vector<Complex>& a,
+                                       const std::vector<Complex>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("circular_convolve: size mismatch");
+  }
+  std::vector<Complex> fa = a;
+  std::vector<Complex> fb = b;
+  fft(fa);
+  fft(fb);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  fft(fa, /*inverse=*/true);
+  return fa;
+}
+
+}  // namespace swsim::math

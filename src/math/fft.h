@@ -1,0 +1,40 @@
+// Minimal-but-complete FFT machinery for the demagnetizing-field convolution.
+//
+// The demag field is a discrete convolution of the magnetization with the
+// Newell demag tensor; with zero padding to 2N (rounded to a power of two)
+// this becomes a set of element-wise products in Fourier space. Only
+// power-of-two sizes are supported, which the demag module guarantees by
+// padding. The transforms are unnormalized forward; the inverse divides by N.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace swsim::math {
+
+using Complex = std::complex<double>;
+
+// Returns the smallest power of two >= n (n >= 1). Throws on n == 0.
+std::size_t next_pow2(std::size_t n);
+
+// True iff n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+// In-place iterative radix-2 Cooley-Tukey FFT.
+// data.size() must be a power of two; throws std::invalid_argument otherwise.
+// inverse=true applies the conjugate transform and divides by size, so
+// fft(fft(x), inverse) == x to rounding error.
+void fft(std::vector<Complex>& data, bool inverse = false);
+
+// 3D FFT over data stored in x-fastest order with dimensions (nx, ny, nz),
+// each a power of two. Transforms along all three axes in place.
+void fft3d(std::vector<Complex>& data, std::size_t nx, std::size_t ny,
+           std::size_t nz, bool inverse = false);
+
+// Circular convolution c = a (*) b of two complex sequences of equal
+// power-of-two length, via FFT. Provided mainly for testing the 1D path.
+std::vector<Complex> circular_convolve(const std::vector<Complex>& a,
+                                       const std::vector<Complex>& b);
+
+}  // namespace swsim::math

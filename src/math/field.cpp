@@ -1,0 +1,39 @@
+#include "math/field.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace swsim::math {
+
+std::size_t Mask::count() const {
+  return static_cast<std::size_t>(
+      std::count(data_.begin(), data_.end(), static_cast<unsigned char>(1)));
+}
+
+namespace {
+void check_grids(const Grid& a, const Grid& b) {
+  if (!(a == b)) throw std::invalid_argument("Mask: grid mismatch");
+}
+}  // namespace
+
+Mask& Mask::operator|=(const Mask& o) {
+  check_grids(grid_, o.grid_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] |= o.data_[i];
+  return *this;
+}
+
+Mask& Mask::operator&=(const Mask& o) {
+  check_grids(grid_, o.grid_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] &= o.data_[i];
+  return *this;
+}
+
+Mask& Mask::subtract(const Mask& o) {
+  check_grids(grid_, o.grid_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (o.data_[i]) data_[i] = 0;
+  }
+  return *this;
+}
+
+}  // namespace swsim::math

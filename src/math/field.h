@@ -1,0 +1,114 @@
+// Scalar and vector fields attached to a finite-difference Grid.
+//
+// Data is stored as flat std::vector in grid linear-index order (x fastest).
+// These are plain value types: copying a field copies its data, which is the
+// behaviour the steppers (Heun/RK4 stage buffers) rely on.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "math/grid.h"
+#include "math/vec3.h"
+
+namespace swsim::math {
+
+template <typename T>
+class Field {
+ public:
+  Field() = default;
+  explicit Field(const Grid& grid, T init = T{})
+      : grid_(grid), data_(grid.cell_count(), init) {}
+
+  const Grid& grid() const { return grid_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T& at(std::size_t ix, std::size_t iy, std::size_t iz = 0) {
+    return data_[grid_.index(ix, iy, iz)];
+  }
+  const T& at(std::size_t ix, std::size_t iy, std::size_t iz = 0) const {
+    return data_[grid_.index(ix, iy, iz)];
+  }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  // Throws std::invalid_argument when grids differ: element-wise combination
+  // of fields on different grids is always a bug at the call site.
+  void check_same_grid(const Field& other) const {
+    if (!(grid_ == other.grid_)) {
+      throw std::invalid_argument("Field: grid mismatch");
+    }
+  }
+
+  Field& operator+=(const Field& o) {
+    check_same_grid(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Field& operator-=(const Field& o) {
+    check_same_grid(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Field& operator*=(double s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+ private:
+  Grid grid_;
+  std::vector<T> data_;
+};
+
+using ScalarField = Field<double>;
+using VectorField = Field<Vec3>;
+
+// A boolean occupancy mask over a grid: true = magnetic material present.
+// Stored as uint8_t to avoid std::vector<bool> proxy-reference pitfalls.
+class Mask {
+ public:
+  Mask() = default;
+  explicit Mask(const Grid& grid, bool init = false)
+      : grid_(grid), data_(grid.cell_count(), init ? 1 : 0) {}
+
+  const Grid& grid() const { return grid_; }
+  std::size_t size() const { return data_.size(); }
+
+  bool operator[](std::size_t i) const { return data_[i] != 0; }
+  void set(std::size_t i, bool v) { data_[i] = v ? 1 : 0; }
+  bool at(std::size_t ix, std::size_t iy, std::size_t iz = 0) const {
+    return data_[grid_.index(ix, iy, iz)] != 0;
+  }
+  void set_at(std::size_t ix, std::size_t iy, bool v) {
+    data_[grid_.index(ix, iy, 0)] = v ? 1 : 0;
+  }
+
+  // Number of occupied cells.
+  std::size_t count() const;
+
+  // Set union / intersection / difference with another mask (same grid).
+  Mask& operator|=(const Mask& o);
+  Mask& operator&=(const Mask& o);
+  Mask& subtract(const Mask& o);
+
+  friend bool operator==(const Mask&, const Mask&) = default;
+
+ private:
+  Grid grid_;
+  std::vector<unsigned char> data_;
+};
+
+}  // namespace swsim::math

@@ -1,0 +1,34 @@
+#include "math/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace swsim::math {
+
+Grid::Grid(std::size_t nx, std::size_t ny, std::size_t nz, double dx,
+           double dy, double dz)
+    : nx_(nx), ny_(ny), nz_(nz), dx_(dx), dy_(dy), dz_(dz) {
+  if (nx == 0 || ny == 0 || nz == 0) {
+    throw std::invalid_argument("Grid: all axis counts must be >= 1");
+  }
+  if (!(dx > 0.0) || !(dy > 0.0) || !(dz > 0.0)) {
+    throw std::invalid_argument("Grid: cell dimensions must be positive");
+  }
+}
+
+Grid Grid::film(std::size_t nx, std::size_t ny, double dx, double dy,
+                double thickness) {
+  return Grid(nx, ny, 1, dx, dy, thickness);
+}
+
+Index3 Grid::locate(const Vec3& p) const {
+  auto clamp_axis = [](double coord, double d, std::size_t n) {
+    const double raw = std::floor(coord / d);
+    const double max_i = static_cast<double>(n - 1);
+    return static_cast<std::size_t>(std::clamp(raw, 0.0, max_i));
+  };
+  return {clamp_axis(p.x, dx_, nx_), clamp_axis(p.y, dy_, ny_),
+          clamp_axis(p.z, dz_, nz_)};
+}
+
+}  // namespace swsim::math

@@ -1,0 +1,85 @@
+// Finite-difference grid description.
+//
+// A Grid is the discretization of a rectangular simulation box into
+// nx x ny x nz cuboid cells of size (dx, dy, dz). It carries no data, only
+// geometry and indexing; fields (see field.h) attach data to a Grid.
+//
+// Index convention: linear index i = x + nx * (y + ny * z), i.e. x is the
+// fastest-varying axis. Cell (ix, iy, iz) has its center at
+// ((ix + 0.5) dx, (iy + 0.5) dy, (iz + 0.5) dz).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "math/vec3.h"
+
+namespace swsim::math {
+
+struct Index3 {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t z = 0;
+  friend constexpr bool operator==(const Index3&, const Index3&) = default;
+};
+
+class Grid {
+ public:
+  Grid() = default;
+
+  // Throws std::invalid_argument on a zero-sized axis or non-positive cell
+  // dimensions: a degenerate grid would make every later stencil ill-formed.
+  Grid(std::size_t nx, std::size_t ny, std::size_t nz, double dx, double dy,
+       double dz);
+
+  // Convenience for a single-layer (2D) film, the geometry the paper uses.
+  static Grid film(std::size_t nx, std::size_t ny, double dx, double dy,
+                   double thickness);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+  double dz() const { return dz_; }
+
+  std::size_t cell_count() const { return nx_ * ny_ * nz_; }
+  double cell_volume() const { return dx_ * dy_ * dz_; }
+
+  // Physical extents of the whole box.
+  double size_x() const { return static_cast<double>(nx_) * dx_; }
+  double size_y() const { return static_cast<double>(ny_) * dy_; }
+  double size_z() const { return static_cast<double>(nz_) * dz_; }
+
+  std::size_t index(std::size_t ix, std::size_t iy, std::size_t iz = 0) const {
+    return ix + nx_ * (iy + ny_ * iz);
+  }
+  Index3 unindex(std::size_t i) const {
+    const std::size_t ix = i % nx_;
+    const std::size_t iy = (i / nx_) % ny_;
+    const std::size_t iz = i / (nx_ * ny_);
+    return {ix, iy, iz};
+  }
+
+  // Center position of cell (ix, iy, iz).
+  Vec3 cell_center(std::size_t ix, std::size_t iy, std::size_t iz = 0) const {
+    return {(static_cast<double>(ix) + 0.5) * dx_,
+            (static_cast<double>(iy) + 0.5) * dy_,
+            (static_cast<double>(iz) + 0.5) * dz_};
+  }
+
+  // Cell containing physical point p, clamped to the grid.
+  Index3 locate(const Vec3& p) const;
+
+  bool contains(std::size_t ix, std::size_t iy, std::size_t iz = 0) const {
+    return ix < nx_ && iy < ny_ && iz < nz_;
+  }
+
+  friend bool operator==(const Grid&, const Grid&) = default;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0;
+  double dx_ = 0.0, dy_ = 0.0, dz_ = 0.0;
+};
+
+}  // namespace swsim::math

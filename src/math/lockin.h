@@ -1,0 +1,44 @@
+// Lock-in (single-bin DFT) amplitude and phase estimation.
+//
+// The gate detectors work exactly like the paper's readout: a probe records
+// the out-of-plane magnetization m_z(t) in the detection cell, and the
+// complex amplitude at the excitation frequency f0 is extracted. The phase
+// of that complex amplitude implements phase detection (Majority gate); its
+// magnitude implements threshold detection (XOR gate).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace swsim::math {
+
+struct LockinResult {
+  double amplitude = 0.0;  // |X(f0)| scaled so a pure sine of amplitude A -> A
+  double phase = 0.0;      // radians in (-pi, pi]; phase of cos convention
+  std::complex<double> phasor;  // amplitude * e^{i phase}
+};
+
+// Estimates the complex amplitude of `samples` (uniformly spaced by dt,
+// starting at t = t0) at frequency f0, i.e. fits  x(t) ~ A cos(2 pi f0 t + p).
+//
+// The estimate uses the samples over the longest whole number of periods that
+// fits (discarding the ragged tail), which suppresses spectral leakage
+// without windowing. Throws std::invalid_argument if fewer than one full
+// period of samples is supplied or dt/f0 are non-positive.
+LockinResult lockin(const std::vector<double>& samples, double dt, double f0,
+                    double t0 = 0.0);
+
+// Root-mean-square of a sample vector (0 for empty input).
+double rms(const std::vector<double>& samples);
+
+// Peak absolute value (0 for empty input).
+double peak(const std::vector<double>& samples);
+
+// Wraps an angle to (-pi, pi].
+double wrap_phase(double radians);
+
+// Absolute phase distance |a - b| after wrapping, in [0, pi].
+double phase_distance(double a, double b);
+
+}  // namespace swsim::math

@@ -1,0 +1,61 @@
+#include "math/rng.h"
+
+#include <cmath>
+
+#include "math/constants.h"
+
+namespace swsim::math {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Pcg32::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Pcg32::next_double() {
+  // 32 random bits into [0, 1); resolution 2^-32 is ample for noise fields.
+  return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+double Pcg32::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Pcg32::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller; reject u1 == 0 to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = kTwoPi * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint32_t Pcg32::bounded(std::uint32_t bound) {
+  if (bound == 0) return 0;
+  const std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace swsim::math

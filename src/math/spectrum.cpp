@@ -1,0 +1,69 @@
+#include "math/spectrum.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/constants.h"
+#include "math/fft.h"
+
+namespace swsim::math {
+
+double Spectrum::peak_frequency() const {
+  double best_f = 0.0;
+  double best_p = -1.0;
+  for (std::size_t i = 1; i < power.size(); ++i) {  // skip DC
+    if (power[i] > best_p) {
+      best_p = power[i];
+      best_f = frequency[i];
+    }
+  }
+  return best_f;
+}
+
+double Spectrum::band_power(double f_lo, double f_hi) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    if (frequency[i] >= f_lo && frequency[i] <= f_hi) acc += power[i];
+  }
+  return acc;
+}
+
+Spectrum power_spectrum(const std::vector<double>& samples, double dt) {
+  if (samples.size() < 4) {
+    throw std::invalid_argument("power_spectrum: need at least 4 samples");
+  }
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("power_spectrum: dt must be positive");
+  }
+  const std::size_t n = samples.size();
+  const std::size_t padded = next_pow2(n);
+
+  // Remove the mean (the DC value would otherwise leak through the window)
+  // and apply a Hann window.
+  double mean = 0.0;
+  for (double v : samples) mean += v;
+  mean /= static_cast<double>(n);
+
+  std::vector<Complex> data(padded, Complex{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double w =
+        0.5 * (1.0 - std::cos(kTwoPi * static_cast<double>(i) /
+                              static_cast<double>(n - 1)));
+    data[i] = (samples[i] - mean) * w;
+  }
+  fft(data);
+
+  Spectrum s;
+  const std::size_t bins = padded / 2 + 1;
+  s.frequency.resize(bins);
+  s.power.resize(bins);
+  const double df = 1.0 / (static_cast<double>(padded) * dt);
+  for (std::size_t i = 0; i < bins; ++i) {
+    s.frequency[i] = static_cast<double>(i) * df;
+    s.power[i] = std::norm(data[i]);
+    if (i != 0 && i != bins - 1) s.power[i] *= 2.0;  // one-sided fold
+  }
+  return s;
+}
+
+}  // namespace swsim::math

@@ -1,0 +1,30 @@
+// Power-spectrum estimation for probe time series.
+//
+// Used to characterize simulations in the frequency domain: finding the
+// FMR line, checking that a driven waveguide responds at the drive
+// frequency, and measuring the thermal magnon background in the
+// finite-temperature runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swsim::math {
+
+struct Spectrum {
+  std::vector<double> frequency;  // [Hz], DC .. Nyquist
+  std::vector<double> power;      // |X(f)|^2, one-sided, arbitrary units
+
+  // Frequency of the strongest non-DC bin; 0 for empty spectra.
+  double peak_frequency() const;
+  // Total power in [f_lo, f_hi].
+  double band_power(double f_lo, double f_hi) const;
+};
+
+// One-sided periodogram of uniformly sampled data (spacing dt). A Hann
+// window suppresses leakage; the signal is zero-padded to the next power
+// of two. Throws std::invalid_argument for fewer than 4 samples or
+// non-positive dt.
+Spectrum power_spectrum(const std::vector<double>& samples, double dt);
+
+}  // namespace swsim::math

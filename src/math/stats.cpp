@@ -1,0 +1,60 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace swsim::math {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - s.mean;
+    acc += d * d;
+  }
+  s.stddev = std::sqrt(acc / static_cast<double>(s.count));
+  return s;
+}
+
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("fit_line: size mismatch");
+  }
+  if (x.size() < 2) {
+    throw std::invalid_argument("fit_line: need at least 2 points");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("fit_line: degenerate x values");
+  }
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  return f;
+}
+
+double rel_err(double a, double b, double floor) {
+  return std::fabs(a - b) / std::max(std::fabs(b), floor);
+}
+
+}  // namespace swsim::math

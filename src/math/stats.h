@@ -1,0 +1,32 @@
+// Small statistics helpers used by probes, benches and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace swsim::math {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Computes count/mean/stddev/min/max in one pass. Empty input -> all zeros.
+Summary summarize(const std::vector<double>& values);
+
+// Linear least-squares fit y = a + b x. Returns {a, b}.
+// Throws std::invalid_argument if sizes differ or fewer than 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+// Relative error |a - b| / max(|b|, floor); floor avoids division blowup
+// near zero references.
+double rel_err(double a, double b, double floor = 1e-300);
+
+}  // namespace swsim::math

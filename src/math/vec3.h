@@ -1,0 +1,86 @@
+// A small 3-component vector of doubles.
+//
+// This is the workhorse value type of the micromagnetic solver: magnetization
+// directions, effective fields, and torques are all Vec3. It is a plain
+// aggregate (no invariant) with value semantics, so the compiler can keep it
+// in registers inside the LLG inner loops.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace swsim::math {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) {
+    x /= s;
+    y /= s;
+    z /= s;
+    return *this;
+  }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+constexpr double norm2(const Vec3& v) { return dot(v, v); }
+
+inline double norm(const Vec3& v) { return std::sqrt(norm2(v)); }
+
+// Returns v scaled to unit length; the zero vector is returned unchanged
+// (a masked/vacuum cell has m = 0 and must stay 0 through normalization).
+inline Vec3 normalized(const Vec3& v) {
+  const double n = norm(v);
+  return n > 0.0 ? v / n : v;
+}
+
+// Distance between two points.
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+// Component-wise linear interpolation: a + t * (b - a).
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace swsim::math

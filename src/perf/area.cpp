@@ -1,0 +1,59 @@
+#include "perf/area.h"
+
+#include <cmath>
+
+namespace swsim::perf {
+
+AreaEstimate triangle_gate_area(const geom::TriangleGateLayout& layout) {
+  AreaEstimate est;
+  const geom::Rect bb = layout.bounding_box(0.0);
+  est.device_area = (bb.x1() - bb.x0()) * (bb.y1() - bb.y0());
+
+  const auto& p = layout.params();
+  // Arms + axis + two branches, footprint = length x width.
+  double length = 2.0 * p.d1() + p.d2() + 2.0 * p.branch_out();
+  est.waveguide_area = length * p.width;
+  return est;
+}
+
+AreaEstimate ladder_gate_area(const geom::LadderGateLayout& layout) {
+  AreaEstimate est;
+  const geom::Rect bb = layout.bounding_box(0.0);
+  est.device_area = (bb.x1() - bb.x0()) * (bb.y1() - bb.y0());
+  const auto& p = layout.params();
+  // Two rails, the rung, two input stubs.
+  const double rail = (p.n_rail + p.n_out) * p.wavelength;
+  const double length = 2.0 * rail + p.n_rung * p.wavelength +
+                        p.n_rail * p.wavelength;  // 2 stubs of half a rail
+  est.waveguide_area = length * p.width;
+  return est;
+}
+
+double cmos_gate_area(const CmosGate& gate) {
+  const double per_device =
+      gate.node == CmosNode::k16nm ? 0.05e-12 : 0.015e-12;  // [m^2]
+  return gate.device_count * per_device;
+}
+
+AdpRow sw_adp(const SwGateCost& cost, const geom::TriangleGateLayout& layout) {
+  cost.validate();
+  AdpRow row;
+  row.design = cost.design;
+  row.area = triangle_gate_area(layout).device_area;
+  row.delay = cost.delay();
+  row.power = cost.energy() / cost.delay();
+  row.adp = row.area * row.delay * row.power;
+  return row;
+}
+
+AdpRow cmos_adp(const CmosGate& gate) {
+  AdpRow row;
+  row.design = to_string(gate.node) + " " + to_string(gate.function);
+  row.area = cmos_gate_area(gate);
+  row.delay = gate.delay;
+  row.power = gate.energy / gate.delay;
+  row.adp = row.area * row.delay * row.power;
+  return row;
+}
+
+}  // namespace swsim::perf

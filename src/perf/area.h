@@ -1,0 +1,48 @@
+// Area and area-delay-power (ADP) accounting.
+//
+// The paper argues (Sec. IV-D, citing ref. [42]'s hybrid CMOS/SW divider
+// with an 800x ADP advantage) that spin-wave logic trades delay for area
+// and power. This module computes device areas from the actual gate
+// layouts (not hand-waved constants) and rolls up the ADP figure of merit
+// for gates and circuits, so the trade-off can be examined quantitatively.
+#pragma once
+
+#include "geom/gate_layout.h"
+#include "perf/cmos_ref.h"
+#include "perf/gate_cost.h"
+
+namespace swsim::perf {
+
+struct AreaEstimate {
+  double device_area = 0.0;      // bounding-box area [m^2]
+  double waveguide_area = 0.0;   // actual magnetic material footprint [m^2]
+};
+
+// Area of a triangle gate from its layout: bounding box and the summed
+// waveguide footprint (segment lengths x width, junction overlaps ignored —
+// a few percent for these aspect ratios).
+AreaEstimate triangle_gate_area(const geom::TriangleGateLayout& layout);
+
+// Area of the ladder baseline from its reconstructed layout.
+AreaEstimate ladder_gate_area(const geom::LadderGateLayout& layout);
+
+// CMOS gate area model: transistor count x a per-device area for the node.
+// Per-device pitch areas are coarse literature values for dense logic
+// (16 nm: ~0.05 um^2/device incl. routing; 7 nm: ~0.015 um^2/device).
+double cmos_gate_area(const CmosGate& gate);
+
+struct AdpRow {
+  std::string design;
+  double area = 0.0;    // [m^2]
+  double delay = 0.0;   // [s]
+  double power = 0.0;   // [W] average at back-to-back operation
+  double adp = 0.0;     // area * delay * power
+};
+
+// ADP for a spin-wave gate (power = energy per op / delay).
+AdpRow sw_adp(const SwGateCost& cost, const geom::TriangleGateLayout& layout);
+
+// ADP for a CMOS reference gate.
+AdpRow cmos_adp(const CmosGate& gate);
+
+}  // namespace swsim::perf

@@ -1,0 +1,62 @@
+#include "perf/cmos_ref.h"
+
+#include <stdexcept>
+
+#include "math/constants.h"
+
+namespace swsim::perf {
+
+using namespace swsim::math;
+
+std::string to_string(CmosNode node) {
+  switch (node) {
+    case CmosNode::k16nm: return "16nm CMOS";
+    case CmosNode::k7nm: return "7nm CMOS";
+  }
+  return "?";
+}
+
+std::string to_string(GateFunction fn) {
+  switch (fn) {
+    case GateFunction::kMaj3: return "MAJ";
+    case GateFunction::kXor2: return "XOR";
+  }
+  return "?";
+}
+
+CmosGate CmosGate::reference(CmosNode node, GateFunction fn) {
+  CmosGate g;
+  g.node = node;
+  g.function = fn;
+  if (node == CmosNode::k16nm) {
+    if (fn == GateFunction::kMaj3) {
+      g.device_count = 16;
+      g.delay = ns(0.03);
+      g.energy = aj(466);
+    } else {
+      g.device_count = 8;
+      g.delay = ns(0.03);
+      g.energy = aj(303);
+    }
+  } else {  // 7 nm
+    if (fn == GateFunction::kMaj3) {
+      g.device_count = 16;
+      g.delay = ns(0.02);
+      g.energy = aj(16.4);
+    } else {
+      g.device_count = 8;
+      g.delay = ns(0.01);
+      g.energy = aj(5.4);
+    }
+  }
+  return g;
+}
+
+std::vector<CmosGate> CmosGate::all_references() {
+  return {reference(CmosNode::k16nm, GateFunction::kMaj3),
+          reference(CmosNode::k16nm, GateFunction::kXor2),
+          reference(CmosNode::k7nm, GateFunction::kMaj3),
+          reference(CmosNode::k7nm, GateFunction::kXor2)};
+}
+
+}  // namespace swsim::perf

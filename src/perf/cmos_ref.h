@@ -1,0 +1,32 @@
+// CMOS reference gates for the Table III comparison.
+//
+// Numbers reproduce refs. [40] (16 nm) and [41] (7 nm) as quoted in the
+// paper's Table III. The 3-input CMOS Majority gate is built from 4 NAND
+// gates (the construction the paper assumes): MAJ(a,b,c) =
+// NAND(NAND(a,b), NAND(a,c), NAND(b,c)) — 4 gates x 4 transistors = 16
+// devices; the XOR is the standard 8-transistor realization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace swsim::perf {
+
+enum class CmosNode { k16nm, k7nm };
+enum class GateFunction { kMaj3, kXor2 };
+
+std::string to_string(CmosNode node);
+std::string to_string(GateFunction fn);
+
+struct CmosGate {
+  CmosNode node;
+  GateFunction function;
+  int device_count = 0;  // transistors
+  double delay = 0.0;    // [s]
+  double energy = 0.0;   // [J]
+
+  static CmosGate reference(CmosNode node, GateFunction fn);
+  static std::vector<CmosGate> all_references();
+};
+
+}  // namespace swsim::perf

@@ -1,0 +1,59 @@
+#include "perf/comparison.h"
+
+namespace swsim::perf {
+
+Comparison::Comparison() : Comparison(TransducerModel::me_cell()) {}
+
+Comparison::Comparison(const TransducerModel& transducer)
+    : tri_maj_(SwGateCost::triangle_maj3()),
+      tri_xor_(SwGateCost::triangle_xor()),
+      lad_maj_(SwGateCost::ladder_maj3()),
+      lad_xor_(SwGateCost::ladder_xor()) {
+  transducer.validate();
+  tri_maj_.transducer = transducer;
+  tri_xor_.transducer = transducer;
+  lad_maj_.transducer = transducer;
+  lad_xor_.transducer = transducer;
+  build();
+}
+
+void Comparison::build() {
+  rows_.clear();
+  for (const CmosGate& g : CmosGate::all_references()) {
+    rows_.push_back(ComparisonRow{to_string(g.node), to_string(g.node),
+                                  to_string(g.function), g.device_count,
+                                  g.delay, g.energy});
+  }
+  auto add_sw = [&](const SwGateCost& c, const std::string& fn) {
+    rows_.push_back(ComparisonRow{c.design, "SW", fn, c.total_cells(),
+                                  c.delay(), c.energy()});
+  };
+  add_sw(lad_maj_, "MAJ");
+  add_sw(lad_xor_, "XOR");
+  add_sw(tri_maj_, "MAJ");
+  add_sw(tri_xor_, "XOR");
+}
+
+HeadlineNumbers Comparison::headlines() const {
+  HeadlineNumbers h;
+  h.maj_saving_vs_ladder = energy_saving(tri_maj_, lad_maj_);
+  h.xor_saving_vs_ladder = energy_saving(tri_xor_, lad_xor_);
+
+  const CmosGate m16 = CmosGate::reference(CmosNode::k16nm, GateFunction::kMaj3);
+  const CmosGate m7 = CmosGate::reference(CmosNode::k7nm, GateFunction::kMaj3);
+  const CmosGate x16 = CmosGate::reference(CmosNode::k16nm, GateFunction::kXor2);
+  const CmosGate x7 = CmosGate::reference(CmosNode::k7nm, GateFunction::kXor2);
+
+  h.maj_energy_ratio_16nm = m16.energy / tri_maj_.energy();
+  h.maj_energy_ratio_7nm = m7.energy / tri_maj_.energy();
+  h.xor_energy_ratio_16nm = x16.energy / tri_xor_.energy();
+  h.xor_energy_ratio_7nm = x7.energy / tri_xor_.energy();
+
+  h.maj_delay_overhead_16nm = tri_maj_.delay() / m16.delay;
+  h.maj_delay_overhead_7nm = tri_maj_.delay() / m7.delay;
+  h.xor_delay_overhead_16nm = tri_xor_.delay() / x16.delay;
+  h.xor_delay_overhead_7nm = tri_xor_.delay() / x7.delay;
+  return h;
+}
+
+}  // namespace swsim::perf

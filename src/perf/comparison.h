@@ -1,0 +1,62 @@
+// Table III generator: energy/delay comparison of the proposed triangle
+// gates against the ladder-shape spin-wave baseline and 16/7 nm CMOS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/cmos_ref.h"
+#include "perf/gate_cost.h"
+
+namespace swsim::perf {
+
+struct ComparisonRow {
+  std::string design;
+  std::string technology;
+  std::string function;   // "MAJ" or "XOR"
+  int cells = 0;          // transducers (SW) or transistors (CMOS)
+  double delay = 0.0;     // [s]
+  double energy = 0.0;    // [J]
+};
+
+struct HeadlineNumbers {
+  // Energy saving of the triangle gates versus the ladder baseline
+  // (paper: 25% for MAJ, 50% for XOR).
+  double maj_saving_vs_ladder = 0.0;
+  double xor_saving_vs_ladder = 0.0;
+  // Energy ratio CMOS / this-work (>1 means the SW gate wins; paper
+  // abstract: 43x best case, 0.8x worst case).
+  double maj_energy_ratio_16nm = 0.0;
+  double maj_energy_ratio_7nm = 0.0;
+  double xor_energy_ratio_16nm = 0.0;
+  double xor_energy_ratio_7nm = 0.0;
+  // Delay overhead this-work / CMOS (paper: 11x-40x range).
+  double maj_delay_overhead_16nm = 0.0;
+  double maj_delay_overhead_7nm = 0.0;
+  double xor_delay_overhead_16nm = 0.0;
+  double xor_delay_overhead_7nm = 0.0;
+};
+
+class Comparison {
+ public:
+  // Builds the comparison with the paper's default cost models.
+  Comparison();
+  // Builds with a custom transducer model (technology-maturity what-ifs).
+  explicit Comparison(const TransducerModel& transducer);
+
+  const std::vector<ComparisonRow>& rows() const { return rows_; }
+  HeadlineNumbers headlines() const;
+
+  const SwGateCost& triangle_maj() const { return tri_maj_; }
+  const SwGateCost& triangle_xor() const { return tri_xor_; }
+  const SwGateCost& ladder_maj() const { return lad_maj_; }
+  const SwGateCost& ladder_xor() const { return lad_xor_; }
+
+ private:
+  void build();
+
+  SwGateCost tri_maj_, tri_xor_, lad_maj_, lad_xor_;
+  std::vector<ComparisonRow> rows_;
+};
+
+}  // namespace swsim::perf

@@ -1,0 +1,60 @@
+#include "perf/gate_cost.h"
+
+#include <stdexcept>
+
+namespace swsim::perf {
+
+SwGateCost SwGateCost::triangle_maj3() {
+  SwGateCost c;
+  c.design = "triangle FO2 MAJ3 (this work)";
+  c.excitation_cells = 3;
+  c.detection_cells = 2;
+  c.equal_level_excitation = true;
+  return c;
+}
+
+SwGateCost SwGateCost::triangle_xor() {
+  SwGateCost c;
+  c.design = "triangle FO2 XOR (this work)";
+  c.excitation_cells = 2;
+  c.detection_cells = 2;
+  c.equal_level_excitation = true;
+  return c;
+}
+
+SwGateCost SwGateCost::ladder_maj3() {
+  SwGateCost c;
+  c.design = "ladder FO2 MAJ3 [22]";
+  c.excitation_cells = 4;  // one input replicated to enable the fan-out
+  c.detection_cells = 2;
+  c.equal_level_excitation = false;
+  return c;
+}
+
+SwGateCost SwGateCost::ladder_xor() {
+  SwGateCost c;
+  c.design = "ladder FO2 XOR [23]";
+  c.excitation_cells = 4;  // both inputs replicated
+  c.detection_cells = 2;
+  c.equal_level_excitation = false;
+  return c;
+}
+
+void SwGateCost::validate() const {
+  if (excitation_cells <= 0 || detection_cells <= 0) {
+    throw std::invalid_argument("SwGateCost: cell counts must be positive");
+  }
+  transducer.validate();
+}
+
+double energy_saving(const SwGateCost& ours, const SwGateCost& baseline) {
+  ours.validate();
+  baseline.validate();
+  const double base = baseline.energy();
+  if (!(base > 0.0)) {
+    throw std::invalid_argument("energy_saving: baseline energy must be > 0");
+  }
+  return (base - ours.energy()) / base;
+}
+
+}  // namespace swsim::perf

@@ -1,0 +1,41 @@
+// Spin-wave gate energy/delay/cell-count cost model (paper Sec. IV-D).
+//
+// Per the paper's assumptions: energy = (number of excitation transducers) x
+// (one pulse energy); detection cells are passive because the output wave is
+// handed directly to the next gate (assumption (v)); delay = one transducer
+// delay because propagation is neglected (assumption (iii)).
+#pragma once
+
+#include <string>
+
+#include "perf/transducer.h"
+
+namespace swsim::perf {
+
+struct SwGateCost {
+  std::string design;        // e.g. "triangle FO2 MAJ3 (this work)"
+  int excitation_cells = 0;  // driven transducers per evaluation
+  int detection_cells = 0;   // passive output transducers
+  bool equal_level_excitation = true;  // triangle: yes; ladder: no
+  TransducerModel transducer = TransducerModel::me_cell();
+
+  int total_cells() const { return excitation_cells + detection_cells; }
+  double energy() const {
+    return excitation_cells * transducer.excitation_energy();
+  }
+  double delay() const { return transducer.delay; }
+
+  // The four spin-wave designs of Table III.
+  static SwGateCost triangle_maj3();  // this work: 3 exc + 2 det = 5 cells
+  static SwGateCost triangle_xor();   // this work: 2 exc + 2 det = 4 cells
+  static SwGateCost ladder_maj3();    // ref. [22]/[23]: 4 exc + 2 det = 6
+  static SwGateCost ladder_xor();     // ref. [23]:      4 exc + 2 det = 6
+
+  // Throws std::invalid_argument on nonsensical cell counts.
+  void validate() const;
+};
+
+// Fractional energy saving of `ours` relative to `baseline` (0.25 = 25%).
+double energy_saving(const SwGateCost& ours, const SwGateCost& baseline);
+
+}  // namespace swsim::perf

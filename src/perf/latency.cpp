@@ -1,0 +1,32 @@
+#include "perf/latency.h"
+
+#include <algorithm>
+
+namespace swsim::perf {
+
+double propagation_delay(const geom::TriangleGateLayout& layout,
+                         const wavenet::Dispersion& dispersion) {
+  const double k =
+      wavenet::Dispersion::k_of_lambda(layout.params().wavelength);
+  const double vg = dispersion.group_velocity(k);
+  double longest = 0.0;
+  using geom::Port;
+  for (Port in : {Port::kIn1, Port::kIn2, Port::kIn3}) {
+    if (!layout.has_port(in)) continue;
+    for (Port out : {Port::kOut1, Port::kOut2}) {
+      longest = std::max(longest, layout.path_length(in, out));
+    }
+  }
+  return longest / vg;
+}
+
+LatencyBreakdown gate_latency(const geom::TriangleGateLayout& layout,
+                              const wavenet::Dispersion& dispersion,
+                              double transducer_delay) {
+  LatencyBreakdown l;
+  l.transducer_delay = transducer_delay;
+  l.propagation_delay = propagation_delay(layout, dispersion);
+  return l;
+}
+
+}  // namespace swsim::perf

@@ -1,0 +1,35 @@
+// Propagation-delay accounting — a check on the paper's assumption (iii),
+// "SWs propagation delay in the waveguide is neglected".
+//
+// The wave transits the device at the group velocity; for the paper-scale
+// MAJ3 the longest input-to-output path is ~1.5 um and v_g ~ 1.4 km/s, so
+// the transit takes ~1 ns — larger than the 0.42 ns transducer delay the
+// model books. These helpers quantify that, per gate and per pipeline.
+#pragma once
+
+#include "geom/gate_layout.h"
+#include "wavenet/dispersion.h"
+
+namespace swsim::perf {
+
+struct LatencyBreakdown {
+  double transducer_delay = 0.0;   // [s] (the paper's delay model)
+  double propagation_delay = 0.0;  // [s] longest path / group velocity
+  double total() const { return transducer_delay + propagation_delay; }
+  // How much the paper's assumption (iii) underestimates the gate delay.
+  double underestimate_factor() const {
+    return transducer_delay > 0.0 ? total() / transducer_delay : 0.0;
+  }
+};
+
+// Longest input->output propagation time for the triangle layout at its
+// design wavelength.
+double propagation_delay(const geom::TriangleGateLayout& layout,
+                         const wavenet::Dispersion& dispersion);
+
+// Full latency breakdown using the given transducer delay.
+LatencyBreakdown gate_latency(const geom::TriangleGateLayout& layout,
+                              const wavenet::Dispersion& dispersion,
+                              double transducer_delay);
+
+}  // namespace swsim::perf

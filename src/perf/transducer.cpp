@@ -1,0 +1,16 @@
+#include "perf/transducer.h"
+
+#include <stdexcept>
+
+namespace swsim::perf {
+
+TransducerModel TransducerModel::me_cell() { return TransducerModel{}; }
+
+void TransducerModel::validate() const {
+  if (!(power > 0.0) || !(delay > 0.0) || !(pulse_duration > 0.0)) {
+    throw std::invalid_argument(
+        "TransducerModel: power, delay and pulse duration must be positive");
+  }
+}
+
+}  // namespace swsim::perf

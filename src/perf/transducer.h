@@ -1,0 +1,32 @@
+// Transducer (excitation/detection cell) models.
+//
+// The paper's energy/delay estimates (Sec. IV-D) assume magnetoelectric (ME)
+// cells with P = 34.4 nW and tau = 0.42 ns (ref. [42]), driven by 100 ps
+// excitation pulses, with propagation delay and loss neglected and outputs
+// passed directly to the next gate (assumptions (i)-(vi)). Those assumptions
+// are encoded here so every comparison uses exactly the paper's cost model —
+// and can be re-run with different numbers as the technology matures.
+#pragma once
+
+#include "math/constants.h"
+
+namespace swsim::perf {
+
+struct TransducerModel {
+  const char* name = "ME cell";
+  double power = swsim::math::nw(34.4);     // [W] while driven
+  double delay = swsim::math::ns(0.42);     // [s] transduction delay
+  double pulse_duration = swsim::math::ps(100);  // [s] excitation pulse
+
+  // Energy of one excitation pulse [J] = P * t_pulse (34.4 nW * 100 ps =
+  // 3.44 aJ for the paper's parameters).
+  double excitation_energy() const { return power * pulse_duration; }
+
+  // Paper's ME-cell parameter set (ref. [42]).
+  static TransducerModel me_cell();
+
+  // Throws std::invalid_argument on non-positive parameters.
+  void validate() const;
+};
+
+}  // namespace swsim::perf

@@ -1,0 +1,56 @@
+#include "wavenet/detector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/constants.h"
+#include "math/lockin.h"
+
+namespace swsim::wavenet {
+
+using swsim::math::kPi;
+using swsim::math::phase_distance;
+using swsim::math::wrap_phase;
+
+PhaseDetector::PhaseDetector(double reference_phase, bool invert)
+    : reference_(reference_phase), invert_(invert) {}
+
+Detection PhaseDetector::detect(std::complex<double> phasor) const {
+  Detection d;
+  d.amplitude = std::abs(phasor);
+  d.phase = d.amplitude > 0.0 ? wrap_phase(std::arg(phasor)) : 0.0;
+  const double dist0 = phase_distance(d.phase, reference_);
+  const double dist1 = phase_distance(d.phase, reference_ + kPi);
+  bool is_one = dist1 < dist0;
+  if (invert_) is_one = !is_one;
+  d.logic = is_one;
+  // Margin: how far the phase sits from the pi/2 decision boundary.
+  d.margin = std::fabs(dist0 - dist1) / 2.0;
+  return d;
+}
+
+ThresholdDetector::ThresholdDetector(double threshold, bool invert)
+    : threshold_(threshold), invert_(invert) {
+  if (!(threshold > 0.0)) {
+    throw std::invalid_argument("ThresholdDetector: threshold must be > 0");
+  }
+}
+
+Detection ThresholdDetector::detect(std::complex<double> phasor,
+                                    double reference_amplitude) const {
+  if (!(reference_amplitude > 0.0)) {
+    throw std::invalid_argument(
+        "ThresholdDetector: reference amplitude must be > 0");
+  }
+  Detection d;
+  d.amplitude = std::abs(phasor);
+  d.phase = d.amplitude > 0.0 ? wrap_phase(std::arg(phasor)) : 0.0;
+  const double normalized = d.amplitude / reference_amplitude;
+  bool is_zero = normalized > threshold_;  // strong wave = logic 0 (XOR)
+  if (invert_) is_zero = !is_zero;
+  d.logic = !is_zero;
+  d.margin = std::fabs(normalized - threshold_);
+  return d;
+}
+
+}  // namespace swsim::wavenet

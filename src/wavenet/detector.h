@@ -1,0 +1,59 @@
+// Output detectors: the two readout schemes of the paper.
+//
+// PhaseDetector (Majority gate, Sec. III-A): compares the output phasor's
+// phase against a reference; phase ~ 0 reads logic 0, phase ~ pi reads
+// logic 1. The decision boundary is +-pi/2 around the reference.
+//
+// ThresholdDetector (XOR gate, Sec. III-B): compares the normalized output
+// magnitude against a threshold (paper: 0.5); magnitude above threshold
+// reads logic 0 and below reads logic 1 for the XOR, and the flipped
+// condition gives the XNOR.
+#pragma once
+
+#include <complex>
+
+namespace swsim::wavenet {
+
+struct Detection {
+  bool logic = false;
+  double amplitude = 0.0;   // |phasor|
+  double phase = 0.0;       // radians, wrapped to (-pi, pi]
+  double margin = 0.0;      // distance to the decision boundary:
+                            // radians for phase detection, normalized
+                            // amplitude for threshold detection
+};
+
+class PhaseDetector {
+ public:
+  // reference_phase: the phase that reads as logic 0 (default 0).
+  // invert: swap the logic interpretation (an inverting output, obtained in
+  // hardware by making d4 = (n + 1/2) lambda).
+  explicit PhaseDetector(double reference_phase = 0.0, bool invert = false);
+
+  Detection detect(std::complex<double> phasor) const;
+
+ private:
+  double reference_;
+  bool invert_;
+};
+
+class ThresholdDetector {
+ public:
+  // threshold is in normalized amplitude units: the caller divides by the
+  // reference (all-constructive) amplitude before detecting, or passes the
+  // reference via detect()'s second argument.
+  // invert=false: amplitude > threshold -> logic 0 (XOR convention);
+  // invert=true flips it (XNOR).
+  explicit ThresholdDetector(double threshold = 0.5, bool invert = false);
+
+  Detection detect(std::complex<double> phasor,
+                   double reference_amplitude = 1.0) const;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  bool invert_;
+};
+
+}  // namespace swsim::wavenet

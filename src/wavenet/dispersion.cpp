@@ -1,0 +1,104 @@
+#include "wavenet/dispersion.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/constants.h"
+
+namespace swsim::wavenet {
+
+using namespace swsim::math;
+
+Dispersion::Dispersion(const swsim::mag::Material& material, double thickness,
+                       double applied_field)
+    : material_(material), thickness_(thickness) {
+  material_.validate();
+  if (!(thickness > 0.0)) {
+    throw std::invalid_argument("Dispersion: thickness must be > 0");
+  }
+  h_internal_ = material_.internal_field(applied_field);
+  if (!(h_internal_ > 0.0)) {
+    throw std::invalid_argument(
+        "Dispersion: internal field must be positive for forward-volume "
+        "waves (need H_ani + H_applied > Ms)");
+  }
+}
+
+double Dispersion::frequency(double k) const {
+  if (k < 0.0) k = -k;  // isotropic in-plane propagation (FVSW)
+  const double kd = k * thickness_;
+  // F(kd) with the small-argument limit handled explicitly to avoid 0/0.
+  const double f_dip =
+      kd < 1e-8 ? kd / 2.0 : 1.0 - (1.0 - std::exp(-kd)) / kd;
+  const double lex2 = 2.0 * material_.aex / (kMu0 * material_.ms *
+                                             material_.ms);
+  const double h_ex = lex2 * material_.ms * k * k;
+  const double a = h_internal_ + h_ex;
+  const double b = a + material_.ms * f_dip;
+  return (kGamma * kMu0 / kTwoPi) * std::sqrt(a * b);
+}
+
+double Dispersion::group_velocity(double k) const {
+  const double dk = std::max(1.0, std::fabs(k) * 1e-6);
+  const double f_plus = frequency(k + dk);
+  const double f_minus = frequency(std::max(0.0, k - dk));
+  const double span = k - dk < 0.0 ? k + dk : 2.0 * dk;
+  return kTwoPi * (f_plus - f_minus) / span;
+}
+
+double Dispersion::wavenumber(double frequency_hz) const {
+  const double f0 = frequency(0.0);
+  if (frequency_hz <= f0) {
+    throw std::domain_error(
+        "Dispersion::wavenumber: frequency below FMR - no propagating "
+        "forward-volume wave");
+  }
+  // Bracket: f(k) is monotonically increasing in k for FVSW.
+  double k_lo = 0.0;
+  double k_hi = 1e7;
+  while (frequency(k_hi) < frequency_hz) {
+    k_hi *= 2.0;
+    if (k_hi > 1e12) {
+      throw std::domain_error(
+          "Dispersion::wavenumber: frequency beyond representable k range");
+    }
+  }
+  for (int it = 0; it < 200; ++it) {
+    const double k_mid = 0.5 * (k_lo + k_hi);
+    if (frequency(k_mid) < frequency_hz) {
+      k_lo = k_mid;
+    } else {
+      k_hi = k_mid;
+    }
+  }
+  return 0.5 * (k_lo + k_hi);
+}
+
+double Dispersion::wavelength_for(double frequency_hz) const {
+  return kTwoPi / wavenumber(frequency_hz);
+}
+
+double Dispersion::k_of_lambda(double lambda) {
+  if (!(lambda > 0.0)) {
+    throw std::invalid_argument("k_of_lambda: lambda must be > 0");
+  }
+  return kTwoPi / lambda;
+}
+
+double Dispersion::lifetime(double k) const {
+  const double f = frequency(k);
+  return 1.0 / (kTwoPi * material_.alpha * f);
+}
+
+double Dispersion::attenuation_length(double k) const {
+  return group_velocity(k) * lifetime(k);
+}
+
+double Dispersion::amplitude_decay(double k, double distance) const {
+  if (distance < 0.0) {
+    throw std::invalid_argument("amplitude_decay: negative distance");
+  }
+  return std::exp(-distance / attenuation_length(k));
+}
+
+}  // namespace swsim::wavenet

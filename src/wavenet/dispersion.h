@@ -1,0 +1,62 @@
+// Forward-volume spin-wave (FVSW) dispersion for a perpendicularly
+// magnetized thin film, after Kalinikos & Slavin (1986), lowest thickness
+// mode, including exchange:
+//
+//   f(k) = (gamma mu0 / 2 pi) sqrt( (H_i + H_ex(k)) (H_i + H_ex(k) + Ms F(kd)) )
+//
+// with H_i = H_ani - Ms + H_applied the internal field, H_ex = l_ex^2 Ms k^2
+// the exchange field, d the film thickness and
+//   F(kd) = 1 - (1 - e^{-kd}) / (kd)
+// the FVSW dipolar matrix element (F -> kd/2 for kd -> 0).
+//
+// This is the design equation of Sec. II-A / IV-A: it fixes the operating
+// frequency for the chosen wavelength (lambda = 55 nm in the paper) and
+// yields the group velocity and the Gilbert-damping attenuation length used
+// by the wave-network backend.
+#pragma once
+
+#include "mag/material.h"
+
+namespace swsim::wavenet {
+
+class Dispersion {
+ public:
+  // thickness: film thickness [m]; applied: out-of-plane applied field
+  // [A/m]. Throws std::invalid_argument if the internal field is not
+  // positive (no stable out-of-plane state -> no forward-volume waves).
+  Dispersion(const swsim::mag::Material& material, double thickness,
+             double applied_field = 0.0);
+
+  const swsim::mag::Material& material() const { return material_; }
+  double thickness() const { return thickness_; }
+  double internal_field() const { return h_internal_; }
+
+  // Frequency [Hz] for wavenumber k [rad/m]; k = 0 gives the FMR frequency.
+  double frequency(double k) const;
+
+  // Group velocity d omega / d k [m/s] (central difference).
+  double group_velocity(double k) const;
+
+  // Inverts f(k) = f by bisection on [0, k_max]; throws std::domain_error
+  // when f is below the FMR frequency (no propagating wave).
+  double wavenumber(double frequency_hz) const;
+
+  double wavelength_for(double frequency_hz) const;
+  static double k_of_lambda(double lambda);
+
+  // Spin-wave amplitude lifetime tau = 1 / (2 pi alpha f) [s] and the
+  // amplitude attenuation length L_att = v_g * tau [m].
+  double lifetime(double k) const;
+  double attenuation_length(double k) const;
+
+  // Amplitude decay factor exp(-L / L_att) over a propagation distance L
+  // at wavenumber k.
+  double amplitude_decay(double k, double distance) const;
+
+ private:
+  swsim::mag::Material material_;
+  double thickness_;
+  double h_internal_;
+};
+
+}  // namespace swsim::wavenet

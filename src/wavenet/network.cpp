@@ -1,0 +1,192 @@
+#include "wavenet/network.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+#include "math/constants.h"
+
+namespace swsim::wavenet {
+
+using swsim::math::kPi;
+
+PropagationModel PropagationModel::from_dispersion(const Dispersion& disp,
+                                                   double lambda,
+                                                   SplitPolicy split) {
+  PropagationModel m;
+  m.k = Dispersion::k_of_lambda(lambda);
+  m.attenuation_length = disp.attenuation_length(m.k);
+  m.split = split;
+  return m;
+}
+
+NodeId WaveNetwork::add_node(NodeKind kind, std::string name) {
+  nodes_.push_back(Node{kind, std::move(name), Complex{}, {}});
+  return nodes_.size() - 1;
+}
+
+void WaveNetwork::check_node(NodeId n) const {
+  if (n >= nodes_.size()) {
+    throw std::out_of_range("WaveNetwork: invalid node id");
+  }
+}
+
+void WaveNetwork::connect(NodeId a, NodeId b, double length, double weight) {
+  check_node(a);
+  check_node(b);
+  if (a == b) throw std::invalid_argument("WaveNetwork: self-loop edge");
+  if (!(length >= 0.0)) {
+    throw std::invalid_argument("WaveNetwork: negative edge length");
+  }
+  if (!(weight > 0.0)) {
+    throw std::invalid_argument("WaveNetwork: edge weight must be > 0");
+  }
+  edges_.push_back(Edge{a, b, length, weight});
+  nodes_[a].edges.push_back(edges_.size() - 1);
+  nodes_[b].edges.push_back(edges_.size() - 1);
+}
+
+void WaveNetwork::excite(NodeId source, double amplitude, double phase) {
+  check_node(source);
+  if (nodes_[source].kind != NodeKind::kSource &&
+      nodes_[source].kind != NodeKind::kTap) {
+    throw std::invalid_argument(
+        "WaveNetwork: excite() target is not a source or tap");
+  }
+  if (!(amplitude >= 0.0)) {
+    throw std::invalid_argument("WaveNetwork: negative amplitude");
+  }
+  nodes_[source].excitation =
+      amplitude * Complex{std::cos(phase), std::sin(phase)};
+}
+
+void WaveNetwork::excite_logic(NodeId source, bool logic_value,
+                               double amplitude) {
+  excite(source, amplitude, logic_value ? kPi : 0.0);
+}
+
+NodeKind WaveNetwork::kind(NodeId n) const {
+  check_node(n);
+  return nodes_[n].kind;
+}
+
+const std::string& WaveNetwork::name(NodeId n) const {
+  check_node(n);
+  return nodes_[n].name;
+}
+
+NodeId WaveNetwork::find(const std::string& name) const {
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return i;
+  }
+  throw std::invalid_argument("WaveNetwork: no node named '" + name + "'");
+}
+
+WaveNetwork::SolveResult WaveNetwork::solve(
+    const PropagationModel& model) const {
+  if (!(model.k > 0.0)) {
+    throw std::invalid_argument("WaveNetwork::solve: model.k must be > 0");
+  }
+
+  struct Ray {
+    std::size_t edge;
+    NodeId toward;  // node the ray is travelling to
+    Complex amp;    // amplitude at launch into the edge
+  };
+
+  double max_source = 0.0;
+  for (const auto& n : nodes_) {
+    max_source = std::max(max_source, std::abs(n.excitation));
+  }
+  const double cutoff = model.amplitude_cutoff * max_source;
+
+  SolveResult result;
+  std::queue<Ray> rays;
+
+  // Each source launches its excitation into every incident waveguide —
+  // an antenna in a waveguide radiates in both directions.
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if ((n.kind != NodeKind::kSource && n.kind != NodeKind::kTap) ||
+        std::abs(n.excitation) == 0.0) {
+      continue;
+    }
+    for (std::size_t e : n.edges) {
+      const Edge& edge = edges_[e];
+      rays.push(Ray{e, edge.a == i ? edge.b : edge.a, n.excitation});
+    }
+  }
+
+  while (!rays.empty()) {
+    if (++result.events > model.max_events) {
+      throw std::runtime_error(
+          "WaveNetwork::solve: event budget exhausted - the network "
+          "contains a (nearly) lossless resonant loop");
+    }
+    const Ray ray = rays.front();
+    rays.pop();
+
+    const Edge& edge = edges_[ray.edge];
+    // Transit: weight, damping decay, phase accrual.
+    Complex amp = ray.amp * edge.weight;
+    if (model.attenuation_length > 0.0) {
+      amp *= std::exp(-edge.length / model.attenuation_length);
+    }
+    const double ph = -model.k * edge.length;
+    amp *= Complex{std::cos(ph), std::sin(ph)};
+
+    if (std::abs(amp) < cutoff) {
+      ++result.truncated;
+      continue;
+    }
+
+    const Node& node = nodes_[ray.toward];
+    switch (node.kind) {
+      case NodeKind::kDetector:
+        result.detector_phasor[ray.toward] += amp;
+        break;
+      case NodeKind::kSource:
+        break;  // transducers absorb incoming waves
+      case NodeKind::kRepeater: {
+        // Regenerate: outgoing amplitude restored, phase preserved
+        // (non-volatile clocked repeater of ref. [37]).
+        const double mag = std::abs(amp);
+        if (mag > 0.0) {
+          const Complex regen = amp / mag * model.repeater_amplitude;
+          for (std::size_t e : node.edges) {
+            if (e == ray.edge) continue;
+            const Edge& out = edges_[e];
+            rays.push(Ray{e, out.a == ray.toward ? out.b : out.a, regen});
+          }
+        }
+        break;
+      }
+      case NodeKind::kTap:  // transparent: through-traffic behaves as at a
+                            // junction of the same degree
+      case NodeKind::kJunction: {
+        const std::size_t branches = node.edges.size() - 1;
+        if (branches == 0) break;  // dead end: wave radiates away
+        double split = 1.0;
+        if (model.split == SplitPolicy::kUnitary) {
+          split = 1.0 / std::sqrt(static_cast<double>(branches));
+        }
+        for (std::size_t e : node.edges) {
+          if (e == ray.edge) continue;
+          const Edge& out = edges_[e];
+          rays.push(Ray{e, out.a == ray.toward ? out.b : out.a, amp * split});
+        }
+        break;
+      }
+    }
+  }
+
+  // Ensure every detector has an entry, even if nothing reached it.
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == NodeKind::kDetector) {
+      result.detector_phasor.try_emplace(i, Complex{});
+    }
+  }
+  return result;
+}
+
+}  // namespace swsim::wavenet

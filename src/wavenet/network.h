@@ -1,0 +1,129 @@
+// Complex-phasor spin-wave propagation over a waveguide network.
+//
+// The gate structures are graphs of waveguide runs: sources (excitation
+// transducers), junctions (crossings / merges), repeaters, and detectors.
+// A monochromatic wave is a complex amplitude; propagation over an edge of
+// length L multiplies by  w * exp(-L / L_att) * exp(-i k L)  (edge weight,
+// Gilbert-damping decay, phase accrual). At a junction of degree d an
+// incoming wave re-emits on every edge except the one it arrived on,
+// scaled by the split policy; detectors and sources absorb. The solver is a
+// breadth-first ray expansion with an amplitude cutoff, so multi-bounce
+// paths (e.g. trunk round trips) are included to any desired precision —
+// physics the idealized single-path picture of the paper neglects.
+//
+// All of the paper's "dimensions must be n lambda" design rules show up here
+// directly: path lengths that are integer multiples of lambda make
+// exp(-i k L) = 1, so equal-phase inputs interfere constructively.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wavenet/dispersion.h"
+
+namespace swsim::wavenet {
+
+using Complex = std::complex<double>;
+
+enum class NodeKind {
+  kSource,    // excitation transducer at a waveguide end: injects, absorbs
+  kTap,       // transparent in-line transducer: injects, passes traffic
+              // through like a junction (models an antenna region in the
+              // middle of a waveguide)
+  kJunction,  // waveguide merge/split/cross
+  kRepeater,  // amplitude-regenerating repeater (ref. [37])
+  kDetector,  // output transducer: accumulates, absorbs
+};
+
+enum class SplitPolicy {
+  kLossless,  // each outgoing branch gets the full amplitude (the paper's
+              // idealization: "the two SWs reaching O1 and O2 are identical")
+  kUnitary,   // 1/sqrt(branches): energy-conserving splitting
+};
+
+struct PropagationModel {
+  double k = 0.0;                    // wavenumber [rad/m]
+  double attenuation_length = 0.0;   // [m]; <= 0 means lossless propagation
+  SplitPolicy split = SplitPolicy::kUnitary;
+  double amplitude_cutoff = 1e-4;    // rays below cutoff * max source amp die
+  std::size_t max_events = 1u << 20; // hard guard against lossless loops
+  double repeater_amplitude = 1.0;   // amplitude restored by repeater nodes
+
+  // Convenience: fill k and attenuation_length from a dispersion relation
+  // at the given wavelength.
+  static PropagationModel from_dispersion(const Dispersion& disp,
+                                          double lambda,
+                                          SplitPolicy split =
+                                              SplitPolicy::kUnitary);
+};
+
+using NodeId = std::size_t;
+
+class WaveNetwork {
+ public:
+  NodeId add_node(NodeKind kind, std::string name);
+  NodeId add_source(std::string name) {
+    return add_node(NodeKind::kSource, std::move(name));
+  }
+  NodeId add_tap(std::string name) {
+    return add_node(NodeKind::kTap, std::move(name));
+  }
+  NodeId add_junction(std::string name) {
+    return add_node(NodeKind::kJunction, std::move(name));
+  }
+  NodeId add_detector(std::string name) {
+    return add_node(NodeKind::kDetector, std::move(name));
+  }
+  NodeId add_repeater(std::string name) {
+    return add_node(NodeKind::kRepeater, std::move(name));
+  }
+
+  // Undirected waveguide run of physical length `length` [m]; weight is an
+  // extra amplitude factor (e.g. a directional-coupler tap ratio).
+  void connect(NodeId a, NodeId b, double length, double weight = 1.0);
+
+  // Sets the excitation of a source (complex amplitude = A e^{i phase}).
+  void excite(NodeId source, double amplitude, double phase);
+  // Convenience: phase 0 for logic 0, pi for logic 1 (paper Sec. III-A).
+  void excite_logic(NodeId source, bool logic_value, double amplitude = 1.0);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  NodeKind kind(NodeId n) const;
+  const std::string& name(NodeId n) const;
+  NodeId find(const std::string& name) const;  // throws if absent
+
+  struct SolveResult {
+    std::map<NodeId, Complex> detector_phasor;
+    std::size_t events = 0;       // rays processed
+    std::size_t truncated = 0;    // rays dropped by the amplitude cutoff
+  };
+
+  // Propagates all source excitations through the network.
+  // Throws std::runtime_error if max_events is exhausted (which indicates a
+  // lossless resonant loop — physically a cavity, not a logic gate).
+  SolveResult solve(const PropagationModel& model) const;
+
+ private:
+  struct Node {
+    NodeKind kind;
+    std::string name;
+    Complex excitation{};          // sources only
+    std::vector<std::size_t> edges;
+  };
+  struct Edge {
+    NodeId a, b;
+    double length;
+    double weight;
+  };
+
+  void check_node(NodeId n) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace swsim::wavenet

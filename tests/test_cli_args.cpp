@@ -1,0 +1,81 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+namespace swsim::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"swsim"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EmptyCommandLine) {
+  const Args a = parse({});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_TRUE(a.positional().empty());
+}
+
+TEST(Args, CommandAndPositionals) {
+  const Args a = parse({"truthtable", "maj", "extra"});
+  EXPECT_EQ(a.command(), "truthtable");
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "maj");
+  EXPECT_EQ(a.positional()[1], "extra");
+}
+
+TEST(Args, KeyValueOptions) {
+  const Args a = parse({"yield", "--trials", "200", "--gate", "xor"});
+  EXPECT_EQ(a.command(), "yield");
+  EXPECT_TRUE(a.has("trials"));
+  EXPECT_EQ(a.value("gate").value(), "xor");
+  EXPECT_EQ(a.integer("trials", 0), 200);
+}
+
+TEST(Args, BareFlags) {
+  const Args a = parse({"micromag", "--xor", "--cell", "5"});
+  EXPECT_TRUE(a.has("xor"));
+  EXPECT_FALSE(a.value("xor").has_value());  // flag, no value
+  EXPECT_DOUBLE_EQ(a.number("cell", 0.0), 5.0);
+}
+
+TEST(Args, FlagFollowedByFlag) {
+  const Args a = parse({"cmd", "--a", "--b", "1"});
+  EXPECT_TRUE(a.has("a"));
+  EXPECT_FALSE(a.value("a").has_value());
+  EXPECT_EQ(a.integer("b", 0), 1);
+}
+
+TEST(Args, NumericDefaults) {
+  const Args a = parse({"cmd"});
+  EXPECT_DOUBLE_EQ(a.number("missing", 3.5), 3.5);
+  EXPECT_EQ(a.integer("missing", 7), 7);
+}
+
+TEST(Args, NumericValidation) {
+  const Args a = parse({"cmd", "--x", "abc", "--y", "1.5z"});
+  EXPECT_THROW(a.number("x", 0.0), std::invalid_argument);
+  EXPECT_THROW(a.number("y", 0.0), std::invalid_argument);
+  EXPECT_THROW(a.integer("x", 0), std::invalid_argument);
+}
+
+TEST(Args, NegativeNumbersAsValues) {
+  // "-5" does not start with "--", so it parses as a value.
+  const Args a = parse({"cmd", "--offset", "-5"});
+  EXPECT_EQ(a.integer("offset", 0), -5);
+}
+
+TEST(Args, MalformedOptions) {
+  EXPECT_THROW(parse({"cmd", "--"}), std::invalid_argument);
+}
+
+TEST(Args, OptionBeforeCommandMeansNoCommand) {
+  const Args a = parse({"--verbose", "thing"});
+  EXPECT_TRUE(a.command().empty());
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_EQ(a.value("verbose").value(), "thing");
+}
+
+}  // namespace
+}  // namespace swsim::cli

@@ -1,0 +1,125 @@
+#include "core/fanout_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logic.h"
+
+namespace swsim::core {
+namespace {
+
+TriangleGateConfig maj_design() {
+  TriangleGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::paper_maj3();
+  return cfg;
+}
+
+TEST(FanoutTree, RejectsBadConfig) {
+  FanoutTreeConfig bad;
+  bad.fanout = 1;
+  EXPECT_THROW(FanoutTree(maj_design(), bad), std::invalid_argument);
+  bad.fanout = 4;
+  bad.n_branch = 1.3;
+  EXPECT_THROW(FanoutTree(maj_design(), bad), std::invalid_argument);
+}
+
+TEST(FanoutTree, LeafCountRoundsToPowerOfTwo) {
+  FanoutTreeConfig cfg;
+  cfg.fanout = 3;
+  FanoutTree tree(maj_design(), cfg);
+  EXPECT_EQ(tree.leaf_count(), 4u);
+  cfg.fanout = 8;
+  FanoutTree tree8(maj_design(), cfg);
+  EXPECT_EQ(tree8.leaf_count(), 8u);
+}
+
+TEST(FanoutTree, AllLeavesCarryTheMajority) {
+  FanoutTreeConfig cfg;
+  cfg.fanout = 4;
+  FanoutTree tree(maj_design(), cfg);
+  for (const auto& p : all_input_patterns(3)) {
+    const auto result = tree.evaluate(p);
+    EXPECT_TRUE(result.coherent);
+    const bool expected = maj3(p[0], p[1], p[2]);
+    for (const auto& leaf : result.leaves) {
+      EXPECT_EQ(leaf.detection.logic, expected);
+    }
+  }
+}
+
+TEST(FanoutTree, RepeatersRestoreAmplitude) {
+  FanoutTreeConfig with;
+  with.fanout = 8;
+  with.use_repeaters = true;
+  FanoutTreeConfig without = with;
+  without.use_repeaters = false;
+
+  FanoutTree t_with(maj_design(), with);
+  FanoutTree t_without(maj_design(), without);
+  const std::vector<bool> inputs{true, true, true};
+  const auto r_with = t_with.evaluate(inputs);
+  const auto r_without = t_without.evaluate(inputs);
+  // Without repeaters every coupler split halves the energy; with
+  // repeaters the leaves arrive at (nearly) full strength.
+  EXPECT_GT(r_with.min_relative_amplitude,
+            3.0 * r_without.min_relative_amplitude);
+  EXPECT_GT(r_with.min_relative_amplitude, 0.5);
+}
+
+TEST(FanoutTree, RepeaterCostScalesWithFanout) {
+  FanoutTreeConfig cfg;
+  cfg.fanout = 8;
+  FanoutTree tree(maj_design(), cfg);
+  const auto result = tree.evaluate({false, false, false});
+  // 3 gate inputs + repeaters (2 + 4 + 8 = 14 for three levels).
+  EXPECT_EQ(result.excitation_cells, 3 + 14);
+}
+
+TEST(FanoutTree, BeatsGateReplicationForLargeFanout) {
+  // The paper's argument: couplers+repeaters scale better than replicating
+  // the whole gate per pair of loads — in transducer count the tree costs
+  // 3 + (2^L+1 - 2) repeaters vs 3 * fanout/2 for replication; for the
+  // energy the comparison depends on repeater cost, so we report both and
+  // assert the *input* transducer advantage: the tree never re-excites
+  // the three inputs.
+  FanoutTreeConfig cfg;
+  cfg.fanout = 8;
+  FanoutTree tree(maj_design(), cfg);
+  EXPECT_EQ(tree.replication_excitation_cells(), 12);  // 4 gates x 3 inputs
+  // The tree drives the 3 inputs exactly once regardless of fan-out.
+  const auto result = tree.evaluate({true, false, false});
+  EXPECT_GE(result.excitation_cells, 3);
+}
+
+TEST(FanoutTree, MirrorOutputStillWorks) {
+  // O2 keeps serving as a normal output while O1 feeds the tree.
+  FanoutTreeConfig cfg;
+  cfg.fanout = 4;
+  FanoutTree tree(maj_design(), cfg);
+  const auto result = tree.evaluate({true, true, false});
+  EXPECT_TRUE(result.coherent);
+  EXPECT_GT(result.min_relative_amplitude, 0.0);
+}
+
+TEST(FanoutTree, WrongInputCountThrows) {
+  FanoutTreeConfig cfg;
+  FanoutTree tree(maj_design(), cfg);
+  EXPECT_THROW(tree.evaluate({true}), std::invalid_argument);
+}
+
+// Parameterized: coherence across fan-outs and input patterns.
+class FanoutSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FanoutSweep, CoherentAtEveryFanout) {
+  FanoutTreeConfig cfg;
+  cfg.fanout = GetParam();
+  FanoutTree tree(maj_design(), cfg);
+  for (const auto& p : all_input_patterns(3)) {
+    const auto result = tree.evaluate(p);
+    EXPECT_TRUE(result.coherent) << "fanout " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutSweep, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace swsim::core

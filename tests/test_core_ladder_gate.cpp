@@ -1,0 +1,97 @@
+#include "core/ladder_gate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logic.h"
+#include "core/triangle_gate.h"
+#include "core/validator.h"
+
+namespace swsim::core {
+namespace {
+
+LadderGateConfig default_config() { return LadderGateConfig{}; }
+
+TEST(LadderMajGate, CalibratedTruthTable) {
+  LadderMajGate gate(default_config());
+  const auto report = validate_gate(gate);
+  EXPECT_TRUE(report.all_pass) << format_report(report);
+}
+
+TEST(LadderMajGate, FanOutOfTwoWorks) {
+  LadderMajGate gate(default_config());
+  for (const auto& p : all_input_patterns(3)) {
+    const auto out = gate.evaluate(p);
+    EXPECT_EQ(out.o1.logic, out.o2.logic);
+  }
+}
+
+TEST(LadderMajGate, RequiresMoreExcitationCellsThanTriangle) {
+  // The paper's headline: the ladder needs a replicated input (4 cells vs
+  // 3), which is exactly the 25% energy overhead of Table III.
+  LadderMajGate ladder(default_config());
+  TriangleMajGate triangle = TriangleMajGate::paper_device();
+  EXPECT_EQ(ladder.excitation_cells(), 4);
+  EXPECT_EQ(triangle.excitation_cells(), 3);
+}
+
+TEST(LadderMajGate, CalibrationRequiresUnequalLevels) {
+  // Sec. IV-D: ladder inputs must be excited at different energy levels.
+  LadderMajGate gate(default_config());
+  EXPECT_GT(gate.excitation_level_ratio(), 1.05);
+}
+
+TEST(LadderMajGate, EqualLevelDriveDegradesAmplitudeMargins) {
+  // Sec. IV-D: without per-input level calibration the ladder's rung-split
+  // losses unbalance the interference. Phase detection still reads the
+  // sign, but the worst-case output amplitude (the distance to a sign
+  // flip) collapses — the robustness cost of the ladder design.
+  LadderGateConfig equal = default_config();
+  equal.calibrated_excitation = false;
+  LadderMajGate uncalibrated(equal);
+  EXPECT_DOUBLE_EQ(uncalibrated.excitation_level_ratio(), 1.0);
+  LadderMajGate calibrated(default_config());
+
+  auto worst_mixed_amplitude = [](LadderMajGate& gate) {
+    double worst = 1e300;
+    for (const auto& p : all_input_patterns(3)) {
+      const int ones = static_cast<int>(p[0]) + p[1] + p[2];
+      if (ones == 0 || ones == 3) continue;
+      worst = std::min(worst, gate.evaluate(p).normalized_o1);
+    }
+    return worst;
+  };
+  EXPECT_LT(worst_mixed_amplitude(uncalibrated),
+            0.8 * worst_mixed_amplitude(calibrated));
+}
+
+TEST(LadderMajGate, RejectsWrongArity) {
+  LadderMajGate gate(default_config());
+  EXPECT_THROW(gate.evaluate({true}), std::invalid_argument);
+}
+
+TEST(LadderMajGate, ReferenceIsMaj3) {
+  LadderMajGate gate(default_config());
+  for (const auto& p : all_input_patterns(3)) {
+    EXPECT_EQ(gate.reference(p), maj3(p[0], p[1], p[2]));
+  }
+}
+
+TEST(LadderMajGate, LosslessUncalibratedFailsCalibratedPasses) {
+  // Even with idealized lossless splitting, the ladder's path-length
+  // asymmetry (attenuation) breaks the truth table at equal drive levels —
+  // and calibration repairs it. This is precisely why the paper flags the
+  // ladder's unequal-excitation requirement as a design cost.
+  LadderGateConfig cfg = default_config();
+  cfg.split = wavenet::SplitPolicy::kLossless;
+  cfg.calibrated_excitation = false;
+  LadderMajGate broken(cfg);
+  EXPECT_FALSE(validate_gate(broken).all_pass);
+
+  cfg.calibrated_excitation = true;
+  LadderMajGate repaired(cfg);
+  const auto report = validate_gate(repaired);
+  EXPECT_TRUE(report.all_pass) << format_report(report);
+}
+
+}  // namespace
+}  // namespace swsim::core

@@ -1,0 +1,78 @@
+#include "core/logic.h"
+
+#include <gtest/gtest.h>
+
+#include "math/constants.h"
+
+namespace swsim::core {
+namespace {
+
+TEST(Logic, Maj3TruthTable) {
+  EXPECT_FALSE(maj3(false, false, false));
+  EXPECT_FALSE(maj3(true, false, false));
+  EXPECT_FALSE(maj3(false, true, false));
+  EXPECT_FALSE(maj3(false, false, true));
+  EXPECT_TRUE(maj3(true, true, false));
+  EXPECT_TRUE(maj3(true, false, true));
+  EXPECT_TRUE(maj3(false, true, true));
+  EXPECT_TRUE(maj3(true, true, true));
+}
+
+TEST(Logic, Xor2TruthTable) {
+  EXPECT_FALSE(xor2(false, false));
+  EXPECT_TRUE(xor2(true, false));
+  EXPECT_TRUE(xor2(false, true));
+  EXPECT_FALSE(xor2(true, true));
+}
+
+TEST(Logic, MajorityNInput) {
+  EXPECT_TRUE(majority({true, true, false, true, false}));
+  EXPECT_FALSE(majority({true, false, false, true, false}));
+  EXPECT_TRUE(majority({true}));
+}
+
+TEST(Logic, MajorityRejectsEvenOrEmpty) {
+  EXPECT_THROW(majority({}), std::invalid_argument);
+  EXPECT_THROW(majority({true, false}), std::invalid_argument);
+}
+
+TEST(Logic, Maj3ConsistentWithMajority) {
+  for (const auto& p : all_input_patterns(3)) {
+    EXPECT_EQ(maj3(p[0], p[1], p[2]), majority({p[0], p[1], p[2]}));
+  }
+}
+
+TEST(Logic, AllInputPatternsCountAndOrder) {
+  const auto rows = all_input_patterns(3);
+  ASSERT_EQ(rows.size(), 8u);
+  // Row r encodes r in binary with inputs[0] the LSB.
+  EXPECT_EQ(rows[0], (std::vector<bool>{false, false, false}));
+  EXPECT_EQ(rows[1], (std::vector<bool>{true, false, false}));
+  EXPECT_EQ(rows[6], (std::vector<bool>{false, true, true}));
+  EXPECT_EQ(rows[7], (std::vector<bool>{true, true, true}));
+}
+
+TEST(Logic, AllInputPatternsRejectsHugeN) {
+  EXPECT_THROW(all_input_patterns(32), std::invalid_argument);
+}
+
+TEST(Logic, PhaseEncoding) {
+  EXPECT_DOUBLE_EQ(logic_phase(false), 0.0);
+  EXPECT_DOUBLE_EQ(logic_phase(true), swsim::math::kPi);
+}
+
+TEST(Logic, PhaseDecoding) {
+  EXPECT_FALSE(phase_logic(0.0));
+  EXPECT_TRUE(phase_logic(swsim::math::kPi));
+  EXPECT_TRUE(phase_logic(-swsim::math::kPi));
+  EXPECT_FALSE(phase_logic(0.4));
+  EXPECT_TRUE(phase_logic(swsim::math::kPi - 0.4));
+}
+
+TEST(Logic, PhaseRoundTrip) {
+  EXPECT_FALSE(phase_logic(logic_phase(false)));
+  EXPECT_TRUE(phase_logic(logic_phase(true)));
+}
+
+}  // namespace
+}  // namespace swsim::core

@@ -1,0 +1,90 @@
+#include "core/multi_input_gate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logic.h"
+#include "core/validator.h"
+
+namespace swsim::core {
+namespace {
+
+MultiInputMajConfig config_for(std::size_t n) {
+  MultiInputMajConfig cfg;
+  cfg.num_inputs = n;
+  return cfg;
+}
+
+TEST(MultiInputMajGate, RejectsEvenOrTooFewInputs) {
+  EXPECT_THROW(MultiInputMajGate(config_for(2)), std::invalid_argument);
+  EXPECT_THROW(MultiInputMajGate(config_for(4)), std::invalid_argument);
+  EXPECT_THROW(MultiInputMajGate(config_for(1)), std::invalid_argument);
+}
+
+TEST(MultiInputMajGate, Maj3TruthTable) {
+  MultiInputMajGate gate(config_for(3));
+  const auto report = validate_gate(gate);
+  EXPECT_TRUE(report.all_pass) << format_report(report);
+}
+
+TEST(MultiInputMajGate, Maj5TruthTable) {
+  MultiInputMajGate gate(config_for(5));
+  const auto report = validate_gate(gate);
+  EXPECT_TRUE(report.all_pass) << format_report(report);
+  EXPECT_EQ(report.rows.size(), 32u);
+}
+
+TEST(MultiInputMajGate, Maj7TruthTable) {
+  MultiInputMajGate gate(config_for(7));
+  const auto report = validate_gate(gate);
+  EXPECT_TRUE(report.all_pass) << format_report(report);
+  EXPECT_EQ(report.rows.size(), 128u);
+}
+
+TEST(MultiInputMajGate, OutputsIdentical) {
+  MultiInputMajGate gate(config_for(5));
+  const auto report = validate_gate(gate);
+  EXPECT_LT(report.max_output_asymmetry, 1e-9);
+}
+
+TEST(MultiInputMajGate, AmplitudeReflectsVoteMargin) {
+  // With equal arrival weights, |output| ~ |#zeros - #ones|: a 5-0 vote is
+  // stronger than a 3-2 vote.
+  MultiInputMajGate gate(config_for(5));
+  const double unanimous =
+      gate.evaluate({false, false, false, false, false}).normalized_o1;
+  const double narrow =
+      gate.evaluate({false, false, false, true, true}).normalized_o1;
+  const double medium =
+      gate.evaluate({false, false, false, false, true}).normalized_o1;
+  EXPECT_NEAR(unanimous, 1.0, 1e-9);
+  EXPECT_NEAR(medium, 3.0 / 5.0, 1e-6);
+  EXPECT_NEAR(narrow, 1.0 / 5.0, 1e-6);
+}
+
+TEST(MultiInputMajGate, ExcitationCells) {
+  EXPECT_EQ(MultiInputMajGate(config_for(5)).excitation_cells(), 5);
+}
+
+TEST(MultiInputMajGate, WrongArityThrows) {
+  MultiInputMajGate gate(config_for(5));
+  EXPECT_THROW(gate.evaluate({true, false}), std::invalid_argument);
+}
+
+// The intro's use case: n-input majority for error correction — a MAJ5
+// masks up to two faulty replicas.
+TEST(MultiInputMajGate, Maj5MasksTwoFaults) {
+  MultiInputMajGate gate(config_for(5));
+  for (bool truth : {false, true}) {
+    for (int f1 = 0; f1 < 5; ++f1) {
+      for (int f2 = f1 + 1; f2 < 5; ++f2) {
+        std::vector<bool> in(5, truth);
+        in[static_cast<std::size_t>(f1)] = !truth;
+        in[static_cast<std::size_t>(f2)] = !truth;
+        EXPECT_EQ(gate.evaluate(in).o1.logic, truth);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swsim::core

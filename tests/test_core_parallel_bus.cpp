@@ -1,0 +1,120 @@
+#include "core/parallel_bus.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logic.h"
+#include "math/constants.h"
+
+namespace swsim::core {
+namespace {
+
+using swsim::math::nm;
+
+ParallelBusConfig bus_config(std::size_t channels) {
+  ParallelBusConfig cfg;
+  cfg.channels = channels;
+  // Narrow the waveguide so higher channels stay above the width limit,
+  // and use a compact geometry: high channels ride at short wavelengths
+  // whose attenuation lengths shrink, so long paths would unbalance the
+  // arm-vs-tap weights (see HighChannelsFailOnLongDevices below).
+  cfg.params.width = nm(12);
+  cfg.params.n_arm = 2;
+  cfg.params.n_axis_half = 1;
+  cfg.params.n_feed = 1;
+  return cfg;
+}
+
+TEST(ParallelMajBus, RejectsBadConfigs) {
+  EXPECT_THROW(ParallelMajBus(bus_config(0)), std::invalid_argument);
+
+  ParallelBusConfig frac = bus_config(2);
+  frac.params.n_arm = 2.5;  // half-integer multiples break channel synthesis
+  EXPECT_THROW(ParallelMajBus{frac}, std::invalid_argument);
+
+  ParallelBusConfig wide = bus_config(8);
+  wide.params.width = nm(50);  // channel 8 wavelength 6.9 nm < width
+  EXPECT_THROW(ParallelMajBus{wide}, std::invalid_argument);
+}
+
+TEST(ParallelMajBus, ChannelLaddering) {
+  ParallelMajBus bus(bus_config(4));
+  EXPECT_EQ(bus.channels(), 4u);
+  EXPECT_NEAR(bus.channel_wavelength(0), nm(55), 1e-12);
+  EXPECT_NEAR(bus.channel_wavelength(1), nm(27.5), 1e-12);
+  EXPECT_NEAR(bus.channel_wavelength(3), nm(13.75), 1e-12);
+  // Shorter waves ride higher on the dispersion.
+  EXPECT_GT(bus.channel_frequency(1), bus.channel_frequency(0));
+  EXPECT_GT(bus.channel_frequency(3), bus.channel_frequency(2));
+}
+
+TEST(ParallelMajBus, FourChannelsComputeIndependentMajorities) {
+  ParallelMajBus bus(bus_config(4));
+  const std::vector<std::vector<bool>> words{
+      {false, false, false},
+      {true, false, true},
+      {false, true, false},
+      {true, true, true},
+  };
+  const BusResult r = bus.evaluate(words);
+  ASSERT_EQ(r.channels.size(), 4u);
+  EXPECT_TRUE(r.all_correct);
+  EXPECT_FALSE(r.channels[0].outputs.o1.logic);
+  EXPECT_TRUE(r.channels[1].outputs.o1.logic);
+  EXPECT_FALSE(r.channels[2].outputs.o1.logic);
+  EXPECT_TRUE(r.channels[3].outputs.o1.logic);
+}
+
+TEST(ParallelMajBus, ExhaustivePerChannelTruthTables) {
+  ParallelMajBus bus(bus_config(3));
+  for (const auto& p : all_input_patterns(3)) {
+    // Drive every channel with the same pattern; all must agree with MAJ3.
+    const std::vector<std::vector<bool>> words(3, p);
+    const BusResult r = bus.evaluate(words);
+    EXPECT_TRUE(r.all_correct) << p[0] << p[1] << p[2];
+    for (const auto& ch : r.channels) {
+      EXPECT_EQ(ch.outputs.o1.logic, maj3(p[0], p[1], p[2]));
+      EXPECT_EQ(ch.outputs.o2.logic, ch.outputs.o1.logic);  // FO2 per channel
+    }
+  }
+}
+
+TEST(ParallelMajBus, HighChannelsFailOnLongDevices) {
+  // Physical channel-count limit: on the full paper-scale geometry the
+  // third channel (lambda ~ 18 nm, f ~ 100 GHz) attenuates so fast that
+  // the arm and tap arrival weights unbalance and narrow votes misread.
+  ParallelBusConfig cfg;
+  cfg.channels = 3;
+  cfg.params.width = nm(12);  // paper multiples kept (long paths)
+  ParallelMajBus bus(cfg);
+  const std::vector<bool> narrow{true, true, false};  // minority on the tap
+  const std::vector<std::vector<bool>> words(3, narrow);
+  const BusResult r = bus.evaluate(words);
+  EXPECT_TRUE(r.channels[0].outputs.o1.logic);   // base channel fine
+  EXPECT_FALSE(r.all_correct);                   // a high channel breaks
+}
+
+TEST(ParallelMajBus, EvaluateChecksShape) {
+  ParallelMajBus bus(bus_config(2));
+  EXPECT_THROW(bus.evaluate({{true, false, true}}), std::invalid_argument);
+  EXPECT_THROW(bus.evaluate({{true, false}, {true, false, true}}),
+               std::invalid_argument);
+}
+
+TEST(ParallelMajBus, ToneAccounting) {
+  ParallelMajBus bus(bus_config(4));
+  EXPECT_EQ(bus.excitation_tones(), 12);
+}
+
+TEST(ParallelMajBus, ThroughputScalesWithoutArea) {
+  // The bus evaluates `channels` majorities on ONE structure; check the
+  // per-bit energy advantage claim of ref. [9]: the waveguide area is
+  // shared, only the tones scale.
+  ParallelMajBus bus1(bus_config(1));
+  ParallelMajBus bus4(bus_config(4));
+  EXPECT_EQ(bus4.excitation_tones(), 4 * bus1.excitation_tones());
+  // Same geometry -> same layout footprint (by construction).
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace swsim::core

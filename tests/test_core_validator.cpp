@@ -1,0 +1,84 @@
+#include "core/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logic.h"
+#include "core/triangle_gate.h"
+
+namespace swsim::core {
+namespace {
+
+// A synthetic gate with a deliberate error on one row, to check the
+// validator actually catches failures.
+class BrokenMajGate final : public FanoutGate {
+ public:
+  std::string name() const override { return "broken-maj"; }
+  std::size_t num_inputs() const override { return 3; }
+  int excitation_cells() const override { return 3; }
+  bool reference(const std::vector<bool>& in) const override {
+    return maj3(in.at(0), in.at(1), in.at(2));
+  }
+  FanoutOutputs evaluate(const std::vector<bool>& in) override {
+    FanoutOutputs out;
+    bool v = maj3(in[0], in[1], in[2]);
+    if (in[0] && in[1] && !in[2]) v = !v;  // the planted bug
+    out.o1.logic = v;
+    out.o2.logic = v;
+    out.o1.margin = out.o2.margin = 0.5;
+    out.normalized_o1 = 0.9;
+    out.normalized_o2 = 0.8;
+    return out;
+  }
+};
+
+TEST(Validator, PassesCorrectGate) {
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  const auto report = validate_gate(gate);
+  EXPECT_TRUE(report.all_pass);
+  EXPECT_EQ(report.rows.size(), 8u);
+  EXPECT_EQ(report.gate_name, gate.name());
+}
+
+TEST(Validator, CatchesPlantedBug) {
+  BrokenMajGate gate;
+  const auto report = validate_gate(gate);
+  EXPECT_FALSE(report.all_pass);
+  int failures = 0;
+  for (const auto& row : report.rows) {
+    if (!row.pass_o1) ++failures;
+  }
+  EXPECT_EQ(failures, 1);
+}
+
+TEST(Validator, TracksAsymmetry) {
+  BrokenMajGate gate;
+  const auto report = validate_gate(gate);
+  EXPECT_NEAR(report.max_output_asymmetry, 0.1, 1e-12);
+}
+
+TEST(Validator, TracksWorstMargin) {
+  BrokenMajGate gate;
+  const auto report = validate_gate(gate);
+  EXPECT_NEAR(report.min_margin, 0.5, 1e-12);
+}
+
+TEST(Validator, FormatContainsVerdictAndRows) {
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  const auto report = validate_gate(gate);
+  const std::string s = format_report(report);
+  EXPECT_NE(s.find("PASS"), std::string::npos);
+  EXPECT_NE(s.find("I3"), std::string::npos);
+  EXPECT_NE(s.find("O1"), std::string::npos);
+  // 8 truth-table rows.
+  EXPECT_NE(s.find("fan-out symmetry"), std::string::npos);
+}
+
+TEST(Validator, FormatMarksFailures) {
+  BrokenMajGate gate;
+  const std::string s = format_report(validate_gate(gate));
+  EXPECT_NE(s.find("NO"), std::string::npos);
+  EXPECT_NE(s.find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swsim::core

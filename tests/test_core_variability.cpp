@@ -1,0 +1,106 @@
+#include "core/variability.h"
+
+#include <gtest/gtest.h>
+
+#include "math/constants.h"
+
+namespace swsim::core {
+namespace {
+
+using swsim::math::kPi;
+using swsim::math::nm;
+
+TEST(Variability, PhaseSigmaForLength) {
+  // sigma_L = lambda / 4 -> sigma_phase = pi / 2.
+  EXPECT_NEAR(VariabilityModel::phase_sigma_for_length(nm(55) / 4, nm(55)),
+              kPi / 2.0, 1e-12);
+  EXPECT_THROW(VariabilityModel::phase_sigma_for_length(nm(1), 0.0),
+               std::invalid_argument);
+}
+
+TEST(Variability, ArgumentChecks) {
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  VariabilityModel m;
+  EXPECT_THROW(estimate_yield(gate, m, 0), std::invalid_argument);
+  m.sigma_phase = -1.0;
+  EXPECT_THROW(estimate_yield(gate, m, 10), std::invalid_argument);
+}
+
+TEST(Variability, ZeroSigmaGivesPerfectYield) {
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  VariabilityModel m;  // all sigmas zero
+  const YieldReport r = estimate_yield(gate, m, 50);
+  EXPECT_EQ(r.passing, 50u);
+  EXPECT_DOUBLE_EQ(r.yield, 1.0);
+  EXPECT_EQ(r.worst_row_failures, 0u);
+}
+
+TEST(Variability, SmallDisturbancesTolerated) {
+  // ~lambda/50 length spread and 5% amplitude spread: yield stays high.
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  VariabilityModel m;
+  m.sigma_phase = VariabilityModel::phase_sigma_for_length(nm(1), nm(55));
+  m.sigma_amplitude = 0.05;
+  m.seed = 7;
+  const YieldReport r = estimate_yield(gate, m, 200);
+  EXPECT_GT(r.yield, 0.95);
+}
+
+TEST(Variability, LargePhaseErrorsKillYield) {
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  VariabilityModel m;
+  m.sigma_phase = kPi / 2.0;  // quarter-wavelength-scale chaos
+  m.seed = 7;
+  const YieldReport r = estimate_yield(gate, m, 200);
+  EXPECT_LT(r.yield, 0.5);
+  EXPECT_GT(r.worst_row_failures, 0u);
+}
+
+TEST(Variability, YieldMonotoneInPhaseSigma) {
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  double prev = 1.1;
+  for (double sigma : {0.05, 0.3, 0.8, 1.5}) {
+    VariabilityModel m;
+    m.sigma_phase = sigma;
+    m.seed = 3;
+    const double y = estimate_yield(gate, m, 300).yield;
+    EXPECT_LE(y, prev + 0.05) << "sigma " << sigma;  // allow MC noise
+    prev = y;
+  }
+}
+
+TEST(Variability, AmplitudeSpreadHurtsMajMoreThanXor) {
+  // Counter-intuitive but physical: the MAJ's minority-I3 rows operate
+  // near an amplitude cancellation (2 a_arm ~ a_tap, the small Table I
+  // values), so input amplitude spread can flip the residual's sign and
+  // the detected phase. The XOR's two classes sit at normalized ~1 and ~0
+  // — far from its 0.5 threshold — so the same spread barely touches it.
+  TriangleXorGate xg = TriangleXorGate::paper_device();
+  TriangleMajGate mg = TriangleMajGate::paper_device();
+  VariabilityModel m;
+  m.sigma_amplitude = 0.30;
+  m.seed = 11;
+  const double xor_yield = estimate_yield(xg, m, 300).yield;
+  const double maj_yield = estimate_yield(mg, m, 300).yield;
+  EXPECT_GT(xor_yield, 0.9);
+  EXPECT_LT(maj_yield, xor_yield);
+
+  // At realistic (5%) spread both gates yield well.
+  m.sigma_amplitude = 0.05;
+  EXPECT_GT(estimate_yield(mg, m, 300).yield, 0.95);
+  EXPECT_GT(estimate_yield(xg, m, 300).yield, 0.95);
+}
+
+TEST(Variability, DeterministicInSeed) {
+  TriangleMajGate gate = TriangleMajGate::paper_device();
+  VariabilityModel m;
+  m.sigma_phase = 0.4;
+  m.seed = 123;
+  const YieldReport a = estimate_yield(gate, m, 100);
+  const YieldReport b = estimate_yield(gate, m, 100);
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_DOUBLE_EQ(a.mean_worst_margin, b.mean_worst_margin);
+}
+
+}  // namespace
+}  // namespace swsim::core

@@ -1,0 +1,256 @@
+#include "core/wave_cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/logic.h"
+
+namespace swsim::core {
+namespace {
+
+TEST(WaveCascade, SingleMajStage) {
+  WaveCascade wc;
+  const auto a = wc.primary();
+  const auto b = wc.primary();
+  const auto c = wc.primary();
+  const auto [o1, o2] = wc.add_maj3(a, b, c);
+  for (const auto& p : all_input_patterns(3)) {
+    wc.evaluate(p);
+    const bool expected = maj3(p[0], p[1], p[2]);
+    EXPECT_EQ(wc.read_phase(o1).logic, expected);
+    EXPECT_EQ(wc.read_phase(o2).logic, expected);
+  }
+}
+
+TEST(WaveCascade, TwoStageMajChain) {
+  // MAJ(MAJ(a,b,c), d, e): the second stage is driven by the first
+  // stage's raw wave — assumption (v) in action. Because the MAJ output
+  // amplitude is vote-dependent (Table I), a narrow first-stage vote can
+  // be outvoted downstream; a repeater (normalizer) between the stages
+  // restores logic-exact cascading on all 32 patterns.
+  auto run = [](bool normalize) {
+    WaveCascade wc;
+    const auto a = wc.primary();
+    const auto b = wc.primary();
+    const auto c = wc.primary();
+    const auto d = wc.primary();
+    const auto e = wc.primary();
+    auto [m1, m1b] = wc.add_maj3(a, b, c);
+    (void)m1b;
+    const auto stage1 = normalize ? wc.add_repeater(m1) : m1;
+    const auto [m2, m2b] = wc.add_maj3(stage1, d, e);
+    (void)m2b;
+    int wrong = 0;
+    for (const auto& p : all_input_patterns(5)) {
+      wc.evaluate(p);
+      const bool expected = maj3(maj3(p[0], p[1], p[2]), p[3], p[4]);
+      if (wc.read_phase(m2).logic != expected) ++wrong;
+    }
+    return wrong;
+  };
+  EXPECT_EQ(run(true), 0);   // normalized cascade: exact
+  EXPECT_GT(run(false), 0);  // raw cascade: narrow votes get outvoted
+}
+
+TEST(WaveCascade, ChainedWaveContributionShrinks) {
+  // The chained input enters one arm of each stage; its share of the next
+  // output shrinks by the arm weight every stage while fresh transducer
+  // inputs stay at full strength. Measure the sensitivity of the final
+  // phasor to the chained value after 1 vs 3 stages.
+  auto final_phasor = [](int stages, bool s0) {
+    WaveCascade wc;
+    const auto a = wc.primary();
+    const auto one = wc.constant(true);
+    const auto zero = wc.constant(false);
+    auto [s, sb] = wc.add_maj3(a, one, zero);
+    (void)sb;
+    for (int i = 1; i < stages; ++i) {
+      auto [next, nb] = wc.add_maj3(s, one, zero);
+      (void)nb;
+      s = next;
+    }
+    wc.evaluate({s0});
+    return wc.phasor(s);
+  };
+  const double sens1 =
+      std::abs(final_phasor(1, false) - final_phasor(1, true));
+  const double sens3 =
+      std::abs(final_phasor(3, false) - final_phasor(3, true));
+  EXPECT_GT(sens1, 0.0);
+  EXPECT_LT(sens3, 0.5 * sens1);
+}
+
+TEST(WaveCascade, RepeaterNormalizesAmplitude) {
+  // MAJ output amplitude depends on the vote (Table I: unanimous ~1,
+  // narrow ~0.06 normalized); the repeater flattens this to a unit wave
+  // while preserving the phase (the logic).
+  WaveCascade wc;
+  const auto a = wc.primary();
+  const auto b = wc.primary();
+  const auto c = wc.primary();
+  auto [s1, s1b] = wc.add_maj3(a, b, c);
+  (void)s1b;
+  const auto r = wc.add_repeater(s1);
+
+  wc.evaluate({true, true, true});
+  const double unanimous = std::abs(wc.phasor(s1));
+  EXPECT_NEAR(std::abs(wc.phasor(r)), 1.0, 1e-12);
+  EXPECT_TRUE(wc.read_phase(r).logic);
+
+  wc.evaluate({true, true, false});
+  const double narrow = std::abs(wc.phasor(s1));
+  EXPECT_LT(narrow, 0.5 * unanimous);  // vote-dependent raw amplitude
+  EXPECT_NEAR(std::abs(wc.phasor(r)), 1.0, 1e-12);  // flattened
+  EXPECT_TRUE(wc.read_phase(r).logic);  // logic preserved
+}
+
+TEST(WaveCascade, FanOutOfTwoEnforced) {
+  WaveCascade wc;
+  const auto a = wc.primary();
+  const auto b = wc.primary();
+  const auto c = wc.primary();
+  const auto [o1, o2] = wc.add_maj3(a, b, c);
+  (void)o2;
+  wc.add_maj3(o1, a, b);
+  wc.add_maj3(o1, a, c);
+  EXPECT_THROW(wc.add_maj3(o1, b, c), std::runtime_error);
+}
+
+TEST(WaveCascade, XorTerminatesCascade) {
+  // XOR output is amplitude-encoded: reading with the threshold detector
+  // works; feeding it onward must be rejected.
+  WaveCascade wc;
+  const auto a = wc.primary();
+  const auto b = wc.primary();
+  const auto c = wc.primary();
+  const auto [x, xb] = wc.add_xor2(a, b);
+  (void)xb;
+  EXPECT_THROW(wc.add_maj3(x, a, c), std::logic_error);
+  EXPECT_THROW(wc.add_xor2(x, a), std::logic_error);
+
+  for (const auto& p : all_input_patterns(2)) {
+    wc.evaluate({p[0], p[1], false});
+    EXPECT_EQ(wc.read_threshold(x).logic, xor2(p[0], p[1]));
+  }
+}
+
+TEST(WaveCascade, XorAfterMajNeedsNormalization) {
+  // The headline cascade finding: a MAJ output carries vote-dependent
+  // amplitude (Table I), so feeding it straight into a threshold-detected
+  // XOR mis-normalizes on narrow votes — the very problem the paper's
+  // ref. [8] ("spin wave normalization toward all magnonic circuits")
+  // exists to solve. A repeater (normalization stage) fixes every pattern.
+
+  // Without normalization: at least one narrow-vote pattern misreads.
+  {
+    WaveCascade wc;
+    const auto a = wc.primary();
+    const auto b = wc.primary();
+    const auto c = wc.primary();
+    const auto [m, mb] = wc.add_maj3(a, b, c);
+    (void)mb;
+    const auto [x, xb] = wc.add_xor2(m, a);
+    (void)xb;
+    int wrong = 0;
+    for (const auto& p : all_input_patterns(3)) {
+      wc.evaluate(p);
+      const bool expected = xor2(maj3(p[0], p[1], p[2]), p[0]);
+      if (wc.read_threshold(x).logic != expected) ++wrong;
+    }
+    EXPECT_GT(wrong, 0);
+  }
+
+  // With a repeater between the stages: all 8 patterns correct.
+  {
+    WaveCascade wc;
+    const auto a = wc.primary();
+    const auto b = wc.primary();
+    const auto c = wc.primary();
+    const auto [m, mb] = wc.add_maj3(a, b, c);
+    (void)mb;
+    const auto r = wc.add_repeater(m);
+    const auto [x, xb] = wc.add_xor2(r, a);
+    (void)xb;
+    for (const auto& p : all_input_patterns(3)) {
+      wc.evaluate(p);
+      const bool expected = xor2(maj3(p[0], p[1], p[2]), p[0]);
+      EXPECT_EQ(wc.read_threshold(x).logic, expected)
+          << p[0] << p[1] << p[2];
+    }
+  }
+}
+
+TEST(WaveCascade, PassThroughChainNeedsRepeaters) {
+  // A pass-through chain: each stage computes MAJ(s, 1, 0), whose two
+  // fresh inputs ideally cancel so the output follows s. The chained
+  // wave's contribution shrinks by the arm weight every stage, so without
+  // repeaters the carried signal drowns in the residue of the imperfect
+  // 1/0 cancellation; with a repeater per stage it is regenerated.
+  auto chain_signal = [](bool repeaters, bool s0) {
+    WaveCascade wc;
+    const auto a = wc.primary();  // evaluated to s0
+    const auto one = wc.constant(true);
+    const auto zero = wc.constant(false);
+    auto [s, sb] = wc.add_maj3(a, one, zero);
+    (void)sb;
+    for (int stage = 0; stage < 6; ++stage) {
+      if (repeaters) s = wc.add_repeater(s);
+      auto [next, nb] = wc.add_maj3(s, one, zero);
+      (void)nb;
+      s = next;
+    }
+    wc.evaluate({s0});
+    return wc.read_phase(s);
+  };
+  // With repeaters the chain transports both logic values faithfully.
+  EXPECT_FALSE(chain_signal(true, false).logic);
+  EXPECT_TRUE(chain_signal(true, true).logic);
+  // Without repeaters the carried wave decays below the cancellation
+  // residue and the chain forgets its input: both initial values converge
+  // to the same (residue-determined) reading.
+  const bool bare0 = chain_signal(false, false).logic;
+  const bool bare1 = chain_signal(false, true).logic;
+  EXPECT_EQ(bare0, bare1);
+}
+
+TEST(WaveCascade, ConstantsWork) {
+  // AND via MAJ(a, b, 0) at wave level.
+  WaveCascade wc;
+  const auto a = wc.primary();
+  const auto b = wc.primary();
+  const auto zero = wc.constant(false);
+  const auto [o, ob] = wc.add_maj3(a, b, zero);
+  (void)ob;
+  for (const auto& p : all_input_patterns(2)) {
+    wc.evaluate(p);
+    EXPECT_EQ(wc.read_phase(o).logic, p[0] && p[1]);
+  }
+}
+
+TEST(WaveCascade, ExcitationCellAccounting) {
+  WaveCascade wc;
+  const auto a = wc.primary();
+  const auto b = wc.primary();
+  const auto zero = wc.constant(false);
+  auto [o, ob] = wc.add_maj3(a, b, zero);
+  (void)ob;
+  wc.add_repeater(o);
+  EXPECT_EQ(wc.excitation_cells(), 2 + 1 + 1);
+}
+
+TEST(WaveCascade, ErrorsBeforeEvaluate) {
+  WaveCascade wc;
+  const auto a = wc.primary();
+  EXPECT_THROW(wc.phasor(a), std::logic_error);
+  EXPECT_THROW(wc.evaluate({true, false}), std::invalid_argument);
+}
+
+TEST(WaveCascade, RequiresMajDesign) {
+  TriangleGateConfig xor_design;
+  xor_design.params = geom::TriangleGateParams::paper_xor();
+  EXPECT_THROW(WaveCascade{xor_design}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsim::core

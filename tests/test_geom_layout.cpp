@@ -1,0 +1,308 @@
+#include "geom/gate_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/constants.h"
+
+namespace swsim::geom {
+namespace {
+
+using swsim::math::nm;
+
+TEST(TriangleGateParams, PaperMaj3Dimensions) {
+  const auto p = TriangleGateParams::paper_maj3();
+  EXPECT_NEAR(p.d1(), nm(330), 1e-15);
+  EXPECT_NEAR(p.d2(), nm(880), 1e-15);
+  EXPECT_NEAR(p.d3(), nm(220), 1e-15);
+  EXPECT_NEAR(p.d4(), nm(55), 1e-15);
+  EXPECT_TRUE(p.has_third_input);
+}
+
+TEST(TriangleGateParams, PaperXorDimensions) {
+  const auto p = TriangleGateParams::paper_xor();
+  EXPECT_NEAR(p.d1(), nm(330), 1e-15);
+  EXPECT_NEAR(p.branch_out(), nm(40), 1e-15);
+  EXPECT_FALSE(p.has_third_input);
+}
+
+TEST(TriangleGateParams, ValidatesWidthRule) {
+  auto p = TriangleGateParams::paper_maj3();
+  p.width = p.wavelength * 1.01;  // width must be <= lambda (Sec. III-A)
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(TriangleGateParams, ValidatesMultiples) {
+  auto p = TriangleGateParams::paper_maj3();
+  p.n_arm = 1.3;  // not a multiple of 1/2
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  p = TriangleGateParams::paper_maj3();
+  p.n_arm = 2.5;  // (n + 1/2) lambda is a legal design point
+  EXPECT_NO_THROW(p.validate());
+
+  p = TriangleGateParams::paper_maj3();
+  p.n_out = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(TriangleGateParams, ValidatesAngle) {
+  auto p = TriangleGateParams::paper_maj3();
+  p.arm_half_angle_deg = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p.arm_half_angle_deg = 89.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(TriangleGateParams, XorRequiresPositiveOutDistance) {
+  auto p = TriangleGateParams::paper_xor();
+  p.xor_out_distance = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(TriangleGateLayout, KeyPointsOnAxis) {
+  const TriangleGateLayout layout(TriangleGateParams::paper_maj3());
+  EXPECT_DOUBLE_EQ(layout.merge_point().y, 0.0);
+  EXPECT_DOUBLE_EQ(layout.tap_point().y, 0.0);
+  EXPECT_DOUBLE_EQ(layout.split_point().y, 0.0);
+  // C is the axis midpoint.
+  EXPECT_NEAR(layout.tap_point().x,
+              (layout.merge_point().x + layout.split_point().x) / 2.0, 1e-15);
+  // Full axis length is d2.
+  EXPECT_NEAR(layout.split_point().x - layout.merge_point().x,
+              layout.params().d2(), 1e-12);
+}
+
+TEST(TriangleGateLayout, PortsPresent) {
+  const TriangleGateLayout maj(TriangleGateParams::paper_maj3());
+  EXPECT_TRUE(maj.has_port(Port::kIn1));
+  EXPECT_TRUE(maj.has_port(Port::kIn2));
+  EXPECT_TRUE(maj.has_port(Port::kIn3));
+  EXPECT_TRUE(maj.has_port(Port::kOut1));
+  EXPECT_TRUE(maj.has_port(Port::kOut2));
+
+  const TriangleGateLayout x(TriangleGateParams::paper_xor());
+  EXPECT_FALSE(x.has_port(Port::kIn3));
+  EXPECT_THROW(x.port(Port::kIn3), std::invalid_argument);
+}
+
+TEST(TriangleGateLayout, MirrorSymmetryAboutAxis) {
+  const TriangleGateLayout layout(TriangleGateParams::paper_maj3());
+  const auto& i1 = layout.port(Port::kIn1);
+  const auto& i2 = layout.port(Port::kIn2);
+  const auto& o1 = layout.port(Port::kOut1);
+  const auto& o2 = layout.port(Port::kOut2);
+  EXPECT_NEAR(i1.center.y, -i2.center.y, 1e-12);
+  EXPECT_NEAR(i1.center.x, i2.center.x, 1e-12);
+  EXPECT_NEAR(o1.center.y, -o2.center.y, 1e-12);
+  EXPECT_NEAR(o1.center.x, o2.center.x, 1e-12);
+}
+
+TEST(TriangleGateLayout, ArmLengthMatchesD1) {
+  const TriangleGateLayout layout(TriangleGateParams::paper_maj3());
+  const auto& i1 = layout.port(Port::kIn1);
+  EXPECT_NEAR(swsim::math::distance(i1.center, layout.merge_point()),
+              layout.params().d1(), 1e-12);
+}
+
+TEST(TriangleGateLayout, PathLengthsAreWavelengthMultiples) {
+  const auto params = TriangleGateParams::paper_maj3();
+  const TriangleGateLayout layout(params);
+  for (Port in : {Port::kIn1, Port::kIn2, Port::kIn3}) {
+    for (Port out : {Port::kOut1, Port::kOut2}) {
+      const double len = layout.path_length(in, out);
+      const double multiple = len / params.wavelength;
+      EXPECT_NEAR(multiple, std::round(multiple), 1e-9)
+          << to_string(in) << "->" << to_string(out);
+    }
+  }
+}
+
+TEST(TriangleGateLayout, PathLengthsSymmetricAcrossOutputs) {
+  const TriangleGateLayout layout(TriangleGateParams::paper_maj3());
+  for (Port in : {Port::kIn1, Port::kIn2, Port::kIn3}) {
+    EXPECT_NEAR(layout.path_length(in, Port::kOut1),
+                layout.path_length(in, Port::kOut2), 1e-12);
+  }
+}
+
+TEST(TriangleGateLayout, PathLengthArgumentChecks) {
+  const TriangleGateLayout layout(TriangleGateParams::paper_maj3());
+  EXPECT_THROW(layout.path_length(Port::kOut1, Port::kOut2),
+               std::invalid_argument);
+  EXPECT_THROW(layout.path_length(Port::kIn1, Port::kIn2),
+               std::invalid_argument);
+}
+
+TEST(TriangleGateLayout, BodyContainsKeyPoints) {
+  const TriangleGateLayout layout(TriangleGateParams::paper_maj3());
+  const Shape& body = layout.body();
+  EXPECT_TRUE(body.contains(layout.merge_point()));
+  EXPECT_TRUE(body.contains(layout.tap_point()));
+  EXPECT_TRUE(body.contains(layout.split_point()));
+  for (const auto& site : layout.ports()) {
+    EXPECT_TRUE(body.contains(site.center)) << to_string(site.port);
+  }
+}
+
+TEST(TriangleGateLayout, BoundingBoxCoversBody) {
+  const TriangleGateLayout layout(TriangleGateParams::paper_maj3());
+  const Rect bb = layout.bounding_box(nm(10));
+  for (const auto& site : layout.ports()) {
+    EXPECT_TRUE(bb.contains(site.center));
+  }
+}
+
+TEST(TriangleGateLayout, RasterizedBodyIsNonEmptyAndConnected) {
+  const auto params = TriangleGateParams::reduced_maj3(nm(50), nm(20));
+  const TriangleGateLayout layout(params);
+  const Rect bb = layout.bounding_box(nm(10));
+  const auto nx = static_cast<std::size_t>((bb.x1() - bb.x0()) / nm(5));
+  const auto ny = static_cast<std::size_t>((bb.y1() - bb.y0()) / nm(5));
+  // Shift the layout into grid coordinates by rasterizing on a grid that
+  // starts at the bounding-box corner.
+  swsim::math::Grid g(nx, ny, 1, nm(5), nm(5), nm(1));
+  // The body occupies a strict subset of the box.
+  std::size_t inside = 0;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      auto c = g.cell_center(ix, iy, 0);
+      c.x += bb.x0();
+      c.y += bb.y0();
+      if (layout.body().contains(c)) ++inside;
+    }
+  }
+  EXPECT_GT(inside, 50u);
+  EXPECT_LT(inside, g.cell_count() / 2);
+}
+
+TEST(TriangleGateLayout, InvertingTapIsHalfWavelengthLonger) {
+  auto params = TriangleGateParams::paper_maj3();
+  const TriangleGateLayout plain(params);
+  params.n_out += 0.5;
+  const TriangleGateLayout inverted(params);
+  EXPECT_NEAR(inverted.path_length(Port::kIn1, Port::kOut1) -
+                  plain.path_length(Port::kIn1, Port::kOut1),
+              params.wavelength / 2.0, 1e-12);
+}
+
+// Parameterized sweep: the layout is valid over a range of multiples.
+class LayoutSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(LayoutSweep, ConstructsAndKeepsSymmetry) {
+  const auto [n_arm, n_axis_half, n_feed] = GetParam();
+  TriangleGateParams p = TriangleGateParams::paper_maj3();
+  p.n_arm = n_arm;
+  p.n_axis_half = n_axis_half;
+  p.n_feed = n_feed;
+  const TriangleGateLayout layout(p);
+  EXPECT_NEAR(layout.path_length(Port::kIn1, Port::kOut1),
+              layout.path_length(Port::kIn2, Port::kOut2), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Multiples, LayoutSweep,
+    ::testing::Combine(::testing::Values(1, 2, 6, 12),
+                       ::testing::Values(1, 4, 8),
+                       ::testing::Values(1, 4, 9)));
+
+TEST(LadderGateParams, Validation) {
+  LadderGateParams p;
+  EXPECT_NO_THROW(p.validate());
+  p.width = p.wavelength * 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(LadderGateLayout, CellCountsMatchTableIII) {
+  LadderGateParams maj;
+  const LadderGateLayout lm(maj);
+  EXPECT_EQ(lm.excitation_cells(), 4);
+  EXPECT_EQ(lm.detection_cells(), 2);
+  EXPECT_EQ(lm.excitation_cells() + lm.detection_cells(), 6);  // Table III
+
+  LadderGateParams x;
+  x.is_xor = true;
+  const LadderGateLayout lx(x);
+  EXPECT_EQ(lx.excitation_cells() + lx.detection_cells(), 6);
+}
+
+TEST(LadderGateLayout, RequiresUnequalExcitation) {
+  const LadderGateLayout l((LadderGateParams()));
+  EXPECT_TRUE(l.requires_unequal_excitation());
+}
+
+TEST(LadderGateLayout, PathLengthBounds) {
+  const LadderGateLayout l((LadderGateParams()));
+  EXPECT_GT(l.path_length(0, 0), 0.0);
+  EXPECT_THROW(l.path_length(3, 0), std::invalid_argument);
+  EXPECT_THROW(l.path_length(0, 2), std::invalid_argument);
+}
+
+
+TEST(LadderGateLayout, GeometryReconstruction) {
+  const LadderGateLayout layout((LadderGateParams()));
+  // All six transducers present, including the replicated input.
+  for (LadderPort p : {LadderPort::kIn1, LadderPort::kIn2, LadderPort::kIn3,
+                       LadderPort::kIn3Replica, LadderPort::kOut1,
+                       LadderPort::kOut2}) {
+    EXPECT_NO_THROW(layout.port(p)) << to_string(p);
+  }
+  // Rails are mirror images: O1 above, O2 below, same x.
+  const auto& o1 = layout.port(LadderPort::kOut1);
+  const auto& o2 = layout.port(LadderPort::kOut2);
+  EXPECT_NEAR(o1.center.x, o2.center.x, 1e-12);
+  EXPECT_NEAR(o1.center.y, -o2.center.y, 1e-12);
+}
+
+TEST(LadderGateLayout, BodyContainsAllPorts) {
+  const LadderGateLayout layout((LadderGateParams()));
+  for (const auto& site : layout.ports()) {
+    EXPECT_TRUE(layout.body().contains(site.center)) << to_string(site.port);
+  }
+}
+
+TEST(LadderGateLayout, RasterizesConnected) {
+  LadderGateParams p;
+  p.n_rail = 4;
+  p.n_rung = 2;
+  const LadderGateLayout layout(p);
+  const Rect bb = layout.bounding_box(nm(10));
+  const auto nx = static_cast<std::size_t>((bb.x1() - bb.x0()) / nm(5));
+  const auto ny = static_cast<std::size_t>((bb.y1() - bb.y0()) / nm(5));
+  swsim::math::Grid g(nx, ny, 1, nm(5), nm(5), nm(1));
+  std::size_t inside = 0;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      auto c = g.cell_center(ix, iy, 0);
+      c.x += bb.x0();
+      c.y += bb.y0();
+      if (layout.body().contains(c)) ++inside;
+    }
+  }
+  EXPECT_GT(inside, 100u);
+  EXPECT_LT(inside, g.cell_count() / 2);
+}
+
+TEST(LadderGateLayout, LargerFootprintThanTriangle) {
+  // Part of the paper's story: the ladder spends more real estate (extra
+  // rail + stubs) for the same function.
+  LadderGateParams lp;  // defaults mirror the paper-scale multiples
+  const LadderGateLayout ladder(lp);
+  const TriangleGateLayout triangle(TriangleGateParams::paper_maj3());
+  const Rect lb = ladder.bounding_box(0.0);
+  const Rect tb = triangle.bounding_box(0.0);
+  const double ladder_area = (lb.x1() - lb.x0()) * (lb.y1() - lb.y0());
+  EXPECT_GT(ladder_area, 0.0);
+  (void)tb;  // footprints depend on the free layout choices; just sanity
+}
+
+TEST(PortNames, ToString) {
+  EXPECT_EQ(to_string(Port::kIn1), "I1");
+  EXPECT_EQ(to_string(Port::kIn3), "I3");
+  EXPECT_EQ(to_string(Port::kOut2), "O2");
+}
+
+}  // namespace
+}  // namespace swsim::geom

@@ -1,0 +1,146 @@
+#include "geom/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace swsim::geom {
+namespace {
+
+using swsim::math::Grid;
+using swsim::math::Mask;
+
+TEST(Rect, ContainsInterior) {
+  const Rect r(0, 0, 2, 1);
+  EXPECT_TRUE(r.contains({1, 0.5, 0}));
+  EXPECT_TRUE(r.contains({0, 0, 0}));  // boundary inclusive
+  EXPECT_FALSE(r.contains({3, 0.5, 0}));
+  EXPECT_FALSE(r.contains({1, 2, 0}));
+}
+
+TEST(Rect, RejectsDegenerate) {
+  EXPECT_THROW(Rect(0, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Rect(0, 1, 1, 0), std::invalid_argument);
+}
+
+TEST(Rect, Center) {
+  const Rect r(0, 0, 4, 2);
+  EXPECT_EQ(r.center(), (swsim::math::Vec3{2, 1, 0}));
+}
+
+TEST(Segment, AxisAligned) {
+  const Segment s({0, 0, 0}, {10, 0, 0}, 2.0);
+  EXPECT_TRUE(s.contains({5, 0.9, 0}));
+  EXPECT_TRUE(s.contains({5, -0.9, 0}));
+  EXPECT_FALSE(s.contains({5, 1.1, 0}));
+  EXPECT_FALSE(s.contains({-1, 0, 0}));
+  EXPECT_FALSE(s.contains({11, 0, 0}));
+  EXPECT_DOUBLE_EQ(s.length(), 10.0);
+}
+
+TEST(Segment, Diagonal45) {
+  const Segment s({0, 0, 0}, {10, 10, 0}, 1.0);
+  EXPECT_TRUE(s.contains({5, 5, 0}));
+  // Point 1.0 away perpendicular from the axis: outside half-width 0.5.
+  EXPECT_FALSE(s.contains({5.0 + 0.71, 5.0 - 0.71, 0}));
+  // Point ~0.35 away perpendicular: inside.
+  EXPECT_TRUE(s.contains({5.25, 4.75, 0}));
+}
+
+TEST(Segment, RejectsBadConstruction) {
+  EXPECT_THROW(Segment({0, 0, 0}, {1, 0, 0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(Segment({1, 1, 0}, {1, 1, 0}, 1.0), std::invalid_argument);
+}
+
+TEST(Circle, Contains) {
+  const Circle c({1, 1, 0}, 2.0);
+  EXPECT_TRUE(c.contains({1, 1, 0}));
+  EXPECT_TRUE(c.contains({3, 1, 0}));  // on the rim
+  EXPECT_FALSE(c.contains({3.1, 1, 0}));
+}
+
+TEST(Circle, RejectsBadRadius) {
+  EXPECT_THROW(Circle({0, 0, 0}, 0.0), std::invalid_argument);
+}
+
+TEST(Polygon, Triangle) {
+  const Polygon tri({{0, 0, 0}, {4, 0, 0}, {0, 4, 0}});
+  EXPECT_TRUE(tri.contains({1, 1, 0}));
+  EXPECT_FALSE(tri.contains({3, 3, 0}));
+  EXPECT_FALSE(tri.contains({-1, 1, 0}));
+}
+
+TEST(Polygon, NonConvex) {
+  // L-shaped polygon.
+  const Polygon ell(
+      {{0, 0, 0}, {4, 0, 0}, {4, 2, 0}, {2, 2, 0}, {2, 4, 0}, {0, 4, 0}});
+  EXPECT_TRUE(ell.contains({1, 3, 0}));
+  EXPECT_TRUE(ell.contains({3, 1, 0}));
+  EXPECT_FALSE(ell.contains({3, 3, 0}));  // the notch
+}
+
+TEST(Polygon, RejectsTooFewVertices) {
+  EXPECT_THROW(Polygon({{0, 0, 0}, {1, 0, 0}}), std::invalid_argument);
+}
+
+TEST(Union, CombinesShapes) {
+  Union u;
+  u.add(std::make_unique<Rect>(0, 0, 1, 1));
+  u.add(std::make_unique<Rect>(2, 0, 3, 1));
+  EXPECT_TRUE(u.contains({0.5, 0.5, 0}));
+  EXPECT_TRUE(u.contains({2.5, 0.5, 0}));
+  EXPECT_FALSE(u.contains({1.5, 0.5, 0}));
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(Difference, Subtracts) {
+  const Difference d(std::make_unique<Rect>(0, 0, 4, 4),
+                     std::make_unique<Rect>(1, 1, 2, 2));
+  EXPECT_TRUE(d.contains({3, 3, 0}));
+  EXPECT_FALSE(d.contains({1.5, 1.5, 0}));
+}
+
+TEST(Difference, RejectsNull) {
+  EXPECT_THROW(Difference(nullptr, std::make_unique<Rect>(0, 0, 1, 1)),
+               std::invalid_argument);
+}
+
+TEST(Rasterize, CountsCellCenters) {
+  const Grid g(10, 10, 1, 1.0, 1.0, 1.0);
+  // Rect covering the left half: x in [0, 5] contains centers 0.5..4.5.
+  const Rect r(0, 0, 5, 10);
+  const Mask m = rasterize(g, r);
+  EXPECT_EQ(m.count(), 50u);
+  EXPECT_TRUE(m.at(0, 0));
+  EXPECT_TRUE(m.at(4, 9));
+  EXPECT_FALSE(m.at(5, 0));
+}
+
+TEST(Rasterize, AllZLayersShareFootprint) {
+  const Grid g(4, 4, 3, 1.0, 1.0, 1.0);
+  const Rect r(0, 0, 2, 2);
+  const Mask m = rasterize(g, r);
+  for (std::size_t z = 0; z < 3; ++z) {
+    EXPECT_TRUE(m.at(0, 0, z));
+    EXPECT_TRUE(m.at(1, 1, z));
+    EXPECT_FALSE(m.at(3, 3, z));
+  }
+}
+
+TEST(Rasterize, NarrowSegmentIsConnected) {
+  // A diagonal waveguide should rasterize into a 4-connected-ish band
+  // without gaps along its length.
+  const Grid g(40, 40, 1, 1.0, 1.0, 1.0);
+  const Segment s({2, 2, 0}, {38, 38, 0}, 4.0);
+  const Mask m = rasterize(g, s);
+  EXPECT_GT(m.count(), 100u);
+  // Every x-column between 4 and 36 must contain at least one cell.
+  for (std::size_t x = 4; x <= 36; ++x) {
+    bool any = false;
+    for (std::size_t y = 0; y < 40; ++y) any = any || m.at(x, y);
+    EXPECT_TRUE(any) << "gap at column " << x;
+  }
+}
+
+}  // namespace
+}  // namespace swsim::geom

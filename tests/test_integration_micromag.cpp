@@ -1,0 +1,133 @@
+// End-to-end micromagnetic gate validation — our equivalent of the paper's
+// MuMax3 experiments (Fig. 5, Tables I/II) at reduced scale. These are the
+// slowest tests in the suite (seconds each); the full sweeps live in the
+// bench harness.
+#include <gtest/gtest.h>
+
+#include "core/logic.h"
+#include "core/micromag_gate.h"
+#include "core/triangle_gate.h"
+#include "core/validator.h"
+#include "math/constants.h"
+#include "math/lockin.h"
+
+namespace swsim::core {
+namespace {
+
+using swsim::math::nm;
+
+MicromagGateConfig xor_config() {
+  MicromagGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::reduced_xor(nm(50), nm(20));
+  return cfg;
+}
+
+MicromagGateConfig maj_config() {
+  MicromagGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::reduced_maj3(nm(50), nm(20));
+  return cfg;
+}
+
+TEST(MicromagGate, ConstructionSanity) {
+  MicromagTriangleGate gate(xor_config());
+  EXPECT_EQ(gate.num_inputs(), 2u);
+  EXPECT_GT(gate.drive_frequency(), 1e9);
+  EXPECT_GT(gate.simulated_duration(), 0.0);
+  EXPECT_GT(gate.body_mask().count(), 100u);
+}
+
+TEST(MicromagGate, ConfigValidation) {
+  MicromagGateConfig cfg = xor_config();
+  cfg.cell_size = 0.0;
+  EXPECT_THROW(MicromagTriangleGate{cfg}, std::invalid_argument);
+
+  cfg = xor_config();
+  cfg.cell_size = cfg.params.wavelength;  // < 4 cells per wavelength
+  EXPECT_THROW(MicromagTriangleGate{cfg}, std::invalid_argument);
+
+  cfg = xor_config();
+  cfg.settle_fraction = 0.99;
+  EXPECT_THROW(MicromagTriangleGate{cfg}, std::invalid_argument);
+}
+
+TEST(MicromagGate, RejectsWrongArity) {
+  MicromagTriangleGate gate(xor_config());
+  EXPECT_THROW(gate.evaluate({true, false, true}), std::invalid_argument);
+}
+
+TEST(MicromagGate, XorFullTruthTable) {
+  // The headline experiment: LLG simulation of the triangle XOR validates
+  // the full truth table with threshold detection (paper Table II).
+  MicromagTriangleGate gate(xor_config());
+  const auto report = validate_gate(gate);
+  EXPECT_TRUE(report.all_pass) << format_report(report);
+  // Fan-out of 2: both outputs agree within a few percent (paper: 0.99 vs 1).
+  EXPECT_LT(report.max_output_asymmetry, 0.15);
+}
+
+TEST(MicromagGate, XorAmplitudeContrast) {
+  MicromagTriangleGate gate(xor_config());
+  const auto same = gate.evaluate_full({false, false});
+  const auto diff = gate.evaluate_full({true, false});
+  // In-phase >> antiphase: the Table II pattern (1 vs ~0).
+  EXPECT_GT(same.outputs.normalized_o1, 2.0 * diff.outputs.normalized_o1);
+  EXPECT_LT(diff.outputs.normalized_o1, 0.5);   // below the 0.5 threshold
+  EXPECT_GT(same.outputs.normalized_o1, 0.5);
+}
+
+TEST(MicromagGate, XorSnapshotContainsWave) {
+  MicromagTriangleGate gate(xor_config());
+  const auto ev = gate.evaluate_full({false, false});
+  double peak = 0.0;
+  for (double v : ev.snapshot_mx) peak = std::max(peak, std::fabs(v));
+  EXPECT_GT(peak, 1e-4);  // a visible wave pattern for Fig. 5 rendering
+  EXPECT_EQ(ev.snapshot_mx.grid().cell_count(), gate.grid().cell_count());
+}
+
+TEST(MicromagGate, MajFullTruthTable) {
+  // Phase detection over all 8 patterns (paper Fig. 5 / Table I).
+  MicromagTriangleGate gate(maj_config());
+  const auto report = validate_gate(gate);
+  EXPECT_TRUE(report.all_pass) << format_report(report);
+  // FO2: normalized outputs nearly identical (paper: 0.083 vs 0.084).
+  EXPECT_LT(report.max_output_asymmetry, 0.05);
+}
+
+TEST(MicromagGate, HalfWavelengthTapInvertsPhysically) {
+  // The paper's inverted-output rule, validated in the LLG solver: moving
+  // the detectors out by lambda/2 shifts the arriving wave's absolute
+  // phase by ~pi relative to the nominal device (measured on the same
+  // all-zeros excitation).
+  MicromagGateConfig plain_cfg = maj_config();
+  MicromagGateConfig shifted_cfg = maj_config();
+  shifted_cfg.params.n_out += 0.5;
+
+  MicromagTriangleGate plain(plain_cfg);
+  MicromagTriangleGate shifted(shifted_cfg);
+  const std::vector<bool> zeros{false, false, false};
+  const auto ev_plain = plain.evaluate_full(zeros);
+  const auto ev_shift = shifted.evaluate_full(zeros);
+  // evaluate_full reports phases relative to each gate's own calibration
+  // (both ~0); compare the raw lock-in phases instead.
+  const double dphi =
+      swsim::math::phase_distance(ev_plain.o1_phase + swsim::math::kPi,
+                                  ev_shift.o1_phase);
+  // The half-wavelength tap adds pi (plus small junction corrections).
+  EXPECT_LT(dphi, 0.7);
+}
+
+TEST(MicromagGate, AgreesWithAnalyticalBackend) {
+  // The same device evaluated by the wave-network backend and by LLG must
+  // produce the same logic for every input pattern.
+  MicromagTriangleGate mm(xor_config());
+  TriangleGateConfig acfg;
+  acfg.params = xor_config().params;
+  TriangleXorGate analytical(acfg);
+  for (const auto& p : all_input_patterns(2)) {
+    EXPECT_EQ(mm.evaluate(p).o1.logic, analytical.evaluate(p).o1.logic)
+        << "pattern " << p[0] << p[1];
+  }
+}
+
+}  // namespace
+}  // namespace swsim::core

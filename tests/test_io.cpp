@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.h"
+#include "io/render.h"
+#include "io/table.h"
+
+namespace swsim::io {
+namespace {
+
+using swsim::math::Grid;
+using swsim::math::Mask;
+using swsim::math::ScalarField;
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  // Every line has the same width up to trailing content.
+  std::istringstream is(out);
+  std::string header, underline;
+  std::getline(is, header);
+  std::getline(is, underline);
+  EXPECT_EQ(underline.find_first_not_of('-'), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 3), "1.000");
+}
+
+TEST(Table, SciFormatting) {
+  const std::string s = Table::sci(12345.0, 2);
+  EXPECT_NE(s.find("1.23e"), std::string::npos);
+}
+
+TEST(Csv, EscapeRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = ::testing::TempDir() + "swsim_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"h1", "h2"});
+    w.write_row({"1", "x,y"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "h1,h2");
+  EXPECT_EQ(line2, "1,\"x,y\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv"), std::runtime_error);
+}
+
+ScalarField ramp_field() {
+  const Grid g(8, 4, 1, 1e-9, 1e-9, 1e-9);
+  ScalarField f(g);
+  for (std::size_t y = 0; y < 4; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      f.at(x, y) = (static_cast<double>(x) / 7.0) * 2.0 - 1.0;
+    }
+  }
+  return f;
+}
+
+TEST(Render, AsciiMapHasGridShape) {
+  const std::string s = ascii_map(ramp_field(), 1.0);
+  std::size_t lines = 0;
+  for (char c : s) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(Render, AsciiMapRespectsMask) {
+  const auto f = ramp_field();
+  Mask m(f.grid());
+  const std::string s = ascii_map(f, 1.0, &m);
+  for (char c : s) {
+    EXPECT_TRUE(c == ' ' || c == '\n');
+  }
+}
+
+TEST(Render, SignMapClassifies) {
+  const auto f = ramp_field();
+  const std::string s = sign_map(f, 0.5);
+  EXPECT_NE(s.find('+'), std::string::npos);
+  EXPECT_NE(s.find('-'), std::string::npos);
+  EXPECT_NE(s.find('0'), std::string::npos);
+}
+
+TEST(Render, PgmWritesValidHeaderAndSize) {
+  const auto f = ramp_field();
+  const std::string path = ::testing::TempDir() + "swsim_test.pgm";
+  write_pgm(path, f, 1.0);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 8u);
+  EXPECT_EQ(h, 4u);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(w * h);
+  in.read(pixels.data(), static_cast<long>(pixels.size()));
+  EXPECT_EQ(static_cast<std::size_t>(in.gcount()), w * h);
+  std::remove(path.c_str());
+}
+
+TEST(Render, PgmThrowsOnBadPath) {
+  EXPECT_THROW(write_pgm("/nonexistent-dir/x.pgm", ramp_field(), 1.0),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swsim::io

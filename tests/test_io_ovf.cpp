@@ -1,0 +1,98 @@
+#include "io/ovf.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "math/rng.h"
+
+namespace swsim::io {
+namespace {
+
+using swsim::math::Grid;
+using swsim::math::Pcg32;
+using swsim::math::Vec3;
+using swsim::math::VectorField;
+
+VectorField random_field(const Grid& g, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  VectorField f(g);
+  for (auto& v : f) {
+    v = swsim::math::normalized(
+        Vec3{rng.normal(), rng.normal(), rng.normal()});
+  }
+  return f;
+}
+
+TEST(Ovf, RoundTripPreservesFieldAndMesh) {
+  const Grid g(6, 4, 2, 5e-9, 4e-9, 1e-9);
+  const VectorField original = random_field(g, 42);
+  const std::string path = ::testing::TempDir() + "swsim_roundtrip.ovf";
+  write_ovf(path, original, "round trip");
+  const VectorField back = read_ovf(path);
+
+  ASSERT_EQ(back.grid(), g);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(back[i].x, original[i].x, 1e-8);
+    EXPECT_NEAR(back[i].y, original[i].y, 1e-8);
+    EXPECT_NEAR(back[i].z, original[i].z, 1e-8);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, HeaderIsWellFormed) {
+  const Grid g(3, 3, 1, 2e-9, 2e-9, 1e-9);
+  const VectorField f(g, Vec3{0, 0, 1});
+  const std::string path = ::testing::TempDir() + "swsim_header.ovf";
+  write_ovf(path, f, "header check");
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "# OOMMF OVF 2.0");
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("# Title: header check"), std::string::npos);
+  EXPECT_NE(all.find("# xnodes: 3"), std::string::npos);
+  EXPECT_NE(all.find("# valuedim: 3"), std::string::npos);
+  EXPECT_NE(all.find("# End: Segment"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, WriteFailsOnBadPath) {
+  const Grid g(2, 2, 1, 1e-9, 1e-9, 1e-9);
+  const VectorField f(g);
+  EXPECT_THROW(write_ovf("/nonexistent-dir/x.ovf", f), std::runtime_error);
+}
+
+TEST(Ovf, ReadFailsOnMissingFile) {
+  EXPECT_THROW(read_ovf("/nonexistent-dir/x.ovf"), std::runtime_error);
+}
+
+TEST(Ovf, ReadRejectsTruncatedData) {
+  const std::string path = ::testing::TempDir() + "swsim_trunc.ovf";
+  {
+    std::ofstream out(path);
+    out << "# OOMMF OVF 2.0\n"
+        << "# xnodes: 2\n# ynodes: 2\n# znodes: 1\n"
+        << "# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n"
+        << "# Begin: Data Text\n"
+        << "1 0 0\n"  // only 1 of 4 rows
+        << "# End: Data Text\n";
+  }
+  EXPECT_THROW(read_ovf(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, ReadRejectsMissingMesh) {
+  const std::string path = ::testing::TempDir() + "swsim_nomesh.ovf";
+  {
+    std::ofstream out(path);
+    out << "# OOMMF OVF 2.0\n# Begin: Data Text\n1 0 0\n# End: Data Text\n";
+  }
+  EXPECT_THROW(read_ovf(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace swsim::io

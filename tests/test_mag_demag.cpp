@@ -1,0 +1,199 @@
+// Demagnetizing field: Newell tensor values against analytic references and
+// the FFT convolution against a direct sum.
+#include "mag/demag_field.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/constants.h"
+
+namespace swsim::mag {
+namespace {
+
+using namespace swsim::math;
+
+TEST(NewellTensor, SelfDemagOfCubeIsOneThird) {
+  // A uniformly magnetized cube has N_xx = N_yy = N_zz = 1/3 exactly.
+  const double d = 1e-9;
+  EXPECT_NEAR(newell_nxx(0, 0, 0, d, d, d), 1.0 / 3.0, 1e-9);
+}
+
+TEST(NewellTensor, SelfTermTraceIsOne) {
+  // Tr N(0) = 1 for any cell shape (flux closure).
+  const double dx = 3e-9, dy = 1e-9, dz = 0.5e-9;
+  const double nxx = newell_nxx(0, 0, 0, dx, dy, dz);
+  const double nyy = newell_nxx(0, 0, 0, dy, dx, dz);
+  const double nzz = newell_nxx(0, 0, 0, dz, dy, dx);
+  EXPECT_NEAR(nxx + nyy + nzz, 1.0, 1e-9);
+}
+
+TEST(NewellTensor, ThinFilmCellIsDominatedByNzz) {
+  // A flat cell (dz << dx, dy) approaches the thin-film limit N_zz -> 1.
+  const double nzz = newell_nxx(0, 0, 0, 0.1e-9, 50e-9, 50e-9);
+  EXPECT_GT(nzz, 0.95);
+}
+
+TEST(NewellTensor, OffDiagonalVanishesOnSymmetryAxes) {
+  // N_xy is odd in x and y: it must vanish when the offset lies on an axis.
+  const double d = 2e-9;
+  EXPECT_NEAR(newell_nxy(5 * d, 0, 0, d, d, d), 0.0, 1e-12);
+  EXPECT_NEAR(newell_nxy(0, 3 * d, 0, d, d, d), 0.0, 1e-12);
+  EXPECT_NEAR(newell_nxy(0, 0, 2 * d, d, d, d), 0.0, 1e-12);
+}
+
+TEST(NewellTensor, FarFieldMatchesPointDipole) {
+  // At separations >> cell size the cell-averaged tensor approaches the
+  // point-dipole kernel N_xx = (1/4pi) (1/r^3 - 3x^2/r^5) (for H = -N M).
+  const double d = 1e-9;
+  const double x = 20e-9, y = 5e-9, z = 0.0;
+  const double r = std::sqrt(x * x + y * y + z * z);
+  const double v = d * d * d;
+  const double dipole =
+      v / (4.0 * kPi) * (1.0 / (r * r * r) - 3.0 * x * x / std::pow(r, 5));
+  EXPECT_NEAR(newell_nxx(x, y, z, d, d, d), dipole,
+              std::fabs(dipole) * 0.02 + 1e-12);
+}
+
+TEST(NewellTensor, SumRuleOffsetCells) {
+  // Trace of the interaction tensor vanishes for non-overlapping cells
+  // (the dipolar kernel is traceless away from the source).
+  const double d = 1e-9;
+  const double x = 4e-9, y = 3e-9, z = 2e-9;
+  const double trace = newell_nxx(x, y, z, d, d, d) +
+                       newell_nxx(y, x, z, d, d, d) +
+                       newell_nxx(z, y, x, d, d, d);
+  EXPECT_NEAR(trace, 0.0, 1e-6);
+}
+
+TEST(ThinFilmDemag, FieldIsMinusMsMz) {
+  const Grid g(4, 4, 1, 5e-9, 5e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(g);
+  ThinFilmDemagField demag;
+  demag.accumulate(sys, m, 0.0, h);
+  EXPECT_NEAR(h[0].z, -Material::fecob().ms, 1.0);
+  EXPECT_NEAR(h[0].x, 0.0, 1e-9);
+}
+
+TEST(ThinFilmDemag, InPlaneStateFeelsNothing) {
+  const Grid g(4, 4, 1, 5e-9, 5e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  const auto m = sys.uniform_magnetization({1, 0, 0});
+  VectorField h(g);
+  ThinFilmDemagField demag;
+  demag.accumulate(sys, m, 0.0, h);
+  EXPECT_NEAR(norm(h[0]), 0.0, 1e-9);
+}
+
+TEST(ThinFilmDemag, EnergyPositiveForOutOfPlane) {
+  const Grid g(4, 4, 1, 5e-9, 5e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  ThinFilmDemagField demag;
+  EXPECT_GT(demag.energy(sys, sys.uniform_magnetization({0, 0, 1})), 0.0);
+  EXPECT_NEAR(demag.energy(sys, sys.uniform_magnetization({1, 0, 0})), 0.0,
+              1e-30);
+}
+
+TEST(NewellDemag, UniformCubeFieldIsMinusMOver3) {
+  // A uniformly magnetized cube of cells: the central cell's field
+  // approaches -Ms/3 in each direction (exact for the full cube average).
+  const std::size_t n = 8;
+  const Grid g(n, n, n, 1e-9, 1e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  NewellDemagField demag(sys);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  const VectorField h = demag.compute(sys, m);
+
+  // Volume-averaged field equals -N_avg * Ms with N_avg = 1/3 for a cube.
+  Vec3 avg{};
+  for (const Vec3& v : h) avg += v;
+  avg /= static_cast<double>(g.cell_count());
+  EXPECT_NEAR(avg.z, -Material::fecob().ms / 3.0,
+              Material::fecob().ms * 0.01);
+  EXPECT_NEAR(avg.x, 0.0, Material::fecob().ms * 1e-6);
+}
+
+TEST(NewellDemag, CubeIsotropy) {
+  // By symmetry the cube's average demag factor is the same along x and z.
+  const std::size_t n = 6;
+  const Grid g(n, n, n, 1e-9, 1e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  NewellDemagField demag(sys);
+
+  auto avg_parallel = [&](const Vec3& dir) {
+    const auto m = sys.uniform_magnetization(dir);
+    const VectorField h = demag.compute(sys, m);
+    double acc = 0.0;
+    for (const Vec3& v : h) acc += dot(v, dir);
+    return acc / static_cast<double>(g.cell_count());
+  };
+  EXPECT_NEAR(avg_parallel({1, 0, 0}), avg_parallel({0, 0, 1}), 1.0);
+}
+
+TEST(NewellDemag, ThinFilmApproachesLocalApproximation) {
+  // For an extended single-layer film, the interior field for m = z is
+  // close to -Ms (the thin-film limit used by ThinFilmDemagField).
+  const Grid g(32, 32, 1, 5e-9, 5e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  NewellDemagField demag(sys);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  const VectorField h = demag.compute(sys, m);
+  const double center = h.at(16, 16).z;
+  EXPECT_NEAR(center, -Material::fecob().ms, Material::fecob().ms * 0.05);
+}
+
+TEST(NewellDemag, MatchesDirectSumOnSmallGrid) {
+  // The FFT convolution must equal the O(N^2) direct tensor sum exactly.
+  const Grid g(4, 3, 1, 2e-9, 3e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  NewellDemagField demag(sys);
+
+  // A deliberately non-uniform magnetization.
+  VectorField m(g);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const double a = static_cast<double>(i);
+    m[i] = normalized(Vec3{std::sin(a), std::cos(2.0 * a), 1.0});
+  }
+  const VectorField h_fft = demag.compute(sys, m);
+
+  const double ms = Material::fecob().ms;
+  for (std::size_t yi = 0; yi < g.ny(); ++yi) {
+    for (std::size_t xi = 0; xi < g.nx(); ++xi) {
+      Vec3 direct{};
+      for (std::size_t yj = 0; yj < g.ny(); ++yj) {
+        for (std::size_t xj = 0; xj < g.nx(); ++xj) {
+          const double x = (static_cast<double>(xi) - static_cast<double>(xj)) * g.dx();
+          const double y = (static_cast<double>(yi) - static_cast<double>(yj)) * g.dy();
+          const double nxx = newell_nxx(x, y, 0, g.dx(), g.dy(), g.dz());
+          const double nyy = newell_nxx(y, x, 0, g.dy(), g.dx(), g.dz());
+          const double nzz = newell_nxx(0, y, x, g.dz(), g.dy(), g.dx());
+          const double nxy = newell_nxy(x, y, 0, g.dx(), g.dy(), g.dz());
+          const double nxz = newell_nxy(x, 0, y, g.dx(), g.dz(), g.dy());
+          const double nyz = newell_nxy(y, 0, x, g.dy(), g.dz(), g.dx());
+          const Vec3 mj = m[g.index(xj, yj, 0)] * ms;
+          direct.x -= nxx * mj.x + nxy * mj.y + nxz * mj.z;
+          direct.y -= nxy * mj.x + nyy * mj.y + nyz * mj.z;
+          direct.z -= nxz * mj.x + nyz * mj.y + nzz * mj.z;
+        }
+      }
+      const Vec3& fft = h_fft.at(xi, yi);
+      EXPECT_NEAR(fft.x, direct.x, ms * 1e-9);
+      EXPECT_NEAR(fft.y, direct.y, ms * 1e-9);
+      EXPECT_NEAR(fft.z, direct.z, ms * 1e-9);
+    }
+  }
+}
+
+TEST(NewellDemag, EnergyMatchesFieldContraction) {
+  const Grid g(4, 4, 1, 2e-9, 2e-9, 1e-9);
+  const System sys(g, Material::fecob());
+  NewellDemagField demag(sys);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  const double e = demag.energy(sys, m);
+  EXPECT_GT(e, 0.0);  // out-of-plane film state costs demag energy
+}
+
+}  // namespace
+}  // namespace swsim::mag

@@ -1,0 +1,218 @@
+// Exchange, anisotropy, Zeeman and antenna field terms.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mag/anisotropy_field.h"
+#include "mag/exchange_field.h"
+#include "mag/zeeman_field.h"
+#include "math/constants.h"
+
+namespace swsim::mag {
+namespace {
+
+using namespace swsim::math;
+
+Grid line_grid(std::size_t n) { return Grid(n, 1, 1, 2e-9, 2e-9, 1e-9); }
+
+TEST(ExchangeField, UniformStateHasZeroField) {
+  const System sys(line_grid(8), Material::fecob());
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(sys.grid());
+  ExchangeField ex;
+  ex.accumulate(sys, m, 0.0, h);
+  for (const Vec3& v : h) {
+    EXPECT_NEAR(norm(v), 0.0, 1e-6);
+  }
+}
+
+TEST(ExchangeField, MatchesAnalyticSpinWaveEigenvalue) {
+  // For m = z + eps*cos(kx) x, the exchange field's transverse component is
+  // -(2A/(mu0 Ms)) k_eff^2 * m_x with k_eff^2 = (2 - 2 cos(k dx))/dx^2 (the
+  // discrete Laplacian eigenvalue). Periodic fit: use a chain long enough
+  // that interior cells see the right neighbours.
+  const std::size_t n = 64;
+  const Grid g = line_grid(n);
+  const System sys(g, Material::fecob());
+  const double k = kTwoPi / (16.0 * g.dx());  // 16-cell wavelength
+  const double eps = 1e-4;
+  VectorField m(g);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = g.cell_center(i, 0, 0).x;
+    m[i] = normalized(Vec3{eps * std::cos(k * x), 0, 1});
+  }
+  VectorField h(g);
+  ExchangeField ex;
+  ex.accumulate(sys, m, 0.0, h);
+
+  const double dx = g.dx();
+  const double k_eff2 = (2.0 - 2.0 * std::cos(k * dx)) / (dx * dx);
+  const double pref =
+      2.0 * Material::fecob().aex / (kMu0 * Material::fecob().ms);
+  // Check an interior cell.
+  const std::size_t i = n / 2;
+  const double expected = -pref * k_eff2 * m[i].x;
+  EXPECT_NEAR(h[i].x, expected, std::fabs(expected) * 1e-3 + 1e-12);
+}
+
+TEST(ExchangeField, EnergyNonNegativeAndZeroForUniform) {
+  const System sys(line_grid(16), Material::fecob());
+  ExchangeField ex;
+  const auto uniform = sys.uniform_magnetization({0, 0, 1});
+  EXPECT_NEAR(ex.energy(sys, uniform), 0.0, 1e-30);
+
+  // A twisted state costs exchange energy.
+  VectorField twisted(sys.grid());
+  for (std::size_t i = 0; i < twisted.size(); ++i) {
+    const double ang = 0.2 * static_cast<double>(i);
+    twisted[i] = Vec3{std::sin(ang), 0, std::cos(ang)};
+  }
+  EXPECT_GT(ex.energy(sys, twisted), 0.0);
+}
+
+TEST(ExchangeField, MaskedNeighborsExcluded) {
+  // Two magnetic cells separated by a vacuum cell must not exchange-couple.
+  const Grid g = line_grid(3);
+  Mask mask(g);
+  mask.set_at(0, 0, true);
+  mask.set_at(2, 0, true);
+  const System sys(g, Material::fecob(), mask);
+  VectorField m(g);
+  m.at(0, 0) = Vec3{0, 0, 1};
+  m.at(2, 0) = Vec3{1, 0, 0};  // orthogonal: would give a huge field if coupled
+  VectorField h(g);
+  ExchangeField ex;
+  ex.accumulate(sys, m, 0.0, h);
+  EXPECT_NEAR(norm(h.at(0, 0)), 0.0, 1e-9);
+  EXPECT_NEAR(norm(h.at(2, 0)), 0.0, 1e-9);
+}
+
+TEST(AnisotropyField, AlignedStateFeelsFullField) {
+  const System sys(line_grid(4), Material::fecob());
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(sys.grid());
+  UniaxialAnisotropyField ani;
+  ani.accumulate(sys, m, 0.0, h);
+  const double expected = Material::fecob().anisotropy_field();
+  EXPECT_NEAR(h[0].z, expected, expected * 1e-12);
+  EXPECT_NEAR(h[0].x, 0.0, 1e-9);
+}
+
+TEST(AnisotropyField, TransverseStateFeelsNothing) {
+  const System sys(line_grid(4), Material::fecob());
+  const auto m = sys.uniform_magnetization({1, 0, 0});
+  VectorField h(sys.grid());
+  UniaxialAnisotropyField ani;
+  ani.accumulate(sys, m, 0.0, h);
+  EXPECT_NEAR(norm(h[0]), 0.0, 1e-9);
+}
+
+TEST(AnisotropyField, EnergyConvention) {
+  const System sys(line_grid(4), Material::fecob());
+  UniaxialAnisotropyField ani;
+  EXPECT_NEAR(ani.energy(sys, sys.uniform_magnetization({0, 0, 1})), 0.0,
+              1e-30);
+  const double e_hard = ani.energy(sys, sys.uniform_magnetization({1, 0, 0}));
+  const double expected =
+      Material::fecob().ku * sys.grid().cell_volume() * 4.0;  // 4 cells
+  EXPECT_NEAR(e_hard, expected, expected * 1e-12);
+}
+
+TEST(AnisotropyField, RejectsZeroAxis) {
+  EXPECT_THROW(UniaxialAnisotropyField(Vec3{0, 0, 0}), std::invalid_argument);
+}
+
+TEST(ZeemanField, AddsUniformField) {
+  const System sys(line_grid(4), Material::fecob());
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(sys.grid());
+  UniformZeemanField z(Vec3{0, 0, 5e4});
+  z.accumulate(sys, m, 0.0, h);
+  EXPECT_DOUBLE_EQ(h[0].z, 5e4);
+}
+
+TEST(ZeemanField, EnergyIsMinusMuoMsMdotH) {
+  const System sys(line_grid(2), Material::fecob());
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  UniformZeemanField z(Vec3{0, 0, 1e5});
+  const double expected = -kMu0 * Material::fecob().ms * 1e5 *
+                          sys.grid().cell_volume() * 2.0;
+  EXPECT_NEAR(z.energy(sys, m), expected, std::fabs(expected) * 1e-12);
+}
+
+TEST(Envelope, ContinuousIsAlwaysOne) {
+  const Envelope e = Envelope::continuous();
+  EXPECT_DOUBLE_EQ(e(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e(1e-9), 1.0);
+}
+
+TEST(Envelope, PulseWindow) {
+  const Envelope e = Envelope::pulse(1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(e(0.5e-9), 0.0);
+  EXPECT_DOUBLE_EQ(e(1.5e-9), 1.0);
+  EXPECT_DOUBLE_EQ(e(2.5e-9), 0.0);
+}
+
+TEST(Envelope, PulseRampIsSmooth) {
+  const Envelope e = Envelope::pulse(0.0, 1e-9, 0.2e-9);
+  EXPECT_NEAR(e(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(e(0.1e-9), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(e(0.5e-9), 1.0);
+  EXPECT_NEAR(e(0.9e-9), 0.5, 1e-9);
+}
+
+TEST(Envelope, PulseValidation) {
+  EXPECT_THROW(Envelope::pulse(1e-9, 0.5e-9), std::invalid_argument);
+  EXPECT_THROW(Envelope::pulse(0.0, 1e-9, 0.6e-9), std::invalid_argument);
+}
+
+TEST(AntennaField, DrivesOnlyItsRegion) {
+  const Grid g = line_grid(8);
+  const System sys(g, Material::fecob());
+  Mask region(g);
+  region.set_at(2, 0, true);
+  AntennaField ant(region, 1e3, Vec3{1, 0, 0}, 10e9, 0.0);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(g);
+  // At t = T/4, sin(2 pi f t) = 1.
+  const double t_quarter = 1.0 / (4.0 * 10e9);
+  ant.accumulate(sys, m, t_quarter, h);
+  EXPECT_NEAR(h.at(2, 0).x, 1e3, 1e-6);
+  EXPECT_NEAR(norm(h.at(3, 0)), 0.0, 1e-12);
+}
+
+TEST(AntennaField, PhasePiFlipsSign) {
+  const Grid g = line_grid(4);
+  const System sys(g, Material::fecob());
+  Mask region(g, true);
+  AntennaField a0(region, 1e3, Vec3{1, 0, 0}, 10e9, 0.0);
+  AntennaField a1(region, 1e3, Vec3{1, 0, 0}, 10e9, kPi);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h0(g), h1(g);
+  const double t = 1.0 / (4.0 * 10e9);
+  a0.accumulate(sys, m, t, h0);
+  a1.accumulate(sys, m, t, h1);
+  EXPECT_NEAR(h0[0].x, -h1[0].x, 1e-6);
+}
+
+TEST(AntennaField, Validation) {
+  const Grid g = line_grid(4);
+  Mask region(g, true);
+  EXPECT_THROW(AntennaField(region, 0.0, Vec3{1, 0, 0}, 1e9, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(AntennaField(region, 1e3, Vec3{1, 0, 0}, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(AntennaField, GridMismatchThrowsOnUse) {
+  const Grid g = line_grid(4);
+  const System sys(g, Material::fecob());
+  Mask region(line_grid(8), true);
+  AntennaField ant(region, 1e3, Vec3{1, 0, 0}, 1e9, 0.0);
+  const auto m = sys.uniform_magnetization({0, 0, 1});
+  VectorField h(g);
+  EXPECT_THROW(ant.accumulate(sys, m, 0.0, h), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsim::mag

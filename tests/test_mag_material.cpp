@@ -1,0 +1,82 @@
+#include "mag/material.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/constants.h"
+
+namespace swsim::mag {
+namespace {
+
+using namespace swsim::math;
+
+TEST(Material, FecobMatchesPaperParameters) {
+  const Material m = Material::fecob();
+  EXPECT_DOUBLE_EQ(m.ms, 1.1e6);        // 1100 kA/m
+  EXPECT_DOUBLE_EQ(m.aex, 18.5e-12);    // 18.5 pJ/m
+  EXPECT_DOUBLE_EQ(m.alpha, 0.004);
+  EXPECT_DOUBLE_EQ(m.ku, 0.832e6);      // 0.832 MJ/m^3
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(Material, ExchangeLength) {
+  const Material m = Material::fecob();
+  // l_ex = sqrt(2 A / (mu0 Ms^2)) ~ 4.93 nm for FeCoB.
+  EXPECT_NEAR(m.exchange_length(), 4.93e-9, 0.1e-9);
+}
+
+TEST(Material, AnisotropyField) {
+  const Material m = Material::fecob();
+  // H_ani = 2 Ku / (mu0 Ms) ~ 1.204e6 A/m.
+  EXPECT_NEAR(m.anisotropy_field(), 2.0 * m.ku / (kMu0 * m.ms), 1.0);
+  EXPECT_NEAR(m.anisotropy_field(), 1.204e6, 0.01e6);
+}
+
+TEST(Material, InternalFieldPositiveForFecob) {
+  // The paper's film has PMA strong enough to overcome the thin-film demag:
+  // H_ani - Ms > 0, which is what makes forward-volume waves possible.
+  const Material m = Material::fecob();
+  EXPECT_GT(m.internal_field(), 0.0);
+  EXPECT_NEAR(m.internal_field(), m.anisotropy_field() - m.ms, 1.0);
+}
+
+TEST(Material, InternalFieldWithAppliedField) {
+  const Material m = Material::fecob();
+  EXPECT_NEAR(m.internal_field(1e5) - m.internal_field(0.0), 1e5, 1e-6);
+}
+
+TEST(Material, YigHasLowDamping) {
+  const Material y = Material::yig();
+  EXPECT_LT(y.alpha, 1e-3);
+  EXPECT_NO_THROW(y.validate());
+}
+
+TEST(Material, PermalloyValidates) {
+  EXPECT_NO_THROW(Material::permalloy().validate());
+}
+
+TEST(Material, ValidationRejectsBadValues) {
+  Material m = Material::fecob();
+  m.ms = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  m = Material::fecob();
+  m.aex = -1e-12;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  m = Material::fecob();
+  m.alpha = 1.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  m = Material::fecob();
+  m.alpha = -0.1;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+
+  m = Material::fecob();
+  m.ku = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsim::mag

@@ -1,0 +1,161 @@
+#include "mag/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mag/anisotropy_field.h"
+#include "mag/demag_field.h"
+#include "mag/exchange_field.h"
+#include "mag/zeeman_field.h"
+#include "math/constants.h"
+#include "wavenet/dispersion.h"
+
+namespace swsim::mag {
+namespace {
+
+using namespace swsim::math;
+
+System small_system() {
+  return System(Grid(4, 4, 1, 5e-9, 5e-9, 1e-9), Material::fecob());
+}
+
+TEST(Simulation, StartsAtTimeZeroWithUniformM) {
+  Simulation sim(small_system());
+  EXPECT_DOUBLE_EQ(sim.time(), 0.0);
+  EXPECT_EQ(sim.magnetization()[0], (Vec3{0, 0, 1}));
+}
+
+TEST(Simulation, SetMagnetizationValidatesGrid) {
+  Simulation sim(small_system());
+  VectorField wrong(Grid(2, 2, 1, 1e-9, 1e-9, 1e-9));
+  EXPECT_THROW(sim.set_magnetization(wrong), std::invalid_argument);
+}
+
+TEST(Simulation, SetMagnetizationNormalizes) {
+  Simulation sim(small_system());
+  VectorField m(sim.system().grid(), Vec3{0, 0, 3});
+  sim.set_magnetization(m);
+  EXPECT_NEAR(norm(sim.magnetization()[0]), 1.0, 1e-15);
+}
+
+TEST(Simulation, AddTermRejectsNull) {
+  Simulation sim(small_system());
+  EXPECT_THROW(sim.add_term(nullptr), std::invalid_argument);
+}
+
+TEST(Simulation, RunAdvancesTime) {
+  Simulation sim(small_system());
+  sim.add_standard_terms();
+  sim.set_stepper(StepperKind::kRk4, ps(0.1));
+  sim.run(ps(10));
+  EXPECT_NEAR(sim.time(), ps(10), ps(0.2));
+  EXPECT_GT(sim.stepper_stats().steps_taken, 0u);
+}
+
+TEST(Simulation, RunRejectsNegativeDuration) {
+  Simulation sim(small_system());
+  EXPECT_THROW(sim.run(-1.0), std::invalid_argument);
+}
+
+TEST(Simulation, ProbeRecordsSamples) {
+  Simulation sim(small_system());
+  sim.add_standard_terms();
+  sim.set_stepper(StepperKind::kRk4, ps(0.1));
+  Mask region(sim.system().grid(), true);
+  auto& probe = sim.add_probe("all", region, ps(1));
+  sim.run(ps(10));
+  EXPECT_GE(probe.sample_count(), 10u);
+  EXPECT_EQ(probe.times().size(), probe.mz().size());
+  // Ground state along z: m_z stays ~1.
+  for (double mz : probe.mz()) EXPECT_NEAR(mz, 1.0, 1e-6);
+}
+
+TEST(Simulation, ProbeLookupByName) {
+  Simulation sim(small_system());
+  Mask region(sim.system().grid(), true);
+  sim.add_probe("foo", region, ps(1));
+  EXPECT_NO_THROW(sim.probe("foo"));
+  EXPECT_THROW(sim.probe("bar"), std::invalid_argument);
+}
+
+TEST(Simulation, ProbeRejectsEmptyRegion) {
+  Simulation sim(small_system());
+  Mask region(sim.system().grid());
+  EXPECT_THROW(sim.add_probe("empty", region, ps(1)), std::invalid_argument);
+}
+
+TEST(Simulation, GroundStateIsStationary) {
+  Simulation sim(small_system());
+  sim.add_standard_terms();
+  sim.set_stepper(StepperKind::kRk4, ps(0.1));
+  sim.run(ps(50));
+  // With PMA > demag, m = z is the ground state and must not move.
+  for (std::size_t i = 0; i < sim.magnetization().size(); ++i) {
+    EXPECT_NEAR(sim.magnetization()[i].z, 1.0, 1e-6);
+  }
+}
+
+TEST(Simulation, MaxTorqueZeroInGroundState) {
+  Simulation sim(small_system());
+  sim.add_standard_terms();
+  EXPECT_NEAR(sim.max_torque(), 0.0, 1.0);
+}
+
+TEST(Simulation, RelaxReducesTorque) {
+  Simulation sim(small_system());
+  sim.add_standard_terms();
+  // Tilt the state.
+  VectorField m(sim.system().grid(), normalized(Vec3{0.4, 0.1, 1.0}));
+  sim.set_magnetization(m);
+  const double before = sim.max_torque();
+  const double after = sim.relax(ns(0.4), /*torque_tol=*/before / 100.0);
+  EXPECT_LT(after, before / 10.0);
+}
+
+TEST(Simulation, TotalEnergyDecreasesUnderDamping) {
+  Simulation sim(small_system());
+  sim.add_standard_terms();
+  VectorField m(sim.system().grid(), normalized(Vec3{0.5, 0, 1.0}));
+  sim.set_magnetization(m);
+  const double e0 = sim.total_energy();
+  sim.set_stepper(StepperKind::kRk4, ps(0.05));
+  sim.run(ns(0.5));
+  const double e1 = sim.total_energy();
+  EXPECT_LT(e1, e0);
+}
+
+TEST(Simulation, EnergyConservedWithoutDamping) {
+  Material mat = Material::fecob();
+  mat.alpha = 0.0;
+  System sys(Grid(4, 4, 1, 5e-9, 5e-9, 1e-9), mat);
+  Simulation sim(std::move(sys));
+  sim.add_standard_terms();
+  VectorField m(sim.system().grid(), normalized(Vec3{0.3, 0, 1.0}));
+  sim.set_magnetization(m);
+  const double e0 = sim.total_energy();
+  sim.set_stepper(StepperKind::kRk4, ps(0.02));
+  sim.run(ps(200));
+  const double e1 = sim.total_energy();
+  EXPECT_NEAR(e1, e0, std::fabs(e0) * 1e-4 + 1e-25);
+}
+
+TEST(Simulation, AntennaExcitesPrecession) {
+  Simulation sim(small_system());
+  sim.add_standard_terms();
+  Mask region(sim.system().grid(), true);
+  const wavenet::Dispersion disp(Material::fecob(), 1e-9);
+  const double f = disp.frequency(0.0) * 1.001;  // near-resonant drive
+  sim.add_term(std::make_unique<AntennaField>(region, 2e3, Vec3{1, 0, 0}, f,
+                                              0.0));
+  auto& probe = sim.add_probe("all", region, 1.0 / (32.0 * f));
+  sim.set_stepper(StepperKind::kRk4, ps(0.2));
+  sim.run(ns(0.8));
+  // The drive must have produced a visible transverse oscillation.
+  double max_mx = 0.0;
+  for (double v : probe.mx()) max_mx = std::max(max_mx, std::fabs(v));
+  EXPECT_GT(max_mx, 1e-4);
+}
+
+}  // namespace
+}  // namespace swsim::mag

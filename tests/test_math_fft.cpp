@@ -1,0 +1,179 @@
+#include "math/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/constants.h"
+#include "math/rng.h"
+
+namespace swsim::math {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+  EXPECT_THROW(next_pow2(0), std::invalid_argument);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(3);
+  EXPECT_THROW(fft(data), std::invalid_argument);
+}
+
+TEST(Fft, SizeOneIsIdentity) {
+  std::vector<Complex> data{Complex{3.0, -2.0}};
+  fft(data);
+  EXPECT_DOUBLE_EQ(data[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(data[0].imag(), -2.0);
+}
+
+TEST(Fft, DeltaHasFlatSpectrum) {
+  std::vector<Complex> data(8, Complex{});
+  data[0] = 1.0;
+  fft(data);
+  for (const Complex& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsInCorrectBin) {
+  const std::size_t n = 32;
+  const std::size_t bin = 5;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = kTwoPi * static_cast<double>(bin * i) /
+                      static_cast<double>(n);
+    data[i] = Complex{std::cos(ph), std::sin(ph)};
+  }
+  fft(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expected = k == bin ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(data[k]), expected, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Pcg32 rng(7);
+  const std::size_t n = 64;
+  std::vector<Complex> data(n);
+  double time_energy = 0.0;
+  for (auto& c : data) {
+    c = Complex{rng.normal(), rng.normal()};
+    time_energy += std::norm(c);
+  }
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-9 * freq_energy);
+}
+
+// Parameterized round-trip across sizes.
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, ForwardInverseIsIdentity) {
+  const std::size_t n = GetParam();
+  Pcg32 rng(n);
+  std::vector<Complex> data(n);
+  for (auto& c : data) c = Complex{rng.normal(), rng.normal()};
+  const auto original = data;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 64, 256, 1024));
+
+TEST(Fft3d, RoundTrip) {
+  const std::size_t nx = 4, ny = 8, nz = 2;
+  Pcg32 rng(99);
+  std::vector<Complex> data(nx * ny * nz);
+  for (auto& c : data) c = Complex{rng.normal(), rng.normal()};
+  const auto original = data;
+  fft3d(data, nx, ny, nz);
+  fft3d(data, nx, ny, nz, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft3d, RejectsBadDimensions) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fft3d(data, 3, 4, 1), std::invalid_argument);
+  EXPECT_THROW(fft3d(data, 4, 4, 1), std::invalid_argument);  // size mismatch
+}
+
+TEST(Fft3d, SeparableTone) {
+  // A plane wave in 3D lands in exactly one 3D bin.
+  const std::size_t nx = 8, ny = 4, nz = 2;
+  const std::size_t bx = 3, by = 1, bz = 1;
+  std::vector<Complex> data(nx * ny * nz);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double ph =
+            kTwoPi * (static_cast<double>(bx * x) / static_cast<double>(nx) +
+                      static_cast<double>(by * y) / static_cast<double>(ny) +
+                      static_cast<double>(bz * z) / static_cast<double>(nz));
+        data[x + nx * (y + ny * z)] = Complex{std::cos(ph), std::sin(ph)};
+      }
+    }
+  }
+  fft3d(data, nx, ny, nz);
+  for (std::size_t z = 0; z < nz; ++z) {
+    for (std::size_t y = 0; y < ny; ++y) {
+      for (std::size_t x = 0; x < nx; ++x) {
+        const double expected =
+            (x == bx && y == by && z == bz)
+                ? static_cast<double>(nx * ny * nz)
+                : 0.0;
+        EXPECT_NEAR(std::abs(data[x + nx * (y + ny * z)]), expected, 1e-8);
+      }
+    }
+  }
+}
+
+TEST(CircularConvolve, MatchesDirectSum) {
+  Pcg32 rng(5);
+  const std::size_t n = 16;
+  std::vector<Complex> a(n), b(n);
+  for (auto& c : a) c = Complex{rng.normal(), rng.normal()};
+  for (auto& c : b) c = Complex{rng.normal(), rng.normal()};
+  const auto c = circular_convolve(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex direct{};
+    for (std::size_t j = 0; j < n; ++j) {
+      direct += a[j] * b[(i + n - j) % n];
+    }
+    EXPECT_NEAR(c[i].real(), direct.real(), 1e-9);
+    EXPECT_NEAR(c[i].imag(), direct.imag(), 1e-9);
+  }
+}
+
+TEST(CircularConvolve, SizeMismatchThrows) {
+  std::vector<Complex> a(4), b(8);
+  EXPECT_THROW(circular_convolve(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsim::math

@@ -1,0 +1,113 @@
+#include "math/field.h"
+
+#include <gtest/gtest.h>
+
+namespace swsim::math {
+namespace {
+
+Grid small_grid() { return Grid(3, 2, 1, 1e-9, 1e-9, 1e-9); }
+
+TEST(ScalarField, InitialValue) {
+  const ScalarField f(small_grid(), 2.5);
+  EXPECT_EQ(f.size(), 6u);
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(ScalarField, IndexedAccess) {
+  ScalarField f(small_grid());
+  f.at(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(f[f.grid().index(2, 1, 0)], 7.0);
+}
+
+TEST(VectorField, Fill) {
+  VectorField f(small_grid());
+  f.fill(Vec3{1, 2, 3});
+  for (const Vec3& v : f) EXPECT_EQ(v, (Vec3{1, 2, 3}));
+}
+
+TEST(VectorField, PlusEquals) {
+  VectorField a(small_grid(), Vec3{1, 0, 0});
+  const VectorField b(small_grid(), Vec3{0, 2, 0});
+  a += b;
+  for (const Vec3& v : a) EXPECT_EQ(v, (Vec3{1, 2, 0}));
+}
+
+TEST(VectorField, MinusEquals) {
+  VectorField a(small_grid(), Vec3{1, 1, 1});
+  const VectorField b(small_grid(), Vec3{1, 0, 0});
+  a -= b;
+  for (const Vec3& v : a) EXPECT_EQ(v, (Vec3{0, 1, 1}));
+}
+
+TEST(VectorField, ScaleInPlace) {
+  VectorField a(small_grid(), Vec3{1, -2, 0.5});
+  a *= 2.0;
+  for (const Vec3& v : a) EXPECT_EQ(v, (Vec3{2, -4, 1}));
+}
+
+TEST(VectorField, GridMismatchThrows) {
+  VectorField a(small_grid());
+  const VectorField b(Grid(2, 2, 1, 1e-9, 1e-9, 1e-9));
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(ScalarField, CopyIsDeep) {
+  ScalarField a(small_grid(), 1.0);
+  ScalarField b = a;
+  b[0] = 42.0;
+  EXPECT_DOUBLE_EQ(a[0], 1.0);
+}
+
+TEST(Mask, DefaultAllFalse) {
+  const Mask m(small_grid());
+  EXPECT_EQ(m.count(), 0u);
+  for (std::size_t i = 0; i < m.size(); ++i) EXPECT_FALSE(m[i]);
+}
+
+TEST(Mask, InitTrue) {
+  const Mask m(small_grid(), true);
+  EXPECT_EQ(m.count(), 6u);
+}
+
+TEST(Mask, SetAndAt) {
+  Mask m(small_grid());
+  m.set_at(1, 1, true);
+  EXPECT_TRUE(m.at(1, 1));
+  EXPECT_FALSE(m.at(0, 0));
+  EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(Mask, UnionIntersectionDifference) {
+  Mask a(small_grid());
+  Mask b(small_grid());
+  a.set(0, true);
+  a.set(1, true);
+  b.set(1, true);
+  b.set(2, true);
+
+  Mask u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+
+  Mask i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i[1]);
+
+  Mask d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d[0]);
+}
+
+TEST(Mask, GridMismatchThrows) {
+  Mask a(small_grid());
+  Mask b(Grid(4, 4, 1, 1e-9, 1e-9, 1e-9));
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsim::math

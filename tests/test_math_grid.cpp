@@ -1,0 +1,125 @@
+#include "math/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace swsim::math {
+namespace {
+
+TEST(Grid, BasicDimensions) {
+  const Grid g(4, 3, 2, 1e-9, 2e-9, 3e-9);
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 3u);
+  EXPECT_EQ(g.nz(), 2u);
+  EXPECT_EQ(g.cell_count(), 24u);
+  EXPECT_DOUBLE_EQ(g.cell_volume(), 6e-27);
+  EXPECT_DOUBLE_EQ(g.size_x(), 4e-9);
+  EXPECT_DOUBLE_EQ(g.size_y(), 6e-9);
+  EXPECT_DOUBLE_EQ(g.size_z(), 6e-9);
+}
+
+TEST(Grid, FilmFactory) {
+  const Grid g = Grid::film(10, 20, 5e-9, 5e-9, 1e-9);
+  EXPECT_EQ(g.nz(), 1u);
+  EXPECT_DOUBLE_EQ(g.dz(), 1e-9);
+}
+
+TEST(Grid, RejectsZeroAxis) {
+  EXPECT_THROW(Grid(0, 1, 1, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Grid(1, 0, 1, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Grid(1, 1, 0, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(Grid, RejectsNonPositiveCellSize) {
+  EXPECT_THROW(Grid(1, 1, 1, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(Grid(1, 1, 1, 1, -1, 1), std::invalid_argument);
+}
+
+TEST(Grid, IndexRoundTrip) {
+  const Grid g(5, 7, 3, 1, 1, 1);
+  for (std::size_t z = 0; z < g.nz(); ++z) {
+    for (std::size_t y = 0; y < g.ny(); ++y) {
+      for (std::size_t x = 0; x < g.nx(); ++x) {
+        const std::size_t i = g.index(x, y, z);
+        const Index3 idx = g.unindex(i);
+        EXPECT_EQ(idx.x, x);
+        EXPECT_EQ(idx.y, y);
+        EXPECT_EQ(idx.z, z);
+      }
+    }
+  }
+}
+
+TEST(Grid, IndexIsXFastest) {
+  const Grid g(4, 4, 4, 1, 1, 1);
+  EXPECT_EQ(g.index(1, 0, 0), 1u);
+  EXPECT_EQ(g.index(0, 1, 0), 4u);
+  EXPECT_EQ(g.index(0, 0, 1), 16u);
+}
+
+TEST(Grid, CellCenter) {
+  const Grid g(4, 4, 1, 2.0, 3.0, 1.0);
+  const Vec3 c = g.cell_center(0, 0, 0);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.5);
+  EXPECT_DOUBLE_EQ(c.z, 0.5);
+  const Vec3 c2 = g.cell_center(3, 2, 0);
+  EXPECT_DOUBLE_EQ(c2.x, 7.0);
+  EXPECT_DOUBLE_EQ(c2.y, 7.5);
+}
+
+TEST(Grid, LocateFindsContainingCell) {
+  const Grid g(10, 10, 1, 1.0, 1.0, 1.0);
+  const Index3 idx = g.locate(Vec3{3.7, 8.2, 0.5});
+  EXPECT_EQ(idx.x, 3u);
+  EXPECT_EQ(idx.y, 8u);
+  EXPECT_EQ(idx.z, 0u);
+}
+
+TEST(Grid, LocateClampsOutOfRange) {
+  const Grid g(10, 10, 1, 1.0, 1.0, 1.0);
+  const Index3 low = g.locate(Vec3{-5.0, -5.0, -5.0});
+  EXPECT_EQ(low.x, 0u);
+  EXPECT_EQ(low.y, 0u);
+  const Index3 high = g.locate(Vec3{100.0, 100.0, 100.0});
+  EXPECT_EQ(high.x, 9u);
+  EXPECT_EQ(high.y, 9u);
+}
+
+TEST(Grid, ContainsChecksBounds) {
+  const Grid g(3, 3, 1, 1, 1, 1);
+  EXPECT_TRUE(g.contains(0, 0, 0));
+  EXPECT_TRUE(g.contains(2, 2, 0));
+  EXPECT_FALSE(g.contains(3, 0, 0));
+  EXPECT_FALSE(g.contains(0, 3, 0));
+  EXPECT_FALSE(g.contains(0, 0, 1));
+}
+
+TEST(Grid, Equality) {
+  EXPECT_EQ(Grid(2, 2, 1, 1, 1, 1), Grid(2, 2, 1, 1, 1, 1));
+  EXPECT_NE(Grid(2, 2, 1, 1, 1, 1), Grid(2, 3, 1, 1, 1, 1));
+  EXPECT_NE(Grid(2, 2, 1, 1, 1, 1), Grid(2, 2, 1, 2, 1, 1));
+}
+
+// Parameterized: locate(cell_center(i)) == i for a variety of cell shapes.
+class GridRoundTrip : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GridRoundTrip, CenterLocateRoundTrip) {
+  const auto [dx, dy] = GetParam();
+  const Grid g(7, 5, 1, dx, dy, 1e-9);
+  for (std::size_t y = 0; y < g.ny(); ++y) {
+    for (std::size_t x = 0; x < g.nx(); ++x) {
+      const Index3 idx = g.locate(g.cell_center(x, y, 0));
+      EXPECT_EQ(idx.x, x);
+      EXPECT_EQ(idx.y, y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellShapes, GridRoundTrip,
+                         ::testing::Values(std::make_tuple(1e-9, 1e-9),
+                                           std::make_tuple(5e-9, 2e-9),
+                                           std::make_tuple(2.5e-9, 7.5e-9),
+                                           std::make_tuple(1e-6, 1e-6)));
+
+}  // namespace
+}  // namespace swsim::math

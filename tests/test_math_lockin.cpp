@@ -1,0 +1,150 @@
+#include "math/lockin.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/constants.h"
+#include "math/rng.h"
+
+namespace swsim::math {
+namespace {
+
+std::vector<double> make_tone(double amp, double f, double phase, double dt,
+                              std::size_t n, double t0 = 0.0) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + static_cast<double>(i) * dt;
+    xs[i] = amp * std::cos(kTwoPi * f * t + phase);
+  }
+  return xs;
+}
+
+TEST(Lockin, RecoversAmplitude) {
+  const double f = 10e9;
+  const double dt = 1.0 / (64.0 * f);
+  const auto xs = make_tone(0.37, f, 0.0, dt, 640);
+  const LockinResult r = lockin(xs, dt, f);
+  EXPECT_NEAR(r.amplitude, 0.37, 1e-10);
+  EXPECT_NEAR(r.phase, 0.0, 1e-10);
+}
+
+TEST(Lockin, RecoversPhase) {
+  const double f = 10e9;
+  const double dt = 1.0 / (64.0 * f);
+  for (double phase : {0.3, 1.0, -2.0, kPi - 0.01}) {
+    const auto xs = make_tone(1.0, f, phase, dt, 640);
+    const LockinResult r = lockin(xs, dt, f);
+    EXPECT_NEAR(r.phase, phase, 1e-9) << "phase " << phase;
+  }
+}
+
+TEST(Lockin, PiPhaseIsAntiphase) {
+  const double f = 5e9;
+  const double dt = 1.0 / (32.0 * f);
+  const auto xs = make_tone(1.0, f, kPi, dt, 320);
+  const LockinResult r = lockin(xs, dt, f);
+  EXPECT_NEAR(phase_distance(r.phase, kPi), 0.0, 1e-9);
+}
+
+TEST(Lockin, NonzeroStartTime) {
+  const double f = 10e9;
+  const double dt = 1.0 / (64.0 * f);
+  const double t0 = 3.7e-10;
+  const auto xs = make_tone(2.0, f, 0.8, dt, 640, t0);
+  const LockinResult r = lockin(xs, dt, f, t0);
+  EXPECT_NEAR(r.amplitude, 2.0, 1e-9);
+  EXPECT_NEAR(r.phase, 0.8, 1e-9);
+}
+
+TEST(Lockin, RejectsOtherFrequencies) {
+  // A tone at 2 f0 measured at f0 over whole periods integrates to ~0.
+  const double f0 = 10e9;
+  const double dt = 1.0 / (64.0 * f0);
+  const auto xs = make_tone(1.0, 2.0 * f0, 0.0, dt, 640);
+  const LockinResult r = lockin(xs, dt, f0);
+  EXPECT_NEAR(r.amplitude, 0.0, 1e-9);
+}
+
+TEST(Lockin, DcRejected) {
+  const double f0 = 10e9;
+  const double dt = 1.0 / (64.0 * f0);
+  std::vector<double> xs(640, 5.0);  // pure DC offset
+  const LockinResult r = lockin(xs, dt, f0);
+  EXPECT_NEAR(r.amplitude, 0.0, 1e-9);
+}
+
+TEST(Lockin, ToneWithNoiseAndOffset) {
+  const double f = 10e9;
+  const double dt = 1.0 / (64.0 * f);
+  Pcg32 rng(1);
+  auto xs = make_tone(0.5, f, 1.2, dt, 6400);
+  for (auto& x : xs) x += 0.2 + 0.05 * rng.normal();
+  const LockinResult r = lockin(xs, dt, f);
+  EXPECT_NEAR(r.amplitude, 0.5, 0.01);
+  EXPECT_NEAR(r.phase, 1.2, 0.02);
+}
+
+TEST(Lockin, ThrowsOnTooFewSamples) {
+  const double f = 10e9;
+  const double dt = 1.0 / (64.0 * f);
+  const auto xs = make_tone(1.0, f, 0.0, dt, 10);  // < 1 period
+  EXPECT_THROW(lockin(xs, dt, f), std::invalid_argument);
+}
+
+TEST(Lockin, ThrowsOnBadArguments) {
+  std::vector<double> xs(100, 0.0);
+  EXPECT_THROW(lockin(xs, 0.0, 1e9), std::invalid_argument);
+  EXPECT_THROW(lockin(xs, 1e-12, 0.0), std::invalid_argument);
+}
+
+TEST(Lockin, PhasorConsistent) {
+  const double f = 10e9;
+  const double dt = 1.0 / (64.0 * f);
+  const auto xs = make_tone(1.5, f, 0.7, dt, 640);
+  const LockinResult r = lockin(xs, dt, f);
+  EXPECT_NEAR(std::abs(r.phasor), r.amplitude, 1e-12);
+  EXPECT_NEAR(std::arg(r.phasor), r.phase, 1e-12);
+}
+
+TEST(Rms, KnownValues) {
+  EXPECT_DOUBLE_EQ(rms({}), 0.0);
+  EXPECT_DOUBLE_EQ(rms({3.0}), 3.0);
+  EXPECT_NEAR(rms({1.0, -1.0, 1.0, -1.0}), 1.0, 1e-15);
+}
+
+TEST(Rms, SineIsAmplitudeOverSqrt2) {
+  const double f = 1e9;
+  const double dt = 1.0 / (100.0 * f);
+  const auto xs = make_tone(2.0, f, 0.0, dt, 1000);
+  EXPECT_NEAR(rms(xs), 2.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Peak, KnownValues) {
+  EXPECT_DOUBLE_EQ(peak({}), 0.0);
+  EXPECT_DOUBLE_EQ(peak({1.0, -3.0, 2.0}), 3.0);
+}
+
+TEST(WrapPhase, WrapsIntoRange) {
+  EXPECT_NEAR(wrap_phase(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_phase(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_phase(-kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_phase(3.0 * kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_phase(kPi + 0.1), -kPi + 0.1, 1e-12);
+}
+
+TEST(PhaseDistance, Symmetric) {
+  EXPECT_NEAR(phase_distance(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(phase_distance(-0.1, 0.1), 0.2, 1e-12);
+}
+
+TEST(PhaseDistance, AcrossWrap) {
+  EXPECT_NEAR(phase_distance(kPi - 0.05, -kPi + 0.05), 0.1, 1e-12);
+}
+
+TEST(PhaseDistance, MaxIsPi) {
+  EXPECT_NEAR(phase_distance(0.0, kPi), kPi, 1e-12);
+}
+
+}  // namespace
+}  // namespace swsim::math

@@ -1,0 +1,118 @@
+#include "math/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/stats.h"
+
+namespace swsim::math {
+namespace {
+
+TEST(Pcg32, Deterministic) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1), b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Pcg32, NextDoubleInRange) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRespectsBounds) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 7.0);
+  }
+}
+
+TEST(Pcg32, UniformMeanIsCentered) {
+  Pcg32 rng(11);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.uniform(0.0, 1.0);
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.5, 0.01);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Pcg32, NormalMomentsMatch) {
+  Pcg32 rng(13);
+  std::vector<double> xs(100000);
+  for (auto& x : xs) x = rng.normal();
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 0.0, 0.02);
+  EXPECT_NEAR(s.stddev, 1.0, 0.02);
+}
+
+TEST(Pcg32, NormalWithMeanAndSigma) {
+  Pcg32 rng(17);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.normal(10.0, 2.0);
+  const Summary s = summarize(xs);
+  EXPECT_NEAR(s.mean, 10.0, 0.05);
+  EXPECT_NEAR(s.stddev, 2.0, 0.05);
+}
+
+TEST(Pcg32, NormalTailsExist) {
+  // ~0.27% of samples should exceed 3 sigma; check we get some but not many.
+  Pcg32 rng(19);
+  int beyond = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (std::fabs(rng.normal()) > 3.0) ++beyond;
+  }
+  EXPECT_GT(beyond, 100);
+  EXPECT_LT(beyond, 600);
+}
+
+TEST(Pcg32, BoundedStaysInBound) {
+  Pcg32 rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(7), 7u);
+  }
+}
+
+TEST(Pcg32, BoundedZeroReturnsZero) {
+  Pcg32 rng(29);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 rng(31);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(5)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 5.0, n * 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace swsim::math

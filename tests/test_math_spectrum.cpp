@@ -1,0 +1,92 @@
+#include "math/spectrum.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/constants.h"
+#include "math/rng.h"
+
+namespace swsim::math {
+namespace {
+
+std::vector<double> tone(double amp, double f, double dt, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = amp * std::sin(kTwoPi * f * static_cast<double>(i) * dt);
+  }
+  return xs;
+}
+
+TEST(Spectrum, PeakAtToneFrequency) {
+  const double f = 12e9;
+  const double dt = 1e-12;  // Nyquist 500 GHz
+  const auto s = power_spectrum(tone(1.0, f, dt, 4096), dt);
+  EXPECT_NEAR(s.peak_frequency(), f, 0.5e9);
+}
+
+TEST(Spectrum, ResolvesTwoTones) {
+  const double dt = 1e-12;
+  auto xs = tone(1.0, 10e9, dt, 8192);
+  const auto x2 = tone(0.5, 40e9, dt, 8192);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] += x2[i];
+  const auto s = power_spectrum(xs, dt);
+  const double p10 = s.band_power(8e9, 12e9);
+  const double p40 = s.band_power(38e9, 42e9);
+  const double p25 = s.band_power(20e9, 30e9);
+  EXPECT_GT(p10, 2.0 * p40);   // amplitude ratio 2 -> power ratio 4 (leakage
+  EXPECT_GT(p40, 20.0 * p25);  // spreads a little, hence the slack)
+}
+
+TEST(Spectrum, DcRemoved) {
+  const double dt = 1e-12;
+  std::vector<double> xs(1024, 5.0);  // pure DC
+  const auto s = power_spectrum(xs, dt);
+  for (double p : s.power) EXPECT_NEAR(p, 0.0, 1e-12);
+}
+
+TEST(Spectrum, WhiteNoiseIsBroadband) {
+  Pcg32 rng(4);
+  const double dt = 1e-12;
+  std::vector<double> xs(8192);
+  for (auto& x : xs) x = rng.normal();
+  const auto s = power_spectrum(xs, dt);
+  // No band should dominate: the strongest quarter-band holds less than
+  // half the total power.
+  const double total = s.band_power(0.0, 1e30);
+  const double nyquist = 0.5 / dt;
+  double max_quarter = 0.0;
+  for (int q = 0; q < 4; ++q) {
+    max_quarter = std::max(
+        max_quarter, s.band_power(q * nyquist / 4.0, (q + 1) * nyquist / 4.0));
+  }
+  EXPECT_LT(max_quarter, 0.5 * total);
+}
+
+TEST(Spectrum, FrequencyAxis) {
+  const double dt = 2e-12;
+  const auto s = power_spectrum(tone(1.0, 5e9, dt, 1024), dt);
+  EXPECT_DOUBLE_EQ(s.frequency.front(), 0.0);
+  EXPECT_NEAR(s.frequency.back(), 0.5 / dt, 1.0);
+  // Uniform spacing.
+  const double df = s.frequency[1] - s.frequency[0];
+  for (std::size_t i = 1; i < s.frequency.size(); ++i) {
+    EXPECT_NEAR(s.frequency[i] - s.frequency[i - 1], df, 1e-3);
+  }
+}
+
+TEST(Spectrum, Validation) {
+  EXPECT_THROW(power_spectrum({1.0, 2.0}, 1e-12), std::invalid_argument);
+  EXPECT_THROW(power_spectrum({1, 2, 3, 4, 5}, 0.0), std::invalid_argument);
+}
+
+TEST(Spectrum, BandPowerSumsBins) {
+  const double dt = 1e-12;
+  const auto s = power_spectrum(tone(1.0, 10e9, dt, 2048), dt);
+  const double all = s.band_power(0.0, 1e30);
+  const double split = s.band_power(0.0, 20e9) + s.band_power(20e9 + 1, 1e30);
+  EXPECT_NEAR(split, all, all * 1e-9);
+}
+
+}  // namespace
+}  // namespace swsim::math

@@ -1,0 +1,74 @@
+#include "math/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace swsim::math {
+namespace {
+
+TEST(Summarize, EmptyInput) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const Summary s = summarize({4.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summarize, KnownMoments) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(FitLine, ExactLine) {
+  const LinearFit f = fit_line({0, 1, 2, 3}, {1, 3, 5, 7});
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+TEST(FitLine, NegativeSlope) {
+  const LinearFit f = fit_line({0, 2, 4}, {10, 6, 2});
+  EXPECT_NEAR(f.slope, -2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 10.0, 1e-12);
+}
+
+TEST(FitLine, LeastSquaresOverNoisyData) {
+  // Residuals of the fit must be orthogonal to x (normal equations).
+  const std::vector<double> x{0, 1, 2, 3, 4, 5};
+  const std::vector<double> y{0.1, 1.9, 4.2, 5.8, 8.1, 9.9};
+  const LinearFit f = fit_line(x, y);
+  double dot_rx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    dot_rx += (y[i] - f.intercept - f.slope * x[i]) * x[i];
+  }
+  EXPECT_NEAR(dot_rx, 0.0, 1e-9);
+}
+
+TEST(FitLine, Throws) {
+  EXPECT_THROW(fit_line({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({1.0, 2.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({2.0, 2.0}, {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(RelErr, Basics) {
+  EXPECT_DOUBLE_EQ(rel_err(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(rel_err(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(rel_err(-9.0, -10.0), 0.1);
+}
+
+TEST(RelErr, FloorPreventsBlowup) {
+  EXPECT_LE(rel_err(1e-12, 0.0, 1e-9), 1e-3 + 1e-15);
+}
+
+}  // namespace
+}  // namespace swsim::math

@@ -1,0 +1,123 @@
+#include "math/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/rng.h"
+
+namespace swsim::math {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a / 2.0, (Vec3{0.5, 1, 1.5}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= Vec3{1, 1, 1};
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3{3, 6, 9}));
+  v /= 3.0;
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vec3{1, 2, 3}, Vec3{4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(dot(Vec3{1, 0, 0}, Vec3{0, 1, 0}), 0.0);
+}
+
+TEST(Vec3, CrossProductRightHanded) {
+  EXPECT_EQ(cross(Vec3{1, 0, 0}, Vec3{0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_EQ(cross(Vec3{0, 1, 0}, Vec3{0, 0, 1}), (Vec3{1, 0, 0}));
+  EXPECT_EQ(cross(Vec3{0, 0, 1}, Vec3{1, 0, 0}), (Vec3{0, 1, 0}));
+}
+
+TEST(Vec3, CrossIsAntisymmetric) {
+  const Vec3 a{1.5, -2.0, 0.25};
+  const Vec3 b{-0.5, 3.0, 1.0};
+  EXPECT_EQ(cross(a, b), -cross(b, a));
+}
+
+TEST(Vec3, CrossOrthogonalToOperands) {
+  const Vec3 a{1.5, -2.0, 0.25};
+  const Vec3 b{-0.5, 3.0, 1.0};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0, 1e-12);
+  EXPECT_NEAR(dot(c, b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormAndNorm2) {
+  const Vec3 v{3, 4, 12};
+  EXPECT_DOUBLE_EQ(norm2(v), 169.0);
+  EXPECT_DOUBLE_EQ(norm(v), 13.0);
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3 v{1, 2, -2};
+  EXPECT_NEAR(norm(normalized(v)), 1.0, 1e-15);
+}
+
+TEST(Vec3, NormalizedZeroStaysZero) {
+  EXPECT_EQ(normalized(Vec3{}), (Vec3{}));
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Vec3{1, 1, 1}, Vec3{4, 5, 1}), 5.0);
+}
+
+TEST(Vec3, Lerp) {
+  const Vec3 a{0, 0, 0};
+  const Vec3 b{2, 4, 6};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (Vec3{1, 2, 3}));
+}
+
+// Property: Lagrange identity |a x b|^2 = |a|^2 |b|^2 - (a.b)^2 over random
+// vectors.
+TEST(Vec3Property, LagrangeIdentity) {
+  Pcg32 rng(123);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec3 b{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const double lhs = norm2(cross(a, b));
+    const double rhs = norm2(a) * norm2(b) - dot(a, b) * dot(a, b);
+    EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, rhs));
+  }
+}
+
+// Property: scalar triple product is invariant under cyclic permutation.
+TEST(Vec3Property, TripleProductCyclic) {
+  Pcg32 rng(321);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 a{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 b{rng.normal(), rng.normal(), rng.normal()};
+    const Vec3 c{rng.normal(), rng.normal(), rng.normal()};
+    const double abc = dot(a, cross(b, c));
+    const double bca = dot(b, cross(c, a));
+    const double cab = dot(c, cross(a, b));
+    EXPECT_NEAR(abc, bca, 1e-9 * std::max(1.0, std::fabs(abc)));
+    EXPECT_NEAR(abc, cab, 1e-9 * std::max(1.0, std::fabs(abc)));
+  }
+}
+
+}  // namespace
+}  // namespace swsim::math

@@ -1,0 +1,142 @@
+// The paper's Table III cost model: ME-cell energetics, CMOS references,
+// and the headline comparison numbers.
+#include <gtest/gtest.h>
+
+#include "math/constants.h"
+#include "perf/cmos_ref.h"
+#include "perf/comparison.h"
+#include "perf/gate_cost.h"
+#include "perf/transducer.h"
+
+namespace swsim::perf {
+namespace {
+
+using namespace swsim::math;
+
+TEST(Transducer, MeCellPulseEnergy) {
+  // 34.4 nW x 100 ps = 3.44 aJ per driven cell (Sec. IV-D assumptions).
+  const TransducerModel t = TransducerModel::me_cell();
+  EXPECT_NEAR(to_aj(t.excitation_energy()), 3.44, 1e-9);
+}
+
+TEST(Transducer, Validation) {
+  TransducerModel t = TransducerModel::me_cell();
+  t.power = 0.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+TEST(SwGateCost, TriangleMajMatchesTableIII) {
+  const SwGateCost c = SwGateCost::triangle_maj3();
+  EXPECT_EQ(c.total_cells(), 5);
+  EXPECT_NEAR(to_aj(c.energy()), 10.32, 0.01);  // paper rounds to 10.3
+  EXPECT_NEAR(to_ns(c.delay()), 0.42, 1e-9);    // paper rounds to 0.4
+}
+
+TEST(SwGateCost, TriangleXorMatchesTableIII) {
+  const SwGateCost c = SwGateCost::triangle_xor();
+  EXPECT_EQ(c.total_cells(), 4);
+  EXPECT_NEAR(to_aj(c.energy()), 6.88, 0.01);  // paper: 6.9
+}
+
+TEST(SwGateCost, LadderMatchesTableIII) {
+  const SwGateCost maj = SwGateCost::ladder_maj3();
+  const SwGateCost x = SwGateCost::ladder_xor();
+  EXPECT_EQ(maj.total_cells(), 6);
+  EXPECT_EQ(x.total_cells(), 6);
+  EXPECT_NEAR(to_aj(maj.energy()), 13.76, 0.01);  // paper: 13.7
+  EXPECT_NEAR(to_aj(x.energy()), 13.76, 0.01);
+  EXPECT_FALSE(maj.equal_level_excitation);
+}
+
+TEST(SwGateCost, Validation) {
+  SwGateCost c = SwGateCost::triangle_maj3();
+  c.excitation_cells = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(EnergySaving, PaperHeadlines) {
+  // "the proposed structures provide energy reduction of 25%-50% in
+  // comparison to the other 2-output spin-wave devices".
+  const double maj_saving =
+      energy_saving(SwGateCost::triangle_maj3(), SwGateCost::ladder_maj3());
+  const double xor_saving =
+      energy_saving(SwGateCost::triangle_xor(), SwGateCost::ladder_xor());
+  EXPECT_NEAR(maj_saving, 0.25, 1e-9);
+  EXPECT_NEAR(xor_saving, 0.50, 1e-9);
+}
+
+TEST(CmosGate, TableIIIValues) {
+  const CmosGate m16 = CmosGate::reference(CmosNode::k16nm, GateFunction::kMaj3);
+  EXPECT_EQ(m16.device_count, 16);
+  EXPECT_NEAR(to_ns(m16.delay), 0.03, 1e-12);
+  EXPECT_NEAR(to_aj(m16.energy), 466.0, 1e-9);
+
+  const CmosGate x7 = CmosGate::reference(CmosNode::k7nm, GateFunction::kXor2);
+  EXPECT_EQ(x7.device_count, 8);
+  EXPECT_NEAR(to_ns(x7.delay), 0.01, 1e-12);
+  EXPECT_NEAR(to_aj(x7.energy), 5.4, 1e-9);
+}
+
+TEST(CmosGate, AllReferencesPresent) {
+  EXPECT_EQ(CmosGate::all_references().size(), 4u);
+}
+
+TEST(Comparison, TableHasEightRows) {
+  const Comparison cmp;
+  EXPECT_EQ(cmp.rows().size(), 8u);  // 4 CMOS + 2 ladder + 2 triangle
+}
+
+TEST(Comparison, HeadlineEnergyRatios) {
+  const Comparison cmp;
+  const HeadlineNumbers h = cmp.headlines();
+  // Abstract: "energy reduction of 43x-0.8x when compared to the 16 nm and
+  // 7 nm CMOS counterparts".
+  EXPECT_NEAR(h.xor_energy_ratio_16nm, 44.0, 1.0);   // 303 / 6.88
+  EXPECT_NEAR(h.xor_energy_ratio_7nm, 0.78, 0.02);   // 5.4 / 6.88
+  EXPECT_NEAR(h.maj_energy_ratio_7nm, 1.59, 0.02);   // 16.4 / 10.32
+  EXPECT_GT(h.maj_energy_ratio_16nm, 40.0);          // 466 / 10.32 = 45x
+}
+
+TEST(Comparison, HeadlineDelayOverheads) {
+  const Comparison cmp;
+  const HeadlineNumbers h = cmp.headlines();
+  // "delay overhead of 11x-40x"; Sec. IV-D: 13x/20x (MAJ), 13x/40x (XOR).
+  EXPECT_NEAR(h.maj_delay_overhead_16nm, 14.0, 0.5);  // 0.42 / 0.03
+  EXPECT_NEAR(h.maj_delay_overhead_7nm, 21.0, 0.5);
+  EXPECT_NEAR(h.xor_delay_overhead_16nm, 14.0, 0.5);
+  EXPECT_NEAR(h.xor_delay_overhead_7nm, 42.0, 0.5);  // 0.42 / 0.01
+}
+
+TEST(Comparison, SavingsVsLadder) {
+  const Comparison cmp;
+  const HeadlineNumbers h = cmp.headlines();
+  EXPECT_NEAR(h.maj_saving_vs_ladder, 0.25, 1e-9);
+  EXPECT_NEAR(h.xor_saving_vs_ladder, 0.50, 1e-9);
+}
+
+TEST(Comparison, CustomTransducerScalesSwRowsOnly) {
+  TransducerModel cheap = TransducerModel::me_cell();
+  cheap.power = cheap.power / 2.0;
+  const Comparison base;
+  const Comparison improved(cheap);
+  EXPECT_NEAR(improved.triangle_maj().energy(),
+              base.triangle_maj().energy() / 2.0, 1e-30);
+  // CMOS rows unchanged.
+  EXPECT_DOUBLE_EQ(improved.rows()[0].energy, base.rows()[0].energy);
+  // Savings vs ladder are scale-invariant.
+  EXPECT_NEAR(improved.headlines().maj_saving_vs_ladder, 0.25, 1e-9);
+}
+
+TEST(Comparison, SwGatesSlowerButCheaperThan16nm) {
+  // The qualitative shape of Table III: SW loses on delay, wins on energy
+  // at 16 nm.
+  const Comparison cmp;
+  const HeadlineNumbers h = cmp.headlines();
+  EXPECT_GT(h.maj_delay_overhead_16nm, 1.0);
+  EXPECT_GT(h.maj_energy_ratio_16nm, 1.0);
+  EXPECT_GT(h.xor_delay_overhead_7nm, 1.0);
+  EXPECT_LT(h.xor_energy_ratio_7nm, 1.0);  // 7 nm CMOS XOR wins on energy
+}
+
+}  // namespace
+}  // namespace swsim::perf

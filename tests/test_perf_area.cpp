@@ -1,0 +1,79 @@
+#include "perf/area.h"
+
+#include <gtest/gtest.h>
+
+#include "math/constants.h"
+
+namespace swsim::perf {
+namespace {
+
+using swsim::math::nm;
+
+TEST(Area, TriangleGateAreaPositiveAndConsistent) {
+  const geom::TriangleGateLayout layout(
+      geom::TriangleGateParams::paper_maj3());
+  const AreaEstimate est = triangle_gate_area(layout);
+  EXPECT_GT(est.device_area, 0.0);
+  EXPECT_GT(est.waveguide_area, 0.0);
+  // Material footprint is a subset of the bounding box.
+  EXPECT_LT(est.waveguide_area, est.device_area);
+}
+
+TEST(Area, PaperDeviceIsSubMicronSquared) {
+  const geom::TriangleGateLayout layout(
+      geom::TriangleGateParams::paper_maj3());
+  const AreaEstimate est = triangle_gate_area(layout);
+  // ~2.4 um x ~1 um bounding box: order 1e-12 m^2.
+  EXPECT_GT(est.device_area, 0.1e-12);
+  EXPECT_LT(est.device_area, 10e-12);
+}
+
+TEST(Area, ScalesWithWavelength) {
+  auto small = geom::TriangleGateParams::paper_maj3();
+  auto large = small;
+  large.wavelength *= 2.0;
+  large.width *= 2.0;
+  const double a_small =
+      triangle_gate_area(geom::TriangleGateLayout(small)).device_area;
+  const double a_large =
+      triangle_gate_area(geom::TriangleGateLayout(large)).device_area;
+  EXPECT_NEAR(a_large / a_small, 4.0, 0.2);  // area ~ lambda^2
+}
+
+TEST(Area, CmosAreaModel) {
+  const CmosGate g16 = CmosGate::reference(CmosNode::k16nm, GateFunction::kMaj3);
+  const CmosGate g7 = CmosGate::reference(CmosNode::k7nm, GateFunction::kMaj3);
+  EXPECT_GT(cmos_gate_area(g16), cmos_gate_area(g7));
+  EXPECT_GT(cmos_gate_area(g7), 0.0);
+}
+
+TEST(Adp, SwRowConsistency) {
+  const geom::TriangleGateLayout layout(
+      geom::TriangleGateParams::paper_maj3());
+  const AdpRow row = sw_adp(SwGateCost::triangle_maj3(), layout);
+  EXPECT_GT(row.adp, 0.0);
+  EXPECT_NEAR(row.adp, row.area * row.delay * row.power, row.adp * 1e-12);
+  // power = energy / delay: 10.32 aJ / 0.42 ns ~ 24.6 nW.
+  EXPECT_NEAR(row.power, 24.6e-9, 1e-9);
+}
+
+TEST(Adp, CmosRowConsistency) {
+  const AdpRow row =
+      cmos_adp(CmosGate::reference(CmosNode::k7nm, GateFunction::kXor2));
+  EXPECT_GT(row.adp, 0.0);
+  EXPECT_NEAR(row.power, 5.4e-18 / 0.01e-9, 1e-9);  // 540 nW burst power
+}
+
+TEST(Adp, SwWinsOnPowerLosesOnDelay) {
+  // The qualitative trade-off of Sec. IV-D / ref. [42].
+  const geom::TriangleGateLayout layout(
+      geom::TriangleGateParams::paper_maj3());
+  const AdpRow sw = sw_adp(SwGateCost::triangle_maj3(), layout);
+  const AdpRow cm =
+      cmos_adp(CmosGate::reference(CmosNode::k16nm, GateFunction::kMaj3));
+  EXPECT_LT(sw.power, cm.power);
+  EXPECT_GT(sw.delay, cm.delay);
+}
+
+}  // namespace
+}  // namespace swsim::perf

@@ -1,0 +1,61 @@
+#include "perf/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "mag/material.h"
+#include "math/constants.h"
+#include "perf/transducer.h"
+
+namespace swsim::perf {
+namespace {
+
+using swsim::math::nm;
+using swsim::math::ns;
+
+wavenet::Dispersion paper_dispersion() {
+  return wavenet::Dispersion(swsim::mag::Material::fecob(), nm(1));
+}
+
+TEST(Latency, PropagationDelayIsNanosecondScale) {
+  const geom::TriangleGateLayout layout(
+      geom::TriangleGateParams::paper_maj3());
+  const double t = propagation_delay(layout, paper_dispersion());
+  // Longest path ~1.5 um at v_g ~ 1.4 km/s -> ~1 ns.
+  EXPECT_GT(t, ns(0.5));
+  EXPECT_LT(t, ns(3.0));
+}
+
+TEST(Latency, XorIsFasterThanMaj) {
+  const geom::TriangleGateLayout maj(geom::TriangleGateParams::paper_maj3());
+  const geom::TriangleGateLayout x(geom::TriangleGateParams::paper_xor());
+  const auto d = paper_dispersion();
+  // The XOR's axis is shorter (no I3 to host) and its detectors sit at
+  // 40 nm, so its longest path is shorter.
+  EXPECT_LT(propagation_delay(x, d), propagation_delay(maj, d));
+}
+
+TEST(Latency, AssumptionIiiUnderestimatesDelay) {
+  // The paper neglects propagation delay (assumption (iii)); for the
+  // paper-scale device that misses more than half the true latency.
+  const geom::TriangleGateLayout layout(
+      geom::TriangleGateParams::paper_maj3());
+  const LatencyBreakdown l = gate_latency(layout, paper_dispersion(),
+                                          TransducerModel::me_cell().delay);
+  EXPECT_GT(l.underestimate_factor(), 2.0);
+  EXPECT_NEAR(l.total(), l.transducer_delay + l.propagation_delay, 1e-15);
+}
+
+TEST(Latency, ShrinksWithTheDevice) {
+  auto small = geom::TriangleGateParams::paper_maj3();
+  small.n_arm = 2;
+  small.n_axis_half = 1;
+  small.n_feed = 1;
+  const auto d = paper_dispersion();
+  EXPECT_LT(propagation_delay(geom::TriangleGateLayout(small), d),
+            propagation_delay(
+                geom::TriangleGateLayout(geom::TriangleGateParams::paper_maj3()),
+                d));
+}
+
+}  // namespace
+}  // namespace swsim::perf

@@ -1,0 +1,111 @@
+#include "wavenet/detector.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "math/constants.h"
+
+namespace swsim::wavenet {
+namespace {
+
+using swsim::math::kPi;
+
+std::complex<double> phasor(double amp, double phase) {
+  return amp * std::complex<double>{std::cos(phase), std::sin(phase)};
+}
+
+TEST(PhaseDetector, Phase0IsLogic0) {
+  const PhaseDetector det;
+  EXPECT_FALSE(det.detect(phasor(1.0, 0.0)).logic);
+}
+
+TEST(PhaseDetector, PhasePiIsLogic1) {
+  const PhaseDetector det;
+  EXPECT_TRUE(det.detect(phasor(1.0, kPi)).logic);
+}
+
+TEST(PhaseDetector, DecisionBoundaryAtHalfPi) {
+  const PhaseDetector det;
+  EXPECT_FALSE(det.detect(phasor(1.0, kPi / 2.0 - 0.05)).logic);
+  EXPECT_TRUE(det.detect(phasor(1.0, kPi / 2.0 + 0.05)).logic);
+  EXPECT_FALSE(det.detect(phasor(1.0, -kPi / 2.0 + 0.05)).logic);
+  EXPECT_TRUE(det.detect(phasor(1.0, -kPi / 2.0 - 0.05)).logic);
+}
+
+TEST(PhaseDetector, MarginLargestOnReference) {
+  const PhaseDetector det;
+  const double m0 = det.detect(phasor(1.0, 0.0)).margin;
+  const double m_near = det.detect(phasor(1.0, kPi / 2.0 - 0.01)).margin;
+  EXPECT_NEAR(m0, kPi / 2.0, 1e-12);
+  EXPECT_LT(m_near, 0.02);
+}
+
+TEST(PhaseDetector, InvertFlips) {
+  const PhaseDetector det(0.0, /*invert=*/true);
+  EXPECT_TRUE(det.detect(phasor(1.0, 0.0)).logic);
+  EXPECT_FALSE(det.detect(phasor(1.0, kPi)).logic);
+}
+
+TEST(PhaseDetector, CustomReference) {
+  const PhaseDetector det(kPi / 2.0);
+  EXPECT_FALSE(det.detect(phasor(1.0, kPi / 2.0)).logic);
+  EXPECT_TRUE(det.detect(phasor(1.0, -kPi / 2.0)).logic);
+}
+
+TEST(PhaseDetector, ReportsAmplitudeAndPhase) {
+  const PhaseDetector det;
+  const Detection d = det.detect(phasor(0.7, 1.1));
+  EXPECT_NEAR(d.amplitude, 0.7, 1e-12);
+  EXPECT_NEAR(d.phase, 1.1, 1e-12);
+}
+
+TEST(PhaseDetector, ZeroAmplitudeDefaultsToLogic0) {
+  const PhaseDetector det;
+  const Detection d = det.detect({0.0, 0.0});
+  EXPECT_FALSE(d.logic);
+  EXPECT_DOUBLE_EQ(d.amplitude, 0.0);
+}
+
+TEST(ThresholdDetector, PaperConvention) {
+  // Table II: amplitude ~1 (in-phase inputs) reads logic 0; amplitude ~0
+  // (antiphase) reads logic 1, with threshold 0.5.
+  const ThresholdDetector det(0.5);
+  EXPECT_FALSE(det.detect(phasor(0.99, 0.0), 1.0).logic);
+  EXPECT_TRUE(det.detect(phasor(0.01, 0.0), 1.0).logic);
+}
+
+TEST(ThresholdDetector, ReferenceNormalization) {
+  const ThresholdDetector det(0.5);
+  // Amplitude 3 against reference 10 -> normalized 0.3 -> logic 1.
+  EXPECT_TRUE(det.detect(phasor(3.0, 0.0), 10.0).logic);
+  // Amplitude 8 against reference 10 -> 0.8 -> logic 0.
+  EXPECT_FALSE(det.detect(phasor(8.0, 0.0), 10.0).logic);
+}
+
+TEST(ThresholdDetector, XnorInversion) {
+  const ThresholdDetector det(0.5, /*invert=*/true);
+  EXPECT_TRUE(det.detect(phasor(0.99, 0.0), 1.0).logic);
+  EXPECT_FALSE(det.detect(phasor(0.01, 0.0), 1.0).logic);
+}
+
+TEST(ThresholdDetector, MarginIsDistanceToThreshold) {
+  const ThresholdDetector det(0.5);
+  EXPECT_NEAR(det.detect(phasor(0.9, 0.0), 1.0).margin, 0.4, 1e-12);
+  EXPECT_NEAR(det.detect(phasor(0.2, 0.0), 1.0).margin, 0.3, 1e-12);
+}
+
+TEST(ThresholdDetector, PhaseIndependent) {
+  const ThresholdDetector det(0.5);
+  EXPECT_EQ(det.detect(phasor(0.8, 0.0), 1.0).logic,
+            det.detect(phasor(0.8, 2.5), 1.0).logic);
+}
+
+TEST(ThresholdDetector, Validation) {
+  EXPECT_THROW(ThresholdDetector(0.0), std::invalid_argument);
+  const ThresholdDetector det(0.5);
+  EXPECT_THROW(det.detect(phasor(1.0, 0.0), 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsim::wavenet
