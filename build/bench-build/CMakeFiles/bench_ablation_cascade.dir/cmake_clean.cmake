@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cascade"
+  "../bench/bench_ablation_cascade.pdb"
+  "CMakeFiles/bench_ablation_cascade.dir/bench_ablation_cascade.cpp.o"
+  "CMakeFiles/bench_ablation_cascade.dir/bench_ablation_cascade.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

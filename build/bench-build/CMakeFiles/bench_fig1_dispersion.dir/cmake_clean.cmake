@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_dispersion"
+  "../bench/bench_fig1_dispersion.pdb"
+  "CMakeFiles/bench_fig1_dispersion.dir/bench_fig1_dispersion.cpp.o"
+  "CMakeFiles/bench_fig1_dispersion.dir/bench_fig1_dispersion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

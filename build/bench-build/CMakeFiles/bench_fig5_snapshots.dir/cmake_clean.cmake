@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_snapshots"
+  "../bench/bench_fig5_snapshots.pdb"
+  "CMakeFiles/bench_fig5_snapshots.dir/bench_fig5_snapshots.cpp.o"
+  "CMakeFiles/bench_fig5_snapshots.dir/bench_fig5_snapshots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ladder_vs_triangle"
+  "../bench/bench_ladder_vs_triangle.pdb"
+  "CMakeFiles/bench_ladder_vs_triangle.dir/bench_ladder_vs_triangle.cpp.o"
+  "CMakeFiles/bench_ladder_vs_triangle.dir/bench_ladder_vs_triangle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ladder_vs_triangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

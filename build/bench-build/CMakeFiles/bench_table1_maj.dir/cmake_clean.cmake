@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_maj"
+  "../bench/bench_table1_maj.pdb"
+  "CMakeFiles/bench_table1_maj.dir/bench_table1_maj.cpp.o"
+  "CMakeFiles/bench_table1_maj.dir/bench_table1_maj.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_maj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_xor"
+  "../bench/bench_table2_xor.pdb"
+  "CMakeFiles/bench_table2_xor.dir/bench_table2_xor.cpp.o"
+  "CMakeFiles/bench_table2_xor.dir/bench_table2_xor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_xor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

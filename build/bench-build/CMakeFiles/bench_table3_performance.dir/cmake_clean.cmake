@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_performance"
+  "../bench/bench_table3_performance.pdb"
+  "CMakeFiles/bench_table3_performance.dir/bench_table3_performance.cpp.o"
+  "CMakeFiles/bench_table3_performance.dir/bench_table3_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

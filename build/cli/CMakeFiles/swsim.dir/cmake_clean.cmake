@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim.dir/main.cpp.o"
+  "CMakeFiles/swsim.dir/main.cpp.o.d"
+  "swsim"
+  "swsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_cli_args.dir/args.cpp.o"
+  "CMakeFiles/swsim_cli_args.dir/args.cpp.o.d"
+  "libswsim_cli_args.a"
+  "libswsim_cli_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

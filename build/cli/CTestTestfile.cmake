@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/cli
+# Build directory: /root/repo/build/cli
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/cli/swsim" "help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/cli/CMakeLists.txt;12;add_test;/root/repo/cli/CMakeLists.txt;0;")
+add_test(cli_truthtable_maj "/root/repo/build/cli/swsim" "truthtable" "maj")
+set_tests_properties(cli_truthtable_maj PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/cli/CMakeLists.txt;13;add_test;/root/repo/cli/CMakeLists.txt;0;")
+add_test(cli_truthtable_xnor "/root/repo/build/cli/swsim" "truthtable" "xnor")
+set_tests_properties(cli_truthtable_xnor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/cli/CMakeLists.txt;14;add_test;/root/repo/cli/CMakeLists.txt;0;")
+add_test(cli_truthtable_maj5 "/root/repo/build/cli/swsim" "truthtable" "maj5")
+set_tests_properties(cli_truthtable_maj5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/cli/CMakeLists.txt;15;add_test;/root/repo/cli/CMakeLists.txt;0;")
+add_test(cli_dispersion "/root/repo/build/cli/swsim" "dispersion" "--material" "yig" "--applied" "250")
+set_tests_properties(cli_dispersion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/cli/CMakeLists.txt;16;add_test;/root/repo/cli/CMakeLists.txt;0;")
+add_test(cli_yield "/root/repo/build/cli/swsim" "yield" "--gate" "xor" "--trials" "100")
+set_tests_properties(cli_yield PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/cli/CMakeLists.txt;18;add_test;/root/repo/cli/CMakeLists.txt;0;")
+add_test(cli_compare "/root/repo/build/cli/swsim" "compare")
+set_tests_properties(cli_compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/cli/CMakeLists.txt;19;add_test;/root/repo/cli/CMakeLists.txt;0;")

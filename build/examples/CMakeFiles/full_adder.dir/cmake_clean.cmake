@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_adder.dir/full_adder.cpp.o"
+  "CMakeFiles/full_adder.dir/full_adder.cpp.o.d"
+  "full_adder"
+  "full_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_designer.dir/gate_designer.cpp.o"
+  "CMakeFiles/gate_designer.dir/gate_designer.cpp.o.d"
+  "gate_designer"
+  "gate_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/majority_voter.dir/majority_voter.cpp.o"
+  "CMakeFiles/majority_voter.dir/majority_voter.cpp.o.d"
+  "majority_voter"
+  "majority_voter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/majority_voter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micromagnetic_demo.dir/micromagnetic_demo.cpp.o"
+  "CMakeFiles/micromagnetic_demo.dir/micromagnetic_demo.cpp.o.d"
+  "micromagnetic_demo"
+  "micromagnetic_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micromagnetic_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

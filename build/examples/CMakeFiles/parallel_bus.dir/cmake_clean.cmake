@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_bus.dir/parallel_bus.cpp.o"
+  "CMakeFiles/parallel_bus.dir/parallel_bus.cpp.o.d"
+  "parallel_bus"
+  "parallel_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

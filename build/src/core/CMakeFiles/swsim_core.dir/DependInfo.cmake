@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/circuit.cpp" "src/core/CMakeFiles/swsim_core.dir/circuit.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/circuit.cpp.o.d"
+  "/root/repo/src/core/derived_gates.cpp" "src/core/CMakeFiles/swsim_core.dir/derived_gates.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/derived_gates.cpp.o.d"
+  "/root/repo/src/core/fanout_tree.cpp" "src/core/CMakeFiles/swsim_core.dir/fanout_tree.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/fanout_tree.cpp.o.d"
+  "/root/repo/src/core/ladder_gate.cpp" "src/core/CMakeFiles/swsim_core.dir/ladder_gate.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/ladder_gate.cpp.o.d"
+  "/root/repo/src/core/logic.cpp" "src/core/CMakeFiles/swsim_core.dir/logic.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/logic.cpp.o.d"
+  "/root/repo/src/core/micromag_gate.cpp" "src/core/CMakeFiles/swsim_core.dir/micromag_gate.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/micromag_gate.cpp.o.d"
+  "/root/repo/src/core/multi_input_gate.cpp" "src/core/CMakeFiles/swsim_core.dir/multi_input_gate.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/multi_input_gate.cpp.o.d"
+  "/root/repo/src/core/parallel_bus.cpp" "src/core/CMakeFiles/swsim_core.dir/parallel_bus.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/parallel_bus.cpp.o.d"
+  "/root/repo/src/core/triangle_gate.cpp" "src/core/CMakeFiles/swsim_core.dir/triangle_gate.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/triangle_gate.cpp.o.d"
+  "/root/repo/src/core/validator.cpp" "src/core/CMakeFiles/swsim_core.dir/validator.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/validator.cpp.o.d"
+  "/root/repo/src/core/variability.cpp" "src/core/CMakeFiles/swsim_core.dir/variability.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/variability.cpp.o.d"
+  "/root/repo/src/core/wave_cascade.cpp" "src/core/CMakeFiles/swsim_core.dir/wave_cascade.cpp.o" "gcc" "src/core/CMakeFiles/swsim_core.dir/wave_cascade.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/swsim_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/swsim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/mag/CMakeFiles/swsim_mag.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavenet/CMakeFiles/swsim_wavenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/swsim_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swsim_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_core.dir/circuit.cpp.o"
+  "CMakeFiles/swsim_core.dir/circuit.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/derived_gates.cpp.o"
+  "CMakeFiles/swsim_core.dir/derived_gates.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/fanout_tree.cpp.o"
+  "CMakeFiles/swsim_core.dir/fanout_tree.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/ladder_gate.cpp.o"
+  "CMakeFiles/swsim_core.dir/ladder_gate.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/logic.cpp.o"
+  "CMakeFiles/swsim_core.dir/logic.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/micromag_gate.cpp.o"
+  "CMakeFiles/swsim_core.dir/micromag_gate.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/multi_input_gate.cpp.o"
+  "CMakeFiles/swsim_core.dir/multi_input_gate.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/parallel_bus.cpp.o"
+  "CMakeFiles/swsim_core.dir/parallel_bus.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/triangle_gate.cpp.o"
+  "CMakeFiles/swsim_core.dir/triangle_gate.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/validator.cpp.o"
+  "CMakeFiles/swsim_core.dir/validator.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/variability.cpp.o"
+  "CMakeFiles/swsim_core.dir/variability.cpp.o.d"
+  "CMakeFiles/swsim_core.dir/wave_cascade.cpp.o"
+  "CMakeFiles/swsim_core.dir/wave_cascade.cpp.o.d"
+  "libswsim_core.a"
+  "libswsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

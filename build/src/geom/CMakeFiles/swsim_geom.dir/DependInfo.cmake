@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/gate_layout.cpp" "src/geom/CMakeFiles/swsim_geom.dir/gate_layout.cpp.o" "gcc" "src/geom/CMakeFiles/swsim_geom.dir/gate_layout.cpp.o.d"
+  "/root/repo/src/geom/roughness.cpp" "src/geom/CMakeFiles/swsim_geom.dir/roughness.cpp.o" "gcc" "src/geom/CMakeFiles/swsim_geom.dir/roughness.cpp.o.d"
+  "/root/repo/src/geom/shape.cpp" "src/geom/CMakeFiles/swsim_geom.dir/shape.cpp.o" "gcc" "src/geom/CMakeFiles/swsim_geom.dir/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/swsim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_geom.dir/gate_layout.cpp.o"
+  "CMakeFiles/swsim_geom.dir/gate_layout.cpp.o.d"
+  "CMakeFiles/swsim_geom.dir/roughness.cpp.o"
+  "CMakeFiles/swsim_geom.dir/roughness.cpp.o.d"
+  "CMakeFiles/swsim_geom.dir/shape.cpp.o"
+  "CMakeFiles/swsim_geom.dir/shape.cpp.o.d"
+  "libswsim_geom.a"
+  "libswsim_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_io.dir/csv.cpp.o"
+  "CMakeFiles/swsim_io.dir/csv.cpp.o.d"
+  "CMakeFiles/swsim_io.dir/ovf.cpp.o"
+  "CMakeFiles/swsim_io.dir/ovf.cpp.o.d"
+  "CMakeFiles/swsim_io.dir/render.cpp.o"
+  "CMakeFiles/swsim_io.dir/render.cpp.o.d"
+  "CMakeFiles/swsim_io.dir/table.cpp.o"
+  "CMakeFiles/swsim_io.dir/table.cpp.o.d"
+  "libswsim_io.a"
+  "libswsim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mag/anisotropy_field.cpp" "src/mag/CMakeFiles/swsim_mag.dir/anisotropy_field.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/anisotropy_field.cpp.o.d"
+  "/root/repo/src/mag/demag_field.cpp" "src/mag/CMakeFiles/swsim_mag.dir/demag_field.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/demag_field.cpp.o.d"
+  "/root/repo/src/mag/exchange_field.cpp" "src/mag/CMakeFiles/swsim_mag.dir/exchange_field.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/exchange_field.cpp.o.d"
+  "/root/repo/src/mag/field_term.cpp" "src/mag/CMakeFiles/swsim_mag.dir/field_term.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/field_term.cpp.o.d"
+  "/root/repo/src/mag/llg.cpp" "src/mag/CMakeFiles/swsim_mag.dir/llg.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/llg.cpp.o.d"
+  "/root/repo/src/mag/material.cpp" "src/mag/CMakeFiles/swsim_mag.dir/material.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/material.cpp.o.d"
+  "/root/repo/src/mag/probe.cpp" "src/mag/CMakeFiles/swsim_mag.dir/probe.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/probe.cpp.o.d"
+  "/root/repo/src/mag/simulation.cpp" "src/mag/CMakeFiles/swsim_mag.dir/simulation.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/simulation.cpp.o.d"
+  "/root/repo/src/mag/system.cpp" "src/mag/CMakeFiles/swsim_mag.dir/system.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/system.cpp.o.d"
+  "/root/repo/src/mag/thermal_field.cpp" "src/mag/CMakeFiles/swsim_mag.dir/thermal_field.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/thermal_field.cpp.o.d"
+  "/root/repo/src/mag/zeeman_field.cpp" "src/mag/CMakeFiles/swsim_mag.dir/zeeman_field.cpp.o" "gcc" "src/mag/CMakeFiles/swsim_mag.dir/zeeman_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/swsim_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_mag.dir/anisotropy_field.cpp.o"
+  "CMakeFiles/swsim_mag.dir/anisotropy_field.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/demag_field.cpp.o"
+  "CMakeFiles/swsim_mag.dir/demag_field.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/exchange_field.cpp.o"
+  "CMakeFiles/swsim_mag.dir/exchange_field.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/field_term.cpp.o"
+  "CMakeFiles/swsim_mag.dir/field_term.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/llg.cpp.o"
+  "CMakeFiles/swsim_mag.dir/llg.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/material.cpp.o"
+  "CMakeFiles/swsim_mag.dir/material.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/probe.cpp.o"
+  "CMakeFiles/swsim_mag.dir/probe.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/simulation.cpp.o"
+  "CMakeFiles/swsim_mag.dir/simulation.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/system.cpp.o"
+  "CMakeFiles/swsim_mag.dir/system.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/thermal_field.cpp.o"
+  "CMakeFiles/swsim_mag.dir/thermal_field.cpp.o.d"
+  "CMakeFiles/swsim_mag.dir/zeeman_field.cpp.o"
+  "CMakeFiles/swsim_mag.dir/zeeman_field.cpp.o.d"
+  "libswsim_mag.a"
+  "libswsim_mag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_mag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/fft.cpp" "src/math/CMakeFiles/swsim_math.dir/fft.cpp.o" "gcc" "src/math/CMakeFiles/swsim_math.dir/fft.cpp.o.d"
+  "/root/repo/src/math/field.cpp" "src/math/CMakeFiles/swsim_math.dir/field.cpp.o" "gcc" "src/math/CMakeFiles/swsim_math.dir/field.cpp.o.d"
+  "/root/repo/src/math/grid.cpp" "src/math/CMakeFiles/swsim_math.dir/grid.cpp.o" "gcc" "src/math/CMakeFiles/swsim_math.dir/grid.cpp.o.d"
+  "/root/repo/src/math/lockin.cpp" "src/math/CMakeFiles/swsim_math.dir/lockin.cpp.o" "gcc" "src/math/CMakeFiles/swsim_math.dir/lockin.cpp.o.d"
+  "/root/repo/src/math/rng.cpp" "src/math/CMakeFiles/swsim_math.dir/rng.cpp.o" "gcc" "src/math/CMakeFiles/swsim_math.dir/rng.cpp.o.d"
+  "/root/repo/src/math/spectrum.cpp" "src/math/CMakeFiles/swsim_math.dir/spectrum.cpp.o" "gcc" "src/math/CMakeFiles/swsim_math.dir/spectrum.cpp.o.d"
+  "/root/repo/src/math/stats.cpp" "src/math/CMakeFiles/swsim_math.dir/stats.cpp.o" "gcc" "src/math/CMakeFiles/swsim_math.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

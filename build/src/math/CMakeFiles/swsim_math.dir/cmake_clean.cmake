@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_math.dir/fft.cpp.o"
+  "CMakeFiles/swsim_math.dir/fft.cpp.o.d"
+  "CMakeFiles/swsim_math.dir/field.cpp.o"
+  "CMakeFiles/swsim_math.dir/field.cpp.o.d"
+  "CMakeFiles/swsim_math.dir/grid.cpp.o"
+  "CMakeFiles/swsim_math.dir/grid.cpp.o.d"
+  "CMakeFiles/swsim_math.dir/lockin.cpp.o"
+  "CMakeFiles/swsim_math.dir/lockin.cpp.o.d"
+  "CMakeFiles/swsim_math.dir/rng.cpp.o"
+  "CMakeFiles/swsim_math.dir/rng.cpp.o.d"
+  "CMakeFiles/swsim_math.dir/spectrum.cpp.o"
+  "CMakeFiles/swsim_math.dir/spectrum.cpp.o.d"
+  "CMakeFiles/swsim_math.dir/stats.cpp.o"
+  "CMakeFiles/swsim_math.dir/stats.cpp.o.d"
+  "libswsim_math.a"
+  "libswsim_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

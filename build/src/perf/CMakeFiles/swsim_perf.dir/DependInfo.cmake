@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/area.cpp" "src/perf/CMakeFiles/swsim_perf.dir/area.cpp.o" "gcc" "src/perf/CMakeFiles/swsim_perf.dir/area.cpp.o.d"
+  "/root/repo/src/perf/cmos_ref.cpp" "src/perf/CMakeFiles/swsim_perf.dir/cmos_ref.cpp.o" "gcc" "src/perf/CMakeFiles/swsim_perf.dir/cmos_ref.cpp.o.d"
+  "/root/repo/src/perf/comparison.cpp" "src/perf/CMakeFiles/swsim_perf.dir/comparison.cpp.o" "gcc" "src/perf/CMakeFiles/swsim_perf.dir/comparison.cpp.o.d"
+  "/root/repo/src/perf/gate_cost.cpp" "src/perf/CMakeFiles/swsim_perf.dir/gate_cost.cpp.o" "gcc" "src/perf/CMakeFiles/swsim_perf.dir/gate_cost.cpp.o.d"
+  "/root/repo/src/perf/latency.cpp" "src/perf/CMakeFiles/swsim_perf.dir/latency.cpp.o" "gcc" "src/perf/CMakeFiles/swsim_perf.dir/latency.cpp.o.d"
+  "/root/repo/src/perf/transducer.cpp" "src/perf/CMakeFiles/swsim_perf.dir/transducer.cpp.o" "gcc" "src/perf/CMakeFiles/swsim_perf.dir/transducer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/swsim_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/swsim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavenet/CMakeFiles/swsim_wavenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mag/CMakeFiles/swsim_mag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

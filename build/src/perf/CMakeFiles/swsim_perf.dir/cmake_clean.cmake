@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_perf.dir/area.cpp.o"
+  "CMakeFiles/swsim_perf.dir/area.cpp.o.d"
+  "CMakeFiles/swsim_perf.dir/cmos_ref.cpp.o"
+  "CMakeFiles/swsim_perf.dir/cmos_ref.cpp.o.d"
+  "CMakeFiles/swsim_perf.dir/comparison.cpp.o"
+  "CMakeFiles/swsim_perf.dir/comparison.cpp.o.d"
+  "CMakeFiles/swsim_perf.dir/gate_cost.cpp.o"
+  "CMakeFiles/swsim_perf.dir/gate_cost.cpp.o.d"
+  "CMakeFiles/swsim_perf.dir/latency.cpp.o"
+  "CMakeFiles/swsim_perf.dir/latency.cpp.o.d"
+  "CMakeFiles/swsim_perf.dir/transducer.cpp.o"
+  "CMakeFiles/swsim_perf.dir/transducer.cpp.o.d"
+  "libswsim_perf.a"
+  "libswsim_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wavenet/detector.cpp" "src/wavenet/CMakeFiles/swsim_wavenet.dir/detector.cpp.o" "gcc" "src/wavenet/CMakeFiles/swsim_wavenet.dir/detector.cpp.o.d"
+  "/root/repo/src/wavenet/dispersion.cpp" "src/wavenet/CMakeFiles/swsim_wavenet.dir/dispersion.cpp.o" "gcc" "src/wavenet/CMakeFiles/swsim_wavenet.dir/dispersion.cpp.o.d"
+  "/root/repo/src/wavenet/network.cpp" "src/wavenet/CMakeFiles/swsim_wavenet.dir/network.cpp.o" "gcc" "src/wavenet/CMakeFiles/swsim_wavenet.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/swsim_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/mag/CMakeFiles/swsim_mag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

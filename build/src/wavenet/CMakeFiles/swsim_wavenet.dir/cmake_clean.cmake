@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swsim_wavenet.dir/detector.cpp.o"
+  "CMakeFiles/swsim_wavenet.dir/detector.cpp.o.d"
+  "CMakeFiles/swsim_wavenet.dir/dispersion.cpp.o"
+  "CMakeFiles/swsim_wavenet.dir/dispersion.cpp.o.d"
+  "CMakeFiles/swsim_wavenet.dir/network.cpp.o"
+  "CMakeFiles/swsim_wavenet.dir/network.cpp.o.d"
+  "libswsim_wavenet.a"
+  "libswsim_wavenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swsim_wavenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswsim_wavenet.a"
+)

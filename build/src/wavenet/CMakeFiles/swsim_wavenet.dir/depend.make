@@ -1,0 +1,2 @@
+# Empty dependencies file for swsim_wavenet.
+# This may be replaced when dependencies are built.

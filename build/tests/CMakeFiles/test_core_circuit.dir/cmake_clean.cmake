@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_circuit.dir/test_core_circuit.cpp.o"
+  "CMakeFiles/test_core_circuit.dir/test_core_circuit.cpp.o.d"
+  "test_core_circuit"
+  "test_core_circuit.pdb"
+  "test_core_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

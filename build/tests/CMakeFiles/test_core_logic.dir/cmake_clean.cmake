@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_logic.dir/test_core_logic.cpp.o"
+  "CMakeFiles/test_core_logic.dir/test_core_logic.cpp.o.d"
+  "test_core_logic"
+  "test_core_logic.pdb"
+  "test_core_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multi_input.dir/test_core_multi_input.cpp.o"
+  "CMakeFiles/test_core_multi_input.dir/test_core_multi_input.cpp.o.d"
+  "test_core_multi_input"
+  "test_core_multi_input.pdb"
+  "test_core_multi_input[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multi_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_parallel_bus.dir/test_core_parallel_bus.cpp.o"
+  "CMakeFiles/test_core_parallel_bus.dir/test_core_parallel_bus.cpp.o.d"
+  "test_core_parallel_bus"
+  "test_core_parallel_bus.pdb"
+  "test_core_parallel_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_parallel_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_triangle_gate.dir/test_core_triangle_gate.cpp.o"
+  "CMakeFiles/test_core_triangle_gate.dir/test_core_triangle_gate.cpp.o.d"
+  "test_core_triangle_gate"
+  "test_core_triangle_gate.pdb"
+  "test_core_triangle_gate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_triangle_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

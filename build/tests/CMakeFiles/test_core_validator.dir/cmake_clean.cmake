@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_validator.dir/test_core_validator.cpp.o"
+  "CMakeFiles/test_core_validator.dir/test_core_validator.cpp.o.d"
+  "test_core_validator"
+  "test_core_validator.pdb"
+  "test_core_validator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_variability.dir/test_core_variability.cpp.o"
+  "CMakeFiles/test_core_variability.dir/test_core_variability.cpp.o.d"
+  "test_core_variability"
+  "test_core_variability.pdb"
+  "test_core_variability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_wave_cascade.dir/test_core_wave_cascade.cpp.o"
+  "CMakeFiles/test_core_wave_cascade.dir/test_core_wave_cascade.cpp.o.d"
+  "test_core_wave_cascade"
+  "test_core_wave_cascade.pdb"
+  "test_core_wave_cascade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_wave_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_layout.dir/test_geom_layout.cpp.o"
+  "CMakeFiles/test_geom_layout.dir/test_geom_layout.cpp.o.d"
+  "test_geom_layout"
+  "test_geom_layout.pdb"
+  "test_geom_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_roughness.dir/test_geom_roughness.cpp.o"
+  "CMakeFiles/test_geom_roughness.dir/test_geom_roughness.cpp.o.d"
+  "test_geom_roughness"
+  "test_geom_roughness.pdb"
+  "test_geom_roughness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_roughness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

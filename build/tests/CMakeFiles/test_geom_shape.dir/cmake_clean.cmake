@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom_shape.dir/test_geom_shape.cpp.o"
+  "CMakeFiles/test_geom_shape.dir/test_geom_shape.cpp.o.d"
+  "test_geom_shape"
+  "test_geom_shape.pdb"
+  "test_geom_shape[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_micromag.dir/test_integration_micromag.cpp.o"
+  "CMakeFiles/test_integration_micromag.dir/test_integration_micromag.cpp.o.d"
+  "test_integration_micromag"
+  "test_integration_micromag.pdb"
+  "test_integration_micromag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_micromag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

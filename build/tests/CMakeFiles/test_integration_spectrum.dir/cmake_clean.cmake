@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_spectrum.dir/test_integration_spectrum.cpp.o"
+  "CMakeFiles/test_integration_spectrum.dir/test_integration_spectrum.cpp.o.d"
+  "test_integration_spectrum"
+  "test_integration_spectrum.pdb"
+  "test_integration_spectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

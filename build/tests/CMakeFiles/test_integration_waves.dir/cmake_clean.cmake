@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_waves.dir/test_integration_waves.cpp.o"
+  "CMakeFiles/test_integration_waves.dir/test_integration_waves.cpp.o.d"
+  "test_integration_waves"
+  "test_integration_waves.pdb"
+  "test_integration_waves[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_waves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

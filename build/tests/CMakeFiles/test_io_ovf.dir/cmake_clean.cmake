@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_ovf.dir/test_io_ovf.cpp.o"
+  "CMakeFiles/test_io_ovf.dir/test_io_ovf.cpp.o.d"
+  "test_io_ovf"
+  "test_io_ovf.pdb"
+  "test_io_ovf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_ovf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_demag.dir/test_mag_demag.cpp.o"
+  "CMakeFiles/test_mag_demag.dir/test_mag_demag.cpp.o.d"
+  "test_mag_demag"
+  "test_mag_demag.pdb"
+  "test_mag_demag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_demag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_domain_wall.dir/test_mag_domain_wall.cpp.o"
+  "CMakeFiles/test_mag_domain_wall.dir/test_mag_domain_wall.cpp.o.d"
+  "test_mag_domain_wall"
+  "test_mag_domain_wall.pdb"
+  "test_mag_domain_wall[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_domain_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_fields.dir/test_mag_fields.cpp.o"
+  "CMakeFiles/test_mag_fields.dir/test_mag_fields.cpp.o.d"
+  "test_mag_fields"
+  "test_mag_fields.pdb"
+  "test_mag_fields[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

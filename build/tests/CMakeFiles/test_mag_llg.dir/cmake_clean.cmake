@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_llg.dir/test_mag_llg.cpp.o"
+  "CMakeFiles/test_mag_llg.dir/test_mag_llg.cpp.o.d"
+  "test_mag_llg"
+  "test_mag_llg.pdb"
+  "test_mag_llg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_llg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

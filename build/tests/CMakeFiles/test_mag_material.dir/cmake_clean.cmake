@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_material.dir/test_mag_material.cpp.o"
+  "CMakeFiles/test_mag_material.dir/test_mag_material.cpp.o.d"
+  "test_mag_material"
+  "test_mag_material.pdb"
+  "test_mag_material[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_material.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

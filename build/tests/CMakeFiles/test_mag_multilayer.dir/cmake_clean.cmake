@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_multilayer.dir/test_mag_multilayer.cpp.o"
+  "CMakeFiles/test_mag_multilayer.dir/test_mag_multilayer.cpp.o.d"
+  "test_mag_multilayer"
+  "test_mag_multilayer.pdb"
+  "test_mag_multilayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

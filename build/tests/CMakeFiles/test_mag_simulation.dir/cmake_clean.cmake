@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_simulation.dir/test_mag_simulation.cpp.o"
+  "CMakeFiles/test_mag_simulation.dir/test_mag_simulation.cpp.o.d"
+  "test_mag_simulation"
+  "test_mag_simulation.pdb"
+  "test_mag_simulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

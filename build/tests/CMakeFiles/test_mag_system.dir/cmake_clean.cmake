@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_system.dir/test_mag_system.cpp.o"
+  "CMakeFiles/test_mag_system.dir/test_mag_system.cpp.o.d"
+  "test_mag_system"
+  "test_mag_system.pdb"
+  "test_mag_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

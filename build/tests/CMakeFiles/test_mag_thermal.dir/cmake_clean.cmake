@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mag_thermal.dir/test_mag_thermal.cpp.o"
+  "CMakeFiles/test_mag_thermal.dir/test_mag_thermal.cpp.o.d"
+  "test_mag_thermal"
+  "test_mag_thermal.pdb"
+  "test_mag_thermal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mag_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_fft.dir/test_math_fft.cpp.o"
+  "CMakeFiles/test_math_fft.dir/test_math_fft.cpp.o.d"
+  "test_math_fft"
+  "test_math_fft.pdb"
+  "test_math_fft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

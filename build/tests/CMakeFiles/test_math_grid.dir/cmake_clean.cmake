@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_grid.dir/test_math_grid.cpp.o"
+  "CMakeFiles/test_math_grid.dir/test_math_grid.cpp.o.d"
+  "test_math_grid"
+  "test_math_grid.pdb"
+  "test_math_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

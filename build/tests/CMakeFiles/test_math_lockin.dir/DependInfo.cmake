@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_math_lockin.cpp" "tests/CMakeFiles/test_math_lockin.dir/test_math_lockin.cpp.o" "gcc" "tests/CMakeFiles/test_math_lockin.dir/test_math_lockin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/swsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/swsim_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/wavenet/CMakeFiles/swsim_wavenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mag/CMakeFiles/swsim_mag.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/swsim_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/swsim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/swsim_math.dir/DependInfo.cmake"
+  "/root/repo/build/cli/CMakeFiles/swsim_cli_args.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

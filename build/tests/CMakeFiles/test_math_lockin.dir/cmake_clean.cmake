@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_lockin.dir/test_math_lockin.cpp.o"
+  "CMakeFiles/test_math_lockin.dir/test_math_lockin.cpp.o.d"
+  "test_math_lockin"
+  "test_math_lockin.pdb"
+  "test_math_lockin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_lockin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_spectrum.dir/test_math_spectrum.cpp.o"
+  "CMakeFiles/test_math_spectrum.dir/test_math_spectrum.cpp.o.d"
+  "test_math_spectrum"
+  "test_math_spectrum.pdb"
+  "test_math_spectrum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_area.dir/test_perf_area.cpp.o"
+  "CMakeFiles/test_perf_area.dir/test_perf_area.cpp.o.d"
+  "test_perf_area"
+  "test_perf_area.pdb"
+  "test_perf_area[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_latency.dir/test_perf_latency.cpp.o"
+  "CMakeFiles/test_perf_latency.dir/test_perf_latency.cpp.o.d"
+  "test_perf_latency"
+  "test_perf_latency.pdb"
+  "test_perf_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

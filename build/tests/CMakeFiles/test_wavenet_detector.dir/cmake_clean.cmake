@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavenet_detector.dir/test_wavenet_detector.cpp.o"
+  "CMakeFiles/test_wavenet_detector.dir/test_wavenet_detector.cpp.o.d"
+  "test_wavenet_detector"
+  "test_wavenet_detector.pdb"
+  "test_wavenet_detector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavenet_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

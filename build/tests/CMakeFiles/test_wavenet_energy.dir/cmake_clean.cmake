@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavenet_energy.dir/test_wavenet_energy.cpp.o"
+  "CMakeFiles/test_wavenet_energy.dir/test_wavenet_energy.cpp.o.d"
+  "test_wavenet_energy"
+  "test_wavenet_energy.pdb"
+  "test_wavenet_energy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavenet_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wavenet_network.dir/test_wavenet_network.cpp.o"
+  "CMakeFiles/test_wavenet_network.dir/test_wavenet_network.cpp.o.d"
+  "test_wavenet_network"
+  "test_wavenet_network.pdb"
+  "test_wavenet_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wavenet_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
