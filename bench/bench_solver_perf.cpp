@@ -1,11 +1,28 @@
 // Micro-benchmarks of the simulation substrate (google-benchmark):
 // effective-field terms, steppers, FFT demag, and a full gate evaluation.
 // Not a paper table — engineering data for anyone extending the solver.
+//
+// After the micro-benchmarks, a macro comparison runs the paper-style
+// 8-entry MAJ truth table on the LLG backend three ways — legacy serial,
+// engine cold-cache, engine warm-cache — and prints wall time, speedup and
+// cache hit rate (also dumped to bench_engine_speedup.csv). The speedup of
+// the cold engine run comes from the thread pool (and is therefore ~1x on
+// a single-core host); the warm run's comes from the content-addressed
+// cache and is host-independent. All three paths must produce an
+// identical report — the table says so explicitly.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
 #include <memory>
 
+#include "core/micromag_gate.h"
 #include "core/triangle_gate.h"
+#include "core/validator.h"
+#include "engine/batch_runner.h"
+#include "engine/hash.h"
+#include "io/csv.h"
+#include "io/table.h"
 #include "mag/anisotropy_field.h"
 #include "mag/demag_field.h"
 #include "mag/exchange_field.h"
@@ -134,4 +151,99 @@ void BM_TriangleGateEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_TriangleGateEvaluate);
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Serial vs engine on the 8-entry micromagnetic MAJ truth table.
+void run_engine_comparison() {
+  core::MicromagGateConfig cfg;
+  cfg.params = geom::TriangleGateParams::reduced_maj3(math::nm(50),
+                                                      math::nm(20));
+  cfg.cell_size = math::nm(5);  // coarse: this measures scheduling, not Fig.5
+
+  std::cout << "\nserial vs engine: micromagnetic MAJ truth table "
+            << "(8 rows + calibration per pass)\n";
+
+  // Legacy serial path: one gate, lazy calibration, rows in order.
+  auto t0 = std::chrono::steady_clock::now();
+  core::MicromagTriangleGate serial_gate(cfg);
+  const auto serial_report = core::validate_gate(serial_gate);
+  const double serial_s = seconds_since(t0);
+
+  // Engine path, cold cache: one calibration job fans out to 8 row jobs.
+  engine::BatchRunner runner(engine::EngineConfig{});
+  auto calib = std::make_shared<std::optional<core::MicromagCalibration>>();
+  const engine::BatchRunner::GateFactory factory = [cfg, calib] {
+    auto gate = std::make_unique<core::MicromagTriangleGate>(cfg);
+    if (calib->has_value()) gate->set_calibration(**calib);
+    return gate;
+  };
+  const auto prepare = [cfg, calib] {
+    core::MicromagTriangleGate gate(cfg);
+    *calib = gate.calibrate();
+  };
+  const std::uint64_t key = engine::hash_of(cfg);
+
+  t0 = std::chrono::steady_clock::now();
+  const auto cold_report = runner.run_truth_table(factory, key, prepare);
+  const double cold_s = seconds_since(t0);
+  const auto cold_stats = runner.stats();
+
+  // Second identical run: every row should come out of the cache.
+  t0 = std::chrono::steady_clock::now();
+  const auto warm_report = runner.run_truth_table(factory, key, prepare);
+  const double warm_s = seconds_since(t0);
+  const auto warm_stats = runner.stats();
+  const std::size_t warm_hits = warm_stats.cache.hits - cold_stats.cache.hits;
+  const std::size_t warm_misses =
+      warm_stats.cache.misses - cold_stats.cache.misses;
+  const double warm_hit_rate =
+      warm_hits + warm_misses == 0
+          ? 0.0
+          : static_cast<double>(warm_hits) /
+                static_cast<double>(warm_hits + warm_misses);
+
+  const std::string serial_str = core::format_report(serial_report);
+  const bool cold_same = core::format_report(cold_report) == serial_str;
+  const bool warm_same = core::format_report(warm_report) == serial_str;
+
+  io::Table t({"path", "wall (s)", "speedup", "cache hit rate",
+               "identical output"});
+  t.add_row({"serial", io::Table::num(serial_s, 2), "1.00", "-", "yes"});
+  t.add_row({"engine cold (" + std::to_string(runner.threads()) + " threads)",
+             io::Table::num(cold_s, 2), io::Table::num(serial_s / cold_s, 2),
+             io::Table::num(cold_stats.cache.hit_rate() * 100, 0) + "%",
+             cold_same ? "yes" : "NO"});
+  t.add_row({"engine warm", io::Table::num(warm_s, 2),
+             io::Table::num(serial_s / warm_s, 2),
+             io::Table::num(warm_hit_rate * 100, 0) + "%",
+             warm_same ? "yes" : "NO"});
+  std::cout << t.str();
+
+  io::CsvWriter csv("bench_engine_speedup.csv");
+  csv.write_row({"path", "wall_s", "speedup", "cache_hit_rate",
+                 "identical_output"});
+  csv.write_row({"serial", io::Table::num(serial_s, 4), "1.0", "",
+                 "1"});
+  csv.write_row({"engine_cold", io::Table::num(cold_s, 4),
+                 io::Table::num(serial_s / cold_s, 4),
+                 io::Table::num(cold_stats.cache.hit_rate(), 4),
+                 cold_same ? "1" : "0"});
+  csv.write_row({"engine_warm", io::Table::num(warm_s, 4),
+                 io::Table::num(serial_s / warm_s, 4),
+                 io::Table::num(warm_hit_rate, 4), warm_same ? "1" : "0"});
+  std::cout << "wrote bench_engine_speedup.csv\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_engine_comparison();
+  return 0;
+}

@@ -21,6 +21,10 @@ Args Args::parse(int argc, const char* const* argv) {
       if (key.empty()) {
         throw std::invalid_argument("Args: empty option name");
       }
+      if (args.options_.count(key) > 0) {
+        throw std::invalid_argument("Args: option --" + key +
+                                    " given more than once");
+      }
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
         args.options_[key] = argv[i + 1];
         ++i;

@@ -16,7 +16,8 @@ class Args {
  public:
   // Parses argv[1..]; argv[1] (if present and not an option) becomes the
   // command. Throws std::invalid_argument on a malformed option (e.g. a
-  // bare "--").
+  // bare "--") or a repeated option ("--lambda 55 --lambda 60" is an error,
+  // never a silent first/last-one-wins).
   static Args parse(int argc, const char* const* argv);
 
   const std::string& command() const { return command_; }

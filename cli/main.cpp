@@ -1,17 +1,29 @@
 // swsim — command-line driver for the spin-wave gate library.
 //
 //   swsim truthtable <maj|xor|xnor|and|or|nand|nor|maj5|maj7>
-//         [--lambda <nm>] [--width <nm>]
+//         [--lambda <nm>] [--width <nm>] [engine flags]
 //   swsim dispersion [--thickness <nm>] [--material <fecob|yig|permalloy>]
 //         [--applied <kA/m>]
 //   swsim yield [--gate <maj|xor>] [--sigma-length <nm>] [--sigma-amp <frac>]
-//         [--trials <n>] [--lambda <nm>]
+//         [--trials <n>] [--lambda <nm>] [engine flags]
 //   swsim compare                      (Table III)
 //   swsim micromag [--xor] [--lambda <nm>] [--width <nm>] [--cell <nm>]
-//         (runs the LLG backend truth table; slow)
+//         [engine flags]              (runs the LLG backend truth table; slow)
+//   swsim batch <jobfile> [--out <csv>] [engine flags]
 //   swsim help
+//
+// Engine flags (the evaluation engine is the default execution path):
+//   --jobs <n>     worker threads (0 = hardware concurrency)
+//   --no-cache     disable result memoization
+//   --cache-dir <d> spill evicted results to (and reuse them from) <d>
+//   --serial       bypass the engine: single-threaded legacy path
+//   --stats        print engine counters (threads, hit rate, parallelism)
+#include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <sstream>
 
 #include "cli/args.h"
 #include "core/derived_gates.h"
@@ -20,6 +32,9 @@
 #include "core/triangle_gate.h"
 #include "core/validator.h"
 #include "core/variability.h"
+#include "engine/batch_runner.h"
+#include "engine/hash.h"
+#include "io/csv.h"
 #include "io/table.h"
 #include "math/constants.h"
 #include "perf/comparison.h"
@@ -44,8 +59,26 @@ int usage() {
       "             [--sigma-amp <frac>] [--trials <n>] [--lambda <nm>]\n"
       "  compare    (regenerate the paper's Table III)\n"
       "  micromag   [--xor] [--lambda <nm>] [--width <nm>] [--cell <nm>]\n"
-      "  help\n";
+      "  batch      <jobfile> [--out <csv>]\n"
+      "             (jobfile: one 'truthtable ...' or 'yield ...' per line)\n"
+      "  help\n"
+      "\n"
+      "engine flags (accepted by truthtable, yield, micromag, batch):\n"
+      "  --jobs <n>  --no-cache  --cache-dir <dir>  --serial  --stats\n";
   return 0;
+}
+
+engine::EngineConfig engine_config_from(const cli::Args& args) {
+  engine::EngineConfig cfg;
+  cfg.jobs = static_cast<std::size_t>(std::max(0L, args.integer("jobs", 0)));
+  cfg.use_cache = !args.has("no-cache");
+  cfg.spill_dir = args.value("cache-dir").value_or("");
+  return cfg;
+}
+
+void maybe_print_stats(const cli::Args& args,
+                       const engine::BatchRunner& runner) {
+  if (args.has("stats")) std::cout << '\n' << runner.stats().str();
 }
 
 geom::TriangleGateParams params_from(const cli::Args& args, bool maj) {
@@ -57,22 +90,29 @@ geom::TriangleGateParams params_from(const cli::Args& args, bool maj) {
   return p;
 }
 
-int cmd_truthtable(const cli::Args& args) {
-  if (args.positional().empty()) {
-    std::cerr << "truthtable: missing gate name\n";
-    return 2;
-  }
-  const std::string kind = args.positional()[0];
-  std::unique_ptr<core::FanoutGate> gate;
+// A gate described by a CLI line: how to build fresh instances (the engine
+// evaluates on one instance per job) and the content key of its
+// configuration (the cache address).
+struct GateSpec {
+  engine::BatchRunner::GateFactory factory;
+  std::uint64_t key = 0;
+};
 
+std::optional<GateSpec> make_gate_spec(const std::string& kind,
+                                       const cli::Args& args) {
+  GateSpec spec;
   core::TriangleGateConfig cfg;
   cfg.params = params_from(args, /*maj=*/true);
   if (kind == "maj") {
-    gate = std::make_unique<core::TriangleMajGate>(cfg);
+    spec.factory = [cfg] {
+      return std::make_unique<core::TriangleMajGate>(cfg);
+    };
   } else if (kind == "xor" || kind == "xnor") {
     cfg.params = params_from(args, /*maj=*/false);
     cfg.inverted = kind == "xnor";
-    gate = std::make_unique<core::TriangleXorGate>(cfg);
+    spec.factory = [cfg] {
+      return std::make_unique<core::TriangleXorGate>(cfg);
+    };
   } else if (kind == "and" || kind == "or" || kind == "nand" ||
              kind == "nor") {
     const core::TwoInputFunction fn =
@@ -80,19 +120,49 @@ int cmd_truthtable(const cli::Args& args) {
         : kind == "or"   ? core::TwoInputFunction::kOr
         : kind == "nand" ? core::TwoInputFunction::kNand
                          : core::TwoInputFunction::kNor;
-    gate = std::make_unique<core::ControlledMajGate>(cfg, fn);
+    spec.factory = [cfg, fn] {
+      return std::make_unique<core::ControlledMajGate>(cfg, fn);
+    };
   } else if (kind == "maj5" || kind == "maj7") {
     core::MultiInputMajConfig mcfg;
     mcfg.num_inputs = kind == "maj5" ? 5 : 7;
     mcfg.params = cfg.params;
-    gate = std::make_unique<core::MultiInputMajGate>(mcfg);
+    spec.factory = [mcfg] {
+      return std::make_unique<core::MultiInputMajGate>(mcfg);
+    };
   } else {
+    return std::nullopt;
+  }
+  // The gate kind is part of the key: "and" and "or" share a
+  // TriangleGateConfig but differ in control constant / inversion.
+  spec.key = engine::combine(engine::Fnv1a().str(kind).digest(),
+                             engine::hash_of(cfg));
+  return spec;
+}
+
+int cmd_truthtable(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "truthtable: missing gate name\n";
+    return 2;
+  }
+  const std::string kind = args.positional()[0];
+  const auto spec = make_gate_spec(kind, args);
+  if (!spec) {
     std::cerr << "truthtable: unknown gate '" << kind << "'\n";
     return 2;
   }
 
-  const auto report = core::validate_gate(*gate);
-  std::cout << core::format_report(report);
+  core::ValidationReport report;
+  if (args.has("serial")) {
+    const auto gate = spec->factory();
+    report = core::validate_gate(*gate);
+    std::cout << core::format_report(report);
+  } else {
+    engine::BatchRunner runner(engine_config_from(args));
+    report = runner.run_truth_table(spec->factory, spec->key);
+    std::cout << core::format_report(report);
+    maybe_print_stats(args, runner);
+  }
   return report.all_pass ? 0 : 1;
 }
 
@@ -122,35 +192,73 @@ int cmd_dispersion(const cli::Args& args) {
   return 0;
 }
 
-int cmd_yield(const cli::Args& args) {
-  const double lambda_nm = args.number("lambda", 55.0);
+// The yield workload description shared by cmd_yield and cmd_batch. The
+// gate is named either positionally ("yield xor ...", batch-file style) or
+// via --gate (the historical standalone spelling); positional wins.
+struct YieldSpec {
+  std::string kind;
+  engine::BatchRunner::TriangleFactory factory;
   core::VariabilityModel model;
-  model.sigma_phase = core::VariabilityModel::phase_sigma_for_length(
-      nm(args.number("sigma-length", 2.0)), nm(lambda_nm));
-  model.sigma_amplitude = args.number("sigma-amp", 0.05);
-  const auto trials = static_cast<std::size_t>(args.integer("trials", 500));
+  std::size_t trials = 0;
+};
 
-  const std::string kind = args.value("gate").value_or("maj");
+std::optional<YieldSpec> make_yield_spec(const cli::Args& args) {
+  const double lambda_nm = args.number("lambda", 55.0);
+  YieldSpec spec;
+  spec.model.sigma_phase = core::VariabilityModel::phase_sigma_for_length(
+      nm(args.number("sigma-length", 2.0)), nm(lambda_nm));
+  spec.model.sigma_amplitude = args.number("sigma-amp", 0.05);
+  spec.trials = static_cast<std::size_t>(args.integer("trials", 500));
+
+  const std::string kind = !args.positional().empty()
+                               ? args.positional()[0]
+                               : args.value("gate").value_or("maj");
+  spec.kind = kind;
   core::TriangleGateConfig cfg;
-  std::unique_ptr<core::TriangleGateBase> gate;
   if (kind == "maj") {
     cfg.params = params_from(args, true);
-    gate = std::make_unique<core::TriangleMajGate>(cfg);
+    spec.factory = [cfg] {
+      return std::make_unique<core::TriangleMajGate>(cfg);
+    };
   } else if (kind == "xor") {
     cfg.params = params_from(args, false);
-    gate = std::make_unique<core::TriangleXorGate>(cfg);
+    spec.factory = [cfg] {
+      return std::make_unique<core::TriangleXorGate>(cfg);
+    };
   } else {
-    std::cerr << "yield: unknown gate '" << kind << "'\n";
-    return 2;
+    return std::nullopt;
   }
+  return spec;
+}
 
-  const auto r = core::estimate_yield(*gate, model, trials);
+void print_yield(const std::string& kind, const core::YieldReport& r) {
   std::cout << "gate " << kind << ", " << r.trials << " virtual devices:\n"
             << "  yield               " << Table::num(r.yield * 100, 1)
             << "%\n"
             << "  row failures        " << r.worst_row_failures << '\n'
             << "  mean worst margin   " << Table::num(r.mean_worst_margin, 3)
             << '\n';
+}
+
+int cmd_yield(const cli::Args& args) {
+  const auto spec = make_yield_spec(args);
+  if (!spec) {
+    std::cerr << "yield: unknown gate\n";
+    return 2;
+  }
+
+  core::YieldReport r;
+  if (args.has("serial")) {
+    const auto gate = spec->factory();
+    r = core::estimate_yield(*gate, spec->model, spec->trials);
+  } else {
+    engine::BatchRunner runner(engine_config_from(args));
+    r = runner.run_yield(spec->factory, spec->model, spec->trials);
+    print_yield(spec->kind, r);
+    maybe_print_stats(args, runner);
+    return 0;
+  }
+  print_yield(spec->kind, r);
   return 0;
 }
 
@@ -181,14 +289,152 @@ int cmd_micromag(const cli::Args& args) {
                    : geom::TriangleGateParams::reduced_maj3(nm(lambda_nm),
                                                             nm(width_nm));
   cfg.cell_size = nm(args.number("cell", 4.0));
-  core::MicromagTriangleGate gate(cfg);
-  std::cout << "running LLG truth table (" << (1u << gate.num_inputs())
-            << " patterns + calibration, f = "
-            << Table::num(to_ghz(gate.drive_frequency()), 1)
-            << " GHz)...\n";
-  const auto report = core::validate_gate(gate);
+
+  {
+    // Banner from a probe instance (construction is cheap; no LLG run).
+    const core::MicromagTriangleGate probe(cfg);
+    std::cout << "running LLG truth table (" << (1u << probe.num_inputs())
+              << " patterns + calibration, f = "
+              << Table::num(to_ghz(probe.drive_frequency()), 1)
+              << " GHz)...\n";
+  }
+
+  core::ValidationReport report;
+  if (args.has("serial")) {
+    core::MicromagTriangleGate gate(cfg);
+    report = core::validate_gate(gate);
+    std::cout << core::format_report(report);
+    return report.all_pass ? 0 : 1;
+  }
+
+  engine::EngineConfig ecfg = engine_config_from(args);
+  // Seeded physics (thermal noise, edge roughness) must not be served from
+  // the cache: the seed is part of the sample, and sweeps want fresh draws.
+  if (cfg.temperature > 0.0 || cfg.roughness.has_value()) {
+    ecfg.use_cache = false;
+  }
+  engine::BatchRunner runner(ecfg);
+
+  // One calibration job (the all-zero reference LLG run) feeds every
+  // per-row job through a dependency edge, so the reference solve happens
+  // once instead of once per row.
+  auto calib = std::make_shared<std::optional<core::MicromagCalibration>>();
+  const engine::BatchRunner::GateFactory factory = [cfg, calib] {
+    auto gate = std::make_unique<core::MicromagTriangleGate>(cfg);
+    if (calib->has_value()) gate->set_calibration(**calib);
+    return gate;
+  };
+  const auto prepare = [cfg, calib] {
+    core::MicromagTriangleGate gate(cfg);
+    *calib = gate.calibrate();
+  };
+  report = runner.run_truth_table(factory, engine::hash_of(cfg), prepare);
   std::cout << core::format_report(report);
+  maybe_print_stats(args, runner);
   return report.all_pass ? 0 : 1;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+// Runs a job-list file through one shared engine: every line is a
+// `truthtable ...` or `yield ...` command (same flags as the standalone
+// commands); '#' starts a comment. Identical configurations across lines
+// are solved once — the cache turns a sweep with repeated geometries into
+// incremental work. Results land in a CSV (--out) or a console table.
+int cmd_batch(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "batch: missing job-list file\n";
+    return 2;
+  }
+  std::ifstream in(args.positional()[0]);
+  if (!in) {
+    std::cerr << "batch: cannot open '" << args.positional()[0] << "'\n";
+    return 2;
+  }
+
+  engine::BatchRunner runner(engine_config_from(args));
+  const std::vector<std::string> headers = {
+      "line", "command", "gate",          "lambda_nm", "all_pass",
+      "yield", "max_asymmetry", "min_margin", "mean_worst_margin"};
+  std::vector<std::vector<std::string>> results;
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool all_ok = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash_pos = line.find('#');
+    if (hash_pos != std::string::npos) line = line.substr(0, hash_pos);
+    auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    std::vector<const char*> argv{"swsim"};
+    for (const auto& t : tokens) argv.push_back(t.c_str());
+    cli::Args job_args;
+    try {
+      job_args = cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+    } catch (const std::exception& e) {
+      std::cerr << "batch: line " << line_no << ": " << e.what() << '\n';
+      return 2;
+    }
+
+    if (job_args.command() == "truthtable") {
+      if (job_args.positional().empty()) {
+        std::cerr << "batch: line " << line_no << ": missing gate name\n";
+        return 2;
+      }
+      const std::string kind = job_args.positional()[0];
+      const auto spec = make_gate_spec(kind, job_args);
+      if (!spec) {
+        std::cerr << "batch: line " << line_no << ": unknown gate '" << kind
+                  << "'\n";
+        return 2;
+      }
+      const auto report =
+          runner.run_truth_table(spec->factory, spec->key);
+      all_ok = all_ok && report.all_pass;
+      results.push_back({std::to_string(line_no), "truthtable", kind,
+                         Table::num(job_args.number("lambda", 55.0), 1),
+                         report.all_pass ? "1" : "0", "",
+                         Table::num(report.max_output_asymmetry, 6),
+                         Table::num(report.min_margin, 6), ""});
+    } else if (job_args.command() == "yield") {
+      const auto spec = make_yield_spec(job_args);
+      if (!spec) {
+        std::cerr << "batch: line " << line_no << ": unknown gate\n";
+        return 2;
+      }
+      const auto r = runner.run_yield(spec->factory, spec->model,
+                                      spec->trials);
+      results.push_back({std::to_string(line_no), "yield", spec->kind,
+                         Table::num(job_args.number("lambda", 55.0), 1), "",
+                         Table::num(r.yield, 6), "", "",
+                         Table::num(r.mean_worst_margin, 6)});
+    } else {
+      std::cerr << "batch: line " << line_no << ": unknown command '"
+                << job_args.command() << "' (want truthtable|yield)\n";
+      return 2;
+    }
+  }
+
+  if (const auto out = args.value("out")) {
+    io::CsvWriter csv(*out);
+    csv.write_row(headers);
+    for (const auto& row : results) csv.write_row(row);
+    std::cout << "batch: " << results.size() << " jobs -> " << *out << '\n';
+  } else {
+    Table t(headers);
+    for (auto& row : results) t.add_row(std::move(row));
+    std::cout << t.str();
+  }
+  maybe_print_stats(args, runner);
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -203,6 +449,7 @@ int main(int argc, char** argv) {
     if (cmd == "yield") return cmd_yield(args);
     if (cmd == "compare") return cmd_compare();
     if (cmd == "micromag") return cmd_micromag(args);
+    if (cmd == "batch") return cmd_batch(args);
     std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
     return 2;
   } catch (const std::exception& e) {

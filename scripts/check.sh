@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The repository's one-command CI gate:
+#   1. configure + build + full ctest suite (the tier-1 check of ROADMAP.md)
+#   2. a ThreadSanitizer build of the parallel-evaluation engine tests,
+#      run directly, to catch data races in the thread pool / scheduler /
+#      result cache.
+#
+# Usage: scripts/check.sh [build-dir]           (default: build)
+# Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
+#        libtsan).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== stage 1: build + ctest (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+if [[ "${SWSIM_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== stage 2: TSan skipped (SWSIM_CHECK_SKIP_TSAN=1) =="
+  exit 0
+fi
+
+TSAN_DIR="${BUILD_DIR}-tsan"
+TSAN_TESTS=(test_engine_pool test_engine_cache test_engine_determinism)
+
+echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
+cmake -B "${TSAN_DIR}" -S . \
+  -DSWSIM_TSAN=ON -DSWSIM_BUILD_BENCH=OFF -DSWSIM_BUILD_EXAMPLES=OFF \
+  >/dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
+for t in "${TSAN_TESTS[@]}"; do
+  # halt_on_error: any race fails the run, not just the report.
+  TSAN_OPTIONS="halt_on_error=1" "${TSAN_DIR}/tests/${t}"
+done
+
+echo "== all checks passed =="

@@ -271,6 +271,27 @@ void MicromagTriangleGate::ensure_calibration() {
   calibrated_ = true;
 }
 
+MicromagCalibration MicromagTriangleGate::calibrate() {
+  ensure_calibration();
+  return {ref_amplitude_, ref_phase_o1_, ref_phase_o2_};
+}
+
+std::optional<MicromagCalibration> MicromagTriangleGate::calibration() const {
+  if (!calibrated_) return std::nullopt;
+  return MicromagCalibration{ref_amplitude_, ref_phase_o1_, ref_phase_o2_};
+}
+
+void MicromagTriangleGate::set_calibration(const MicromagCalibration& c) {
+  if (!(c.ref_amplitude > 0.0)) {
+    throw std::invalid_argument(
+        name() + ": injected calibration needs ref_amplitude > 0");
+  }
+  ref_amplitude_ = c.ref_amplitude;
+  ref_phase_o1_ = c.ref_phase_o1;
+  ref_phase_o2_ = c.ref_phase_o2;
+  calibrated_ = true;
+}
+
 MicromagEvaluation MicromagTriangleGate::evaluate_full(
     const std::vector<bool>& inputs) {
   if (inputs.size() != num_inputs()) {

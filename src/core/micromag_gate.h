@@ -52,6 +52,17 @@ struct MicromagGateConfig {
   double absorber_alpha = 0.5;        // damping at the tail end
 };
 
+// The calibration run's distilled output: the all-zero-input reference
+// that normalizes amplitudes and anchors phase detection. Deterministic
+// for a given MicromagGateConfig, so it can be computed once and injected
+// into sibling gate instances (the engine's parallel truth-table path runs
+// one calibration job that every per-row evaluation job depends on).
+struct MicromagCalibration {
+  double ref_amplitude = 0.0;
+  double ref_phase_o1 = 0.0;
+  double ref_phase_o2 = 0.0;
+};
+
 struct MicromagEvaluation {
   FanoutOutputs outputs;
   double o1_amplitude = 0.0;  // raw lock-in amplitude (m_x precession)
@@ -80,6 +91,15 @@ class MicromagTriangleGate final : public FanoutGate {
 
   // Full evaluation with raw observables and the snapshot field.
   MicromagEvaluation evaluate_full(const std::vector<bool>& inputs);
+
+  // Runs the calibration simulation now (evaluate() otherwise runs it
+  // lazily on first use) and returns the result; idempotent.
+  MicromagCalibration calibrate();
+  // The calibration if one has been run or injected.
+  std::optional<MicromagCalibration> calibration() const;
+  // Injects a calibration computed by another instance with the SAME
+  // config (same content hash); skips this instance's calibration run.
+  void set_calibration(const MicromagCalibration& c);
 
   double drive_frequency() const { return frequency_; }
   const swsim::math::Grid& grid() const { return grid_; }

@@ -10,19 +10,25 @@
 
 namespace swsim::core {
 
-ValidationReport validate_gate(FanoutGate& gate) {
+ValidationRow evaluate_row(FanoutGate& gate,
+                           const std::vector<bool>& pattern) {
+  ValidationRow row;
+  row.inputs = pattern;
+  row.expected = gate.reference(pattern);
+  row.outputs = gate.evaluate(pattern);
+  row.pass_o1 = row.outputs.o1.logic == row.expected;
+  row.pass_o2 = row.outputs.o2.logic == row.expected;
+  return row;
+}
+
+ValidationReport assemble_report(std::string gate_name,
+                                 std::vector<ValidationRow> rows) {
   ValidationReport report;
-  report.gate_name = gate.name();
+  report.gate_name = std::move(gate_name);
+  report.rows = std::move(rows);
   report.all_pass = true;
   report.min_margin = std::numeric_limits<double>::infinity();
-
-  for (const auto& pattern : all_input_patterns(gate.num_inputs())) {
-    ValidationRow row;
-    row.inputs = pattern;
-    row.expected = gate.reference(pattern);
-    row.outputs = gate.evaluate(pattern);
-    row.pass_o1 = row.outputs.o1.logic == row.expected;
-    row.pass_o2 = row.outputs.o2.logic == row.expected;
+  for (const auto& row : report.rows) {
     report.all_pass = report.all_pass && row.pass_o1 && row.pass_o2;
     report.max_output_asymmetry =
         std::max(report.max_output_asymmetry,
@@ -30,9 +36,16 @@ ValidationReport validate_gate(FanoutGate& gate) {
                            row.outputs.normalized_o2));
     report.min_margin = std::min({report.min_margin, row.outputs.o1.margin,
                                   row.outputs.o2.margin});
-    report.rows.push_back(std::move(row));
   }
   return report;
+}
+
+ValidationReport validate_gate(FanoutGate& gate) {
+  std::vector<ValidationRow> rows;
+  for (const auto& pattern : all_input_patterns(gate.num_inputs())) {
+    rows.push_back(evaluate_row(gate, pattern));
+  }
+  return assemble_report(gate.name(), std::move(rows));
 }
 
 std::string format_report(const ValidationReport& report) {

@@ -32,6 +32,18 @@ struct ValidationReport {
   double min_margin = 0.0;
 };
 
+// Evaluates one input pattern (one truth-table row). Exposed so parallel
+// paths (engine::BatchRunner) can evaluate rows on independent gate
+// instances and still build the exact report validate_gate builds.
+ValidationRow evaluate_row(FanoutGate& gate, const std::vector<bool>& pattern);
+
+// Folds rows (in pattern order) into a report: verdict, worst asymmetry,
+// worst margin. The aggregation is order-independent except for the row
+// listing itself, so serial and parallel paths agree bit-for-bit when the
+// rows are supplied in pattern order.
+ValidationReport assemble_report(std::string gate_name,
+                                 std::vector<ValidationRow> rows);
+
 // Evaluates all 2^n input patterns.
 ValidationReport validate_gate(FanoutGate& gate);
 

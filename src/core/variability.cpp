@@ -19,6 +19,54 @@ double VariabilityModel::phase_sigma_for_length(double sigma_length,
   return swsim::math::kTwoPi * sigma_length / wavelength;
 }
 
+TrialOutcome run_variability_trial(
+    TriangleGateBase& gate, const VariabilityModel& model,
+    swsim::math::Pcg32& rng,
+    const std::vector<std::vector<bool>>& patterns) {
+  const std::size_t n = gate.num_inputs();
+  const bool is_phase_gate = n == 3;  // MAJ family: phase detection
+  const double threshold_ref = gate.reference_amplitude();
+  const wavenet::PhaseDetector phase_det;
+  const wavenet::ThresholdDetector threshold_det(0.5);
+
+  // One disturbance draw per transducer per trial (the same device
+  // evaluates every row). Draw order is part of the RNG contract: phase
+  // then amplitude, per input, in input order.
+  std::vector<double> dphase(n), damp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dphase[i] = rng.normal(0.0, model.sigma_phase);
+    damp[i] = std::max(0.0, 1.0 + rng.normal(0.0, model.sigma_amplitude));
+  }
+
+  TrialOutcome outcome;
+  outcome.worst_margin = 1e300;
+  for (const auto& p : patterns) {
+    std::vector<wavenet::Complex> waves(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ph = logic_phase(p[i]) + dphase[i];
+      waves[i] = damp[i] * wavenet::Complex{std::cos(ph), std::sin(ph)};
+    }
+    const auto [o1, o2] = gate.solve_wave_phasors(waves);
+    const bool expected = gate.reference(p);
+    wavenet::Detection d1, d2;
+    if (is_phase_gate) {
+      d1 = phase_det.detect(o1);
+      d2 = phase_det.detect(o2);
+    } else {
+      d1 = threshold_det.detect(o1, threshold_ref);
+      d2 = threshold_det.detect(o2, threshold_ref);
+    }
+    const bool row_ok = d1.logic == expected && d2.logic == expected;
+    if (!row_ok) {
+      outcome.all_rows = false;
+      ++outcome.row_failures;
+    }
+    outcome.worst_margin =
+        std::min({outcome.worst_margin, d1.margin, d2.margin});
+  }
+  return outcome;
+}
+
 YieldReport estimate_yield(TriangleGateBase& gate,
                            const VariabilityModel& model,
                            std::size_t trials) {
@@ -30,53 +78,18 @@ YieldReport estimate_yield(TriangleGateBase& gate,
   }
 
   swsim::math::Pcg32 rng(model.seed);
-  const std::size_t n = gate.num_inputs();
-  const bool is_phase_gate = n == 3;  // MAJ family: phase detection
-  const double threshold_ref = gate.reference_amplitude();
-  const wavenet::PhaseDetector phase_det;
-  const wavenet::ThresholdDetector threshold_det(0.5);
 
   YieldReport report;
   report.trials = trials;
   double margin_acc = 0.0;
 
-  const auto patterns = all_input_patterns(n);
+  const auto patterns = all_input_patterns(gate.num_inputs());
   for (std::size_t trial = 0; trial < trials; ++trial) {
-    // One disturbance draw per transducer per trial (the same device
-    // evaluates every row).
-    std::vector<double> dphase(n), damp(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      dphase[i] = rng.normal(0.0, model.sigma_phase);
-      damp[i] = std::max(0.0, 1.0 + rng.normal(0.0, model.sigma_amplitude));
-    }
-
-    bool all_rows = true;
-    double worst_margin = 1e300;
-    for (const auto& p : patterns) {
-      std::vector<wavenet::Complex> waves(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        const double ph = logic_phase(p[i]) + dphase[i];
-        waves[i] = damp[i] * wavenet::Complex{std::cos(ph), std::sin(ph)};
-      }
-      const auto [o1, o2] = gate.solve_wave_phasors(waves);
-      const bool expected = gate.reference(p);
-      wavenet::Detection d1, d2;
-      if (is_phase_gate) {
-        d1 = phase_det.detect(o1);
-        d2 = phase_det.detect(o2);
-      } else {
-        d1 = threshold_det.detect(o1, threshold_ref);
-        d2 = threshold_det.detect(o2, threshold_ref);
-      }
-      const bool row_ok = d1.logic == expected && d2.logic == expected;
-      if (!row_ok) {
-        all_rows = false;
-        ++report.worst_row_failures;
-      }
-      worst_margin = std::min({worst_margin, d1.margin, d2.margin});
-    }
-    if (all_rows) ++report.passing;
-    margin_acc += worst_margin;
+    const TrialOutcome outcome =
+        run_variability_trial(gate, model, rng, patterns);
+    if (outcome.all_rows) ++report.passing;
+    report.worst_row_failures += outcome.row_failures;
+    margin_acc += outcome.worst_margin;
   }
   report.yield =
       static_cast<double>(report.passing) / static_cast<double>(trials);

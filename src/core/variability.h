@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/triangle_gate.h"
+#include "math/rng.h"
 
 namespace swsim::core {
 
@@ -40,6 +42,26 @@ struct YieldReport {
   double mean_worst_margin = 0.0;  // mean over trials of the worst row margin
   std::size_t worst_row_failures = 0;  // total row-level failures observed
 };
+
+// One Monte-Carlo sample: a single virtual device (one disturbance draw
+// per transducer from `rng`, in a fixed draw order) replaying the full
+// truth table.
+struct TrialOutcome {
+  bool all_rows = true;          // every row detected correctly
+  std::size_t row_failures = 0;  // rows that mis-detected
+  double worst_margin = 0.0;     // min margin over rows and outputs
+};
+
+// Runs one trial. `patterns` must be all_input_patterns(gate.num_inputs())
+// (passed in so sweeps do not rebuild it per trial). This is the shared
+// physics of both the serial estimate_yield loop below and the
+// engine-backed parallel path (engine::BatchRunner::run_yield), which
+// seeds an independent RNG stream per trial so its statistics are
+// identical for any job count.
+TrialOutcome run_variability_trial(TriangleGateBase& gate,
+                                   const VariabilityModel& model,
+                                   swsim::math::Pcg32& rng,
+                                   const std::vector<std::vector<bool>>& patterns);
 
 // Runs `trials` Monte-Carlo samples of the gate under the model. The gate
 // is evaluated through its raw phasor interface so disturbances compose

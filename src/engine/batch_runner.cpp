@@ -1,0 +1,242 @@
+#include "engine/batch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/logic.h"
+#include "engine/hash.h"
+#include "engine/scheduler.h"
+#include "math/rng.h"
+
+namespace swsim::engine {
+
+namespace {
+
+// Trials per yield job. Fixed (NOT derived from the thread count) so the
+// floating-point fold order — and therefore the reported statistics — is
+// identical for every --jobs value.
+constexpr std::size_t kYieldChunk = 16;
+
+// FanoutOutputs <-> flat payload (the cache value format for truth-table
+// rows). 12 doubles: o1 {logic, amplitude, phase, margin}, o2 likewise,
+// then the two normalized outputs.
+std::vector<double> encode_outputs(const core::FanoutOutputs& o) {
+  return {o.o1.logic ? 1.0 : 0.0, o.o1.amplitude, o.o1.phase, o.o1.margin,
+          o.o2.logic ? 1.0 : 0.0, o.o2.amplitude, o.o2.phase, o.o2.margin,
+          o.normalized_o1,        o.normalized_o2};
+}
+
+core::FanoutOutputs decode_outputs(const std::vector<double>& v) {
+  if (v.size() != 10) {
+    throw std::runtime_error(
+        "engine: cached row payload has wrong size (stale spill file from "
+        "an incompatible build?)");
+  }
+  core::FanoutOutputs o;
+  o.o1.logic = v[0] != 0.0;
+  o.o1.amplitude = v[1];
+  o.o1.phase = v[2];
+  o.o1.margin = v[3];
+  o.o2.logic = v[4] != 0.0;
+  o.o2.amplitude = v[5];
+  o.o2.phase = v[6];
+  o.o2.margin = v[7];
+  o.normalized_o1 = v[8];
+  o.normalized_o2 = v[9];
+  return o;
+}
+
+std::uint64_t row_key(std::uint64_t config_key,
+                      const std::vector<bool>& pattern) {
+  return combine(config_key, Fnv1a().str("row").bits(pattern).digest());
+}
+
+class WallClock {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace
+
+double EngineStats::parallel_efficiency() const {
+  return wall_seconds > 0.0 ? job_seconds / wall_seconds : 0.0;
+}
+
+io::Table EngineStats::table() const {
+  io::Table t({"metric", "value"});
+  t.add_row({"threads", std::to_string(threads)});
+  t.add_row({"batch runs", std::to_string(runs)});
+  t.add_row({"jobs executed", std::to_string(jobs_executed)});
+  t.add_row({"wall (s)", io::Table::num(wall_seconds, 3)});
+  t.add_row({"job time (s)", io::Table::num(job_seconds, 3)});
+  t.add_row({"parallelism", io::Table::num(parallel_efficiency(), 2)});
+  t.add_row({"cache hits", std::to_string(cache.hits)});
+  t.add_row({"cache misses", std::to_string(cache.misses)});
+  t.add_row({"hit rate", io::Table::num(cache.hit_rate() * 100.0, 1) + "%"});
+  t.add_row({"evictions", std::to_string(cache.evictions)});
+  t.add_row({"spill writes", std::to_string(cache.spill_writes)});
+  t.add_row({"spill loads", std::to_string(cache.spill_loads)});
+  return t;
+}
+
+std::string EngineStats::str() const {
+  std::ostringstream os;
+  os << "engine stats\n" << table().str();
+  return os.str();
+}
+
+BatchRunner::BatchRunner(const EngineConfig& config)
+    : config_(config),
+      pool_(config.jobs),
+      cache_(config.cache_capacity, config.spill_dir) {}
+
+EngineStats BatchRunner::stats() const {
+  EngineStats s;
+  s.threads = pool_.thread_count();
+  s.cache = cache_.stats();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  s.runs = runs_;
+  s.jobs_executed = jobs_executed_;
+  s.wall_seconds = wall_seconds_;
+  s.job_seconds = job_seconds_;
+  return s;
+}
+
+core::ValidationReport BatchRunner::run_truth_table(
+    const GateFactory& factory, std::uint64_t config_key,
+    std::function<void()> prepare) {
+  const WallClock clock;
+  // Probe instance: name, arity and the (pure) reference function. Gate
+  // construction must stay cheap relative to evaluation; solves happen in
+  // evaluate(), not the constructor.
+  const auto probe = factory();
+  const auto patterns = core::all_input_patterns(probe->num_inputs());
+
+  std::vector<core::ValidationRow> rows(patterns.size());
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    if (config_.use_cache) {
+      if (const auto hit = cache_.lookup(row_key(config_key, patterns[i]))) {
+        core::ValidationRow row;
+        row.inputs = patterns[i];
+        row.expected = probe->reference(patterns[i]);
+        row.outputs = decode_outputs(*hit);
+        row.pass_o1 = row.outputs.o1.logic == row.expected;
+        row.pass_o2 = row.outputs.o2.logic == row.expected;
+        rows[i] = std::move(row);
+        continue;
+      }
+    }
+    missing.push_back(i);
+  }
+
+  if (!missing.empty()) {
+    Scheduler scheduler(pool_);
+    std::vector<JobId> deps;
+    if (prepare) {
+      deps.push_back(scheduler.add("prepare", std::move(prepare)));
+    }
+    for (const std::size_t i : missing) {
+      scheduler.add(
+          "row " + std::to_string(i),
+          [this, &factory, &patterns, &rows, i, config_key] {
+            auto gate = factory();
+            rows[i] = core::evaluate_row(*gate, patterns[i]);
+            if (config_.use_cache) {
+              cache_.insert(row_key(config_key, patterns[i]),
+                            encode_outputs(rows[i].outputs));
+            }
+          },
+          deps);
+    }
+    scheduler.run();
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    jobs_executed_ += scheduler.count(JobState::kDone);
+    job_seconds_ += scheduler.total_job_seconds();
+  }
+
+  auto report = core::assemble_report(probe->name(), std::move(rows));
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++runs_;
+    wall_seconds_ += clock.seconds();
+  }
+  return report;
+}
+
+core::YieldReport BatchRunner::run_yield(const TriangleFactory& factory,
+                                         const core::VariabilityModel& model,
+                                         std::size_t trials) {
+  if (trials == 0) {
+    throw std::invalid_argument("BatchRunner::run_yield: trials must be >= 1");
+  }
+  if (model.sigma_phase < 0.0 || model.sigma_amplitude < 0.0) {
+    throw std::invalid_argument("BatchRunner::run_yield: sigmas must be >= 0");
+  }
+  const WallClock clock;
+
+  struct ChunkPartial {
+    std::size_t passing = 0;
+    std::size_t row_failures = 0;
+    double margin_acc = 0.0;
+  };
+  const std::size_t chunks = (trials + kYieldChunk - 1) / kYieldChunk;
+  std::vector<ChunkPartial> partials(chunks);
+
+  Scheduler scheduler(pool_);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    scheduler.add(
+        "trials " + std::to_string(c * kYieldChunk),
+        [&, c] {
+          auto gate = factory();
+          const auto patterns =
+              core::all_input_patterns(gate->num_inputs());
+          const std::size_t begin = c * kYieldChunk;
+          const std::size_t end = std::min(trials, begin + kYieldChunk);
+          ChunkPartial& part = partials[c];
+          for (std::size_t t = begin; t < end; ++t) {
+            // Independent, trial-indexed RNG stream: trial t draws the
+            // same disturbances no matter which thread or chunk runs it.
+            swsim::math::Pcg32 rng(model.seed, /*stream=*/t);
+            const auto outcome =
+                core::run_variability_trial(*gate, model, rng, patterns);
+            if (outcome.all_rows) ++part.passing;
+            part.row_failures += outcome.row_failures;
+            part.margin_acc += outcome.worst_margin;
+          }
+        });
+  }
+  scheduler.run();
+
+  // Fold in chunk order: the FP sum is then independent of the job count.
+  core::YieldReport report;
+  report.trials = trials;
+  double margin_acc = 0.0;
+  for (const ChunkPartial& part : partials) {
+    report.passing += part.passing;
+    report.worst_row_failures += part.row_failures;
+    margin_acc += part.margin_acc;
+  }
+  report.yield =
+      static_cast<double>(report.passing) / static_cast<double>(trials);
+  report.mean_worst_margin = margin_acc / static_cast<double>(trials);
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++runs_;
+  jobs_executed_ += scheduler.count(JobState::kDone);
+  job_seconds_ += scheduler.total_job_seconds();
+  wall_seconds_ += clock.seconds();
+  return report;
+}
+
+}  // namespace swsim::engine

@@ -1,0 +1,96 @@
+// Batch front-end of the evaluation engine.
+//
+// Fans a workload — a truth table over any FanoutGate, or a Monte-Carlo
+// yield sweep over a TriangleGateBase — out across the thread pool, with
+// per-row results memoized in a content-addressed cache. Gate objects are
+// not thread-safe, so the caller supplies a *factory* and every job
+// constructs its own instance; determinism then follows from the gates
+// being pure functions of their configuration.
+//
+// Determinism contract (tested): for a fixed workload, the outputs are
+// bit-identical for every job count, cold or warm cache. Truth-table rows
+// are assembled in pattern order; yield trials draw from an independent
+// RNG stream per trial (streamed off the model seed) and partial sums are
+// folded in a fixed chunk order that does not depend on the thread count.
+//
+// Cache contract: a truth-table row is cached under
+// combine(config_key, hash(pattern)); config_key must hash every
+// physics-relevant parameter (use engine::hash_of). Yield sweeps are
+// RNG-driven and always bypass the cache — see docs/PHYSICS.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/gate.h"
+#include "core/validator.h"
+#include "core/variability.h"
+#include "engine/result_cache.h"
+#include "engine/thread_pool.h"
+#include "io/table.h"
+
+namespace swsim::engine {
+
+struct EngineConfig {
+  std::size_t jobs = 0;  // worker threads; 0 = hardware concurrency
+  bool use_cache = true;
+  std::size_t cache_capacity = 4096;  // in-memory entries
+  std::string spill_dir;              // optional disk spill directory
+};
+
+struct EngineStats {
+  std::size_t threads = 0;
+  std::size_t runs = 0;           // batch calls served
+  std::size_t jobs_executed = 0;  // jobs that actually ran (not cache hits)
+  double wall_seconds = 0.0;      // wall time across batch calls
+  double job_seconds = 0.0;       // summed per-job wall time
+  ResultCache::Stats cache;
+
+  // job_seconds / wall_seconds: >1 means the pool ran jobs concurrently.
+  double parallel_efficiency() const;
+  io::Table table() const;
+  std::string str() const;
+};
+
+class BatchRunner {
+ public:
+  using GateFactory = std::function<std::unique_ptr<core::FanoutGate>()>;
+  using TriangleFactory =
+      std::function<std::unique_ptr<core::TriangleGateBase>()>;
+
+  explicit BatchRunner(const EngineConfig& config = {});
+
+  // Parallel, cached equivalent of core::validate_gate. `config_key` is
+  // the content hash of the gate configuration (engine::hash_of).
+  // `prepare`, when set, runs once before any row job (rows depend on it)
+  // unless every row was served from cache — the hook for shared
+  // calibration of micromagnetic gates.
+  core::ValidationReport run_truth_table(const GateFactory& factory,
+                                         std::uint64_t config_key,
+                                         std::function<void()> prepare = {});
+
+  // Parallel equivalent of core::estimate_yield, deterministic for any job
+  // count (per-trial RNG streams; fixed-size chunks). Never cached.
+  core::YieldReport run_yield(const TriangleFactory& factory,
+                              const core::VariabilityModel& model,
+                              std::size_t trials);
+
+  ResultCache& cache() { return cache_; }
+  const EngineConfig& config() const { return config_; }
+  std::size_t threads() const { return pool_.thread_count(); }
+  EngineStats stats() const;
+
+ private:
+  EngineConfig config_;
+  ThreadPool pool_;
+  ResultCache cache_;
+  mutable std::mutex stats_mutex_;
+  std::size_t runs_ = 0;
+  std::size_t jobs_executed_ = 0;
+  double wall_seconds_ = 0.0;
+  double job_seconds_ = 0.0;
+};
+
+}  // namespace swsim::engine

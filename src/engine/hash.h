@@ -1,0 +1,58 @@
+// Stable content hashing for the result cache.
+//
+// Cache keys must be identical across runs, processes, and job counts, so
+// nothing pointer- or address-dependent may enter the hash and floating
+// point values are hashed by a canonical bit pattern (-0.0 folds onto +0.0,
+// every NaN folds onto the quiet NaN). The algorithm is FNV-1a over an
+// explicit little-endian byte stream, so the key for a given configuration
+// is a portable 64-bit constant.
+//
+// The hash_of() overloads define the cache key *contract*: every parameter
+// that changes a gate's physics is hashed; anything that only changes
+// presentation (output paths, verbosity) is not. RNG-seeded physics
+// (thermal noise, Monte-Carlo disturbances) is hashed too — but callers
+// must BYPASS the cache for such runs unless the seed fully determines the
+// result they want to reuse (see docs/PHYSICS.md, "Evaluation engine").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/micromag_gate.h"
+#include "core/triangle_gate.h"
+#include "core/variability.h"
+#include "geom/gate_layout.h"
+#include "mag/material.h"
+
+namespace swsim::engine {
+
+// Incremental FNV-1a (64-bit) hasher over a canonical byte stream.
+class Fnv1a {
+ public:
+  Fnv1a& bytes(const void* data, std::size_t n);
+  Fnv1a& u64(std::uint64_t v);  // little-endian byte order, explicitly
+  Fnv1a& i64(std::int64_t v);
+  Fnv1a& f64(double v);  // canonical: -0.0 -> +0.0, NaN -> quiet NaN
+  Fnv1a& boolean(bool b);
+  // Length-prefixed so "ab"+"c" and "a"+"bc" hash differently.
+  Fnv1a& str(const std::string& s);
+  Fnv1a& bits(const std::vector<bool>& v);
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ULL;  // FNV offset basis
+};
+
+// Order-dependent key combination (NOT commutative).
+std::uint64_t combine(std::uint64_t a, std::uint64_t b);
+
+// Key contract: every physics-relevant field of each configuration.
+std::uint64_t hash_of(const geom::TriangleGateParams& p);
+std::uint64_t hash_of(const mag::Material& m);
+std::uint64_t hash_of(const core::TriangleGateConfig& c);
+std::uint64_t hash_of(const core::MicromagGateConfig& c);
+std::uint64_t hash_of(const core::VariabilityModel& m);
+
+}  // namespace swsim::engine

@@ -1,0 +1,28 @@
+#include "engine/job.h"
+
+namespace swsim::engine {
+
+std::string to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kReady:
+      return "ready";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+}  // namespace swsim::engine

@@ -1,0 +1,46 @@
+// The unit of work the scheduler tracks: a closure plus dependency edges,
+// a lifecycle state, and per-job accounting (run time, failure message).
+//
+// Jobs are owned by a Scheduler; user code only sees JobId handles. A job
+// becomes kReady when every dependency has finished successfully, runs on
+// the thread pool, and ends kDone, kFailed (its closure threw), or
+// kCancelled (explicitly, or because a dependency failed/was cancelled —
+// cancellation is transitive over the dependency DAG). Cancellation is
+// cooperative: a job that is already running is not preempted.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace swsim::engine {
+
+using JobId = std::size_t;
+
+enum class JobState {
+  kPending,    // waiting on dependencies
+  kReady,      // dependencies met, queued for execution
+  kRunning,    // executing on a pool thread
+  kDone,       // finished successfully
+  kFailed,     // closure threw; `error` holds what()
+  kCancelled,  // never ran (explicit cancel or upstream failure)
+};
+
+std::string to_string(JobState s);
+
+// True for states a job can no longer leave.
+bool is_terminal(JobState s);
+
+struct Job {
+  JobId id = 0;
+  std::string label;
+  std::function<void()> fn;
+  JobState state = JobState::kPending;
+  std::size_t remaining_deps = 0;
+  std::vector<JobId> dependents;
+  double seconds = 0.0;  // wall time of fn() when it ran
+  std::string error;     // exception message when state == kFailed
+};
+
+}  // namespace swsim::engine

@@ -1,0 +1,134 @@
+#include "engine/result_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace swsim::engine {
+
+namespace {
+// Spill file layout: magic, count, then count raw doubles. Host byte
+// order — a spill directory is a local cache, not an interchange format.
+constexpr std::uint64_t kSpillMagic = 0x73777370696c6c31ULL;  // "swspill1"
+}  // namespace
+
+double ResultCache::Stats::hit_rate() const {
+  const std::size_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+ResultCache::ResultCache(std::size_t capacity, std::string spill_dir)
+    : capacity_(capacity == 0 ? 1 : capacity), spill_dir_(std::move(spill_dir)) {
+  if (!spill_dir_.empty()) {
+    std::filesystem::create_directories(spill_dir_);
+  }
+}
+
+std::string ResultCache::spill_filename(std::uint64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx.swc",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::optional<std::vector<double>> ResultCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+    ++stats_.hits;
+    return it->second->second;
+  }
+  std::vector<double> loaded;
+  if (load_spilled_locked(key, loaded)) {
+    ++stats_.hits;
+    ++stats_.spill_loads;
+    store_locked(key, loaded);  // promote back into memory
+    return loaded;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(std::uint64_t key, std::vector<double> value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Content-addressed: the payload for a key is unique, so keep the
+    // stored one and only refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++stats_.insertions;
+  store_locked(key, std::move(value));
+}
+
+void ResultCache::store_locked(std::uint64_t key, std::vector<double> value) {
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) evict_locked();
+}
+
+void ResultCache::evict_locked() {
+  const Entry& victim = lru_.back();
+  if (!spill_dir_.empty()) {
+    const auto path =
+        std::filesystem::path(spill_dir_) / spill_filename(victim.first);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      const std::uint64_t count = victim.second.size();
+      out.write(reinterpret_cast<const char*>(&kSpillMagic),
+                sizeof kSpillMagic);
+      out.write(reinterpret_cast<const char*>(&count), sizeof count);
+      out.write(reinterpret_cast<const char*>(victim.second.data()),
+                static_cast<std::streamsize>(count * sizeof(double)));
+      if (out) ++stats_.spill_writes;
+    }
+    // A failed spill write is a silent capacity loss, not an error: the
+    // entry can always be recomputed.
+  }
+  index_.erase(victim.first);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+bool ResultCache::load_spilled_locked(std::uint64_t key,
+                                      std::vector<double>& out) {
+  if (spill_dir_.empty()) return false;
+  const auto path = std::filesystem::path(spill_dir_) / spill_filename(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint64_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != kSpillMagic) return false;
+  out.resize(count);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  return static_cast<bool>(in);
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ResultCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Stats{};
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace swsim::engine

@@ -1,0 +1,71 @@
+// Content-addressed result cache.
+//
+// Maps a stable 64-bit content key (engine/hash.h) to a flat payload of
+// doubles — the serialized result of a gate solve, probe trace, or any
+// other deterministic computation. In-memory entries are LRU-evicted at a
+// fixed capacity; with a spill directory configured, evicted entries are
+// written to disk (one small binary file per key, named by the hex key)
+// and transparently re-loaded — promoting back into memory — on a later
+// lookup. Because keys are content hashes, a spill directory written by
+// one process is valid for every later process with the same code.
+//
+// Thread-safe. Inserting an existing key refreshes recency but keeps the
+// stored payload: by the content-addressing contract two payloads for one
+// key are identical, so first-write-wins equals last-write-wins, and
+// results cannot depend on job completion order.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace swsim::engine {
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;         // lookup served (memory or spill)
+    std::size_t misses = 0;       // lookup found nothing
+    std::size_t insertions = 0;   // new keys stored
+    std::size_t evictions = 0;    // LRU entries dropped from memory
+    std::size_t spill_writes = 0; // evictions persisted to disk
+    std::size_t spill_loads = 0;  // hits served from disk
+    double hit_rate() const;      // hits / (hits + misses), 0 when idle
+  };
+
+  // capacity: max in-memory entries (>= 1). spill_dir: optional directory
+  // for evicted entries; created if missing; empty disables spill.
+  explicit ResultCache(std::size_t capacity, std::string spill_dir = "");
+
+  std::optional<std::vector<double>> lookup(std::uint64_t key);
+  void insert(std::uint64_t key, std::vector<double> value);
+
+  std::size_t size() const;         // in-memory entries
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+  void reset_stats();
+  // Drops the in-memory state (spilled files are kept).
+  void clear();
+
+  static std::string spill_filename(std::uint64_t key);
+
+ private:
+  void evict_locked();
+  bool load_spilled_locked(std::uint64_t key, std::vector<double>& out);
+  void store_locked(std::uint64_t key, std::vector<double> value);
+
+  using Entry = std::pair<std::uint64_t, std::vector<double>>;
+
+  const std::size_t capacity_;
+  const std::string spill_dir_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace swsim::engine

@@ -1,0 +1,172 @@
+#include "engine/scheduler.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace swsim::engine {
+
+Scheduler::Scheduler(ThreadPool& pool) : pool_(pool) {}
+
+JobId Scheduler::add(std::string label, std::function<void()> fn,
+                     const std::vector<JobId>& deps) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    throw std::logic_error("Scheduler::add: DAG is frozen once run() starts");
+  }
+  const JobId id = jobs_.size();
+  Job job;
+  job.id = id;
+  job.label = std::move(label);
+  job.fn = std::move(fn);
+  for (const JobId d : deps) {
+    if (d >= id) {
+      throw std::invalid_argument(
+          "Scheduler::add: dependency on a not-yet-added job");
+    }
+  }
+  jobs_.push_back(std::move(job));
+  Job& j = jobs_.back();
+  for (const JobId d : deps) {
+    Job& dep = jobs_[d];
+    if (dep.state == JobState::kCancelled || dep.state == JobState::kFailed) {
+      // Depending on an already-dead job makes this job dead on arrival.
+      j.state = JobState::kCancelled;
+      return id;
+    }
+    if (dep.state != JobState::kDone) {
+      dep.dependents.push_back(id);
+      ++j.remaining_deps;
+    }
+  }
+  return id;
+}
+
+void Scheduler::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cancel_locked(id);
+}
+
+void Scheduler::cancel_locked(JobId id) {
+  Job& j = jobs_[id];
+  // Running jobs finish on their own; terminal jobs are already settled.
+  if (j.state != JobState::kPending && j.state != JobState::kReady) return;
+  const bool was_released = j.state == JobState::kReady;
+  j.state = JobState::kCancelled;
+  if (running_) {
+    // A released job sits in the pool queue; execute() observes kCancelled,
+    // settles its outstanding_ count and cascades. An unreleased job
+    // settles here.
+    if (was_released) return;
+    if (--outstanding_ == 0) done_cv_.notify_all();
+  }
+  for (const JobId d : j.dependents) cancel_locked(d);
+}
+
+void Scheduler::release_locked(JobId id) {
+  Job& j = jobs_[id];
+  if (j.state != JobState::kPending || j.remaining_deps != 0) return;
+  j.state = JobState::kReady;
+  pool_.submit([this, id] { execute(id); });
+}
+
+void Scheduler::execute(JobId id) {
+  std::function<void()> fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Job& j = jobs_[id];
+    if (j.state == JobState::kCancelled) {
+      // Was cancelled after release; settle it now.
+      if (--outstanding_ == 0) done_cv_.notify_all();
+      for (const JobId d : j.dependents) cancel_locked(d);
+      return;
+    }
+    j.state = JobState::kRunning;
+    fn = j.fn;  // copy out: run without holding the lock
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string error;
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown exception";
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Job& j = jobs_[id];
+  j.seconds = seconds;
+  if (error.empty()) {
+    j.state = JobState::kDone;
+    for (const JobId d : j.dependents) {
+      if (jobs_[d].state == JobState::kPending &&
+          --jobs_[d].remaining_deps == 0) {
+        release_locked(d);
+      }
+    }
+  } else {
+    j.state = JobState::kFailed;
+    j.error = error;
+    if (first_error_.empty()) {
+      first_error_ = "job '" + j.label + "' failed: " + error;
+    }
+    for (const JobId d : j.dependents) cancel_locked(d);
+  }
+  if (--outstanding_ == 0) done_cv_.notify_all();
+}
+
+void Scheduler::run() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) {
+      throw std::logic_error("Scheduler::run: already run");
+    }
+    running_ = true;
+    // Jobs cancelled before run() (or dead on arrival) are terminal and
+    // never hit the pool; everything else is outstanding.
+    for (const Job& j : jobs_) {
+      if (!is_terminal(j.state)) ++outstanding_;
+    }
+    if (outstanding_ == 0) return;
+    for (Job& j : jobs_) {
+      if (j.state == JobState::kPending && j.remaining_deps == 0) {
+        release_locked(j.id);
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  if (!first_error_.empty()) {
+    throw std::runtime_error(first_error_);
+  }
+}
+
+std::size_t Scheduler::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+const Job& Scheduler::job(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.at(id);
+}
+
+std::size_t Scheduler::count(JobState s) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const Job& j : jobs_) n += j.state == s ? 1 : 0;
+  return n;
+}
+
+double Scheduler::total_job_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double s = 0.0;
+  for (const Job& j : jobs_) s += j.seconds;
+  return s;
+}
+
+}  // namespace swsim::engine

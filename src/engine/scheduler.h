@@ -1,0 +1,63 @@
+// Dependency-aware job scheduler on top of ThreadPool.
+//
+// Usage: add() jobs (with optional dependency edges, forming a DAG), then
+// run(). Ready jobs are released to the pool; when a job finishes, its
+// dependents' counters tick down and newly-ready jobs are released. A
+// failed job (closure threw) transitively cancels everything downstream
+// of it; run() then throws with the first failure's message, after every
+// job has reached a terminal state. cancel() before/during run() prunes a
+// job and its dependents; a job already running is not preempted
+// (cooperative cancellation).
+//
+// A Scheduler instance is single-shot: build the DAG, run it, then read
+// the per-job records (state, wall seconds, error).
+#pragma once
+
+#include <mutex>
+#include <condition_variable>
+
+#include "engine/job.h"
+#include "engine/thread_pool.h"
+
+namespace swsim::engine {
+
+class Scheduler {
+ public:
+  explicit Scheduler(ThreadPool& pool);
+
+  // Registers a job. `deps` must name already-added jobs (the DAG is built
+  // in topological order by construction). Must not be called after run().
+  JobId add(std::string label, std::function<void()> fn,
+            const std::vector<JobId>& deps = {});
+
+  // Cancels a non-terminal, not-yet-running job and, transitively, its
+  // dependents. Safe to call before or during run().
+  void cancel(JobId id);
+
+  // Releases ready jobs and blocks until every job is terminal. Throws
+  // std::runtime_error naming the first failed job, if any.
+  void run();
+
+  // Post-run inspection.
+  std::size_t size() const;
+  const Job& job(JobId id) const;
+  std::size_t count(JobState s) const;
+  // Sum of wall seconds across jobs that ran (the "work" the DAG cost;
+  // compare against elapsed wall time for effective parallelism).
+  double total_job_seconds() const;
+
+ private:
+  void release_locked(JobId id);           // kPending -> kReady -> pool
+  void cancel_locked(JobId id);            // cascades over dependents
+  void execute(JobId id);                  // runs on a pool thread
+
+  ThreadPool& pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::vector<Job> jobs_;
+  std::size_t outstanding_ = 0;  // jobs not yet terminal
+  bool running_ = false;
+  std::string first_error_;
+};
+
+}  // namespace swsim::engine

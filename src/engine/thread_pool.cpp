@@ -1,0 +1,95 @@
+#include "engine/thread_pool.h"
+
+#include <utility>
+
+namespace swsim::engine {
+
+namespace {
+// Which pool/worker the current thread belongs to, so submissions from a
+// worker go to its own deque (the LIFO fast path of work stealing).
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  queues_.resize(threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::default_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t target;
+    if (tl_pool == this) {
+      target = tl_worker;  // worker self-submission: own deque, LIFO end
+    } else {
+      target = next_queue_;
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+    }
+    queues_[target].push_back(std::move(fn));
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_locked(std::size_t self, std::function<void()>& out) {
+  if (!queues_[self].empty()) {
+    out = std::move(queues_[self].back());  // own work: LIFO
+    queues_[self].pop_back();
+    return true;
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    const std::size_t victim = (self + k) % queues_.size();
+    if (!queues_[victim].empty()) {
+      out = std::move(queues_[victim].front());  // steal: FIFO
+      queues_[victim].pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tl_pool = this;
+  tl_worker = self;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || try_pop_locked(self, task); });
+      if (!task) return;  // stop_ and nothing poppable
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+}  // namespace swsim::engine

@@ -1,0 +1,63 @@
+// Work-stealing thread pool.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (hot in
+// cache) and steals FIFO from the front of a sibling's deque when its own
+// is empty, which takes the oldest — typically largest-remaining — work
+// item. External submissions are distributed round-robin across the
+// worker deques. All deques share one mutex: at the job granularity this
+// pool targets (a gate solve is micro- to multi-second work) lock traffic
+// is noise, and a single lock keeps the pool trivially
+// ThreadSanitizer-clean. The stealing *policy* — who runs what next — is
+// what matters for throughput here, not lock-free queue mechanics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace swsim::engine {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks default_threads(). The pool spawns exactly
+  // `threads` workers; the constructing thread never runs jobs.
+  explicit ThreadPool(std::size_t threads = 0);
+  // Drains nothing: pending tasks are abandoned only if wait_idle() was
+  // not called; the destructor stops workers after their current task.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Thread-safe; may be called from worker threads
+  // (a task submitted from a worker lands on that worker's own deque).
+  void submit(std::function<void()> fn);
+
+  // Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Hardware concurrency, floored at 1.
+  static std::size_t default_threads();
+
+ private:
+  void worker_loop(std::size_t self);
+  // Pops own back, else steals a sibling's front. Caller holds mutex_.
+  bool try_pop_locked(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // queues gained work / stopping
+  std::condition_variable idle_cv_;   // a task finished
+  std::size_t next_queue_ = 0;        // round-robin cursor for submissions
+  std::size_t pending_ = 0;           // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace swsim::engine

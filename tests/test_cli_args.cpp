@@ -70,6 +70,18 @@ TEST(Args, MalformedOptions) {
   EXPECT_THROW(parse({"cmd", "--"}), std::invalid_argument);
 }
 
+TEST(Args, RepeatedOptionRejected) {
+  // A repeated flag must be an error, not a silent first/last-one-wins.
+  EXPECT_THROW(parse({"cmd", "--lambda", "55", "--lambda", "60"}),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"cmd", "--verbose", "--verbose"}),
+               std::invalid_argument);
+  // Repeating a *value* that happens to equal a flag name is fine.
+  const Args a = parse({"cmd", "--gate", "maj", "--tag", "maj"});
+  EXPECT_EQ(a.value("gate").value(), "maj");
+  EXPECT_EQ(a.value("tag").value(), "maj");
+}
+
 TEST(Args, OptionBeforeCommandMeansNoCommand) {
   const Args a = parse({"--verbose", "thing"});
   EXPECT_TRUE(a.command().empty());

@@ -1,0 +1,106 @@
+// ResultCache: hit/miss accounting, LRU eviction order, idempotent
+// inserts, and the disk spill round trip.
+#include "engine/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace swsim::engine {
+namespace {
+
+TEST(ResultCache, MissThenHit) {
+  ResultCache cache(8);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  cache.insert(1, {1.0, 2.0});
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (std::vector<double>{1.0, 2.0}));
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.5);
+}
+
+TEST(ResultCache, LruEvictsOldest) {
+  ResultCache cache(2);
+  cache.insert(1, {1.0});
+  cache.insert(2, {2.0});
+  cache.insert(3, {3.0});  // evicts key 1 (oldest)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_TRUE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, LookupRefreshesRecency) {
+  ResultCache cache(2);
+  cache.insert(1, {1.0});
+  cache.insert(2, {2.0});
+  cache.lookup(1);         // 1 becomes most recent
+  cache.insert(3, {3.0});  // so 2 is evicted, not 1
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+}
+
+TEST(ResultCache, InsertExistingKeyKeepsStoredPayload) {
+  // Content-addressing: one key, one payload. A duplicate insert (two jobs
+  // raced to compute the same entry) must not change what later lookups
+  // see, whatever the completion order was.
+  ResultCache cache(4);
+  cache.insert(1, {1.0});
+  cache.insert(1, {999.0});
+  EXPECT_EQ(*cache.lookup(1), (std::vector<double>{1.0}));
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ResultCache, ZeroCapacityIsClampedToOne) {
+  ResultCache cache(0);
+  cache.insert(1, {1.0});
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.capacity(), 1u);
+}
+
+TEST(ResultCache, SpillRoundTrip) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "swsim_spill_test";
+  std::filesystem::remove_all(dir);
+
+  ResultCache cache(1, dir.string());
+  cache.insert(1, {1.5, 2.5});
+  cache.insert(2, {3.5});  // evicts key 1 -> spilled to disk
+  EXPECT_TRUE(std::filesystem::exists(dir / ResultCache::spill_filename(1)));
+  EXPECT_EQ(cache.stats().spill_writes, 1u);
+
+  // The spilled entry is a hit, served from disk and promoted back.
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(cache.stats().spill_loads, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // A second cache over the same directory sees the spilled results: the
+  // keys are content hashes, so the directory outlives the process.
+  cache.insert(3, {9.0});  // ensure key 2 or 1 spilled as well
+  ResultCache fresh(4, dir.string());
+  EXPECT_TRUE(fresh.lookup(1).has_value());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, ClearDropsMemoryKeepsStats) {
+  ResultCache cache(4);
+  cache.insert(1, {1.0});
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace swsim::engine
