@@ -17,7 +17,17 @@ Args Args::parse(int argc, const char* const* argv) {
       throw std::invalid_argument("Args: bare '--' is not a valid option");
     }
     if (tok.rfind("--", 0) == 0) {
-      const std::string key = tok.substr(2);
+      std::string key = tok.substr(2);
+      std::optional<std::string> inline_value;
+      // "--key=value" form: split on the first '='.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        inline_value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        if (inline_value->empty()) {
+          throw std::invalid_argument("Args: option --" + key +
+                                      "= has an empty value");
+        }
+      }
       if (key.empty()) {
         throw std::invalid_argument("Args: empty option name");
       }
@@ -25,7 +35,10 @@ Args Args::parse(int argc, const char* const* argv) {
         throw std::invalid_argument("Args: option --" + key +
                                     " given more than once");
       }
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (inline_value) {
+        args.options_[key] = *inline_value;
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         args.options_[key] = argv[i + 1];
         ++i;
       } else {
@@ -74,6 +87,18 @@ long Args::integer(const std::string& key, long fallback) const {
     throw std::invalid_argument("Args: option --" + key +
                                 " expects an integer, got '" + *v + "'");
   }
+}
+
+std::size_t Args::unsigned_integer(const std::string& key,
+                                   std::size_t fallback) const {
+  const long parsed = integer(key, 0);
+  if (!value(key)) return fallback;
+  if (parsed < 0) {
+    throw std::invalid_argument("Args: option --" + key +
+                                " expects a non-negative integer, got '" +
+                                *value(key) + "'");
+  }
+  return static_cast<std::size_t>(parsed);
 }
 
 }  // namespace swsim::cli

@@ -1,8 +1,9 @@
 // Minimal command-line argument parsing for the swsim CLI.
 //
 // Grammar: swsim <command> [positional...] [--flag] [--key value]...
-// Values never start with "--"; a "--key" followed by another "--key" (or
-// nothing) is a boolean flag.
+// "--key=value" is accepted as a synonym for "--key value". Values never
+// start with "--"; a "--key" followed by another "--key" (or nothing) is a
+// boolean flag.
 #pragma once
 
 #include <map>
@@ -27,9 +28,14 @@ class Args {
   // Returns the value of --key, or nullopt when absent or a bare flag.
   std::optional<std::string> value(const std::string& key) const;
   // Numeric access with a default; throws std::invalid_argument when the
-  // value is present but not a number.
+  // value is present but not a number ("--jobs=abc" is a usage error, not
+  // a silent fallback).
   double number(const std::string& key, double fallback) const;
   long integer(const std::string& key, long fallback) const;
+  // Like integer() but rejects negative values with a clear message — for
+  // counts ("--jobs -4" cannot mean anything).
+  std::size_t unsigned_integer(const std::string& key,
+                               std::size_t fallback) const;
 
  private:
   std::string command_;

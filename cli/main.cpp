@@ -27,6 +27,9 @@
 
 #include "cli/args.h"
 #include "core/derived_gates.h"
+#include "robust/fault_injection.h"
+#include "robust/report.h"
+#include "robust/status.h"
 #include "core/micromag_gate.h"
 #include "core/multi_input_gate.h"
 #include "core/triangle_gate.h"
@@ -59,21 +62,71 @@ int usage() {
       "             [--sigma-amp <frac>] [--trials <n>] [--lambda <nm>]\n"
       "  compare    (regenerate the paper's Table III)\n"
       "  micromag   [--xor] [--lambda <nm>] [--width <nm>] [--cell <nm>]\n"
-      "  batch      <jobfile> [--out <csv>]\n"
-      "             (jobfile: one 'truthtable ...' or 'yield ...' per line)\n"
+      "  batch      <jobfile> [--out <csv>] [--report <csv>] [--fail-fast]\n"
+      "             (jobfile: one 'truthtable ...' or 'yield ...' per line;\n"
+      "              failed jobs are reported, healthy rows still returned)\n"
       "  help\n"
       "\n"
       "engine flags (accepted by truthtable, yield, micromag, batch):\n"
-      "  --jobs <n>  --no-cache  --cache-dir <dir>  --serial  --stats\n";
+      "  --jobs <n>  --no-cache  --cache-dir <dir>  --serial  --stats\n"
+      "\n"
+      "resilience flags (same commands):\n"
+      "  --timeout <s>       per-job wall-clock budget (0 = none)\n"
+      "  --max-retries <n>   retry budget for transient job failures\n"
+      "  --retry-backoff <s> linear backoff between retry attempts\n"
+      "  --inject <spec,...> arm deterministic faults (testing):\n"
+      "                      throw:<label> | divergence:<label> |\n"
+      "                      stall:<label>:<s> | nan:<step>\n";
   return 0;
 }
 
 engine::EngineConfig engine_config_from(const cli::Args& args) {
   engine::EngineConfig cfg;
-  cfg.jobs = static_cast<std::size_t>(std::max(0L, args.integer("jobs", 0)));
+  cfg.jobs = args.unsigned_integer("jobs", 0);
   cfg.use_cache = !args.has("no-cache");
   cfg.spill_dir = args.value("cache-dir").value_or("");
+  cfg.job_timeout_seconds = args.number("timeout", 0.0);
+  if (cfg.job_timeout_seconds < 0.0) {
+    throw std::invalid_argument("--timeout must be >= 0 seconds");
+  }
+  cfg.max_retries = args.unsigned_integer("max-retries", 0);
+  cfg.retry_backoff_seconds = args.number("retry-backoff", 0.0);
+  if (cfg.retry_backoff_seconds < 0.0) {
+    throw std::invalid_argument("--retry-backoff must be >= 0 seconds");
+  }
   return cfg;
+}
+
+// Arms the global fault plan from an --inject spec: comma-separated
+//   throw:<label-substr>        job throws before running
+//   divergence:<label-substr>   job fails as a numerical divergence
+//   stall:<label-substr>:<s>    job sleeps s seconds (trips --timeout)
+//   nan:<step>                  LLG stepper poisons a cell at that step
+void arm_faults(const std::string& spec) {
+  auto& plan = robust::FaultPlan::global();
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    std::vector<std::string> parts;
+    std::istringstream ps(item);
+    std::string p;
+    while (std::getline(ps, p, ':')) parts.push_back(p);
+    if (parts.size() == 2 && parts[0] == "throw") {
+      plan.inject_throw_in_job(parts[1]);
+    } else if (parts.size() == 2 && parts[0] == "divergence") {
+      plan.inject_divergence_in_job(parts[1]);
+    } else if (parts.size() == 3 && parts[0] == "stall") {
+      plan.inject_stall_in_job(parts[1], std::stod(parts[2]));
+    } else if (parts.size() == 2 && parts[0] == "nan") {
+      plan.inject_nan_at_step(std::stoul(parts[1]));
+    } else {
+      throw std::invalid_argument("--inject: bad fault spec '" + item +
+                                  "' (want throw:<label>, "
+                                  "divergence:<label>, stall:<label>:<s> "
+                                  "or nan:<step>)");
+    }
+  }
 }
 
 void maybe_print_stats(const cli::Args& args,
@@ -347,6 +400,14 @@ std::vector<std::string> tokenize(const std::string& line) {
 // commands); '#' starts a comment. Identical configurations across lines
 // are solved once — the cache turns a sweep with repeated geometries into
 // incremental work. Results land in a CSV (--out) or a console table.
+//
+// Fault tolerance: lines run through the engine's checked entry points.
+// A line whose jobs fail (divergence, injected fault, timeout) gets a
+// non-ok status column and a row in the failure report (printed, or
+// written to --report <csv>), while every healthy line's results are
+// returned as usual. The exit code ignores failed lines unless
+// --fail-fast is given, which stops at the first failed line and exits
+// nonzero.
 int cmd_batch(const cli::Args& args) {
   if (args.positional().empty()) {
     std::cerr << "batch: missing job-list file\n";
@@ -357,16 +418,21 @@ int cmd_batch(const cli::Args& args) {
     std::cerr << "batch: cannot open '" << args.positional()[0] << "'\n";
     return 2;
   }
+  const bool fail_fast = args.has("fail-fast");
+  if (const auto inject = args.value("inject")) arm_faults(*inject);
 
   engine::BatchRunner runner(engine_config_from(args));
   const std::vector<std::string> headers = {
       "line", "command", "gate",          "lambda_nm", "all_pass",
-      "yield", "max_asymmetry", "min_margin", "mean_worst_margin"};
+      "yield", "max_asymmetry", "min_margin", "mean_worst_margin",
+      "status"};
   std::vector<std::vector<std::string>> results;
+  robust::FailureReport failures;
 
   std::string line;
   std::size_t line_no = 0;
   bool all_ok = true;
+  bool aborted = false;
   while (std::getline(in, line)) {
     ++line_no;
     const auto hash_pos = line.find('#');
@@ -384,6 +450,9 @@ int cmd_batch(const cli::Args& args) {
       return 2;
     }
 
+    const std::string label = "job " + std::to_string(line_no);
+    bool line_ok = true;
+    std::string status = "ok";
     if (job_args.command() == "truthtable") {
       if (job_args.positional().empty()) {
         std::cerr << "batch: line " << line_no << ": missing gate name\n";
@@ -396,30 +465,54 @@ int cmd_batch(const cli::Args& args) {
                   << "'\n";
         return 2;
       }
-      const auto report =
-          runner.run_truth_table(spec->factory, spec->key);
-      all_ok = all_ok && report.all_pass;
+      const auto outcome =
+          runner.run_truth_table_checked(spec->factory, spec->key, {}, label);
+      line_ok = outcome.ok();
+      if (!line_ok) {
+        failures.merge(outcome.failures);
+        status = to_string(outcome.failures.failures().front().status.code());
+      }
+      // Logic failures (a healthy solve whose table does not pass) drive
+      // the exit code; solve failures are reported, not fatal, unless
+      // --fail-fast.
+      all_ok = all_ok && (!line_ok || outcome.report.all_pass);
       results.push_back({std::to_string(line_no), "truthtable", kind,
                          Table::num(job_args.number("lambda", 55.0), 1),
-                         report.all_pass ? "1" : "0", "",
-                         Table::num(report.max_output_asymmetry, 6),
-                         Table::num(report.min_margin, 6), ""});
+                         line_ok ? (outcome.report.all_pass ? "1" : "0") : "",
+                         "",
+                         Table::num(outcome.report.max_output_asymmetry, 6),
+                         Table::num(outcome.report.min_margin, 6), "",
+                         status});
     } else if (job_args.command() == "yield") {
       const auto spec = make_yield_spec(job_args);
       if (!spec) {
         std::cerr << "batch: line " << line_no << ": unknown gate\n";
         return 2;
       }
-      const auto r = runner.run_yield(spec->factory, spec->model,
-                                      spec->trials);
+      const auto outcome = runner.run_yield_checked(spec->factory,
+                                                    spec->model, spec->trials,
+                                                    label);
+      line_ok = outcome.ok();
+      if (!line_ok) {
+        failures.merge(outcome.failures);
+        status = to_string(outcome.failures.failures().front().status.code());
+      }
       results.push_back({std::to_string(line_no), "yield", spec->kind,
                          Table::num(job_args.number("lambda", 55.0), 1), "",
-                         Table::num(r.yield, 6), "", "",
-                         Table::num(r.mean_worst_margin, 6)});
+                         Table::num(outcome.report.yield, 6), "", "",
+                         Table::num(outcome.report.mean_worst_margin, 6),
+                         status});
     } else {
       std::cerr << "batch: line " << line_no << ": unknown command '"
                 << job_args.command() << "' (want truthtable|yield)\n";
       return 2;
+    }
+
+    if (!line_ok && fail_fast) {
+      std::cerr << "batch: line " << line_no
+                << " failed, stopping (--fail-fast)\n";
+      aborted = true;
+      break;
     }
   }
 
@@ -433,7 +526,17 @@ int cmd_batch(const cli::Args& args) {
     for (auto& row : results) t.add_row(std::move(row));
     std::cout << t.str();
   }
+  if (!failures.empty()) {
+    std::cout << '\n' << failures.str();
+    if (const auto report_path = args.value("report")) {
+      io::CsvWriter csv(*report_path);
+      csv.write_row(robust::FailureReport::csv_header());
+      for (const auto& row : failures.csv_rows()) csv.write_row(row);
+      std::cout << "batch: failure report -> " << *report_path << '\n';
+    }
+  }
   maybe_print_stats(args, runner);
+  if (aborted) return 1;
   return all_ok ? 0 : 1;
 }
 
@@ -451,6 +554,11 @@ int main(int argc, char** argv) {
     if (cmd == "micromag") return cmd_micromag(args);
     if (cmd == "batch") return cmd_batch(args);
     std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    // Malformed flags and values ("--jobs=abc", "--jobs -4") are usage
+    // errors, distinct from runtime failures.
+    std::cerr << "usage error: " << e.what() << " (try: swsim help)\n";
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';

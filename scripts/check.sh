@@ -4,10 +4,14 @@
 #   2. a ThreadSanitizer build of the parallel-evaluation engine tests,
 #      run directly, to catch data races in the thread pool / scheduler /
 #      result cache.
+#   3. an Address+UBSan build of the robustness tests (fault injection,
+#      scheduler timeouts/retries, cache corruption) — the failure paths
+#      are exactly where lifetime bugs hide.
 #
 # Usage: scripts/check.sh [build-dir]           (default: build)
 # Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
 #        libtsan).
+#        SWSIM_CHECK_SKIP_ASAN=1 skips stage 3 (toolchains without libasan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,20 +25,39 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 if [[ "${SWSIM_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== stage 2: TSan skipped (SWSIM_CHECK_SKIP_TSAN=1) =="
-  exit 0
+else
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  TSAN_TESTS=(test_engine_pool test_engine_cache test_engine_determinism
+              test_engine_resilience)
+
+  echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
+  cmake -B "${TSAN_DIR}" -S . \
+    -DSWSIM_TSAN=ON -DSWSIM_BUILD_BENCH=OFF -DSWSIM_BUILD_EXAMPLES=OFF \
+    >/dev/null
+  cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
+  for t in "${TSAN_TESTS[@]}"; do
+    # halt_on_error: any race fails the run, not just the report.
+    TSAN_OPTIONS="halt_on_error=1" "${TSAN_DIR}/tests/${t}"
+  done
 fi
 
-TSAN_DIR="${BUILD_DIR}-tsan"
-TSAN_TESTS=(test_engine_pool test_engine_cache test_engine_determinism)
+if [[ "${SWSIM_CHECK_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== stage 3: ASan+UBSan skipped (SWSIM_CHECK_SKIP_ASAN=1) =="
+else
+  ASAN_DIR="${BUILD_DIR}-asan"
+  ASAN_TESTS=(test_robust_status test_robust_watchdog test_robust_fault
+              test_engine_resilience test_engine_pool test_engine_cache)
 
-echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
-cmake -B "${TSAN_DIR}" -S . \
-  -DSWSIM_TSAN=ON -DSWSIM_BUILD_BENCH=OFF -DSWSIM_BUILD_EXAMPLES=OFF \
-  >/dev/null
-cmake --build "${TSAN_DIR}" -j "${JOBS}" --target "${TSAN_TESTS[@]}"
-for t in "${TSAN_TESTS[@]}"; do
-  # halt_on_error: any race fails the run, not just the report.
-  TSAN_OPTIONS="halt_on_error=1" "${TSAN_DIR}/tests/${t}"
-done
+  echo "== stage 3: ASan+UBSan robustness tests (${ASAN_DIR}) =="
+  cmake -B "${ASAN_DIR}" -S . \
+    -DSWSIM_ASAN=ON -DSWSIM_BUILD_BENCH=OFF -DSWSIM_BUILD_EXAMPLES=OFF \
+    >/dev/null
+  cmake --build "${ASAN_DIR}" -j "${JOBS}" --target "${ASAN_TESTS[@]}"
+  for t in "${ASAN_TESTS[@]}"; do
+    # Any leak, lifetime error, or UB report fails the run outright.
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+      UBSAN_OPTIONS="halt_on_error=1" "${ASAN_DIR}/tests/${t}"
+  done
+fi
 
 echo "== all checks passed =="

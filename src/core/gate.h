@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "robust/cancel.h"
 #include "wavenet/detector.h"
 
 namespace swsim::core {
@@ -42,6 +43,15 @@ class FanoutGate {
   // Number of excitation transducers an evaluation drives (for the energy
   // model).
   virtual int excitation_cells() const = 0;
+
+  // Installs a cooperative cancellation token. Long-running backends (the
+  // micromagnetic gate's LLG solves) poll it and abort evaluate() with
+  // robust::SolveError(kCancelled); the analytic gates finish in
+  // microseconds and ignore it. The engine arms one per job attempt so a
+  // timed-out job stops burning its worker thread.
+  virtual void set_cancel_token(const swsim::robust::CancelToken& token) {
+    (void)token;
+  }
 };
 
 }  // namespace swsim::core

@@ -234,7 +234,15 @@ MicromagEvaluation MicromagTriangleGate::run(const std::vector<bool>& inputs) {
     sim.add_probe(geom::to_string(out), region, sample_dt);
   }
 
-  sim.run(duration_);
+  sim.set_watchdog(config_.watchdog);
+  if (cancel_token_) sim.set_cancel_token(*cancel_token_);
+  const robust::Status solve = sim.run_guarded(duration_);
+  if (!solve.is_ok()) {
+    std::string in_bits;
+    for (const bool b : inputs) in_bits += b ? '1' : '0';
+    throw robust::SolveError(
+        solve.with_context(name() + " inputs=" + in_bits));
+  }
 
   MicromagEvaluation ev;
   ev.frequency = frequency_;

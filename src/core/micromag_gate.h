@@ -50,6 +50,11 @@ struct MicromagGateConfig {
   // technique device-scale MuMax3 studies use).
   double absorber_wavelengths = 2.0;  // tail length in units of lambda
   double absorber_alpha = 0.5;        // damping at the tail end
+  // Numerical health policy for every LLG solve this gate runs: scan
+  // cadence, divergence thresholds, and the step-halving retry budget
+  // (see robust/watchdog.h). Part of the cache key: a recovered solve can
+  // legitimately differ bit-for-bit from an unguarded one.
+  swsim::robust::WatchdogConfig watchdog;
 };
 
 // The calibration run's distilled output: the all-zero-input reference
@@ -101,6 +106,12 @@ class MicromagTriangleGate final : public FanoutGate {
   // config (same content hash); skips this instance's calibration run.
   void set_calibration(const MicromagCalibration& c);
 
+  // Polled by every LLG solve; a fired token aborts evaluate() with
+  // robust::SolveError(kCancelled).
+  void set_cancel_token(const swsim::robust::CancelToken& token) override {
+    cancel_token_ = token;
+  }
+
   double drive_frequency() const { return frequency_; }
   const swsim::math::Grid& grid() const { return grid_; }
   const swsim::math::Mask& body_mask() const { return body_; }
@@ -129,6 +140,7 @@ class MicromagTriangleGate final : public FanoutGate {
   };
   std::vector<Tail> tails_;
 
+  std::optional<swsim::robust::CancelToken> cancel_token_;
   bool calibrated_ = false;
   double ref_amplitude_ = 0.0;
   double ref_phase_o1_ = 0.0;

@@ -29,6 +29,12 @@ ValidationReport assemble_report(std::string gate_name,
   report.all_pass = true;
   report.min_margin = std::numeric_limits<double>::infinity();
   for (const auto& row : report.rows) {
+    if (!row.status.is_ok()) {
+      // A failed row can never pass, and its outputs carry no physics:
+      // keep it out of the analog aggregates.
+      report.all_pass = false;
+      continue;
+    }
     report.all_pass = report.all_pass && row.pass_o1 && row.pass_o2;
     report.max_output_asymmetry =
         std::max(report.max_output_asymmetry,
@@ -62,6 +68,13 @@ std::string format_report(const ValidationReport& report) {
     std::vector<std::string> cells;
     for (std::size_t i = row.inputs.size(); i-- > 0;) {
       cells.push_back(row.inputs[i] ? "1" : "0");
+    }
+    if (!row.status.is_ok()) {
+      cells.insert(cells.end(), {"-", "-", "-", "-",
+                                 row.expected ? "1" : "0",
+                                 to_string(row.status.code())});
+      table.add_row(std::move(cells));
+      continue;
     }
     cells.push_back(swsim::io::Table::num(row.outputs.normalized_o1, 3));
     cells.push_back(swsim::io::Table::num(row.outputs.normalized_o2, 3));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/gate.h"
+#include "robust/status.h"
 
 namespace swsim::core {
 
@@ -19,6 +20,9 @@ struct ValidationRow {
   FanoutOutputs outputs;
   bool pass_o1 = false;
   bool pass_o2 = false;
+  // Non-ok when this row's solve failed (partial-batch mode): the outputs
+  // are then meaningless and the row can never pass.
+  swsim::robust::Status status;
 };
 
 struct ValidationReport {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include "engine/hash.h"
 #include "engine/scheduler.h"
 #include "math/rng.h"
+#include "robust/status.h"
 
 namespace swsim::engine {
 
@@ -66,6 +68,12 @@ class WallClock {
       std::chrono::steady_clock::now();
 };
 
+bool job_struck_out(JobState s) {
+  // Strikes count jobs whose closure itself misbehaved; cancelled jobs are
+  // collateral damage and do not poison the config.
+  return s == JobState::kFailed || s == JobState::kTimedOut;
+}
+
 }  // namespace
 
 double EngineStats::parallel_efficiency() const {
@@ -77,6 +85,10 @@ io::Table EngineStats::table() const {
   t.add_row({"threads", std::to_string(threads)});
   t.add_row({"batch runs", std::to_string(runs)});
   t.add_row({"jobs executed", std::to_string(jobs_executed)});
+  t.add_row({"jobs failed", std::to_string(jobs_failed)});
+  t.add_row({"jobs timed out", std::to_string(jobs_timed_out)});
+  t.add_row({"retries spent", std::to_string(jobs_retried)});
+  t.add_row({"quarantined configs", std::to_string(quarantined_configs)});
   t.add_row({"wall (s)", io::Table::num(wall_seconds, 3)});
   t.add_row({"job time (s)", io::Table::num(job_seconds, 3)});
   t.add_row({"parallelism", io::Table::num(parallel_efficiency(), 2)});
@@ -86,6 +98,7 @@ io::Table EngineStats::table() const {
   t.add_row({"evictions", std::to_string(cache.evictions)});
   t.add_row({"spill writes", std::to_string(cache.spill_writes)});
   t.add_row({"spill loads", std::to_string(cache.spill_loads)});
+  t.add_row({"spill corrupt", std::to_string(cache.spill_corrupt)});
   return t;
 }
 
@@ -100,6 +113,19 @@ BatchRunner::BatchRunner(const EngineConfig& config)
       pool_(config.jobs),
       cache_(config.cache_capacity, config.spill_dir) {}
 
+JobOptions BatchRunner::job_options() const {
+  JobOptions o;
+  o.timeout_seconds = config_.job_timeout_seconds;
+  o.max_retries = config_.max_retries;
+  o.backoff_seconds = config_.retry_backoff_seconds;
+  return o;
+}
+
+bool BatchRunner::is_quarantined(std::uint64_t config_key) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return quarantine_.count(config_key) != 0;
+}
+
 EngineStats BatchRunner::stats() const {
   EngineStats s;
   s.threads = pool_.thread_count();
@@ -107,20 +133,73 @@ EngineStats BatchRunner::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   s.runs = runs_;
   s.jobs_executed = jobs_executed_;
+  s.jobs_failed = jobs_failed_;
+  s.jobs_timed_out = jobs_timed_out_;
+  s.jobs_retried = jobs_retried_;
+  s.quarantined_configs = quarantine_.size();
   s.wall_seconds = wall_seconds_;
   s.job_seconds = job_seconds_;
   return s;
 }
 
+void BatchRunner::absorb_scheduler_stats_locked(const Scheduler& scheduler) {
+  jobs_executed_ += scheduler.count(JobState::kDone);
+  job_seconds_ += scheduler.total_job_seconds();
+  jobs_failed_ += scheduler.count(JobState::kFailed) +
+                  scheduler.count(JobState::kTimedOut);
+  jobs_timed_out_ += scheduler.count(JobState::kTimedOut);
+  for (JobId id = 0; id < scheduler.size(); ++id) {
+    const std::size_t attempts = scheduler.job(id).attempts;
+    jobs_retried_ += attempts > 1 ? attempts - 1 : 0;
+  }
+}
+
 core::ValidationReport BatchRunner::run_truth_table(
     const GateFactory& factory, std::uint64_t config_key,
     std::function<void()> prepare) {
+  TruthTableOutcome outcome =
+      run_truth_table_checked(factory, config_key, std::move(prepare));
+  if (!outcome.ok()) {
+    // All-or-nothing contract of the unchecked entry point: surface the
+    // first failure, classification intact.
+    throw robust::SolveError(outcome.failures.failures().front().status);
+  }
+  return std::move(outcome.report);
+}
+
+TruthTableOutcome BatchRunner::run_truth_table_checked(
+    const GateFactory& factory, std::uint64_t config_key,
+    std::function<void()> prepare, const std::string& label) {
   const WallClock clock;
+  const std::string prefix = label.empty() ? "" : label + " / ";
   // Probe instance: name, arity and the (pure) reference function. Gate
   // construction must stay cheap relative to evaluation; solves happen in
   // evaluate(), not the constructor.
   const auto probe = factory();
   const auto patterns = core::all_input_patterns(probe->num_inputs());
+
+  TruthTableOutcome outcome;
+
+  // Quarantine gate: a known-poison config is refused before any solve.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    const auto q = quarantine_.find(config_key);
+    if (q != quarantine_.end()) {
+      std::vector<core::ValidationRow> rows(patterns.size());
+      for (std::size_t i = 0; i < patterns.size(); ++i) {
+        rows[i].inputs = patterns[i];
+        rows[i].expected = probe->reference(patterns[i]);
+        rows[i].status = q->second;
+      }
+      outcome.report = core::assemble_report(probe->name(), std::move(rows));
+      outcome.failures.add(
+          {prefix + probe->name(), q->second, /*attempts=*/0,
+           /*quarantined=*/true});
+      ++runs_;
+      wall_seconds_ += clock.seconds();
+      return outcome;
+    }
+  }
 
   std::vector<core::ValidationRow> rows(patterns.size());
   std::vector<std::size_t> missing;
@@ -142,41 +221,100 @@ core::ValidationReport BatchRunner::run_truth_table(
 
   if (!missing.empty()) {
     Scheduler scheduler(pool_);
+    const JobOptions options = job_options();
     std::vector<JobId> deps;
+    std::optional<JobId> prepare_id;
     if (prepare) {
-      deps.push_back(scheduler.add("prepare", std::move(prepare)));
+      prepare_id =
+          scheduler.add(prefix + "prepare", std::move(prepare), options);
+      deps.push_back(*prepare_id);
     }
+    std::vector<JobId> row_ids;
+    row_ids.reserve(missing.size());
     for (const std::size_t i : missing) {
-      scheduler.add(
-          "row " + std::to_string(i),
-          [this, &factory, &patterns, &rows, i, config_key] {
+      row_ids.push_back(scheduler.add(
+          prefix + "row " + std::to_string(i),
+          [this, &factory, &patterns, &rows, i,
+           config_key](const robust::CancelToken& token) {
             auto gate = factory();
+            gate->set_cancel_token(token);
             rows[i] = core::evaluate_row(*gate, patterns[i]);
             if (config_.use_cache) {
               cache_.insert(row_key(config_key, patterns[i]),
                             encode_outputs(rows[i].outputs));
             }
           },
-          deps);
+          options, deps));
     }
-    scheduler.run();
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    jobs_executed_ += scheduler.count(JobState::kDone);
-    job_seconds_ += scheduler.total_job_seconds();
+    scheduler.run_all();
+
+    // Collect failures in row order (deterministic report) and mark the
+    // failed rows so the report keeps a slot for them.
+    std::vector<robust::JobFailure> failed;
+    std::size_t strikes = 0;
+    if (prepare_id) {
+      const Job& j = scheduler.job(*prepare_id);
+      if (j.state != JobState::kDone) {
+        failed.push_back({j.label, j.status, j.attempts, false});
+        strikes += job_struck_out(j.state) ? 1 : 0;
+      }
+    }
+    for (std::size_t k = 0; k < missing.size(); ++k) {
+      const Job& j = scheduler.job(row_ids[k]);
+      if (j.state == JobState::kDone) continue;
+      const std::size_t i = missing[k];
+      rows[i] = core::ValidationRow{};
+      rows[i].inputs = patterns[i];
+      rows[i].expected = probe->reference(patterns[i]);
+      rows[i].status = j.status;
+      failed.push_back({j.label, j.status, j.attempts, false});
+      strikes += job_struck_out(j.state) ? 1 : 0;
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      absorb_scheduler_stats_locked(scheduler);
+      if (strikes > 0 && config_.quarantine_threshold > 0) {
+        std::size_t& tally = strikes_[config_key];
+        tally += strikes;
+        if (tally >= config_.quarantine_threshold &&
+            quarantine_.count(config_key) == 0) {
+          quarantine_.emplace(
+              config_key,
+              robust::Status::error(
+                  robust::StatusCode::kQuarantined,
+                  "config quarantined after " + std::to_string(tally) +
+                      " failed jobs",
+                  probe->name()));
+          for (robust::JobFailure& f : failed) f.quarantined = true;
+        }
+      }
+    }
+    for (robust::JobFailure& f : failed) outcome.failures.add(std::move(f));
   }
 
-  auto report = core::assemble_report(probe->name(), std::move(rows));
+  outcome.report = core::assemble_report(probe->name(), std::move(rows));
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++runs_;
     wall_seconds_ += clock.seconds();
   }
-  return report;
+  return outcome;
 }
 
 core::YieldReport BatchRunner::run_yield(const TriangleFactory& factory,
                                          const core::VariabilityModel& model,
                                          std::size_t trials) {
+  YieldOutcome outcome = run_yield_checked(factory, model, trials);
+  if (!outcome.ok()) {
+    throw robust::SolveError(outcome.failures.failures().front().status);
+  }
+  return outcome.report;
+}
+
+YieldOutcome BatchRunner::run_yield_checked(
+    const TriangleFactory& factory, const core::VariabilityModel& model,
+    std::size_t trials, const std::string& label) {
   if (trials == 0) {
     throw std::invalid_argument("BatchRunner::run_yield: trials must be >= 1");
   }
@@ -184,6 +322,7 @@ core::YieldReport BatchRunner::run_yield(const TriangleFactory& factory,
     throw std::invalid_argument("BatchRunner::run_yield: sigmas must be >= 0");
   }
   const WallClock clock;
+  const std::string prefix = label.empty() ? "" : label + " / ";
 
   struct ChunkPartial {
     std::size_t passing = 0;
@@ -194,17 +333,25 @@ core::YieldReport BatchRunner::run_yield(const TriangleFactory& factory,
   std::vector<ChunkPartial> partials(chunks);
 
   Scheduler scheduler(pool_);
+  const JobOptions options = job_options();
+  std::vector<JobId> chunk_ids;
+  chunk_ids.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
-    scheduler.add(
-        "trials " + std::to_string(c * kYieldChunk),
-        [&, c] {
+    chunk_ids.push_back(scheduler.add(
+        prefix + "trials " + std::to_string(c * kYieldChunk),
+        [&, c](const robust::CancelToken& token) {
           auto gate = factory();
-          const auto patterns =
-              core::all_input_patterns(gate->num_inputs());
+          gate->set_cancel_token(token);
+          const auto patterns = core::all_input_patterns(gate->num_inputs());
           const std::size_t begin = c * kYieldChunk;
           const std::size_t end = std::min(trials, begin + kYieldChunk);
           ChunkPartial& part = partials[c];
           for (std::size_t t = begin; t < end; ++t) {
+            if (token.cancelled()) {
+              throw robust::SolveError(robust::Status::error(
+                  robust::StatusCode::kCancelled,
+                  "cancelled at trial " + std::to_string(t)));
+            }
             // Independent, trial-indexed RNG stream: trial t draws the
             // same disturbances no matter which thread or chunk runs it.
             swsim::math::Pcg32 rng(model.seed, /*stream=*/t);
@@ -214,29 +361,45 @@ core::YieldReport BatchRunner::run_yield(const TriangleFactory& factory,
             part.row_failures += outcome.row_failures;
             part.margin_acc += outcome.worst_margin;
           }
-        });
+        },
+        options));
   }
-  scheduler.run();
+  scheduler.run_all();
 
-  // Fold in chunk order: the FP sum is then independent of the job count.
-  core::YieldReport report;
-  report.trials = trials;
+  // Fold surviving chunks in chunk order: the FP sum is then independent
+  // of the job count, and — because each trial's RNG stream is indexed by
+  // the trial, not the chunk — a lost chunk removes exactly its own trials
+  // from the statistics without disturbing any other trial's draw.
+  YieldOutcome out;
+  out.requested_trials = trials;
+  std::size_t completed = 0;
   double margin_acc = 0.0;
-  for (const ChunkPartial& part : partials) {
-    report.passing += part.passing;
-    report.worst_row_failures += part.row_failures;
-    margin_acc += part.margin_acc;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const Job& j = scheduler.job(chunk_ids[c]);
+    const std::size_t begin = c * kYieldChunk;
+    const std::size_t end = std::min(trials, begin + kYieldChunk);
+    if (j.state == JobState::kDone) {
+      out.report.passing += partials[c].passing;
+      out.report.worst_row_failures += partials[c].row_failures;
+      margin_acc += partials[c].margin_acc;
+      completed += end - begin;
+    } else {
+      out.failures.add({j.label, j.status, j.attempts, false});
+    }
   }
-  report.yield =
-      static_cast<double>(report.passing) / static_cast<double>(trials);
-  report.mean_worst_margin = margin_acc / static_cast<double>(trials);
+  out.report.trials = completed;
+  if (completed > 0) {
+    out.report.yield = static_cast<double>(out.report.passing) /
+                       static_cast<double>(completed);
+    out.report.mean_worst_margin =
+        margin_acc / static_cast<double>(completed);
+  }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++runs_;
-  jobs_executed_ += scheduler.count(JobState::kDone);
-  job_seconds_ += scheduler.total_job_seconds();
+  absorb_scheduler_stats_locked(scheduler);
   wall_seconds_ += clock.seconds();
-  return report;
+  return out;
 }
 
 }  // namespace swsim::engine

@@ -23,13 +23,17 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "core/gate.h"
 #include "core/validator.h"
 #include "core/variability.h"
+#include "engine/job.h"
 #include "engine/result_cache.h"
 #include "engine/thread_pool.h"
 #include "io/table.h"
+#include "robust/report.h"
+#include "robust/status.h"
 
 namespace swsim::engine {
 
@@ -38,12 +42,25 @@ struct EngineConfig {
   bool use_cache = true;
   std::size_t cache_capacity = 4096;  // in-memory entries
   std::string spill_dir;              // optional disk spill directory
+
+  // Resilience policy, applied per job (see engine/job.h JobOptions).
+  double job_timeout_seconds = 0.0;   // 0 disables per-job deadlines
+  std::size_t max_retries = 0;        // retry budget for retryable failures
+  double retry_backoff_seconds = 0.0; // linear backoff between attempts
+  // After this many terminally-failed jobs under one config key, the key is
+  // quarantined: later *_checked runs for it are refused without solving.
+  // 0 disables quarantine.
+  std::size_t quarantine_threshold = 2;
 };
 
 struct EngineStats {
   std::size_t threads = 0;
   std::size_t runs = 0;           // batch calls served
   std::size_t jobs_executed = 0;  // jobs that actually ran (not cache hits)
+  std::size_t jobs_failed = 0;    // terminal failures (incl. timeouts)
+  std::size_t jobs_timed_out = 0; // deadline expiries (subset of failed)
+  std::size_t jobs_retried = 0;   // extra attempts spent on retries
+  std::size_t quarantined_configs = 0;  // config keys currently quarantined
   double wall_seconds = 0.0;      // wall time across batch calls
   double job_seconds = 0.0;       // summed per-job wall time
   ResultCache::Stats cache;
@@ -52,6 +69,24 @@ struct EngineStats {
   double parallel_efficiency() const;
   io::Table table() const;
   std::string str() const;
+};
+
+// Result of a fault-tolerant batch call: every healthy row/chunk computed
+// normally, plus a structured account of everything that failed. ok() iff
+// the whole batch succeeded.
+struct TruthTableOutcome {
+  core::ValidationReport report;  // failed rows carry a non-ok row.status
+  robust::FailureReport failures;
+  bool ok() const { return failures.empty(); }
+};
+
+struct YieldOutcome {
+  // report.trials counts only *completed* trials; yield and margins are
+  // normalized over those, so partial results stay statistically honest.
+  core::YieldReport report;
+  robust::FailureReport failures;
+  std::size_t requested_trials = 0;
+  bool ok() const { return failures.empty(); }
 };
 
 class BatchRunner {
@@ -66,16 +101,41 @@ class BatchRunner {
   // the content hash of the gate configuration (engine::hash_of).
   // `prepare`, when set, runs once before any row job (rows depend on it)
   // unless every row was served from cache — the hook for shared
-  // calibration of micromagnetic gates.
+  // calibration of micromagnetic gates. Throws (robust::SolveError) on the
+  // first row failure; use the _checked variant for partial results.
   core::ValidationReport run_truth_table(const GateFactory& factory,
                                          std::uint64_t config_key,
                                          std::function<void()> prepare = {});
 
+  // Fault-tolerant variant: never throws on job failure. Healthy rows are
+  // solved (and cached) as usual; failed rows are returned with a non-ok
+  // ValidationRow::status and an entry in the failure report. Jobs run
+  // under the EngineConfig resilience policy (timeout, retries); a config
+  // key that keeps failing is quarantined and refused outright on later
+  // calls. `label` prefixes job names in the failure report ("job 3 / row
+  // 2") so batch front-ends can attribute failures.
+  TruthTableOutcome run_truth_table_checked(
+      const GateFactory& factory, std::uint64_t config_key,
+      std::function<void()> prepare = {}, const std::string& label = "");
+
   // Parallel equivalent of core::estimate_yield, deterministic for any job
-  // count (per-trial RNG streams; fixed-size chunks). Never cached.
+  // count (per-trial RNG streams; fixed-size chunks). Never cached. Throws
+  // on the first chunk failure; use the _checked variant below.
   core::YieldReport run_yield(const TriangleFactory& factory,
                               const core::VariabilityModel& model,
                               std::size_t trials);
+
+  // Fault-tolerant variant: surviving chunks are folded (in chunk order,
+  // so the statistics stay deterministic) over completed trials only; lost
+  // chunks are reported. Yield sweeps bypass the cache and carry no config
+  // key, so quarantine does not apply.
+  YieldOutcome run_yield_checked(const TriangleFactory& factory,
+                                 const core::VariabilityModel& model,
+                                 std::size_t trials,
+                                 const std::string& label = "");
+
+  // True when `config_key` has been quarantined (too many failed jobs).
+  bool is_quarantined(std::uint64_t config_key) const;
 
   ResultCache& cache() { return cache_; }
   const EngineConfig& config() const { return config_; }
@@ -83,14 +143,24 @@ class BatchRunner {
   EngineStats stats() const;
 
  private:
+  JobOptions job_options() const;
+  void absorb_scheduler_stats_locked(const class Scheduler& scheduler);
+
   EngineConfig config_;
   ThreadPool pool_;
   ResultCache cache_;
   mutable std::mutex stats_mutex_;
   std::size_t runs_ = 0;
   std::size_t jobs_executed_ = 0;
+  std::size_t jobs_failed_ = 0;
+  std::size_t jobs_timed_out_ = 0;
+  std::size_t jobs_retried_ = 0;
   double wall_seconds_ = 0.0;
   double job_seconds_ = 0.0;
+  // Poison tracking: failed-job strikes per config key, and the status that
+  // quarantined the key once strikes reach the threshold.
+  std::unordered_map<std::uint64_t, std::size_t> strikes_;
+  std::unordered_map<std::uint64_t, robust::Status> quarantine_;
 };
 
 }  // namespace swsim::engine

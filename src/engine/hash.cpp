@@ -116,6 +116,12 @@ std::uint64_t hash_of(const core::MicromagGateConfig& c) {
       .f64(c.margin)
       .f64(c.absorber_wavelengths)
       .f64(c.absorber_alpha);
+  // The watchdog is part of the key: a divergence recovered by step
+  // halving legitimately yields different bits than an unguarded solve.
+  h.u64(c.watchdog.cadence)
+      .f64(c.watchdog.norm_drift_tol)
+      .f64(c.watchdog.energy_growth_factor)
+      .u64(c.watchdog.max_step_halvings);
   h.boolean(c.roughness.has_value());
   if (c.roughness) {
     h.f64(c.roughness->amplitude)

@@ -14,6 +14,8 @@ std::string to_string(JobState s) {
       return "done";
     case JobState::kFailed:
       return "failed";
+    case JobState::kTimedOut:
+      return "timed out";
     case JobState::kCancelled:
       return "cancelled";
   }
@@ -22,7 +24,7 @@ std::string to_string(JobState s) {
 
 bool is_terminal(JobState s) {
   return s == JobState::kDone || s == JobState::kFailed ||
-         s == JobState::kCancelled;
+         s == JobState::kTimedOut || s == JobState::kCancelled;
 }
 
 }  // namespace swsim::engine

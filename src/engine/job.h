@@ -1,18 +1,26 @@
 // The unit of work the scheduler tracks: a closure plus dependency edges,
-// a lifecycle state, and per-job accounting (run time, failure message).
+// a lifecycle state, and per-job accounting (run time, failure status).
 //
 // Jobs are owned by a Scheduler; user code only sees JobId handles. A job
 // becomes kReady when every dependency has finished successfully, runs on
-// the thread pool, and ends kDone, kFailed (its closure threw), or
-// kCancelled (explicitly, or because a dependency failed/was cancelled —
-// cancellation is transitive over the dependency DAG). Cancellation is
-// cooperative: a job that is already running is not preempted.
+// the thread pool, and ends kDone, kFailed (its closure threw), kTimedOut
+// (its deadline passed while running), or kCancelled (explicitly, or
+// because a dependency failed/was cancelled — cancellation is transitive
+// over the dependency DAG). Cancellation is cooperative: a job that is
+// already running is not preempted; it is handed a robust::CancelToken and
+// is expected to poll it. A timed-out job is terminal the moment the
+// deadline expires, but its closure keeps the worker until it observes the
+// token (or returns); its result is then discarded.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
+
+#include "robust/cancel.h"
+#include "robust/status.h"
 
 namespace swsim::engine {
 
@@ -23,7 +31,8 @@ enum class JobState {
   kReady,      // dependencies met, queued for execution
   kRunning,    // executing on a pool thread
   kDone,       // finished successfully
-  kFailed,     // closure threw; `error` holds what()
+  kFailed,     // closure threw; `status`/`error` hold the cause
+  kTimedOut,   // deadline expired while running; result discarded
   kCancelled,  // never ran (explicit cancel or upstream failure)
 };
 
@@ -32,15 +41,41 @@ std::string to_string(JobState s);
 // True for states a job can no longer leave.
 bool is_terminal(JobState s);
 
+// Per-job resilience policy. Defaults reproduce the original scheduler:
+// no deadline, no retries.
+struct JobOptions {
+  // User-declared so JobOptions is not an aggregate: keeps Scheduler::add's
+  // {deps...} brace lists from ever matching this parameter.
+  JobOptions() = default;
+
+  // Wall-clock budget per attempt; 0 disables the deadline. Enforcement is
+  // cooperative (see JobState::kTimedOut above).
+  double timeout_seconds = 0.0;
+  // Extra attempts granted when the closure fails with a *retryable*
+  // status (robust::is_retryable). Timeouts are never retried: the
+  // timed-out closure may still be running, and a concurrent retry would
+  // race it on shared result slots.
+  std::size_t max_retries = 0;
+  // Sleep before retry attempt k (1-based) is backoff_seconds * k.
+  double backoff_seconds = 0.0;
+};
+
 struct Job {
   JobId id = 0;
   std::string label;
-  std::function<void()> fn;
+  std::function<void(const robust::CancelToken&)> fn;
+  JobOptions options;
   JobState state = JobState::kPending;
   std::size_t remaining_deps = 0;
   std::vector<JobId> dependents;
-  double seconds = 0.0;  // wall time of fn() when it ran
-  std::string error;     // exception message when state == kFailed
+  double seconds = 0.0;       // wall time of fn(), summed over attempts
+  std::size_t attempts = 0;   // executions started (1 = no retries)
+  robust::Status status;      // cause when kFailed / kTimedOut / kCancelled
+  std::string error;          // status.message() — kept for older callers
+  // Current attempt's cancellation token and start time (valid while
+  // kRunning; the deadline is started_at + timeout).
+  robust::CancelToken token;
+  std::chrono::steady_clock::time_point started_at;
 };
 
 }  // namespace swsim::engine

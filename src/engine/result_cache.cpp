@@ -4,13 +4,30 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace swsim::engine {
 
 namespace {
-// Spill file layout: magic, count, then count raw doubles. Host byte
-// order — a spill directory is a local cache, not an interchange format.
-constexpr std::uint64_t kSpillMagic = 0x73777370696c6c31ULL;  // "swspill1"
+// Spill file layout (v2): magic, count, payload checksum, then count raw
+// doubles. Host byte order — a spill directory is a local cache, not an
+// interchange format. v1 files (no checksum) fail the magic test and are
+// treated like any other corrupt file: deleted and recomputed.
+constexpr std::uint64_t kSpillMagic = 0x73777370696c6c32ULL;  // "swspill2"
+
+// FNV-1a over the payload bytes, seeded with the count so a file whose
+// length field was damaged in a way that still matches the byte count
+// cannot collide with the original.
+std::uint64_t payload_checksum(const double* data, std::uint64_t count) {
+  std::uint64_t h = 1469598103934665603ULL ^ count;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  const std::size_t n = static_cast<std::size_t>(count) * sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(p[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
 }  // namespace
 
 double ResultCache::Stats::hit_rate() const {
@@ -79,9 +96,12 @@ void ResultCache::evict_locked() {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (out) {
       const std::uint64_t count = victim.second.size();
+      const std::uint64_t checksum =
+          payload_checksum(victim.second.data(), count);
       out.write(reinterpret_cast<const char*>(&kSpillMagic),
                 sizeof kSpillMagic);
       out.write(reinterpret_cast<const char*>(&count), sizeof count);
+      out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
       out.write(reinterpret_cast<const char*>(victim.second.data()),
                 static_cast<std::streamsize>(count * sizeof(double)));
       if (out) ++stats_.spill_writes;
@@ -99,15 +119,39 @@ bool ResultCache::load_spilled_locked(std::uint64_t key,
   if (spill_dir_.empty()) return false;
   const auto path = std::filesystem::path(spill_dir_) / spill_filename(key);
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::uint64_t magic = 0, count = 0;
+  if (!in) return false;  // absent: a plain miss, not corruption
+
+  // Any integrity failure below means the file cannot be trusted: evict it
+  // from disk so the slot is recomputed and re-spilled clean.
+  const auto corrupt = [&] {
+    in.close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    ++stats_.spill_corrupt;
+    return false;
+  };
+
+  constexpr std::uint64_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+  std::uint64_t magic = 0, count = 0, checksum = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
   in.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!in || magic != kSpillMagic) return false;
+  in.read(reinterpret_cast<char*>(&checksum), sizeof checksum);
+  if (!in || magic != kSpillMagic) return corrupt();
+
+  // Size check before allocating: catches truncation and a damaged count
+  // field without trusting either.
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec || file_size != kHeaderBytes + count * sizeof(double)) {
+    return corrupt();
+  }
+
   out.resize(count);
   in.read(reinterpret_cast<char*>(out.data()),
           static_cast<std::streamsize>(count * sizeof(double)));
-  return static_cast<bool>(in);
+  if (!in) return corrupt();
+  if (payload_checksum(out.data(), count) != checksum) return corrupt();
+  return true;
 }
 
 std::size_t ResultCache::size() const {

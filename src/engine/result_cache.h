@@ -13,6 +13,13 @@
 // stored payload: by the content-addressing contract two payloads for one
 // key are identical, so first-write-wins equals last-write-wins, and
 // results cannot depend on job completion order.
+//
+// Integrity: every spill file carries an FNV-1a checksum of its payload.
+// A file that fails the magic, size, or checksum test — truncated write,
+// bit rot, a stale format from an older build — is evicted from disk and
+// counted in stats().spill_corrupt; the lookup then reports a miss and the
+// caller transparently recomputes, so a corrupted cache can degrade
+// performance but never correctness.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,7 @@ class ResultCache {
     std::size_t evictions = 0;    // LRU entries dropped from memory
     std::size_t spill_writes = 0; // evictions persisted to disk
     std::size_t spill_loads = 0;  // hits served from disk
+    std::size_t spill_corrupt = 0; // spill files that failed integrity checks
     double hit_rate() const;      // hits / (hits + misses), 0 when idle
   };
 

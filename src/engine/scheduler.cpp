@@ -1,13 +1,30 @@
 #include "engine/scheduler.h"
 
 #include <chrono>
+#include <sstream>
 #include <stdexcept>
+#include <thread>
+
+#include "robust/fault_injection.h"
 
 namespace swsim::engine {
 
-Scheduler::Scheduler(ThreadPool& pool) : pool_(pool) {}
+namespace {
 
-JobId Scheduler::add(std::string label, std::function<void()> fn,
+std::string format_seconds(double s) {
+  std::ostringstream os;
+  os << s;
+  return os.str();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(ThreadPool& pool)
+    : pool_(pool), first_status_(robust::Status::ok()) {}
+
+JobId Scheduler::add(std::string label,
+                     std::function<void(const robust::CancelToken&)> fn,
+                     const JobOptions& options,
                      const std::vector<JobId>& deps) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (running_) {
@@ -18,6 +35,7 @@ JobId Scheduler::add(std::string label, std::function<void()> fn,
   job.id = id;
   job.label = std::move(label);
   job.fn = std::move(fn);
+  job.options = options;
   for (const JobId d : deps) {
     if (d >= id) {
       throw std::invalid_argument(
@@ -28,7 +46,8 @@ JobId Scheduler::add(std::string label, std::function<void()> fn,
   Job& j = jobs_.back();
   for (const JobId d : deps) {
     Job& dep = jobs_[d];
-    if (dep.state == JobState::kCancelled || dep.state == JobState::kFailed) {
+    if (dep.state == JobState::kCancelled || dep.state == JobState::kFailed ||
+        dep.state == JobState::kTimedOut) {
       // Depending on an already-dead job makes this job dead on arrival.
       j.state = JobState::kCancelled;
       return id;
@@ -39,6 +58,21 @@ JobId Scheduler::add(std::string label, std::function<void()> fn,
     }
   }
   return id;
+}
+
+JobId Scheduler::add(std::string label, std::function<void()> fn,
+                     const JobOptions& options,
+                     const std::vector<JobId>& deps) {
+  return add(
+      std::move(label),
+      std::function<void(const robust::CancelToken&)>(
+          [f = std::move(fn)](const robust::CancelToken&) { f(); }),
+      options, deps);
+}
+
+JobId Scheduler::add(std::string label, std::function<void()> fn,
+                     const std::vector<JobId>& deps) {
+  return add(std::move(label), std::move(fn), JobOptions{}, deps);
 }
 
 void Scheduler::cancel(JobId id) {
@@ -52,14 +86,21 @@ void Scheduler::cancel_locked(JobId id) {
   if (j.state != JobState::kPending && j.state != JobState::kReady) return;
   const bool was_released = j.state == JobState::kReady;
   j.state = JobState::kCancelled;
+  j.status = robust::Status::error(robust::StatusCode::kCancelled,
+                                   "cancelled before running",
+                                   "job '" + j.label + "'");
   if (running_) {
     // A released job sits in the pool queue; execute() observes kCancelled,
     // settles its outstanding_ count and cascades. An unreleased job
     // settles here.
     if (was_released) return;
-    if (--outstanding_ == 0) done_cv_.notify_all();
+    settle_locked();
   }
   for (const JobId d : j.dependents) cancel_locked(d);
+}
+
+void Scheduler::settle_locked() {
+  if (--outstanding_ == 0) done_cv_.notify_all();
 }
 
 void Scheduler::release_locked(JobId id) {
@@ -70,28 +111,40 @@ void Scheduler::release_locked(JobId id) {
 }
 
 void Scheduler::execute(JobId id) {
-  std::function<void()> fn;
+  std::function<void(const robust::CancelToken&)> fn;
+  robust::CancelToken token;
+  std::string label;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Job& j = jobs_[id];
     if (j.state == JobState::kCancelled) {
       // Was cancelled after release; settle it now.
-      if (--outstanding_ == 0) done_cv_.notify_all();
+      settle_locked();
       for (const JobId d : j.dependents) cancel_locked(d);
       return;
     }
     j.state = JobState::kRunning;
+    j.token = robust::CancelToken();  // fresh token per attempt
+    j.started_at = std::chrono::steady_clock::now();
+    ++j.attempts;
+    token = j.token;
+    label = j.label;
     fn = j.fn;  // copy out: run without holding the lock
+    if (j.options.timeout_seconds > 0.0) {
+      // Wake the run() waiter so it starts watching this deadline.
+      done_cv_.notify_all();
+    }
   }
 
   const auto t0 = std::chrono::steady_clock::now();
-  std::string error;
+  robust::Status outcome = robust::Status::ok();
   try {
-    fn();
-  } catch (const std::exception& e) {
-    error = e.what();
+    // Deterministic fault harness: a no-op unless a test or --inject armed
+    // a plan for this label.
+    robust::FaultPlan::global().on_job_enter(label);
+    fn(token);
   } catch (...) {
-    error = "unknown exception";
+    outcome = robust::status_of_current_exception();
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -99,8 +152,14 @@ void Scheduler::execute(JobId id) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   Job& j = jobs_[id];
-  j.seconds = seconds;
-  if (error.empty()) {
+  j.seconds += seconds;
+  if (j.state == JobState::kTimedOut) {
+    // The deadline expired while fn ran; the failure is already recorded
+    // and dependents cancelled. Discard the result and settle.
+    settle_locked();
+    return;
+  }
+  if (outcome.is_ok()) {
     j.state = JobState::kDone;
     for (const JobId d : j.dependents) {
       if (jobs_[d].state == JobState::kPending &&
@@ -108,18 +167,80 @@ void Scheduler::execute(JobId id) {
         release_locked(d);
       }
     }
-  } else {
-    j.state = JobState::kFailed;
-    j.error = error;
+    settle_locked();
+    return;
+  }
+  if (robust::is_retryable(outcome.code()) &&
+      j.attempts <= j.options.max_retries) {
+    // Budget left: re-queue this job after a linear backoff. outstanding_
+    // is untouched — the job is still in flight.
+    j.state = JobState::kReady;
+    const double backoff =
+        j.options.backoff_seconds * static_cast<double>(j.attempts);
+    pool_.submit([this, id, backoff] {
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      execute(id);
+    });
+    return;
+  }
+  j.state = JobState::kFailed;
+  j.status = outcome.with_context("job '" + j.label + "'");
+  j.error = outcome.message();
+  if (first_error_.empty()) {
+    first_error_ = "job '" + j.label + "' failed: " + j.error;
+    first_status_ = j.status;
+  }
+  for (const JobId d : j.dependents) cancel_locked(d);
+  settle_locked();
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+Scheduler::next_deadline_locked() const {
+  std::optional<std::chrono::steady_clock::time_point> next;
+  for (const Job& j : jobs_) {
+    if (j.state != JobState::kRunning || j.options.timeout_seconds <= 0.0) {
+      continue;
+    }
+    const auto deadline =
+        j.started_at + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               j.options.timeout_seconds));
+    if (!next || deadline < *next) next = deadline;
+  }
+  return next;
+}
+
+void Scheduler::expire_deadlines_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  for (Job& j : jobs_) {
+    if (j.state != JobState::kRunning || j.options.timeout_seconds <= 0.0) {
+      continue;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(now - j.started_at).count();
+    if (elapsed < j.options.timeout_seconds) continue;
+    j.state = JobState::kTimedOut;
+    j.status = robust::Status::error(
+        robust::StatusCode::kTimeout,
+        "exceeded " + format_seconds(j.options.timeout_seconds) +
+            " s deadline",
+        "job '" + j.label + "'");
+    j.error = j.status.message();
+    // Ask the closure to stop; it settles outstanding_ when it returns.
+    j.token.request_cancel();
     if (first_error_.empty()) {
-      first_error_ = "job '" + j.label + "' failed: " + error;
+      first_error_ = "job '" + j.label + "' failed: " + j.error;
+      first_status_ = j.status;
     }
     for (const JobId d : j.dependents) cancel_locked(d);
   }
-  if (--outstanding_ == 0) done_cv_.notify_all();
 }
 
-void Scheduler::run() {
+robust::Status Scheduler::run_all() {
+  bool any_deadline = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (running_) {
@@ -130,8 +251,9 @@ void Scheduler::run() {
     // never hit the pool; everything else is outstanding.
     for (const Job& j : jobs_) {
       if (!is_terminal(j.state)) ++outstanding_;
+      any_deadline = any_deadline || j.options.timeout_seconds > 0.0;
     }
-    if (outstanding_ == 0) return;
+    if (outstanding_ == 0) return first_status_;
     for (Job& j : jobs_) {
       if (j.state == JobState::kPending && j.remaining_deps == 0) {
         release_locked(j.id);
@@ -139,8 +261,28 @@ void Scheduler::run() {
     }
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return outstanding_ == 0; });
-  if (!first_error_.empty()) {
+  if (!any_deadline) {
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+  } else {
+    // Deadline watchdog: sleep until the earliest running deadline (or
+    // until woken by a settle / a timed job starting), then expire any
+    // running job past its budget.
+    while (outstanding_ > 0) {
+      if (const auto next = next_deadline_locked()) {
+        done_cv_.wait_until(lock, *next);
+        expire_deadlines_locked();
+      } else {
+        done_cv_.wait(lock);
+      }
+    }
+  }
+  return first_status_;
+}
+
+void Scheduler::run() {
+  const robust::Status status = run_all();
+  if (!status.is_ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
     throw std::runtime_error(first_error_);
   }
 }

@@ -1,23 +1,39 @@
 // Dependency-aware job scheduler on top of ThreadPool.
 //
 // Usage: add() jobs (with optional dependency edges, forming a DAG), then
-// run(). Ready jobs are released to the pool; when a job finishes, its
-// dependents' counters tick down and newly-ready jobs are released. A
-// failed job (closure threw) transitively cancels everything downstream
-// of it; run() then throws with the first failure's message, after every
-// job has reached a terminal state. cancel() before/during run() prunes a
-// job and its dependents; a job already running is not preempted
-// (cooperative cancellation).
+// run() or run_all(). Ready jobs are released to the pool; when a job
+// finishes, its dependents' counters tick down and newly-ready jobs are
+// released. A failed job (closure threw) transitively cancels everything
+// downstream of it; run() then throws with the first failure's message,
+// after every job has reached a terminal state, while run_all() returns
+// the first failure's robust::Status instead — the entry point for
+// partial-batch callers that want every healthy job's result plus a
+// structured account of the rest.
+//
+// Resilience (per-job JobOptions):
+//  - timeout_seconds: while a job runs past its deadline it is marked
+//    kTimedOut, its dependents are cancelled, and its CancelToken is
+//    tripped; the closure keeps its worker until it observes the token
+//    (cooperative — no preemption), and its result is discarded.
+//  - max_retries / backoff_seconds: a closure that throws with a
+//    *retryable* status (robust::is_retryable — numerical divergence,
+//    cache corruption, internal errors; never timeouts) is re-executed
+//    after a linear backoff, up to the retry budget.
+//
+// cancel() before/during run() prunes a job and its dependents; a job
+// already running is not preempted (cooperative cancellation).
 //
 // A Scheduler instance is single-shot: build the DAG, run it, then read
-// the per-job records (state, wall seconds, error).
+// the per-job records (state, wall seconds, status, attempts).
 #pragma once
 
-#include <mutex>
 #include <condition_variable>
+#include <mutex>
+#include <optional>
 
 #include "engine/job.h"
 #include "engine/thread_pool.h"
+#include "robust/status.h"
 
 namespace swsim::engine {
 
@@ -27,6 +43,13 @@ class Scheduler {
 
   // Registers a job. `deps` must name already-added jobs (the DAG is built
   // in topological order by construction). Must not be called after run().
+  // Token-aware closures receive the current attempt's CancelToken and
+  // should poll it during long solves.
+  JobId add(std::string label,
+            std::function<void(const robust::CancelToken&)> fn,
+            const JobOptions& options, const std::vector<JobId>& deps = {});
+  JobId add(std::string label, std::function<void()> fn,
+            const JobOptions& options, const std::vector<JobId>& deps = {});
   JobId add(std::string label, std::function<void()> fn,
             const std::vector<JobId>& deps = {});
 
@@ -37,6 +60,11 @@ class Scheduler {
   // Releases ready jobs and blocks until every job is terminal. Throws
   // std::runtime_error naming the first failed job, if any.
   void run();
+
+  // Like run() but never throws on job failure: returns ok when every job
+  // finished, else the first failure's status. Inspect job(id) afterwards
+  // for the per-job account.
+  robust::Status run_all();
 
   // Post-run inspection.
   std::size_t size() const;
@@ -50,14 +78,20 @@ class Scheduler {
   void release_locked(JobId id);           // kPending -> kReady -> pool
   void cancel_locked(JobId id);            // cascades over dependents
   void execute(JobId id);                  // runs on a pool thread
+  void settle_locked();                    // one outstanding job became terminal
+  // Earliest deadline among running jobs with a timeout, if any.
+  std::optional<std::chrono::steady_clock::time_point> next_deadline_locked()
+      const;
+  void expire_deadlines_locked();          // kRunning past deadline -> kTimedOut
 
   ThreadPool& pool_;
   mutable std::mutex mutex_;
   std::condition_variable done_cv_;
   std::vector<Job> jobs_;
-  std::size_t outstanding_ = 0;  // jobs not yet terminal
+  std::size_t outstanding_ = 0;  // jobs not yet settled
   bool running_ = false;
   std::string first_error_;
+  robust::Status first_status_;
 };
 
 }  // namespace swsim::engine

@@ -29,4 +29,113 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
   out_ << '\n';
 }
 
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;       // inside a "..." cell
+  bool cell_started = false; // current cell has consumed a character
+  bool after_quote = false;  // cell was quoted and the quote has closed
+  std::size_t line = 1, col = 0;
+  std::size_t quote_line = 0, quote_col = 0;  // where the open quote was
+
+  const auto fail = [&](const std::string& what, std::size_t l,
+                        std::size_t c) -> std::runtime_error {
+    return std::runtime_error("parse_csv: " + what + " at line " +
+                              std::to_string(l) + ", column " +
+                              std::to_string(c));
+  };
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    cell_started = false;
+    after_quote = false;
+  };
+  const auto end_row = [&] {
+    // A line with content always contributes a row; a completely blank
+    // line (no cells, no pending text) is skipped.
+    if (!row.empty() || cell_started || !cell.empty()) {
+      end_cell();
+      rows.push_back(std::move(row));
+      row.clear();
+    }
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    ++col;
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';  // escaped quote
+          ++i;
+          ++col;
+        } else {
+          quoted = false;
+          after_quote = true;
+        }
+      } else {
+        cell += ch;
+        if (ch == '\n') {
+          ++line;
+          col = 0;
+        }
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        if (after_quote) {
+          throw fail("unexpected quote after closing quote", line, col);
+        }
+        if (cell_started) {
+          throw fail("quote opening in the middle of an unquoted cell", line,
+                     col);
+        }
+        quoted = true;
+        cell_started = true;
+        quote_line = line;
+        quote_col = col;
+        break;
+      case ',':
+        end_cell();
+        break;
+      case '\r':
+        break;  // CRLF: the '\n' that follows ends the row
+      case '\n':
+        end_row();
+        ++line;
+        col = 0;
+        break;
+      default:
+        if (after_quote) {
+          throw fail("unexpected character after closing quote", line, col);
+        }
+        cell += ch;
+        cell_started = true;
+        break;
+    }
+  }
+  if (quoted) {
+    throw fail("unterminated quoted cell (opened here)", quote_line,
+               quote_col);
+  }
+  end_row();  // final row without trailing newline
+  return rows;
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_csv: cannot open " + path);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  try {
+    return parse_csv(text);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path);
+  }
+}
+
 }  // namespace swsim::io

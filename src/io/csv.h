@@ -1,7 +1,10 @@
-// Minimal CSV writer with RFC-4180-style quoting.
+// Minimal CSV I/O with RFC-4180-style quoting.
 //
 // Bench binaries dump their sweep data as CSV next to the console tables so
-// the figures can be re-plotted externally.
+// the figures can be re-plotted externally; the reader round-trips those
+// files (and batch job results) back in. Malformed input — an unterminated
+// quote, a stray quote in the middle of a bare cell — is a positioned
+// error (line and column), never a silently-misparsed row.
 #pragma once
 
 #include <fstream>
@@ -23,5 +26,16 @@ class CsvWriter {
  private:
   std::ofstream out_;
 };
+
+// Parses RFC-4180-style CSV text into rows of cells. Quoted cells may
+// contain commas, doubled quotes ("") and embedded newlines. Throws
+// std::runtime_error naming the 1-based line and column on malformed
+// input: a quote opening mid-cell, content after a closing quote, or an
+// unterminated quoted cell at end of input. Blank lines are skipped.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+// parse_csv over a file's contents; errors carry the path. Throws
+// std::runtime_error when the file cannot be opened.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
 
 }  // namespace swsim::io

@@ -58,18 +58,57 @@ VectorField read_ovf(const std::string& path) {
   std::size_t nx = 0, ny = 0, nz = 0;
   double dx = 0.0, dy = 0.0, dz = 0.0;
   std::string line;
+  std::size_t line_no = 0;
   bool in_data = false;
+  bool saw_data = false;
+
+  // Every diagnostic carries file + 1-based line so a broken m-file from
+  // another package can be fixed without bisecting it by hand.
+  const auto fail = [&](const std::string& what) -> std::runtime_error {
+    return std::runtime_error("read_ovf: " + what + " at " + path +
+                              " line " + std::to_string(line_no));
+  };
 
   auto header_value = [](const std::string& l) {
     const auto colon = l.find(':');
     return colon == std::string::npos ? std::string{}
                                       : l.substr(colon + 1);
   };
+  // stoul/stod accept partial garbage ("3cm" -> 3) and throw bare
+  // exceptions on full garbage; both become positioned errors here.
+  const auto parse_count = [&](const std::string& key) -> std::size_t {
+    const std::string v = header_value(line);
+    try {
+      std::size_t used = 0;
+      const unsigned long n = std::stoul(v, &used);
+      if (v.find_first_not_of(" \t", used) != std::string::npos) {
+        throw std::invalid_argument("trailing junk");
+      }
+      return static_cast<std::size_t>(n);
+    } catch (const std::exception&) {
+      throw fail("bad " + key + " value '" + v + "'");
+    }
+  };
+  const auto parse_step = [&](const std::string& key) -> double {
+    const std::string v = header_value(line);
+    try {
+      std::size_t used = 0;
+      const double s = std::stod(v, &used);
+      if (v.find_first_not_of(" \t", used) != std::string::npos) {
+        throw std::invalid_argument("trailing junk");
+      }
+      return s;
+    } catch (const std::exception&) {
+      throw fail("bad " + key + " value '" + v + "'");
+    }
+  };
 
   std::vector<Vec3> values;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.rfind("# Begin: Data Text", 0) == 0) {
       in_data = true;
+      saw_data = true;
       continue;
     }
     if (line.rfind("# End: Data", 0) == 0) {
@@ -78,34 +117,57 @@ VectorField read_ovf(const std::string& path) {
     }
     if (!line.empty() && line[0] == '#') {
       if (line.find("xnodes:") != std::string::npos) {
-        nx = std::stoul(header_value(line));
+        nx = parse_count("xnodes");
       } else if (line.find("ynodes:") != std::string::npos) {
-        ny = std::stoul(header_value(line));
+        ny = parse_count("ynodes");
       } else if (line.find("znodes:") != std::string::npos) {
-        nz = std::stoul(header_value(line));
+        nz = parse_count("znodes");
       } else if (line.find("xstepsize:") != std::string::npos) {
-        dx = std::stod(header_value(line));
+        dx = parse_step("xstepsize");
       } else if (line.find("ystepsize:") != std::string::npos) {
-        dy = std::stod(header_value(line));
+        dy = parse_step("ystepsize");
       } else if (line.find("zstepsize:") != std::string::npos) {
-        dz = std::stod(header_value(line));
+        dz = parse_step("zstepsize");
       }
       continue;
     }
     if (in_data) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;  // blank line inside data is tolerated
+      }
       std::istringstream ls(line);
       Vec3 v;
-      if (ls >> v.x >> v.y >> v.z) values.push_back(v);
+      std::string extra;
+      if (!(ls >> v.x >> v.y >> v.z)) {
+        throw fail("malformed data line '" + line + "' (want 3 numbers)");
+      }
+      if (ls >> extra) {
+        throw fail("trailing data '" + extra + "' (want exactly 3 numbers)");
+      }
+      values.push_back(v);
+    } else if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      throw fail("unexpected content outside data section: '" + line + "'");
     }
   }
 
+  if (in_data) {
+    throw fail("truncated file: data section never ends ('# End: Data "
+               "Text' missing)");
+  }
   if (nx == 0 || ny == 0 || nz == 0 || !(dx > 0.0) || !(dy > 0.0) ||
       !(dz > 0.0)) {
     throw std::runtime_error("read_ovf: missing or invalid mesh header in " +
                              path);
   }
+  if (!saw_data) {
+    throw std::runtime_error("read_ovf: no data section in " + path);
+  }
   if (values.size() != nx * ny * nz) {
-    throw std::runtime_error("read_ovf: data count mismatch in " + path);
+    throw std::runtime_error(
+        "read_ovf: data count mismatch in " + path + ": header promises " +
+        std::to_string(nx * ny * nz) + " vectors (" + std::to_string(nx) +
+        "x" + std::to_string(ny) + "x" + std::to_string(nz) + "), found " +
+        std::to_string(values.size()));
   }
 
   const Grid g(nx, ny, nz, dx, dy, dz);

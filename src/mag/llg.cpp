@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "math/constants.h"
+#include "robust/fault_injection.h"
 
 namespace swsim::mag {
 
@@ -50,6 +52,11 @@ Stepper::Stepper(StepperKind kind, double dt, double tolerance)
   }
 }
 
+void Stepper::set_dt(double dt) {
+  if (!(dt > 0.0)) throw std::invalid_argument("Stepper: dt must be > 0");
+  dt_ = dt;
+}
+
 void Stepper::eval(const System& sys,
                    const std::vector<std::unique_ptr<FieldTerm>>& terms,
                    const VectorField& m, double t, VectorField& dmdt) {
@@ -78,6 +85,32 @@ double Stepper::step(const System& sys,
       taken = step_rkf45(sys, terms, m, t);
       break;
   }
+
+  // Fault-injection hook: poison one magnetic cell at the armed step index
+  // (testing the watchdog + recovery path end-to-end). No-op — one relaxed
+  // atomic load — when nothing is armed.
+  if (robust::FaultPlan::global().consume_nan(stats_.steps_taken)) {
+    const auto& mask = sys.mask();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      if (mask[i]) {
+        m[i].x = std::numeric_limits<double>::quiet_NaN();
+        break;
+      }
+    }
+  }
+
+  // Health scan on the raw integrator output: renormalization would mask
+  // norm drift (and it preserves NaN), so check before it runs.
+  if (watchdog_.cadence > 0 && stats_.steps_taken % watchdog_.cadence == 0) {
+    const robust::Status health = robust::scan_magnetization(
+        m, sys.mask(), watchdog_.norm_drift_tol);
+    if (!health.is_ok()) {
+      throw robust::SolveError(health.with_context(
+          "LLG step " + std::to_string(stats_.steps_taken) + ", dt = " +
+          std::to_string(dt_)));
+    }
+  }
+
   renormalize(sys, m);
   ++stats_.steps_taken;
   stats_.last_dt = taken;

@@ -23,6 +23,7 @@
 
 #include "mag/field_term.h"
 #include "mag/system.h"
+#include "robust/watchdog.h"
 
 namespace swsim::mag {
 
@@ -59,6 +60,11 @@ class Stepper {
   // Advances m from time t by one step; returns the step size actually taken
   // (RKF45 may shrink it). Notifies the terms via advance_step() so
   // stochastic terms redraw their noise.
+  //
+  // At the watchdog cadence the raw (pre-renormalization) state is scanned
+  // for NaN/Inf and |m| norm drift; a violation throws robust::SolveError
+  // with StatusCode::kNumericalDivergence instead of letting the poisoned
+  // state propagate. Recovery policy lives in Simulation::run_guarded.
   double step(const System& sys,
               const std::vector<std::unique_ptr<FieldTerm>>& terms,
               VectorField& m, double t);
@@ -66,6 +72,16 @@ class Stepper {
   const StepperStats& stats() const { return stats_; }
   StepperKind kind() const { return kind_; }
   double dt() const { return dt_; }
+  double tolerance() const { return tolerance_; }
+
+  // Replaces the (initial) step size; throws std::invalid_argument unless
+  // dt > 0. Used by the step-halving divergence recovery.
+  void set_dt(double dt);
+  // Configures the numerical health checks (cadence 0 disables them).
+  void set_watchdog(const robust::WatchdogConfig& config) {
+    watchdog_ = config;
+  }
+  const robust::WatchdogConfig& watchdog() const { return watchdog_; }
 
  private:
   double step_heun(const System& sys,
@@ -86,6 +102,7 @@ class Stepper {
   double dt_;
   double tolerance_;
   StepperStats stats_;
+  robust::WatchdogConfig watchdog_;
   VectorField h_;  // scratch field buffer reused across steps
 };
 

@@ -43,6 +43,18 @@ void RegionProbe::maybe_record(const System& sys, const VectorField& m,
   next_sample_ += sample_dt_;
 }
 
+void RegionProbe::restore(const Checkpoint& cp) {
+  if (cp.samples > t_.size()) {
+    throw std::invalid_argument("RegionProbe '" + name_ +
+                                "': checkpoint is ahead of the record");
+  }
+  t_.resize(cp.samples);
+  mx_.resize(cp.samples);
+  my_.resize(cp.samples);
+  mz_.resize(cp.samples);
+  next_sample_ = cp.next_sample;
+}
+
 void RegionProbe::clear() {
   t_.clear();
   mx_.clear();

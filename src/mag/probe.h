@@ -34,6 +34,17 @@ class RegionProbe {
   std::size_t sample_count() const { return t_.size(); }
   void clear();
 
+  // Rewind support for divergence recovery: checkpoint() captures the
+  // recording position, restore() drops every sample taken since, so a
+  // re-solve from the matching magnetization snapshot records the exact
+  // same series a clean run would have.
+  struct Checkpoint {
+    std::size_t samples = 0;
+    double next_sample = 0.0;
+  };
+  Checkpoint checkpoint() const { return {t_.size(), next_sample_}; }
+  void restore(const Checkpoint& cp);
+
  private:
   std::string name_;
   swsim::math::Mask region_;

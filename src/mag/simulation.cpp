@@ -52,6 +52,16 @@ RegionProbe& Simulation::probe(const std::string& name) {
 
 void Simulation::set_stepper(StepperKind kind, double dt, double tolerance) {
   stepper_ = std::make_unique<Stepper>(kind, dt, tolerance);
+  stepper_->set_watchdog(watchdog_);
+}
+
+void Simulation::set_watchdog(const robust::WatchdogConfig& config) {
+  watchdog_ = config;
+  stepper_->set_watchdog(config);
+}
+
+void Simulation::set_cancel_token(const robust::CancelToken& token) {
+  cancel_token_ = token;
 }
 
 const StepperStats& Simulation::stepper_stats() const {
@@ -63,12 +73,61 @@ void Simulation::run(double duration) {
     throw std::invalid_argument("Simulation::run: negative duration");
   }
   const double t_end = time_ + duration;
+  energy_watchdog_.reset();
+  std::size_t steps = 0;
   // Record the initial state so probes always hold the t = start sample.
   for (auto& p : probes_) p->maybe_record(system_, m_, time_);
   while (time_ < t_end - 1e-18) {
+    if (cancel_token_ && cancel_token_->cancelled()) {
+      throw robust::SolveError(robust::Status::error(
+          robust::StatusCode::kCancelled,
+          "cancelled at t = " + std::to_string(time_) + " s"));
+    }
     const double taken = stepper_->step(system_, terms_, m_, time_);
     time_ += taken;
     for (auto& p : probes_) p->maybe_record(system_, m_, time_);
+    if (watchdog_.cadence > 0 && ++steps % watchdog_.cadence == 0) {
+      const robust::Status health =
+          energy_watchdog_.check(total_energy(), watchdog_.energy_growth_factor);
+      if (!health.is_ok()) {
+        throw robust::SolveError(health.with_context(
+            "t = " + std::to_string(time_) + " s"));
+      }
+    }
+  }
+}
+
+robust::Status Simulation::run_guarded(double duration) {
+  // Checkpoint everything a failed attempt mutates: the magnetization, the
+  // clock, and the probe records. Field terms are stateless across steps
+  // for the conservative physics; stochastic terms redraw per step anyway.
+  const VectorField m0 = m_;
+  const double t0 = time_;
+  std::vector<RegionProbe::Checkpoint> probe_cps;
+  probe_cps.reserve(probes_.size());
+  for (const auto& p : probes_) probe_cps.push_back(p->checkpoint());
+
+  double dt = stepper_->dt();
+  for (std::size_t halvings = 0;; ++halvings) {
+    try {
+      run(duration);
+      return robust::Status::ok();
+    } catch (const robust::SolveError& e) {
+      const robust::Status& failure = e.status();
+      const bool divergence = failure.code() ==
+                              robust::StatusCode::kNumericalDivergence;
+      if (!divergence || halvings >= watchdog_.max_step_halvings) {
+        return failure;
+      }
+      // Rewind and re-solve the interval at half the step size.
+      m_ = m0;
+      time_ = t0;
+      for (std::size_t i = 0; i < probes_.size(); ++i) {
+        probes_[i]->restore(probe_cps[i]);
+      }
+      dt *= 0.5;
+      set_stepper(stepper_->kind(), dt, stepper_->tolerance());
+    }
   }
 }
 

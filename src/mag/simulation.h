@@ -14,11 +14,15 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mag/llg.h"
 #include "mag/probe.h"
+#include "robust/cancel.h"
+#include "robust/status.h"
+#include "robust/watchdog.h"
 
 namespace swsim::mag {
 
@@ -49,8 +53,29 @@ class Simulation {
   void set_stepper(StepperKind kind, double dt, double tolerance = 1e-5);
   const StepperStats& stepper_stats() const;
 
-  // Integrates for `duration` seconds of simulated time.
+  // Numerical health policy shared by run() / run_guarded(): the stepper
+  // scans the state at `config.cadence`, run() additionally checks energy
+  // divergence and polls the cancel token at the same cadence.
+  void set_watchdog(const robust::WatchdogConfig& config);
+  const robust::WatchdogConfig& watchdog() const { return watchdog_; }
+
+  // Installs a cooperative cancellation token: run()/run_guarded() poll it
+  // every step and abort with StatusCode::kCancelled when it fires (the
+  // engine's per-job timeout path).
+  void set_cancel_token(const robust::CancelToken& token);
+
+  // Integrates for `duration` seconds of simulated time. Throws
+  // robust::SolveError on watchdog violation or cancellation.
   void run(double duration);
+
+  // Fault-tolerant run: on kNumericalDivergence the state (magnetization,
+  // clock, probe records) is rewound to the call point, the step size is
+  // halved, and the interval is re-solved — up to
+  // watchdog().max_step_halvings times. Returns kOk on success (possibly
+  // after retries), otherwise the final failure Status; cancellation is
+  // returned immediately, never retried. Does not throw on classified
+  // failures.
+  robust::Status run_guarded(double duration);
 
   // Energy-relaxes the state by integrating with damping temporarily raised
   // to `relax_alpha` until the max torque |m x H| falls below `torque_tol`
@@ -71,6 +96,9 @@ class Simulation {
   std::vector<std::unique_ptr<RegionProbe>> probes_;
   std::unique_ptr<Stepper> stepper_;
   double time_ = 0.0;
+  robust::WatchdogConfig watchdog_;
+  robust::EnergyWatchdog energy_watchdog_;
+  std::optional<robust::CancelToken> cancel_token_;
 };
 
 }  // namespace swsim::mag

@@ -1,0 +1,29 @@
+// Cooperative cancellation handle.
+//
+// A CancelToken is a cheap copyable view onto a shared flag. The engine
+// hands one to each job attempt; long-running solves (the LLG loop) poll
+// it at their watchdog cadence and abort with StatusCode::kCancelled when
+// it fires. Nothing is preempted: cancellation is a request, honoured at
+// the next poll point, which is the only kind of cancellation that cannot
+// corrupt a half-written result.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace swsim::robust {
+
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  void request_cancel() const {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace swsim::robust

@@ -1,0 +1,151 @@
+#include "robust/fault_injection.h"
+
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+namespace swsim::robust {
+
+FaultPlan& FaultPlan::global() {
+  static FaultPlan plan;
+  return plan;
+}
+
+void FaultPlan::bump_armed(int delta) {
+  armed_count_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+bool FaultPlan::armed() const {
+  return armed_count_.load(std::memory_order_relaxed) > 0;
+}
+
+void FaultPlan::inject_nan_at_step(std::size_t step, int times) {
+  if (times <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  nan_faults_.push_back(NanFault{step, times});
+  bump_armed(+1);
+}
+
+void FaultPlan::inject_throw_in_job(const std::string& label_substr,
+                                    int times) {
+  if (times <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_faults_.push_back(JobFault{JobFaultKind::kThrow, label_substr, 0.0,
+                                 times});
+  bump_armed(+1);
+}
+
+void FaultPlan::inject_divergence_in_job(const std::string& label_substr,
+                                         int times) {
+  if (times <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_faults_.push_back(JobFault{JobFaultKind::kDivergence, label_substr,
+                                 0.0, times});
+  bump_armed(+1);
+}
+
+void FaultPlan::inject_stall_in_job(const std::string& label_substr,
+                                    double seconds, int times) {
+  if (times <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  job_faults_.push_back(JobFault{JobFaultKind::kStall, label_substr, seconds,
+                                 times});
+  bump_armed(+1);
+}
+
+void FaultPlan::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nan_faults_.clear();
+  job_faults_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultPlan::consume_nan(std::size_t step) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& f : nan_faults_) {
+    if (f.budget > 0 && f.step == step) {
+      --f.budget;
+      if (f.budget == 0) bump_armed(-1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultPlan::on_job_enter(const std::string& label) {
+  if (!armed()) return;
+  // Decide under the lock, act (sleep/throw) outside it: a stalled worker
+  // must not hold the plan mutex against other hook sites.
+  double stall_seconds = 0.0;
+  bool do_throw = false;
+  bool do_diverge = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& f : job_faults_) {
+      if (f.budget <= 0) continue;
+      if (label.find(f.label_substr) == std::string::npos) continue;
+      --f.budget;
+      if (f.budget == 0) bump_armed(-1);
+      switch (f.kind) {
+        case JobFaultKind::kThrow:
+          do_throw = true;
+          break;
+        case JobFaultKind::kDivergence:
+          do_diverge = true;
+          break;
+        case JobFaultKind::kStall:
+          stall_seconds = std::max(stall_seconds, f.seconds);
+          break;
+      }
+      break;  // one fault per entry keeps scenarios predictable
+    }
+  }
+  if (stall_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(stall_seconds));
+  }
+  if (do_diverge) {
+    // No context frame: the scheduler stamps the job label on its way out.
+    throw SolveError(Status::error(StatusCode::kNumericalDivergence,
+                                   "injected NaN blowup"));
+  }
+  if (do_throw) {
+    // Label-free on purpose: the scheduler stamps the job label as context,
+    // exactly as it would for a genuine foreign exception.
+    throw std::runtime_error("injected fault");
+  }
+}
+
+void FaultPlan::flip_bytes(const std::string& path, std::uint64_t seed,
+                           int flips) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("FaultPlan::flip_bytes: cannot open " + path);
+  }
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(f.tellg());
+  if (size == 0) {
+    throw std::runtime_error("FaultPlan::flip_bytes: empty file " + path);
+  }
+  // xorshift64: tiny, seeded, and independent of math/rng so corruption
+  // patterns never shift when the simulation RNG evolves.
+  std::uint64_t x = seed ? seed : 0x9e3779b97f4a7c15ULL;
+  for (int i = 0; i < flips; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const auto pos = static_cast<std::streamoff>(x % size);
+    f.seekg(pos);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ static_cast<char>(0x5a));
+    f.seekp(pos);
+    f.write(&byte, 1);
+  }
+  if (!f) {
+    throw std::runtime_error("FaultPlan::flip_bytes: write failed on " +
+                             path);
+  }
+}
+
+}  // namespace swsim::robust

@@ -1,0 +1,102 @@
+// Deterministic, seeded fault-injection harness.
+//
+// Tests (and the CLI's --inject flag) arm faults on the process-global
+// FaultPlan; production code polls cheap hooks at well-defined sites and
+// the plan decides — deterministically — whether a fault fires there:
+//
+//   * inject_nan_at_step(k):    the LLG stepper poisons one cell with NaN
+//                               when its step counter reaches k.
+//   * inject_throw_in_job(s):   Scheduler::execute throws just before a
+//                               job whose label contains s runs.
+//   * inject_divergence_in_job: same site, but throws a SolveError
+//                               classified kNumericalDivergence (a NaN
+//                               blowup as the engine would see one).
+//   * inject_stall_in_job(s,t): the job sleeps t seconds before running —
+//                               long enough to trip a per-job timeout,
+//                               short enough that tests terminate.
+//   * flip_bytes(path, seed):   seeded corruption of a cache spill file.
+//
+// Every armed fault has a budget (fire `times` times, then disarm), which
+// is what makes "fail once, succeed on retry" scenarios reproducible.
+// The hooks cost one relaxed atomic load when nothing is armed, so the
+// plan can stay compiled into release builds.
+//
+// Arming is test-scoped, not thread-scoped: use ScopedFaultPlan in tests
+// so a failing assertion cannot leak an armed fault into the next test.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+
+namespace swsim::robust {
+
+class FaultPlan {
+ public:
+  // The process-global plan every hook site polls.
+  static FaultPlan& global();
+
+  // --- arming (tests / CLI) -------------------------------------------
+  void inject_nan_at_step(std::size_t step, int times = 1);
+  void inject_throw_in_job(const std::string& label_substr, int times = 1);
+  void inject_divergence_in_job(const std::string& label_substr,
+                                int times = 1);
+  void inject_stall_in_job(const std::string& label_substr, double seconds,
+                           int times = 1);
+  void clear();
+  bool armed() const;
+
+  // --- hooks (production code) ----------------------------------------
+  // Stepper hook: true when a NaN should be injected into the state at
+  // this step index (consumes one budget unit).
+  bool consume_nan(std::size_t step);
+  // Scheduler hook, called with the job label just before the closure
+  // runs. May sleep (stall fault) and/or throw (throw/divergence fault).
+  void on_job_enter(const std::string& label);
+
+  // Seeded byte corruption: flips `flips` bytes of the file at positions
+  // drawn from an xorshift stream of `seed`. Deterministic: same file
+  // size + seed -> same corruption. Throws std::runtime_error if the
+  // file cannot be opened or is empty.
+  static void flip_bytes(const std::string& path, std::uint64_t seed,
+                         int flips = 8);
+
+ private:
+  enum class JobFaultKind { kThrow, kDivergence, kStall };
+  struct NanFault {
+    std::size_t step = 0;
+    int budget = 0;
+  };
+  struct JobFault {
+    JobFaultKind kind = JobFaultKind::kThrow;
+    std::string label_substr;
+    double seconds = 0.0;
+    int budget = 0;
+  };
+
+  void bump_armed(int delta);
+
+  mutable std::mutex mutex_;
+  std::vector<NanFault> nan_faults_;
+  std::vector<JobFault> job_faults_;
+  std::atomic<int> armed_count_{0};
+};
+
+// RAII guard: clears the global plan on construction and destruction, so
+// each test starts and ends with a clean slate.
+class ScopedFaultPlan {
+ public:
+  ScopedFaultPlan() { FaultPlan::global().clear(); }
+  ~ScopedFaultPlan() { FaultPlan::global().clear(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  FaultPlan& operator*() const { return FaultPlan::global(); }
+  FaultPlan* operator->() const { return &FaultPlan::global(); }
+};
+
+}  // namespace swsim::robust

@@ -1,0 +1,45 @@
+// Structured failure report for partial-batch completion.
+//
+// When the engine finishes a batch in keep-going mode, healthy jobs
+// produce their normal rows and every failed job lands here: which job,
+// which StatusCode, the cause message, how many attempts were spent, and
+// whether the configuration ended up quarantined. The report renders as a
+// console table or CSV rows so `swsim batch` can hand operators the exact
+// failure inventory instead of one opaque exception.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/table.h"
+#include "robust/status.h"
+
+namespace swsim::robust {
+
+struct JobFailure {
+  std::string job;       // label: batch line / row identifier
+  Status status;         // cause + context
+  std::size_t attempts = 1;  // times the job ran (1 = no retries)
+  bool quarantined = false;  // configuration was poisoned by this failure
+};
+
+class FailureReport {
+ public:
+  void add(JobFailure failure);
+  // Folds another report in (batch = many per-line reports).
+  void merge(const FailureReport& other);
+
+  bool empty() const { return failures_.empty(); }
+  std::size_t size() const { return failures_.size(); }
+  const std::vector<JobFailure>& failures() const { return failures_; }
+
+  static std::vector<std::string> csv_header();
+  std::vector<std::vector<std::string>> csv_rows() const;
+  io::Table table() const;
+  std::string str() const;  // "failure report (N jobs)\n<table>"
+
+ private:
+  std::vector<JobFailure> failures_;
+};
+
+}  // namespace swsim::robust

@@ -1,0 +1,78 @@
+#include "robust/status.h"
+
+namespace swsim::robust {
+
+std::string to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidConfig:
+      return "invalid-config";
+    case StatusCode::kNumericalDivergence:
+      return "numerical-divergence";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kCacheCorrupt:
+      return "cache-corrupt";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kQuarantined:
+      return "quarantined";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+bool is_retryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kNumericalDivergence:
+    case StatusCode::kCacheCorrupt:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status Status::error(StatusCode code, std::string message,
+                     std::string context) {
+  Status s;
+  s.code_ = code;
+  s.message_ = std::move(message);
+  s.context_ = std::move(context);
+  return s;
+}
+
+Status Status::with_context(const std::string& frame) const {
+  Status s = *this;
+  s.context_ = context_.empty() ? frame : frame + " <- " + context_;
+  return s;
+}
+
+std::string Status::str() const {
+  if (is_ok()) return "";
+  std::string out = to_string(code_);
+  if (!message_.empty()) out += ": " + message_;
+  if (!context_.empty()) out += " [" + context_ + "]";
+  return out;
+}
+
+SolveError::SolveError(Status status)
+    : std::runtime_error(status.str()), status_(std::move(status)) {}
+
+Status status_of_current_exception() {
+  try {
+    throw;
+  } catch (const SolveError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status::error(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status::error(StatusCode::kInternal, "unknown exception");
+  }
+}
+
+}  // namespace swsim::robust

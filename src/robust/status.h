@@ -1,0 +1,85 @@
+// Error taxonomy for the fault-tolerant solve pipeline.
+//
+// Every failure a solve path can hit — a diverging LLG integration, a job
+// that outlived its deadline, a corrupted cache file, a nonsensical
+// configuration — is classified into a StatusCode and carried as a Status:
+// code + cause message + context trail (which gate, which job, which step).
+// Layers either return Status directly (mag::Simulation::run_guarded,
+// engine::BatchRunner's *_checked entry points) or throw a SolveError,
+// which wraps a Status so the classification survives the unwind through
+// worker threads and is re-read by engine::Scheduler.
+//
+// The taxonomy is deliberately small: codes drive *policy* (retry or not,
+// quarantine or not), messages carry the detail humans need.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace swsim::robust {
+
+enum class StatusCode {
+  kOk,
+  kInvalidConfig,         // rejected before any work ran
+  kNumericalDivergence,   // NaN/Inf, |m| drift, or energy blowup in a solve
+  kTimeout,               // job exceeded its deadline
+  kCancelled,             // never ran, or stopped cooperatively
+  kCacheCorrupt,          // spilled cache entry failed its checksum
+  kIoError,               // malformed or unreadable input/output file
+  kQuarantined,           // skipped: this configuration is a known poison
+  kInternal,              // unclassified exception (a bug or injected fault)
+};
+
+std::string to_string(StatusCode code);
+
+// Retry policy hook: transient failures are worth re-running, deterministic
+// ones are not. Timeouts are NOT retryable at the engine level — the timed
+// out attempt may still be running (cancellation is cooperative), and a
+// concurrent retry would race it on shared result slots.
+bool is_retryable(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // kOk
+
+  static Status ok() { return Status{}; }
+  static Status error(StatusCode code, std::string message,
+                      std::string context = "");
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::string& context() const { return context_; }
+
+  // Prepends a context frame ("micromag-triangle-MAJ3 inputs=101"), so the
+  // trail reads outermost-first as the status propagates up the stack.
+  Status with_context(const std::string& frame) const;
+
+  // "numerical-divergence: NaN at cell 214 [row 3 <- gate maj]" — empty
+  // string for kOk.
+  std::string str() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::string context_;
+};
+
+// Exception carrying a Status through layers that unwind (gate evaluate()
+// on a worker thread, stepper watchdog aborts). Derives from runtime_error
+// so existing catch sites keep working; what() == status().str().
+class SolveError : public std::runtime_error {
+ public:
+  explicit SolveError(Status status);
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+// Classifies the in-flight exception (call inside a catch block). A
+// SolveError yields its embedded Status; anything else maps to kInternal
+// with the exception message as cause.
+Status status_of_current_exception();
+
+}  // namespace swsim::robust

@@ -1,0 +1,64 @@
+#include "robust/watchdog.h"
+
+#include <cmath>
+#include <string>
+
+namespace swsim::robust {
+
+namespace {
+
+bool finite3(const swsim::math::Vec3& v) {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+}  // namespace
+
+Status scan_magnetization(const swsim::math::VectorField& m,
+                          const swsim::math::Mask& mask,
+                          double norm_drift_tol) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!mask[i]) continue;
+    if (!finite3(m[i])) {
+      return Status::error(
+          StatusCode::kNumericalDivergence,
+          "non-finite magnetization at cell " + std::to_string(i));
+    }
+    if (norm_drift_tol > 0.0) {
+      const double drift = std::fabs(norm(m[i]) - 1.0);
+      if (drift > norm_drift_tol) {
+        return Status::error(StatusCode::kNumericalDivergence,
+                             "|m| drift " + std::to_string(drift) +
+                                 " at cell " + std::to_string(i));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+void EnergyWatchdog::reset() {
+  armed_ = false;
+  reference_ = 0.0;
+}
+
+Status EnergyWatchdog::check(double energy, double growth_factor) {
+  if (!std::isfinite(energy)) {
+    return Status::error(StatusCode::kNumericalDivergence,
+                         "total energy is non-finite");
+  }
+  if (!armed_) {
+    // Floor the reference so a zero-energy start (uniform state, no
+    // drive yet) doesn't turn any later finite energy into "divergence".
+    reference_ = std::max(std::fabs(energy), 1e-30);
+    armed_ = true;
+    return Status::ok();
+  }
+  if (growth_factor > 0.0 && std::fabs(energy) > growth_factor * reference_) {
+    return Status::error(StatusCode::kNumericalDivergence,
+                         "total energy grew to " + std::to_string(energy) +
+                             " J (reference magnitude " +
+                             std::to_string(reference_) + " J)");
+  }
+  return Status::ok();
+}
+
+}  // namespace swsim::robust

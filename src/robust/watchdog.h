@@ -1,0 +1,60 @@
+// Numerical health watchdogs for the LLG solve path.
+//
+// The paper's readouts sit close to decision boundaries (MAJ3 phase
+// distance, XOR threshold at 0.5), so a solve that has gone numerically
+// bad must be *detected*, not read out. Three checks, all cheap relative
+// to a field evaluation and run at a configurable step cadence:
+//
+//   1. NaN/Inf scan over the magnetization (any poisoned component).
+//   2. |m| norm drift, checked BEFORE the stepper's renormalization —
+//      after renormalize |m| == 1 by construction, so drift is only
+//      observable on the raw integrator output. Large drift means the
+//      step size is too big for the local dynamics.
+//   3. Energy divergence: for the conservative terms, total energy must
+//      not grow by orders of magnitude during a drive; if it does the
+//      integration has blown up even if no cell is NaN yet.
+//
+// A violation is reported as StatusCode::kNumericalDivergence; the
+// recovery policy (step-halving re-solve with a bounded retry budget)
+// lives in mag::Simulation::run_guarded.
+#pragma once
+
+#include <cstddef>
+
+#include "math/field.h"
+#include "robust/status.h"
+
+namespace swsim::robust {
+
+struct WatchdogConfig {
+  // Steps between health scans; 0 disables the in-stepper checks.
+  std::size_t cadence = 32;
+  // Max tolerated pre-renormalization | |m| - 1 | per cell. RK4 on a sane
+  // step drifts by ~1e-6/step; 0.25 only trips on real blowups.
+  double norm_drift_tol = 0.25;
+  // Total energy may grow this many times over the reference magnitude
+  // seen at the first check before the run is declared divergent.
+  double energy_growth_factor = 1e3;
+  // Step-halving re-solves run_guarded may attempt after a divergence.
+  std::size_t max_step_halvings = 3;
+};
+
+// NaN/Inf + norm-drift scan over masked cells. `norm_drift_tol <= 0`
+// skips the drift check (scan a renormalized field for NaN only).
+Status scan_magnetization(const swsim::math::VectorField& m,
+                          const swsim::math::Mask& mask,
+                          double norm_drift_tol);
+
+// Flags runaway growth of the total energy. reset() between solves; the
+// first check() arms the reference magnitude.
+class EnergyWatchdog {
+ public:
+  void reset();
+  Status check(double energy, double growth_factor);
+
+ private:
+  bool armed_ = false;
+  double reference_ = 0.0;  // max |E| seen at arm time (floored)
+};
+
+}  // namespace swsim::robust

@@ -89,5 +89,39 @@ TEST(Args, OptionBeforeCommandMeansNoCommand) {
   EXPECT_EQ(a.value("verbose").value(), "thing");
 }
 
+TEST(Args, EqualsSyntaxIsASynonym) {
+  const Args a = parse({"batch", "--jobs=4", "--gate=maj"});
+  EXPECT_EQ(a.integer("jobs", 0), 4);
+  EXPECT_EQ(a.value("gate").value(), "maj");
+  // An equals value may itself contain '=' (split at the first one only).
+  const Args b = parse({"cmd", "--inject=stall:row 3:0.5"});
+  EXPECT_EQ(b.value("inject").value(), "stall:row 3:0.5");
+}
+
+TEST(Args, EqualsSyntaxRejectsEmptyValueAndRepeats) {
+  EXPECT_THROW(parse({"cmd", "--jobs="}), std::invalid_argument);
+  EXPECT_THROW(parse({"cmd", "--jobs=2", "--jobs", "3"}),
+               std::invalid_argument);
+}
+
+TEST(Args, MalformedNumericFlagIsAUsageError) {
+  const Args a = parse({"batch", "--jobs=abc"});
+  EXPECT_THROW(a.integer("jobs", 0), std::invalid_argument);
+  EXPECT_THROW(a.unsigned_integer("jobs", 0), std::invalid_argument);
+}
+
+TEST(Args, UnsignedIntegerRejectsNegativeCounts) {
+  const Args a = parse({"batch", "--jobs", "-4", "--trials", "16"});
+  try {
+    a.unsigned_integer("jobs", 0);
+    FAIL() << "negative count accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-negative"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-4"), std::string::npos);
+  }
+  EXPECT_EQ(a.unsigned_integer("trials", 0), 16u);
+  EXPECT_EQ(a.unsigned_integer("missing", 9), 9u);  // fallback untouched
+}
+
 }  // namespace
 }  // namespace swsim::cli

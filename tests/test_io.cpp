@@ -76,6 +76,82 @@ TEST(Csv, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/foo.csv"), std::runtime_error);
 }
 
+TEST(Csv, ParsesPlainAndQuotedCells) {
+  const auto rows = parse_csv("a,b,c\n1,\"x,y\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "x,y", "say \"hi\""}));
+}
+
+TEST(Csv, ParsesEmbeddedNewlinesCrlfAndBlankLines) {
+  const auto rows = parse_csv("h1,h2\r\n\n\"two\nlines\",v\nlast,row");
+  ASSERT_EQ(rows.size(), 3u);  // the blank line contributes nothing
+  EXPECT_EQ(rows[1][0], "two\nlines");
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"last", "row"}));
+}
+
+TEST(Csv, ParsesEmptyCells) {
+  const auto rows = parse_csv("a,,c\n,\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", ""}));
+}
+
+TEST(Csv, ErrorsArePositioned) {
+  // Junk after a closing quote, on line 2.
+  try {
+    parse_csv("ok,row\n\"ab\"x,tail\n");
+    FAIL() << "junk after closing quote accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("after closing quote"), std::string::npos);
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+  }
+  // Quote opening mid-cell.
+  EXPECT_THROW(parse_csv("ab\"cd"), std::runtime_error);
+  // Unterminated quote reports where it was OPENED, not end-of-input.
+  try {
+    parse_csv("a,b\nc,\"never closed");
+    FAIL() << "unterminated quote accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unterminated"), std::string::npos);
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+    EXPECT_NE(msg.find("column 3"), std::string::npos);
+  }
+}
+
+TEST(Csv, ReadRoundTripsWriter) {
+  const std::string path = ::testing::TempDir() + "swsim_roundtrip.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"gate", "note"});
+    w.write_row({"maj", "phase, rad"});
+    w.write_row({"xor", "say \"hi\""});
+  }
+  const auto rows = read_csv(path);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"maj", "phase, rad"}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"xor", "say \"hi\""}));
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadErrorsCarryThePath) {
+  EXPECT_THROW(read_csv("/nonexistent-dir/foo.csv"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "swsim_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "a,\"open\n";
+  }
+  try {
+    read_csv(path);
+    FAIL() << "malformed file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 ScalarField ramp_field() {
   const Grid g(8, 4, 1, 1e-9, 1e-9, 1e-9);
   ScalarField f(g);

@@ -94,5 +94,114 @@ TEST(Ovf, ReadRejectsMissingMesh) {
   std::remove(path.c_str());
 }
 
+namespace {
+std::string write_temp(const std::string& name, const std::string& body) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+const char kGoodHeader[] =
+    "# OOMMF OVF 2.0\n"
+    "# xnodes: 2\n# ynodes: 1\n# znodes: 1\n"
+    "# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n";
+}  // namespace
+
+TEST(Ovf, MalformedDataLineNamesTheLine) {
+  const std::string path = write_temp(
+      "swsim_badline.ovf", std::string(kGoodHeader) +
+                               "# Begin: Data Text\n"
+                               "1 0 0\n"
+                               "0 zero 1\n"  // line 10
+                               "# End: Data Text\n");
+  try {
+    read_ovf(path);
+    FAIL() << "malformed data line accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("malformed data line"), std::string::npos);
+    EXPECT_NE(msg.find("line 10"), std::string::npos);
+    EXPECT_NE(msg.find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, TrailingTokensOnDataLineAreRejected) {
+  const std::string path = write_temp(
+      "swsim_extra.ovf", std::string(kGoodHeader) +
+                             "# Begin: Data Text\n"
+                             "1 0 0\n"
+                             "0 0 1 0.5\n"  // 4 numbers on a 3-vector line
+                             "# End: Data Text\n");
+  try {
+    read_ovf(path);
+    FAIL() << "trailing token accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing data"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, BadHeaderValueIsAPositionedError) {
+  const std::string path = write_temp(
+      "swsim_badhdr.ovf",
+      "# OOMMF OVF 2.0\n"
+      "# xnodes: 3cm\n"  // stoul would silently read "3"
+      "# ynodes: 1\n# znodes: 1\n"
+      "# xstepsize: 1e-9\n# ystepsize: 1e-9\n# zstepsize: 1e-9\n"
+      "# Begin: Data Text\n1 0 0\n1 0 0\n1 0 0\n# End: Data Text\n");
+  try {
+    read_ovf(path);
+    FAIL() << "junk-suffixed header value accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bad xnodes value"), std::string::npos);
+    EXPECT_NE(msg.find("3cm"), std::string::npos);
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, MissingDataEndIsTruncation) {
+  const std::string path = write_temp(
+      "swsim_noend.ovf", std::string(kGoodHeader) +
+                             "# Begin: Data Text\n1 0 0\n0 0 1\n");
+  try {
+    read_ovf(path);
+    FAIL() << "unterminated data section accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, StrayContentOutsideDataIsRejected) {
+  const std::string path = write_temp(
+      "swsim_stray.ovf", std::string(kGoodHeader) +
+                             "not a comment\n"
+                             "# Begin: Data Text\n1 0 0\n0 0 1\n"
+                             "# End: Data Text\n");
+  EXPECT_THROW(read_ovf(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Ovf, CountMismatchNamesBothCounts) {
+  const std::string path = write_temp(
+      "swsim_count.ovf", std::string(kGoodHeader) +
+                             "# Begin: Data Text\n1 0 0\n"  // 1 of 2
+                             "# End: Data Text\n");
+  try {
+    read_ovf(path);
+    FAIL() << "count mismatch accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("header promises 2"), std::string::npos);
+    EXPECT_NE(msg.find("found 1"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace swsim::io

@@ -1,0 +1,133 @@
+// Deterministic fault-injection harness: budgets, label matching, seeded
+// byte corruption, and scoped arming.
+#include "robust/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace swsim::robust {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents) {
+    path_ = std::string(::testing::TempDir()) + "swsim_fault_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)) + ".bin";
+    std::ofstream out(path_, std::ios::binary);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(FaultPlan, UnarmedHooksAreNoOps) {
+  ScopedFaultPlan plan;
+  EXPECT_FALSE(plan->armed());
+  EXPECT_FALSE(plan->consume_nan(0));
+  EXPECT_NO_THROW(plan->on_job_enter("anything"));
+}
+
+TEST(FaultPlan, NanBudgetFiresExactlyOncePerUnit) {
+  ScopedFaultPlan plan;
+  plan->inject_nan_at_step(8, /*times=*/2);
+  EXPECT_TRUE(plan->armed());
+  EXPECT_FALSE(plan->consume_nan(7));  // wrong step: budget untouched
+  EXPECT_TRUE(plan->consume_nan(8));
+  EXPECT_TRUE(plan->consume_nan(8));
+  EXPECT_FALSE(plan->consume_nan(8));  // budget spent
+  EXPECT_FALSE(plan->armed());
+}
+
+TEST(FaultPlan, ThrowFaultFiresOnMatchThenDisarms) {
+  ScopedFaultPlan plan;
+  plan->inject_throw_in_job("row 3");
+  EXPECT_NO_THROW(plan->on_job_enter("row 1"));
+  EXPECT_THROW(plan->on_job_enter("gate / row 3"), std::runtime_error);
+  // Budget of 1 spent: the same label is now clean.
+  EXPECT_NO_THROW(plan->on_job_enter("gate / row 3"));
+}
+
+TEST(FaultPlan, DivergenceFaultThrowsClassifiedSolveError) {
+  ScopedFaultPlan plan;
+  plan->inject_divergence_in_job("row 2");
+  try {
+    plan->on_job_enter("row 2");
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kNumericalDivergence);
+  }
+}
+
+TEST(FaultPlan, IndependentFaultsKeepIndependentBudgets) {
+  ScopedFaultPlan plan;
+  plan->inject_throw_in_job("alpha");
+  plan->inject_divergence_in_job("beta");
+  EXPECT_THROW(plan->on_job_enter("alpha"), std::runtime_error);
+  EXPECT_TRUE(plan->armed());  // beta still armed
+  EXPECT_THROW(plan->on_job_enter("beta"), SolveError);
+  EXPECT_FALSE(plan->armed());
+}
+
+TEST(FaultPlan, ClearDisarmsEverything) {
+  ScopedFaultPlan plan;
+  plan->inject_nan_at_step(1);
+  plan->inject_throw_in_job("x");
+  plan->clear();
+  EXPECT_FALSE(plan->armed());
+  EXPECT_FALSE(plan->consume_nan(1));
+  EXPECT_NO_THROW(plan->on_job_enter("x"));
+}
+
+TEST(ScopedFaultPlan, ClearsOnScopeExit) {
+  {
+    ScopedFaultPlan plan;
+    plan->inject_throw_in_job("leaky");
+    EXPECT_TRUE(FaultPlan::global().armed());
+  }
+  // A failing test must not leak armed faults into the next one.
+  EXPECT_FALSE(FaultPlan::global().armed());
+}
+
+TEST(FlipBytes, SameSeedSameCorruption) {
+  const std::string payload(256, '\0');
+  TempFile a(payload), b(payload);
+  FaultPlan::flip_bytes(a.path(), 42, 8);
+  FaultPlan::flip_bytes(b.path(), 42, 8);
+  const std::string ca = slurp(a.path());
+  const std::string cb = slurp(b.path());
+  EXPECT_EQ(ca, cb);
+  EXPECT_NE(ca, payload);  // it did corrupt something
+  EXPECT_EQ(ca.size(), payload.size());
+}
+
+TEST(FlipBytes, DifferentSeedDifferentCorruption) {
+  const std::string payload(256, '\0');
+  TempFile a(payload), b(payload);
+  FaultPlan::flip_bytes(a.path(), 1, 8);
+  FaultPlan::flip_bytes(b.path(), 2, 8);
+  EXPECT_NE(slurp(a.path()), slurp(b.path()));
+}
+
+TEST(FlipBytes, RejectsMissingAndEmptyFiles) {
+  EXPECT_THROW(FaultPlan::flip_bytes("/nonexistent/nope.bin", 1),
+               std::runtime_error);
+  TempFile empty("");
+  EXPECT_THROW(FaultPlan::flip_bytes(empty.path(), 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace swsim::robust

@@ -1,0 +1,149 @@
+// Error taxonomy: Status construction, context trails, exception carrying,
+// retry policy, and the structured failure report.
+#include "robust/status.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "robust/report.h"
+
+namespace swsim::robust {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.str(), "");
+  EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, ErrorCarriesCodeMessageContext) {
+  const Status s = Status::error(StatusCode::kNumericalDivergence,
+                                 "NaN at cell 214", "row 3");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNumericalDivergence);
+  EXPECT_EQ(s.message(), "NaN at cell 214");
+  EXPECT_EQ(s.context(), "row 3");
+  EXPECT_EQ(s.str(), "numerical-divergence: NaN at cell 214 [row 3]");
+}
+
+TEST(Status, WithContextPrependsFrames) {
+  const Status inner = Status::error(StatusCode::kTimeout, "deadline");
+  const Status mid = inner.with_context("solve");
+  const Status outer = mid.with_context("gate MAJ3");
+  EXPECT_EQ(mid.context(), "solve");
+  EXPECT_EQ(outer.context(), "gate MAJ3 <- solve");
+  // The original is untouched (value semantics).
+  EXPECT_EQ(inner.context(), "");
+}
+
+TEST(Status, ToStringCoversEveryCode) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_EQ(to_string(StatusCode::kInvalidConfig), "invalid-config");
+  EXPECT_EQ(to_string(StatusCode::kNumericalDivergence),
+            "numerical-divergence");
+  EXPECT_EQ(to_string(StatusCode::kTimeout), "timeout");
+  EXPECT_EQ(to_string(StatusCode::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(StatusCode::kCacheCorrupt), "cache-corrupt");
+  EXPECT_EQ(to_string(StatusCode::kIoError), "io-error");
+  EXPECT_EQ(to_string(StatusCode::kQuarantined), "quarantined");
+  EXPECT_EQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Status, RetryPolicy) {
+  // Transient numerical trouble is worth another attempt.
+  EXPECT_TRUE(is_retryable(StatusCode::kNumericalDivergence));
+  EXPECT_TRUE(is_retryable(StatusCode::kCacheCorrupt));
+  EXPECT_TRUE(is_retryable(StatusCode::kInternal));
+  // Timeouts must NOT retry: the timed-out closure may still be running.
+  EXPECT_FALSE(is_retryable(StatusCode::kTimeout));
+  EXPECT_FALSE(is_retryable(StatusCode::kCancelled));
+  EXPECT_FALSE(is_retryable(StatusCode::kInvalidConfig));
+  EXPECT_FALSE(is_retryable(StatusCode::kQuarantined));
+  EXPECT_FALSE(is_retryable(StatusCode::kOk));
+}
+
+TEST(SolveError, WhatMatchesStatusStr) {
+  const Status s =
+      Status::error(StatusCode::kCacheCorrupt, "checksum mismatch", "key 7");
+  const SolveError e(s);
+  EXPECT_EQ(std::string(e.what()), s.str());
+  EXPECT_EQ(e.status().code(), StatusCode::kCacheCorrupt);
+}
+
+TEST(SolveError, IsARuntimeError) {
+  // Legacy catch sites catch std::runtime_error; SolveError must land there.
+  try {
+    throw SolveError(Status::error(StatusCode::kTimeout, "late"));
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos);
+    return;
+  }
+  FAIL() << "SolveError not caught as std::runtime_error";
+}
+
+TEST(StatusOfCurrentException, ClassifiesSolveError) {
+  Status got;
+  try {
+    throw SolveError(Status::error(StatusCode::kNumericalDivergence, "boom"));
+  } catch (...) {
+    got = status_of_current_exception();
+  }
+  EXPECT_EQ(got.code(), StatusCode::kNumericalDivergence);
+  EXPECT_EQ(got.message(), "boom");
+}
+
+TEST(StatusOfCurrentException, MapsForeignExceptionsToInternal) {
+  Status got;
+  try {
+    throw std::logic_error("unexpected");
+  } catch (...) {
+    got = status_of_current_exception();
+  }
+  EXPECT_EQ(got.code(), StatusCode::kInternal);
+  EXPECT_EQ(got.message(), "unexpected");
+
+  try {
+    throw 42;  // not even a std::exception
+  } catch (...) {
+    got = status_of_current_exception();
+  }
+  EXPECT_EQ(got.code(), StatusCode::kInternal);
+  EXPECT_EQ(got.message(), "unknown exception");
+}
+
+TEST(FailureReport, CollectsAndMerges) {
+  FailureReport a;
+  EXPECT_TRUE(a.empty());
+  a.add({"job 1 / row 2",
+         Status::error(StatusCode::kTimeout, "deadline"), 1, false});
+  FailureReport b;
+  b.add({"job 3 / trials 16",
+         Status::error(StatusCode::kNumericalDivergence, "NaN"), 2, true});
+  a.merge(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.failures()[0].job, "job 1 / row 2");
+  EXPECT_EQ(a.failures()[1].attempts, 2u);
+  EXPECT_TRUE(a.failures()[1].quarantined);
+}
+
+TEST(FailureReport, RendersCsvAndTable) {
+  FailureReport r;
+  r.add({"job 1", Status::error(StatusCode::kInternal, "thrown"), 1, false});
+  const auto header = FailureReport::csv_header();
+  ASSERT_EQ(header.size(), 5u);
+  EXPECT_EQ(header[0], "job");
+  const auto rows = r.csv_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), header.size());
+  EXPECT_EQ(rows[0][0], "job 1");
+  EXPECT_EQ(rows[0][1], "internal");
+  const std::string table = r.str();
+  EXPECT_NE(table.find("failure report (1 job)"), std::string::npos);
+  EXPECT_NE(table.find("internal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swsim::robust
