@@ -10,6 +10,7 @@
 #include "engine/hash.h"
 #include "engine/scheduler.h"
 #include "math/rng.h"
+#include "robust/fault_injection.h"
 #include "robust/status.h"
 
 namespace swsim::engine {
@@ -345,13 +346,17 @@ YieldOutcome BatchRunner::run_yield_checked(
           const auto patterns = core::all_input_patterns(gate->num_inputs());
           const std::size_t begin = c * kYieldChunk;
           const std::size_t end = std::min(trials, begin + kYieldChunk);
-          ChunkPartial& part = partials[c];
+          // Accumulate locally and publish only after the full chunk
+          // succeeds: a retried attempt that failed mid-chunk must not
+          // leave half its trials behind to be counted twice.
+          ChunkPartial part;
           for (std::size_t t = begin; t < end; ++t) {
             if (token.cancelled()) {
               throw robust::SolveError(robust::Status::error(
                   robust::StatusCode::kCancelled,
                   "cancelled at trial " + std::to_string(t)));
             }
+            robust::FaultPlan::global().on_trial_enter(t);
             // Independent, trial-indexed RNG stream: trial t draws the
             // same disturbances no matter which thread or chunk runs it.
             swsim::math::Pcg32 rng(model.seed, /*stream=*/t);
@@ -361,6 +366,7 @@ YieldOutcome BatchRunner::run_yield_checked(
             part.row_failures += outcome.row_failures;
             part.margin_acc += outcome.worst_margin;
           }
+          partials[c] = part;
         },
         options));
   }

@@ -10,6 +10,8 @@ std::string to_string(JobState s) {
       return "ready";
     case JobState::kRunning:
       return "running";
+    case JobState::kBackoff:
+      return "backoff";
     case JobState::kDone:
       return "done";
     case JobState::kFailed:

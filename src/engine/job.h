@@ -30,6 +30,7 @@ enum class JobState {
   kPending,    // waiting on dependencies
   kReady,      // dependencies met, queued for execution
   kRunning,    // executing on a pool thread
+  kBackoff,    // failed retryably; waiting (off the pool) until retry_at
   kDone,       // finished successfully
   kFailed,     // closure threw; `status`/`error` hold the cause
   kTimedOut,   // deadline expired while running; result discarded
@@ -56,7 +57,8 @@ struct JobOptions {
   // timed-out closure may still be running, and a concurrent retry would
   // race it on shared result slots.
   std::size_t max_retries = 0;
-  // Sleep before retry attempt k (1-based) is backoff_seconds * k.
+  // Delay before retry attempt k (1-based) is backoff_seconds * k. The
+  // job waits in kBackoff without occupying a pool worker.
   double backoff_seconds = 0.0;
 };
 
@@ -76,6 +78,9 @@ struct Job {
   // kRunning; the deadline is started_at + timeout).
   robust::CancelToken token;
   std::chrono::steady_clock::time_point started_at;
+  // When a kBackoff job becomes eligible to run again. The run_all()
+  // timer loop re-releases it; no pool worker sleeps through the backoff.
+  std::chrono::steady_clock::time_point retry_at;
 };
 
 }  // namespace swsim::engine

@@ -3,7 +3,6 @@
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
 #include "robust/fault_injection.h"
 
@@ -83,7 +82,10 @@ void Scheduler::cancel(JobId id) {
 void Scheduler::cancel_locked(JobId id) {
   Job& j = jobs_[id];
   // Running jobs finish on their own; terminal jobs are already settled.
-  if (j.state != JobState::kPending && j.state != JobState::kReady) return;
+  if (j.state != JobState::kPending && j.state != JobState::kReady &&
+      j.state != JobState::kBackoff) {
+    return;
+  }
   const bool was_released = j.state == JobState::kReady;
   j.state = JobState::kCancelled;
   j.status = robust::Status::error(robust::StatusCode::kCancelled,
@@ -91,8 +93,8 @@ void Scheduler::cancel_locked(JobId id) {
                                    "job '" + j.label + "'");
   if (running_) {
     // A released job sits in the pool queue; execute() observes kCancelled,
-    // settles its outstanding_ count and cascades. An unreleased job
-    // settles here.
+    // settles its outstanding_ count and cascades. An unreleased or
+    // backing-off job (not in the pool queue) settles here.
     if (was_released) return;
     settle_locked();
   }
@@ -173,16 +175,23 @@ void Scheduler::execute(JobId id) {
   if (robust::is_retryable(outcome.code()) &&
       j.attempts <= j.options.max_retries) {
     // Budget left: re-queue this job after a linear backoff. outstanding_
-    // is untouched — the job is still in flight.
-    j.state = JobState::kReady;
+    // is untouched — the job is still in flight. The backoff is served by
+    // the run_all() timer loop, not by parking a pool worker: the job sits
+    // in kBackoff (off the pool) until retry_at, so other ready jobs keep
+    // the workers busy during a fault storm.
     const double backoff =
         j.options.backoff_seconds * static_cast<double>(j.attempts);
-    pool_.submit([this, id, backoff] {
-      if (backoff > 0.0) {
-        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      }
-      execute(id);
-    });
+    if (backoff <= 0.0) {
+      j.state = JobState::kReady;
+      pool_.submit([this, id] { execute(id); });
+    } else {
+      j.state = JobState::kBackoff;
+      j.retry_at = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(backoff));
+      done_cv_.notify_all();  // wake the timer loop to watch retry_at
+    }
     return;
   }
   j.state = JobState::kFailed;
@@ -197,9 +206,13 @@ void Scheduler::execute(JobId id) {
 }
 
 std::optional<std::chrono::steady_clock::time_point>
-Scheduler::next_deadline_locked() const {
+Scheduler::next_timer_locked() const {
   std::optional<std::chrono::steady_clock::time_point> next;
   for (const Job& j : jobs_) {
+    if (j.state == JobState::kBackoff) {
+      if (!next || j.retry_at < *next) next = j.retry_at;
+      continue;
+    }
     if (j.state != JobState::kRunning || j.options.timeout_seconds <= 0.0) {
       continue;
     }
@@ -213,9 +226,17 @@ Scheduler::next_deadline_locked() const {
   return next;
 }
 
-void Scheduler::expire_deadlines_locked() {
+void Scheduler::service_timers_locked() {
   const auto now = std::chrono::steady_clock::now();
   for (Job& j : jobs_) {
+    if (j.state == JobState::kBackoff) {
+      if (now >= j.retry_at) {
+        j.state = JobState::kReady;
+        const JobId id = j.id;
+        pool_.submit([this, id] { execute(id); });
+      }
+      continue;
+    }
     if (j.state != JobState::kRunning || j.options.timeout_seconds <= 0.0) {
       continue;
     }
@@ -240,7 +261,7 @@ void Scheduler::expire_deadlines_locked() {
 }
 
 robust::Status Scheduler::run_all() {
-  bool any_deadline = false;
+  bool any_timer = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (running_) {
@@ -248,10 +269,13 @@ robust::Status Scheduler::run_all() {
     }
     running_ = true;
     // Jobs cancelled before run() (or dead on arrival) are terminal and
-    // never hit the pool; everything else is outstanding.
+    // never hit the pool; everything else is outstanding. A timer loop is
+    // needed if any job can time out or enter a timed retry backoff.
     for (const Job& j : jobs_) {
       if (!is_terminal(j.state)) ++outstanding_;
-      any_deadline = any_deadline || j.options.timeout_seconds > 0.0;
+      any_timer = any_timer || j.options.timeout_seconds > 0.0 ||
+                  (j.options.max_retries > 0 &&
+                   j.options.backoff_seconds > 0.0);
     }
     if (outstanding_ == 0) return first_status_;
     for (Job& j : jobs_) {
@@ -261,16 +285,17 @@ robust::Status Scheduler::run_all() {
     }
   }
   std::unique_lock<std::mutex> lock(mutex_);
-  if (!any_deadline) {
+  if (!any_timer) {
     done_cv_.wait(lock, [&] { return outstanding_ == 0; });
   } else {
-    // Deadline watchdog: sleep until the earliest running deadline (or
-    // until woken by a settle / a timed job starting), then expire any
-    // running job past its budget.
+    // Timer loop: sleep until the earliest running deadline or backoff
+    // expiry (or until woken by a settle / a timed job starting / a job
+    // entering backoff), then expire overdue jobs and re-release any
+    // backoff job whose wait is over.
     while (outstanding_ > 0) {
-      if (const auto next = next_deadline_locked()) {
+      if (const auto next = next_timer_locked()) {
         done_cv_.wait_until(lock, *next);
-        expire_deadlines_locked();
+        service_timers_locked();
       } else {
         done_cv_.wait(lock);
       }

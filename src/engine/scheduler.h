@@ -18,7 +18,10 @@
 //  - max_retries / backoff_seconds: a closure that throws with a
 //    *retryable* status (robust::is_retryable — numerical divergence,
 //    cache corruption, internal errors; never timeouts) is re-executed
-//    after a linear backoff, up to the retry budget.
+//    after a linear backoff, up to the retry budget. The job waits out
+//    the backoff in kBackoff, re-released by run_all()'s timer loop —
+//    no pool worker is parked, so concurrent retries cannot starve
+//    ready jobs of workers.
 //
 // cancel() before/during run() prunes a job and its dependents; a job
 // already running is not preempted (cooperative cancellation).
@@ -79,10 +82,11 @@ class Scheduler {
   void cancel_locked(JobId id);            // cascades over dependents
   void execute(JobId id);                  // runs on a pool thread
   void settle_locked();                    // one outstanding job became terminal
-  // Earliest deadline among running jobs with a timeout, if any.
-  std::optional<std::chrono::steady_clock::time_point> next_deadline_locked()
+  // Earliest timer among running jobs' deadlines and backoff expiries.
+  std::optional<std::chrono::steady_clock::time_point> next_timer_locked()
       const;
-  void expire_deadlines_locked();          // kRunning past deadline -> kTimedOut
+  // kRunning past deadline -> kTimedOut; kBackoff past retry_at -> kReady.
+  void service_timers_locked();
 
   ThreadPool& pool_;
   mutable std::mutex mutex_;

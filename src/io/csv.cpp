@@ -101,7 +101,14 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
         end_cell();
         break;
       case '\r':
-        break;  // CRLF: the '\n' that follows ends the row
+        // Swallowed only as the CR of a CRLF (the '\n' ends the row). A
+        // bare CR — lone-CR line endings, or a stray CR inside a cell —
+        // would otherwise be silently dropped, so it is an error; put it
+        // in a quoted cell to carry one as content.
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;
+        throw fail("bare carriage return (quote the cell to carry a CR; "
+                   "lone-CR line endings are not supported)",
+                   line, col);
       case '\n':
         end_row();
         ++line;

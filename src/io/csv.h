@@ -28,10 +28,12 @@ class CsvWriter {
 };
 
 // Parses RFC-4180-style CSV text into rows of cells. Quoted cells may
-// contain commas, doubled quotes ("") and embedded newlines. Throws
-// std::runtime_error naming the 1-based line and column on malformed
-// input: a quote opening mid-cell, content after a closing quote, or an
-// unterminated quoted cell at end of input. Blank lines are skipped.
+// contain commas, doubled quotes (""), embedded newlines and carriage
+// returns. Rows end at LF or CRLF. Throws std::runtime_error naming the
+// 1-based line and column on malformed input: a quote opening mid-cell,
+// content after a closing quote, an unterminated quoted cell at end of
+// input, or a bare CR outside quotes (lone-CR line endings are not
+// supported). Blank lines are skipped.
 std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
 // parse_csv over a file's contents; errors carry the path. Throws

@@ -88,7 +88,9 @@ void Simulation::run(double duration) {
     for (auto& p : probes_) p->maybe_record(system_, m_, time_);
     if (watchdog_.cadence > 0 && ++steps % watchdog_.cadence == 0) {
       const robust::Status health =
-          energy_watchdog_.check(total_energy(), watchdog_.energy_growth_factor);
+          energy_watchdog_.check(total_energy(),
+                                 watchdog_.energy_growth_factor,
+                                 watchdog_.energy_warmup_checks);
       if (!health.is_ok()) {
         throw robust::SolveError(health.with_context(
             "t = " + std::to_string(time_) + " s"));

@@ -53,10 +53,18 @@ void FaultPlan::inject_stall_in_job(const std::string& label_substr,
   bump_armed(+1);
 }
 
+void FaultPlan::inject_divergence_at_trial(std::size_t trial, int times) {
+  if (times <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  trial_faults_.push_back(TrialFault{trial, times});
+  bump_armed(+1);
+}
+
 void FaultPlan::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   nan_faults_.clear();
   job_faults_.clear();
+  trial_faults_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
 }
 
@@ -113,6 +121,27 @@ void FaultPlan::on_job_enter(const std::string& label) {
     // Label-free on purpose: the scheduler stamps the job label as context,
     // exactly as it would for a genuine foreign exception.
     throw std::runtime_error("injected fault");
+  }
+}
+
+void FaultPlan::on_trial_enter(std::size_t trial) {
+  if (!armed()) return;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& f : trial_faults_) {
+      if (f.budget > 0 && f.trial == trial) {
+        --f.budget;
+        if (f.budget == 0) bump_armed(-1);
+        fire = true;
+        break;
+      }
+    }
+  }
+  if (fire) {
+    throw SolveError(Status::error(StatusCode::kNumericalDivergence,
+                                   "injected divergence at trial " +
+                                       std::to_string(trial)));
   }
 }
 

@@ -14,6 +14,12 @@
 //   * inject_stall_in_job(s,t): the job sleeps t seconds before running —
 //                               long enough to trip a per-job timeout,
 //                               short enough that tests terminate.
+//   * inject_divergence_at_trial(t): the yield sweep's trial loop throws a
+//                               kNumericalDivergence SolveError when it
+//                               reaches trial index t — *mid-chunk*, after
+//                               earlier trials in the chunk already ran,
+//                               which is the case job-entry faults cannot
+//                               reach (they fire before the closure runs).
 //   * flip_bytes(path, seed):   seeded corruption of a cache spill file.
 //
 // Every armed fault has a budget (fire `times` times, then disarm), which
@@ -47,6 +53,7 @@ class FaultPlan {
                                 int times = 1);
   void inject_stall_in_job(const std::string& label_substr, double seconds,
                            int times = 1);
+  void inject_divergence_at_trial(std::size_t trial, int times = 1);
   void clear();
   bool armed() const;
 
@@ -57,6 +64,10 @@ class FaultPlan {
   // Scheduler hook, called with the job label just before the closure
   // runs. May sleep (stall fault) and/or throw (throw/divergence fault).
   void on_job_enter(const std::string& label);
+  // Yield-sweep hook, called with the global trial index at the top of
+  // each trial. Throws a kNumericalDivergence SolveError when an armed
+  // trial fault matches (consumes one budget unit).
+  void on_trial_enter(std::size_t trial);
 
   // Seeded byte corruption: flips `flips` bytes of the file at positions
   // drawn from an xorshift stream of `seed`. Deterministic: same file
@@ -77,12 +88,17 @@ class FaultPlan {
     double seconds = 0.0;
     int budget = 0;
   };
+  struct TrialFault {
+    std::size_t trial = 0;
+    int budget = 0;
+  };
 
   void bump_armed(int delta);
 
   mutable std::mutex mutex_;
   std::vector<NanFault> nan_faults_;
   std::vector<JobFault> job_faults_;
+  std::vector<TrialFault> trial_faults_;
   std::atomic<int> armed_count_{0};
 };
 

@@ -36,23 +36,27 @@ Status scan_magnetization(const swsim::math::VectorField& m,
 }
 
 void EnergyWatchdog::reset() {
-  armed_ = false;
+  checks_ = 0;
   reference_ = 0.0;
 }
 
-Status EnergyWatchdog::check(double energy, double growth_factor) {
+Status EnergyWatchdog::check(double energy, double growth_factor,
+                             std::size_t warmup_checks) {
   if (!std::isfinite(energy)) {
     return Status::error(StatusCode::kNumericalDivergence,
                          "total energy is non-finite");
   }
-  if (!armed_) {
-    // Floor the reference so a zero-energy start (uniform state, no
-    // drive yet) doesn't turn any later finite energy into "divergence".
-    reference_ = std::max(std::fabs(energy), 1e-30);
-    armed_ = true;
+  const double magnitude = std::fabs(energy);
+  ++checks_;
+  // Warmup: ratchet the reference to the running max |E|. Also keep
+  // ratcheting past warmup while the reference is physically negligible
+  // (a zero-energy start with a late drive ramp): enforcing a growth
+  // bound against numerical noise would flag the first healthy energy.
+  if (checks_ <= warmup_checks || reference_ < kNegligibleEnergy) {
+    reference_ = std::max(reference_, magnitude);
     return Status::ok();
   }
-  if (growth_factor > 0.0 && std::fabs(energy) > growth_factor * reference_) {
+  if (growth_factor > 0.0 && magnitude > growth_factor * reference_) {
     return Status::error(StatusCode::kNumericalDivergence,
                          "total energy grew to " + std::to_string(energy) +
                              " J (reference magnitude " +

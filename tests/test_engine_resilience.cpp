@@ -106,6 +106,43 @@ TEST(EngineResilience, RetryRecoversTransientDivergence) {
   EXPECT_EQ(runner.stats().jobs_failed, 0u);
 }
 
+TEST(EngineResilience, YieldRetryDoesNotDoubleCountPartialChunks) {
+  core::TriangleGateConfig gate_cfg;
+  const BatchRunner::TriangleFactory factory = [gate_cfg] {
+    return std::make_unique<core::TriangleMajGate>(gate_cfg);
+  };
+  core::VariabilityModel model;
+  model.sigma_phase = 0.35;
+  model.sigma_amplitude = 0.08;
+  model.seed = 11;
+
+  EngineConfig cfg;
+  cfg.jobs = 2;
+  cfg.max_retries = 1;
+  cfg.retry_backoff_seconds = 0.01;
+  BatchRunner clean_runner(cfg);
+  const YieldOutcome clean = clean_runner.run_yield_checked(factory, model, 32);
+  ASSERT_TRUE(clean.ok());
+
+  // Divergence at trial 5 — *mid-chunk*, after trials 0..4 of chunk 0
+  // already accumulated. The retried attempt re-runs the chunk from trial
+  // 0; its statistics must replace the aborted attempt's partial sums,
+  // not add to them (the double-count would inflate passing and margins).
+  ScopedFaultPlan plan;
+  plan->inject_divergence_at_trial(5);
+  BatchRunner runner(cfg);
+  const YieldOutcome retried = runner.run_yield_checked(factory, model, 32);
+
+  EXPECT_TRUE(retried.ok()) << retried.failures.str();
+  EXPECT_EQ(runner.stats().jobs_retried, 1u);
+  EXPECT_EQ(retried.report.trials, 32u);
+  EXPECT_EQ(retried.report.passing, clean.report.passing);
+  EXPECT_EQ(retried.report.worst_row_failures, clean.report.worst_row_failures);
+  EXPECT_EQ(retried.report.yield, clean.report.yield);
+  EXPECT_EQ(retried.report.mean_worst_margin, clean.report.mean_worst_margin);
+  EXPECT_LE(retried.report.yield, 1.0);
+}
+
 TEST(EngineResilience, RetryBudgetExhaustionIsTerminal) {
   ScopedFaultPlan plan;
   plan->inject_divergence_in_job("row 1", /*times=*/3);
@@ -122,6 +159,45 @@ TEST(EngineResilience, RetryBudgetExhaustionIsTerminal) {
   EXPECT_EQ(outcome.failures.failures()[0].status.code(),
             StatusCode::kNumericalDivergence);
   EXPECT_EQ(outcome.failures.failures()[0].attempts, 2u);
+}
+
+TEST(EngineResilience, BackoffWaitsOffThePoolSoReadyJobsProceed) {
+  // One worker, one flaky job with a long backoff, and quick jobs that
+  // become ready during the wait. The backoff must be served by the
+  // run_all() timer loop, not by the worker sleeping in the pool queue —
+  // otherwise "late" (dependency-released) jobs stall behind the sleep.
+  ThreadPool pool(1);
+  Scheduler sched(pool);
+
+  JobOptions retry;
+  retry.max_retries = 1;
+  retry.backoff_seconds = 0.4;
+  std::atomic<int> flaky_attempts{0};
+  std::chrono::steady_clock::time_point retry_started{};
+  std::chrono::steady_clock::time_point late_done{};
+  const JobId flaky = sched.add(
+      "flaky",
+      [&](const robust::CancelToken&) {
+        if (flaky_attempts.fetch_add(1) == 0) {
+          throw robust::SolveError(robust::Status::error(
+              StatusCode::kNumericalDivergence, "transient"));
+        }
+        retry_started = std::chrono::steady_clock::now();
+      },
+      retry);
+  const JobId quick = sched.add("quick", [] {});
+  // Released only after "quick" finishes — i.e. queued behind any worker
+  // that a sleeping backoff would have parked.
+  const JobId late = sched.add(
+      "late", [&] { late_done = std::chrono::steady_clock::now(); },
+      {quick});
+
+  EXPECT_TRUE(sched.run_all().is_ok());
+  EXPECT_EQ(sched.job(flaky).state, JobState::kDone);
+  EXPECT_EQ(sched.job(flaky).attempts, 2u);
+  EXPECT_EQ(sched.job(late).state, JobState::kDone);
+  // "late" ran during the 0.4 s backoff, well before the retry attempt.
+  EXPECT_LT(late_done, retry_started);
 }
 
 // --- failure class 3: deadline expiry ------------------------------------

@@ -90,6 +90,25 @@ TEST(Csv, ParsesEmbeddedNewlinesCrlfAndBlankLines) {
   EXPECT_EQ(rows[2], (std::vector<std::string>{"last", "row"}));
 }
 
+TEST(Csv, BareCarriageReturnIsAPositionedErrorNotSilentlyDropped) {
+  // "a\rb" must not silently parse as "ab"; a lone-CR line terminator
+  // (classic Mac) must not be absorbed into the neighbouring cells.
+  try {
+    parse_csv("head\na\rb,c\n");
+    FAIL() << "bare CR accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("carriage return"), std::string::npos);
+    EXPECT_NE(msg.find("line 2"), std::string::npos);
+    EXPECT_NE(msg.find("column 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_csv("one\rtwo\rthree\r"), std::runtime_error);
+  // A quoted cell carries a CR verbatim — explicit, not a misparse.
+  const auto rows = parse_csv("\"a\rb\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a\rb", "c"}));
+}
+
 TEST(Csv, ParsesEmptyCells) {
   const auto rows = parse_csv("a,,c\n,\n");
   ASSERT_EQ(rows.size(), 2u);

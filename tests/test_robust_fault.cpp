@@ -39,6 +39,7 @@ TEST(FaultPlan, UnarmedHooksAreNoOps) {
   EXPECT_FALSE(plan->armed());
   EXPECT_FALSE(plan->consume_nan(0));
   EXPECT_NO_THROW(plan->on_job_enter("anything"));
+  EXPECT_NO_THROW(plan->on_trial_enter(0));
 }
 
 TEST(FaultPlan, NanBudgetFiresExactlyOncePerUnit) {
@@ -70,6 +71,21 @@ TEST(FaultPlan, DivergenceFaultThrowsClassifiedSolveError) {
   } catch (const SolveError& e) {
     EXPECT_EQ(e.status().code(), StatusCode::kNumericalDivergence);
   }
+}
+
+TEST(FaultPlan, TrialFaultFiresAtItsIndexThenDisarms) {
+  ScopedFaultPlan plan;
+  plan->inject_divergence_at_trial(5, /*times=*/2);
+  EXPECT_NO_THROW(plan->on_trial_enter(4));  // wrong trial: budget untouched
+  try {
+    plan->on_trial_enter(5);
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kNumericalDivergence);
+  }
+  EXPECT_THROW(plan->on_trial_enter(5), SolveError);
+  EXPECT_NO_THROW(plan->on_trial_enter(5));  // budget spent
+  EXPECT_FALSE(plan->armed());
 }
 
 TEST(FaultPlan, IndependentFaultsKeepIndependentBudgets) {

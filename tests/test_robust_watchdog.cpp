@@ -83,13 +83,26 @@ TEST(EnergyWatchdog, ResetRearms) {
   EXPECT_TRUE(dog.check(2e-12, 1e3).is_ok());
 }
 
-TEST(EnergyWatchdog, ZeroEnergyStartIsFloored) {
+TEST(EnergyWatchdog, ZeroEnergyStartToleratesFirstRealEnergy) {
   EnergyWatchdog dog;
-  EXPECT_TRUE(dog.check(0.0, 1e3).is_ok());  // arms; reference floored
-  // Energies within the floored window stay healthy (0/0 growth ratios
-  // never divide by zero), while genuinely large energies still trip.
-  EXPECT_TRUE(dog.check(1e-31, 1e3).is_ok());
-  EXPECT_FALSE(dog.check(1e-20, 1e3).is_ok());
+  EXPECT_TRUE(dog.check(0.0, 1e3).is_ok());    // ~zero: no signal yet
+  EXPECT_TRUE(dog.check(1e-31, 1e3).is_ok());  // numerical noise: ratchets
+  // The first physically meaningful energy (the drive ramping up) is a
+  // healthy baseline, not "nine orders of magnitude of growth" over a
+  // noise-level reference.
+  EXPECT_TRUE(dog.check(1e-18, 1e3).is_ok());
+  EXPECT_TRUE(dog.check(5e-16, 1e3).is_ok());   // 500x — under 1e3
+  EXPECT_FALSE(dog.check(2e-15, 1e3).is_ok());  // 2000x — enforced
+}
+
+TEST(EnergyWatchdog, WarmupChecksOnlyRatchetTheReference) {
+  EnergyWatchdog dog;
+  EXPECT_TRUE(dog.check(1e-18, 10.0, 3).is_ok());
+  EXPECT_TRUE(dog.check(1e-16, 10.0, 3).is_ok());  // 100x: still warming up
+  EXPECT_TRUE(dog.check(5e-16, 10.0, 3).is_ok());  // ratchets the reference
+  EXPECT_TRUE(dog.check(1e-15, 10.0, 3).is_ok());  // 2x the ratcheted max
+  const Status s = dog.check(6e-15, 10.0, 3);      // 12x: now enforced
+  EXPECT_EQ(s.code(), StatusCode::kNumericalDivergence);
 }
 
 TEST(EnergyWatchdog, NonFiniteEnergyFails) {
