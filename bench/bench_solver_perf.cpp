@@ -29,6 +29,7 @@
 #include "mag/llg.h"
 #include "mag/simulation.h"
 #include "math/fft.h"
+#include "obs/metrics.h"
 
 using namespace swsim;
 using namespace swsim::math;
@@ -166,6 +167,12 @@ void run_engine_comparison() {
   std::cout << "\nserial vs engine: micromagnetic MAJ truth table "
             << "(8 rows + calibration per pass)\n";
 
+  // Arm the metrics registry so the engine's engine.job_seconds histogram
+  // yields per-job latency percentiles for the CSV (serial rows record
+  // nothing — the legacy path never touches the scheduler).
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::arm();
+
   // Legacy serial path: one gate, lazy calibration, rows in order.
   auto t0 = std::chrono::steady_clock::now();
   core::MicromagTriangleGate serial_gate(cfg);
@@ -190,12 +197,20 @@ void run_engine_comparison() {
   const auto cold_report = runner.run_truth_table(factory, key, prepare);
   const double cold_s = seconds_since(t0);
   const auto cold_stats = runner.stats();
+  const auto cold_jobs = obs::MetricsRegistry::global()
+                             .histogram("engine.job_seconds")
+                             .snapshot();
+  obs::MetricsRegistry::global().histogram("engine.job_seconds").reset();
 
   // Second identical run: every row should come out of the cache.
   t0 = std::chrono::steady_clock::now();
   const auto warm_report = runner.run_truth_table(factory, key, prepare);
   const double warm_s = seconds_since(t0);
   const auto warm_stats = runner.stats();
+  const auto warm_jobs = obs::MetricsRegistry::global()
+                             .histogram("engine.job_seconds")
+                             .snapshot();
+  obs::MetricsRegistry::disarm();
   const std::size_t warm_hits = warm_stats.cache.hits - cold_stats.cache.hits;
   const std::size_t warm_misses =
       warm_stats.cache.misses - cold_stats.cache.misses;
@@ -209,31 +224,44 @@ void run_engine_comparison() {
   const bool cold_same = core::format_report(cold_report) == serial_str;
   const bool warm_same = core::format_report(warm_report) == serial_str;
 
+  const auto p_ms = [](const obs::Histogram::Snapshot& s, double q) {
+    return s.count == 0 ? std::string("")
+                        : io::Table::num(s.quantile(q) * 1e3, 3);
+  };
+
   io::Table t({"path", "wall (s)", "speedup", "cache hit rate",
-               "identical output"});
-  t.add_row({"serial", io::Table::num(serial_s, 2), "1.00", "-", "yes"});
+               "job p50/p99 (ms)", "identical output"});
+  t.add_row({"serial", io::Table::num(serial_s, 2), "1.00", "-", "-", "yes"});
   t.add_row({"engine cold (" + std::to_string(runner.threads()) + " threads)",
              io::Table::num(cold_s, 2), io::Table::num(serial_s / cold_s, 2),
              io::Table::num(cold_stats.cache.hit_rate() * 100, 0) + "%",
+             p_ms(cold_jobs, 0.5) + "/" + p_ms(cold_jobs, 0.99),
              cold_same ? "yes" : "NO"});
   t.add_row({"engine warm", io::Table::num(warm_s, 2),
              io::Table::num(serial_s / warm_s, 2),
              io::Table::num(warm_hit_rate * 100, 0) + "%",
+             warm_jobs.count == 0
+                 ? "-"
+                 : p_ms(warm_jobs, 0.5) + "/" + p_ms(warm_jobs, 0.99),
              warm_same ? "yes" : "NO"});
   std::cout << t.str();
 
   io::CsvWriter csv("bench_engine_speedup.csv");
   csv.write_row({"path", "wall_s", "speedup", "cache_hit_rate",
+                 "job_p50_ms", "job_p90_ms", "job_p99_ms",
                  "identical_output"});
-  csv.write_row({"serial", io::Table::num(serial_s, 4), "1.0", "",
-                 "1"});
+  csv.write_row({"serial", io::Table::num(serial_s, 4), "1.0", "", "", "",
+                 "", "1"});
   csv.write_row({"engine_cold", io::Table::num(cold_s, 4),
                  io::Table::num(serial_s / cold_s, 4),
                  io::Table::num(cold_stats.cache.hit_rate(), 4),
-                 cold_same ? "1" : "0"});
+                 p_ms(cold_jobs, 0.5), p_ms(cold_jobs, 0.9),
+                 p_ms(cold_jobs, 0.99), cold_same ? "1" : "0"});
   csv.write_row({"engine_warm", io::Table::num(warm_s, 4),
                  io::Table::num(serial_s / warm_s, 4),
-                 io::Table::num(warm_hit_rate, 4), warm_same ? "1" : "0"});
+                 io::Table::num(warm_hit_rate, 4), p_ms(warm_jobs, 0.5),
+                 p_ms(warm_jobs, 0.9), p_ms(warm_jobs, 0.99),
+                 warm_same ? "1" : "0"});
   std::cout << "wrote bench_engine_speedup.csv\n";
 }
 

@@ -40,6 +40,8 @@
 #include "io/csv.h"
 #include "io/table.h"
 #include "math/constants.h"
+#include "obs/json.h"
+#include "obs/obs.h"
 #include "perf/comparison.h"
 #include "wavenet/dispersion.h"
 
@@ -65,6 +67,8 @@ int usage() {
       "  batch      <jobfile> [--out <csv>] [--report <csv>] [--fail-fast]\n"
       "             (jobfile: one 'truthtable ...' or 'yield ...' per line;\n"
       "              failed jobs are reported, healthy rows still returned)\n"
+      "  stats      <metrics.json>   (pretty-print a --metrics-out dump)\n"
+      "  trace-check <trace.json>    (validate a --trace-out file)\n"
       "  help\n"
       "\n"
       "engine flags (accepted by truthtable, yield, micromag, batch):\n"
@@ -76,7 +80,16 @@ int usage() {
       "  --retry-backoff <s> linear backoff between retry attempts\n"
       "  --inject <spec,...> arm deterministic faults (testing):\n"
       "                      throw:<label> | divergence:<label> |\n"
-      "                      stall:<label>:<s> | nan:<step>\n";
+      "                      stall:<label>:<s> | nan:<step>\n"
+      "\n"
+      "observability flags (same commands; see docs/OBSERVABILITY.md):\n"
+      "  --trace-out <f>     write Chrome trace_event JSON (Perfetto/\n"
+      "                      chrome://tracing) of the solve\n"
+      "  --metrics-out <f>   write the metrics registry as JSON\n"
+      "  --log-json <f>      write structured events (watchdog trips,\n"
+      "                      retries, quarantines, ...) as JSONL\n"
+      "  --log-level <l>     debug|info|warn|error (default info;\n"
+      "                      needs --log-json)\n";
   return 0;
 }
 
@@ -132,6 +145,92 @@ void arm_faults(const std::string& spec) {
 void maybe_print_stats(const cli::Args& args,
                        const engine::BatchRunner& runner) {
   if (args.has("stats")) std::cout << '\n' << runner.stats().str();
+}
+
+// Observability sinks for one command invocation (all optional).
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string log_json;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+};
+
+ObsOptions obs_options_from(const cli::Args& args) {
+  ObsOptions o;
+  o.trace_out = args.value("trace-out").value_or("");
+  o.metrics_out = args.value("metrics-out").value_or("");
+  o.log_json = args.value("log-json").value_or("");
+  // Conflicting combinations are usage errors, caught before any solve:
+  // --serial bypasses the engine whose spans/counters the sinks observe,
+  // and --stats + --metrics-out would double-report the same counters.
+  if (args.has("serial") && !o.trace_out.empty()) {
+    throw std::invalid_argument(
+        "--trace-out instruments the engine path, which --serial bypasses "
+        "(drop --serial)");
+  }
+  if (args.has("serial") && !o.metrics_out.empty()) {
+    throw std::invalid_argument(
+        "--metrics-out instruments the engine path, which --serial bypasses "
+        "(drop --serial)");
+  }
+  if (args.has("stats") && !o.metrics_out.empty()) {
+    throw std::invalid_argument(
+        "--metrics-out and --stats double-report the engine counters "
+        "(pick one)");
+  }
+  if (const auto level = args.value("log-level")) {
+    if (o.log_json.empty()) {
+      throw std::invalid_argument("--log-level requires --log-json <file>");
+    }
+    o.log_level = obs::parse_log_level(*level);
+  } else if (args.has("log-level")) {
+    throw std::invalid_argument(
+        "--log-level needs a value (debug|info|warn|error)");
+  }
+  return o;
+}
+
+// Arms the requested sinks. Metrics are reset on arming so a dump covers
+// exactly this command, not whatever a previous library user recorded.
+void arm_observability(const ObsOptions& o) {
+  if (!o.trace_out.empty()) obs::TraceSession::global().start();
+  if (!o.metrics_out.empty()) {
+    obs::MetricsRegistry::global().reset();
+    obs::MetricsRegistry::arm();
+  }
+  if (!o.log_json.empty()) {
+    obs::EventLog::global().open(o.log_json, o.log_level);
+  }
+}
+
+// Flushes the sinks to their files. Returns 0, or 1 when a sink file could
+// not be written (the solve itself already succeeded by this point).
+int finish_observability(const ObsOptions& o) {
+  int rc = 0;
+  std::string error;
+  if (!o.trace_out.empty()) {
+    auto& session = obs::TraceSession::global();
+    session.stop();
+    const std::size_t events = session.event_count();
+    if (!session.write_chrome_json(o.trace_out, &error)) {
+      std::cerr << "error: --trace-out: " << error << '\n';
+      rc = 1;
+    } else {
+      std::cout << "trace: " << events << " events -> " << o.trace_out
+                << '\n';
+    }
+  }
+  if (!o.metrics_out.empty()) {
+    obs::MetricsRegistry::disarm();
+    if (!obs::MetricsRegistry::global().write_json(o.metrics_out, &error)) {
+      std::cerr << "error: --metrics-out: " << error << '\n';
+      rc = 1;
+    } else {
+      std::cout << "metrics -> " << o.metrics_out << '\n';
+    }
+  }
+  if (!o.log_json.empty()) obs::EventLog::global().close();
+  return rc;
 }
 
 geom::TriangleGateParams params_from(const cli::Args& args, bool maj) {
@@ -205,6 +304,8 @@ int cmd_truthtable(const cli::Args& args) {
     return 2;
   }
 
+  const ObsOptions obs_opts = obs_options_from(args);
+  arm_observability(obs_opts);
   core::ValidationReport report;
   if (args.has("serial")) {
     const auto gate = spec->factory();
@@ -216,6 +317,8 @@ int cmd_truthtable(const cli::Args& args) {
     std::cout << core::format_report(report);
     maybe_print_stats(args, runner);
   }
+  const int obs_rc = finish_observability(obs_opts);
+  if (obs_rc != 0) return obs_rc;
   return report.all_pass ? 0 : 1;
 }
 
@@ -300,6 +403,8 @@ int cmd_yield(const cli::Args& args) {
     return 2;
   }
 
+  const ObsOptions obs_opts = obs_options_from(args);
+  arm_observability(obs_opts);
   core::YieldReport r;
   if (args.has("serial")) {
     const auto gate = spec->factory();
@@ -309,10 +414,10 @@ int cmd_yield(const cli::Args& args) {
     r = runner.run_yield(spec->factory, spec->model, spec->trials);
     print_yield(spec->kind, r);
     maybe_print_stats(args, runner);
-    return 0;
+    return finish_observability(obs_opts);
   }
   print_yield(spec->kind, r);
-  return 0;
+  return finish_observability(obs_opts);
 }
 
 int cmd_compare() {
@@ -342,6 +447,8 @@ int cmd_micromag(const cli::Args& args) {
                    : geom::TriangleGateParams::reduced_maj3(nm(lambda_nm),
                                                             nm(width_nm));
   cfg.cell_size = nm(args.number("cell", 4.0));
+  const ObsOptions obs_opts = obs_options_from(args);
+  arm_observability(obs_opts);
 
   {
     // Banner from a probe instance (construction is cheap; no LLG run).
@@ -357,6 +464,8 @@ int cmd_micromag(const cli::Args& args) {
     core::MicromagTriangleGate gate(cfg);
     report = core::validate_gate(gate);
     std::cout << core::format_report(report);
+    const int obs_rc = finish_observability(obs_opts);
+    if (obs_rc != 0) return obs_rc;
     return report.all_pass ? 0 : 1;
   }
 
@@ -384,6 +493,8 @@ int cmd_micromag(const cli::Args& args) {
   report = runner.run_truth_table(factory, engine::hash_of(cfg), prepare);
   std::cout << core::format_report(report);
   maybe_print_stats(args, runner);
+  const int obs_rc = finish_observability(obs_opts);
+  if (obs_rc != 0) return obs_rc;
   return report.all_pass ? 0 : 1;
 }
 
@@ -420,6 +531,8 @@ int cmd_batch(const cli::Args& args) {
   }
   const bool fail_fast = args.has("fail-fast");
   if (const auto inject = args.value("inject")) arm_faults(*inject);
+  const ObsOptions obs_opts = obs_options_from(args);
+  arm_observability(obs_opts);
 
   engine::BatchRunner runner(engine_config_from(args));
   const std::vector<std::string> headers = {
@@ -536,8 +649,164 @@ int cmd_batch(const cli::Args& args) {
     }
   }
   maybe_print_stats(args, runner);
+  const int obs_rc = finish_observability(obs_opts);
+  if (obs_rc != 0) return obs_rc;
   if (aborted) return 1;
   return all_ok ? 0 : 1;
+}
+
+std::string read_file(const std::string& path, const char* cmd) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error(std::string(cmd) + ": cannot open '" + path +
+                             "'");
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Quantile estimate from an exported histogram's [[le, n], ...] buckets —
+// the offline mirror of obs::Histogram::Snapshot::quantile (the overflow
+// "inf" bucket reports its lower bound).
+double quantile_from_buckets(const std::vector<double>& bounds,
+                             const std::vector<double>& counts,
+                             double total, double q) {
+  if (total <= 0.0) return 0.0;
+  const double target = q * total;
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (seen + counts[i] < target) {
+      seen += counts[i];
+      continue;
+    }
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    if (i >= bounds.size()) return lo;  // overflow bucket
+    if (counts[i] <= 0.0) return bounds[i];
+    return lo + (bounds[i] - lo) * ((target - seen) / counts[i]);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// Pretty-prints a --metrics-out dump as console tables.
+int cmd_stats(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "stats: missing metrics file (from --metrics-out)\n";
+    return 2;
+  }
+  const std::string path = args.positional()[0];
+  const obs::JsonValue root = obs::parse_json(read_file(path, "stats"));
+  const auto* counters = root.find("counters");
+  const auto* gauges = root.find("gauges");
+  const auto* histograms = root.find("histograms");
+  if (!counters || !gauges || !histograms) {
+    std::cerr << "stats: '" << path
+              << "' is not a swsim metrics dump (missing counters/gauges/"
+                 "histograms)\n";
+    return 1;
+  }
+
+  Table scalars({"metric", "value"});
+  std::size_t n_scalars = 0;
+  for (const auto& [name, v] : counters->object()) {
+    scalars.add_row({name, Table::num(v.number(), 0)});
+    ++n_scalars;
+  }
+  for (const auto& [name, v] : gauges->object()) {
+    scalars.add_row({name, Table::num(v.number(), 0)});
+    ++n_scalars;
+  }
+  if (n_scalars > 0) std::cout << scalars.str();
+
+  if (!histograms->object().empty()) {
+    Table ht({"histogram", "count", "mean", "p50", "p90", "p99"});
+    for (const auto& [name, h] : histograms->object()) {
+      const auto* count = h.find("count");
+      const auto* sum = h.find("sum");
+      const auto* buckets = h.find("buckets");
+      if (!count || !sum || !buckets || !buckets->is_array()) {
+        std::cerr << "stats: histogram '" << name << "' is malformed\n";
+        return 1;
+      }
+      std::vector<double> bounds, bucket_counts;
+      for (const auto& pair : buckets->array()) {
+        if (!pair.is_array() || pair.array().size() != 2) {
+          std::cerr << "stats: histogram '" << name << "' has a bad bucket\n";
+          return 1;
+        }
+        const auto& le = pair.array()[0];
+        if (le.is_number()) bounds.push_back(le.number());
+        bucket_counts.push_back(pair.array()[1].number());
+      }
+      const double total = count->number();
+      const double mean = total > 0.0 ? sum->number() / total : 0.0;
+      ht.add_row(
+          {name, Table::num(total, 0), Table::num(mean, 6),
+           Table::num(quantile_from_buckets(bounds, bucket_counts, total,
+                                            0.50), 6),
+           Table::num(quantile_from_buckets(bounds, bucket_counts, total,
+                                            0.90), 6),
+           Table::num(quantile_from_buckets(bounds, bucket_counts, total,
+                                            0.99), 6)});
+    }
+    std::cout << '\n' << ht.str();
+  }
+  return 0;
+}
+
+// Validates a --trace-out file: parseable JSON, the Chrome trace_event
+// wrapper shape, and well-formed X/M events. The structural half of the
+// acceptance check scripts/check.sh runs after a traced batch.
+int cmd_trace_check(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "trace-check: missing trace file (from --trace-out)\n";
+    return 2;
+  }
+  const std::string path = args.positional()[0];
+  const obs::JsonValue root = obs::parse_json(read_file(path, "trace-check"));
+  const auto* events = root.find("traceEvents");
+  if (!events || !events->is_array()) {
+    std::cerr << "trace-check: '" << path
+              << "': missing \"traceEvents\" array\n";
+    return 1;
+  }
+  std::size_t complete = 0, metadata = 0;
+  std::vector<double> tids;
+  for (std::size_t i = 0; i < events->array().size(); ++i) {
+    const auto& e = events->array()[i];
+    const auto fail = [&](const std::string& why) {
+      std::cerr << "trace-check: event #" << i << ": " << why << '\n';
+      return 1;
+    };
+    if (!e.is_object()) return fail("not an object");
+    const auto* ph = e.find("ph");
+    const auto* name = e.find("name");
+    const auto* tid = e.find("tid");
+    if (!ph || !ph->is_string()) return fail("missing \"ph\"");
+    if (!name || !name->is_string()) return fail("missing \"name\"");
+    if (!tid || !tid->is_number()) return fail("missing \"tid\"");
+    if (ph->str() == "M") {
+      ++metadata;
+      continue;
+    }
+    if (ph->str() != "X") return fail("unexpected phase '" + ph->str() + "'");
+    const auto* ts = e.find("ts");
+    const auto* dur = e.find("dur");
+    if (!ts || !ts->is_number() || ts->number() < 0.0) {
+      return fail("bad \"ts\"");
+    }
+    if (!dur || !dur->is_number() || dur->number() < 0.0) {
+      return fail("bad \"dur\"");
+    }
+    if (std::find(tids.begin(), tids.end(), tid->number()) == tids.end()) {
+      tids.push_back(tid->number());
+    }
+    ++complete;
+  }
+  std::cout << "trace OK: " << complete << " complete events, " << metadata
+            << " metadata events, " << tids.size() << " thread"
+            << (tids.size() == 1 ? "" : "s") << '\n';
+  return 0;
 }
 
 }  // namespace
@@ -553,6 +822,8 @@ int main(int argc, char** argv) {
     if (cmd == "compare") return cmd_compare();
     if (cmd == "micromag") return cmd_micromag(args);
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "trace-check") return cmd_trace_check(args);
     std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
     return 2;
   } catch (const std::invalid_argument& e) {

@@ -7,6 +7,10 @@
 #   3. an Address+UBSan build of the robustness tests (fault injection,
 #      scheduler timeouts/retries, cache corruption) — the failure paths
 #      are exactly where lifetime bugs hide.
+#   4. an observability smoke run: a traced + metered batch over the fault
+#      example, then `swsim trace-check` / `swsim stats` validate the
+#      dumps the run produced — the trace JSON and metrics JSON must parse
+#      under instrumented, multi-threaded, partially-failing load.
 #
 # Usage: scripts/check.sh [build-dir]           (default: build)
 # Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
@@ -28,7 +32,9 @@ if [[ "${SWSIM_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
 else
   TSAN_DIR="${BUILD_DIR}-tsan"
   TSAN_TESTS=(test_engine_pool test_engine_cache test_engine_determinism
-              test_engine_resilience)
+              test_engine_resilience
+              test_obs_trace test_obs_metrics test_obs_log
+              test_obs_determinism)
 
   echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
   cmake -B "${TSAN_DIR}" -S . \
@@ -59,5 +65,26 @@ else
       UBSAN_OPTIONS="halt_on_error=1" "${ASAN_DIR}/tests/${t}"
   done
 fi
+
+echo "== stage 4: traced batch + dump validation =="
+OBS_DIR="${BUILD_DIR}/obs-smoke"
+mkdir -p "${OBS_DIR}"
+# A batch with injected faults, every sink armed: trace, metrics, JSONL
+# event log. The run itself must stay exit-0 (keep-going mode), and each
+# dump must validate with the reader subcommands.
+"${BUILD_DIR}/cli/swsim" batch examples/batch_faults.txt --jobs 2 \
+  --inject "throw:job 15,divergence:job 17" \
+  --out "${OBS_DIR}/batch.csv" --report "${OBS_DIR}/failures.csv" \
+  --trace-out "${OBS_DIR}/trace.json" \
+  --metrics-out "${OBS_DIR}/metrics.json" \
+  --log-json "${OBS_DIR}/events.jsonl" --log-level debug
+"${BUILD_DIR}/cli/swsim" trace-check "${OBS_DIR}/trace.json"
+"${BUILD_DIR}/cli/swsim" stats "${OBS_DIR}/metrics.json" >/dev/null
+# The injected failures must have produced structured error events.
+grep -q '"event": *"job_failed"\|"event":"job_failed"' \
+  "${OBS_DIR}/events.jsonl" || {
+  echo "stage 4: expected a job_failed event in events.jsonl" >&2
+  exit 1
+}
 
 echo "== all checks passed =="

@@ -7,11 +7,22 @@
 
 #include "core/logic.h"
 #include "io/table.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace swsim::core {
 
 ValidationRow evaluate_row(FanoutGate& gate,
                            const std::vector<bool>& pattern) {
+  std::string span_name;
+  if (obs::tracing()) {
+    span_name = gate.name() + " row ";
+    for (const bool b : pattern) span_name += b ? '1' : '0';
+  }
+  obs::Span span(span_name, "core");
+  static obs::Counter& rows =
+      obs::MetricsRegistry::global().counter("core.rows_evaluated");
+  rows.add();
   ValidationRow row;
   row.inputs = pattern;
   row.expected = gate.reference(pattern);

@@ -10,6 +10,7 @@
 #include "engine/hash.h"
 #include "engine/scheduler.h"
 #include "math/rng.h"
+#include "obs/obs.h"
 #include "robust/fault_injection.h"
 #include "robust/status.h"
 
@@ -178,6 +179,7 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
   // evaluate(), not the constructor.
   const auto probe = factory();
   const auto patterns = core::all_input_patterns(probe->num_inputs());
+  obs::Span span("truthtable " + probe->name(), "engine");
 
   TruthTableOutcome outcome;
 
@@ -193,9 +195,10 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
         rows[i].status = q->second;
       }
       outcome.report = core::assemble_report(probe->name(), std::move(rows));
-      outcome.failures.add(
-          {prefix + probe->name(), q->second, /*attempts=*/0,
-           /*quarantined=*/true});
+      outcome.failures.add({prefix + probe->name(), q->second,
+                            /*attempts=*/0, /*quarantined=*/true,
+                            obs::wall_now_us(), config_key,
+                            /*wall_seconds=*/0.0});
       ++runs_;
       wall_seconds_ += clock.seconds();
       return outcome;
@@ -256,7 +259,8 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
     if (prepare_id) {
       const Job& j = scheduler.job(*prepare_id);
       if (j.state != JobState::kDone) {
-        failed.push_back({j.label, j.status, j.attempts, false});
+        failed.push_back({j.label, j.status, j.attempts, false,
+                          j.failed_at_us, config_key, j.seconds});
         strikes += job_struck_out(j.state) ? 1 : 0;
       }
     }
@@ -268,7 +272,8 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
       rows[i].inputs = patterns[i];
       rows[i].expected = probe->reference(patterns[i]);
       rows[i].status = j.status;
-      failed.push_back({j.label, j.status, j.attempts, false});
+      failed.push_back({j.label, j.status, j.attempts, false,
+                        j.failed_at_us, config_key, j.seconds});
       strikes += job_struck_out(j.state) ? 1 : 0;
     }
 
@@ -288,6 +293,15 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
                       " failed jobs",
                   probe->name()));
           for (robust::JobFailure& f : failed) f.quarantined = true;
+          obs::MetricsRegistry::global().counter("engine.quarantines").add();
+          auto& elog = obs::EventLog::global();
+          if (elog.enabled(obs::LogLevel::kWarn)) {
+            elog.event(obs::LogLevel::kWarn, "quarantine")
+                .str("gate", probe->name())
+                .hex("config_key", config_key)
+                .uint("strikes", tally)
+                .emit();
+          }
         }
       }
     }
@@ -324,6 +338,7 @@ YieldOutcome BatchRunner::run_yield_checked(
   }
   const WallClock clock;
   const std::string prefix = label.empty() ? "" : label + " / ";
+  obs::Span span("yield " + std::to_string(trials) + " trials", "engine");
 
   struct ChunkPartial {
     std::size_t passing = 0;
@@ -390,7 +405,8 @@ YieldOutcome BatchRunner::run_yield_checked(
       margin_acc += partials[c].margin_acc;
       completed += end - begin;
     } else {
-      out.failures.add({j.label, j.status, j.attempts, false});
+      out.failures.add({j.label, j.status, j.attempts, false, j.failed_at_us,
+                        /*job_key=*/0, j.seconds});
     }
   }
   out.report.trials = completed;

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -72,6 +73,11 @@ struct Job {
   std::vector<JobId> dependents;
   double seconds = 0.0;       // wall time of fn(), summed over attempts
   std::size_t attempts = 0;   // executions started (1 = no retries)
+  // Wall-clock stamp (epoch microseconds) of the moment the job became
+  // kFailed / kTimedOut / kCancelled; 0 while healthy. The scheduler takes
+  // this stamp once and shares it with the structured event log, so a
+  // FailureReport row and its JSONL line carry the identical timestamp.
+  std::uint64_t failed_at_us = 0;
   robust::Status status;      // cause when kFailed / kTimedOut / kCancelled
   std::string error;          // status.message() — kept for older callers
   // Current attempt's cancellation token and start time (valid while

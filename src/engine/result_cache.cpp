@@ -6,9 +6,37 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+
 namespace swsim::engine {
 
 namespace {
+
+// Process-wide cache metrics (all ResultCache instances aggregate into the
+// same names; per-instance numbers stay available via stats()).
+struct CacheMetrics {
+  obs::Counter& hits = obs::MetricsRegistry::global().counter("cache.hits");
+  obs::Counter& misses =
+      obs::MetricsRegistry::global().counter("cache.misses");
+  obs::Counter& insertions =
+      obs::MetricsRegistry::global().counter("cache.insertions");
+  obs::Counter& evictions =
+      obs::MetricsRegistry::global().counter("cache.evictions");
+  obs::Counter& spill_writes =
+      obs::MetricsRegistry::global().counter("cache.spill_writes");
+  obs::Counter& spill_loads =
+      obs::MetricsRegistry::global().counter("cache.spill_loads");
+  obs::Counter& spill_corrupt =
+      obs::MetricsRegistry::global().counter("cache.spill_corrupt");
+  obs::Histogram& lookup_seconds =
+      obs::MetricsRegistry::global().histogram("cache.lookup_seconds");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics* m = new CacheMetrics();
+  return *m;
+}
 // Spill file layout (v2): magic, count, payload checksum, then count raw
 // doubles. Host byte order — a spill directory is a local cache, not an
 // interchange format. v1 files (no checksum) fail the magic test and are
@@ -51,21 +79,26 @@ std::string ResultCache::spill_filename(std::uint64_t key) {
 }
 
 std::optional<std::vector<double>> ResultCache::lookup(std::uint64_t key) {
+  obs::ScopedLatency timer(cache_metrics().lookup_seconds);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
     ++stats_.hits;
+    cache_metrics().hits.add();
     return it->second->second;
   }
   std::vector<double> loaded;
   if (load_spilled_locked(key, loaded)) {
     ++stats_.hits;
     ++stats_.spill_loads;
+    cache_metrics().hits.add();
+    cache_metrics().spill_loads.add();
     store_locked(key, loaded);  // promote back into memory
     return loaded;
   }
   ++stats_.misses;
+  cache_metrics().misses.add();
   return std::nullopt;
 }
 
@@ -79,6 +112,7 @@ void ResultCache::insert(std::uint64_t key, std::vector<double> value) {
     return;
   }
   ++stats_.insertions;
+  cache_metrics().insertions.add();
   store_locked(key, std::move(value));
 }
 
@@ -90,6 +124,7 @@ void ResultCache::store_locked(std::uint64_t key, std::vector<double> value) {
 
 void ResultCache::evict_locked() {
   const Entry& victim = lru_.back();
+  bool spilled = false;
   if (!spill_dir_.empty()) {
     const auto path =
         std::filesystem::path(spill_dir_) / spill_filename(victim.first);
@@ -104,14 +139,28 @@ void ResultCache::evict_locked() {
       out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
       out.write(reinterpret_cast<const char*>(victim.second.data()),
                 static_cast<std::streamsize>(count * sizeof(double)));
-      if (out) ++stats_.spill_writes;
+      if (out) {
+        ++stats_.spill_writes;
+        cache_metrics().spill_writes.add();
+        spilled = true;
+      }
     }
     // A failed spill write is a silent capacity loss, not an error: the
     // entry can always be recomputed.
   }
+  {
+    auto& elog = obs::EventLog::global();
+    if (elog.enabled(obs::LogLevel::kDebug)) {
+      elog.event(obs::LogLevel::kDebug, "cache_evict")
+          .hex("key", victim.first)
+          .boolean("spilled", spilled)
+          .emit();
+    }
+  }
   index_.erase(victim.first);
   lru_.pop_back();
   ++stats_.evictions;
+  cache_metrics().evictions.add();
 }
 
 bool ResultCache::load_spilled_locked(std::uint64_t key,
@@ -128,6 +177,14 @@ bool ResultCache::load_spilled_locked(std::uint64_t key,
     std::error_code ec;
     std::filesystem::remove(path, ec);
     ++stats_.spill_corrupt;
+    cache_metrics().spill_corrupt.add();
+    auto& elog = obs::EventLog::global();
+    if (elog.enabled(obs::LogLevel::kWarn)) {
+      elog.event(obs::LogLevel::kWarn, "cache_corrupt_evicted")
+          .hex("key", key)
+          .str("path", path.string())
+          .emit();
+    }
     return false;
   };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "robust/fault_injection.h"
 
 namespace swsim::engine {
@@ -14,6 +15,29 @@ std::string format_seconds(double s) {
   std::ostringstream os;
   os << s;
   return os.str();
+}
+
+// Stable metric references (leaky: the registry never moves them, and a
+// heap-allocated holder sidesteps static-destruction-order races with pool
+// threads still settling jobs at exit).
+struct SchedulerMetrics {
+  obs::Counter& done =
+      obs::MetricsRegistry::global().counter("engine.jobs.done");
+  obs::Counter& retried =
+      obs::MetricsRegistry::global().counter("engine.jobs.retried");
+  obs::Counter& failed =
+      obs::MetricsRegistry::global().counter("engine.jobs.failed");
+  obs::Counter& timed_out =
+      obs::MetricsRegistry::global().counter("engine.jobs.timed_out");
+  obs::Counter& cancelled =
+      obs::MetricsRegistry::global().counter("engine.jobs.cancelled");
+  obs::Histogram& job_seconds =
+      obs::MetricsRegistry::global().histogram("engine.job_seconds");
+};
+
+SchedulerMetrics& sched_metrics() {
+  static SchedulerMetrics* m = new SchedulerMetrics();
+  return *m;
 }
 
 }  // namespace
@@ -88,9 +112,17 @@ void Scheduler::cancel_locked(JobId id) {
   }
   const bool was_released = j.state == JobState::kReady;
   j.state = JobState::kCancelled;
+  j.failed_at_us = obs::wall_now_us();
   j.status = robust::Status::error(robust::StatusCode::kCancelled,
                                    "cancelled before running",
                                    "job '" + j.label + "'");
+  sched_metrics().cancelled.add();
+  auto& elog = obs::EventLog::global();
+  if (elog.enabled(obs::LogLevel::kDebug)) {
+    elog.event(obs::LogLevel::kDebug, "job_cancelled", j.failed_at_us)
+        .str("job", j.label)
+        .emit();
+  }
   if (running_) {
     // A released job sits in the pool queue; execute() observes kCancelled,
     // settles its outstanding_ count and cascades. An unreleased or
@@ -140,17 +172,21 @@ void Scheduler::execute(JobId id) {
 
   const auto t0 = std::chrono::steady_clock::now();
   robust::Status outcome = robust::Status::ok();
-  try {
-    // Deterministic fault harness: a no-op unless a test or --inject armed
-    // a plan for this label.
-    robust::FaultPlan::global().on_job_enter(label);
-    fn(token);
-  } catch (...) {
-    outcome = robust::status_of_current_exception();
+  {
+    obs::Span span(label, "job");
+    try {
+      // Deterministic fault harness: a no-op unless a test or --inject
+      // armed a plan for this label.
+      robust::FaultPlan::global().on_job_enter(label);
+      fn(token);
+    } catch (...) {
+      outcome = robust::status_of_current_exception();
+    }
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  sched_metrics().job_seconds.observe(seconds);
 
   std::lock_guard<std::mutex> lock(mutex_);
   Job& j = jobs_[id];
@@ -163,6 +199,7 @@ void Scheduler::execute(JobId id) {
   }
   if (outcome.is_ok()) {
     j.state = JobState::kDone;
+    sched_metrics().done.add();
     for (const JobId d : j.dependents) {
       if (jobs_[d].state == JobState::kPending &&
           --jobs_[d].remaining_deps == 0) {
@@ -181,6 +218,16 @@ void Scheduler::execute(JobId id) {
     // the workers busy during a fault storm.
     const double backoff =
         j.options.backoff_seconds * static_cast<double>(j.attempts);
+    sched_metrics().retried.add();
+    auto& elog = obs::EventLog::global();
+    if (elog.enabled(obs::LogLevel::kInfo)) {
+      elog.event(obs::LogLevel::kInfo, "job_retry")
+          .str("job", j.label)
+          .uint("attempt", j.attempts)
+          .str("code", robust::to_string(outcome.code()))
+          .num("backoff_s", backoff)
+          .emit();
+    }
     if (backoff <= 0.0) {
       j.state = JobState::kReady;
       pool_.submit([this, id] { execute(id); });
@@ -195,8 +242,21 @@ void Scheduler::execute(JobId id) {
     return;
   }
   j.state = JobState::kFailed;
+  j.failed_at_us = obs::wall_now_us();
   j.status = outcome.with_context("job '" + j.label + "'");
   j.error = outcome.message();
+  sched_metrics().failed.add();
+  {
+    auto& elog = obs::EventLog::global();
+    if (elog.enabled(obs::LogLevel::kError)) {
+      elog.event(obs::LogLevel::kError, "job_failed", j.failed_at_us)
+          .str("job", j.label)
+          .str("code", robust::to_string(outcome.code()))
+          .str("message", outcome.message())
+          .uint("attempts", j.attempts)
+          .emit();
+    }
+  }
   if (first_error_.empty()) {
     first_error_ = "job '" + j.label + "' failed: " + j.error;
     first_status_ = j.status;
@@ -244,12 +304,24 @@ void Scheduler::service_timers_locked() {
         std::chrono::duration<double>(now - j.started_at).count();
     if (elapsed < j.options.timeout_seconds) continue;
     j.state = JobState::kTimedOut;
+    j.failed_at_us = obs::wall_now_us();
     j.status = robust::Status::error(
         robust::StatusCode::kTimeout,
         "exceeded " + format_seconds(j.options.timeout_seconds) +
             " s deadline",
         "job '" + j.label + "'");
     j.error = j.status.message();
+    sched_metrics().timed_out.add();
+    {
+      auto& elog = obs::EventLog::global();
+      if (elog.enabled(obs::LogLevel::kWarn)) {
+        elog.event(obs::LogLevel::kWarn, "job_timeout", j.failed_at_us)
+            .str("job", j.label)
+            .num("limit_s", j.options.timeout_seconds)
+            .num("elapsed_s", elapsed)
+            .emit();
+      }
+    }
     // Ask the closure to stop; it settles outstanding_ when it returns.
     j.token.request_cancel();
     if (first_error_.empty()) {
@@ -261,6 +333,7 @@ void Scheduler::service_timers_locked() {
 }
 
 robust::Status Scheduler::run_all() {
+  obs::Span span("scheduler.run", "engine");
   bool any_timer = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/clock.h"
+#include "obs/trace.h"
+
 namespace swsim::engine {
 
 namespace {
@@ -11,8 +14,15 @@ thread_local const ThreadPool* tl_pool = nullptr;
 thread_local std::size_t tl_worker = 0;
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads)
+    : m_submitted_(obs::MetricsRegistry::global().counter("pool.tasks.submitted")),
+      m_executed_(obs::MetricsRegistry::global().counter("pool.tasks.executed")),
+      m_stolen_(obs::MetricsRegistry::global().counter("pool.tasks.stolen")),
+      m_busy_us_(obs::MetricsRegistry::global().counter("pool.busy_us")),
+      m_pending_(obs::MetricsRegistry::global().gauge("pool.pending")),
+      m_threads_(obs::MetricsRegistry::global().gauge("pool.threads")) {
   if (threads == 0) threads = default_threads();
+  m_threads_.set(static_cast<std::int64_t>(threads));
   queues_.resize(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -46,11 +56,15 @@ void ThreadPool::submit(std::function<void()> fn) {
     }
     queues_[target].push_back(std::move(fn));
     ++pending_;
+    m_submitted_.add();
+    m_pending_.set(static_cast<std::int64_t>(pending_));
   }
   work_cv_.notify_one();
 }
 
-bool ThreadPool::try_pop_locked(std::size_t self, std::function<void()>& out) {
+bool ThreadPool::try_pop_locked(std::size_t self, std::function<void()>& out,
+                                bool& stole) {
+  stole = false;
   if (!queues_[self].empty()) {
     out = std::move(queues_[self].back());  // own work: LIFO
     queues_[self].pop_back();
@@ -61,6 +75,7 @@ bool ThreadPool::try_pop_locked(std::size_t self, std::function<void()>& out) {
     if (!queues_[victim].empty()) {
       out = std::move(queues_[victim].front());  // steal: FIFO
       queues_[victim].pop_front();
+      stole = true;
       return true;
     }
   }
@@ -70,18 +85,26 @@ bool ThreadPool::try_pop_locked(std::size_t self, std::function<void()>& out) {
 void ThreadPool::worker_loop(std::size_t self) {
   tl_pool = this;
   tl_worker = self;
+  obs::set_thread_name("worker-" + std::to_string(self));
   for (;;) {
     std::function<void()> task;
+    bool stole = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock,
-                    [&] { return stop_ || try_pop_locked(self, task); });
+                    [&] { return stop_ || try_pop_locked(self, task, stole); });
       if (!task) return;  // stop_ and nothing poppable
     }
-    task();
+    if (stole) m_stolen_.add();
+    {
+      obs::ScopedTimerUs busy(m_busy_us_);
+      task();
+    }
+    m_executed_.add();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --pending_;
+      m_pending_.set(static_cast<std::int64_t>(pending_));
     }
     idle_cv_.notify_all();
   }

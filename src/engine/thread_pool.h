@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace swsim::engine {
 
 class ThreadPool {
@@ -48,7 +50,9 @@ class ThreadPool {
  private:
   void worker_loop(std::size_t self);
   // Pops own back, else steals a sibling's front. Caller holds mutex_.
-  bool try_pop_locked(std::size_t self, std::function<void()>& out);
+  // `stole` reports whether the task came from a sibling's deque.
+  bool try_pop_locked(std::size_t self, std::function<void()>& out,
+                      bool& stole);
 
   std::vector<std::deque<std::function<void()>>> queues_;
   std::vector<std::thread> workers_;
@@ -58,6 +62,15 @@ class ThreadPool {
   std::size_t next_queue_ = 0;        // round-robin cursor for submissions
   std::size_t pending_ = 0;           // queued + running tasks
   bool stop_ = false;
+
+  // Observability (stable references into the leaky registry; every record
+  // is a no-op relaxed load unless metrics are armed).
+  obs::Counter& m_submitted_;
+  obs::Counter& m_executed_;
+  obs::Counter& m_stolen_;
+  obs::Counter& m_busy_us_;
+  obs::Gauge& m_pending_;
+  obs::Gauge& m_threads_;
 };
 
 }  // namespace swsim::engine

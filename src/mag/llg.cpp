@@ -6,6 +6,9 @@
 #include <stdexcept>
 
 #include "math/constants.h"
+#include "obs/clock.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "robust/fault_injection.h"
 
 namespace swsim::mag {
@@ -17,8 +20,20 @@ void effective_field(const System& sys,
                      const std::vector<std::unique_ptr<FieldTerm>>& terms,
                      const VectorField& m, double t, VectorField& h) {
   h.fill(Vec3{});
+  if (!obs::metrics_armed()) {
+    for (const auto& term : terms) {
+      term->accumulate(sys, m, t, h);
+    }
+    return;
+  }
+  // Armed path: attribute field-assembly time per term ("mag.term.<name>.us"
+  // aggregates demag vs exchange vs antenna cost across the whole run).
+  auto& reg = obs::MetricsRegistry::global();
   for (const auto& term : terms) {
+    const double t0 = obs::now_us();
     term->accumulate(sys, m, t, h);
+    reg.counter("mag.term." + term->name() + ".us")
+        .add(static_cast<std::uint64_t>(obs::now_us() - t0));
   }
 }
 
@@ -61,9 +76,17 @@ void Stepper::eval(const System& sys,
                    const std::vector<std::unique_ptr<FieldTerm>>& terms,
                    const VectorField& m, double t, VectorField& dmdt) {
   if (h_.size() != m.size()) h_ = VectorField(sys.grid());
-  effective_field(sys, terms, m, t, h_);
+  {
+    static obs::Counter& field_us =
+        obs::MetricsRegistry::global().counter("mag.field_assembly.us");
+    obs::ScopedTimerUs timer(field_us);
+    effective_field(sys, terms, m, t, h_);
+  }
   llg_rhs(sys, m, h_, dmdt);
   ++stats_.field_evaluations;
+  static obs::Counter& evals =
+      obs::MetricsRegistry::global().counter("mag.field_evals");
+  evals.add();
 }
 
 double Stepper::step(const System& sys,
@@ -102,9 +125,22 @@ double Stepper::step(const System& sys,
   // Health scan on the raw integrator output: renormalization would mask
   // norm drift (and it preserves NaN), so check before it runs.
   if (watchdog_.cadence > 0 && stats_.steps_taken % watchdog_.cadence == 0) {
+    static obs::Counter& scan_us =
+        obs::MetricsRegistry::global().counter("mag.watchdog_scan.us");
+    obs::ScopedTimerUs timer(scan_us);
     const robust::Status health = robust::scan_magnetization(
         m, sys.mask(), watchdog_.norm_drift_tol);
     if (!health.is_ok()) {
+      obs::MetricsRegistry::global().counter("robust.watchdog_trips").add();
+      auto& elog = obs::EventLog::global();
+      if (elog.enabled(obs::LogLevel::kWarn)) {
+        elog.event(obs::LogLevel::kWarn, "watchdog_trip")
+            .str("kind", "state")
+            .uint("step", stats_.steps_taken)
+            .num("dt_s", dt_)
+            .str("message", health.message())
+            .emit();
+      }
       throw robust::SolveError(health.with_context(
           "LLG step " + std::to_string(stats_.steps_taken) + ", dt = " +
           std::to_string(dt_)));
@@ -112,6 +148,9 @@ double Stepper::step(const System& sys,
   }
 
   renormalize(sys, m);
+  static obs::Counter& steps =
+      obs::MetricsRegistry::global().counter("mag.llg.steps");
+  steps.add();
   ++stats_.steps_taken;
   stats_.last_dt = taken;
   return taken;

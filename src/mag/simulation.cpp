@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 #include "mag/anisotropy_field.h"
 #include "mag/demag_field.h"
 #include "mag/exchange_field.h"
@@ -75,6 +77,12 @@ void Simulation::run(double duration) {
   const double t_end = time_ + duration;
   energy_watchdog_.reset();
   std::size_t steps = 0;
+  obs::Span span("sim.run", "mag");
+  // Per-step spans would swamp the trace (tens of thousands of RK4 steps);
+  // instead buffer blocks of steps and emit one complete event per block.
+  constexpr std::size_t kTraceBlock = 256;
+  double block_t0_us = 0.0;
+  std::size_t block_steps = 0;
   // Record the initial state so probes always hold the t = start sample.
   for (auto& p : probes_) p->maybe_record(system_, m_, time_);
   while (time_ < t_end - 1e-18) {
@@ -83,19 +91,44 @@ void Simulation::run(double duration) {
           robust::StatusCode::kCancelled,
           "cancelled at t = " + std::to_string(time_) + " s"));
     }
+    if (obs::tracing()) {
+      if (block_steps == 0) block_t0_us = obs::now_us();
+      if (++block_steps == kTraceBlock) {
+        obs::record_complete("llg.steps x" + std::to_string(block_steps),
+                             "mag", block_t0_us);
+        block_steps = 0;
+      }
+    }
     const double taken = stepper_->step(system_, terms_, m_, time_);
     time_ += taken;
     for (auto& p : probes_) p->maybe_record(system_, m_, time_);
     if (watchdog_.cadence > 0 && ++steps % watchdog_.cadence == 0) {
+      obs::Span check_span("watchdog.energy", "robust");
       const robust::Status health =
           energy_watchdog_.check(total_energy(),
                                  watchdog_.energy_growth_factor,
                                  watchdog_.energy_warmup_checks);
       if (!health.is_ok()) {
+        obs::MetricsRegistry::global()
+            .counter("robust.watchdog_trips")
+            .add();
+        auto& elog = obs::EventLog::global();
+        if (elog.enabled(obs::LogLevel::kWarn)) {
+          elog.event(obs::LogLevel::kWarn, "watchdog_trip")
+              .str("kind", "energy")
+              .num("t_sim_s", time_)
+              .uint("step", steps)
+              .str("message", health.message())
+              .emit();
+        }
         throw robust::SolveError(health.with_context(
             "t = " + std::to_string(time_) + " s"));
       }
     }
+  }
+  if (block_steps > 0 && obs::tracing()) {
+    obs::record_complete("llg.steps x" + std::to_string(block_steps), "mag",
+                         block_t0_us);
   }
 }
 
@@ -121,6 +154,17 @@ robust::Status Simulation::run_guarded(double duration) {
       if (!divergence || halvings >= watchdog_.max_step_halvings) {
         return failure;
       }
+      obs::MetricsRegistry::global().counter("robust.step_halvings").add();
+      {
+        auto& elog = obs::EventLog::global();
+        if (elog.enabled(obs::LogLevel::kWarn)) {
+          elog.event(obs::LogLevel::kWarn, "step_halving")
+              .uint("halvings", halvings + 1)
+              .num("dt_new_s", dt * 0.5)
+              .str("message", failure.message())
+              .emit();
+        }
+      }
       // Rewind and re-solve the interval at half the step size.
       m_ = m0;
       time_ = t0;
@@ -135,6 +179,7 @@ robust::Status Simulation::run_guarded(double duration) {
 
 double Simulation::relax(double max_time, double torque_tol,
                          double relax_alpha) {
+  obs::Span span("sim.relax", "mag");
   // Integrate a high-damping copy of the system; probes are not advanced
   // (relaxation is preparation, not physics being measured).
   Material relax_mat = system_.material();

@@ -1,0 +1,45 @@
+#include "obs/clock.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace swsim::obs {
+
+namespace {
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return t0;
+}
+// Touch the epoch during static init of this TU so the first span of a
+// run does not pay for it (and timestamps start near zero).
+const auto kEpochInit = process_epoch();
+}  // namespace
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - process_epoch())
+      .count();
+}
+
+std::uint64_t wall_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string format_iso8601_us(std::uint64_t t_us) {
+  if (t_us == 0) return "";
+  const std::time_t secs = static_cast<std::time_t>(t_us / 1000000ULL);
+  const unsigned micros = static_cast<unsigned>(t_us % 1000000ULL);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%06uZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, micros);
+  return buf;
+}
+
+}  // namespace swsim::obs

@@ -1,0 +1,69 @@
+// Minimal JSON support for the observability layer.
+//
+// Two halves:
+//   * escape_json() — string escaping shared by every JSON producer here
+//     (trace export, metrics dump, JSONL event log), so quarantined config
+//     names with quotes, backslashes, or control characters always yield
+//     valid JSON.
+//   * JsonValue / parse_json() — a small recursive-descent parser used by
+//     the `swsim stats` pretty-printer, the `swsim trace-check` validator,
+//     and the tests that round-trip our own dumps. It is a consumer for
+//     the formats this repo writes, not a general-purpose library: numbers
+//     are doubles, no \uXXXX surrogate-pair pedantry beyond what our own
+//     escaper emits, inputs are trusted files produced by swsim itself.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace swsim::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not
+// included): ", \, control chars < 0x20 (as \n, \t, ... or \u00XX).
+std::string escape_json(const std::string& s);
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  double number() const { return number_; }
+  bool boolean() const { return bool_; }
+  const std::string& str() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  // Object member access; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue{}; }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> a);
+  static JsonValue make_object(std::map<std::string, JsonValue> o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+// Parses one JSON document. Throws std::runtime_error with a byte offset
+// ("json parse error at byte N: ...") on malformed input — the positioned
+// style the CSV/OVF readers use.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace swsim::obs

@@ -1,0 +1,141 @@
+#ifndef SWSIM_OBS_OFF
+
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/clock.h"
+#include "obs/json.h"
+
+namespace swsim::obs {
+
+namespace detail {
+
+std::atomic<bool> g_trace_armed{false};
+
+ThreadBuffer& this_thread_buffer() {
+  // The pointer lives as long as the thread; the buffer itself is owned by
+  // the session and outlives the thread, so late events (and the exporter)
+  // never touch freed memory.
+  thread_local ThreadBuffer* buf = &TraceSession::global().register_thread();
+  return *buf;
+}
+
+}  // namespace detail
+
+TraceSession& TraceSession::global() {
+  // Leaky singleton: pool worker threads may record spans during static
+  // destruction of the main thread's objects; never destroy the session.
+  static TraceSession* session = new TraceSession();
+  return *session;
+}
+
+detail::ThreadBuffer& TraceSession::register_thread() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<detail::ThreadBuffer>());
+  buffers_.back()->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  return *buffers_.back();
+}
+
+void TraceSession::start() {
+  detail::g_trace_armed.store(true, std::memory_order_relaxed);
+}
+
+void TraceSession::stop() {
+  detail::g_trace_armed.store(false, std::memory_order_relaxed);
+}
+
+std::size_t TraceSession::event_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mutex);
+    b->events.clear();
+  }
+}
+
+std::string TraceSession::chrome_json() {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mutex);
+    if (!b->thread_name.empty()) {
+      comma();
+      os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": "
+         << b->tid << ", \"args\": {\"name\": \""
+         << escape_json(b->thread_name) << "\"}}";
+    }
+    for (const auto& e : b->events) {
+      comma();
+      os << "{\"name\": \"" << escape_json(e.name) << "\", \"cat\": \""
+         << escape_json(e.cat) << "\", \"ph\": \"X\", \"ts\": " << e.ts_us
+         << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": " << b->tid
+         << "}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool TraceSession::write_chrome_json(const std::string& path,
+                                     std::string* error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error) *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  out << chrome_json();
+  if (!out) {
+    if (error) *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+void Span::begin(const char* name, const char* cat) {
+  armed_ = true;
+  name_ = name;
+  cat_ = cat;
+  t0_us_ = now_us();
+}
+
+void Span::end() {
+  const double t1 = now_us();
+  detail::ThreadBuffer& buf = detail::this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back({std::move(name_), cat_, t0_us_, t1 - t0_us_});
+}
+
+void record_complete(const std::string& name, const char* cat, double ts_us) {
+  if (!tracing()) return;
+  const double t1 = now_us();
+  detail::ThreadBuffer& buf = detail::this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back({name, cat, ts_us, t1 - ts_us});
+}
+
+void set_thread_name(const std::string& name) {
+  detail::ThreadBuffer& buf = detail::this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.thread_name = name;
+}
+
+}  // namespace swsim::obs
+
+#endif  // SWSIM_OBS_OFF

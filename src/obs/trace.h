@@ -1,0 +1,169 @@
+// Lock-cheap tracing: TraceSession + RAII Span, exported as Chrome
+// trace_event JSON (load the file in chrome://tracing or Perfetto).
+//
+// Design:
+//   * One process-global TraceSession (leaky singleton). start() arms it;
+//     while disarmed a Span construction costs exactly one relaxed atomic
+//     load — the same contract as the robust::FaultPlan hooks — so spans
+//     can stay compiled into release hot paths.
+//   * Each thread records into its own buffer (created on first use,
+//     registered with the session, owned by the session for the process
+//     lifetime). A buffer has a private mutex that only the owning thread
+//     and the exporter ever touch, so recording is one uncontended lock —
+//     no global lock on the hot path.
+//   * Spans are Chrome "X" (complete) events: name, category, start
+//     timestamp, duration, thread id. The viewer nests events on a thread
+//     by time containment, so natural C++ scope nesting renders as a
+//     flame graph with no explicit parent bookkeeping.
+//   * set_thread_name() labels a thread ("worker-3") via a Chrome "M"
+//     metadata event; the engine's pool workers call it at startup.
+//
+// Compile-out: with SWSIM_OBS_OFF defined every entry point collapses to
+// an inert inline stub (see the #else half below).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#ifndef SWSIM_OBS_OFF
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace swsim::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_armed;
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "swsim";
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+};
+
+// Per-thread event buffer; owned by the session, referenced by one thread.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint32_t tid = 0;
+  std::string thread_name;
+  std::vector<TraceEvent> events;
+};
+
+ThreadBuffer& this_thread_buffer();
+}  // namespace detail
+
+// True while a TraceSession is collecting (one relaxed load).
+inline bool tracing() {
+  return detail::g_trace_armed.load(std::memory_order_relaxed);
+}
+
+class TraceSession {
+ public:
+  // The process-global session every Span records into.
+  static TraceSession& global();
+
+  void start();  // arm; spans opened from now on are recorded
+  void stop();   // disarm; already-buffered events are kept until clear()
+  bool active() const { return tracing(); }
+
+  // Total buffered events across all thread buffers.
+  std::size_t event_count();
+
+  // Chrome trace_event JSON (the {"traceEvents": [...]} wrapper form).
+  std::string chrome_json();
+  // Writes chrome_json() to `path`; false (with *error set) on I/O failure.
+  bool write_chrome_json(const std::string& path, std::string* error = nullptr);
+
+  // Drops all buffered events (thread buffers stay registered).
+  void clear();
+
+  // Internal: called by detail::this_thread_buffer() on first use.
+  detail::ThreadBuffer& register_thread();
+
+ private:
+  TraceSession() = default;
+  std::mutex mutex_;  // guards the buffer list, not the hot path
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers_;
+  std::atomic<std::uint32_t> next_tid_{0};
+};
+
+// RAII span: records one complete event over its lifetime when tracing is
+// armed at construction; otherwise a no-op (one relaxed load).
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "swsim") {
+    if (tracing()) begin(name, cat);
+  }
+  // Dynamic-name overload: the string is only copied when armed.
+  Span(const std::string& name, const char* cat = "swsim") {
+    if (tracing()) begin(name.c_str(), cat);
+  }
+  ~Span() {
+    if (armed_) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(const char* name, const char* cat);
+  void end();
+
+  bool armed_ = false;
+  double t0_us_ = 0.0;
+  const char* cat_ = nullptr;
+  std::string name_;
+};
+
+// Records a complete event [ts_us, now) after the fact — for chunked
+// instrumentation (e.g. a block of LLG steps) where an RAII scope per
+// event is impractical. No-op when tracing is disarmed.
+void record_complete(const std::string& name, const char* cat, double ts_us);
+
+// Names the calling thread in the exported trace. Cheap, call once per
+// thread; safe (and remembered) whether or not a session is active yet.
+void set_thread_name(const std::string& name);
+
+}  // namespace swsim::obs
+
+#else  // SWSIM_OBS_OFF: inert stubs, zero codegen at hook sites.
+
+namespace swsim::obs {
+
+inline bool tracing() { return false; }
+
+class TraceSession {
+ public:
+  static TraceSession& global() {
+    static TraceSession s;
+    return s;
+  }
+  void start() {}
+  void stop() {}
+  bool active() const { return false; }
+  std::size_t event_count() { return 0; }
+  std::string chrome_json() { return "{\"traceEvents\": []}\n"; }
+  bool write_chrome_json(const std::string&, std::string* error = nullptr) {
+    if (error) *error = "observability compiled out (SWSIM_OBS_OFF)";
+    return false;
+  }
+  void clear() {}
+};
+
+class Span {
+ public:
+  explicit Span(const char*, const char* = "swsim") {}
+  Span(const std::string&, const char* = "swsim") {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+inline void record_complete(const std::string&, const char*, double) {}
+inline void set_thread_name(const std::string&) {}
+
+}  // namespace swsim::obs
+
+#endif  // SWSIM_OBS_OFF

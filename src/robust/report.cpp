@@ -1,8 +1,23 @@
 #include "robust/report.h"
 
+#include <cstdio>
 #include <sstream>
 
+#include "obs/clock.h"
+
 namespace swsim::robust {
+
+namespace {
+
+std::string hex_key(std::uint64_t key) {
+  if (key == 0) return "-";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace
 
 void FailureReport::add(JobFailure failure) {
   failures_.push_back(std::move(failure));
@@ -14,7 +29,8 @@ void FailureReport::merge(const FailureReport& other) {
 }
 
 std::vector<std::string> FailureReport::csv_header() {
-  return {"job", "status", "cause", "attempts", "quarantined"};
+  return {"job",  "status", "cause",   "attempts", "quarantined",
+          "time", "t_us",   "job_key", "wall_s"};
 }
 
 std::vector<std::vector<std::string>> FailureReport::csv_rows() const {
@@ -25,8 +41,12 @@ std::vector<std::vector<std::string>> FailureReport::csv_rows() const {
     if (!f.status.context().empty()) {
       cause += " [" + f.status.context() + "]";
     }
+    std::string when = obs::format_iso8601_us(f.t_us);
+    if (when.empty()) when = "-";
     rows.push_back({f.job, to_string(f.status.code()), cause,
-                    std::to_string(f.attempts), f.quarantined ? "1" : "0"});
+                    std::to_string(f.attempts), f.quarantined ? "1" : "0",
+                    std::move(when), std::to_string(f.t_us),
+                    hex_key(f.job_key), io::Table::num(f.wall_seconds, 3)});
   }
   return rows;
 }

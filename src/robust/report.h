@@ -8,6 +8,7 @@
 // failure inventory instead of one opaque exception.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,16 @@ struct JobFailure {
   Status status;         // cause + context
   std::size_t attempts = 1;  // times the job ran (1 = no retries)
   bool quarantined = false;  // configuration was poisoned by this failure
+  // Wall-clock stamp (epoch microseconds) of the moment the failure was
+  // recorded. The engine copies this from the scheduler's Job, which used
+  // the same value for the structured event log line — the report row and
+  // its JSONL event correlate exactly instead of re-deriving "now" twice.
+  std::uint64_t t_us = 0;
+  // Content key of the configuration the job belonged to (0 when the job
+  // has no config identity, e.g. a yield chunk). Matches the `config_key`
+  // field of the event log and the cache/spill file names.
+  std::uint64_t job_key = 0;
+  double wall_seconds = 0.0;  // wall time spent in the job, summed attempts
 };
 
 class FailureReport {

@@ -1,0 +1,80 @@
+// Observability must be a pure observer: arming every sink (trace,
+// metrics, event log) cannot change a single byte of solver output.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/triangle_gate.h"
+#include "core/validator.h"
+#include "engine/batch_runner.h"
+#include "engine/hash.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace swsim::engine {
+namespace {
+
+BatchRunner::GateFactory maj_factory() {
+  core::TriangleGateConfig cfg;
+  return [cfg] { return std::make_unique<core::TriangleMajGate>(cfg); };
+}
+
+std::string run_report(int jobs) {
+  EngineConfig cfg;
+  cfg.jobs = jobs;
+  BatchRunner runner(cfg);
+  const auto report =
+      runner.run_truth_table(maj_factory(), hash_of(core::TriangleGateConfig{}));
+  return core::format_report(report);
+}
+
+TEST(ObsDeterminism, ArmedSinksLeaveSolverOutputByteIdentical) {
+  // Reference run: every sink off.
+  obs::TraceSession::global().stop();
+  obs::TraceSession::global().clear();
+  obs::MetricsRegistry::disarm();
+  const std::string plain = run_report(/*jobs=*/2);
+
+  // Instrumented run: trace + metrics + debug-level event log all armed.
+  std::ostringstream log_sink;
+  obs::TraceSession::global().start();
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::arm();
+  obs::EventLog::global().open_stream(&log_sink, obs::LogLevel::kDebug);
+
+  const std::string traced = run_report(/*jobs=*/2);
+
+  obs::EventLog::global().close();
+  obs::MetricsRegistry::disarm();
+  obs::TraceSession::global().stop();
+
+  EXPECT_EQ(traced, plain);
+
+  // And the instrumentation did actually observe the run: spans were
+  // recorded and the engine counters moved — it was armed, just inert
+  // with respect to the physics.
+  EXPECT_GT(obs::TraceSession::global().event_count(), 0u);
+  EXPECT_GT(
+      obs::MetricsRegistry::global().counter("engine.jobs.done").value(), 0u);
+  EXPECT_GT(
+      obs::MetricsRegistry::global().counter("cache.misses").value(), 0u);
+
+  obs::TraceSession::global().clear();
+}
+
+TEST(ObsDeterminism, RepeatedInstrumentedRunsAgreeAcrossJobCounts) {
+  obs::TraceSession::global().start();
+  obs::MetricsRegistry::arm();
+  const std::string two = run_report(/*jobs=*/2);
+  const std::string four = run_report(/*jobs=*/4);
+  obs::MetricsRegistry::disarm();
+  obs::TraceSession::global().stop();
+  obs::TraceSession::global().clear();
+  EXPECT_EQ(two, four);
+}
+
+}  // namespace
+}  // namespace swsim::engine

@@ -1,0 +1,126 @@
+// Event log: every line is standalone parseable JSON even with hostile
+// strings, level filtering works, and shared timestamps flow through.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/json.h"
+
+namespace swsim::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) out.push_back(line);
+  }
+  return out;
+}
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EventLog::global().open_stream(&sink_, LogLevel::kDebug);
+  }
+  void TearDown() override { EventLog::global().close(); }
+  std::ostringstream sink_;
+};
+
+TEST_F(EventLogTest, HostileStringsStayParseable) {
+  auto& log = EventLog::global();
+  const std::string hostile =
+      "quote \" backslash \\ newline \n tab \t bell \x07 end";
+  log.event(LogLevel::kWarn, "hostile")
+      .str("message", hostile)
+      .str("empty", "")
+      .emit();
+
+  const auto lines = lines_of(sink_.str());
+  ASSERT_EQ(lines.size(), 1u);  // the embedded \n must have been escaped
+  const JsonValue root = parse_json(lines[0]);
+  EXPECT_EQ(root.find("event")->str(), "hostile");
+  EXPECT_EQ(root.find("level")->str(), "warn");
+  // Round-trip: the parsed value equals the original raw string.
+  EXPECT_EQ(root.find("message")->str(), hostile);
+  EXPECT_EQ(root.find("empty")->str(), "");
+  EXPECT_GT(root.find("t_us")->number(), 0.0);
+  ASSERT_NE(root.find("ts"), nullptr);
+  EXPECT_NE(root.find("ts")->str().find("T"), std::string::npos);
+}
+
+TEST_F(EventLogTest, FieldTypesSerializeAsExpected) {
+  EventLog::global()
+      .event(LogLevel::kInfo, "typed")
+      .num("ratio", 0.25)
+      .uint("attempts", 3)
+      .hex("key", 0x9e3779b97f4a7c15ULL)
+      .boolean("spilled", true)
+      .boolean("quarantined", false)
+      .emit();
+
+  const auto lines = lines_of(sink_.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue root = parse_json(lines[0]);
+  EXPECT_DOUBLE_EQ(root.find("ratio")->number(), 0.25);
+  EXPECT_DOUBLE_EQ(root.find("attempts")->number(), 3.0);
+  EXPECT_EQ(root.find("key")->str(), "0x9e3779b97f4a7c15");
+  EXPECT_TRUE(root.find("spilled")->boolean());
+  ASSERT_TRUE(root.find("quarantined")->is_bool());
+  EXPECT_FALSE(root.find("quarantined")->boolean());
+}
+
+TEST_F(EventLogTest, MinLevelFiltersLowerSeverities) {
+  auto& log = EventLog::global();
+  log.open_stream(&sink_, LogLevel::kWarn);
+  EXPECT_FALSE(log.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log.enabled(LogLevel::kError));
+
+  log.event(LogLevel::kInfo, "dropped").emit();
+  log.event(LogLevel::kError, "kept").emit();
+  const auto lines = lines_of(sink_.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(parse_json(lines[0]).find("event")->str(), "kept");
+}
+
+TEST_F(EventLogTest, ClosedLogIsDisabledAndDropsEvents) {
+  auto& log = EventLog::global();
+  log.close();
+  EXPECT_FALSE(log.enabled(LogLevel::kError));
+  log.event(LogLevel::kError, "lost").emit();
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(EventLogTest, ExplicitTimestampOverridesTheStamp) {
+  // Callers that share a timestamp with another record (FailureReport)
+  // pass it explicitly; the line must carry exactly that stamp.
+  const std::uint64_t t = 1754450000123456ULL;
+  EventLog::global().event(LogLevel::kError, "job_failed", t).emit();
+  const auto lines = lines_of(sink_.str());
+  ASSERT_EQ(lines.size(), 1u);
+  const JsonValue root = parse_json(lines[0]);
+  EXPECT_EQ(root.find("ts")->str(), "2025-08-06T03:13:20.123456Z");
+  // Note: t_us is parsed as double; 1.75e15 is still exactly representable.
+  EXPECT_DOUBLE_EQ(root.find("t_us")->number(),
+                   static_cast<double>(t));
+}
+
+TEST(EventLogLevels, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "warn");
+  EXPECT_THROW(parse_log_level("verbose"), std::invalid_argument);
+  EXPECT_THROW(parse_log_level(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace swsim::obs

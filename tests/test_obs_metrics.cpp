@@ -1,0 +1,153 @@
+// Metrics: bucket boundary ("le") semantics, quantile interpolation,
+// armed/disarmed gating, registry identity, and the JSON export shape.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace swsim::obs {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::arm(); }
+  void TearDown() override { MetricsRegistry::disarm(); }
+};
+
+TEST_F(MetricsTest, CounterAndGaugeTallyWhenArmed) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+}
+
+TEST_F(MetricsTest, DisarmedRecordsAreDropped) {
+  MetricsRegistry::disarm();
+  Counter c;
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.set(5);
+  EXPECT_EQ(g.value(), 0);
+
+  Histogram h({1.0});
+  h.observe(0.5);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST_F(MetricsTest, HistogramBoundaryValuesAreInclusive) {
+  // "le" semantics: a value exactly on a bound lands in that bound's
+  // bucket, not the next one.
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(1.0);  // bucket 0 (boundary inclusive)
+  h.observe(1.5);  // bucket 1
+  h.observe(2.0);  // bucket 1 (boundary inclusive)
+  h.observe(5.0);  // bucket 2 (last finite boundary)
+  h.observe(7.0);  // overflow
+
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 6u);
+  EXPECT_DOUBLE_EQ(s.sum, 17.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 17.0 / 6.0);
+}
+
+TEST_F(MetricsTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({1.0, 2.0, 5.0});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 5.0, 7.0}) h.observe(v);
+  const auto s = h.snapshot();
+  // rank 3 of 6 falls in the (1, 2] bucket at within-fraction 0.5.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 1.5);
+  // The overflow bucket has no upper bound to interpolate toward; it
+  // reports the last finite bound.
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  // Empty histogram: quantile is defined (0), not a crash.
+  EXPECT_DOUBLE_EQ(Histogram({1.0}).snapshot().quantile(0.9), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramRejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(MetricsTest, RegistryGetOrCreateReturnsStableObjects) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test.obs_metrics.counter");
+  Counter& b = reg.counter("test.obs_metrics.counter");
+  EXPECT_EQ(&a, &b);
+
+  // Bounds apply only on first creation; later callers get the original.
+  Histogram& h1 = reg.histogram("test.obs_metrics.hist", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("test.obs_metrics.hist", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+  EXPECT_DOUBLE_EQ(h2.bounds()[1], 2.0);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterAddsDoNotLoseIncrements) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&c] {
+      for (int n = 0; n < kAdds; ++n) c.add();
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(MetricsTest, JsonExportRoundTrips) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test.obs_metrics.json_counter").add(3);
+  reg.gauge("test.obs_metrics.json_gauge").set(-2);
+  Histogram& h = reg.histogram("test.obs_metrics.json_hist", {1.0, 2.0});
+  h.reset();
+  h.observe(0.5);
+  h.observe(9.0);
+
+  const JsonValue root = parse_json(reg.json());
+  const auto* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const auto* c = counters->find("test.obs_metrics.json_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->number(), 3.0);
+
+  const auto* g = root.find("gauges")->find("test.obs_metrics.json_gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->number(), -2.0);
+
+  const auto* hist =
+      root.find("histograms")->find("test.obs_metrics.json_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->number(), 2.0);
+  EXPECT_DOUBLE_EQ(hist->find("sum")->number(), 9.5);
+  const auto& buckets = hist->find("buckets")->array();
+  ASSERT_EQ(buckets.size(), 3u);  // two finite bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets[0].array()[0].number(), 1.0);
+  EXPECT_DOUBLE_EQ(buckets[0].array()[1].number(), 1.0);
+  // The overflow bucket's "le" is the string "inf", not a number.
+  EXPECT_EQ(buckets[2].array()[0].str(), "inf");
+  EXPECT_DOUBLE_EQ(buckets[2].array()[1].number(), 1.0);
+}
+
+}  // namespace
+}  // namespace swsim::obs

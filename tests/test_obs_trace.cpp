@@ -1,0 +1,174 @@
+// Tracing: disarmed spans record nothing, armed spans export well-formed
+// Chrome trace_event JSON, and scope nesting survives multi-threaded
+// recording (each thread's spans nest by time containment on its own tid).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace swsim::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::global().stop();
+    TraceSession::global().clear();
+  }
+  void TearDown() override {
+    TraceSession::global().stop();
+    TraceSession::global().clear();
+  }
+};
+
+TEST_F(TraceTest, DisarmedSpansRecordNothing) {
+  {
+    Span a("outer");
+    Span b("inner", "cat");
+  }
+  record_complete("late", "cat", 0.0);
+  EXPECT_EQ(TraceSession::global().event_count(), 0u);
+}
+
+TEST_F(TraceTest, ArmedSpanBecomesCompleteEvent) {
+  TraceSession::global().start();
+  { Span a("solve", "engine"); }
+  TraceSession::global().stop();
+  ASSERT_EQ(TraceSession::global().event_count(), 1u);
+
+  const JsonValue root = parse_json(TraceSession::global().chrome_json());
+  const auto* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Exactly one X event named "solve" (any M thread-name events aside).
+  std::size_t complete = 0;
+  for (const auto& e : events->array()) {
+    if (e.find("ph")->str() != "X") continue;
+    ++complete;
+    EXPECT_EQ(e.find("name")->str(), "solve");
+    EXPECT_EQ(e.find("cat")->str(), "engine");
+    EXPECT_GE(e.find("ts")->number(), 0.0);
+    EXPECT_GE(e.find("dur")->number(), 0.0);
+  }
+  EXPECT_EQ(complete, 1u);
+}
+
+TEST_F(TraceTest, SpansStartedBeforeStopAreKept) {
+  TraceSession::global().start();
+  {
+    Span a("outlives-stop");
+    TraceSession::global().stop();
+  }  // the span was armed at construction; closing it must still record
+  EXPECT_EQ(TraceSession::global().event_count(), 1u);
+}
+
+struct EventRec {
+  std::string name;
+  double ts = 0.0;
+  double dur = 0.0;
+  double tid = -1.0;
+};
+
+std::vector<EventRec> complete_events(const std::string& json) {
+  std::vector<EventRec> out;
+  const JsonValue root = parse_json(json);
+  for (const auto& e : root.find("traceEvents")->array()) {
+    if (e.find("ph")->str() != "X") continue;
+    out.push_back({e.find("name")->str(), e.find("ts")->number(),
+                   e.find("dur")->number(), e.find("tid")->number()});
+  }
+  return out;
+}
+
+TEST_F(TraceTest, NestingSurvivesAcrossThreads) {
+  constexpr int kThreads = 4;
+  TraceSession::global().start();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w] {
+      set_thread_name("t" + std::to_string(w));
+      Span outer("outer-" + std::to_string(w));
+      Span inner("inner-" + std::to_string(w));
+    });
+  }
+  for (auto& t : workers) t.join();
+  TraceSession::global().stop();
+
+  const auto events = complete_events(TraceSession::global().chrome_json());
+  ASSERT_EQ(events.size(), 2u * kThreads);
+
+  // Group by tid: each thread buffer must hold exactly its own pair, with
+  // the inner span contained in the outer's [ts, ts+dur) window — that is
+  // what makes the viewer render them as nested.
+  std::map<double, std::vector<EventRec>> by_tid;
+  for (const auto& e : events) by_tid[e.tid].push_back(e);
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (auto& [tid, list] : by_tid) {
+    ASSERT_EQ(list.size(), 2u);
+    const auto outer = std::find_if(list.begin(), list.end(), [](auto& e) {
+      return e.name.rfind("outer", 0) == 0;
+    });
+    const auto inner = std::find_if(list.begin(), list.end(), [](auto& e) {
+      return e.name.rfind("inner", 0) == 0;
+    });
+    ASSERT_NE(outer, list.end());
+    ASSERT_NE(inner, list.end());
+    // Same worker: suffixes match.
+    EXPECT_EQ(outer->name.substr(6), inner->name.substr(6));
+    EXPECT_GE(inner->ts, outer->ts);
+    EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + 1e-6);
+  }
+
+  // Thread names exported as metadata events.
+  const JsonValue root = parse_json(TraceSession::global().chrome_json());
+  std::size_t named = 0;
+  for (const auto& e : root.find("traceEvents")->array()) {
+    if (e.find("ph")->str() != "M") continue;
+    EXPECT_EQ(e.find("name")->str(), "thread_name");
+    const auto* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    const auto* name = args->find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->str().rfind("t", 0) == 0) ++named;
+  }
+  EXPECT_EQ(named, static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, RecordCompleteBackfillsAnInterval) {
+  TraceSession::global().start();
+  const double t0 = 1.0;
+  record_complete("block", "mag", t0);
+  TraceSession::global().stop();
+  const auto events = complete_events(TraceSession::global().chrome_json());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "block");
+  EXPECT_DOUBLE_EQ(events[0].ts, t0);
+  EXPECT_GE(events[0].dur, 0.0);
+}
+
+TEST_F(TraceTest, ClearDropsEventsButKeepsThreadRegistration) {
+  TraceSession::global().start();
+  { Span a("before-clear"); }
+  TraceSession::global().clear();
+  EXPECT_EQ(TraceSession::global().event_count(), 0u);
+  { Span a("after-clear"); }
+  TraceSession::global().stop();
+  EXPECT_EQ(TraceSession::global().event_count(), 1u);
+}
+
+TEST_F(TraceTest, SpanNamesAreJsonEscaped) {
+  TraceSession::global().start();
+  { Span a(std::string("quote \" backslash \\ newline \n end"), "core"); }
+  TraceSession::global().stop();
+  const auto events = complete_events(TraceSession::global().chrome_json());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "quote \" backslash \\ newline \n end");
+}
+
+}  // namespace
+}  // namespace swsim::obs

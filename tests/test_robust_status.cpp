@@ -133,16 +133,42 @@ TEST(FailureReport, RendersCsvAndTable) {
   FailureReport r;
   r.add({"job 1", Status::error(StatusCode::kInternal, "thrown"), 1, false});
   const auto header = FailureReport::csv_header();
-  ASSERT_EQ(header.size(), 5u);
+  ASSERT_EQ(header.size(), 9u);
   EXPECT_EQ(header[0], "job");
+  EXPECT_EQ(header[5], "time");
+  EXPECT_EQ(header[6], "t_us");
+  EXPECT_EQ(header[7], "job_key");
+  EXPECT_EQ(header[8], "wall_s");
   const auto rows = r.csv_rows();
   ASSERT_EQ(rows.size(), 1u);
   ASSERT_EQ(rows[0].size(), header.size());
   EXPECT_EQ(rows[0][0], "job 1");
   EXPECT_EQ(rows[0][1], "internal");
+  // No timestamp / key recorded: placeholder cells, zero t_us.
+  EXPECT_EQ(rows[0][5], "-");
+  EXPECT_EQ(rows[0][6], "0");
+  EXPECT_EQ(rows[0][7], "-");
   const std::string table = r.str();
   EXPECT_NE(table.find("failure report (1 job)"), std::string::npos);
   EXPECT_NE(table.find("internal"), std::string::npos);
+}
+
+TEST(FailureReport, RendersWallClockStampAndJobKey) {
+  FailureReport r;
+  JobFailure f;
+  f.job = "job 2 / row 1";
+  f.status = Status::error(StatusCode::kTimeout, "deadline");
+  f.t_us = 1754450000123456ULL;
+  f.job_key = 0x9e3779b97f4a7c15ULL;
+  f.wall_seconds = 1.5;
+  r.add(f);
+  const auto rows = r.csv_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][6], "1754450000123456");
+  EXPECT_EQ(rows[0][7], "0x9e3779b97f4a7c15");
+  EXPECT_EQ(rows[0][8], "1.500");
+  // ISO-8601 UTC rendering of the same microsecond stamp.
+  EXPECT_EQ(rows[0][5], "2025-08-06T03:13:20.123456Z");
 }
 
 }  // namespace
