@@ -12,6 +12,7 @@
 // Output: console tables + bench_ablation_cascade.csv.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "core/fanout_tree.h"
 #include "core/logic.h"
 #include "core/wave_cascade.h"
@@ -24,7 +25,8 @@ using namespace swsim;
 using namespace swsim::math;
 using swsim::io::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("ablation_cascade", &argc, argv);
   std::cout << "=== Ablation: fan-out extension, cascading, ADP ===\n\n";
   io::CsvWriter csv("bench_ablation_cascade.csv");
 
@@ -131,5 +133,21 @@ int main() {
             << "(spin-wave gates trade 10-40x delay for orders of magnitude "
                "lower power; ref. [42] reports 800x ADP gains for a hybrid "
                "CMOS/SW divider on the same basis)\n";
-  return 0;
+
+  // Timed kernel: the two-stage MAJ cascade over all 32 patterns — the
+  // deepest analytic evaluation in the suite.
+  constexpr int kChainsPerSample = 50;
+  harness.time_case(
+      "maj_cascade_32_patterns",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kChainsPerSample; ++rep) {
+          acc += run_chain(true);
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/32.0 * kChainsPerSample);
+  harness.add_scalar("raw_cascade_wrong", raw_wrong);
+  harness.add_scalar("normalized_cascade_wrong", norm_wrong);
+  return harness.finish() ? 0 : 1;
 }

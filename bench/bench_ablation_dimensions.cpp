@@ -15,6 +15,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "core/logic.h"
 #include "core/triangle_gate.h"
 #include "core/validator.h"
@@ -37,7 +38,8 @@ bool maj_passes(const geom::TriangleGateParams& params) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("ablation_dimensions", &argc, argv);
   std::cout << "=== Ablation: dimensioning design rules ===\n\n";
   io::CsvWriter csv("bench_ablation_dimensions.csv");
 
@@ -152,5 +154,21 @@ int main() {
   } else {
     std::cout << "MAJ3 passed the entire sweep\n";
   }
-  return 0;
+
+  // Timed kernel: a full gate construction + truth-table validation — the
+  // operation every design-rule probe above repeats.
+  constexpr int kValidationsPerSample = 500;
+  harness.time_case(
+      "gate_validate",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kValidationsPerSample; ++rep) {
+          acc += maj_passes(geom::TriangleGateParams::paper_maj3()) ? 1.0 : 0.0;
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/static_cast<double>(kValidationsPerSample));
+  harness.add_scalar("arm_mismatch_tolerance_lambda",
+                     failure_at > 0.0 ? failure_at - 0.05 : 0.5);
+  return harness.finish() ? 0 : 1;
 }

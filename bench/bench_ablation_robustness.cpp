@@ -11,9 +11,11 @@
 //      dispersion operating point.
 //
 // Runtime: a couple dozen LLG runs; a few minutes.
+#include <chrono>
 #include <iostream>
 #include <optional>
 
+#include "bench/harness.h"
 #include "core/logic.h"
 #include "core/micromag_gate.h"
 #include "core/validator.h"
@@ -52,9 +54,15 @@ XorResult run_xor(const core::MicromagGateConfig& cfg) {
   return r;
 }
 
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("ablation_robustness", &argc, argv);
   std::cout << "=== Ablation: thermal noise and fabrication variability ===\n\n";
   io::CsvWriter csv("bench_ablation_robustness.csv");
   csv.write_row({"experiment", "value", "pass", "worst_margin", "asymmetry"});
@@ -63,6 +71,7 @@ int main() {
   std::cout << "1. thermal noise (micromagnetic XOR truth table)\n\n";
   Table thermal({"T (K)", "truth table", "worst margin", "|O1-O2| max"});
   double thermal_ceiling = -1.0;
+  const auto thermal_t0 = std::chrono::steady_clock::now();
   for (double temperature : {0.0, 2.0, 5.0, 50.0, 300.0}) {
     auto cfg = base_config();
     cfg.temperature = temperature;
@@ -74,6 +83,7 @@ int main() {
     csv.write_row({"thermal", Table::num(temperature, 0), r.pass ? "1" : "0",
                    Table::num(r.worst_margin, 4), Table::num(r.asymmetry, 4)});
   }
+  harness.record_samples("thermal_sweep", "s", {seconds_since(thermal_t0)});
   std::cout << thermal.str()
             << "reduced-scale thermal ceiling: ~" << thermal_ceiling
             << " K for this drive level.\n"
@@ -90,6 +100,7 @@ int main() {
   std::cout << "2. edge roughness (amplitude sweep, correlation 10 nm)\n\n";
   Table rough({"roughness amplitude (nm)", "truth table", "worst margin"});
   double break_at = -1.0;
+  const auto rough_t0 = std::chrono::steady_clock::now();
   for (double amp_nm : {0.0, 2.0, 4.0, 6.0}) {
     auto cfg = base_config();
     if (amp_nm > 0.0) {
@@ -106,6 +117,7 @@ int main() {
     csv.write_row({"roughness", Table::num(amp_nm, 1), r.pass ? "1" : "0",
                    Table::num(r.worst_margin, 4), Table::num(r.asymmetry, 4)});
   }
+  harness.record_samples("roughness_sweep", "s", {seconds_since(rough_t0)});
   std::cout << rough.str();
   if (break_at >= 0.0) {
     std::cout << "gate functional up to < " << Table::num(break_at, 0)
@@ -142,6 +154,7 @@ int main() {
   core::TriangleXorGate xg = core::TriangleXorGate::paper_device();
   Table yield({"length tolerance (nm, 1-sigma)", "amplitude spread",
                "MAJ yield", "XOR yield"});
+  const auto yield_t0 = std::chrono::steady_clock::now();
   for (const auto& [len_nm, amp] :
        std::vector<std::pair<double, double>>{
            {0.0, 0.0}, {1.0, 0.02}, {2.0, 0.05}, {4.0, 0.10}, {8.0, 0.20}}) {
@@ -159,9 +172,13 @@ int main() {
                    Table::num(ry_maj.yield, 4), Table::num(ry_xor.yield, 4),
                    Table::num(amp, 3)});
   }
+  harness.record_samples("yield_sweep", "s", {seconds_since(yield_t0)},
+                         /*items_per_second=*/0.0);
   std::cout << yield.str()
             << "(MAJ is the fragile one under amplitude spread: its "
                "minority-I3 rows sit near an amplitude cancellation — see "
                "test_core_variability.cpp)\n";
-  return 0;
+  harness.add_scalar("thermal_ceiling_k", thermal_ceiling);
+  harness.add_scalar("roughness_break_nm", break_at >= 0.0 ? break_at : -1.0);
+  return harness.finish() ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "io/csv.h"
 #include "io/table.h"
 #include "mag/material.h"
@@ -44,7 +45,8 @@ void print_wave_profile(double phase, int k_units) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("fig1_dispersion", &argc, argv);
   std::cout << "=== Fig. 1: spin wave parameters ===\n\n";
   print_wave_profile(0.0, 1);   // Fig. 1a: phi = 0, k = 1
   print_wave_profile(kPi, 3);   // Fig. 1b: phi = pi, k = 3
@@ -74,7 +76,30 @@ int main() {
   }
   std::cout << table.str() << '\n';
 
+  // Timed kernel: the dispersion sweep itself, repeated enough times per
+  // sample that the steady clock resolves it (a single 9-point sweep is
+  // sub-microsecond).
+  constexpr int kSweepsPerSample = 20000;
+  harness.time_case(
+      "dispersion_sweep",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kSweepsPerSample; ++rep) {
+          for (double lambda_nm :
+               {500.0, 250.0, 125.0, 100.0, 80.0, 55.0, 40.0, 30.0, 20.0}) {
+            const double k = wavenet::Dispersion::k_of_lambda(nm(lambda_nm));
+            acc += disp.frequency(k) + disp.group_velocity(k) +
+                   disp.attenuation_length(k);
+          }
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/9.0 * kSweepsPerSample);
+
   const double k55 = wavenet::Dispersion::k_of_lambda(nm(55));
+  harness.add_scalar("f_at_55nm_ghz", to_ghz(disp.frequency(k55)));
+  harness.add_scalar("k_at_55nm_rad_per_um", k55 * 1e-6);
+  harness.add_scalar("fmr_floor_ghz", to_ghz(disp.frequency(0.0)));
   std::cout << "operating point (paper Sec. IV-A):\n"
             << "  lambda = 55 nm -> k = " << io::Table::num(k55 * 1e-6, 1)
             << " rad/um, f = " << io::Table::num(to_ghz(disp.frequency(k55)), 2)
@@ -85,5 +110,5 @@ int main() {
             << io::Table::num(to_ghz(disp.frequency(50e6)), 2) << " GHz\n"
             << "  FMR floor f(0) = "
             << io::Table::num(to_ghz(disp.frequency(0.0)), 2) << " GHz\n";
-  return 0;
+  return harness.finish() ? 0 : 1;
 }

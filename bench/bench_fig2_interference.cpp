@@ -10,6 +10,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "io/csv.h"
 #include "io/table.h"
 #include "mag/material.h"
@@ -20,7 +21,8 @@
 using namespace swsim;
 using namespace swsim::math;
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("fig2_interference", &argc, argv);
   std::cout << "=== Fig. 2: two-wave interference ===\n\n";
 
   const mag::Material mat = mag::Material::fecob();
@@ -77,5 +79,25 @@ int main() {
             << io::Table::num(c_damped, 4)
             << ", destructive = " << io::Table::num(d_damped, 6)
             << " (contrast preserved)\n";
-  return 0;
+
+  // Timed kernel: the 25-point phase sweep through the network solver —
+  // the computing primitive every gate evaluation reduces to.
+  constexpr int kSweepsPerSample = 200;
+  harness.time_case(
+      "interference_sweep",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kSweepsPerSample; ++rep) {
+          for (int deg = 0; deg <= 360; deg += 15) {
+            net.excite(a, 1.0, 0.0);
+            net.excite(b, 1.0, deg * kPi / 180.0);
+            acc += std::abs(net.solve(model).detector_phasor.at(d));
+          }
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/25.0 * kSweepsPerSample);
+  harness.add_scalar("constructive_damped", c_damped);
+  harness.add_scalar("destructive_damped", d_damped);
+  return harness.finish() ? 0 : 1;
 }

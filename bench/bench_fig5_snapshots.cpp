@@ -11,6 +11,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "core/logic.h"
 #include "core/micromag_gate.h"
 #include "io/render.h"
@@ -21,7 +22,8 @@ using namespace swsim;
 using namespace swsim::math;
 using swsim::io::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("fig5_snapshots", &argc, argv);
   std::cout << "=== Fig. 5: micromagnetic MAJ3 snapshots (reduced scale) ===\n\n";
 
   core::MicromagGateConfig cfg;
@@ -82,5 +84,14 @@ int main() {
             << (all_ok ? "all 8 panels show correct FO2 MAJ3 operation"
                        : "FAILURES present")
             << '\n';
+
+  // Too heavy to repeat: one sample for the whole 8-pattern LLG pass
+  // (median = min = the run, mad = 0 — the gate falls back to the
+  // relative tolerance for single-sample cases).
+  const double total_s = std::chrono::duration<double>(t1 - t0).count();
+  harness.record_samples("llg_8_patterns", "s", {total_s},
+                         total_s > 0.0 ? 8.0 / total_s : 0.0);
+  harness.add_scalar("panels_ok", all_ok ? 8.0 : 0.0);
+  if (!harness.finish()) return 1;
   return all_ok ? 0 : 1;
 }

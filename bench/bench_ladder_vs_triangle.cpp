@@ -12,6 +12,7 @@
 // Output: console tables + bench_ladder_vs_triangle.csv.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "core/circuit.h"
 #include "core/ladder_gate.h"
 #include "core/triangle_gate.h"
@@ -25,7 +26,8 @@ using namespace swsim;
 using namespace swsim::math;
 using swsim::io::Table;
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("ladder_vs_triangle", &argc, argv);
   std::cout << "=== Ladder [22]/[23] vs triangle (this work) ===\n\n";
   io::CsvWriter csv("bench_ladder_vs_triangle.csv");
 
@@ -124,5 +126,27 @@ int main() {
             << (fo1_fits ? "fits (unexpected!)" : "FAILS (needs replication)")
             << "; FO2 library fits with 0 repeaters — the motivation of "
                "Sec. I\n";
-  return 0;
+
+  // Timed kernel: composing the 32-bit ripple-carry adder circuit and
+  // costing it — the circuit-level half of the comparison.
+  constexpr int kAddersPerSample = 200;
+  harness.time_case(
+      "adder32_compose_cost",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kAddersPerSample; ++rep) {
+          core::Circuit c(/*max_fanout=*/2);
+          core::build_ripple_adder(c, 32);
+          const core::CircuitCost cost = c.cost();
+          acc += cost.maj_gates + cost.xor_gates;
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/static_cast<double>(kAddersPerSample));
+  harness.add_scalar("maj_saving_pct",
+                     perf::energy_saving(tri_cost, lad_cost) * 100.0);
+  harness.add_scalar("xor_saving_pct",
+                     perf::energy_saving(tri_xor_cost, lad_xor_cost) * 100.0);
+  harness.add_scalar("fo2_fits_fo1_fails", (!fo1_fits) ? 1.0 : 0.0);
+  return harness.finish() ? 0 : 1;
 }

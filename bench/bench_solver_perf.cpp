@@ -16,6 +16,7 @@
 #include <iostream>
 #include <memory>
 
+#include "bench/harness.h"
 #include "core/micromag_gate.h"
 #include "core/triangle_gate.h"
 #include "core/validator.h"
@@ -30,6 +31,7 @@
 #include "mag/simulation.h"
 #include "math/fft.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 
 using namespace swsim;
 using namespace swsim::math;
@@ -158,11 +160,13 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 }
 
 // Serial vs engine on the 8-entry micromagnetic MAJ truth table.
-void run_engine_comparison() {
+void run_engine_comparison(swsim::bench::Harness& harness) {
   core::MicromagGateConfig cfg;
   cfg.params = geom::TriangleGateParams::reduced_maj3(math::nm(50),
                                                       math::nm(20));
-  cfg.cell_size = math::nm(5);  // coarse: this measures scheduling, not Fig.5
+  // Coarse cells: this measures scheduling, not Fig. 5. --quick coarsens
+  // further; serial and engine still compare like with like.
+  cfg.cell_size = math::nm(harness.quick() ? 8 : 5);
 
   std::cout << "\nserial vs engine: micromagnetic MAJ truth table "
             << "(8 rows + calibration per pass)\n";
@@ -210,6 +214,15 @@ void run_engine_comparison() {
   const auto warm_jobs = obs::MetricsRegistry::global()
                              .histogram("engine.job_seconds")
                              .snapshot();
+
+  // Snapshot the run profile while the registry is still armed — it embeds
+  // in BENCH_solver_perf.json as the machine-readable record of this pass.
+  const std::uint64_t cells =
+      static_cast<std::uint64_t>(serial_gate.grid().nx()) *
+      static_cast<std::uint64_t>(serial_gate.grid().ny());
+  const obs::RunProfile profile =
+      obs::RunProfile::collect(serial_s + cold_s + warm_s, cells);
+  harness.set_profile_json(profile.to_json());
   obs::MetricsRegistry::disarm();
   const std::size_t warm_hits = warm_stats.cache.hits - cold_stats.cache.hits;
   const std::size_t warm_misses =
@@ -263,15 +276,34 @@ void run_engine_comparison() {
                  p_ms(warm_jobs, 0.9), p_ms(warm_jobs, 0.99),
                  warm_same ? "1" : "0"});
   std::cout << "wrote bench_engine_speedup.csv\n";
+
+  harness.record_samples("serial_truth_table", "s", {serial_s},
+                         serial_s > 0.0 ? 8.0 / serial_s : 0.0);
+  harness.record_samples("engine_cold_truth_table", "s", {cold_s},
+                         cold_s > 0.0 ? 8.0 / cold_s : 0.0);
+  harness.record_samples("engine_warm_truth_table", "s", {warm_s},
+                         warm_s > 0.0 ? 8.0 / warm_s : 0.0);
+  harness.add_scalar("speedup_cold", cold_s > 0.0 ? serial_s / cold_s : 0.0);
+  harness.add_scalar("speedup_warm", warm_s > 0.0 ? serial_s / warm_s : 0.0);
+  harness.add_scalar("warm_cache_hit_rate", warm_hit_rate);
+  harness.add_scalar("identical_output",
+                     (cold_same && warm_same) ? 1.0 : 0.0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The harness strips its own flags (--quick/--repeats/...) from argv
+  // first, so google-benchmark only sees what it recognizes.
+  swsim::bench::Harness harness("solver_perf", &argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  if (!harness.quick()) {
+    benchmark::RunSpecifiedBenchmarks();
+  } else {
+    std::cout << "micro-benchmarks skipped (--quick)\n";
+  }
   benchmark::Shutdown();
-  run_engine_comparison();
-  return 0;
+  run_engine_comparison(harness);
+  return harness.finish() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 // Output: console table + bench_table1_maj.csv.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "core/logic.h"
 #include "core/triangle_gate.h"
 #include "core/validator.h"
@@ -39,7 +40,8 @@ constexpr PaperRow kPaper[8] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("table1_maj", &argc, argv);
   std::cout << "=== Table I: FO2 MAJ3 normalized output magnetization ===\n\n";
 
   core::TriangleMajGate gate = core::TriangleMajGate::paper_device();
@@ -93,5 +95,23 @@ int main() {
             << "  (paper: 0.001)\n"
             << "  truth table (phase detection): "
             << (all_ok ? "all 8 rows correct" : "FAILURES present") << '\n';
+
+  // Timed kernel: the full 8-row analytic truth table.
+  constexpr int kTablesPerSample = 500;
+  harness.time_case(
+      "analytic_truth_table",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kTablesPerSample; ++rep) {
+          for (const auto& p : core::all_input_patterns(3)) {
+            acc += gate.evaluate(p).normalized_o1;
+          }
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/8.0 * kTablesPerSample);
+  harness.add_scalar("fanout_asymmetry_max", worst_sym);
+  harness.add_scalar("rows_ok", all_ok ? 8.0 : 0.0);
+  if (!harness.finish()) return 1;
   return all_ok ? 0 : 1;
 }

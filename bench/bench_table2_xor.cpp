@@ -6,8 +6,10 @@
 // yields the XNOR — both are regenerated here.
 //
 // Output: console table + bench_table2_xor.csv.
+#include <chrono>
 #include <iostream>
 
+#include "bench/harness.h"
 #include "core/logic.h"
 #include "core/micromag_gate.h"
 #include "core/triangle_gate.h"
@@ -29,7 +31,8 @@ constexpr PaperRow kPaper[4] = {{0.99, 1.0}, {0.0, 0.0}, {0.0, 0.0}, {1.0, 1.0}}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("table2_xor", &argc, argv);
   std::cout << "=== Table II: FO2 XOR normalized output magnetization ===\n\n";
 
   core::TriangleXorGate gate = core::TriangleXorGate::paper_device();
@@ -71,28 +74,59 @@ int main() {
                                       : "FAILURES present")
             << '\n';
 
+  // Timed kernel: the 4-row analytic table on both gates (XOR + XNOR).
+  constexpr int kTablesPerSample = 500;
+  harness.time_case(
+      "analytic_truth_table",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kTablesPerSample; ++rep) {
+          for (const auto& p : core::all_input_patterns(2)) {
+            acc += gate.evaluate(p).normalized_o1 +
+                   xnor.evaluate(p).normalized_o1;
+          }
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/8.0 * kTablesPerSample);
+  harness.add_scalar("analytic_rows_ok", all_ok ? 4.0 : 0.0);
+
   // Micromagnetic cross-check (the paper's actual methodology): the same
-  // table from LLG simulation of the reduced-scale device.
-  std::cout << "\nmicromagnetic cross-check (reduced-scale LLG, ~10 s):\n\n";
-  core::MicromagGateConfig mm_cfg;
-  mm_cfg.params = geom::TriangleGateParams::reduced_xor(swsim::math::nm(50),
-                                                        swsim::math::nm(20));
-  core::MicromagTriangleGate mm(mm_cfg);
-  Table mm_table({"I2", "I1", "O1", "O2", "detected", "ok"});
+  // table from LLG simulation of the reduced-scale device. Skipped in
+  // --quick mode (it dominates the runtime); the gate then reports the
+  // case as "missing", which never counts as a regression.
   bool mm_ok = true;
-  for (const auto& p : core::all_input_patterns(2)) {
-    const auto out = mm.evaluate(p);
-    const bool expected = core::xor2(p[0], p[1]);
-    const bool ok = out.o1.logic == expected && out.o2.logic == expected;
-    mm_ok = mm_ok && ok;
-    mm_table.add_row({p[1] ? "1" : "0", p[0] ? "1" : "0",
-                      Table::num(out.normalized_o1, 3),
-                      Table::num(out.normalized_o2, 3),
-                      std::string(out.o1.logic ? "1" : "0") +
-                          (out.o2.logic ? "1" : "0"),
-                      ok ? "yes" : "NO"});
+  if (harness.quick()) {
+    std::cout << "\nmicromagnetic cross-check skipped (--quick)\n";
+  } else {
+    std::cout << "\nmicromagnetic cross-check (reduced-scale LLG, ~10 s):\n\n";
+    core::MicromagGateConfig mm_cfg;
+    mm_cfg.params = geom::TriangleGateParams::reduced_xor(swsim::math::nm(50),
+                                                          swsim::math::nm(20));
+    const auto mm_t0 = std::chrono::steady_clock::now();
+    core::MicromagTriangleGate mm(mm_cfg);
+    Table mm_table({"I2", "I1", "O1", "O2", "detected", "ok"});
+    for (const auto& p : core::all_input_patterns(2)) {
+      const auto out = mm.evaluate(p);
+      const bool expected = core::xor2(p[0], p[1]);
+      const bool ok = out.o1.logic == expected && out.o2.logic == expected;
+      mm_ok = mm_ok && ok;
+      mm_table.add_row({p[1] ? "1" : "0", p[0] ? "1" : "0",
+                        Table::num(out.normalized_o1, 3),
+                        Table::num(out.normalized_o2, 3),
+                        std::string(out.o1.logic ? "1" : "0") +
+                            (out.o2.logic ? "1" : "0"),
+                        ok ? "yes" : "NO"});
+    }
+    const double mm_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - mm_t0)
+                            .count();
+    harness.record_samples("micromag_truth_table", "s", {mm_s},
+                           mm_s > 0.0 ? 4.0 / mm_s : 0.0);
+    std::cout << mm_table.str()
+              << "micromagnetic verdict: " << (mm_ok ? "PASS" : "FAIL")
+              << '\n';
   }
-  std::cout << mm_table.str()
-            << "micromagnetic verdict: " << (mm_ok ? "PASS" : "FAIL") << '\n';
+  if (!harness.finish()) return 1;
   return (all_ok && mm_ok) ? 0 : 1;
 }

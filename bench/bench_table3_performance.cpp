@@ -12,6 +12,7 @@
 // Output: console tables + bench_table3_performance.csv.
 #include <iostream>
 
+#include "bench/harness.h"
 #include "io/csv.h"
 #include "io/table.h"
 #include "mag/material.h"
@@ -68,7 +69,8 @@ void print_headlines(const perf::HeadlineNumbers& h) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  swsim::bench::Harness harness("table3_performance", &argc, argv);
   std::cout << "=== Table III: performance comparison ===\n\n";
 
   const perf::Comparison cmp;
@@ -127,5 +129,24 @@ int main() {
             << Table::num(fh.xor_energy_ratio_7nm, 2)
             << "x (SW wins everywhere), delay overhead "
             << Table::num(fh.xor_delay_overhead_7nm, 0) << "x\n";
-  return 0;
+
+  // Timed kernel: building the full comparison + headline derivation.
+  constexpr int kBuildsPerSample = 2000;
+  harness.time_case(
+      "comparison_build",
+      [&] {
+        double acc = 0.0;
+        for (int rep = 0; rep < kBuildsPerSample; ++rep) {
+          const perf::Comparison c;
+          const auto hh = c.headlines();
+          acc += hh.maj_saving_vs_ladder + hh.xor_energy_ratio_7nm;
+        }
+        swsim::bench::do_not_optimize(acc);
+      },
+      /*items_per_iter=*/static_cast<double>(kBuildsPerSample));
+  const auto h = cmp.headlines();
+  harness.add_scalar("maj_saving_vs_ladder_pct", h.maj_saving_vs_ladder * 100);
+  harness.add_scalar("xor_saving_vs_ladder_pct", h.xor_saving_vs_ladder * 100);
+  harness.add_scalar("xor_energy_ratio_7nm", h.xor_energy_ratio_7nm);
+  return harness.finish() ? 0 : 1;
 }

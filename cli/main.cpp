@@ -18,13 +18,19 @@
 //   --cache-dir <d> spill evicted results to (and reuse them from) <d>
 //   --serial       bypass the engine: single-threaded legacy path
 //   --stats        print engine counters (threads, hit rate, parallelism)
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <sstream>
 
+#include "bench/harness.h"
 #include "cli/args.h"
 #include "core/derived_gates.h"
 #include "robust/fault_injection.h"
@@ -69,6 +75,15 @@ int usage() {
       "              failed jobs are reported, healthy rows still returned)\n"
       "  stats      <metrics.json>   (pretty-print a --metrics-out dump)\n"
       "  trace-check <trace.json>    (validate a --trace-out file)\n"
+      "  bench list                  (known bench targets)\n"
+      "  bench run  [name...] [--quick] [--repeats <n>] [--warmup <n>]\n"
+      "             [--bin-dir <dir>] [--out-dir <dir>]\n"
+      "             (run bench binaries; each writes BENCH_<name>.json)\n"
+      "  bench diff <base.json> <current.json> [--tolerance <frac>]\n"
+      "             [--mad-k <k>]  (compare two runs; exit 1 on regression)\n"
+      "  bench gate --baseline <dir> [--current <dir>] [--tolerance <frac>]\n"
+      "             [--mad-k <k>]  (gate every BENCH_*.json against a\n"
+      "              baseline directory; exit 1 on any regression)\n"
       "  help\n"
       "\n"
       "engine flags (accepted by truthtable, yield, micromag, batch):\n"
@@ -89,7 +104,13 @@ int usage() {
       "  --log-json <f>      write structured events (watchdog trips,\n"
       "                      retries, quarantines, ...) as JSONL\n"
       "  --log-level <l>     debug|info|warn|error (default info;\n"
-      "                      needs --log-json)\n";
+      "                      needs --log-json)\n"
+      "  --profile-out <f>   write a swsim.profile/1 JSON performance\n"
+      "                      profile of the run (throughput, term shares,\n"
+      "                      cache hit rate, pool utilization, peak RSS)\n"
+      "  --progress          live progress line on stderr (default: on\n"
+      "                      when stderr is a terminal)\n"
+      "  --no-progress       suppress the progress line\n";
   return 0;
 }
 
@@ -152,7 +173,10 @@ struct ObsOptions {
   std::string trace_out;
   std::string metrics_out;
   std::string log_json;
+  std::string profile_out;
+  bool progress = false;
   obs::LogLevel log_level = obs::LogLevel::kInfo;
+  double t0_us = 0.0;  // solve start (monotonic), the profile's wall basis
 };
 
 ObsOptions obs_options_from(const cli::Args& args) {
@@ -160,6 +184,15 @@ ObsOptions obs_options_from(const cli::Args& args) {
   o.trace_out = args.value("trace-out").value_or("");
   o.metrics_out = args.value("metrics-out").value_or("");
   o.log_json = args.value("log-json").value_or("");
+  o.profile_out = args.value("profile-out").value_or("");
+  if (args.has("progress") && args.has("no-progress")) {
+    throw std::invalid_argument("--progress conflicts with --no-progress");
+  }
+  // Default: live progress only when a human is watching stderr, so piped
+  // and logged runs stay byte-clean without needing the flag.
+  o.progress = args.has("progress") ||
+               (!args.has("no-progress") &&
+                obs::ProgressReporter::stderr_is_tty());
   // Conflicting combinations are usage errors, caught before any solve:
   // --serial bypasses the engine whose spans/counters the sinks observe,
   // and --stats + --metrics-out would double-report the same counters.
@@ -171,6 +204,11 @@ ObsOptions obs_options_from(const cli::Args& args) {
   if (args.has("serial") && !o.metrics_out.empty()) {
     throw std::invalid_argument(
         "--metrics-out instruments the engine path, which --serial bypasses "
+        "(drop --serial)");
+  }
+  if (args.has("serial") && !o.profile_out.empty()) {
+    throw std::invalid_argument(
+        "--profile-out profiles the engine path, which --serial bypasses "
         "(drop --serial)");
   }
   if (args.has("stats") && !o.metrics_out.empty()) {
@@ -187,6 +225,7 @@ ObsOptions obs_options_from(const cli::Args& args) {
     throw std::invalid_argument(
         "--log-level needs a value (debug|info|warn|error)");
   }
+  o.t0_us = obs::now_us();
   return o;
 }
 
@@ -194,13 +233,16 @@ ObsOptions obs_options_from(const cli::Args& args) {
 // exactly this command, not whatever a previous library user recorded.
 void arm_observability(const ObsOptions& o) {
   if (!o.trace_out.empty()) obs::TraceSession::global().start();
-  if (!o.metrics_out.empty()) {
+  if (!o.metrics_out.empty() || !o.profile_out.empty()) {
+    // --profile-out aggregates the same counters a --metrics-out dump
+    // exports, so either flag arms (and scopes) the registry.
     obs::MetricsRegistry::global().reset();
     obs::MetricsRegistry::arm();
   }
   if (!o.log_json.empty()) {
     obs::EventLog::global().open(o.log_json, o.log_level);
   }
+  if (o.progress) obs::ProgressReporter::global().enable();
 }
 
 // Flushes the sinks to their files. Returns 0, or 1 when a sink file could
@@ -208,6 +250,18 @@ void arm_observability(const ObsOptions& o) {
 int finish_observability(const ObsOptions& o) {
   int rc = 0;
   std::string error;
+  if (o.progress) obs::ProgressReporter::global().finish();
+  if (!o.profile_out.empty()) {
+    const double wall_s = (obs::now_us() - o.t0_us) * 1e-6;
+    const auto profile = obs::RunProfile::collect(wall_s);
+    if (!profile.write_json(o.profile_out, &error)) {
+      std::cerr << "error: --profile-out: " << error << '\n';
+      rc = 1;
+    } else {
+      std::cout << "profile -> " << o.profile_out << '\n';
+    }
+    if (o.metrics_out.empty()) obs::MetricsRegistry::disarm();
+  }
   if (!o.trace_out.empty()) {
     auto& session = obs::TraceSession::global();
     session.stop();
@@ -688,6 +742,28 @@ double quantile_from_buckets(const std::vector<double>& bounds,
   return bounds.empty() ? 0.0 : bounds.back();
 }
 
+// Parses a dump file for stats/trace-check with invalid-input semantics:
+// an empty file or malformed JSON (e.g. a dump truncated by a crash or a
+// full disk) is exit code 2 with the parser's positioned message, the same
+// class as a usage error — NOT a clean exit that would let a gating script
+// mistake a dead dump for a healthy empty one.
+std::optional<obs::JsonValue> parse_dump(const std::string& path,
+                                         const char* cmd) {
+  const std::string text = read_file(path, cmd);
+  if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+    std::cerr << cmd << ": '" << path << "': empty file (was the run "
+              << "interrupted before the dump was flushed?)\n";
+    return std::nullopt;
+  }
+  try {
+    return obs::parse_json(text);
+  } catch (const std::exception& e) {
+    std::cerr << cmd << ": '" << path << "': " << e.what()
+              << " (truncated dump?)\n";
+    return std::nullopt;
+  }
+}
+
 // Pretty-prints a --metrics-out dump as console tables.
 int cmd_stats(const cli::Args& args) {
   if (args.positional().empty()) {
@@ -695,15 +771,24 @@ int cmd_stats(const cli::Args& args) {
     return 2;
   }
   const std::string path = args.positional()[0];
-  const obs::JsonValue root = obs::parse_json(read_file(path, "stats"));
+  const auto parsed = parse_dump(path, "stats");
+  if (!parsed) return 2;
+  const obs::JsonValue& root = *parsed;
   const auto* counters = root.find("counters");
   const auto* gauges = root.find("gauges");
   const auto* histograms = root.find("histograms");
-  if (!counters || !gauges || !histograms) {
+  if (!counters || !gauges || !histograms || !counters->is_object() ||
+      !gauges->is_object() || !histograms->is_object()) {
     std::cerr << "stats: '" << path
               << "' is not a swsim metrics dump (missing counters/gauges/"
                  "histograms)\n";
-    return 1;
+    return 2;
+  }
+  if (counters->object().empty() && gauges->object().empty() &&
+      histograms->object().empty()) {
+    std::cerr << "stats: '" << path << "': dump contains no metrics (was "
+              << "the registry armed? see --metrics-out)\n";
+    return 2;
   }
 
   Table scalars({"metric", "value"});
@@ -726,13 +811,13 @@ int cmd_stats(const cli::Args& args) {
       const auto* buckets = h.find("buckets");
       if (!count || !sum || !buckets || !buckets->is_array()) {
         std::cerr << "stats: histogram '" << name << "' is malformed\n";
-        return 1;
+        return 2;
       }
       std::vector<double> bounds, bucket_counts;
       for (const auto& pair : buckets->array()) {
         if (!pair.is_array() || pair.array().size() != 2) {
           std::cerr << "stats: histogram '" << name << "' has a bad bucket\n";
-          return 1;
+          return 2;
         }
         const auto& le = pair.array()[0];
         if (le.is_number()) bounds.push_back(le.number());
@@ -763,12 +848,14 @@ int cmd_trace_check(const cli::Args& args) {
     return 2;
   }
   const std::string path = args.positional()[0];
-  const obs::JsonValue root = obs::parse_json(read_file(path, "trace-check"));
+  const auto parsed = parse_dump(path, "trace-check");
+  if (!parsed) return 2;
+  const obs::JsonValue& root = *parsed;
   const auto* events = root.find("traceEvents");
   if (!events || !events->is_array()) {
     std::cerr << "trace-check: '" << path
               << "': missing \"traceEvents\" array\n";
-    return 1;
+    return 2;
   }
   std::size_t complete = 0, metadata = 0;
   std::vector<double> tids;
@@ -776,7 +863,7 @@ int cmd_trace_check(const cli::Args& args) {
     const auto& e = events->array()[i];
     const auto fail = [&](const std::string& why) {
       std::cerr << "trace-check: event #" << i << ": " << why << '\n';
-      return 1;
+      return 2;
     };
     if (!e.is_object()) return fail("not an object");
     const auto* ph = e.find("ph");
@@ -803,10 +890,271 @@ int cmd_trace_check(const cli::Args& args) {
     }
     ++complete;
   }
+  if (complete == 0) {
+    // A trace with no complete events means the session never recorded a
+    // span — "valid JSON" is not the same as "a trace of a run".
+    std::cerr << "trace-check: '" << path << "': no complete (ph=X) events "
+              << "(was tracing armed for the whole run?)\n";
+    return 2;
+  }
   std::cout << "trace OK: " << complete << " complete events, " << metadata
             << " metadata events, " << tids.size() << " thread"
             << (tids.size() == 1 ? "" : "s") << '\n';
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// swsim bench — run the bench suite and compare/gate its BENCH_*.json
+// artifacts (schema swsim.bench/1, written by the shared bench harness).
+
+// Where the bench binaries live: next to this executable's build tree
+// (build/cli/swsim -> build/bench), overridable with --bin-dir.
+std::string default_bench_bin_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  const std::filesystem::path exe(buf);
+  return (exe.parent_path().parent_path() / "bench").string();
+}
+
+int cmd_bench_list() {
+  Table t({"name", "binary", "primary output", "runtime"});
+  for (const auto& b : swsim::bench::bench_registry()) {
+    t.add_row({b.name, std::string("bench_") + b.name, b.output,
+               b.heavy ? "heavy (minutes full / --quick)" : "seconds"});
+  }
+  std::cout << t.str()
+            << "\nrun with: swsim bench run <name...> [--quick]\n";
+  return 0;
+}
+
+int cmd_bench_run(const cli::Args& args) {
+  const auto& registry = swsim::bench::bench_registry();
+  std::vector<std::string> names(args.positional().begin() + 1,
+                                 args.positional().end());
+  if (names.empty()) {
+    for (const auto& b : registry) names.push_back(b.name);
+  }
+  for (const auto& name : names) {
+    const bool known =
+        std::any_of(registry.begin(), registry.end(),
+                    [&](const auto& b) { return name == b.name; });
+    if (!known) {
+      std::cerr << "bench run: unknown bench '" << name
+                << "' (see: swsim bench list)\n";
+      return 2;
+    }
+  }
+
+  // Benches run from the output directory (below), so a relative --bin-dir
+  // must be resolved against the *current* cwd before the cd.
+  const std::string bin_dir =
+      std::filesystem::absolute(
+          args.value("bin-dir").value_or(default_bench_bin_dir()))
+          .string();
+  const std::string out_dir = args.value("out-dir").value_or(".");
+  std::string flags;
+  if (args.has("quick")) flags += " --quick";
+  if (const auto v = args.value("repeats")) flags += " --repeats " + *v;
+  if (const auto v = args.value("warmup")) flags += " --warmup " + *v;
+
+  int failures = 0;
+  for (const auto& name : names) {
+    const std::string bin = bin_dir + "/bench_" + name;
+    if (!std::filesystem::exists(bin)) {
+      std::cerr << "bench run: no binary at " << bin
+                << " (build the bench targets, or pass --bin-dir)\n";
+      return 2;
+    }
+    std::cout << "=== bench " << name << " ===\n" << std::flush;
+    // Benches write their CSV/PGM artifacts into the cwd, so run them from
+    // the output directory and let the harness drop BENCH_<name>.json there.
+    const std::string cmd = "cd '" + out_dir + "' && '" + bin + "'" + flags;
+    const int rc = std::system(cmd.c_str());
+    const int exit_code =
+        rc == -1 ? -1 : (WIFEXITED(rc) ? WEXITSTATUS(rc) : -1);
+    if (exit_code != 0) {
+      std::cerr << "bench run: " << name << " exited with "
+                << exit_code << '\n';
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::cerr << "bench run: " << failures << " of " << names.size()
+              << " benches failed\n";
+    return 1;
+  }
+  return 0;
+}
+
+swsim::bench::CompareOptions compare_options_from(const cli::Args& args) {
+  swsim::bench::CompareOptions opts;
+  opts.rel_tolerance = args.number("tolerance", opts.rel_tolerance);
+  opts.mad_k = args.number("mad-k", opts.mad_k);
+  if (opts.rel_tolerance < 0.0) {
+    throw std::invalid_argument("--tolerance must be >= 0");
+  }
+  if (opts.mad_k < 0.0) {
+    throw std::invalid_argument("--mad-k must be >= 0");
+  }
+  return opts;
+}
+
+// Prints the per-case comparison table; returns the number of regressions.
+int report_compare(const std::string& label,
+                   const swsim::bench::BenchDoc& base,
+                   const swsim::bench::BenchDoc& cur,
+                   const swsim::bench::CompareResult& result) {
+  using swsim::bench::Verdict;
+  if (base.env.git_sha != cur.env.git_sha ||
+      base.env.compiler != cur.env.compiler ||
+      base.env.build_type != cur.env.build_type ||
+      base.env.cores != cur.env.cores) {
+    std::cout << "note: environments differ (base " << base.env.git_sha
+              << ", " << base.env.compiler << ", " << base.env.build_type
+              << ", " << base.env.cores << " cores; current "
+              << cur.env.git_sha << ", " << cur.env.compiler << ", "
+              << cur.env.build_type << ", " << cur.env.cores << " cores)\n";
+  }
+  if (base.quick != cur.quick) {
+    std::cout << "note: comparing a --quick run against a full run\n";
+  }
+  Table t({"case", "base median", "current", "delta", "threshold",
+           "verdict"});
+  for (const auto& d : result.deltas) {
+    const bool both = d.verdict != Verdict::kNew &&
+                      d.verdict != Verdict::kMissing;
+    t.add_row({d.name,
+               d.verdict == Verdict::kNew ? "-" : Table::num(d.base_median, 6),
+               d.verdict == Verdict::kMissing ? "-"
+                                              : Table::num(d.cur_median, 6),
+               both ? Table::num(d.cur_median - d.base_median, 6) : "-",
+               both ? Table::num(d.threshold, 6) : "-",
+               swsim::bench::verdict_name(d.verdict)});
+  }
+  std::cout << label << ":\n" << t.str();
+  if (result.regressions > 0) {
+    std::cout << result.regressions << " regression"
+              << (result.regressions == 1 ? "" : "s") << " detected\n";
+  } else {
+    std::cout << "no regressions";
+    if (result.improvements > 0) {
+      std::cout << " (" << result.improvements << " improvement"
+                << (result.improvements == 1 ? "" : "s")
+                << " — consider refreshing the baseline)";
+    }
+    std::cout << '\n';
+  }
+  return result.regressions;
+}
+
+int cmd_bench_diff(const cli::Args& args) {
+  if (args.positional().size() < 3) {
+    std::cerr << "bench diff: need two files: <base.json> <current.json>\n";
+    return 2;
+  }
+  const std::string base_path = args.positional()[1];
+  const std::string cur_path = args.positional()[2];
+  const auto opts = compare_options_from(args);
+  swsim::bench::BenchDoc base, cur;
+  try {
+    base = swsim::bench::load_bench_file(base_path);
+    cur = swsim::bench::load_bench_file(cur_path);
+  } catch (const std::exception& e) {
+    std::cerr << "bench diff: " << e.what() << '\n';
+    return 2;
+  }
+  const auto result = swsim::bench::compare_benches(base, cur, opts);
+  const int regressions =
+      report_compare(base_path + " -> " + cur_path, base, cur, result);
+  return regressions > 0 ? 1 : 0;
+}
+
+int cmd_bench_gate(const cli::Args& args) {
+  const auto baseline_dir = args.value("baseline");
+  if (!baseline_dir) {
+    std::cerr << "bench gate: --baseline <dir> is required\n";
+    return 2;
+  }
+  const std::string current_dir = args.value("current").value_or(".");
+  const auto opts = compare_options_from(args);
+
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(current_dir, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("BENCH_", 0) == 0 &&
+        fname.size() > 11 &&
+        fname.compare(fname.size() - 5, 5, ".json") == 0) {
+      files.push_back(fname);
+    }
+  }
+  if (ec) {
+    std::cerr << "bench gate: cannot read '" << current_dir
+              << "': " << ec.message() << '\n';
+    return 2;
+  }
+  if (files.empty()) {
+    std::cerr << "bench gate: no BENCH_*.json in '" << current_dir
+              << "' (run `swsim bench run` first)\n";
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+
+  int total_regressions = 0;
+  int compared = 0;
+  for (const auto& fname : files) {
+    const std::string base_path = *baseline_dir + "/" + fname;
+    if (!std::filesystem::exists(base_path)) {
+      std::cout << "gate: " << fname << ": no baseline (new bench?) — "
+                << "skipped\n";
+      continue;
+    }
+    swsim::bench::BenchDoc base, cur;
+    try {
+      base = swsim::bench::load_bench_file(base_path);
+      cur = swsim::bench::load_bench_file(current_dir + "/" + fname);
+    } catch (const std::exception& e) {
+      std::cerr << "bench gate: " << e.what() << '\n';
+      return 2;
+    }
+    const auto result = swsim::bench::compare_benches(base, cur, opts);
+    total_regressions += report_compare(fname, base, cur, result);
+    std::cout << '\n';
+    ++compared;
+  }
+  if (compared == 0) {
+    std::cerr << "bench gate: nothing to compare ('" << *baseline_dir
+              << "' holds no matching baselines)\n";
+    return 2;
+  }
+  if (total_regressions > 0) {
+    std::cout << "gate: FAIL — " << total_regressions << " regression"
+              << (total_regressions == 1 ? "" : "s") << " across "
+              << compared << " bench file" << (compared == 1 ? "" : "s")
+              << '\n';
+    return 1;
+  }
+  std::cout << "gate: OK — " << compared << " bench file"
+            << (compared == 1 ? "" : "s") << " within tolerance\n";
+  return 0;
+}
+
+int cmd_bench(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "bench: missing subcommand (list|run|diff|gate)\n";
+    return 2;
+  }
+  const std::string& sub = args.positional()[0];
+  if (sub == "list") return cmd_bench_list();
+  if (sub == "run") return cmd_bench_run(args);
+  if (sub == "diff") return cmd_bench_diff(args);
+  if (sub == "gate") return cmd_bench_gate(args);
+  std::cerr << "bench: unknown subcommand '" << sub
+            << "' (want list|run|diff|gate)\n";
+  return 2;
 }
 
 }  // namespace
@@ -824,6 +1172,7 @@ int main(int argc, char** argv) {
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "trace-check") return cmd_trace_check(args);
+    if (cmd == "bench") return cmd_bench(args);
     std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
     return 2;
   } catch (const std::invalid_argument& e) {

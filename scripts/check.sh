@@ -11,11 +11,20 @@
 #      example, then `swsim trace-check` / `swsim stats` validate the
 #      dumps the run produced — the trace JSON and metrics JSON must parse
 #      under instrumented, multi-threaded, partially-failing load.
+#   5. a bench-pipeline smoke: `swsim bench run --quick` on two bench
+#      targets, the emitted BENCH_*.json self-compare clean through
+#      `swsim bench gate`, and a deliberately deflated baseline must make
+#      the gate FAIL (exit non-zero) — the regression detector detects.
+#   6. an SWSIM_OBS_OFF compile check: the whole library + CLI must still
+#      build with observability compiled out (the stub headers are only
+#      honest if something links against them regularly).
 #
 # Usage: scripts/check.sh [build-dir]           (default: build)
 # Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
 #        libtsan).
 #        SWSIM_CHECK_SKIP_ASAN=1 skips stage 3 (toolchains without libasan).
+#        SWSIM_CHECK_SKIP_BENCH=1 skips stage 5.
+#        SWSIM_CHECK_SKIP_OBSOFF=1 skips stage 6.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -86,5 +95,51 @@ grep -q '"event": *"job_failed"\|"event":"job_failed"' \
   echo "stage 4: expected a job_failed event in events.jsonl" >&2
   exit 1
 }
+
+if [[ "${SWSIM_CHECK_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "== stage 5: bench pipeline skipped (SWSIM_CHECK_SKIP_BENCH=1) =="
+else
+  echo "== stage 5: bench run --quick + regression gate =="
+  BENCH_DIR="${BUILD_DIR}/bench-smoke"
+  rm -rf "${BENCH_DIR}"
+  mkdir -p "${BENCH_DIR}/baseline" "${BENCH_DIR}/current"
+  # Two representative targets: one pure-analytic, one LLG + engine with an
+  # embedded RunProfile. --quick keeps this to tens of seconds.
+  "${BUILD_DIR}/cli/swsim" bench run fig2_interference solver_perf \
+    --quick --out-dir "${BENCH_DIR}/current" \
+    --bin-dir "${BUILD_DIR}/bench" >/dev/null
+  test -s "${BENCH_DIR}/current/BENCH_fig2_interference.json"
+  test -s "${BENCH_DIR}/current/BENCH_solver_perf.json"
+  # The solver_perf artifact must carry the embedded profile schema.
+  grep -q '"swsim.profile/1"' "${BENCH_DIR}/current/BENCH_solver_perf.json"
+  # Self-comparison: a run gated against itself has zero regressions.
+  cp "${BENCH_DIR}/current/"BENCH_*.json "${BENCH_DIR}/baseline/"
+  "${BUILD_DIR}/cli/swsim" bench gate --baseline "${BENCH_DIR}/baseline" \
+    --current "${BENCH_DIR}/current"
+  # Deflate the baseline medians to ~0 and kill its noise estimate: every
+  # case is now an apparent slowdown, and the gate MUST fail.
+  sed -i -E 's/"median": [0-9.eE+-]+/"median": 1e-12/g; s/"mad": [0-9.eE+-]+/"mad": 0/g' \
+    "${BENCH_DIR}/baseline/"BENCH_*.json
+  if "${BUILD_DIR}/cli/swsim" bench gate --baseline "${BENCH_DIR}/baseline" \
+      --current "${BENCH_DIR}/current" --tolerance 0.5 --mad-k 0 \
+      >/dev/null 2>&1; then
+    echo "stage 5: gate passed against a deflated baseline (should FAIL)" >&2
+    exit 1
+  fi
+  echo "stage 5: gate correctly failed on the deflated baseline"
+fi
+
+if [[ "${SWSIM_CHECK_SKIP_OBSOFF:-0}" == "1" ]]; then
+  echo "== stage 6: OBS_OFF build skipped (SWSIM_CHECK_SKIP_OBSOFF=1) =="
+else
+  OBSOFF_DIR="${BUILD_DIR}-obsoff"
+  echo "== stage 6: SWSIM_OBS_OFF compile check (${OBSOFF_DIR}) =="
+  cmake -B "${OBSOFF_DIR}" -S . \
+    -DSWSIM_OBS_OFF=ON -DSWSIM_BUILD_TESTS=OFF -DSWSIM_BUILD_BENCH=OFF \
+    -DSWSIM_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build "${OBSOFF_DIR}" -j "${JOBS}" --target swsim
+  # The disarmed CLI must still run and not emit progress noise.
+  "${OBSOFF_DIR}/cli/swsim" truthtable maj >/dev/null
+fi
 
 echo "== all checks passed =="

@@ -134,6 +134,7 @@ void Scheduler::cancel_locked(JobId id) {
 }
 
 void Scheduler::settle_locked() {
+  obs::ProgressReporter::global().job_done();
   if (--outstanding_ == 0) done_cv_.notify_all();
 }
 
@@ -351,6 +352,7 @@ robust::Status Scheduler::run_all() {
                    j.options.backoff_seconds > 0.0);
     }
     if (outstanding_ == 0) return first_status_;
+    obs::ProgressReporter::global().add_jobs(outstanding_);
     for (Job& j : jobs_) {
       if (j.state == JobState::kPending && j.remaining_deps == 0) {
         release_locked(j.id);

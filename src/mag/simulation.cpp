@@ -101,6 +101,7 @@ void Simulation::run(double duration) {
     }
     const double taken = stepper_->step(system_, terms_, m_, time_);
     time_ += taken;
+    obs::ProgressReporter::global().on_llg_steps(1);
     for (auto& p : probes_) p->maybe_record(system_, m_, time_);
     if (watchdog_.cadence > 0 && ++steps % watchdog_.cadence == 0) {
       obs::Span check_span("watchdog.energy", "robust");

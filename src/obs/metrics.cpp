@@ -141,27 +141,67 @@ void MetricsRegistry::reset() {
   for (auto& [name, h] : histograms_) h->reset();
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters_snapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+MetricsRegistry::gauges_snapshot() const {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+MetricsRegistry::histograms_snapshot() const {
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      out.emplace_back(name, h->snapshot());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 std::string MetricsRegistry::json() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Dumps iterate name-sorted snapshots (the storage is hash-ordered), so
+  // the byte layout is a pure function of the metric state — diffable, and
+  // stable across registration orders.
   std::ostringstream os;
   os << "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, value] : counters_snapshot()) {
     os << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
-       << "\": " << c->value();
+       << "\": " << value;
     first = false;
   }
   os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, value] : gauges_snapshot()) {
     os << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
-       << "\": " << g->value();
+       << "\": " << value;
     first = false;
   }
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
-  for (const auto& [name, h] : histograms_) {
-    const auto s = h->snapshot();
+  for (const auto& [name, s] : histograms_snapshot()) {
     os << (first ? "\n" : ",\n") << "    \"" << escape_json(name)
        << "\": {\"count\": " << s.count << ", \"sum\": " << num_str(s.sum)
        << ", \"buckets\": [";
@@ -181,17 +221,15 @@ std::string MetricsRegistry::json() const {
 }
 
 std::string MetricsRegistry::text() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << "metrics\n";
-  for (const auto& [name, c] : counters_) {
-    os << "  " << name << " = " << c->value() << "\n";
+  for (const auto& [name, value] : counters_snapshot()) {
+    os << "  " << name << " = " << value << "\n";
   }
-  for (const auto& [name, g] : gauges_) {
-    os << "  " << name << " = " << g->value() << " (gauge)\n";
+  for (const auto& [name, value] : gauges_snapshot()) {
+    os << "  " << name << " = " << value << " (gauge)\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    const auto s = h->snapshot();
+  for (const auto& [name, s] : histograms_snapshot()) {
     os << "  " << name << ": count " << s.count << ", mean "
        << num_str(s.mean()) << ", p50 " << num_str(s.quantile(0.5))
        << ", p90 " << num_str(s.quantile(0.9)) << ", p99 "

@@ -20,14 +20,15 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #ifndef SWSIM_OBS_OFF
 
 #include <atomic>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 namespace swsim::obs {
 
@@ -132,9 +133,20 @@ class MetricsRegistry {
   // Zeroes every metric (registrations and bucket layouts are kept).
   void reset();
 
+  // Point-in-time copies of every registered metric, sorted
+  // lexicographically by name — the iteration surface for dumps and for
+  // consumers like obs::RunProfile that aggregate families of counters
+  // ("mag.term.*.us") without creating entries as a side effect.
+  std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot() const;
+  std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot() const;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms_snapshot()
+      const;
+
   // {"counters": {...}, "gauges": {...}, "histograms": {name: {"count":
   // N, "sum": S, "buckets": [[le, n], ...]}}} — `le` of the overflow
-  // bucket is the string "inf".
+  // bucket is the string "inf". Keys are sorted lexicographically, so two
+  // dumps of the same state are byte-identical regardless of registration
+  // order — `swsim bench diff` and plain `diff` rely on this.
   std::string json() const;
   // Human-readable dump (name-sorted; histograms as count/mean/p50/p90/p99).
   std::string text() const;
@@ -143,9 +155,11 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Storage is hash-keyed (lookup is the hot-ish path: once per metric per
+  // instrumented object); dumps sort at snapshot time.
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 // RAII timing helpers. Disarmed cost: one relaxed load in the constructor
@@ -227,6 +241,17 @@ class MetricsRegistry {
     return histogram_;
   }
   void reset() {}
+  std::vector<std::pair<std::string, std::uint64_t>> counters_snapshot()
+      const {
+    return {};
+  }
+  std::vector<std::pair<std::string, std::int64_t>> gauges_snapshot() const {
+    return {};
+  }
+  std::vector<std::pair<std::string, Histogram::Snapshot>>
+  histograms_snapshot() const {
+    return {};
+  }
   std::string json() const {
     return "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}\n";
   }

@@ -9,4 +9,6 @@
 #include "obs/clock.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/progress.h"
 #include "obs/trace.h"

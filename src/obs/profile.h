@@ -1,0 +1,80 @@
+// Per-solve performance profile: the machine-readable record of *how fast*
+// a run was, collected from the live MetricsRegistry plus the OS (peak RSS)
+// and serialized to a versioned JSON schema ("swsim.profile/1").
+//
+// A RunProfile answers the questions the bench trajectory needs answered
+// per data point: throughput (LLG steps/s, and cells·steps/s when the cell
+// count is known), where field-assembly time went per term, whether the
+// result cache helped, and how busy the thread pool actually was. The bench
+// harness embeds one in every BENCH_<name>.json; the CLI writes one via
+// `--profile-out <file>` on the engine commands.
+//
+// Everything here runs at end-of-run (never on a hot path), so it is built
+// unconditionally — under SWSIM_OBS_OFF collect() simply reads the stub
+// registry and reports zeros, while the JSON round-trip keeps working for
+// the reader side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace swsim::obs {
+
+class JsonValue;
+
+struct RunProfile {
+  // Bumped whenever a field changes meaning; readers reject other schemas.
+  static constexpr const char* kSchema = "swsim.profile/1";
+
+  double wall_seconds = 0.0;    // caller-measured wall time of the solve
+  std::uint64_t cells = 0;      // grid cells (0 = unknown to the caller)
+  std::uint64_t llg_steps = 0;  // mag.llg.steps
+  std::uint64_t field_evals = 0;
+
+  // Throughput; non-finite values (0-second walls, overflow) serialize as 0.
+  double steps_per_second = 0.0;
+  double cell_steps_per_second = 0.0;  // cells * steps_per_second, 0 if unknown
+
+  // Fraction of summed per-term field-assembly time, by term name (from the
+  // mag.term.<name>.us counters); fractions sum to ~1 when any term ran.
+  std::map<std::string, double> term_share;
+
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+
+  std::uint64_t pool_threads = 0;
+  std::uint64_t pool_busy_us = 0;
+  // busy_us / (threads * wall_us): 1.0 = every worker busy the whole run.
+  double pool_utilization = 0.0;
+
+  std::uint64_t jobs_done = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_retried = 0;
+
+  std::uint64_t peak_rss_bytes = 0;
+
+  // Builds a profile from the global MetricsRegistry (snapshot reads — no
+  // metrics are created as a side effect) and the process peak RSS.
+  // `wall_seconds` and `cells` come from the caller; derived rates are
+  // guarded against division by zero and non-finite results.
+  static RunProfile collect(double wall_seconds, std::uint64_t cells = 0);
+
+  // Serializes to the versioned schema (pretty-printed, key-sorted; safe
+  // against NaN/inf — they are written as 0, keeping the document valid
+  // JSON). Parse the result with obs::parse_json + from_json.
+  std::string to_json() const;
+
+  // Inverse of to_json(). Throws std::runtime_error naming the problem on
+  // a missing/mismatched "schema" or a structurally wrong document.
+  static RunProfile from_json(const JsonValue& root);
+
+  // Writes to_json() to `path`; false (with *error set) on I/O failure.
+  bool write_json(const std::string& path, std::string* error = nullptr) const;
+};
+
+// Peak resident set size of this process in bytes (0 when unavailable).
+std::uint64_t peak_rss_bytes();
+
+}  // namespace swsim::obs

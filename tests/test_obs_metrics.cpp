@@ -149,5 +149,48 @@ TEST_F(MetricsTest, JsonExportRoundTrips) {
   EXPECT_DOUBLE_EQ(buckets[2].array()[1].number(), 1.0);
 }
 
+TEST_F(MetricsTest, SnapshotsAreLexicographicallySorted) {
+  auto& reg = MetricsRegistry::global();
+  reg.reset();
+  // Registered deliberately out of order; the dump must not depend on
+  // registration (or hash-bucket) order.
+  reg.counter("test.sort.zebra").add(1);
+  reg.counter("test.sort.alpha").add(2);
+  reg.counter("test.sort.middle").add(3);
+  reg.gauge("test.sort.g2").set(2);
+  reg.gauge("test.sort.g1").set(1);
+
+  const auto counters = reg.counters_snapshot();
+  for (std::size_t i = 1; i < counters.size(); ++i) {
+    EXPECT_LT(counters[i - 1].first, counters[i].first);
+  }
+  const auto gauges = reg.gauges_snapshot();
+  for (std::size_t i = 1; i < gauges.size(); ++i) {
+    EXPECT_LT(gauges[i - 1].first, gauges[i].first);
+  }
+}
+
+TEST_F(MetricsTest, JsonDumpIsByteStableAndSorted) {
+  auto& reg = MetricsRegistry::global();
+  reg.reset();
+  // First creation order is deliberately non-lexicographic; the storage is
+  // an unordered_map, so only the sort-at-snapshot contract keeps the dump
+  // deterministic.
+  reg.counter("test.stable.b").add(2);
+  reg.counter("test.stable.a").add(1);
+  reg.gauge("test.stable.g").set(7);
+  const std::string first = reg.json();
+
+  // Same state, dumped again: byte-identical, so baselines diff cleanly.
+  EXPECT_EQ(reg.json(), first);
+  // And within the dump, the keys appear in sorted order despite the
+  // creation order above.
+  const auto pos_a = first.find("test.stable.a");
+  const auto pos_b = first.find("test.stable.b");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+}
+
 }  // namespace
 }  // namespace swsim::obs
