@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 #include <iostream>
 #include <memory>
 
@@ -27,8 +28,10 @@
 #include "mag/anisotropy_field.h"
 #include "mag/demag_field.h"
 #include "mag/exchange_field.h"
+#include "mag/kernels/runtime.h"
 #include "mag/llg.h"
 #include "mag/simulation.h"
+#include "mag/zeeman_field.h"
 #include "math/fft.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -153,6 +156,89 @@ void BM_TriangleGateEvaluate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TriangleGateEvaluate);
+
+// Single-solve throughput of the three solver configurations on one
+// representative term set (exchange + anisotropy + thin-film demag +
+// antenna, the Fig. 2/5 workload): the scalar reference path, the fused
+// SoA kernel path, and the kernel path with intra-solve threads. All three
+// produce byte-identical magnetization (asserted here — a bench that
+// quietly measured a divergent solver would be worse than useless).
+void run_kernel_throughput(swsim::bench::Harness& harness) {
+  const std::size_t n = harness.quick() ? 64 : 128;
+  const std::size_t steps = harness.quick() ? 40 : 100;
+  mag::System sys = make_system(n);
+
+  const auto make_terms = [&sys] {
+    std::vector<std::unique_ptr<mag::FieldTerm>> terms;
+    terms.push_back(std::make_unique<mag::ExchangeField>());
+    terms.push_back(std::make_unique<mag::UniaxialAnisotropyField>());
+    terms.push_back(std::make_unique<mag::ThinFilmDemagField>());
+    Mask region(sys.grid(), false);
+    for (std::size_t y = 0; y < sys.grid().ny(); ++y) {
+      for (std::size_t x = 2; x < 6; ++x) {
+        region.set(sys.grid().index(x, y, 0), true);
+      }
+    }
+    terms.push_back(std::make_unique<mag::AntennaField>(
+        region, 4e3, Vec3{1, 0, 0}, 10e9, 0.0));
+    return terms;
+  };
+
+  const double cell_steps =
+      static_cast<double>(n) * static_cast<double>(n) *
+      static_cast<double>(steps);
+  VectorField result(sys.grid());
+  const auto run_solve = [&](int force_mode, std::size_t cell_jobs) {
+    mag::kernels::set_force_reference(force_mode);
+    mag::kernels::set_cell_jobs(cell_jobs);
+    auto terms = make_terms();
+    auto m = sys.uniform_magnetization({0, 0, 1});
+    mag::Stepper stepper(mag::StepperKind::kRk4, 0.25e-12);
+    double t = 0.0;
+    for (std::size_t s = 0; s < steps; ++s) t += stepper.step(sys, terms, m, t);
+    result = m;
+  };
+
+  std::cout << "\nkernel throughput: " << n << "x" << n << " cells, " << steps
+            << " RK4 steps per sample\n";
+  harness.time_case("kernel_scalar_ref",
+                    [&] { run_solve(/*force reference*/ 1, 1); }, cell_steps);
+  const VectorField ref = result;
+  harness.time_case("kernel_fused_soa",
+                    [&] { run_solve(/*force kernels*/ 0, 1); }, cell_steps);
+  const VectorField fused = result;
+  const std::size_t hw = engine::ThreadPool::default_threads();
+  harness.time_case("kernel_fused_soa_mt", [&] { run_solve(0, hw); },
+                    cell_steps);
+  const VectorField fused_mt = result;
+  mag::kernels::set_force_reference(-1);  // back to the SWSIM_KERNEL_REF env
+  mag::kernels::set_cell_jobs(1);
+
+  bool identical = ref.size() == fused.size();
+  for (std::size_t i = 0; identical && i < ref.size(); ++i) {
+    identical = std::memcmp(&ref[i], &fused[i], sizeof(Vec3)) == 0 &&
+                std::memcmp(&ref[i], &fused_mt[i], sizeof(Vec3)) == 0;
+  }
+  std::cout << "reference vs fused vs fused+mt (" << hw
+            << " threads): " << (identical ? "byte-identical" : "DIVERGED")
+            << "\n";
+
+  const auto median_ips = [&harness](const std::string& name) {
+    for (const auto& [case_name, c] : harness.cases()) {
+      if (case_name == name) return c.items_per_second;
+    }
+    return 0.0;
+  };
+  // Gated scalar (see compare_benches): single-thread fused throughput is
+  // the headline number this PR's acceptance bar tracks.
+  harness.add_scalar("cell_steps_per_second", median_ips("kernel_fused_soa"));
+  harness.add_scalar("kernel_speedup",
+                     median_ips("kernel_scalar_ref") > 0.0
+                         ? median_ips("kernel_fused_soa") /
+                               median_ips("kernel_scalar_ref")
+                         : 0.0);
+  harness.add_scalar("kernel_identical_output", identical ? 1.0 : 0.0);
+}
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -304,6 +390,7 @@ int main(int argc, char** argv) {
     std::cout << "micro-benchmarks skipped (--quick)\n";
   }
   benchmark::Shutdown();
+  run_kernel_throughput(harness);
   run_engine_comparison(harness);
   return harness.finish() ? 0 : 1;
 }

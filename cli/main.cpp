@@ -45,6 +45,7 @@
 #include "engine/hash.h"
 #include "io/csv.h"
 #include "io/table.h"
+#include "mag/kernels/runtime.h"
 #include "math/constants.h"
 #include "obs/json.h"
 #include "obs/obs.h"
@@ -88,6 +89,10 @@ int usage() {
       "\n"
       "engine flags (accepted by truthtable, yield, micromag, batch):\n"
       "  --jobs <n>  --no-cache  --cache-dir <dir>  --serial  --stats\n"
+      "  --cell-jobs <n>     intra-solve threads for the LLG cell sweeps\n"
+      "                      (deterministic: output is byte-identical for\n"
+      "                      any value; default 1, 0 = hardware threads;\n"
+      "                      env SWSIM_CELL_JOBS)\n"
       "\n"
       "resilience flags (same commands):\n"
       "  --timeout <s>       per-job wall-clock budget (0 = none)\n"
@@ -117,6 +122,7 @@ int usage() {
 engine::EngineConfig engine_config_from(const cli::Args& args) {
   engine::EngineConfig cfg;
   cfg.jobs = args.unsigned_integer("jobs", 0);
+  cfg.cell_jobs = args.unsigned_integer("cell-jobs", 0);
   cfg.use_cache = !args.has("no-cache");
   cfg.spill_dir = args.value("cache-dir").value_or("");
   cfg.job_timeout_seconds = args.number("timeout", 0.0);
@@ -1162,6 +1168,11 @@ int cmd_bench(const cli::Args& args) {
 int main(int argc, char** argv) {
   try {
     const cli::Args args = cli::Args::parse(argc, argv);
+    // Process-wide: applies to every solve path, including --serial runs
+    // that never build an engine.
+    if (args.has("cell-jobs")) {
+      mag::kernels::set_cell_jobs(args.unsigned_integer("cell-jobs", 1));
+    }
     const std::string& cmd = args.command();
     if (cmd.empty() || cmd == "help") return usage();
     if (cmd == "truthtable") return cmd_truthtable(args);

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # The repository's one-command CI gate:
-#   1. configure + build + full ctest suite (the tier-1 check of ROADMAP.md)
+#   1. configure + build + full ctest suite (the tier-1 check of ROADMAP.md),
+#      then the magnetics suites re-run under SWSIM_KERNEL_REF=1 — the
+#      scalar reference oracle — so a fused-kernel bug cannot hide behind
+#      the identical-by-construction default path (docs/PERFORMANCE.md).
 #   2. a ThreadSanitizer build of the parallel-evaluation engine tests,
 #      run directly, to catch data races in the thread pool / scheduler /
 #      result cache.
@@ -36,12 +39,20 @@ cmake -B "${BUILD_DIR}" -S . >/dev/null
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
+echo "== stage 1b: magnetics suites under the scalar reference oracle =="
+KREF_TESTS=(test_mag_kernels test_mag_llg test_mag_simulation
+            test_integration_micromag)
+for t in "${KREF_TESTS[@]}"; do
+  SWSIM_KERNEL_REF=1 "${BUILD_DIR}/tests/${t}"
+done
+
 if [[ "${SWSIM_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== stage 2: TSan skipped (SWSIM_CHECK_SKIP_TSAN=1) =="
 else
   TSAN_DIR="${BUILD_DIR}-tsan"
   TSAN_TESTS=(test_engine_pool test_engine_cache test_engine_determinism
               test_engine_resilience
+              test_mag_kernels
               test_obs_trace test_obs_metrics test_obs_log
               test_obs_determinism)
 

@@ -10,6 +10,10 @@
 #include <stdexcept>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 #include "obs/json.h"
 
 namespace swsim::bench {
@@ -84,6 +88,15 @@ EnvInfo current_env() {
   e.build_type = SWSIM_BUILD_TYPE;
 #endif
   e.cores = std::thread::hardware_concurrency();
+#if defined(_SC_NPROCESSORS_ONLN)
+  if (e.cores == 0) {
+    // hardware_concurrency() may legally return 0 (it did under some
+    // container runtimes); fall back to the POSIX count so the env
+    // fingerprint never records an impossible core count.
+    const long n = sysconf(_SC_NPROCESSORS_ONLN);
+    if (n > 0) e.cores = static_cast<unsigned>(n);
+  }
+#endif
   return e;
 }
 
@@ -321,6 +334,46 @@ CompareResult compare_benches(const BenchDoc& base, const BenchDoc& cur,
     CaseDelta d;
     d.name = name;
     d.cur_median = c.median;
+    d.verdict = Verdict::kNew;
+    result.deltas.push_back(std::move(d));
+  }
+  // Throughput scalars ("*_per_second": higher is better) are gated with
+  // the plain relative tolerance — scalars carry no per-sample spread, so
+  // there is no MAD term. Other scalars (ratios, flags) stay informational.
+  const auto is_throughput = [](const std::string& name) {
+    static const std::string suffix = "_per_second";
+    return name.size() > suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+  };
+  for (const auto& [name, base_value] : base.scalars) {
+    if (!is_throughput(name)) continue;
+    CaseDelta d;
+    d.name = "scalar:" + name;
+    d.base_median = base_value;
+    const auto it = cur.scalars.find(name);
+    if (it == cur.scalars.end()) {
+      d.verdict = Verdict::kMissing;
+      result.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.cur_median = it->second;
+    d.threshold = opts.rel_tolerance * base_value;
+    const double drop = base_value - it->second;  // positive = slower
+    if (drop > d.threshold) {
+      d.verdict = Verdict::kRegression;
+      ++result.regressions;
+    } else if (-drop > d.threshold) {
+      d.verdict = Verdict::kImprovement;
+      ++result.improvements;
+    }
+    result.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, value] : cur.scalars) {
+    if (!is_throughput(name) || base.scalars.count(name)) continue;
+    CaseDelta d;
+    d.name = "scalar:" + name;
+    d.cur_median = value;
     d.verdict = Verdict::kNew;
     result.deltas.push_back(std::move(d));
   }

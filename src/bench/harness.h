@@ -122,7 +122,6 @@ class Harness {
 
   const std::string& name() const { return name_; }
 
- private:
   struct Case {
     std::string unit;
     int warmup = 0;
@@ -131,6 +130,13 @@ class Harness {
     double items_per_second = 0.0;
   };
 
+  // Cases recorded so far, in insertion order — lets a bench derive
+  // scalars (speedups, ratios) from already-timed cases.
+  const std::vector<std::pair<std::string, Case>>& cases() const {
+    return cases_;
+  }
+
+ private:
   std::string name_;
   bool quick_ = false;
   int repeats_ = 5;

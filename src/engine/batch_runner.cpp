@@ -113,7 +113,12 @@ std::string EngineStats::str() const {
 BatchRunner::BatchRunner(const EngineConfig& config)
     : config_(config),
       pool_(config.jobs),
-      cache_(config.cache_capacity, config.spill_dir) {}
+      cache_(config.cache_capacity, config.spill_dir) {
+  if (config_.cell_jobs > 0) mag::kernels::set_cell_jobs(config_.cell_jobs);
+  // Share the job pool with the kernel layer's intra-solve sweeps
+  // (constructed only after cell_jobs is applied; no-op when <= 1).
+  shared_pool_ = std::make_unique<mag::kernels::ScopedSharedPool>(&pool_);
+}
 
 JobOptions BatchRunner::job_options() const {
   JobOptions o;

@@ -31,6 +31,7 @@
 #include "engine/job.h"
 #include "engine/result_cache.h"
 #include "engine/thread_pool.h"
+#include "mag/kernels/runtime.h"
 #include "io/table.h"
 #include "robust/report.h"
 #include "robust/status.h"
@@ -39,6 +40,13 @@ namespace swsim::engine {
 
 struct EngineConfig {
   std::size_t jobs = 0;  // worker threads; 0 = hardware concurrency
+  // Intra-solve threads for the LLG cell sweeps (mag kernel layer). The
+  // sweeps use fixed chunk boundaries, so output is byte-identical for any
+  // value. 0 = leave the process-wide setting (SWSIM_CELL_JOBS / CLI)
+  // untouched. When > 1, the runner installs its job pool as the shared
+  // intra-solve pool for its lifetime, so batch jobs and cell chunks draw
+  // from one bounded worker set.
+  std::size_t cell_jobs = 0;
   bool use_cache = true;
   std::size_t cache_capacity = 4096;  // in-memory entries
   std::string spill_dir;              // optional disk spill directory
@@ -149,6 +157,10 @@ class BatchRunner {
   EngineConfig config_;
   ThreadPool pool_;
   ResultCache cache_;
+  // Installs pool_ as the mag kernels' intra-solve pool for this runner's
+  // lifetime (no-op when cell_jobs resolves to <= 1). Declared after pool_
+  // so it is destroyed first.
+  std::unique_ptr<mag::kernels::ScopedSharedPool> shared_pool_;
   mutable std::mutex stats_mutex_;
   std::size_t runs_ = 0;
   std::size_t jobs_executed_ = 0;

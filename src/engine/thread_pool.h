@@ -11,9 +11,11 @@
 // what matters for throughput here, not lock-free queue mechanics.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -41,6 +43,19 @@ class ThreadPool {
 
   // Blocks until every submitted task has finished.
   void wait_idle();
+
+  // Runs fn(begin, end) over every chunk of [0, n) with fixed chunk size
+  // `grain`, possibly on several threads, and returns when all chunks are
+  // done. The calling thread participates (it claims chunks like any
+  // helper), so the call is deadlock-free when issued from a pool worker —
+  // that is what lets batch-level jobs and intra-solve work share one
+  // pool. Chunk boundaries depend only on (n, grain), never on the thread
+  // count, so callers whose chunks write disjoint outputs (or that combine
+  // per-chunk partials in chunk order) get byte-identical results for any
+  // pool size. The first exception thrown by fn is rethrown here after all
+  // chunks finish.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
 
   std::size_t thread_count() const { return workers_.size(); }
 

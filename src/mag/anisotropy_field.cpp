@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "mag/kernels/term_op.h"
 #include "math/constants.h"
 
 namespace swsim::mag {
@@ -25,6 +26,16 @@ void UniaxialAnisotropyField::accumulate(const System& sys,
     if (!mask[i]) continue;
     h[i] += pref * dot(m[i], axis_) * axis_;
   }
+}
+
+bool UniaxialAnisotropyField::compile_kernel(const System& sys,
+                                             kernels::TermOp& op) const {
+  op.kind = kernels::OpKind::kAnisotropy;
+  op.pref = 2.0 * sys.material().ku / (kMu0 * sys.material().ms);
+  op.ax = axis_.x;
+  op.ay = axis_.y;
+  op.az = axis_.z;
+  return true;
 }
 
 double UniaxialAnisotropyField::energy(const System& sys,

@@ -16,6 +16,7 @@ class UniaxialAnisotropyField final : public FieldTerm {
   void accumulate(const System& sys, const VectorField& m, double t,
                   VectorField& h) override;
   double energy(const System& sys, const VectorField& m) const override;
+  bool compile_kernel(const System& sys, kernels::TermOp& op) const override;
 
   const Vec3& axis() const { return axis_; }
 

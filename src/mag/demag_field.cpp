@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mag/kernels/term_op.h"
 #include "math/constants.h"
 #include "math/fft.h"
 
@@ -22,6 +23,12 @@ void ThinFilmDemagField::accumulate(const System& sys, const VectorField& m,
     if (!mask[i]) continue;
     h[i].z -= sys.ms_at(i) * m[i].z;
   }
+}
+
+bool ThinFilmDemagField::compile_kernel(const System&,
+                                        kernels::TermOp& op) const {
+  op.kind = kernels::OpKind::kThinFilmDemag;  // h.z -= ms(i) * m.z
+  return true;
 }
 
 double ThinFilmDemagField::energy(const System& sys,

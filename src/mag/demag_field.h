@@ -31,6 +31,7 @@ class ThinFilmDemagField final : public FieldTerm {
   void accumulate(const System& sys, const VectorField& m, double t,
                   VectorField& h) override;
   double energy(const System& sys, const VectorField& m) const override;
+  bool compile_kernel(const System& sys, kernels::TermOp& op) const override;
 };
 
 // Cell-averaged Newell demag tensor entry N_ab for source-to-target offset

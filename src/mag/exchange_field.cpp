@@ -1,5 +1,6 @@
 #include "mag/exchange_field.h"
 
+#include "mag/kernels/term_op.h"
 #include "math/constants.h"
 
 namespace swsim::mag {
@@ -37,6 +38,14 @@ void ExchangeField::accumulate(const System& sys, const VectorField& m,
       }
     }
   }
+}
+
+bool ExchangeField::compile_kernel(const System& sys,
+                                   kernels::TermOp& op) const {
+  op.kind = kernels::OpKind::kExchange;
+  // Same expression as accumulate(); the plan supplies the neighbour table.
+  op.pref = 2.0 * sys.material().aex / (kMu0 * sys.material().ms);
+  return true;
 }
 
 double ExchangeField::energy(const System& sys, const VectorField& m) const {

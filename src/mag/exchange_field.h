@@ -15,6 +15,7 @@ class ExchangeField final : public FieldTerm {
   void accumulate(const System& sys, const VectorField& m, double t,
                   VectorField& h) override;
   double energy(const System& sys, const VectorField& m) const override;
+  bool compile_kernel(const System& sys, kernels::TermOp& op) const override;
 };
 
 }  // namespace swsim::mag

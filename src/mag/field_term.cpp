@@ -10,4 +10,8 @@ double FieldTerm::energy(const System&, const VectorField&) const {
 
 void FieldTerm::advance_step(double) {}
 
+bool FieldTerm::compile_kernel(const System&, kernels::TermOp&) const {
+  return false;
+}
+
 }  // namespace swsim::mag

@@ -12,6 +12,10 @@
 
 namespace swsim::mag {
 
+namespace kernels {
+struct TermOp;
+}
+
 class FieldTerm {
  public:
   virtual ~FieldTerm() = default;
@@ -31,6 +35,13 @@ class FieldTerm {
   // the next noise realization (noise must be held fixed within one step's
   // stages for the integrator to converge).
   virtual void advance_step(double dt);
+
+  // Lowers this term into a kernel TermOp for the fused SoA solve path.
+  // Returns false (the default) when the term cannot be expressed as one —
+  // the solver then runs the whole term set through the scalar reference
+  // path, so refusing is always safe. Implementations must produce a field
+  // bit-identical to accumulate() (see docs/PERFORMANCE.md).
+  virtual bool compile_kernel(const System& sys, kernels::TermOp& op) const;
 };
 
 }  // namespace swsim::mag

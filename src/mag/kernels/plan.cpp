@@ -1,0 +1,219 @@
+#include "mag/kernels/plan.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "math/constants.h"
+#include "obs/metrics.h"
+
+namespace swsim::mag::kernels {
+
+using swsim::math::kGamma;
+using swsim::math::kMu0;
+
+namespace {
+
+// Runs shorter than this go to the edge path instead: a handful of scalar
+// cells costs less than another run-table entry and dispatch.
+constexpr std::size_t kMinRun = 4;
+
+}  // namespace
+
+bool KernelPlan::matches(
+    const System& s,
+    const std::vector<std::unique_ptr<FieldTerm>>& terms) const {
+  if (sys != &s || revision != s.revision()) return false;
+  if (terms.size() != term_sig.size()) return false;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i].get() != term_sig[i]) return false;
+  }
+  // Content check (grid + bytes): cheap memcmp-class work per step,
+  // absolute protection against a recycled System address.
+  return mask == s.mask();
+}
+
+std::unique_ptr<KernelPlan> build_plan(
+    const System& sys, const std::vector<std::unique_ptr<FieldTerm>>& terms) {
+  const auto& g = sys.grid();
+  const std::size_t n = g.cell_count();
+  if (n > std::numeric_limits<std::uint32_t>::max()) return nullptr;
+
+  auto plan = std::make_unique<KernelPlan>();
+
+  // Lower the terms first: the common rejection (a thermal or Newell demag
+  // term in the set) must cost O(terms), not O(cells).
+  plan->ops.reserve(terms.size());
+  std::size_t antennas = 0;
+  for (const auto& term : terms) {
+    TermOp op;
+    if (!term->compile_kernel(sys, op)) return nullptr;
+    op.name = term->name();
+    if (op.kind == OpKind::kExchange) plan->has_exchange = true;
+    if (op.kind == OpKind::kAntenna) ++antennas;
+    plan->term_sig.push_back(term.get());
+    plan->ops.push_back(std::move(op));
+  }
+
+  plan->sys = &sys;
+  plan->revision = sys.revision();
+  plan->mask = sys.mask();
+  plan->n = n;
+
+  const auto& mask = sys.mask();
+  plan->active.reserve(sys.magnetic_cell_count());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i]) plan->active.push_back(static_cast<std::uint32_t>(i));
+  }
+  const std::size_t slots = plan->active.size();
+
+  plan->alpha.resize(n);
+  plan->llg_pref.resize(n);
+  plan->ms.resize(n);
+  for (std::size_t s = 0; s < slots; ++s) {
+    const std::size_t i = plan->active[s];
+    const double alpha = sys.alpha_at(i);
+    plan->alpha[i] = alpha;
+    // Exactly the reference path's expression, precomputed per cell.
+    plan->llg_pref[i] = -kGamma * kMu0 / (1.0 + alpha * alpha);
+    plan->ms[i] = sys.ms_at(i);
+  }
+
+  const std::size_t nx = g.nx(), ny = g.ny(), nz = g.nz();
+  plan->inv_d2[0] = 1.0 / (g.dx() * g.dx());
+  plan->inv_d2[1] = 1.0 / (g.dy() * g.dy());
+  plan->inv_d2[2] = 1.0 / (g.dz() * g.dz());
+  plan->axis_used[0] = nx > 1;
+  plan->axis_used[1] = ny > 1;
+  plan->axis_used[2] = nz > 1;
+  plan->axis_stride[0] =
+      nx > 1 ? static_cast<std::ptrdiff_t>(g.index(1, 0, 0) - g.index(0, 0, 0))
+             : 0;
+  plan->axis_stride[1] =
+      ny > 1 ? static_cast<std::ptrdiff_t>(g.index(0, 1, 0) - g.index(0, 0, 0))
+             : 0;
+  plan->axis_stride[2] =
+      nz > 1 ? static_cast<std::ptrdiff_t>(g.index(0, 0, 1) - g.index(0, 0, 0))
+             : 0;
+
+  if (plan->has_exchange) {
+    // Six neighbour indices per active cell, reference traversal order
+    // -x,+x,-y,+y,-z,+z, for the edge/term-sweep paths. Absent or vacuum
+    // neighbours get the cell's own index: (m[i] - m[i]) * w is an exact
+    // +0.0 contribution, bit-identical to the reference skipping it.
+    plan->nb.resize(6 * slots);
+    for (std::size_t s = 0; s < slots; ++s) {
+      const std::size_t i = plan->active[s];
+      const auto xyz = g.unindex(i);
+      const std::size_t x = xyz.x, y = xyz.y, z = xyz.z;
+      std::uint32_t* nbp = &plan->nb[6 * s];
+      for (int k = 0; k < 6; ++k) nbp[k] = static_cast<std::uint32_t>(i);
+      auto set = [&](int k, std::size_t j) {
+        if (mask[j]) nbp[k] = static_cast<std::uint32_t>(j);
+      };
+      if (x > 0) set(0, g.index(x - 1, y, z));
+      if (x + 1 < nx) set(1, g.index(x + 1, y, z));
+      if (y > 0) set(2, g.index(x, y - 1, z));
+      if (y + 1 < ny) set(3, g.index(x, y + 1, z));
+      if (z > 0) set(4, g.index(x, y, z - 1));
+      if (z + 1 < nz) set(5, g.index(x, y, z + 1));
+    }
+  }
+
+  plan->fused_ok = antennas <= 8;
+
+  // Interior runs: per x-row, maximal stride-1 spans of active cells whose
+  // existing-axis neighbours are all active (only the exchange op reaches
+  // off-cell, so without one every active cell qualifies). Requires x to
+  // be the fastest-varying axis; on any other layout everything stays on
+  // the (still exact) edge path.
+  std::vector<std::uint8_t> covered(n, 0);
+  if (plan->fused_ok && (plan->axis_stride[0] == 1 || nx == 1)) {
+    const std::ptrdiff_t sy = plan->axis_stride[1];
+    const std::ptrdiff_t sz = plan->axis_stride[2];
+    for (std::size_t z = 0; z < nz; ++z) {
+      for (std::size_t y = 0; y < ny; ++y) {
+        std::size_t run_b = 0, run_len = 0;
+        auto close = [&] {
+          if (run_len >= kMinRun) {
+            KernelPlan::Run run;
+            run.b = static_cast<std::uint32_t>(run_b);
+            run.e = static_cast<std::uint32_t>(run_b + run_len);
+            plan->runs.push_back(run);
+            std::fill(covered.begin() + run.b, covered.begin() + run.e, 1);
+          }
+          run_len = 0;
+        };
+        for (std::size_t x = 0; x < nx; ++x) {
+          const std::size_t i = g.index(x, y, z);
+          bool ok = mask[i];
+          if (ok && plan->has_exchange) {
+            if (nx > 1) {
+              ok = x > 0 && x + 1 < nx && mask[i - 1] && mask[i + 1];
+            }
+            if (ok && ny > 1) {
+              ok = y > 0 && y + 1 < ny && mask[i - sy] && mask[i + sy];
+            }
+            if (ok && nz > 1) {
+              ok = z > 0 && z + 1 < nz && mask[i - sz] && mask[i + sz];
+            }
+          }
+          if (ok) {
+            if (run_len == 0) run_b = i;
+            ++run_len;
+          } else {
+            close();
+          }
+        }
+        close();
+      }
+    }
+  }
+  plan->run_prefix.resize(plan->runs.size() + 1);
+  plan->run_prefix[0] = 0;
+  for (std::size_t r = 0; r < plan->runs.size(); ++r) {
+    plan->run_prefix[r + 1] =
+        plan->run_prefix[r] + (plan->runs[r].e - plan->runs[r].b);
+  }
+  plan->interior_total = plan->run_prefix.back();
+  plan->edge_slots.reserve(slots - plan->interior_total);
+  for (std::size_t s = 0; s < slots; ++s) {
+    if (!covered[plan->active[s]]) {
+      plan->edge_slots.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+
+  if (plan->fused_ok && antennas > 0) {
+    // slot_of[i]: grid index -> active slot, for marking coverage bits.
+    std::vector<std::uint32_t> slot_of(n, 0);
+    for (std::size_t s = 0; s < slots; ++s) slot_of[plan->active[s]] = s;
+    plan->antenna_bits.assign(slots, 0);
+    std::uint8_t bit = 1;
+    for (TermOp& op : plan->ops) {
+      if (op.kind != OpKind::kAntenna) continue;
+      op.gate.assign(n, 0.0);
+      for (const std::uint32_t i : op.cells) {
+        plan->antenna_bits[slot_of[i]] |= bit;
+        op.gate[i] = 1.0;
+      }
+      for (auto& run : plan->runs) {
+        for (std::size_t i = run.b; i < run.e; ++i) {
+          if (op.gate[i] != 0.0) {
+            run.antenna |= bit;
+            break;
+          }
+        }
+      }
+      bit = static_cast<std::uint8_t>(bit << 1);
+    }
+  }
+
+  plan->op_us.reserve(plan->ops.size());
+  for (const TermOp& op : plan->ops) {
+    plan->op_us.push_back(&obs::MetricsRegistry::global().counter(
+        "mag.term." + op.name + ".us"));
+  }
+
+  return plan;
+}
+
+}  // namespace swsim::mag::kernels

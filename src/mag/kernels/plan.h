@@ -1,0 +1,97 @@
+// The kernel plan: everything about a (System, term set) pair that can be
+// precomputed once and reused every step.
+//
+//   * the active-cell index list (masked cells, ascending) — sweeps and
+//     renormalization stop paying for vacuum cells;
+//   * full-grid per-cell alpha, the LLG prefactor -gamma mu0/(1+alpha^2),
+//     and the local Ms (for the thin-film demag op), indexed by flat cell
+//     so both the contiguous SIMD runs and the slot-indexed edge path can
+//     read them directly;
+//   * the exchange neighbour table for edge cells: six indices per active
+//     slot in the reference path's -x,+x,-y,+y,-z,+z order, with a
+//     self-index for absent/vacuum neighbours (the self term contributes
+//     an exact +0.0, bit-identical to skipping the neighbour); weights are
+//     the three per-axis 1/d^2 constants, not per-neighbour loads;
+//   * the interior-run table: maximal stride-1 cell ranges whose every
+//     existing-axis neighbour is active. Interior cells take the fused
+//     SIMD sweep (direct ±stride addressing, no tables); everything else
+//     is an "edge" slot on the scalar table path. Both paths execute the
+//     identical per-cell operation sequence, so the split is invisible in
+//     the output bytes;
+//   * the lowered TermOps in term order, plus per-op metric counters for
+//     the sampled "mag.term.<name>.us" attribution;
+//   * per-active-cell antenna coverage bitmask (bit a = cell driven by the
+//     a-th antenna op) for the edge path, and per-run coverage bits so
+//     runs outside every antenna region skip the term entirely.
+//
+// build_plan returns nullptr when any term refuses to compile; the solver
+// then stays on the scalar reference path for this term set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mag/field_term.h"
+#include "mag/kernels/term_op.h"
+#include "mag/system.h"
+
+namespace swsim::obs {
+class Counter;
+}
+
+namespace swsim::mag::kernels {
+
+struct KernelPlan {
+  // Staleness signature. The System address plus its mutation revision
+  // catches set_ms_scale/set_alpha_field between steps; the mask content
+  // copy guards the (pathological) case of a different System recreated
+  // at the same address.
+  const System* sys = nullptr;
+  std::uint64_t revision = 0;
+  swsim::math::Mask mask;
+  std::vector<const FieldTerm*> term_sig;
+
+  std::size_t n = 0;                   // full grid cell count
+  std::vector<std::uint32_t> active;   // masked cells, ascending
+  std::vector<double> alpha;           // per flat cell (active cells valid)
+  std::vector<double> llg_pref;        // per flat cell (active cells valid)
+  std::vector<double> ms;              // per flat cell (active cells valid)
+
+  bool has_exchange = false;
+  std::vector<std::uint32_t> nb;       // 6 per active slot (edge/term path)
+  double inv_d2[3] = {0.0, 0.0, 0.0};  // per-axis 1/dx^2, 1/dy^2, 1/dz^2
+  bool axis_used[3] = {false, false, false};    // grid dimension > 1
+  std::ptrdiff_t axis_stride[3] = {0, 0, 0};    // flat index step per axis
+
+  // Interior runs: [b, e) flat ranges, stride-1 contiguous, every cell
+  // active with all existing-axis neighbours active. `antenna` has bit a
+  // set when the a-th antenna op drives at least one cell of the run.
+  struct Run {
+    std::uint32_t b = 0;
+    std::uint32_t e = 0;
+    std::uint8_t antenna = 0;
+  };
+  std::vector<Run> runs;
+  std::vector<std::uint64_t> run_prefix;  // runs.size()+1 cumulative lengths
+  std::size_t interior_total = 0;         // cells covered by runs
+  std::vector<std::uint32_t> edge_slots;  // active slots not in any run
+
+  std::vector<TermOp> ops;             // term order
+  std::vector<obs::Counter*> op_us;    // "mag.term.<name>.us", per op
+
+  // Fused-sweep antenna coverage; valid iff fused_ok (at most 8 antennas,
+  // one bit each). With more antennas the context falls back to per-term
+  // kernel sweeps, which are still bit-exact and index-list driven.
+  std::vector<std::uint8_t> antenna_bits;
+  bool fused_ok = false;
+
+  bool matches(const System& sys,
+               const std::vector<std::unique_ptr<FieldTerm>>& terms) const;
+};
+
+std::unique_ptr<KernelPlan> build_plan(
+    const System& sys, const std::vector<std::unique_ptr<FieldTerm>>& terms);
+
+}  // namespace swsim::mag::kernels

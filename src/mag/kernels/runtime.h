@@ -1,0 +1,56 @@
+// Process-wide knobs of the kernel layer.
+//
+//   * cell_jobs — deterministic intra-solve parallelism width. 1 (the
+//     default) keeps every sweep on the calling thread; N > 1 chunks the
+//     cell range over a thread pool with fixed chunk boundaries, so the
+//     output is byte-identical for ANY value. 0 resolves to the hardware
+//     concurrency. Seeded from the SWSIM_CELL_JOBS environment variable,
+//     overridden by the CLI's --cell-jobs flag.
+//   * force-reference — routes every solve through the scalar reference
+//     path (SWSIM_KERNEL_REF=1, or set_force_reference for tests). The
+//     reference path is the bit-exactness oracle; CI runs the whole suite
+//     under it.
+//   * the intra-solve pool — either a pool installed by the engine for
+//     the scope of a batch (ScopedSharedPool: batch jobs and intra-solve
+//     chunks then share workers, with ThreadPool::parallel_for's caller
+//     participation keeping that deadlock-free), or a lazily created
+//     process pool of cell_jobs - 1 helper threads.
+#pragma once
+
+#include <cstddef>
+
+namespace swsim::engine {
+class ThreadPool;
+}
+
+namespace swsim::mag::kernels {
+
+// Effective intra-solve job count (>= 1; 0 stored resolves to hardware).
+std::size_t cell_jobs();
+void set_cell_jobs(std::size_t n);
+
+// True when solves must use the scalar reference path.
+bool reference_forced();
+// mode: 1 force reference, 0 force kernels, -1 consult SWSIM_KERNEL_REF.
+void set_force_reference(int mode);
+
+// The pool parallel sweeps should chunk over, or nullptr when the solve
+// must stay serial (cell_jobs() == 1 and no pool installed... serial is
+// also what nullptr means to SolveContext).
+engine::ThreadPool* intra_pool();
+
+// Installs `pool` as the intra-solve pool for this object's lifetime
+// (engine batch scope). Does nothing when cell_jobs() <= 1 — intra-solve
+// parallelism stays strictly opt-in.
+class ScopedSharedPool {
+ public:
+  explicit ScopedSharedPool(engine::ThreadPool* pool);
+  ~ScopedSharedPool();
+  ScopedSharedPool(const ScopedSharedPool&) = delete;
+  ScopedSharedPool& operator=(const ScopedSharedPool&) = delete;
+
+ private:
+  bool installed_ = false;
+};
+
+}  // namespace swsim::mag::kernels

@@ -1,0 +1,32 @@
+#include "mag/kernels/soa.h"
+
+namespace swsim::mag::kernels {
+
+void load(SoaVec& dst, const swsim::math::VectorField& src) {
+  const std::size_t n = src.size();
+  if (dst.size() != n) dst.assign_zero(n);
+  const swsim::math::Vec3* s = src.data().data();
+  double* px = dst.x.data();
+  double* py = dst.y.data();
+  double* pz = dst.z.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    px[i] = s[i].x;
+    py[i] = s[i].y;
+    pz[i] = s[i].z;
+  }
+}
+
+void store(const SoaVec& src, swsim::math::VectorField& dst) {
+  const std::size_t n = dst.size();
+  swsim::math::Vec3* d = dst.data().data();
+  const double* px = src.x.data();
+  const double* py = src.y.data();
+  const double* pz = src.z.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i].x = px[i];
+    d[i].y = py[i];
+    d[i].z = pz[i];
+  }
+}
+
+}  // namespace swsim::mag::kernels

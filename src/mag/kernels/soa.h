@@ -1,0 +1,36 @@
+// Structure-of-arrays scratch storage for the LLG hot loops.
+//
+// math::Field<Vec3> stores xyzxyz... — fine as the public value type, but
+// the stride-3 layout defeats auto-vectorization in the stage-combination
+// and field-sweep loops. SoaVec keeps three contiguous double arrays;
+// conversion happens only at the solve boundary (load at step entry,
+// store at step exit), never inside a stage loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/field.h"
+
+namespace swsim::mag::kernels {
+
+struct SoaVec {
+  std::vector<double> x, y, z;
+
+  std::size_t size() const { return x.size(); }
+
+  // Sizes (and zeroes) all three arrays. Zero-initialization matters: the
+  // sweeps only ever write magnetic cells, so vacuum entries keep exactly
+  // the +0.0 the reference path's freshly-allocated stage buffers hold.
+  void assign_zero(std::size_t n) {
+    x.assign(n, 0.0);
+    y.assign(n, 0.0);
+    z.assign(n, 0.0);
+  }
+};
+
+// AoS <-> SoA conversion over the full grid.
+void load(SoaVec& dst, const swsim::math::VectorField& src);
+void store(const SoaVec& src, swsim::math::VectorField& dst);
+
+}  // namespace swsim::mag::kernels

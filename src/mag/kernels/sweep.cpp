@@ -1,0 +1,404 @@
+#include "mag/kernels/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if defined(__AVX__)
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#endif
+
+namespace swsim::mag::kernels {
+
+void axpy(SoaVec& out, const SoaVec& base, double s, const SoaVec& k,
+          std::size_t b, std::size_t e) {
+  double* __restrict ox = out.x.data();
+  double* __restrict oy = out.y.data();
+  double* __restrict oz = out.z.data();
+  const double* __restrict bx = base.x.data();
+  const double* __restrict by = base.y.data();
+  const double* __restrict bz = base.z.data();
+  const double* __restrict kx = k.x.data();
+  const double* __restrict ky = k.y.data();
+  const double* __restrict kz = k.z.data();
+  for (std::size_t i = b; i < e; ++i) {
+    ox[i] = bx[i] + kx[i] * s;
+    oy[i] = by[i] + ky[i] * s;
+    oz[i] = bz[i] + kz[i] * s;
+  }
+}
+
+double err_max_range(double h, const double (&c)[5],
+                     const SoaVec* const (&k)[5], std::size_t b,
+                     std::size_t e) {
+  double worst = 0.0;
+  for (std::size_t i = b; i < e; ++i) {
+    double ax = k[0]->x[i] * c[0];
+    double ay = k[0]->y[i] * c[0];
+    double az = k[0]->z[i] * c[0];
+    for (int j = 1; j < 5; ++j) {
+      ax += k[j]->x[i] * c[j];
+      ay += k[j]->y[i] * c[j];
+      az += k[j]->z[i] * c[j];
+    }
+    const double dx = ax * h, dy = ay * h, dz = az * h;
+    const double nrm = std::sqrt(dx * dx + dy * dy + dz * dz);
+    worst = std::max(worst, nrm);
+  }
+  return worst;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lane abstraction for the fused sweep. One lane = one cell; every
+// arithmetic intrinsic below is the IEEE-754 double operation applied per
+// lane, so an N-wide block computes exactly what N scalar iterations
+// would. No FMA is ever emitted from these (mul and add stay separate
+// instructions), keeping results identical across -march levels as long
+// as contraction stays off in the scalar reference too (the default
+// target has no FMA; SWSIM_NATIVE builds add -ffp-contract=off).
+
+struct ScalarLane {
+  static constexpr std::size_t kWidth = 1;
+  double v;
+  static ScalarLane load(const double* p) { return {*p}; }
+  void store(double* p) const { *p = v; }
+  static ScalarLane set1(double s) { return {s}; }
+  static ScalarLane zero() { return {0.0}; }
+  friend ScalarLane operator+(ScalarLane a, ScalarLane b) {
+    return {a.v + b.v};
+  }
+  friend ScalarLane operator-(ScalarLane a, ScalarLane b) {
+    return {a.v - b.v};
+  }
+  friend ScalarLane operator*(ScalarLane a, ScalarLane b) {
+    return {a.v * b.v};
+  }
+  // h + d where the gate is nonzero; h's bits untouched elsewhere.
+  static ScalarLane gated_add(ScalarLane h, ScalarLane gate, ScalarLane d) {
+    return gate.v != 0.0 ? ScalarLane{h.v + d.v} : h;
+  }
+};
+
+#if defined(__AVX__)
+
+struct SimdLane {
+  static constexpr std::size_t kWidth = 4;
+  __m256d v;
+  static SimdLane load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  static SimdLane set1(double s) { return {_mm256_set1_pd(s)}; }
+  static SimdLane zero() { return {_mm256_setzero_pd()}; }
+  friend SimdLane operator+(SimdLane a, SimdLane b) {
+    return {_mm256_add_pd(a.v, b.v)};
+  }
+  friend SimdLane operator-(SimdLane a, SimdLane b) {
+    return {_mm256_sub_pd(a.v, b.v)};
+  }
+  friend SimdLane operator*(SimdLane a, SimdLane b) {
+    return {_mm256_mul_pd(a.v, b.v)};
+  }
+  static SimdLane gated_add(SimdLane h, SimdLane gate, SimdLane d) {
+    const __m256d on =
+        _mm256_cmp_pd(gate.v, _mm256_setzero_pd(), _CMP_NEQ_OQ);
+    return {_mm256_blendv_pd(h.v, _mm256_add_pd(h.v, d.v), on)};
+  }
+};
+
+#elif defined(__SSE2__) || defined(_M_X64)
+
+struct SimdLane {
+  static constexpr std::size_t kWidth = 2;
+  __m128d v;
+  static SimdLane load(const double* p) { return {_mm_loadu_pd(p)}; }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+  static SimdLane set1(double s) { return {_mm_set1_pd(s)}; }
+  static SimdLane zero() { return {_mm_setzero_pd()}; }
+  friend SimdLane operator+(SimdLane a, SimdLane b) {
+    return {_mm_add_pd(a.v, b.v)};
+  }
+  friend SimdLane operator-(SimdLane a, SimdLane b) {
+    return {_mm_sub_pd(a.v, b.v)};
+  }
+  friend SimdLane operator*(SimdLane a, SimdLane b) {
+    return {_mm_mul_pd(a.v, b.v)};
+  }
+  static SimdLane gated_add(SimdLane h, SimdLane gate, SimdLane d) {
+    const __m128d on = _mm_cmpneq_pd(gate.v, _mm_setzero_pd());
+    const __m128d sum = _mm_add_pd(h.v, d.v);
+    return {_mm_or_pd(_mm_and_pd(on, sum), _mm_andnot_pd(on, h.v))};
+  }
+};
+
+#else
+
+using SimdLane = ScalarLane;  // portable fallback: scalar blocks
+
+#endif
+
+// The LLG right-hand side for one lane-block, exactly llg_rhs()'s
+// expression: dmdt = pref * (m x h + alpha * m x (m x h)).
+template <class V>
+inline void llg_lanes(V mx, V my, V mz, V hx, V hy, V hz, V alpha, V pref,
+                      V& ox, V& oy, V& oz) {
+  const V cx = my * hz - mz * hy;
+  const V cy = mz * hx - mx * hz;
+  const V cz = mx * hy - my * hx;
+  const V tx = my * cz - mz * cy;
+  const V ty = mz * cx - mx * cz;
+  const V tz = mx * cy - my * cx;
+  ox = (cx + tx * alpha) * pref;
+  oy = (cy + ty * alpha) * pref;
+  oz = (cz + tz * alpha) * pref;
+}
+
+// One interior block of V::kWidth cells starting at flat index i:
+// accumulate every op in term order, then the rhs. Interior cells have
+// every existing-axis neighbour in bounds and active, so exchange reads
+// m at i ± axis_stride directly.
+template <class V>
+inline void fused_block(const KernelPlan& p, const double* __restrict mx,
+                        const double* __restrict my,
+                        const double* __restrict mz, const EvalOp* ops,
+                        std::size_t nops, std::uint8_t run_antenna,
+                        double* __restrict ox, double* __restrict oy,
+                        double* __restrict oz, std::size_t i) {
+  const V mix = V::load(mx + i);
+  const V miy = V::load(my + i);
+  const V miz = V::load(mz + i);
+  V hx = V::zero(), hy = V::zero(), hz = V::zero();
+  for (std::size_t o = 0; o < nops; ++o) {
+    const EvalOp& op = ops[o];
+    switch (op.kind) {
+      case OpKind::kExchange: {
+        V lx = V::zero(), ly = V::zero(), lz = V::zero();
+        for (int a = 0; a < 3; ++a) {
+          if (!p.axis_used[a]) continue;
+          const std::ptrdiff_t st = p.axis_stride[a];
+          const V w = V::set1(p.inv_d2[a]);
+          lx = lx + (V::load(mx + i - st) - mix) * w;
+          ly = ly + (V::load(my + i - st) - miy) * w;
+          lz = lz + (V::load(mz + i - st) - miz) * w;
+          lx = lx + (V::load(mx + i + st) - mix) * w;
+          ly = ly + (V::load(my + i + st) - miy) * w;
+          lz = lz + (V::load(mz + i + st) - miz) * w;
+        }
+        const V pref = V::set1(op.pref);
+        hx = hx + lx * pref;
+        hy = hy + ly * pref;
+        hz = hz + lz * pref;
+        break;
+      }
+      case OpKind::kAnisotropy: {
+        const V vax = V::set1(op.ax), vay = V::set1(op.ay),
+                vaz = V::set1(op.az);
+        V d = mix * vax + miy * vay;
+        d = d + miz * vaz;
+        const V sc = V::set1(op.pref) * d;
+        hx = hx + vax * sc;
+        hy = hy + vay * sc;
+        hz = hz + vaz * sc;
+        break;
+      }
+      case OpKind::kThinFilmDemag:
+        hz = hz - V::load(p.ms.data() + i) * miz;
+        break;
+      case OpKind::kUniformZeeman:
+        hx = hx + V::set1(op.dx);
+        hy = hy + V::set1(op.dy);
+        hz = hz + V::set1(op.dz);
+        break;
+      case OpKind::kAntenna:
+        if (!op.skip && (run_antenna & op.bit)) {
+          const V g = V::load(op.gate->data() + i);
+          hx = V::gated_add(hx, g, V::set1(op.dx));
+          hy = V::gated_add(hy, g, V::set1(op.dy));
+          hz = V::gated_add(hz, g, V::set1(op.dz));
+        }
+        break;
+    }
+  }
+  V rx, ry, rz;
+  llg_lanes(mix, miy, miz, hx, hy, hz, V::load(p.alpha.data() + i),
+            V::load(p.llg_pref.data() + i), rx, ry, rz);
+  rx.store(ox + i);
+  ry.store(oy + i);
+  rz.store(oz + i);
+}
+
+}  // namespace
+
+void fused_run(const KernelPlan& p, const SoaVec& m,
+               const std::vector<EvalOp>& ops, SoaVec& dmdt, std::size_t fb,
+               std::size_t fe, std::uint8_t run_antenna) {
+  const double* mx = m.x.data();
+  const double* my = m.y.data();
+  const double* mz = m.z.data();
+  double* ox = dmdt.x.data();
+  double* oy = dmdt.y.data();
+  double* oz = dmdt.z.data();
+  const EvalOp* op0 = ops.data();
+  const std::size_t nops = ops.size();
+  std::size_t i = fb;
+  for (; i + SimdLane::kWidth <= fe; i += SimdLane::kWidth) {
+    fused_block<SimdLane>(p, mx, my, mz, op0, nops, run_antenna, ox, oy, oz,
+                          i);
+  }
+  for (; i < fe; ++i) {
+    fused_block<ScalarLane>(p, mx, my, mz, op0, nops, run_antenna, ox, oy, oz,
+                            i);
+  }
+}
+
+void fused_edge(const KernelPlan& p, const SoaVec& m,
+                const std::vector<EvalOp>& ops, SoaVec& dmdt, std::size_t eb,
+                std::size_t ee) {
+  const std::uint32_t* act = p.active.data();
+  const std::uint32_t* edge = p.edge_slots.data();
+  const double* mx = m.x.data();
+  const double* my = m.y.data();
+  const double* mz = m.z.data();
+  const EvalOp* op0 = ops.data();
+  const std::size_t nops = ops.size();
+  for (std::size_t j = eb; j < ee; ++j) {
+    const std::size_t s = edge[j];
+    const std::size_t i = act[s];
+    const double mix = mx[i], miy = my[i], miz = mz[i];
+    double hx = 0.0, hy = 0.0, hz = 0.0;
+    for (std::size_t o = 0; o < nops; ++o) {
+      const EvalOp& op = op0[o];
+      switch (op.kind) {
+        case OpKind::kExchange: {
+          const std::uint32_t* nbp = &p.nb[6 * s];
+          double lx = 0.0, ly = 0.0, lz = 0.0;
+          for (int k = 0; k < 6; ++k) {
+            const std::size_t j2 = nbp[k];
+            const double w = p.inv_d2[k >> 1];
+            lx += (mx[j2] - mix) * w;
+            ly += (my[j2] - miy) * w;
+            lz += (mz[j2] - miz) * w;
+          }
+          hx += lx * op.pref;
+          hy += ly * op.pref;
+          hz += lz * op.pref;
+          break;
+        }
+        case OpKind::kAnisotropy: {
+          const double d = mix * op.ax + miy * op.ay + miz * op.az;
+          const double sc = op.pref * d;
+          hx += op.ax * sc;
+          hy += op.ay * sc;
+          hz += op.az * sc;
+          break;
+        }
+        case OpKind::kThinFilmDemag:
+          hz -= p.ms[i] * miz;
+          break;
+        case OpKind::kUniformZeeman:
+          hx += op.dx;
+          hy += op.dy;
+          hz += op.dz;
+          break;
+        case OpKind::kAntenna:
+          if (!op.skip && (p.antenna_bits[s] & op.bit)) {
+            hx += op.dx;
+            hy += op.dy;
+            hz += op.dz;
+          }
+          break;
+      }
+    }
+    ScalarLane rx, ry, rz;
+    llg_lanes(ScalarLane{mix}, ScalarLane{miy}, ScalarLane{miz},
+              ScalarLane{hx}, ScalarLane{hy}, ScalarLane{hz},
+              ScalarLane{p.alpha[i]}, ScalarLane{p.llg_pref[i]}, rx, ry, rz);
+    dmdt.x[i] = rx.v;
+    dmdt.y[i] = ry.v;
+    dmdt.z[i] = rz.v;
+  }
+}
+
+void term_sweep(const KernelPlan& p, const SoaVec& m, const EvalOp& op,
+                SoaVec& h, std::size_t sb, std::size_t se) {
+  const std::uint32_t* act = p.active.data();
+  const double* mx = m.x.data();
+  const double* my = m.y.data();
+  const double* mz = m.z.data();
+  double* hx = h.x.data();
+  double* hy = h.y.data();
+  double* hz = h.z.data();
+  switch (op.kind) {
+    case OpKind::kExchange:
+      for (std::size_t s = sb; s < se; ++s) {
+        const std::size_t i = act[s];
+        const double mix = mx[i], miy = my[i], miz = mz[i];
+        const std::uint32_t* nbp = &p.nb[6 * s];
+        double lx = 0.0, ly = 0.0, lz = 0.0;
+        for (int k = 0; k < 6; ++k) {
+          const std::size_t j = nbp[k];
+          const double w = p.inv_d2[k >> 1];
+          lx += (mx[j] - mix) * w;
+          ly += (my[j] - miy) * w;
+          lz += (mz[j] - miz) * w;
+        }
+        hx[i] += lx * op.pref;
+        hy[i] += ly * op.pref;
+        hz[i] += lz * op.pref;
+      }
+      break;
+    case OpKind::kAnisotropy:
+      for (std::size_t s = sb; s < se; ++s) {
+        const std::size_t i = act[s];
+        const double d = mx[i] * op.ax + my[i] * op.ay + mz[i] * op.az;
+        const double sc = op.pref * d;
+        hx[i] += op.ax * sc;
+        hy[i] += op.ay * sc;
+        hz[i] += op.az * sc;
+      }
+      break;
+    case OpKind::kThinFilmDemag:
+      for (std::size_t s = sb; s < se; ++s) {
+        const std::size_t i = act[s];
+        hz[i] -= p.ms[i] * mz[i];
+      }
+      break;
+    case OpKind::kUniformZeeman:
+      for (std::size_t s = sb; s < se; ++s) {
+        const std::size_t i = act[s];
+        hx[i] += op.dx;
+        hy[i] += op.dy;
+        hz[i] += op.dz;
+      }
+      break;
+    case OpKind::kAntenna:
+      // Region index list, not the slot range: the drive's whole point is
+      // to touch only the cells the antenna powers.
+      if (!op.skip) {
+        for (const std::uint32_t i : *op.cells) {
+          hx[i] += op.dx;
+          hy[i] += op.dy;
+          hz[i] += op.dz;
+        }
+      }
+      break;
+  }
+}
+
+void rhs_sweep(const KernelPlan& p, const SoaVec& m, const SoaVec& h,
+               SoaVec& dmdt, std::size_t sb, std::size_t se) {
+  const std::uint32_t* act = p.active.data();
+  for (std::size_t s = sb; s < se; ++s) {
+    const std::size_t i = act[s];
+    ScalarLane rx, ry, rz;
+    llg_lanes(ScalarLane{m.x[i]}, ScalarLane{m.y[i]}, ScalarLane{m.z[i]},
+              ScalarLane{h.x[i]}, ScalarLane{h.y[i]}, ScalarLane{h.z[i]},
+              ScalarLane{p.alpha[i]}, ScalarLane{p.llg_pref[i]}, rx, ry, rz);
+    dmdt.x[i] = rx.v;
+    dmdt.y[i] = ry.v;
+    dmdt.z[i] = rz.v;
+  }
+}
+
+}  // namespace swsim::mag::kernels

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "mag/kernels/context.h"
+#include "mag/kernels/runtime.h"
 #include "math/constants.h"
 #include "obs/clock.h"
 #include "obs/event_log.h"
@@ -15,6 +17,29 @@ namespace swsim::mag {
 
 using swsim::math::kGamma;
 using swsim::math::kMu0;
+
+namespace fehlberg {
+// The RKF45 tableau, shared by the reference stepper and the kernel-path
+// stepper so both run bit-identical arithmetic.
+constexpr double a2 = 1.0 / 4.0;
+constexpr double a3 = 3.0 / 8.0, b31 = 3.0 / 32.0, b32 = 9.0 / 32.0;
+constexpr double a4 = 12.0 / 13.0, b41 = 1932.0 / 2197.0,
+                 b42 = -7200.0 / 2197.0, b43 = 7296.0 / 2197.0;
+constexpr double a5 = 1.0, b51 = 439.0 / 216.0, b52 = -8.0,
+                 b53 = 3680.0 / 513.0, b54 = -845.0 / 4104.0;
+constexpr double a6 = 1.0 / 2.0, b61 = -8.0 / 27.0, b62 = 2.0,
+                 b63 = -3544.0 / 2565.0, b64 = 1859.0 / 4104.0,
+                 b65 = -11.0 / 40.0;
+// 5th-order solution weights.
+constexpr double c1 = 16.0 / 135.0, c3 = 6656.0 / 12825.0,
+                 c4 = 28561.0 / 56430.0, c5 = -9.0 / 50.0, c6 = 2.0 / 55.0;
+// Error weights (5th - 4th).
+constexpr double e1 = 16.0 / 135.0 - 25.0 / 216.0;
+constexpr double e3 = 6656.0 / 12825.0 - 1408.0 / 2565.0;
+constexpr double e4 = 28561.0 / 56430.0 - 2197.0 / 4104.0;
+constexpr double e5 = -9.0 / 50.0 + 1.0 / 5.0;
+constexpr double e6 = 2.0 / 55.0;
+}  // namespace fehlberg
 
 void effective_field(const System& sys,
                      const std::vector<std::unique_ptr<FieldTerm>>& terms,
@@ -67,6 +92,10 @@ Stepper::Stepper(StepperKind kind, double dt, double tolerance)
   }
 }
 
+Stepper::~Stepper() = default;
+Stepper::Stepper(Stepper&&) noexcept = default;
+Stepper& Stepper::operator=(Stepper&&) noexcept = default;
+
 void Stepper::set_dt(double dt) {
   if (!(dt > 0.0)) throw std::invalid_argument("Stepper: dt must be > 0");
   dt_ = dt;
@@ -89,6 +118,30 @@ void Stepper::eval(const System& sys,
   evals.add();
 }
 
+kernels::SolveContext* Stepper::kernel_context(
+    const System& sys, const std::vector<std::unique_ptr<FieldTerm>>& terms) {
+  if (kernels::reference_forced()) return nullptr;
+  if (kctx_ && kctx_->matches(sys, terms)) return kctx_.get();
+  // A term set that refuses to lower (thermal noise, FFT demag) is rejected
+  // in O(terms) inside create(), so retrying every step is cheap.
+  kctx_ = kernels::SolveContext::create(sys, terms);
+  return kctx_.get();
+}
+
+void Stepper::keval(kernels::SolveContext& c, const kernels::SoaVec& state,
+                    double t, kernels::SoaVec& dmdt) {
+  {
+    static obs::Counter& field_us =
+        obs::MetricsRegistry::global().counter("mag.field_assembly.us");
+    obs::ScopedTimerUs timer(field_us);
+    c.eval(state, t, dmdt);
+  }
+  ++stats_.field_evaluations;
+  static obs::Counter& evals =
+      obs::MetricsRegistry::global().counter("mag.field_evals");
+  evals.add();
+}
+
 double Stepper::step(const System& sys,
                      const std::vector<std::unique_ptr<FieldTerm>>& terms,
                      VectorField& m, double t) {
@@ -97,16 +150,34 @@ double Stepper::step(const System& sys,
   for (const auto& term : terms) term->advance_step(dt_);
 
   double taken = 0.0;
-  switch (kind_) {
-    case StepperKind::kHeun:
-      taken = step_heun(sys, terms, m, t);
-      break;
-    case StepperKind::kRk4:
-      taken = step_rk4(sys, terms, m, t);
-      break;
-    case StepperKind::kRkf45:
-      taken = step_rkf45(sys, terms, m, t);
-      break;
+  if (kernels::SolveContext* ctx = kernel_context(sys, terms)) {
+    // Fused SoA path: AoS<->SoA conversion happens only here, at the step
+    // boundary; the stage math runs on the context's contiguous buffers.
+    ctx->load_m(m);
+    switch (kind_) {
+      case StepperKind::kHeun:
+        taken = kstep_heun(*ctx, t);
+        break;
+      case StepperKind::kRk4:
+        taken = kstep_rk4(*ctx, t);
+        break;
+      case StepperKind::kRkf45:
+        taken = kstep_rkf45(*ctx, t);
+        break;
+    }
+    ctx->store_m(m);
+  } else {
+    switch (kind_) {
+      case StepperKind::kHeun:
+        taken = step_heun(sys, terms, m, t);
+        break;
+      case StepperKind::kRk4:
+        taken = step_rk4(sys, terms, m, t);
+        break;
+      case StepperKind::kRkf45:
+        taken = step_rkf45(sys, terms, m, t);
+        break;
+    }
   }
 
   // Fault-injection hook: poison one magnetic cell at the armed step index
@@ -192,26 +263,7 @@ double Stepper::step_rk4(const System& sys,
 double Stepper::step_rkf45(const System& sys,
                            const std::vector<std::unique_ptr<FieldTerm>>& terms,
                            VectorField& m, double t) {
-  // Fehlberg coefficients.
-  static constexpr double a2 = 1.0 / 4.0;
-  static constexpr double a3 = 3.0 / 8.0, b31 = 3.0 / 32.0, b32 = 9.0 / 32.0;
-  static constexpr double a4 = 12.0 / 13.0, b41 = 1932.0 / 2197.0,
-                          b42 = -7200.0 / 2197.0, b43 = 7296.0 / 2197.0;
-  static constexpr double a5 = 1.0, b51 = 439.0 / 216.0, b52 = -8.0,
-                          b53 = 3680.0 / 513.0, b54 = -845.0 / 4104.0;
-  static constexpr double a6 = 1.0 / 2.0, b61 = -8.0 / 27.0, b62 = 2.0,
-                          b63 = -3544.0 / 2565.0, b64 = 1859.0 / 4104.0,
-                          b65 = -11.0 / 40.0;
-  // 5th-order solution weights.
-  static constexpr double c1 = 16.0 / 135.0, c3 = 6656.0 / 12825.0,
-                          c4 = 28561.0 / 56430.0, c5 = -9.0 / 50.0,
-                          c6 = 2.0 / 55.0;
-  // Error weights (5th - 4th).
-  static constexpr double e1 = 16.0 / 135.0 - 25.0 / 216.0;
-  static constexpr double e3 = 6656.0 / 12825.0 - 1408.0 / 2565.0;
-  static constexpr double e4 = 28561.0 / 56430.0 - 2197.0 / 4104.0;
-  static constexpr double e5 = -9.0 / 50.0 + 1.0 / 5.0;
-  static constexpr double e6 = 2.0 / 55.0;
+  using namespace fehlberg;
 
   VectorField k1(sys.grid()), k2(sys.grid()), k3(sys.grid()), k4(sys.grid()),
       k5(sys.grid()), k6(sys.grid());
@@ -255,6 +307,104 @@ double Stepper::step_rkf45(const System& sys,
         m[i] += h * (c1 * k1[i] + c3 * k3[i] + c4 * k4[i] + c5 * k5[i] +
                      c6 * k6[i]);
       }
+      // Grow the step gently for the next call (bounded at 2x).
+      if (err > 0.0) {
+        const double factor =
+            std::min(2.0, 0.9 * std::pow(tolerance_ / err, 0.2));
+        dt_ *= std::max(factor, 0.5);
+      } else {
+        dt_ *= 2.0;
+      }
+      return h;
+    }
+
+    // Reject: shrink and retry.
+    ++stats_.steps_rejected;
+    const double factor =
+        std::max(0.1, 0.9 * std::pow(tolerance_ / err, 0.25));
+    dt_ *= factor;
+  }
+  throw std::runtime_error(
+      "Stepper(RKF45): step size underflow - system too stiff for the "
+      "requested tolerance");
+}
+
+// --- Kernel-path steppers ---------------------------------------------------
+//
+// Stage-for-stage transcriptions of the reference steppers above onto the
+// context's SoA buffers. Scalar stage factors are collapsed exactly as the
+// reference's Vec3 operators collapse them (docs/PERFORMANCE.md lays out
+// the correspondence), so the results are byte-identical.
+
+double Stepper::kstep_heun(kernels::SolveContext& c, double t) {
+  keval(c, c.m_, t, c.k1_);
+  c.stage1(c.tmp_, c.m_, dt_, c.k1_);
+  keval(c, c.tmp_, t + dt_, c.k2_);
+  const double coef[2] = {1.0, 1.0};
+  const kernels::SoaVec* const ks[2] = {&c.k1_, &c.k2_};
+  c.combine(c.m_, c.m_, 0.5 * dt_, coef, ks);
+  return dt_;
+}
+
+double Stepper::kstep_rk4(kernels::SolveContext& c, double t) {
+  keval(c, c.m_, t, c.k1_);
+  c.stage1(c.tmp_, c.m_, 0.5 * dt_, c.k1_);
+  keval(c, c.tmp_, t + 0.5 * dt_, c.k2_);
+  c.stage1(c.tmp_, c.m_, 0.5 * dt_, c.k2_);
+  keval(c, c.tmp_, t + 0.5 * dt_, c.k3_);
+  c.stage1(c.tmp_, c.m_, dt_, c.k3_);
+  keval(c, c.tmp_, t + dt_, c.k4_);
+  const double coef[4] = {1.0, 2.0, 2.0, 1.0};
+  const kernels::SoaVec* const ks[4] = {&c.k1_, &c.k2_, &c.k3_, &c.k4_};
+  c.combine(c.m_, c.m_, dt_ / 6.0, coef, ks);
+  return dt_;
+}
+
+double Stepper::kstep_rkf45(kernels::SolveContext& c, double t) {
+  using namespace fehlberg;
+
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const double h = dt_;
+    keval(c, c.m_, t, c.k1_);
+    // Reference stage 2 associates as k1 * (h * a2) — a plain axpy.
+    c.stage1(c.tmp_, c.m_, h * a2, c.k1_);
+    keval(c, c.tmp_, t + a2 * h, c.k2_);
+    {
+      const double coef[2] = {b31, b32};
+      const kernels::SoaVec* const ks[2] = {&c.k1_, &c.k2_};
+      c.combine(c.tmp_, c.m_, h, coef, ks);
+    }
+    keval(c, c.tmp_, t + a3 * h, c.k3_);
+    {
+      const double coef[3] = {b41, b42, b43};
+      const kernels::SoaVec* const ks[3] = {&c.k1_, &c.k2_, &c.k3_};
+      c.combine(c.tmp_, c.m_, h, coef, ks);
+    }
+    keval(c, c.tmp_, t + a4 * h, c.k4_);
+    {
+      const double coef[4] = {b51, b52, b53, b54};
+      const kernels::SoaVec* const ks[4] = {&c.k1_, &c.k2_, &c.k3_, &c.k4_};
+      c.combine(c.tmp_, c.m_, h, coef, ks);
+    }
+    keval(c, c.tmp_, t + a5 * h, c.k5_);
+    {
+      const double coef[5] = {b61, b62, b63, b64, b65};
+      const kernels::SoaVec* const ks[5] = {&c.k1_, &c.k2_, &c.k3_, &c.k4_,
+                                            &c.k5_};
+      c.combine(c.tmp_, c.m_, h, coef, ks);
+    }
+    keval(c, c.tmp_, t + a6 * h, c.k6_);
+
+    const double ecoef[5] = {e1, e3, e4, e5, e6};
+    const kernels::SoaVec* const eks[5] = {&c.k1_, &c.k3_, &c.k4_, &c.k5_,
+                                           &c.k6_};
+    const double err = c.err_max(h, ecoef, eks);
+
+    if (err <= tolerance_ || dt_ <= 1e-18) {
+      const double coef[5] = {c1, c3, c4, c5, c6};
+      const kernels::SoaVec* const ks[5] = {&c.k1_, &c.k3_, &c.k4_, &c.k5_,
+                                            &c.k6_};
+      c.combine(c.m_, c.m_, h, coef, ks);
       // Grow the step gently for the next call (bounded at 2x).
       if (err > 0.0) {
         const double factor =

@@ -27,6 +27,11 @@
 
 namespace swsim::mag {
 
+namespace kernels {
+class SolveContext;
+struct SoaVec;
+}
+
 // Computes H_eff (sum of all terms) for state m at time t into h (h is
 // zeroed first).
 void effective_field(const System& sys,
@@ -56,6 +61,9 @@ class Stepper {
   // tolerance is the RKF45 per-step max-norm error target (ignored by the
   // fixed-step methods).
   Stepper(StepperKind kind, double dt, double tolerance = 1e-5);
+  ~Stepper();
+  Stepper(Stepper&&) noexcept;
+  Stepper& operator=(Stepper&&) noexcept;
 
   // Advances m from time t by one step; returns the step size actually taken
   // (RKF45 may shrink it). Notifies the terms via advance_step() so
@@ -98,12 +106,25 @@ class Stepper {
             const std::vector<std::unique_ptr<FieldTerm>>& terms,
             const VectorField& m, double t, VectorField& dmdt);
 
+  // Fused SoA kernel path (see src/mag/kernels/): bit-identical to the
+  // reference steppers above, entered whenever every term lowers to a
+  // kernel op. Returns nullptr — reference path — otherwise, or when
+  // SWSIM_KERNEL_REF forces the scalar oracle.
+  kernels::SolveContext* kernel_context(
+      const System& sys, const std::vector<std::unique_ptr<FieldTerm>>& terms);
+  void keval(kernels::SolveContext& c, const kernels::SoaVec& state, double t,
+             kernels::SoaVec& dmdt);
+  double kstep_heun(kernels::SolveContext& c, double t);
+  double kstep_rk4(kernels::SolveContext& c, double t);
+  double kstep_rkf45(kernels::SolveContext& c, double t);
+
   StepperKind kind_;
   double dt_;
   double tolerance_;
   StepperStats stats_;
   robust::WatchdogConfig watchdog_;
   VectorField h_;  // scratch field buffer reused across steps
+  std::unique_ptr<kernels::SolveContext> kctx_;  // cached solve plan+buffers
 };
 
 }  // namespace swsim::mag

@@ -40,6 +40,7 @@ void System::set_ms_scale(const ScalarField& scale) {
     }
   }
   ms_scale_ = scale;
+  ++revision_;
 }
 
 void System::set_alpha_field(const ScalarField& alpha) {
@@ -54,6 +55,7 @@ void System::set_alpha_field(const ScalarField& alpha) {
     }
   }
   alpha_ = alpha;
+  ++revision_;
 }
 
 VectorField System::uniform_magnetization(const Vec3& direction) const {

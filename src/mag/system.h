@@ -6,6 +6,8 @@
 // multi-material machinery.
 #pragma once
 
+#include <cstdint>
+
 #include "mag/material.h"
 #include "math/field.h"
 #include "math/grid.h"
@@ -46,6 +48,11 @@ class System {
   void set_alpha_field(const ScalarField& alpha);
   double alpha_at(std::size_t i) const { return alpha_[i]; }
 
+  // Mutation counter, bumped by every setter that changes per-cell data.
+  // The kernel layer uses (address, revision) as a staleness signature for
+  // its precomputed solve plans.
+  std::uint64_t revision() const { return revision_; }
+
   std::size_t magnetic_cell_count() const { return magnetic_cells_; }
 
   // Uniform initial magnetization along `direction` inside the mask.
@@ -58,6 +65,7 @@ class System {
   ScalarField ms_scale_;
   ScalarField alpha_;
   std::size_t magnetic_cells_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace swsim::mag

@@ -1,8 +1,12 @@
 #include "mag/zeeman_field.h"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "mag/kernels/term_op.h"
 #include "math/constants.h"
 
 namespace swsim::mag {
@@ -29,6 +33,15 @@ double UniformZeemanField::energy(const System& sys,
     if (mask[i]) e += sys.ms_at(i) * dot(m[i], h_);
   }
   return -kMu0 * e * sys.grid().cell_volume();
+}
+
+bool UniformZeemanField::compile_kernel(const System&,
+                                        kernels::TermOp& op) const {
+  op.kind = kernels::OpKind::kUniformZeeman;
+  op.hx = h_.x;
+  op.hy = h_.y;
+  op.hz = h_.z;
+  return true;
 }
 
 Envelope Envelope::continuous() {
@@ -74,6 +87,21 @@ AntennaField::AntennaField(swsim::math::Mask region, double amplitude,
   }
 }
 
+const std::vector<std::uint32_t>& AntennaField::driven_cells(
+    const System& sys) const {
+  const auto& mask = sys.mask();
+  for (auto& entry : cell_cache_) {
+    if (entry.first == mask) return entry.second;
+  }
+  std::vector<std::uint32_t> cells;
+  for (std::size_t i = 0; i < region_.size(); ++i) {
+    if (region_[i] && mask[i]) cells.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (cell_cache_.size() >= 2) cell_cache_.erase(cell_cache_.begin());
+  cell_cache_.emplace_back(mask, std::move(cells));
+  return cell_cache_.back().second;
+}
+
 void AntennaField::accumulate(const System& sys, const VectorField& m,
                               double t, VectorField& h) {
   if (!(region_.grid() == sys.grid())) {
@@ -83,10 +111,32 @@ void AntennaField::accumulate(const System& sys, const VectorField& m,
   if (env == 0.0) return;
   const Vec3 drive =
       direction_ * (amplitude_ * env * std::sin(kTwoPi * frequency_ * t + phase_));
+  if (m.size() <= std::numeric_limits<std::uint32_t>::max()) {
+    // Fast path: region ∧ mask precomputed as an ascending index list —
+    // per step the antenna costs its footprint, not a grid scan. Identical
+    // writes in identical order to the full sweep below.
+    for (const std::uint32_t i : driven_cells(sys)) h[i] += drive;
+    return;
+  }
   const auto& mask = sys.mask();
   for (std::size_t i = 0; i < m.size(); ++i) {
     if (region_[i] && mask[i]) h[i] += drive;
   }
+}
+
+bool AntennaField::compile_kernel(const System& sys,
+                                  kernels::TermOp& op) const {
+  if (!(region_.grid() == sys.grid())) return false;  // reference path throws
+  op.kind = kernels::OpKind::kAntenna;
+  op.ax = direction_.x;
+  op.ay = direction_.y;
+  op.az = direction_.z;
+  op.amplitude = amplitude_;
+  op.frequency = frequency_;
+  op.phase = phase_;
+  op.envelope = &envelope_;
+  op.cells = driven_cells(sys);
+  return true;
 }
 
 }  // namespace swsim::mag

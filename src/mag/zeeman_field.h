@@ -7,7 +7,10 @@
 // as in the paper (Sec. III-A step (i)).
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "mag/field_term.h"
 
@@ -21,6 +24,7 @@ class UniformZeemanField final : public FieldTerm {
   void accumulate(const System& sys, const VectorField& m, double t,
                   VectorField& h) override;
   double energy(const System& sys, const VectorField& m) const override;
+  bool compile_kernel(const System& sys, kernels::TermOp& op) const override;
 
  private:
   Vec3 h_;
@@ -56,17 +60,26 @@ class AntennaField final : public FieldTerm {
   std::string name() const override { return "antenna"; }
   void accumulate(const System& sys, const VectorField& m, double t,
                   VectorField& h) override;
+  bool compile_kernel(const System& sys, kernels::TermOp& op) const override;
 
   double phase() const { return phase_; }
   double frequency() const { return frequency_; }
 
  private:
+  // Driven cells (region ∧ system mask) as ascending grid indices. Cached
+  // per mask content (two entries: relax and run Systems alternate), so the
+  // per-step cost is proportional to the antenna footprint, not the grid.
+  const std::vector<std::uint32_t>& driven_cells(const System& sys) const;
+
   swsim::math::Mask region_;
   double amplitude_;
   Vec3 direction_;
   double frequency_;
   double phase_;
   Envelope envelope_;
+  mutable std::vector<
+      std::pair<swsim::math::Mask, std::vector<std::uint32_t>>>
+      cell_cache_;
 };
 
 }  // namespace swsim::mag

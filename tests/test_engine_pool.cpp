@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace swsim::engine {
@@ -64,6 +67,84 @@ TEST(ThreadPool, UnevenTasksAreStolen) {
 
 TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10'000);
+  pool.parallel_for(hits.size(), 256, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksDependOnlyOnSizeAndGrain) {
+  // The kernel layer's determinism contract rests on this: the same
+  // (n, grain) must produce the same chunk boundaries for ANY pool size,
+  // so disjoint-write callers emit identical bytes regardless of threads.
+  auto chunks_of = [](std::size_t threads, std::size_t n, std::size_t grain) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(n, grain, [&](std::size_t b, std::size_t e) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  for (const std::size_t n :
+       std::vector<std::size_t>{0, 1, 255, 256, 1000, 4096}) {
+    const auto one = chunks_of(1, n, 256);
+    EXPECT_EQ(one, chunks_of(2, n, 256)) << "n = " << n;
+    EXPECT_EQ(one, chunks_of(7, n, 256)) << "n = " << n;
+    // Chunks tile [0, n) in order with no gap or overlap.
+    std::size_t pos = 0;
+    for (const auto& [b, e] : one) {
+      EXPECT_EQ(b, pos);
+      EXPECT_LT(b, e);
+      pos = e;
+    }
+    EXPECT_EQ(pos, n);
+  }
+}
+
+TEST(ThreadPool, ParallelForCallerParticipates) {
+  // parallel_for must make progress even when every worker is busy — the
+  // calling thread runs chunks itself, which is what keeps the shared
+  // engine-pool + intra-solve arrangement deadlock-free.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);  // backstop, never reached
+  for (int i = 0; i < 2; ++i) {
+    pool.submit([&release, deadline] {
+      while (!release.load() && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  std::atomic<int> covered{0};
+  pool.parallel_for(512, 64, [&](std::size_t b, std::size_t e) {
+    covered += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(covered.load(), 512);
+  release = true;
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1024, 64,
+                                 [&](std::size_t b, std::size_t) {
+                                   if (b == 512) {
+                                     throw std::runtime_error("chunk failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  pool.wait_idle();  // pool stays usable after a throwing sweep
 }
 
 TEST(Scheduler, RunsIndependentJobs) {

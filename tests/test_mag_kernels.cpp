@@ -1,0 +1,381 @@
+// Bit-exactness contract of the fused SoA kernel path.
+//
+// The kernel layer (src/mag/kernels/) promises byte-identical output to
+// the scalar reference steppers for every stepper kind, every term set it
+// lowers, and ANY intra-solve job count. These tests hold it to that with
+// memcmp over the raw Vec3 bytes — no tolerances anywhere — on a masked
+// (triangle-like) geometry that exercises interior SIMD runs, scalar edge
+// cells, absent-neighbour self-indices, and the antenna gate at once.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/ovf.h"
+#include "mag/anisotropy_field.h"
+#include "mag/demag_field.h"
+#include "mag/exchange_field.h"
+#include "mag/kernels/plan.h"
+#include "mag/kernels/runtime.h"
+#include "mag/llg.h"
+#include "mag/material.h"
+#include "mag/system.h"
+#include "mag/thermal_field.h"
+#include "mag/zeeman_field.h"
+#include "math/constants.h"
+#include "math/field.h"
+#include "robust/fault_injection.h"
+#include "robust/status.h"
+
+namespace swsim::mag {
+namespace {
+
+using swsim::math::Grid;
+using swsim::math::Mask;
+using swsim::math::Vec3;
+using swsim::math::VectorField;
+
+// Restores the process-wide kernel knobs no matter how a test exits.
+struct KernelModeGuard {
+  ~KernelModeGuard() {
+    kernels::set_force_reference(-1);
+    kernels::set_cell_jobs(1);
+  }
+};
+
+Grid make_grid() { return Grid(24, 16, 1, 4e-9, 4e-9, 10e-9); }
+
+// Right-triangle footprint: row y keeps x in [0, nx - y). Produces long
+// interior runs low in the triangle, short (< kMinRun) rows near the apex
+// that land whole on the edge path, and a diagonal boundary whose cells
+// have absent +x/+y neighbours.
+Mask triangle_mask(const Grid& g) {
+  Mask mask(g, false);
+  for (std::size_t y = 0; y < g.ny(); ++y) {
+    for (std::size_t x = 0; x < g.nx(); ++x) {
+      if (x + y < g.nx()) mask.set(g.index(x, y, 0), true);
+    }
+  }
+  return mask;
+}
+
+// Antenna footprint: a column band, deliberately wider than the mask so
+// region ∧ mask matters.
+Mask antenna_region(const Grid& g) {
+  Mask region(g, false);
+  for (std::size_t y = 0; y < g.ny(); ++y) {
+    for (std::size_t x = 4; x < 8 && x < g.nx(); ++x) {
+      region.set(g.index(x, y, 0), true);
+    }
+  }
+  return region;
+}
+
+// Every kernel-lowerable term at once.
+std::vector<std::unique_ptr<FieldTerm>> make_terms(const Grid& g) {
+  std::vector<std::unique_ptr<FieldTerm>> terms;
+  terms.push_back(std::make_unique<ExchangeField>());
+  terms.push_back(std::make_unique<UniaxialAnisotropyField>(Vec3{0, 0, 1}));
+  terms.push_back(std::make_unique<ThinFilmDemagField>());
+  terms.push_back(std::make_unique<UniformZeemanField>(Vec3{0, 0, 2.0e4}));
+  terms.push_back(std::make_unique<AntennaField>(antenna_region(g), 5.0e3,
+                                                 Vec3{1, 0, 0}, 2.6e9, 0.3));
+  return terms;
+}
+
+VectorField initial_m(const System& sys) {
+  VectorField m(sys.grid());
+  const auto& mask = sys.mask();
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!mask[i]) continue;
+    const double a = 0.37 * static_cast<double>(i);
+    m[i] = swsim::math::normalized(
+        Vec3{0.15 * std::sin(a), 0.15 * std::cos(1.7 * a), 1.0});
+  }
+  return m;
+}
+
+struct RunResult {
+  VectorField m;
+  StepperStats stats;
+};
+
+// Runs `steps` stepper calls under the given kernel mode and job count.
+// ref_mode: 1 = scalar reference oracle, 0 = fused kernel path.
+RunResult run_steps(StepperKind kind, int ref_mode, std::size_t cell_jobs,
+                    std::size_t steps, double dt, double tolerance = 1e-5) {
+  KernelModeGuard guard;
+  kernels::set_force_reference(ref_mode);
+  kernels::set_cell_jobs(cell_jobs);
+
+  const Grid g = make_grid();
+  const System sys(g, Material::fecob(), triangle_mask(g));
+  auto terms = make_terms(g);
+  VectorField m = initial_m(sys);
+
+  Stepper stepper(kind, dt, tolerance);
+  double t = 0.0;
+  for (std::size_t s = 0; s < steps; ++s) t += stepper.step(sys, terms, m, t);
+  return RunResult{std::move(m), stepper.stats()};
+}
+
+::testing::AssertionResult bytes_identical(const VectorField& a,
+                                           const VectorField& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << a.size() << " vs " << b.size();
+  }
+  if (std::memcmp(a.data().data(), b.data().data(),
+                  a.size() * sizeof(Vec3)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(Vec3)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first byte difference at cell " << i << ": (" << a[i].x
+             << ", " << a[i].y << ", " << a[i].z << ") vs (" << b[i].x << ", "
+             << b[i].y << ", " << b[i].z << ")";
+    }
+  }
+  return ::testing::AssertionFailure() << "padding bytes differ";
+}
+
+TEST(KernelBitExact, HeunMatchesReference) {
+  const auto ref = run_steps(StepperKind::kHeun, 1, 1, 25, 2e-13);
+  const auto fused = run_steps(StepperKind::kHeun, 0, 1, 25, 2e-13);
+  EXPECT_TRUE(bytes_identical(ref.m, fused.m));
+  EXPECT_EQ(ref.stats.field_evaluations, fused.stats.field_evaluations);
+}
+
+TEST(KernelBitExact, Rk4MatchesReference) {
+  const auto ref = run_steps(StepperKind::kRk4, 1, 1, 25, 2e-13);
+  const auto fused = run_steps(StepperKind::kRk4, 0, 1, 25, 2e-13);
+  EXPECT_TRUE(bytes_identical(ref.m, fused.m));
+  EXPECT_EQ(ref.stats.field_evaluations, fused.stats.field_evaluations);
+}
+
+TEST(KernelBitExact, Rkf45MatchesReferenceIncludingStepControl) {
+  const auto ref = run_steps(StepperKind::kRkf45, 1, 1, 25, 2e-13);
+  const auto fused = run_steps(StepperKind::kRkf45, 0, 1, 25, 2e-13);
+  EXPECT_TRUE(bytes_identical(ref.m, fused.m));
+  // The embedded error estimate feeds the step controller; identical bytes
+  // require the accept/reject history and final dt to agree exactly.
+  EXPECT_EQ(ref.stats.steps_taken, fused.stats.steps_taken);
+  EXPECT_EQ(ref.stats.steps_rejected, fused.stats.steps_rejected);
+  EXPECT_EQ(ref.stats.field_evaluations, fused.stats.field_evaluations);
+  EXPECT_EQ(ref.stats.last_dt, fused.stats.last_dt);
+}
+
+TEST(KernelBitExact, Rkf45StepHalvingRecoveryMatches) {
+  // A tolerance tight enough that the initial dt is rejected and halved:
+  // the recovery path (reject, shrink, retry) must replay identically.
+  const auto ref = run_steps(StepperKind::kRkf45, 1, 1, 12, 5e-12, 1e-13);
+  const auto fused = run_steps(StepperKind::kRkf45, 0, 1, 12, 5e-12, 1e-13);
+  ASSERT_GT(ref.stats.steps_rejected, 0u)
+      << "tolerance did not force a rejection; tighten the test";
+  EXPECT_EQ(ref.stats.steps_rejected, fused.stats.steps_rejected);
+  EXPECT_EQ(ref.stats.last_dt, fused.stats.last_dt);
+  EXPECT_TRUE(bytes_identical(ref.m, fused.m));
+}
+
+// Steps until the watchdog throws; returns the number of completed steps.
+std::size_t steps_until_trip(int ref_mode) {
+  KernelModeGuard guard;
+  kernels::set_force_reference(ref_mode);
+  robust::ScopedFaultPlan plan;
+  plan->inject_nan_at_step(5);
+
+  const Grid g = make_grid();
+  const System sys(g, Material::fecob(), triangle_mask(g));
+  auto terms = make_terms(g);
+  VectorField m = initial_m(sys);
+
+  Stepper stepper(StepperKind::kRk4, 2e-13);
+  robust::WatchdogConfig wd;
+  wd.cadence = 1;
+  stepper.set_watchdog(wd);
+
+  double t = 0.0;
+  for (std::size_t s = 0; s < 32; ++s) {
+    try {
+      t += stepper.step(sys, terms, m, t);
+    } catch (const robust::SolveError&) {
+      return s;
+    }
+  }
+  ADD_FAILURE() << "watchdog never tripped";
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(KernelBitExact, WatchdogTripsAtTheSameStep) {
+  // The injected NaN lands on the AoS state after the kernel path stores
+  // back, so the watchdog scan must fire on the identical step index in
+  // both modes.
+  EXPECT_EQ(steps_until_trip(1), steps_until_trip(0));
+}
+
+TEST(KernelDeterminism, CellJobsDoNotChangeBytes) {
+  const auto serial = run_steps(StepperKind::kRk4, 0, 1, 20, 2e-13);
+  const auto jobs2 = run_steps(StepperKind::kRk4, 0, 2, 20, 2e-13);
+  const auto jobs8 = run_steps(StepperKind::kRk4, 0, 8, 20, 2e-13);
+  EXPECT_TRUE(bytes_identical(serial.m, jobs2.m));
+  EXPECT_TRUE(bytes_identical(serial.m, jobs8.m));
+}
+
+TEST(KernelDeterminism, OvfOutputIsByteIdentical) {
+  const auto ref = run_steps(StepperKind::kRk4, 1, 1, 10, 2e-13);
+  const auto fused = run_steps(StepperKind::kRk4, 0, 4, 10, 2e-13);
+  const std::string dir = ::testing::TempDir();
+  const std::string pa = dir + "kernels_ref.ovf";
+  const std::string pb = dir + "kernels_fused.ovf";
+  io::write_ovf(pa, ref.m, "t");
+  io::write_ovf(pb, fused.m, "t");
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const std::string a = slurp(pa);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(pb));
+}
+
+// --- AntennaField fast-path regression ---------------------------------
+
+TEST(AntennaFastPath, MatchesFullGridSweep) {
+  const Grid g = make_grid();
+  const System sys(g, Material::fecob(), triangle_mask(g));
+  const Mask region = antenna_region(g);
+  const double amplitude = 5.0e3, frequency = 2.6e9, phase = 0.3;
+  AntennaField antenna(region, amplitude, Vec3{1, 0, 0}, frequency, phase);
+
+  const VectorField m = initial_m(sys);
+  for (const double t : {0.0, 7.3e-12, 1.9e-10}) {
+    VectorField fast(g);
+    // Seed the accumulator with a nonzero pattern so "+= drive" starts from
+    // the same bytes a real term stack would.
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      fast[i] = Vec3{0.5 * static_cast<double>(i % 7), -1.25, 3.0};
+    }
+    VectorField full = fast;
+    antenna.accumulate(sys, m, t, fast);
+
+    // The pre-fast-path reference semantics: scan the whole grid, drive
+    // region ∧ mask cells.
+    const double env = 1.0;  // continuous envelope
+    const Vec3 drive =
+        Vec3{1, 0, 0} * (amplitude * env *
+                         std::sin(2.0 * swsim::math::kPi * frequency * t +
+                                  phase));
+    const auto& mask = sys.mask();
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      if (region[i] && mask[i]) full[i] += drive;
+    }
+    EXPECT_TRUE(bytes_identical(fast, full)) << "at t = " << t;
+  }
+}
+
+// --- plan structure ------------------------------------------------------
+
+TEST(KernelPlan, RejectsTermsItCannotLower) {
+  const Grid g = make_grid();
+  const System sys(g, Material::fecob(), triangle_mask(g));
+  {
+    std::vector<std::unique_ptr<FieldTerm>> terms;
+    terms.push_back(std::make_unique<ExchangeField>());
+    terms.push_back(std::make_unique<ThermalField>(300.0));
+    EXPECT_EQ(kernels::build_plan(sys, terms), nullptr);
+  }
+  {
+    std::vector<std::unique_ptr<FieldTerm>> terms;
+    terms.push_back(std::make_unique<NewellDemagField>(sys));
+    EXPECT_EQ(kernels::build_plan(sys, terms), nullptr);
+  }
+}
+
+TEST(KernelPlan, InteriorAndEdgePartitionTheActiveSet) {
+  const Grid g = make_grid();
+  const System sys(g, Material::fecob(), triangle_mask(g));
+  auto terms = make_terms(g);
+  const auto plan = kernels::build_plan(sys, terms);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_TRUE(plan->fused_ok);
+  ASSERT_GT(plan->runs.size(), 0u);
+  ASSERT_GT(plan->edge_slots.size(), 0u);
+
+  EXPECT_EQ(plan->active.size(), sys.magnetic_cell_count());
+  EXPECT_EQ(plan->interior_total + plan->edge_slots.size(),
+            plan->active.size());
+
+  // Every interior cell is active with every existing-axis neighbour
+  // in-bounds and active, and no cell appears twice.
+  const auto& mask = sys.mask();
+  std::vector<int> seen(g.cell_count(), 0);
+  std::uint64_t counted = 0;
+  for (std::size_t r = 0; r < plan->runs.size(); ++r) {
+    const auto& run = plan->runs[r];
+    EXPECT_EQ(plan->run_prefix[r], counted);
+    for (std::uint32_t i = run.b; i < run.e; ++i) {
+      ++seen[i];
+      EXPECT_TRUE(mask[i]);
+      const auto xyz = g.unindex(i);
+      ASSERT_GT(xyz.x, 0u);
+      ASSERT_LT(xyz.x + 1, g.nx());
+      EXPECT_TRUE(mask[i - 1] && mask[i + 1]);
+      ASSERT_GT(xyz.y, 0u);
+      ASSERT_LT(xyz.y + 1, g.ny());
+      EXPECT_TRUE(mask[g.index(xyz.x, xyz.y - 1, 0)]);
+      EXPECT_TRUE(mask[g.index(xyz.x, xyz.y + 1, 0)]);
+    }
+    counted += run.e - run.b;
+  }
+  EXPECT_EQ(counted, plan->interior_total);
+  for (const std::uint32_t s : plan->edge_slots) ++seen[plan->active[s]];
+  for (std::size_t i = 0; i < g.cell_count(); ++i) {
+    EXPECT_EQ(seen[i], mask[i] ? 1 : 0) << "cell " << i;
+  }
+}
+
+TEST(KernelPlan, AntennaGateMatchesRegionAndMask) {
+  const Grid g = make_grid();
+  const System sys(g, Material::fecob(), triangle_mask(g));
+  auto terms = make_terms(g);
+  const auto plan = kernels::build_plan(sys, terms);
+  ASSERT_NE(plan, nullptr);
+  ASSERT_TRUE(plan->fused_ok);
+
+  const kernels::TermOp* antenna = nullptr;
+  for (const auto& op : plan->ops) {
+    if (op.kind == kernels::OpKind::kAntenna) antenna = &op;
+  }
+  ASSERT_NE(antenna, nullptr);
+  ASSERT_EQ(antenna->gate.size(), g.cell_count());
+
+  const Mask region = antenna_region(g);
+  const auto& mask = sys.mask();
+  for (std::size_t i = 0; i < g.cell_count(); ++i) {
+    EXPECT_EQ(antenna->gate[i], (region[i] && mask[i]) ? 1.0 : 0.0)
+        << "cell " << i;
+  }
+  ASSERT_EQ(plan->antenna_bits.size(), plan->active.size());
+  for (std::size_t s = 0; s < plan->active.size(); ++s) {
+    const bool driven = (plan->antenna_bits[s] & 1u) != 0;
+    EXPECT_EQ(driven, antenna->gate[plan->active[s]] != 0.0) << "slot " << s;
+  }
+  for (const auto& run : plan->runs) {
+    bool any = false;
+    for (std::uint32_t i = run.b; i < run.e && !any; ++i) {
+      any = antenna->gate[i] != 0.0;
+    }
+    EXPECT_EQ((run.antenna & 1u) != 0, any);
+  }
+}
+
+}  // namespace
+}  // namespace swsim::mag
