@@ -32,13 +32,11 @@
 
 #include "bench/harness.h"
 #include "cli/args.h"
-#include "core/derived_gates.h"
 #include "robust/fault_injection.h"
 #include "robust/report.h"
+#include "robust/shutdown.h"
 #include "robust/status.h"
 #include "core/micromag_gate.h"
-#include "core/multi_input_gate.h"
-#include "core/triangle_gate.h"
 #include "core/validator.h"
 #include "core/variability.h"
 #include "engine/batch_runner.h"
@@ -50,6 +48,11 @@
 #include "obs/json.h"
 #include "obs/obs.h"
 #include "perf/comparison.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/version.h"
+#include "serve/workload.h"
 #include "wavenet/dispersion.h"
 
 using namespace swsim;
@@ -76,6 +79,16 @@ int usage() {
       "              failed jobs are reported, healthy rows still returned)\n"
       "  stats      <metrics.json>   (pretty-print a --metrics-out dump)\n"
       "  trace-check <trace.json>    (validate a --trace-out file)\n"
+      "  version    (build fingerprint: version, git sha, compiler, flags)\n"
+      "  serve      --socket <path> | --port <n>  [--dispatchers <n>]\n"
+      "             [--queue <n>] [--max-sessions <n>] [--retry-after <s>]\n"
+      "             [--request-log <jsonl>] [engine flags]\n"
+      "             (long-lived daemon; protocol swsim.serve/1 — see\n"
+      "              docs/SERVING.md. SIGTERM drains, SIGHUP reloads)\n"
+      "  client     --socket <path> | --port <n>\n"
+      "             <hello|healthz|metrics|truthtable <gate>|yield [gate]>\n"
+      "             [--client <name>] [--priority <n>] [--id <n>]\n"
+      "             [--verify] [gate flags as above]\n"
       "  bench list                  (known bench targets)\n"
       "  bench run  [name...] [--quick] [--repeats <n>] [--warmup <n>]\n"
       "             [--bin-dir <dir>] [--out-dir <dir>]\n"
@@ -293,63 +306,21 @@ int finish_observability(const ObsOptions& o) {
   return rc;
 }
 
-geom::TriangleGateParams params_from(const cli::Args& args, bool maj) {
-  auto p = maj ? geom::TriangleGateParams::paper_maj3()
-               : geom::TriangleGateParams::paper_xor();
-  const double lambda_nm = args.number("lambda", 55.0);
-  p.wavelength = nm(lambda_nm);
-  p.width = nm(args.number("width", 0.4 * lambda_nm));
+// Gate geometry from CLI flags. The spec construction itself (factories,
+// cache keys) lives in serve/workload.h, shared with the serve daemon so
+// both front-ends are byte-identical by construction.
+serve::GateParams gate_params_from(const std::string& kind,
+                                   const cli::Args& args) {
+  serve::GateParams p;
+  p.kind = kind;
+  p.lambda_nm = args.number("lambda", 55.0);
+  if (args.value("width")) p.width_nm = args.number("width", 0.0);
   return p;
 }
 
-// A gate described by a CLI line: how to build fresh instances (the engine
-// evaluates on one instance per job) and the content key of its
-// configuration (the cache address).
-struct GateSpec {
-  engine::BatchRunner::GateFactory factory;
-  std::uint64_t key = 0;
-};
-
-std::optional<GateSpec> make_gate_spec(const std::string& kind,
-                                       const cli::Args& args) {
-  GateSpec spec;
-  core::TriangleGateConfig cfg;
-  cfg.params = params_from(args, /*maj=*/true);
-  if (kind == "maj") {
-    spec.factory = [cfg] {
-      return std::make_unique<core::TriangleMajGate>(cfg);
-    };
-  } else if (kind == "xor" || kind == "xnor") {
-    cfg.params = params_from(args, /*maj=*/false);
-    cfg.inverted = kind == "xnor";
-    spec.factory = [cfg] {
-      return std::make_unique<core::TriangleXorGate>(cfg);
-    };
-  } else if (kind == "and" || kind == "or" || kind == "nand" ||
-             kind == "nor") {
-    const core::TwoInputFunction fn =
-        kind == "and"    ? core::TwoInputFunction::kAnd
-        : kind == "or"   ? core::TwoInputFunction::kOr
-        : kind == "nand" ? core::TwoInputFunction::kNand
-                         : core::TwoInputFunction::kNor;
-    spec.factory = [cfg, fn] {
-      return std::make_unique<core::ControlledMajGate>(cfg, fn);
-    };
-  } else if (kind == "maj5" || kind == "maj7") {
-    core::MultiInputMajConfig mcfg;
-    mcfg.num_inputs = kind == "maj5" ? 5 : 7;
-    mcfg.params = cfg.params;
-    spec.factory = [mcfg] {
-      return std::make_unique<core::MultiInputMajGate>(mcfg);
-    };
-  } else {
-    return std::nullopt;
-  }
-  // The gate kind is part of the key: "and" and "or" share a
-  // TriangleGateConfig but differ in control constant / inversion.
-  spec.key = engine::combine(engine::Fnv1a().str(kind).digest(),
-                             engine::hash_of(cfg));
-  return spec;
+std::optional<serve::TruthTableSpec> make_gate_spec(const std::string& kind,
+                                                    const cli::Args& args) {
+  return serve::make_truth_table_spec(gate_params_from(kind, args));
 }
 
 int cmd_truthtable(const cli::Args& args) {
@@ -411,49 +382,24 @@ int cmd_dispersion(const cli::Args& args) {
 // The yield workload description shared by cmd_yield and cmd_batch. The
 // gate is named either positionally ("yield xor ...", batch-file style) or
 // via --gate (the historical standalone spelling); positional wins.
-struct YieldSpec {
-  std::string kind;
-  engine::BatchRunner::TriangleFactory factory;
-  core::VariabilityModel model;
-  std::size_t trials = 0;
-};
+serve::YieldParams yield_params_from(const cli::Args& args) {
+  serve::YieldParams p;
+  p.kind = !args.positional().empty() ? args.positional()[0]
+                                      : args.value("gate").value_or("maj");
+  p.lambda_nm = args.number("lambda", 55.0);
+  if (args.value("width")) p.width_nm = args.number("width", 0.0);
+  p.sigma_length_nm = args.number("sigma-length", 2.0);
+  p.sigma_amp = args.number("sigma-amp", 0.05);
+  p.trials = static_cast<std::size_t>(args.integer("trials", 500));
+  return p;
+}
 
-std::optional<YieldSpec> make_yield_spec(const cli::Args& args) {
-  const double lambda_nm = args.number("lambda", 55.0);
-  YieldSpec spec;
-  spec.model.sigma_phase = core::VariabilityModel::phase_sigma_for_length(
-      nm(args.number("sigma-length", 2.0)), nm(lambda_nm));
-  spec.model.sigma_amplitude = args.number("sigma-amp", 0.05);
-  spec.trials = static_cast<std::size_t>(args.integer("trials", 500));
-
-  const std::string kind = !args.positional().empty()
-                               ? args.positional()[0]
-                               : args.value("gate").value_or("maj");
-  spec.kind = kind;
-  core::TriangleGateConfig cfg;
-  if (kind == "maj") {
-    cfg.params = params_from(args, true);
-    spec.factory = [cfg] {
-      return std::make_unique<core::TriangleMajGate>(cfg);
-    };
-  } else if (kind == "xor") {
-    cfg.params = params_from(args, false);
-    spec.factory = [cfg] {
-      return std::make_unique<core::TriangleXorGate>(cfg);
-    };
-  } else {
-    return std::nullopt;
-  }
-  return spec;
+std::optional<serve::YieldSpec> make_yield_spec(const cli::Args& args) {
+  return serve::make_yield_spec(yield_params_from(args));
 }
 
 void print_yield(const std::string& kind, const core::YieldReport& r) {
-  std::cout << "gate " << kind << ", " << r.trials << " virtual devices:\n"
-            << "  yield               " << Table::num(r.yield * 100, 1)
-            << "%\n"
-            << "  row failures        " << r.worst_row_failures << '\n'
-            << "  mean worst margin   " << Table::num(r.mean_worst_margin, 3)
-            << '\n';
+  std::cout << serve::render_yield(kind, r);
 }
 
 int cmd_yield(const cli::Args& args) {
@@ -594,6 +540,14 @@ int cmd_batch(const cli::Args& args) {
   const ObsOptions obs_opts = obs_options_from(args);
   arm_observability(obs_opts);
 
+  // ^C / SIGTERM: trip the process-wide cancel (in-flight jobs stop at
+  // their next poll point), stop reading lines, then fall through to the
+  // normal epilogue so partial results, the failure report, and every
+  // armed observability sink are still flushed. Exit code 130 marks the
+  // interrupted-but-flushed outcome.
+  auto& shutdown_signal = robust::ShutdownSignal::global();
+  shutdown_signal.install(robust::ShutdownConfig{});
+
   engine::BatchRunner runner(engine_config_from(args));
   const std::vector<std::string> headers = {
       "line", "command", "gate",          "lambda_nm", "all_pass",
@@ -606,7 +560,12 @@ int cmd_batch(const cli::Args& args) {
   std::size_t line_no = 0;
   bool all_ok = true;
   bool aborted = false;
+  bool interrupted = false;
   while (std::getline(in, line)) {
+    if (shutdown_signal.requested()) {
+      interrupted = true;
+      break;
+    }
     ++line_no;
     const auto hash_pos = line.find('#');
     if (hash_pos != std::string::npos) line = line.substr(0, hash_pos);
@@ -710,6 +669,12 @@ int cmd_batch(const cli::Args& args) {
   }
   maybe_print_stats(args, runner);
   const int obs_rc = finish_observability(obs_opts);
+  if (interrupted) {
+    std::cerr << "batch: interrupted by signal after " << results.size()
+              << " line" << (results.size() == 1 ? "" : "s")
+              << "; partial results and reports were written\n";
+    return 130;
+  }
   if (obs_rc != 0) return obs_rc;
   if (aborted) return 1;
   return all_ok ? 0 : 1;
@@ -906,6 +871,197 @@ int cmd_trace_check(const cli::Args& args) {
   std::cout << "trace OK: " << complete << " complete events, " << metadata
             << " metadata events, " << tids.size() << " thread"
             << (tids.size() == 1 ? "" : "s") << '\n';
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// swsim version / serve / client — the long-lived service front-end
+// (protocol swsim.serve/1, see docs/SERVING.md).
+
+int cmd_version() {
+  std::cout << serve::describe(serve::build_info());
+  return 0;
+}
+
+int cmd_serve(const cli::Args& args) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = args.value("socket").value_or("");
+  cfg.tcp_port = static_cast<int>(args.integer("port", 0));
+  cfg.dispatchers = args.unsigned_integer("dispatchers", 2);
+  cfg.queue_capacity = args.unsigned_integer("queue", 64);
+  cfg.max_sessions = args.unsigned_integer("max-sessions", 64);
+  cfg.retry_after_s = args.number("retry-after", 0.5);
+  if (cfg.retry_after_s < 0.0) {
+    throw std::invalid_argument("--retry-after must be >= 0 seconds");
+  }
+  cfg.request_log = args.value("request-log").value_or("");
+  cfg.engine = engine_config_from(args);
+  if (const auto inject = args.value("inject")) arm_faults(*inject);
+
+  // A daemon's stderr is a log stream: worker threads must never write
+  // progress lines into it, whatever fd 2 happens to be.
+  obs::ProgressReporter::global().suppress_output();
+  // Metrics stay armed for the daemon's lifetime — the /metrics built-in
+  // serves the registry to any client.
+  obs::MetricsRegistry::global().reset();
+  obs::MetricsRegistry::arm();
+
+  serve::Server server(cfg);
+  if (const auto status = server.start(); !status.is_ok()) {
+    std::cerr << "serve: " << status.str() << '\n';
+    return status.code() == robust::StatusCode::kInvalidConfig ? 2 : 1;
+  }
+  std::cout << "serve: listening on " << server.endpoint() << " (sha "
+            << serve::build_info().git_sha << ")\n"
+            << std::flush;
+  return server.run_until_shutdown();
+}
+
+// Exit codes: 0 success (truthtable additionally requires all_pass), 1
+// remote failure / logic fail / verify mismatch, 2 usage, 3 retryable
+// rejection (overloaded or draining), 4 connect/transport error.
+int cmd_client(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "client: missing request type "
+                 "(hello|healthz|metrics|truthtable|yield)\n";
+    return 2;
+  }
+  const std::string& type = args.positional()[0];
+  serve::Request request;
+  request.id = args.unsigned_integer("id", 0);
+  request.client = args.value("client").value_or("anon");
+  request.priority = static_cast<int>(args.integer("priority", 0));
+  if (type == "hello") {
+    request.type = serve::RequestType::kHello;
+  } else if (type == "healthz") {
+    request.type = serve::RequestType::kHealthz;
+  } else if (type == "metrics") {
+    request.type = serve::RequestType::kMetrics;
+  } else if (type == "truthtable") {
+    if (args.positional().size() < 2) {
+      std::cerr << "client: truthtable needs a gate name\n";
+      return 2;
+    }
+    request.type = serve::RequestType::kTruthTable;
+    request.gate = gate_params_from(args.positional()[1], args);
+  } else if (type == "yield") {
+    request.type = serve::RequestType::kYield;
+    serve::YieldParams p;
+    p.kind = args.positional().size() > 1 ? args.positional()[1]
+                                          : args.value("gate").value_or("maj");
+    p.lambda_nm = args.number("lambda", 55.0);
+    if (args.value("width")) p.width_nm = args.number("width", 0.0);
+    p.sigma_length_nm = args.number("sigma-length", 2.0);
+    p.sigma_amp = args.number("sigma-amp", 0.05);
+    p.trials = static_cast<std::size_t>(args.integer("trials", 500));
+    request.yield = p;
+  } else {
+    std::cerr << "client: unknown request type '" << type
+              << "' (want hello|healthz|metrics|truthtable|yield)\n";
+    return 2;
+  }
+
+  serve::Client client;
+  robust::Status status;
+  if (const auto socket = args.value("socket")) {
+    status = client.connect_unix(*socket);
+  } else if (args.value("port")) {
+    status = client.connect_tcp(static_cast<int>(args.integer("port", 0)));
+  } else {
+    std::cerr << "client: need --socket <path> or --port <n>\n";
+    return 2;
+  }
+  if (!status.is_ok()) {
+    std::cerr << "client: " << status.str() << '\n';
+    return 4;
+  }
+
+  serve::Response response;
+  status = client.call(request, &response);
+  if (!status.is_ok()) {
+    std::cerr << "client: " << status.str() << '\n';
+    return 4;
+  }
+
+  const robust::StatusCode code = response.status.code();
+  if (code == robust::StatusCode::kOverloaded ||
+      code == robust::StatusCode::kDraining) {
+    std::cerr << "client: " << response.status.str();
+    if (response.retry_after_s > 0.0) {
+      std::cerr << " (retry after " << response.retry_after_s << " s)";
+    }
+    std::cerr << '\n';
+    return 3;
+  }
+  if (!response.status.is_ok()) {
+    if (!response.text.empty()) std::cout << response.text;
+    std::cerr << "client: " << response.status.str() << '\n';
+    return 1;
+  }
+  if (!response.text.empty()) std::cout << response.text;
+  if (!response.payload_json.empty()) {
+    std::cout << response.payload_json << '\n';
+  }
+
+  if (request.type == serve::RequestType::kHello) {
+    // Version-skew detection: a daemon built from another commit may not
+    // be byte-identical with this binary's CLI.
+    const serve::BuildInfo local = serve::build_info();
+    try {
+      const auto doc = obs::parse_json(response.payload_json);
+      const auto* sha = doc.find("git_sha");
+      if (sha && sha->is_string() && sha->str() != local.git_sha) {
+        std::cerr << "client: warning: server built from " << sha->str()
+                  << ", this binary from " << local.git_sha
+                  << " — responses may not match local runs byte-for-byte\n";
+      }
+    } catch (const std::exception&) {
+      // hello payload unparsable: the transport already succeeded, so
+      // just skip the skew check.
+    }
+  }
+
+  if (args.has("verify")) {
+    // The wire determinism contract, checked end to end: recompute the
+    // workload locally through the shared spec layer and require the
+    // served text to be byte-identical.
+    std::string local_text;
+    if (request.type == serve::RequestType::kTruthTable) {
+      const auto spec = serve::make_truth_table_spec(request.gate);
+      if (!spec) {
+        std::cerr << "client: --verify: unknown gate\n";
+        return 2;
+      }
+      engine::BatchRunner runner(engine_config_from(args));
+      local_text =
+          core::format_report(runner.run_truth_table(spec->factory,
+                                                     spec->key));
+    } else if (request.type == serve::RequestType::kYield) {
+      const auto spec = serve::make_yield_spec(request.yield);
+      if (!spec) {
+        std::cerr << "client: --verify: unknown gate\n";
+        return 2;
+      }
+      engine::BatchRunner runner(engine_config_from(args));
+      local_text = serve::render_yield(
+          spec->kind,
+          runner.run_yield(spec->factory, spec->model, spec->trials));
+    } else {
+      std::cerr << "client: --verify applies to truthtable/yield requests\n";
+      return 2;
+    }
+    if (local_text != response.text) {
+      std::cerr << "client: VERIFY MISMATCH — served bytes differ from the "
+                   "local computation\n";
+      return 1;
+    }
+    std::cerr << "client: verify OK (served bytes == local bytes)\n";
+  }
+
+  if (request.type == serve::RequestType::kTruthTable &&
+      serve::Response::set(response.all_pass)) {
+    return response.all_pass != 0.0 ? 0 : 1;
+  }
   return 0;
 }
 
@@ -1184,6 +1340,9 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "trace-check") return cmd_trace_check(args);
     if (cmd == "bench") return cmd_bench(args);
+    if (cmd == "version") return cmd_version();
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "client") return cmd_client(args);
     std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
     return 2;
   } catch (const std::invalid_argument& e) {

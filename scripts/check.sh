@@ -21,6 +21,11 @@
 #   6. an SWSIM_OBS_OFF compile check: the whole library + CLI must still
 #      build with observability compiled out (the stub headers are only
 #      honest if something links against them regularly).
+#   7. a serve smoke: a real `swsim serve` daemon on a Unix socket, probed
+#      by concurrent `swsim client --verify` tenants (served bytes must
+#      equal locally recomputed CLI bytes), a per-tenant injected fault, a
+#      warm-cache re-request proven by healthz counters, and a SIGTERM
+#      drain with an in-flight request that must complete (docs/SERVING.md).
 #
 # Usage: scripts/check.sh [build-dir]           (default: build)
 # Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
@@ -28,6 +33,7 @@
 #        SWSIM_CHECK_SKIP_ASAN=1 skips stage 3 (toolchains without libasan).
 #        SWSIM_CHECK_SKIP_BENCH=1 skips stage 5.
 #        SWSIM_CHECK_SKIP_OBSOFF=1 skips stage 6.
+#        SWSIM_CHECK_SKIP_SERVE=1 skips stage 7.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,10 +57,11 @@ if [[ "${SWSIM_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
 else
   TSAN_DIR="${BUILD_DIR}-tsan"
   TSAN_TESTS=(test_engine_pool test_engine_cache test_engine_determinism
-              test_engine_resilience
+              test_engine_resilience test_engine_cache_concurrent
               test_mag_kernels
               test_obs_trace test_obs_metrics test_obs_log
-              test_obs_determinism)
+              test_obs_determinism
+              test_serve_admission test_serve_server)
 
   echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
   cmake -B "${TSAN_DIR}" -S . \
@@ -151,6 +158,89 @@ else
   cmake --build "${OBSOFF_DIR}" -j "${JOBS}" --target swsim
   # The disarmed CLI must still run and not emit progress noise.
   "${OBSOFF_DIR}/cli/swsim" truthtable maj >/dev/null
+fi
+
+if [[ "${SWSIM_CHECK_SKIP_SERVE:-0}" == "1" ]]; then
+  echo "== stage 7: serve smoke skipped (SWSIM_CHECK_SKIP_SERVE=1) =="
+else
+  echo "== stage 7: serve daemon smoke =="
+  SERVE_DIR="${BUILD_DIR}/serve-smoke"
+  rm -rf "${SERVE_DIR}"
+  mkdir -p "${SERVE_DIR}"
+  SOCK="${SERVE_DIR}/serve.sock"
+  SWSIM="${BUILD_DIR}/cli/swsim"
+
+  # A per-tenant injected fault: only the client named "faulty" fails.
+  "${SWSIM}" serve --socket "${SOCK}" --jobs 2 \
+    --request-log "${SERVE_DIR}/requests.jsonl" \
+    --cache-dir "${SERVE_DIR}/cache" \
+    --inject "throw:faulty" > "${SERVE_DIR}/serve.log" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do
+    "${SWSIM}" client --socket "${SOCK}" hello >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+
+  # Concurrent tenants, each verifying served bytes == locally recomputed
+  # CLI bytes (the client recomputes through the shared workload specs and
+  # byte-compares; any mismatch is exit 1).
+  VERIFY_PIDS=()
+  for i in 1 2 3 4; do
+    "${SWSIM}" client --socket "${SOCK}" --client "tenant${i}" --id "${i}" \
+      truthtable maj --verify > "${SERVE_DIR}/tenant${i}.txt" 2>&1 &
+    VERIFY_PIDS+=($!)
+  done
+  for pid in "${VERIFY_PIDS[@]}"; do wait "${pid}"; done
+  grep -q "verify OK" "${SERVE_DIR}/tenant1.txt"
+
+  # The faulty tenant's request fails remotely (exit 1) without touching
+  # anyone else. It must be a yield — yields bypass the cache, so its jobs
+  # actually run and hit the injected per-tenant fault.
+  if "${SWSIM}" client --socket "${SOCK}" --client faulty yield maj \
+      --trials 200 > "${SERVE_DIR}/faulty.txt" 2>&1; then
+    echo "stage 7: the injected per-tenant fault did not fail" >&2
+    exit 1
+  fi
+
+  # Warm cache: the maj table is already paid for, so a repeat request
+  # must raise cache hits while jobs_executed stays put.
+  health() {
+    "${SWSIM}" client --socket "${SOCK}" healthz |
+      grep -o "\"${1}\":[0-9]*" | head -1 | cut -d: -f2
+  }
+  JOBS_BEFORE="$(health jobs_executed)"
+  HITS_BEFORE="$(health hits)"
+  "${SWSIM}" client --socket "${SOCK}" --client repeat truthtable maj \
+    >/dev/null
+  JOBS_AFTER="$(health jobs_executed)"
+  HITS_AFTER="$(health hits)"
+  if [[ "${JOBS_AFTER}" != "${JOBS_BEFORE}" || \
+        "${HITS_AFTER}" -le "${HITS_BEFORE}" ]]; then
+    echo "stage 7: warm-cache repeat re-solved (jobs ${JOBS_BEFORE} -> \
+${JOBS_AFTER}, hits ${HITS_BEFORE} -> ${HITS_AFTER})" >&2
+    exit 1
+  fi
+
+  # Graceful drain: SIGTERM with a request in flight. The in-flight client
+  # must complete normally (exit 0) and the daemon must exit 0.
+  "${SWSIM}" client --socket "${SOCK}" --client inflight yield maj \
+    --trials 100000 > "${SERVE_DIR}/inflight.txt" 2>&1 &
+  INFLIGHT_PID=$!
+  sleep 0.3
+  kill -TERM "${SERVE_PID}"
+  wait "${INFLIGHT_PID}"
+  wait "${SERVE_PID}"
+  trap - EXIT
+  grep -q "yield" "${SERVE_DIR}/inflight.txt"
+  test ! -e "${SOCK}" || { echo "stage 7: socket not unlinked" >&2; exit 1; }
+  # The request log accounted for every request: the failed tenant, the
+  # warm repeat, and the drained in-flight yield all have JSONL lines.
+  grep -q '"client":"faulty".*"code":"internal"' "${SERVE_DIR}/requests.jsonl"
+  grep -q '"client":"repeat".*"code":"ok"' "${SERVE_DIR}/requests.jsonl"
+  grep -q '"client":"inflight".*"type":"yield".*"code":"ok"' \
+    "${SERVE_DIR}/requests.jsonl"
+  echo "stage 7: serve smoke passed"
 fi
 
 echo "== all checks passed =="

@@ -1,5 +1,8 @@
 #include "engine/result_cache.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -126,27 +129,52 @@ void ResultCache::evict_locked() {
   const Entry& victim = lru_.back();
   bool spilled = false;
   if (!spill_dir_.empty()) {
-    const auto path =
-        std::filesystem::path(spill_dir_) / spill_filename(victim.first);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (out) {
-      const std::uint64_t count = victim.second.size();
-      const std::uint64_t checksum =
-          payload_checksum(victim.second.data(), count);
-      out.write(reinterpret_cast<const char*>(&kSpillMagic),
-                sizeof kSpillMagic);
-      out.write(reinterpret_cast<const char*>(&count), sizeof count);
-      out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
-      out.write(reinterpret_cast<const char*>(victim.second.data()),
-                static_cast<std::streamsize>(count * sizeof(double)));
+    // Publish via atomic rename: a spill directory may be shared by several
+    // caches (threads in this process, or other processes pointed at the
+    // same --cache-dir), and a reader racing a plain ofstream would see a
+    // torn file. Writing to a unique temp name and renaming into place
+    // means a concurrent lookup observes either the old complete file, the
+    // new complete file, or nothing — never a partial write.
+    static std::atomic<std::uint64_t> tmp_seq{0};
+    const auto dir = std::filesystem::path(spill_dir_);
+    const auto path = dir / spill_filename(victim.first);
+    char suffix[48];
+    std::snprintf(suffix, sizeof suffix, ".tmp.%ld.%llu",
+                  static_cast<long>(::getpid()),
+                  static_cast<unsigned long long>(
+                      tmp_seq.fetch_add(1, std::memory_order_relaxed)));
+    const auto tmp = dir / (spill_filename(victim.first) + suffix);
+    bool written = false;
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
       if (out) {
+        const std::uint64_t count = victim.second.size();
+        const std::uint64_t checksum =
+            payload_checksum(victim.second.data(), count);
+        out.write(reinterpret_cast<const char*>(&kSpillMagic),
+                  sizeof kSpillMagic);
+        out.write(reinterpret_cast<const char*>(&count), sizeof count);
+        out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+        out.write(reinterpret_cast<const char*>(victim.second.data()),
+                  static_cast<std::streamsize>(count * sizeof(double)));
+        written = static_cast<bool>(out);
+      }
+    }
+    if (written) {
+      std::error_code ec;
+      std::filesystem::rename(tmp, path, ec);
+      if (!ec) {
         ++stats_.spill_writes;
         cache_metrics().spill_writes.add();
         spilled = true;
       }
     }
-    // A failed spill write is a silent capacity loss, not an error: the
-    // entry can always be recomputed.
+    if (!spilled) {
+      // A failed spill write is a silent capacity loss, not an error: the
+      // entry can always be recomputed. Drop the temp file if it exists.
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+    }
   }
   {
     auto& elog = obs::EventLog::global();

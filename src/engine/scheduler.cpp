@@ -158,6 +158,21 @@ void Scheduler::execute(JobId id) {
       for (const JobId d : j.dependents) cancel_locked(d);
       return;
     }
+    if (robust::process_cancel_requested()) {
+      // Process-wide shutdown (^C / forced drain): skip work that has not
+      // started instead of paying each job's setup just to observe the
+      // token. Jobs already running abort at their next cooperative poll.
+      j.state = JobState::kCancelled;
+      j.failed_at_us = obs::wall_now_us();
+      j.status = robust::Status::error(robust::StatusCode::kCancelled,
+                                       "cancelled by shutdown request",
+                                       "job '" + j.label + "'");
+      j.error = j.status.message();
+      sched_metrics().cancelled.add();
+      settle_locked();
+      for (const JobId d : j.dependents) cancel_locked(d);
+      return;
+    }
     j.state = JobState::kRunning;
     j.token = robust::CancelToken();  // fresh token per attempt
     j.started_at = std::chrono::steady_clock::now();

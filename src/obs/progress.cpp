@@ -13,10 +13,11 @@ namespace swsim::obs {
 
 namespace {
 
-// Render cadence: fast enough to feel live on a terminal, slow enough that
-// a piped/logged stderr doesn't drown in status lines.
+// Render cadence: fast enough to feel live on a terminal. Without one (or
+// when suppressed) nothing is written and renders only refresh the gauges,
+// so they can run at a lazier pace.
 constexpr std::uint64_t kTtyIntervalUs = 250'000;
-constexpr std::uint64_t kPipeIntervalUs = 2'000'000;
+constexpr std::uint64_t kMirrorIntervalUs = 2'000'000;
 
 Gauge& jobs_done_gauge() {
   static Gauge& g = MetricsRegistry::global().gauge("progress.jobs_done");
@@ -78,7 +79,7 @@ void ProgressReporter::maybe_render() {
   std::uint64_t deadline = next_render_us_.load(std::memory_order_relaxed);
   if (now < deadline) return;
   const std::uint64_t interval =
-      stderr_is_tty() ? kTtyIntervalUs : kPipeIntervalUs;
+      stderr_is_tty() ? kTtyIntervalUs : kMirrorIntervalUs;
   if (!next_render_us_.compare_exchange_strong(deadline, now + interval,
                                                std::memory_order_relaxed)) {
     return;
@@ -128,14 +129,15 @@ void ProgressReporter::render() {
     return;
   }
 
-  if (stderr_is_tty()) {
-    // Overwrite in place; pad to clear a previously longer line.
-    std::fprintf(stderr, "\r%-78s", line);
-    std::fflush(stderr);
-    rendered_ = true;
-  } else {
-    std::fprintf(stderr, "%s\n", line);
+  // Line output only on an interactive terminal and only when nobody muted
+  // us; everything else (pipes, logs, daemon workers) sees zero bytes.
+  if (suppressed_.load(std::memory_order_relaxed) || !stderr_is_tty()) {
+    return;
   }
+  // Overwrite in place; pad to clear a previously longer line.
+  std::fprintf(stderr, "\r%-78s", line);
+  std::fflush(stderr);
+  rendered_ = true;
 }
 
 void ProgressReporter::finish() {

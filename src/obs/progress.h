@@ -4,14 +4,20 @@
 //   * Scheduler::run_all() registers how many jobs a DAG releases
 //     (add_jobs) and ticks one off as each settles (job_done);
 //   * Simulation::run() ticks once per LLG step (on_llg_steps).
-// When enabled it renders at most one line every ~250 ms (2 s when stderr
-// is not a terminal), carriage-return-overwritten on a TTY:
+// When enabled it renders at most one line every ~250 ms, carriage-return-
+// overwritten on a TTY:
 //
 //   [progress] jobs 3/9 | 1.24e+04 llg steps/s | eta 42s
 //
 // and mirrors the same numbers into MetricsRegistry gauges
 // (progress.jobs_done, progress.jobs_total, progress.steps_per_second) so
 // a --metrics-out dump records the final state.
+//
+// When stderr is NOT a terminal the reporter writes nothing at all — the
+// gauges are still mirrored (every ~2 s) but piped stderr stays byte-clean.
+// Daemon embedders (swsim serve) call suppress_output() for the same
+// guarantee regardless of what fd 2 happens to be: worker threads must
+// never interleave status lines with the daemon's structured logs.
 //
 // Hot-path contract (same as every other obs hook): disabled, each tick is
 // one relaxed atomic load. Enabled, a tick is a couple of relaxed RMWs and
@@ -45,6 +51,13 @@ class ProgressReporter {
   // True when stderr is attached to a terminal (the default-on condition).
   static bool stderr_is_tty();
 
+  // Hard-mutes line output for the rest of the process (gauge mirroring
+  // still runs). Irreversible by design: a daemon that suppressed output
+  // once must never start writing to stderr from worker threads later.
+  void suppress_output() {
+    suppressed_.store(true, std::memory_order_relaxed);
+  }
+
   // Engine hooks.
   void add_jobs(std::uint64_t n);
   void job_done();
@@ -66,6 +79,7 @@ class ProgressReporter {
   void render();
 
   std::atomic<bool> armed_{false};
+  std::atomic<bool> suppressed_{false};
   std::atomic<std::uint64_t> jobs_total_{0};
   std::atomic<std::uint64_t> jobs_done_{0};
   std::atomic<std::uint64_t> steps_{0};
@@ -96,6 +110,7 @@ class ProgressReporter {
   void disable() {}
   bool enabled() const { return false; }
   static bool stderr_is_tty() { return false; }
+  void suppress_output() {}
   void add_jobs(std::uint64_t) {}
   void job_done() {}
   void on_llg_steps(std::uint64_t) {}

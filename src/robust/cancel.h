@@ -6,6 +6,12 @@
 // it fires. Nothing is preempted: cancellation is a request, honoured at
 // the next poll point, which is the only kind of cancellation that cannot
 // corrupt a half-written result.
+//
+// On top of the per-token flag there is one process-wide cancel flag,
+// tripped by the signal layer (robust/shutdown.h) when a shutdown is
+// requested: cancelled() reports true for EVERY token once it fires, so
+// a ^C reaches each in-flight solve at its next poll point without any
+// plumbing from the signal handler to individual jobs.
 #pragma once
 
 #include <atomic>
@@ -13,11 +19,30 @@
 
 namespace swsim::robust {
 
+namespace detail {
+// Process-wide cancellation flag. Written from signal handlers (a relaxed
+// store on a lock-free atomic is async-signal-safe), read by every token.
+inline std::atomic<bool> g_process_cancel{false};
+}  // namespace detail
+
+inline bool process_cancel_requested() {
+  return detail::g_process_cancel.load(std::memory_order_relaxed);
+}
+inline void request_process_cancel() {
+  detail::g_process_cancel.store(true, std::memory_order_relaxed);
+}
+inline void reset_process_cancel() {
+  detail::g_process_cancel.store(false, std::memory_order_relaxed);
+}
+
 class CancelToken {
  public:
   CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
 
-  bool cancelled() const { return flag_->load(std::memory_order_relaxed); }
+  bool cancelled() const {
+    return flag_->load(std::memory_order_relaxed) ||
+           process_cancel_requested();
+  }
   void request_cancel() const {
     flag_->store(true, std::memory_order_relaxed);
   }

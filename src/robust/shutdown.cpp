@@ -1,0 +1,125 @@
+#include "robust/shutdown.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+#include "robust/cancel.h"
+
+namespace swsim::robust {
+
+namespace {
+
+// All handler-visible state is file-scope lock-free atomics (plus the
+// pipe fds, written once before the handlers are installed): everything
+// the handler touches is async-signal-safe.
+std::atomic<std::uint64_t> g_interrupts{0};
+std::atomic<std::uint64_t> g_hups{0};
+std::atomic<bool> g_cancel_on_first{true};
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+
+struct SavedAction {
+  int signum = 0;
+  bool saved = false;
+  struct sigaction action {};
+};
+SavedAction g_saved[3];
+
+void shutdown_handler(int signum) {
+  if (signum == SIGHUP) {
+    g_hups.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    const std::uint64_t n =
+        g_interrupts.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (g_cancel_on_first.load(std::memory_order_relaxed) || n >= 2) {
+      request_process_cancel();  // relaxed atomic store: signal-safe
+    }
+  }
+  if (g_pipe_write != -1) {
+    const char byte = static_cast<char>(signum);
+    // Nonblocking; a full pipe just means a waiter is already pending.
+    [[maybe_unused]] const ssize_t rc = ::write(g_pipe_write, &byte, 1);
+  }
+}
+
+void ensure_pipe() {
+  if (g_pipe_read != -1) return;
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return;  // poll_fd() stays -1; counters still work
+  for (const int fd : fds) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  g_pipe_read = fds[0];
+  g_pipe_write = fds[1];
+}
+
+}  // namespace
+
+ShutdownSignal& ShutdownSignal::global() {
+  static ShutdownSignal* instance = new ShutdownSignal();
+  return *instance;
+}
+
+void ShutdownSignal::install(const ShutdownConfig& config) {
+  ensure_pipe();
+  g_cancel_on_first.store(config.cancel_on_first, std::memory_order_relaxed);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof action);
+  action.sa_handler = shutdown_handler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART keeps ordinary blocking I/O unperturbed; waiters that need
+  // prompt wakeup watch poll_fd() (the self-pipe wakes poll() regardless).
+  action.sa_flags = SA_RESTART;
+
+  const int signums[3] = {config.handle_int ? SIGINT : 0,
+                          config.handle_term ? SIGTERM : 0,
+                          config.handle_hup ? SIGHUP : 0};
+  for (int i = 0; i < 3; ++i) {
+    if (signums[i] == 0) continue;
+    struct sigaction previous;
+    if (::sigaction(signums[i], &action, &previous) == 0 &&
+        !g_saved[i].saved) {
+      g_saved[i] = {signums[i], true, previous};
+    }
+  }
+}
+
+void ShutdownSignal::restore() {
+  for (SavedAction& s : g_saved) {
+    if (!s.saved) continue;
+    ::sigaction(s.signum, &s.action, nullptr);
+    s.saved = false;
+  }
+}
+
+std::uint64_t ShutdownSignal::interrupts() const {
+  return g_interrupts.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShutdownSignal::hups() const {
+  return g_hups.load(std::memory_order_relaxed);
+}
+
+int ShutdownSignal::poll_fd() const { return g_pipe_read; }
+
+void ShutdownSignal::drain_poll_fd() {
+  if (g_pipe_read == -1) return;
+  char buf[64];
+  while (::read(g_pipe_read, buf, sizeof buf) > 0) {
+  }
+}
+
+void ShutdownSignal::reset() {
+  g_interrupts.store(0, std::memory_order_relaxed);
+  g_hups.store(0, std::memory_order_relaxed);
+  reset_process_cancel();
+  drain_poll_fd();
+}
+
+}  // namespace swsim::robust

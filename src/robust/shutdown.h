@@ -1,0 +1,70 @@
+// Signal-driven shutdown plumbing, shared by every long-running command.
+//
+// One process-global ShutdownSignal installs async-signal-safe handlers
+// for SIGINT/SIGTERM (and optionally SIGHUP) and exposes what happened
+// through three channels:
+//   * atomic counters (interrupts(), hups()) for code that polls;
+//   * a self-pipe (poll_fd()) so a poll()/select() loop wakes immediately
+//     when a signal lands — the `swsim serve` accept loop watches this;
+//   * the process-wide cancellation flag (robust/cancel.h): every
+//     CancelToken in the process reports cancelled() once it is tripped,
+//     so in-flight LLG solves abort at their next cooperative poll point.
+//
+// Policy is chosen at install time:
+//   * `swsim batch` installs with cancel_on_first = true — the first ^C
+//     cancels all work so the run can flush its failure report, metrics
+//     and trace sinks and exit with a distinct status (130);
+//   * `swsim serve` installs with cancel_on_first = false — the first
+//     SIGTERM/SIGINT starts a graceful drain (admitted requests complete,
+//     new ones are rejected with a retryable status) and only a SECOND
+//     signal force-cancels the in-flight work. SIGHUP requests a reload
+//     (the server reopens its request log).
+//
+// The handler itself only performs async-signal-safe operations: relaxed
+// atomic stores and a nonblocking write to the self-pipe.
+#pragma once
+
+#include <cstdint>
+
+namespace swsim::robust {
+
+struct ShutdownConfig {
+  bool handle_int = true;
+  bool handle_term = true;
+  bool handle_hup = false;
+  // true: the first SIGINT/SIGTERM trips the process-wide cancel flag
+  // (batch policy). false: only the second one does (serve drains first).
+  bool cancel_on_first = true;
+};
+
+class ShutdownSignal {
+ public:
+  // Process-global instance (leaky singleton, like the obs sinks).
+  static ShutdownSignal& global();
+
+  // Installs the handlers for the configured signal set, saving the
+  // previous dispositions. Calling install() again re-applies the policy.
+  void install(const ShutdownConfig& config);
+  // Restores the dispositions saved by the last install() (tests).
+  void restore();
+
+  // SIGINT + SIGTERM deliveries since install()/reset().
+  std::uint64_t interrupts() const;
+  std::uint64_t hups() const;
+  bool requested() const { return interrupts() > 0; }
+
+  // Read end of the self-pipe: becomes readable whenever a handled signal
+  // is delivered. -1 before the first install(). Never closed once open.
+  int poll_fd() const;
+  // Consumes pending bytes so the next poll() blocks again.
+  void drain_poll_fd();
+
+  // Clears the counters and the process-wide cancel flag (tests, and a
+  // command that handles one shutdown request and keeps going).
+  void reset();
+
+ private:
+  ShutdownSignal() = default;
+};
+
+}  // namespace swsim::robust

@@ -22,6 +22,10 @@ std::string to_string(StatusCode code) {
       return "quarantined";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kDraining:
+      return "draining";
   }
   return "unknown";
 }
@@ -31,6 +35,8 @@ bool is_retryable(StatusCode code) {
     case StatusCode::kNumericalDivergence:
     case StatusCode::kCacheCorrupt:
     case StatusCode::kInternal:
+    case StatusCode::kOverloaded:
+    case StatusCode::kDraining:
       return true;
     default:
       return false;

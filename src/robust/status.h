@@ -28,6 +28,8 @@ enum class StatusCode {
   kIoError,               // malformed or unreadable input/output file
   kQuarantined,           // skipped: this configuration is a known poison
   kInternal,              // unclassified exception (a bug or injected fault)
+  kOverloaded,            // serve: admission queue full — retry later
+  kDraining,              // serve: shutting down gracefully — retry elsewhere
 };
 
 std::string to_string(StatusCode code);
@@ -35,7 +37,9 @@ std::string to_string(StatusCode code);
 // Retry policy hook: transient failures are worth re-running, deterministic
 // ones are not. Timeouts are NOT retryable at the engine level — the timed
 // out attempt may still be running (cancellation is cooperative), and a
-// concurrent retry would race it on shared result slots.
+// concurrent retry would race it on shared result slots. kOverloaded and
+// kDraining are retryable from the CLIENT side of the serve protocol (the
+// server said "come back later"); no engine job ever produces them.
 bool is_retryable(StatusCode code);
 
 class Status {

@@ -1,0 +1,74 @@
+#include "serve/admission.h"
+
+namespace swsim::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+Admit AdmissionQueue::push(std::unique_ptr<PendingRequest> req) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Admit::kClosed;
+    if (depth_ >= capacity_) return Admit::kOverloaded;
+    Band& band = bands_[req->request.priority];
+    auto& fifo = band.per_client[req->request.client];
+    if (fifo.empty()) band.order.push_back(req->request.client);
+    fifo.push_back(std::move(req));
+    ++band.size;
+    ++depth_;
+  }
+  cv_.notify_one();
+  return Admit::kAdmitted;
+}
+
+std::unique_ptr<PendingRequest> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return depth_ > 0 || closed_; });
+  if (depth_ == 0) return nullptr;  // closed and drained
+  return pop_locked();
+}
+
+std::unique_ptr<PendingRequest> AdmissionQueue::pop_locked() {
+  for (auto it = bands_.begin(); it != bands_.end();) {
+    Band& band = it->second;
+    if (band.size == 0) {
+      it = bands_.erase(it);
+      continue;
+    }
+    // `order` only holds clients with queued work (push adds a client on
+    // its first request, the code below removes it when its FIFO drains),
+    // so the client under the cursor always has something to give.
+    if (band.cursor >= band.order.size()) band.cursor = 0;
+    const std::string client = band.order[band.cursor];
+    auto fifo_it = band.per_client.find(client);
+    auto req = std::move(fifo_it->second.front());
+    fifo_it->second.pop_front();
+    --band.size;
+    --depth_;
+    if (fifo_it->second.empty()) {
+      band.per_client.erase(fifo_it);
+      band.order.erase(band.order.begin() +
+                       static_cast<std::ptrdiff_t>(band.cursor));
+      // cursor now indexes the next client already.
+    } else {
+      ++band.cursor;
+    }
+    return req;
+  }
+  return nullptr;  // unreachable while depth_ > 0
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return depth_;
+}
+
+}  // namespace swsim::serve

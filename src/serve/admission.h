@@ -1,0 +1,87 @@
+// Bounded, fair admission queue between serve sessions and dispatchers.
+//
+// Session threads push parsed requests; dispatcher threads pop them and
+// run the engine. Three properties the daemon needs that a plain
+// mutex+deque does not give:
+//
+//   * Bounded backpressure — capacity is a hard limit. A push over it
+//     returns kOverloaded immediately (the session answers with the
+//     retryable status and a retry_after hint) instead of queueing
+//     unbounded work behind a slow engine.
+//   * Priority bands — higher `priority` drains strictly first. Within a
+//     band, clients are served round-robin, so one chatty client cannot
+//     starve its peers at the same priority: fairness is per-client, not
+//     per-request.
+//   * Orderly close — close() wakes every popper; pop() returns the
+//     admitted backlog first and nullptr only once the queue is both
+//     closed and empty, which is exactly the drain contract ("admitted
+//     requests complete, new ones are rejected").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace swsim::serve {
+
+// One admitted request: the parsed document plus the promise its session
+// thread is blocked on.
+struct PendingRequest {
+  Request request;
+  std::promise<Response> promise;
+  std::uint64_t enqueued_us = 0;  // wall clock, for request-log latency
+};
+
+enum class Admit { kAdmitted, kOverloaded, kClosed };
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  // Non-blocking; ownership transfers only on kAdmitted.
+  Admit push(std::unique_ptr<PendingRequest> req);
+
+  // Blocks until a request is available or the queue is closed AND empty
+  // (then nullptr, permanently). Highest priority band first; round-robin
+  // over clients inside a band.
+  std::unique_ptr<PendingRequest> pop();
+
+  // Rejects future pushes with kClosed and lets pop() drain what was
+  // already admitted. Idempotent.
+  void close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  // One priority band: per-client FIFOs plus a rotation order. A client
+  // appears in `order` iff it has queued work; the cursor walks the order
+  // so consecutive pops hit different clients.
+  struct Band {
+    std::map<std::string, std::deque<std::unique_ptr<PendingRequest>>>
+        per_client;
+    std::vector<std::string> order;
+    std::size_t cursor = 0;
+    std::size_t size = 0;
+  };
+
+  std::unique_ptr<PendingRequest> pop_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<int, Band, std::greater<int>> bands_;  // highest priority first
+  std::size_t depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace swsim::serve

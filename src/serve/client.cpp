@@ -1,0 +1,110 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/codec.h"
+
+namespace swsim::serve {
+
+namespace {
+
+robust::Status io_error(const std::string& message,
+                        const std::string& context) {
+  return robust::Status::error(robust::StatusCode::kIoError, message,
+                               context);
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ != -1) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+robust::Status Client::connect_unix(const std::string& path) {
+  close();
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    return io_error("socket path too long", "client " + path);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return io_error(std::string("socket: ") + std::strerror(errno),
+                    "client " + path);
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = std::strerror(errno);
+    close();
+    return io_error("connect: " + msg + " (is the daemon running?)",
+                    "client unix:" + path);
+  }
+  return robust::Status::ok();
+}
+
+robust::Status Client::connect_tcp(int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return io_error(std::string("socket: ") + std::strerror(errno),
+                    "client tcp:" + std::to_string(port));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string msg = std::strerror(errno);
+    close();
+    return io_error("connect: " + msg + " (is the daemon running?)",
+                    "client tcp:" + std::to_string(port));
+  }
+  return robust::Status::ok();
+}
+
+robust::Status Client::call(const Request& request, Response* response) {
+  if (fd_ == -1) return io_error("not connected", "client");
+  std::string error;
+  if (!write_frame(fd_, serialize_request(request), &error)) {
+    return io_error(error, "client send");
+  }
+  std::string payload;
+  switch (read_frame(fd_, &payload, &error)) {
+    case ReadResult::kFrame:
+      break;
+    case ReadResult::kEof:
+      return io_error("server closed the connection", "client recv");
+    case ReadResult::kError:
+      return io_error(error, "client recv");
+  }
+  if (const auto parsed = parse_response_text(payload, response);
+      !parsed.is_ok()) {
+    return io_error(parsed.message(), "client recv");
+  }
+  return robust::Status::ok();
+}
+
+}  // namespace swsim::serve

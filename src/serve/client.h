@@ -1,0 +1,44 @@
+// Client side of the swsim.serve protocol.
+//
+// A thin, synchronous connection: connect, call (one request frame in,
+// one response frame out), destroy. `swsim client` is built on it, and
+// the server tests use it to act as real tenants over the real socket.
+#pragma once
+
+#include <string>
+
+#include "robust/status.h"
+#include "serve/protocol.h"
+
+namespace swsim::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // kIoError on connection failure (daemon not up, wrong path/port).
+  robust::Status connect_unix(const std::string& path);
+  robust::Status connect_tcp(int port);  // loopback
+  bool connected() const { return fd_ != -1; }
+
+  // One request/response exchange. A transport failure (send/recv error,
+  // torn frame, unparseable response) is kIoError; a server-side
+  // rejection arrives as a successful call with response->status set.
+  robust::Status call(const Request& request, Response* response);
+
+  void close();
+
+  // Raw socket, for tests that need to speak below the Request layer
+  // (malformed frames, half-closes). -1 when not connected.
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace swsim::serve

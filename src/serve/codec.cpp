@@ -1,0 +1,106 @@
+#include "serve/codec.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace swsim::serve {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+// Writes exactly n bytes, looping over partial writes and EINTR. send()
+// with MSG_NOSIGNAL, not write(): a peer that hung up must surface as an
+// EPIPE return the session loop can handle, not a SIGPIPE that kills the
+// whole daemon.
+bool write_all(int fd, const char* data, std::size_t n, std::string* error) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t rc = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = errno_message("write");
+      return false;
+    }
+    off += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+// Reads exactly n bytes. Returns 1 on success, 0 on EOF before the first
+// byte, -1 on error (including EOF mid-read when allow_eof is false).
+int read_all(int fd, char* data, std::size_t n, bool eof_ok_at_start,
+             std::string* error) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t rc = ::read(fd, data + off, n - off);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = errno_message("read");
+      return -1;
+    }
+    if (rc == 0) {
+      if (off == 0 && eof_ok_at_start) return 0;
+      if (error) *error = "unexpected EOF inside a frame";
+      return -1;
+    }
+    off += static_cast<std::size_t>(rc);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload, std::string* error) {
+  if (payload.size() > kMaxFrameBytes) {
+    if (error) *error = "frame payload exceeds the 1 MiB limit";
+    return false;
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  const char header[4] = {
+      static_cast<char>((n >> 24) & 0xff), static_cast<char>((n >> 16) & 0xff),
+      static_cast<char>((n >> 8) & 0xff), static_cast<char>(n & 0xff)};
+  return write_all(fd, header, sizeof header, error) &&
+         write_all(fd, payload.data(), payload.size(), error);
+}
+
+ReadResult read_frame(int fd, std::string* payload, std::string* error) {
+  char header[4];
+  const int h = read_all(fd, header, sizeof header,
+                         /*eof_ok_at_start=*/true, error);
+  if (h == 0) return ReadResult::kEof;
+  if (h < 0) return ReadResult::kError;
+  const std::uint32_t n =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]));
+  if (n > kMaxFrameBytes) {
+    if (error) {
+      *error = "frame length " + std::to_string(n) +
+               " exceeds the 1 MiB limit (wrong protocol?)";
+    }
+    return ReadResult::kError;
+  }
+  payload->resize(n);
+  if (n > 0 &&
+      read_all(fd, payload->data(), n, /*eof_ok_at_start=*/false, error) < 0) {
+    return ReadResult::kError;
+  }
+  return ReadResult::kFrame;
+}
+
+}  // namespace swsim::serve

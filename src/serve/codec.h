@@ -1,0 +1,38 @@
+// Wire framing for the swsim.serve protocol.
+//
+// Every message is one frame: a 4-byte big-endian payload length followed
+// by that many bytes of UTF-8 JSON. Length-prefixing (rather than
+// newline-delimiting) keeps the payload format unconstrained and makes
+// truncation detectable: a reader either gets a whole frame or a clean
+// EOF/error, never half a document.
+//
+// The functions below are the only place raw fds are read or written;
+// both loop over partial transfers and EINTR, so SA_RESTART-less signals
+// and small socket buffers are invisible to callers.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace swsim::serve {
+
+// Upper bound on a frame payload. Far above any real request/response
+// (the largest is a metrics dump, a few tens of KiB) but low enough that
+// a garbage length prefix — a client speaking the wrong protocol — fails
+// fast instead of allocating gigabytes.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;  // 1 MiB
+
+// Writes one frame. Returns false (with *error set) on any write failure.
+bool write_frame(int fd, const std::string& payload, std::string* error);
+
+enum class ReadResult {
+  kFrame,  // *payload holds a complete frame
+  kEof,    // orderly close before any byte of a new frame
+  kError,  // short read mid-frame, oversize length, or an errno failure
+};
+
+// Reads one frame. EOF exactly on a frame boundary is kEof; EOF inside a
+// frame is kError (a truncated message must not look like a hangup).
+ReadResult read_frame(int fd, std::string* payload, std::string* error);
+
+}  // namespace swsim::serve

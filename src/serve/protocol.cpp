@@ -1,0 +1,366 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace swsim::serve {
+
+namespace {
+
+// Shortest round-trip-exact rendering for wire doubles: scalars crossing
+// the protocol must parse back to the identical value.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer a shorter form when it round-trips (keeps documents readable
+  // for the common "55" / "0.05" cases).
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[40];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == v) return probe;
+  }
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  return "\"" + obs::escape_json(s) + "\"";
+}
+
+robust::Status invalid(const std::string& message) {
+  return robust::Status::error(robust::StatusCode::kInvalidConfig, message,
+                               "serve request");
+}
+
+// Field accessors that fold "absent" and "wrong type" into one check.
+const obs::JsonValue* member(const obs::JsonValue& doc,
+                             const std::string& key) {
+  return doc.find(key);
+}
+
+robust::Status read_number(const obs::JsonValue& doc, const std::string& key,
+                           double* out, bool* present) {
+  *present = false;
+  const auto* v = member(doc, key);
+  if (!v) return robust::Status::ok();
+  if (!v->is_number()) return invalid("'" + key + "' must be a number");
+  if (!std::isfinite(v->number())) {
+    return invalid("'" + key + "' must be finite");
+  }
+  *out = v->number();
+  *present = true;
+  return robust::Status::ok();
+}
+
+robust::Status read_string(const obs::JsonValue& doc, const std::string& key,
+                           std::string* out, bool* present) {
+  *present = false;
+  const auto* v = member(doc, key);
+  if (!v) return robust::Status::ok();
+  if (!v->is_string()) return invalid("'" + key + "' must be a string");
+  *out = v->str();
+  *present = true;
+  return robust::Status::ok();
+}
+
+}  // namespace
+
+std::string to_string(RequestType type) {
+  switch (type) {
+    case RequestType::kHello:
+      return "hello";
+    case RequestType::kHealthz:
+      return "healthz";
+    case RequestType::kMetrics:
+      return "metrics";
+    case RequestType::kTruthTable:
+      return "truthtable";
+    case RequestType::kYield:
+      return "yield";
+  }
+  return "unknown";
+}
+
+robust::Status parse_request(const obs::JsonValue& doc, Request* out) {
+  *out = Request{};
+  if (!doc.is_object()) return invalid("request must be a JSON object");
+
+  bool present = false;
+  std::string proto;
+  if (auto s = read_string(doc, "proto", &proto, &present); !s.is_ok()) {
+    return s;
+  }
+  if (present && proto != kProtocol) {
+    return invalid("protocol mismatch: server speaks " +
+                   std::string(kProtocol) + ", request says '" + proto + "'");
+  }
+
+  std::string type;
+  if (auto s = read_string(doc, "type", &type, &present); !s.is_ok()) {
+    return s;
+  }
+  if (!present) return invalid("missing 'type'");
+  if (type == "hello") {
+    out->type = RequestType::kHello;
+  } else if (type == "healthz") {
+    out->type = RequestType::kHealthz;
+  } else if (type == "metrics") {
+    out->type = RequestType::kMetrics;
+  } else if (type == "truthtable") {
+    out->type = RequestType::kTruthTable;
+  } else if (type == "yield") {
+    out->type = RequestType::kYield;
+  } else {
+    return invalid("unknown type '" + type +
+                   "' (want hello|healthz|metrics|truthtable|yield)");
+  }
+
+  double num = 0.0;
+  if (auto s = read_number(doc, "id", &num, &present); !s.is_ok()) return s;
+  if (present) {
+    if (num < 0.0) return invalid("'id' must be >= 0");
+    out->id = static_cast<std::uint64_t>(num);
+  }
+  if (auto s = read_string(doc, "client", &out->client, &present);
+      !s.is_ok()) {
+    return s;
+  }
+  if (present && out->client.empty()) {
+    return invalid("'client' must be non-empty");
+  }
+  if (!present) out->client = "anon";
+  if (auto s = read_number(doc, "priority", &num, &present); !s.is_ok()) {
+    return s;
+  }
+  if (present) out->priority = static_cast<int>(num);
+
+  if (out->type != RequestType::kTruthTable &&
+      out->type != RequestType::kYield) {
+    return robust::Status::ok();
+  }
+
+  // Shared gate geometry (CLI-identical defaults).
+  std::string gate;
+  bool gate_present = false;
+  if (auto s = read_string(doc, "gate", &gate, &gate_present); !s.is_ok()) {
+    return s;
+  }
+  double lambda_nm = 55.0;
+  if (auto s = read_number(doc, "lambda_nm", &num, &present); !s.is_ok()) {
+    return s;
+  }
+  if (present) {
+    if (num <= 0.0) return invalid("'lambda_nm' must be > 0");
+    lambda_nm = num;
+  }
+  std::optional<double> width_nm;
+  if (auto s = read_number(doc, "width_nm", &num, &present); !s.is_ok()) {
+    return s;
+  }
+  if (present) {
+    if (num <= 0.0) return invalid("'width_nm' must be > 0");
+    width_nm = num;
+  }
+
+  if (out->type == RequestType::kTruthTable) {
+    if (!gate_present) return invalid("truthtable: missing 'gate'");
+    out->gate.kind = gate;
+    out->gate.lambda_nm = lambda_nm;
+    out->gate.width_nm = width_nm;
+    return robust::Status::ok();
+  }
+
+  out->yield.kind = gate_present ? gate : "maj";
+  out->yield.lambda_nm = lambda_nm;
+  out->yield.width_nm = width_nm;
+  if (auto s = read_number(doc, "sigma_length_nm", &num, &present);
+      !s.is_ok()) {
+    return s;
+  }
+  if (present) {
+    if (num < 0.0) return invalid("'sigma_length_nm' must be >= 0");
+    out->yield.sigma_length_nm = num;
+  }
+  if (auto s = read_number(doc, "sigma_amp", &num, &present); !s.is_ok()) {
+    return s;
+  }
+  if (present) {
+    if (num < 0.0) return invalid("'sigma_amp' must be >= 0");
+    out->yield.sigma_amp = num;
+  }
+  if (auto s = read_number(doc, "trials", &num, &present); !s.is_ok()) {
+    return s;
+  }
+  if (present) {
+    if (num < 1.0 || num != std::floor(num)) {
+      return invalid("'trials' must be a positive integer");
+    }
+    out->yield.trials = static_cast<std::size_t>(num);
+  }
+  return robust::Status::ok();
+}
+
+robust::Status parse_request_text(const std::string& text, Request* out) {
+  try {
+    return parse_request(obs::parse_json(text), out);
+  } catch (const std::exception& e) {
+    return invalid(std::string("malformed JSON: ") + e.what());
+  }
+}
+
+std::string serialize_request(const Request& r) {
+  std::string out = "{\"proto\":" + quoted(kProtocol) +
+                    ",\"type\":" + quoted(to_string(r.type)) +
+                    ",\"id\":" + std::to_string(r.id) +
+                    ",\"client\":" + quoted(r.client) +
+                    ",\"priority\":" + std::to_string(r.priority);
+  if (r.type == RequestType::kTruthTable) {
+    out += ",\"gate\":" + quoted(r.gate.kind) +
+           ",\"lambda_nm\":" + fmt_double(r.gate.lambda_nm);
+    if (r.gate.width_nm) {
+      out += ",\"width_nm\":" + fmt_double(*r.gate.width_nm);
+    }
+  } else if (r.type == RequestType::kYield) {
+    out += ",\"gate\":" + quoted(r.yield.kind) +
+           ",\"lambda_nm\":" + fmt_double(r.yield.lambda_nm);
+    if (r.yield.width_nm) {
+      out += ",\"width_nm\":" + fmt_double(*r.yield.width_nm);
+    }
+    out += ",\"sigma_length_nm\":" + fmt_double(r.yield.sigma_length_nm) +
+           ",\"sigma_amp\":" + fmt_double(r.yield.sigma_amp) +
+           ",\"trials\":" + std::to_string(r.yield.trials);
+  }
+  out += "}";
+  return out;
+}
+
+std::string serialize_response(const Response& r) {
+  std::string out =
+      "{\"proto\":" + quoted(kProtocol) + ",\"id\":" + std::to_string(r.id) +
+      ",\"status\":{\"code\":" + quoted(robust::to_string(r.status.code())) +
+      ",\"message\":" + quoted(r.status.message()) +
+      ",\"context\":" + quoted(r.status.context()) + "}";
+  if (r.retry_after_s > 0.0) {
+    out += ",\"retry_after_s\":" + fmt_double(r.retry_after_s);
+  }
+  if (!r.text.empty()) out += ",\"text\":" + quoted(r.text);
+  std::string scalars;
+  const auto add_scalar = [&scalars](const char* name, double v) {
+    if (!Response::set(v)) return;
+    if (!scalars.empty()) scalars += ",";
+    scalars += "\"" + std::string(name) + "\":" + fmt_double(v);
+  };
+  add_scalar("all_pass", r.all_pass);
+  add_scalar("yield", r.yield_value);
+  add_scalar("mean_worst_margin", r.mean_worst_margin);
+  add_scalar("max_asymmetry", r.max_asymmetry);
+  add_scalar("min_margin", r.min_margin);
+  if (!scalars.empty()) out += ",\"scalars\":{" + scalars + "}";
+  if (!r.payload_json.empty()) out += ",\"payload\":" + r.payload_json;
+  out += "}";
+  return out;
+}
+
+robust::Status parse_response_text(const std::string& text, Response* out) {
+  *out = Response{};
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(text);
+  } catch (const std::exception& e) {
+    return invalid(std::string("malformed response JSON: ") + e.what());
+  }
+  if (!doc.is_object()) return invalid("response must be a JSON object");
+  if (const auto* id = doc.find("id"); id && id->is_number()) {
+    out->id = static_cast<std::uint64_t>(id->number());
+  }
+  const auto* status = doc.find("status");
+  if (!status || !status->is_object()) {
+    return invalid("response is missing 'status'");
+  }
+  const auto* code = status->find("code");
+  if (!code || !code->is_string()) {
+    return invalid("response status is missing 'code'");
+  }
+  const auto* message = status->find("message");
+  const auto* context = status->find("context");
+  const robust::StatusCode parsed_code = status_code_from_string(code->str());
+  if (parsed_code == robust::StatusCode::kOk) {
+    out->status = robust::Status::ok();
+  } else {
+    out->status = robust::Status::error(
+        parsed_code, message && message->is_string() ? message->str() : "",
+        context && context->is_string() ? context->str() : "");
+  }
+  if (const auto* retry = doc.find("retry_after_s");
+      retry && retry->is_number()) {
+    out->retry_after_s = retry->number();
+  }
+  if (const auto* t = doc.find("text"); t && t->is_string()) {
+    out->text = t->str();
+  }
+  if (const auto* scalars = doc.find("scalars");
+      scalars && scalars->is_object()) {
+    const auto get = [scalars](const char* name, double* dst) {
+      if (const auto* v = scalars->find(name); v && v->is_number()) {
+        *dst = v->number();
+      }
+    };
+    get("all_pass", &out->all_pass);
+    get("yield", &out->yield_value);
+    get("mean_worst_margin", &out->mean_worst_margin);
+    get("max_asymmetry", &out->max_asymmetry);
+    get("min_margin", &out->min_margin);
+  }
+  if (const auto* payload = doc.find("payload")) {
+    out->payload_json = dump_json(*payload);
+  }
+  return robust::Status::ok();
+}
+
+robust::StatusCode status_code_from_string(const std::string& name) {
+  using robust::StatusCode;
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidConfig,
+        StatusCode::kNumericalDivergence, StatusCode::kTimeout,
+        StatusCode::kCancelled, StatusCode::kCacheCorrupt,
+        StatusCode::kIoError, StatusCode::kQuarantined, StatusCode::kInternal,
+        StatusCode::kOverloaded, StatusCode::kDraining}) {
+    if (robust::to_string(code) == name) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+std::string dump_json(const obs::JsonValue& v) {
+  switch (v.kind()) {
+    case obs::JsonValue::Kind::kNull:
+      return "null";
+    case obs::JsonValue::Kind::kBool:
+      return v.boolean() ? "true" : "false";
+    case obs::JsonValue::Kind::kNumber:
+      return fmt_double(v.number());
+    case obs::JsonValue::Kind::kString:
+      return quoted(v.str());
+    case obs::JsonValue::Kind::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < v.array().size(); ++i) {
+        if (i > 0) out += ",";
+        out += dump_json(v.array()[i]);
+      }
+      return out + "]";
+    }
+    case obs::JsonValue::Kind::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, value] : v.object()) {
+        if (!first) out += ",";
+        first = false;
+        out += quoted(key) + ":" + dump_json(value);
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+}  // namespace swsim::serve

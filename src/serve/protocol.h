@@ -1,0 +1,90 @@
+// Request/response document model for the swsim.serve/1 protocol.
+//
+// One frame (serve/codec.h) carries one JSON document. Requests name a
+// type — the two workload types mirror the CLI commands, the three
+// built-ins are answered by the server itself:
+//
+//   {"proto": "swsim.serve/1", "type": "truthtable", "id": 7,
+//    "client": "sweeper", "priority": 1,
+//    "gate": "maj", "lambda_nm": 55, "width_nm": 22}
+//   {"type": "yield", "gate": "xor", "trials": 200,
+//    "sigma_length_nm": 2.0, "sigma_amp": 0.05}
+//   {"type": "hello"}  {"type": "healthz"}  {"type": "metrics"}
+//
+// Responses always carry the request id and a robust::Status — the serve
+// error contract is the same taxonomy the engine uses, extended with the
+// two client-retryable admission codes (kOverloaded, kDraining):
+//
+//   {"proto": "swsim.serve/1", "id": 7,
+//    "status": {"code": "ok", "message": "", "context": ""},
+//    "text": "<the exact bytes the CLI prints>",
+//    "scalars": {"all_pass": 1, ...}}
+//
+// Rejections add "retry_after_s"; built-ins put their result under
+// "payload". Parsing is strict where it guards the server (unknown type,
+// wrong proto, non-positive trials are kInvalidConfig before any work
+// runs) and lenient where defaults are meaningful (id, client, priority,
+// gate geometry all have CLI-identical defaults).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "robust/status.h"
+#include "serve/workload.h"
+
+namespace swsim::serve {
+
+inline constexpr const char* kProtocol = "swsim.serve/1";
+
+enum class RequestType { kHello, kHealthz, kMetrics, kTruthTable, kYield };
+
+std::string to_string(RequestType type);
+
+struct Request {
+  RequestType type = RequestType::kHello;
+  std::uint64_t id = 0;
+  std::string client = "anon";
+  int priority = 0;        // higher drains first; same band is round-robin
+  GateParams gate;         // truthtable payload
+  YieldParams yield;       // yield payload
+};
+
+// Validates and extracts a request. Returns kInvalidConfig (with a
+// pointed message) on anything malformed; the caller turns that into a
+// response rather than dropping the connection.
+robust::Status parse_request(const obs::JsonValue& doc, Request* out);
+robust::Status parse_request_text(const std::string& text, Request* out);
+std::string serialize_request(const Request& r);
+
+struct Response {
+  std::uint64_t id = 0;
+  robust::Status status;
+  double retry_after_s = 0.0;  // > 0 only on kOverloaded / kDraining
+  std::string text;            // CLI-identical rendering (workload types)
+  std::string payload_json;    // built-in result, one JSON object ("" = none)
+  // Scalar results, so scripted clients need not parse `text`. NaN = unset.
+  double all_pass = kUnsetScalar;  // 1.0 / 0.0 when set
+  double yield_value = kUnsetScalar;
+  double mean_worst_margin = kUnsetScalar;
+  double max_asymmetry = kUnsetScalar;
+  double min_margin = kUnsetScalar;
+
+  static constexpr double kUnsetScalar = -1.0e308;
+  static bool set(double v) { return v != kUnsetScalar; }
+};
+
+std::string serialize_response(const Response& r);
+robust::Status parse_response_text(const std::string& text, Response* out);
+
+// Reverse of robust::to_string(StatusCode); kInternal for unknown names
+// (a newer server's code still fails closed on an older client).
+robust::StatusCode status_code_from_string(const std::string& name);
+
+// Deterministic JSON rendering of a parsed value (object keys are already
+// sorted by JsonValue's map). Used to re-emit "payload" subtrees and by
+// tests that round-trip documents.
+std::string dump_json(const obs::JsonValue& v);
+
+}  // namespace swsim::serve

@@ -1,0 +1,532 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "core/validator.h"
+#include "obs/obs.h"
+#include "robust/shutdown.h"
+#include "serve/codec.h"
+#include "serve/version.h"
+
+namespace swsim::serve {
+
+namespace {
+
+// Serve-layer metrics, mirrored from the server's authoritative atomics
+// (leaky holder, same pattern as the scheduler's).
+struct ServeMetrics {
+  obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("serve.requests");
+  obs::Counter& failed =
+      obs::MetricsRegistry::global().counter("serve.requests_failed");
+  obs::Counter& rejected_overload =
+      obs::MetricsRegistry::global().counter("serve.rejected_overload");
+  obs::Counter& rejected_draining =
+      obs::MetricsRegistry::global().counter("serve.rejected_draining");
+  obs::Histogram& request_seconds =
+      obs::MetricsRegistry::global().histogram("serve.request_seconds");
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::global().gauge("serve.queue_depth");
+  obs::Gauge& sessions = obs::MetricsRegistry::global().gauge("serve.sessions");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics* m = new ServeMetrics();
+  return *m;
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string errno_status_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity) {
+  if (config_.dispatchers == 0) config_.dispatchers = 1;
+  if (config_.max_sessions == 0) config_.max_sessions = 1;
+}
+
+Server::~Server() {
+  if (started_.load(std::memory_order_acquire)) shutdown();
+  if (listen_fd_ != -1) ::close(listen_fd_);
+  if (wake_read_ != -1) ::close(wake_read_);
+  if (wake_write_ != -1) ::close(wake_write_);
+}
+
+std::string Server::endpoint() const {
+  if (!config_.socket_path.empty()) return "unix:" + config_.socket_path;
+  return "tcp:" + std::to_string(config_.tcp_port);
+}
+
+robust::Status Server::start() {
+  using robust::Status;
+  using robust::StatusCode;
+  const bool unix_ep = !config_.socket_path.empty();
+  const bool tcp_ep = config_.tcp_port > 0;
+  if (unix_ep == tcp_ep) {
+    return Status::error(StatusCode::kInvalidConfig,
+                         "exactly one endpoint required: a Unix socket path "
+                         "or a TCP port",
+                         "serve");
+  }
+
+  if (unix_ep) {
+    sockaddr_un addr{};
+    if (config_.socket_path.size() >= sizeof addr.sun_path) {
+      return Status::error(StatusCode::kInvalidConfig,
+                           "socket path too long (max " +
+                               std::to_string(sizeof addr.sun_path - 1) +
+                               " bytes)",
+                           "serve");
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::error(StatusCode::kIoError,
+                           errno_status_message("socket"), "serve");
+    }
+    // A stale socket file from a dead daemon would make bind fail; remove
+    // it (a live daemon holding the path keeps its bound inode anyway).
+    std::error_code ec;
+    std::filesystem::remove(config_.socket_path, ec);
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      return Status::error(StatusCode::kIoError, errno_status_message("bind"),
+                           "serve " + endpoint());
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::error(StatusCode::kIoError,
+                           errno_status_message("socket"), "serve");
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    // Loopback only: the daemon has no authentication; remote access is a
+    // deliberate non-goal (front it with a tunnel if needed).
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+        0) {
+      return Status::error(StatusCode::kIoError, errno_status_message("bind"),
+                           "serve " + endpoint());
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::error(StatusCode::kIoError, errno_status_message("listen"),
+                         "serve " + endpoint());
+  }
+
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return Status::error(StatusCode::kIoError, errno_status_message("pipe"),
+                         "serve");
+  }
+  wake_read_ = fds[0];
+  wake_write_ = fds[1];
+
+  if (!config_.request_log.empty()) {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    log_out_.open(config_.request_log, std::ios::app);
+    if (!log_out_) {
+      return Status::error(StatusCode::kIoError,
+                           "cannot open request log '" + config_.request_log +
+                               "'",
+                           "serve");
+    }
+  }
+
+  runner_ = std::make_unique<engine::BatchRunner>(config_.engine);
+  start_t_us_ = obs::now_us();
+  started_.store(true, std::memory_order_release);
+
+  dispatcher_threads_.reserve(config_.dispatchers);
+  for (std::size_t i = 0; i < config_.dispatchers; ++i) {
+    dispatcher_threads_.emplace_back([this] { dispatch_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::ok();
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) break;  // begin_drain woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    if (active_sessions_ >= config_.max_sessions) {
+      // Connection-level backpressure: same retryable contract as a full
+      // queue, answered before a session thread is spent on it.
+      Response resp;
+      resp.status = robust::Status::error(
+          robust::StatusCode::kOverloaded,
+          "session limit reached (" + std::to_string(config_.max_sessions) +
+              ")",
+          "serve " + endpoint());
+      resp.retry_after_s = config_.retry_after_s;
+      std::string err;
+      write_frame(fd, serialize_response(resp), &err);
+      ::close(fd);
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      serve_metrics().rejected_overload.add();
+      continue;
+    }
+    auto session = std::make_unique<Session>();
+    session->fd = fd;
+    Session* raw = session.get();
+    const std::size_t slot = sessions_.size();
+    sessions_.push_back(std::move(session));
+    ++active_sessions_;
+    serve_metrics().sessions.set(static_cast<std::int64_t>(active_sessions_));
+    raw->thread = std::thread([this, slot, fd] { session_loop(slot, fd); });
+  }
+}
+
+void Server::session_loop(std::size_t slot, int fd) {
+  std::string payload;
+  std::string error;
+  while (true) {
+    const ReadResult r = read_frame(fd, &payload, &error);
+    if (r != ReadResult::kFrame) break;  // EOF / torn frame: drop session
+
+    const double t0 = obs::now_us();
+    Request request;
+    Response response;
+    const robust::Status parsed = parse_request_text(payload, &request);
+    if (!parsed.is_ok()) {
+      response.id = request.id;
+      response.status = parsed;
+    } else if (request.type == RequestType::kHello ||
+               request.type == RequestType::kHealthz ||
+               request.type == RequestType::kMetrics) {
+      // Built-ins bypass admission (and keep answering while draining):
+      // they are cheap, and an orchestrator needs them to watch the drain.
+      response = make_builtin_response(request);
+    } else if (draining()) {
+      response.id = request.id;
+      response.status = robust::Status::error(
+          robust::StatusCode::kDraining, "server is draining",
+          "serve " + endpoint());
+      response.retry_after_s = config_.retry_after_s;
+    } else {
+      auto pending = std::make_unique<PendingRequest>();
+      pending->request = request;
+      pending->enqueued_us = obs::wall_now_us();
+      std::future<Response> future = pending->promise.get_future();
+      switch (queue_.push(std::move(pending))) {
+        case Admit::kAdmitted:
+          response = future.get();
+          break;
+        case Admit::kOverloaded:
+          response.id = request.id;
+          response.status = robust::Status::error(
+              robust::StatusCode::kOverloaded,
+              "admission queue full (" +
+                  std::to_string(queue_.capacity()) + ")",
+              "serve " + endpoint());
+          response.retry_after_s = config_.retry_after_s;
+          break;
+        case Admit::kClosed:
+          response.id = request.id;
+          response.status = robust::Status::error(
+              robust::StatusCode::kDraining, "server is draining",
+              "serve " + endpoint());
+          response.retry_after_s = config_.retry_after_s;
+          break;
+      }
+    }
+
+    const double wall_s = (obs::now_us() - t0) * 1e-6;
+    observe_request(request, response, wall_s);
+    log_request(request, response, wall_s);
+    if (!write_frame(fd, serialize_response(response), &error)) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  sessions_[slot]->fd = -1;
+  --active_sessions_;
+  serve_metrics().sessions.set(static_cast<std::int64_t>(active_sessions_));
+}
+
+void Server::dispatch_loop() {
+  while (auto pending = queue_.pop()) {
+    serve_metrics().queue_depth.set(
+        static_cast<std::int64_t>(queue_.depth()));
+    Response response;
+    try {
+      response = handle_workload(pending->request);
+    } catch (...) {
+      response.id = pending->request.id;
+      response.status = robust::status_of_current_exception().with_context(
+          "serve dispatch");
+    }
+    pending->promise.set_value(std::move(response));
+  }
+}
+
+Response Server::handle_workload(const Request& request) {
+  // Labels carry the tenant so the failure report, the event log, and a
+  // fault plan's label matching (--inject "throw:<client>") are per-client.
+  const std::string label =
+      request.client + " req " + std::to_string(request.id);
+  obs::Span span("serve." + to_string(request.type) + " " + label, "serve");
+
+  Response response;
+  response.id = request.id;
+  if (request.type == RequestType::kTruthTable) {
+    const auto spec = make_truth_table_spec(request.gate);
+    if (!spec) {
+      response.status = robust::Status::error(
+          robust::StatusCode::kInvalidConfig,
+          "unknown gate '" + request.gate.kind + "'", "serve " + label);
+      return response;
+    }
+    const auto outcome =
+        runner_->run_truth_table_checked(spec->factory, spec->key, {}, label);
+    response.text = core::format_report(outcome.report);
+    if (outcome.ok()) {
+      response.all_pass = outcome.report.all_pass ? 1.0 : 0.0;
+      response.max_asymmetry = outcome.report.max_output_asymmetry;
+      response.min_margin = outcome.report.min_margin;
+    } else {
+      response.status = outcome.failures.failures().front().status;
+    }
+  } else if (request.type == RequestType::kYield) {
+    const auto spec = make_yield_spec(request.yield);
+    if (!spec) {
+      response.status = robust::Status::error(
+          robust::StatusCode::kInvalidConfig,
+          "unknown gate '" + request.yield.kind + "' (yield wants maj|xor)",
+          "serve " + label);
+      return response;
+    }
+    const auto outcome = runner_->run_yield_checked(spec->factory, spec->model,
+                                                    spec->trials, label);
+    response.text = render_yield(spec->kind, outcome.report);
+    if (outcome.ok()) {
+      response.yield_value = outcome.report.yield;
+      response.mean_worst_margin = outcome.report.mean_worst_margin;
+    } else {
+      response.status = outcome.failures.failures().front().status;
+    }
+  } else {
+    response.status = robust::Status::error(
+        robust::StatusCode::kInternal,
+        "built-in request reached the dispatcher", "serve " + label);
+  }
+  return response;
+}
+
+Response Server::make_builtin_response(const Request& request) {
+  Response response;
+  response.id = request.id;
+  if (request.type == RequestType::kHello) {
+    const BuildInfo info = build_info();
+    response.payload_json =
+        "{\"protocol\":\"" + obs::escape_json(info.protocol) +
+        "\",\"version\":\"" + obs::escape_json(info.version) +
+        "\",\"git_sha\":\"" + obs::escape_json(info.git_sha) +
+        "\",\"compiler\":\"" + obs::escape_json(info.compiler) +
+        "\",\"flags\":\"" + obs::escape_json(info.flags) +
+        "\",\"build_type\":\"" + obs::escape_json(info.build_type) +
+        "\",\"cores\":" + std::to_string(info.cores) + ",\"endpoint\":\"" +
+        obs::escape_json(endpoint()) + "\"}";
+  } else if (request.type == RequestType::kHealthz) {
+    response.payload_json = healthz_payload();
+  } else {
+    response.payload_json = obs::MetricsRegistry::global().json();
+  }
+  return response;
+}
+
+std::string Server::healthz_payload() const {
+  const engine::EngineStats stats = runner_->stats();
+  std::size_t sessions = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions = active_sessions_;
+  }
+  const double uptime_s = (obs::now_us() - start_t_us_) * 1e-6;
+  std::string out = "{\"status\":\"";
+  out += draining() ? "draining" : "ok";
+  out += "\",\"uptime_s\":" + fmt(uptime_s) +
+         ",\"sessions\":" + std::to_string(sessions) +
+         ",\"queue\":{\"depth\":" + std::to_string(queue_.depth()) +
+         ",\"capacity\":" + std::to_string(queue_.capacity()) + "}" +
+         ",\"requests\":{\"total\":" +
+         std::to_string(requests_total_.load(std::memory_order_relaxed)) +
+         ",\"failed\":" +
+         std::to_string(requests_failed_.load(std::memory_order_relaxed)) +
+         ",\"rejected_overload\":" +
+         std::to_string(rejected_overload_.load(std::memory_order_relaxed)) +
+         ",\"rejected_draining\":" +
+         std::to_string(rejected_draining_.load(std::memory_order_relaxed)) +
+         "}" +
+         // The warm-cache proof surface: a repeated request raises hits
+         // while jobs_executed stays put.
+         ",\"cache\":{\"hits\":" + std::to_string(stats.cache.hits) +
+         ",\"misses\":" + std::to_string(stats.cache.misses) +
+         ",\"hit_rate\":" + fmt(stats.cache.hit_rate()) +
+         ",\"spill_loads\":" + std::to_string(stats.cache.spill_loads) +
+         ",\"spill_corrupt\":" + std::to_string(stats.cache.spill_corrupt) +
+         "}" +
+         ",\"engine\":{\"threads\":" + std::to_string(stats.threads) +
+         ",\"jobs_executed\":" + std::to_string(stats.jobs_executed) +
+         ",\"jobs_failed\":" + std::to_string(stats.jobs_failed) + "}}";
+  return out;
+}
+
+void Server::observe_request(const Request& request, const Response& response,
+                             double wall_s) {
+  (void)request;
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().requests.add();
+  switch (response.status.code()) {
+    case robust::StatusCode::kOk:
+      break;
+    case robust::StatusCode::kOverloaded:
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      serve_metrics().rejected_overload.add();
+      break;
+    case robust::StatusCode::kDraining:
+      rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      serve_metrics().rejected_draining.add();
+      break;
+    default:
+      requests_failed_.fetch_add(1, std::memory_order_relaxed);
+      serve_metrics().failed.add();
+      break;
+  }
+  serve_metrics().request_seconds.observe(wall_s);
+  serve_metrics().queue_depth.set(static_cast<std::int64_t>(queue_.depth()));
+}
+
+void Server::log_request(const Request& request, const Response& response,
+                         double wall_s) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  if (!log_out_.is_open()) return;
+  const std::uint64_t t_us = obs::wall_now_us();
+  log_out_ << "{\"t_us\":" << t_us << ",\"ts\":\""
+           << obs::format_iso8601_us(t_us) << "\",\"client\":\""
+           << obs::escape_json(request.client) << "\",\"type\":\""
+           << to_string(request.type) << "\",\"id\":" << request.id
+           << ",\"code\":\"" << robust::to_string(response.status.code())
+           << "\",\"wall_s\":" << fmt(wall_s) << "}\n";
+  log_out_.flush();
+}
+
+void Server::begin_drain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return;
+  }
+  // Wake the accept loop so it stops taking connections, then close the
+  // queue: the admitted backlog still drains, new pushes get kClosed.
+  if (wake_write_ != -1) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t rc = ::write(wake_write_, &byte, 1);
+  }
+  queue_.close();
+}
+
+void Server::shutdown() {
+  if (stopped_) return;
+  stopped_ = true;
+  begin_drain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ != -1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (!config_.socket_path.empty()) {
+      std::error_code ec;
+      std::filesystem::remove(config_.socket_path, ec);
+    }
+  }
+  // Dispatchers exit once the closed queue is empty — every admitted
+  // request has its promise fulfilled before this returns.
+  for (auto& t : dispatcher_threads_) {
+    if (t.joinable()) t.join();
+  }
+  // Sessions are now either blocked in read (half-close wakes them with
+  // EOF) or writing their final response (which completes normally).
+  {
+    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    for (const auto& s : sessions_) {
+      if (s->fd != -1) ::shutdown(s->fd, SHUT_RD);
+    }
+  }
+  for (const auto& s : sessions_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    if (log_out_.is_open()) log_out_.close();
+  }
+}
+
+void Server::reload() {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  if (config_.request_log.empty()) return;
+  if (log_out_.is_open()) log_out_.close();
+  log_out_.open(config_.request_log, std::ios::app);
+}
+
+int Server::run_until_shutdown() {
+  auto& signal = robust::ShutdownSignal::global();
+  robust::ShutdownConfig sc;
+  sc.handle_hup = true;
+  sc.cancel_on_first = false;  // first signal drains; the second cancels
+  signal.install(sc);
+
+  std::uint64_t seen_hups = signal.hups();
+  while (signal.interrupts() == 0) {
+    pollfd p{signal.poll_fd(), POLLIN, 0};
+    if (::poll(&p, 1, -1) < 0 && errno != EINTR) break;
+    signal.drain_poll_fd();
+    const std::uint64_t hups = signal.hups();
+    if (hups != seen_hups) {
+      seen_hups = hups;
+      reload();
+    }
+  }
+  // Graceful drain. A second SIGTERM/SIGINT during the drain trips the
+  // process-wide cancel flag (ShutdownSignal policy), so stuck in-flight
+  // solves abort at their next poll point and the drain still converges.
+  shutdown();
+  return 0;
+}
+
+}  // namespace swsim::serve

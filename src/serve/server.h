@@ -1,0 +1,135 @@
+// The swsim serve daemon: a long-lived, multi-tenant front-end over one
+// shared engine::BatchRunner.
+//
+// Thread architecture:
+//
+//   accept thread ──► session thread per connection ──► AdmissionQueue
+//                                                            │
+//                         N dispatcher threads ◄─────────────┘
+//                         (shared BatchRunner: one thread pool,
+//                          one content-addressed ResultCache)
+//
+// A session reads one frame at a time, answers built-ins (hello, healthz,
+// metrics) inline, and funnels workload requests through the admission
+// queue; the dispatcher fulfils the session's promise and the session
+// writes the response frame. Because every client shares the runner's
+// cache, a truth table one client already paid for is answered for the
+// next client without re-solving — healthz exposes the cache and
+// jobs_executed counters that prove it.
+//
+// Shutdown contract (docs/SERVING.md):
+//   * begin_drain(): stop accepting connections, close the queue. Admitted
+//     requests complete normally; new workload requests are answered with
+//     retryable kDraining (+ retry_after_s). Built-ins keep working so
+//     orchestrators can watch the drain.
+//   * shutdown(): begin_drain, join dispatchers (backlog fully served),
+//     then half-close session sockets and join sessions.
+//   * run_until_shutdown(): drives the above from robust::ShutdownSignal —
+//     first SIGTERM/SIGINT drains, a second force-cancels in-flight solves
+//     via the process-wide cancel flag, SIGHUP reopens the request log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/batch_runner.h"
+#include "robust/status.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+
+namespace swsim::serve {
+
+struct ServerConfig {
+  // Exactly one endpoint: a Unix socket path, or a loopback TCP port.
+  std::string socket_path;
+  int tcp_port = 0;
+
+  std::size_t dispatchers = 2;      // concurrent engine batches
+  std::size_t queue_capacity = 64;  // admission bound (backpressure)
+  std::size_t max_sessions = 64;    // concurrent connections
+  double retry_after_s = 0.5;       // hint on kOverloaded / kDraining
+  std::string request_log;          // JSONL request log path (optional)
+  engine::EngineConfig engine;      // shared runner configuration
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the endpoint and starts the accept + dispatcher threads.
+  robust::Status start();
+
+  // See the shutdown contract above. All idempotent.
+  void begin_drain();
+  void shutdown();
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  // Reopens the request log (SIGHUP semantics, for log rotation).
+  void reload();
+
+  // Signal-driven service loop; returns the process exit code.
+  int run_until_shutdown();
+
+  // "unix:/path" or "tcp:PORT" once start() succeeded.
+  std::string endpoint() const;
+
+  const engine::BatchRunner& runner() const { return *runner_; }
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void dispatch_loop();
+  void session_loop(std::size_t slot, int fd);
+  Response handle_workload(const Request& request);
+  Response make_builtin_response(const Request& request);
+  std::string healthz_payload() const;
+  void log_request(const Request& request, const Response& response,
+                   double wall_s);
+  void observe_request(const Request& request, const Response& response,
+                       double wall_s);
+
+  ServerConfig config_;
+  std::unique_ptr<engine::BatchRunner> runner_;
+  AdmissionQueue queue_;
+
+  int listen_fd_ = -1;
+  int wake_read_ = -1;   // accept-loop wake pipe (begin_drain writes)
+  int wake_write_ = -1;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  bool stopped_ = false;  // shutdown() ran (main-thread only)
+  double start_t_us_ = 0.0;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> dispatcher_threads_;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t active_sessions_ = 0;
+
+  std::mutex log_mutex_;
+  std::ofstream log_out_;
+
+  // Authoritative request counters (metrics mirror them; healthz reads
+  // these so it works in SWSIM_OBS_OFF builds too).
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> requests_failed_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_draining_{0};
+};
+
+}  // namespace swsim::serve

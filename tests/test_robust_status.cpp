@@ -50,6 +50,8 @@ TEST(Status, ToStringCoversEveryCode) {
   EXPECT_EQ(to_string(StatusCode::kIoError), "io-error");
   EXPECT_EQ(to_string(StatusCode::kQuarantined), "quarantined");
   EXPECT_EQ(to_string(StatusCode::kInternal), "internal");
+  EXPECT_EQ(to_string(StatusCode::kOverloaded), "overloaded");
+  EXPECT_EQ(to_string(StatusCode::kDraining), "draining");
 }
 
 TEST(Status, RetryPolicy) {
@@ -57,6 +59,9 @@ TEST(Status, RetryPolicy) {
   EXPECT_TRUE(is_retryable(StatusCode::kNumericalDivergence));
   EXPECT_TRUE(is_retryable(StatusCode::kCacheCorrupt));
   EXPECT_TRUE(is_retryable(StatusCode::kInternal));
+  // The serve admission rejections tell the CLIENT to come back later.
+  EXPECT_TRUE(is_retryable(StatusCode::kOverloaded));
+  EXPECT_TRUE(is_retryable(StatusCode::kDraining));
   // Timeouts must NOT retry: the timed-out closure may still be running.
   EXPECT_FALSE(is_retryable(StatusCode::kTimeout));
   EXPECT_FALSE(is_retryable(StatusCode::kCancelled));

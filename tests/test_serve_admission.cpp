@@ -1,0 +1,161 @@
+// AdmissionQueue: bounded backpressure, strict priority bands, per-client
+// round-robin fairness, and the close()-then-drain contract the daemon's
+// graceful shutdown is built on.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace swsim::serve {
+namespace {
+
+std::unique_ptr<PendingRequest> make_request(const std::string& client,
+                                             int priority,
+                                             std::uint64_t id = 0) {
+  auto r = std::make_unique<PendingRequest>();
+  r->request.client = client;
+  r->request.priority = priority;
+  r->request.id = id;
+  return r;
+}
+
+TEST(AdmissionQueue, FifoForOneClient) {
+  AdmissionQueue q(8);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(q.push(make_request("a", 0, i)), Admit::kAdmitted);
+  }
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto r = q.pop();
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->request.id, i);
+  }
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(AdmissionQueue, CapacityIsAHardLimit) {
+  AdmissionQueue q(2);
+  EXPECT_EQ(q.push(make_request("a", 0)), Admit::kAdmitted);
+  EXPECT_EQ(q.push(make_request("b", 0)), Admit::kAdmitted);
+  EXPECT_EQ(q.push(make_request("c", 0)), Admit::kOverloaded);
+  EXPECT_EQ(q.depth(), 2u);
+  // Popping frees a slot; admission resumes.
+  ASSERT_NE(q.pop(), nullptr);
+  EXPECT_EQ(q.push(make_request("c", 0)), Admit::kAdmitted);
+}
+
+TEST(AdmissionQueue, HigherPriorityBandDrainsStrictlyFirst) {
+  AdmissionQueue q(8);
+  ASSERT_EQ(q.push(make_request("bulk", 0, 1)), Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_request("bulk", 0, 2)), Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_request("urgent", 5, 3)), Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_request("urgent", 5, 4)), Admit::kAdmitted);
+
+  // Both priority-5 requests come out before any priority-0 one, even
+  // though they were pushed later.
+  EXPECT_EQ(q.pop()->request.id, 3u);
+  EXPECT_EQ(q.pop()->request.id, 4u);
+  EXPECT_EQ(q.pop()->request.id, 1u);
+  EXPECT_EQ(q.pop()->request.id, 2u);
+}
+
+TEST(AdmissionQueue, RoundRobinOverClientsWithinABand) {
+  // One chatty client queues 4 requests, two quiet ones queue 1 each. The
+  // quiet clients must each be served within the first three pops — the
+  // chatty client cannot monopolise the band.
+  AdmissionQueue q(8);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(q.push(make_request("chatty", 0, 100 + i)), Admit::kAdmitted);
+  }
+  ASSERT_EQ(q.push(make_request("quiet1", 0, 1)), Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_request("quiet2", 0, 2)), Admit::kAdmitted);
+
+  std::set<std::string> first_three;
+  for (int i = 0; i < 3; ++i) first_three.insert(q.pop()->request.client);
+  EXPECT_TRUE(first_three.count("quiet1"));
+  EXPECT_TRUE(first_three.count("quiet2"));
+  EXPECT_TRUE(first_three.count("chatty"));
+
+  // The remaining pops are the chatty backlog, still in FIFO order.
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = q.pop();
+    EXPECT_EQ(r->request.client, "chatty");
+    EXPECT_GT(r->request.id, prev);
+    prev = r->request.id;
+  }
+}
+
+TEST(AdmissionQueue, CloseDrainsBacklogThenReturnsNull) {
+  AdmissionQueue q(8);
+  ASSERT_EQ(q.push(make_request("a", 0, 1)), Admit::kAdmitted);
+  ASSERT_EQ(q.push(make_request("b", 0, 2)), Admit::kAdmitted);
+  q.close();
+  // New work is rejected as kClosed (the session answers kDraining)...
+  EXPECT_EQ(q.push(make_request("c", 0, 3)), Admit::kClosed);
+  // ...but the admitted backlog still comes out, then nullptr forever.
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_NE(q.pop(), nullptr);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_EQ(q.pop(), nullptr);
+  q.close();  // idempotent
+}
+
+TEST(AdmissionQueue, CloseWakesBlockedPoppers) {
+  AdmissionQueue q(4);
+  std::atomic<int> woke{0};
+  std::vector<std::thread> poppers;
+  for (int i = 0; i < 3; ++i) {
+    poppers.emplace_back([&] {
+      while (q.pop() != nullptr) {
+      }
+      woke.fetch_add(1);
+    });
+  }
+  // Give the poppers a moment to block, then close: all must return.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(woke.load(), 3);
+}
+
+TEST(AdmissionQueue, ConcurrentProducersAndConsumersLoseNothing) {
+  // 4 producers x 64 requests against 3 consumers. Every admitted request
+  // is popped exactly once; rejected pushes are retried, so the totals
+  // must balance regardless of interleaving.
+  AdmissionQueue q(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 64;
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      while (q.pop() != nullptr) popped.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      const std::string client = "client" + std::to_string(p);
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (q.push(make_request(client, p % 2, i)) != Admit::kAdmitted) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace swsim::serve

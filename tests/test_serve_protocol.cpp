@@ -1,0 +1,164 @@
+// swsim.serve/1 document model: request parse/serialize round trips,
+// strict-vs-lenient validation, response scalars, and the status-code
+// name mapping both ends rely on.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace swsim::serve {
+namespace {
+
+TEST(ServeProtocol, RequestRoundTripPreservesEveryField) {
+  Request r;
+  r.type = RequestType::kTruthTable;
+  r.id = 42;
+  r.client = "sweeper";
+  r.priority = 3;
+  r.gate.kind = "xor";
+  r.gate.lambda_nm = 60.0;
+  r.gate.width_nm = 21.5;
+
+  Request back;
+  ASSERT_TRUE(parse_request_text(serialize_request(r), &back).is_ok());
+  EXPECT_EQ(back.type, RequestType::kTruthTable);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.client, "sweeper");
+  EXPECT_EQ(back.priority, 3);
+  EXPECT_EQ(back.gate.kind, "xor");
+  EXPECT_DOUBLE_EQ(back.gate.lambda_nm, 60.0);
+  ASSERT_TRUE(back.gate.width_nm.has_value());
+  EXPECT_DOUBLE_EQ(*back.gate.width_nm, 21.5);
+}
+
+TEST(ServeProtocol, YieldRequestRoundTrip) {
+  Request r;
+  r.type = RequestType::kYield;
+  r.yield.kind = "xor";
+  r.yield.trials = 250;
+  r.yield.sigma_length_nm = 1.5;
+  r.yield.sigma_amp = 0.07;
+
+  Request back;
+  ASSERT_TRUE(parse_request_text(serialize_request(r), &back).is_ok());
+  EXPECT_EQ(back.type, RequestType::kYield);
+  EXPECT_EQ(back.yield.kind, "xor");
+  EXPECT_EQ(back.yield.trials, 250u);
+  EXPECT_DOUBLE_EQ(back.yield.sigma_length_nm, 1.5);
+  EXPECT_DOUBLE_EQ(back.yield.sigma_amp, 0.07);
+}
+
+TEST(ServeProtocol, LenientDefaultsMirrorTheCli) {
+  // A minimal document gets the CLI's defaults, not an error.
+  Request r;
+  ASSERT_TRUE(
+      parse_request_text(R"({"type":"truthtable","gate":"maj"})", &r).is_ok());
+  EXPECT_EQ(r.id, 0u);
+  EXPECT_EQ(r.client, "anon");
+  EXPECT_EQ(r.priority, 0);
+  EXPECT_DOUBLE_EQ(r.gate.lambda_nm, 55.0);
+  EXPECT_FALSE(r.gate.width_nm.has_value());
+}
+
+TEST(ServeProtocol, StrictValidationRejectsBeforeAnyWorkRuns) {
+  Request r;
+  // Wrong protocol string.
+  EXPECT_EQ(parse_request_text(
+                R"({"proto":"swsim.serve/999","type":"hello"})", &r)
+                .code(),
+            robust::StatusCode::kInvalidConfig);
+  // Unknown type.
+  EXPECT_EQ(parse_request_text(R"({"type":"frobnicate"})", &r).code(),
+            robust::StatusCode::kInvalidConfig);
+  // Missing type entirely.
+  EXPECT_EQ(parse_request_text(R"({"gate":"maj"})", &r).code(),
+            robust::StatusCode::kInvalidConfig);
+  // Non-positive trials.
+  EXPECT_EQ(parse_request_text(
+                R"({"type":"yield","gate":"maj","trials":0})", &r)
+                .code(),
+            robust::StatusCode::kInvalidConfig);
+  // Wrong field type.
+  EXPECT_EQ(parse_request_text(
+                R"({"type":"truthtable","gate":42})", &r)
+                .code(),
+            robust::StatusCode::kInvalidConfig);
+  // Not JSON at all.
+  EXPECT_EQ(parse_request_text("not json", &r).code(),
+            robust::StatusCode::kInvalidConfig);
+}
+
+TEST(ServeProtocol, ResponseRoundTripKeepsStatusAndScalars) {
+  Response r;
+  r.id = 7;
+  r.status = robust::Status::error(robust::StatusCode::kDraining,
+                                   "server is draining", "serve unix:/s");
+  r.retry_after_s = 0.5;
+  r.text = "two\nlines\n";
+  r.all_pass = 1.0;
+  r.min_margin = 0.25;
+
+  Response back;
+  ASSERT_TRUE(parse_response_text(serialize_response(r), &back).is_ok());
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.status.code(), robust::StatusCode::kDraining);
+  EXPECT_EQ(back.status.message(), "server is draining");
+  EXPECT_DOUBLE_EQ(back.retry_after_s, 0.5);
+  EXPECT_EQ(back.text, "two\nlines\n");
+  ASSERT_TRUE(Response::set(back.all_pass));
+  EXPECT_DOUBLE_EQ(back.all_pass, 1.0);
+  ASSERT_TRUE(Response::set(back.min_margin));
+  EXPECT_DOUBLE_EQ(back.min_margin, 0.25);
+  EXPECT_FALSE(Response::set(back.yield_value));  // unset stays unset
+}
+
+TEST(ServeProtocol, AdmissionCodesAreRetryableOnTheWire) {
+  // The client-side retry contract: a rejection parses back into a status
+  // the robust taxonomy marks retryable.
+  for (const auto code :
+       {robust::StatusCode::kOverloaded, robust::StatusCode::kDraining}) {
+    Response r;
+    r.status = robust::Status::error(code, "busy", "serve");
+    r.retry_after_s = 0.25;
+    Response back;
+    ASSERT_TRUE(parse_response_text(serialize_response(r), &back).is_ok());
+    EXPECT_EQ(back.status.code(), code);
+    EXPECT_TRUE(robust::is_retryable(back.status.code()));
+    EXPECT_GT(back.retry_after_s, 0.0);
+  }
+}
+
+TEST(ServeProtocol, StatusCodeNamesRoundTripAndFailClosed) {
+  // Every named code maps back to itself; an unknown name (newer server,
+  // older client) degrades to kInternal, never to kOk.
+  for (const auto code :
+       {robust::StatusCode::kOk, robust::StatusCode::kInvalidConfig,
+        robust::StatusCode::kNumericalDivergence, robust::StatusCode::kTimeout,
+        robust::StatusCode::kCancelled, robust::StatusCode::kCacheCorrupt,
+        robust::StatusCode::kIoError, robust::StatusCode::kQuarantined,
+        robust::StatusCode::kOverloaded, robust::StatusCode::kDraining,
+        robust::StatusCode::kInternal}) {
+    EXPECT_EQ(status_code_from_string(robust::to_string(code)), code);
+  }
+  EXPECT_EQ(status_code_from_string("quantum-flux"),
+            robust::StatusCode::kInternal);
+}
+
+TEST(ServeProtocol, DumpJsonIsDeterministic) {
+  // Two key orders, one rendering: JsonValue objects sort their keys, so
+  // dump_json gives byte-stable documents for comparisons and logs.
+  const std::string a = R"({"zeta":1,"alpha":{"b":2,"a":[1,2,3]}})";
+  const std::string b = R"({"alpha":{"a":[1,2,3],"b":2},"zeta":1})";
+  EXPECT_EQ(dump_json(obs::parse_json(a)), dump_json(obs::parse_json(b)));
+}
+
+TEST(ServeProtocol, SerializedRequestIsValidJson) {
+  Request r;
+  r.type = RequestType::kHello;
+  r.client = "with \"quotes\" and \n newline";
+  EXPECT_NO_THROW(obs::parse_json(serialize_request(r)));
+}
+
+}  // namespace
+}  // namespace swsim::serve

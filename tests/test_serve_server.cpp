@@ -1,0 +1,320 @@
+// End-to-end daemon tests: an in-process Server on a Unix socket, real
+// Client connections, and the three contracts the serve layer exists for —
+// wire-level determinism (served bytes == CLI bytes), a shared warm cache
+// across clients, and the graceful drain protocol.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/validator.h"
+#include "engine/batch_runner.h"
+#include "obs/json.h"
+#include "serve/client.h"
+#include "serve/codec.h"
+#include "serve/protocol.h"
+#include "serve/workload.h"
+
+namespace swsim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+ServerConfig test_config(const std::string& name) {
+  ServerConfig cfg;
+  const fs::path dir = fs::path(::testing::TempDir()) / "swsim_serve_test";
+  fs::create_directories(dir);
+  cfg.socket_path = (dir / (name + ".sock")).string();
+  fs::remove(cfg.socket_path);
+  cfg.dispatchers = 2;
+  cfg.engine.jobs = 2;
+  return cfg;
+}
+
+Request truth_table_request(const std::string& kind, std::uint64_t id = 0,
+                            const std::string& client = "anon") {
+  Request r;
+  r.type = RequestType::kTruthTable;
+  r.id = id;
+  r.client = client;
+  r.gate.kind = kind;
+  return r;
+}
+
+// The reference bytes: what `swsim truthtable <kind>` prints, computed
+// through the same shared workload spec the CLI uses.
+std::string local_truth_table_bytes(const std::string& kind) {
+  engine::EngineConfig cfg;
+  cfg.jobs = 2;
+  engine::BatchRunner runner(cfg);
+  GateParams p;
+  p.kind = kind;
+  const auto spec = make_truth_table_spec(p);
+  EXPECT_TRUE(spec.has_value());
+  const auto outcome =
+      runner.run_truth_table_checked(spec->factory, spec->key, {}, "local");
+  EXPECT_TRUE(outcome.ok());
+  return core::format_report(outcome.report);
+}
+
+TEST(ServeServer, HelloEchoesTheBuildFingerprint) {
+  auto cfg = test_config("hello");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  Request req;
+  req.type = RequestType::kHello;
+  req.id = 11;
+  Response resp;
+  ASSERT_TRUE(client.call(req, &resp).is_ok());
+  EXPECT_EQ(resp.id, 11u);
+  EXPECT_TRUE(resp.status.is_ok());
+
+  const auto payload = obs::parse_json(resp.payload_json);
+  ASSERT_TRUE(payload.is_object());
+  EXPECT_EQ(payload.find("protocol")->str(), kProtocol);
+  ASSERT_NE(payload.find("git_sha"), nullptr);
+  ASSERT_NE(payload.find("compiler"), nullptr);
+  EXPECT_EQ(payload.find("endpoint")->str(), server.endpoint());
+
+  client.close();
+  server.shutdown();
+}
+
+TEST(ServeServer, TruthTableMatchesCliBytesExactly) {
+  auto cfg = test_config("bytes");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  Response resp;
+  ASSERT_TRUE(client.call(truth_table_request("maj", 1), &resp).is_ok());
+  ASSERT_TRUE(resp.status.is_ok()) << resp.status.str();
+
+  EXPECT_EQ(resp.text, local_truth_table_bytes("maj"));
+  ASSERT_TRUE(Response::set(resp.all_pass));
+  EXPECT_DOUBLE_EQ(resp.all_pass, 1.0);
+  EXPECT_TRUE(Response::set(resp.min_margin));
+
+  server.shutdown();
+}
+
+TEST(ServeServer, EightConcurrentClientsGetIdenticalBytes) {
+  auto cfg = test_config("concurrent");
+  cfg.dispatchers = 4;
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  constexpr int kClients = 8;
+  std::vector<std::string> texts(kClients);
+  std::vector<robust::Status> statuses(kClients, robust::Status::ok());
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client;
+      const auto connected = client.connect_unix(cfg.socket_path);
+      if (!connected.is_ok()) {
+        statuses[i] = connected;
+        return;
+      }
+      Response resp;
+      const auto called = client.call(
+          truth_table_request("xor", static_cast<std::uint64_t>(i),
+                              "tenant" + std::to_string(i)),
+          &resp);
+      statuses[i] = called.is_ok() ? resp.status : called;
+      texts[i] = resp.text;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::string expected = local_truth_table_bytes("xor");
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(statuses[i].is_ok()) << "client " << i << ": "
+                                     << statuses[i].str();
+    EXPECT_EQ(texts[i], expected) << "client " << i;
+  }
+  server.shutdown();
+}
+
+// Reads healthz through an open client and returns the parsed payload.
+obs::JsonValue healthz(Client& client) {
+  Request req;
+  req.type = RequestType::kHealthz;
+  Response resp;
+  EXPECT_TRUE(client.call(req, &resp).is_ok());
+  EXPECT_TRUE(resp.status.is_ok());
+  return obs::parse_json(resp.payload_json);
+}
+
+TEST(ServeServer, WarmCacheAnswersRepeatWithoutResolving) {
+  auto cfg = test_config("warmcache");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client first;
+  ASSERT_TRUE(first.connect_unix(cfg.socket_path).is_ok());
+  Response cold;
+  ASSERT_TRUE(first.call(truth_table_request("maj", 1, "alice"), &cold)
+                  .is_ok());
+  ASSERT_TRUE(cold.status.is_ok());
+
+  const auto after_cold = healthz(first);
+  const double jobs_cold =
+      after_cold.find("engine")->find("jobs_executed")->number();
+  const double hits_cold = after_cold.find("cache")->find("hits")->number();
+  EXPECT_GT(jobs_cold, 0.0);
+
+  // A *different* client repeats the request: byte-identical answer, cache
+  // hits rise, jobs_executed does not — the solve was never re-run.
+  Client second;
+  ASSERT_TRUE(second.connect_unix(cfg.socket_path).is_ok());
+  Response warm;
+  ASSERT_TRUE(second.call(truth_table_request("maj", 2, "bob"), &warm)
+                  .is_ok());
+  ASSERT_TRUE(warm.status.is_ok());
+  EXPECT_EQ(warm.text, cold.text);
+
+  const auto after_warm = healthz(first);
+  EXPECT_EQ(after_warm.find("engine")->find("jobs_executed")->number(),
+            jobs_cold);
+  EXPECT_GT(after_warm.find("cache")->find("hits")->number(), hits_cold);
+
+  server.shutdown();
+}
+
+TEST(ServeServer, UnknownGateAnswersInvalidConfigNotDisconnect) {
+  auto cfg = test_config("badgate");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  Response resp;
+  ASSERT_TRUE(client.call(truth_table_request("warpdrive", 9), &resp).is_ok());
+  EXPECT_EQ(resp.status.code(), robust::StatusCode::kInvalidConfig);
+  EXPECT_EQ(resp.id, 9u);
+
+  // The session survives a rejected request.
+  Response again;
+  ASSERT_TRUE(client.call(truth_table_request("maj", 10), &again).is_ok());
+  EXPECT_TRUE(again.status.is_ok());
+  server.shutdown();
+}
+
+TEST(ServeServer, MalformedFrameAnswersInvalidConfigAndKeepsSession) {
+  auto cfg = test_config("badframe");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  std::string error;
+  ASSERT_TRUE(write_frame(client.fd(), "this is not json", &error));
+  std::string payload;
+  ASSERT_EQ(read_frame(client.fd(), &payload, &error), ReadResult::kFrame);
+  Response resp;
+  ASSERT_TRUE(parse_response_text(payload, &resp).is_ok());
+  EXPECT_EQ(resp.status.code(), robust::StatusCode::kInvalidConfig);
+
+  // Still connected: a well-formed request goes through.
+  Response ok;
+  ASSERT_TRUE(client.call(truth_table_request("maj"), &ok).is_ok());
+  EXPECT_TRUE(ok.status.is_ok());
+  server.shutdown();
+}
+
+TEST(ServeServer, DrainCompletesAdmittedRejectsNewKeepsBuiltins) {
+  auto cfg = test_config("drain");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  // Pay for one request first so the drain-time healthz has history.
+  Response before;
+  ASSERT_TRUE(client.call(truth_table_request("maj", 1), &before).is_ok());
+  ASSERT_TRUE(before.status.is_ok());
+
+  server.begin_drain();
+
+  // A new workload request on the existing connection: retryable
+  // kDraining with a retry hint, not a dropped connection.
+  Response rejected;
+  ASSERT_TRUE(client.call(truth_table_request("maj", 2), &rejected).is_ok());
+  EXPECT_EQ(rejected.status.code(), robust::StatusCode::kDraining);
+  EXPECT_TRUE(robust::is_retryable(rejected.status.code()));
+  EXPECT_GT(rejected.retry_after_s, 0.0);
+
+  // Built-ins keep answering so an orchestrator can watch the drain.
+  const auto health = healthz(client);
+  EXPECT_EQ(health.find("status")->str(), "draining");
+  EXPECT_GE(health.find("requests")->find("rejected_draining")->number(),
+            1.0);
+
+  client.close();
+  server.shutdown();
+  // The endpoint is gone after shutdown.
+  Client late;
+  EXPECT_FALSE(late.connect_unix(cfg.socket_path).is_ok());
+}
+
+TEST(ServeServer, RequestLogRecordsEveryRequest) {
+  auto cfg = test_config("reqlog");
+  const fs::path log =
+      fs::path(::testing::TempDir()) / "swsim_serve_test" / "requests.jsonl";
+  fs::remove(log);
+  cfg.request_log = log.string();
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  Response resp;
+  ASSERT_TRUE(client.call(truth_table_request("maj", 5, "logged"), &resp)
+                  .is_ok());
+  healthz(client);
+  client.close();
+  server.shutdown();
+
+  // One JSONL line per request, each a valid document naming the client.
+  std::ifstream in(log);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  bool saw_truthtable = false;
+  while (std::getline(in, line)) {
+    ++lines;
+    const auto doc = obs::parse_json(line);
+    ASSERT_TRUE(doc.is_object());
+    if (doc.find("type")->str() == "truthtable") {
+      saw_truthtable = true;
+      EXPECT_EQ(doc.find("client")->str(), "logged");
+      EXPECT_EQ(doc.find("code")->str(), "ok");
+    }
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_TRUE(saw_truthtable);
+}
+
+TEST(ServeServer, StartRefusesAmbiguousEndpoints) {
+  ServerConfig cfg;  // neither socket nor port
+  Server none(cfg);
+  EXPECT_EQ(none.start().code(), robust::StatusCode::kInvalidConfig);
+
+  auto both_cfg = test_config("both");
+  both_cfg.tcp_port = 39999;
+  Server both(both_cfg);
+  EXPECT_EQ(both.start().code(), robust::StatusCode::kInvalidConfig);
+}
+
+}  // namespace
+}  // namespace swsim::serve
