@@ -1,0 +1,197 @@
+// Serve-layer resilience figures: what the deadline/chaos/recovery
+// machinery costs on the hot path and how fast the daemon rejects work it
+// must not do.
+//
+//   1. hello_roundtrip   — framed request/response over a live unix-socket
+//                          session: the floor every serve feature pays.
+//   2. deadline_shed     — an already-expired deadline is rejected at
+//                          dispatch with kDeadlineExceeded; this is the
+//                          "say no quickly" path and must stay far cheaper
+//                          than solving.
+//   3. chaos_storm       — a seeded FaultyTransport storm (torn frames,
+//                          garbage, oversized prefixes, vanishing
+//                          clients); the scalar chaos_hung must be 0:
+//                          every hostile exchange ends terminally.
+//   4. recovery_scan     — crash-recovery sweep of a spill directory
+//                          holding healthy, corrupt and torn-tmp entries.
+//
+// Runtime: a few seconds; the daemon lives in-process on a temp socket.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "engine/result_cache.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace swsim;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+serve::Request hello_request() {
+  serve::Request r;
+  r.type = serve::RequestType::kHello;
+  r.client = "bench";
+  return r;
+}
+
+serve::Request doomed_request() {
+  serve::Request r;
+  r.type = serve::RequestType::kTruthTable;
+  r.client = "bench";
+  r.gate.kind = "maj";
+  r.deadline_s = 1e-9;  // expired before the dispatcher can pick it up
+  return r;
+}
+
+// Seeds `dir` with the litter a crashed daemon leaves behind: healthy
+// spilled entries plus a corrupt .swc and an orphaned tmp file.
+void seed_spill_litter(const fs::path& dir, int healthy_entries) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  {
+    engine::ResultCache writer(1, dir.string());
+    for (int i = 0; i < healthy_entries + 1; ++i) {
+      writer.insert(static_cast<std::uint64_t>(i + 1),
+                    {1.0 * i, 2.0 * i, 3.0 * i});
+    }
+  }
+  {
+    std::ofstream torn(dir / engine::ResultCache::spill_filename(9999),
+                       std::ios::binary);
+    torn << "definitely not a spill file";
+  }
+  {
+    std::ofstream tmp(dir / "dead.swc.tmp.4242", std::ios::binary);
+    tmp << "partial write";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness harness("serve_resilience", &argc, argv);
+
+  const fs::path dir = fs::temp_directory_path() / "swsim_bench_serve";
+  fs::create_directories(dir);
+
+  serve::ServerConfig cfg;
+  cfg.socket_path = (dir / "bench.sock").string();
+  fs::remove(cfg.socket_path);
+  cfg.dispatchers = 2;
+  cfg.engine.jobs = 2;
+  cfg.idle_timeout_s = 10.0;
+  cfg.frame_timeout_s = 2.0;
+
+  serve::Server server(cfg);
+  if (const auto st = server.start(); !st.is_ok()) {
+    std::fprintf(stderr, "bench_serve_resilience: start: %s\n",
+                 st.str().c_str());
+    return 1;
+  }
+
+  // 1. Clean round trips on one persistent session.
+  const int roundtrips = harness.quick() ? 50 : 200;
+  serve::Client client;
+  if (!client.connect_unix(cfg.socket_path).is_ok()) {
+    std::fprintf(stderr, "bench_serve_resilience: connect failed\n");
+    return 1;
+  }
+  int bad_hello = 0;
+  harness.time_case(
+      "hello_roundtrip",
+      [&] {
+        for (int i = 0; i < roundtrips; ++i) {
+          serve::Response resp;
+          if (!client.call(hello_request(), &resp).is_ok() ||
+              !resp.status.is_ok()) {
+            ++bad_hello;
+          }
+        }
+      },
+      roundtrips);
+
+  // 2. Expired deadlines are shed before the engine burns a microsecond.
+  const int sheds = harness.quick() ? 50 : 200;
+  int shed_wrong = 0;
+  const auto jobs_before = server.runner().stats().jobs_executed;
+  harness.time_case(
+      "deadline_shed",
+      [&] {
+        for (int i = 0; i < sheds; ++i) {
+          serve::Response resp;
+          if (!client.call(doomed_request(), &resp).is_ok() ||
+              resp.status.code() != robust::StatusCode::kDeadlineExceeded) {
+            ++shed_wrong;
+          }
+        }
+      },
+      sheds);
+  const auto jobs_after = server.runner().stats().jobs_executed;
+
+  // 3. A seeded hostile storm; slow actions disabled so the figure is the
+  // daemon's rejection speed, not the profile's sleeps.
+  serve::ChaosProfile profile;
+  profile.seed = 42;
+  profile.exchanges = harness.quick() ? 8 : 16;
+  profile.delay = 0;
+  profile.slowloris = 0;
+  profile.exchange_deadline_s = 10.0;
+  int chaos_hung = 0;
+  harness.time_case(
+      "chaos_storm",
+      [&] {
+        const serve::ChaosSummary summary =
+            serve::run_chaos(profile, cfg.socket_path, 0, hello_request());
+        chaos_hung += summary.hung;
+      },
+      profile.exchanges);
+
+  // 4. Crash-recovery scan, litter re-seeded outside the timed region.
+  const int healthy = harness.quick() ? 16 : 64;
+  const fs::path spill = dir / "spill";
+  std::vector<double> scan_samples;
+  std::size_t quarantined = 0;
+  for (int rep = 0; rep < harness.warmup() + harness.repeats(); ++rep) {
+    seed_spill_litter(spill, healthy);
+    engine::ResultCache cache(4, spill.string());
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto report = cache.recover_spill_dir();
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (rep >= harness.warmup()) scan_samples.push_back(dt);
+    quarantined = report.quarantined;
+  }
+  harness.record_samples("recovery_scan", "s", scan_samples);
+
+  server.shutdown();
+  fs::remove_all(dir);
+
+  harness.add_scalar("chaos_hung", chaos_hung);
+  harness.add_scalar("deadline_shed_errors", shed_wrong);
+  harness.add_scalar("engine_jobs_during_shed",
+                     static_cast<double>(jobs_after - jobs_before));
+  harness.add_scalar("recovery_quarantined_per_scan",
+                     static_cast<double>(quarantined));
+
+  bool ok = harness.finish();
+  if (bad_hello > 0 || shed_wrong > 0 || chaos_hung > 0 ||
+      jobs_after != jobs_before) {
+    std::fprintf(stderr,
+                 "bench_serve_resilience: invariant failures (hello %d, "
+                 "shed %d, hung %d, engine jobs %llu)\n",
+                 bad_hello, shed_wrong, chaos_hung,
+                 static_cast<unsigned long long>(jobs_after - jobs_before));
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -48,6 +48,7 @@
 #include "obs/json.h"
 #include "obs/obs.h"
 #include "perf/comparison.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -82,13 +83,21 @@ int usage() {
       "  version    (build fingerprint: version, git sha, compiler, flags)\n"
       "  serve      --socket <path> | --port <n>  [--dispatchers <n>]\n"
       "             [--queue <n>] [--max-sessions <n>] [--retry-after <s>]\n"
-      "             [--request-log <jsonl>] [engine flags]\n"
+      "             [--idle-timeout <s>] [--frame-timeout <s>]\n"
+      "             [--default-deadline <s>] [--max-deadline <s>]\n"
+      "             [--tunables <file>] [--request-log <jsonl>]\n"
+      "             [engine flags]\n"
       "             (long-lived daemon; protocol swsim.serve/1 — see\n"
-      "              docs/SERVING.md. SIGTERM drains, SIGHUP reloads)\n"
+      "              docs/SERVING.md. SIGTERM drains, SIGHUP reloads the\n"
+      "              request log and the --tunables file)\n"
       "  client     --socket <path> | --port <n>\n"
       "             <hello|healthz|metrics|truthtable <gate>|yield [gate]>\n"
       "             [--client <name>] [--priority <n>] [--id <n>]\n"
-      "             [--verify] [gate flags as above]\n"
+      "             [--deadline <s>] [--max-attempts <n>]\n"
+      "             [--retry-base <s>] [--retry-max <s>] [--retry-seed <n>]\n"
+      "             [--chaos <spec>] [--verify] [gate flags as above]\n"
+      "             (exit 0 ok, 1 remote/logic fail, 2 usage, 3 retryable\n"
+      "              rejection, 4 transport, 5 deadline/attempts exhausted)\n"
       "  bench list                  (known bench targets)\n"
       "  bench run  [name...] [--quick] [--repeats <n>] [--warmup <n>]\n"
       "             [--bin-dir <dir>] [--out-dir <dir>]\n"
@@ -894,6 +903,15 @@ int cmd_serve(const cli::Args& args) {
   if (cfg.retry_after_s < 0.0) {
     throw std::invalid_argument("--retry-after must be >= 0 seconds");
   }
+  cfg.idle_timeout_s = args.number("idle-timeout", 300.0);
+  cfg.frame_timeout_s = args.number("frame-timeout", 30.0);
+  cfg.default_deadline_s = args.number("default-deadline", 0.0);
+  cfg.max_deadline_s = args.number("max-deadline", 0.0);
+  if (cfg.idle_timeout_s < 0.0 || cfg.frame_timeout_s < 0.0 ||
+      cfg.default_deadline_s < 0.0 || cfg.max_deadline_s < 0.0) {
+    throw std::invalid_argument("serve timeouts/deadlines must be >= 0");
+  }
+  cfg.tunables_file = args.value("tunables").value_or("");
   cfg.request_log = args.value("request-log").value_or("");
   cfg.engine = engine_config_from(args);
   if (const auto inject = args.value("inject")) arm_faults(*inject);
@@ -911,6 +929,12 @@ int cmd_serve(const cli::Args& args) {
     std::cerr << "serve: " << status.str() << '\n';
     return status.code() == robust::StatusCode::kInvalidConfig ? 2 : 1;
   }
+  if (!cfg.engine.spill_dir.empty()) {
+    const auto rec = server.recovery_report();
+    std::cout << "serve: cache recovery: " << rec.scanned << " scanned, "
+              << rec.healthy << " healthy, " << rec.quarantined
+              << " quarantined, " << rec.removed_tmp << " tmp removed\n";
+  }
   std::cout << "serve: listening on " << server.endpoint() << " (sha "
             << serve::build_info().git_sha << ")\n"
             << std::flush;
@@ -919,7 +943,12 @@ int cmd_serve(const cli::Args& args) {
 
 // Exit codes: 0 success (truthtable additionally requires all_pass), 1
 // remote failure / logic fail / verify mismatch, 2 usage, 3 retryable
-// rejection (overloaded or draining), 4 connect/transport error.
+// rejection (overloaded or draining, single attempt), 4 connect/transport
+// error, 5 deadline exceeded or retry attempts exhausted. 5 is the "your
+// budget ran out" signal: scripts treat it as try-later-with-more-budget,
+// distinct from both a hard failure (1) and a dead transport (4).
+constexpr int kClientExitDeadline = 5;
+
 int cmd_client(const cli::Args& args) {
   if (args.positional().empty()) {
     std::cerr << "client: missing request type "
@@ -961,37 +990,80 @@ int cmd_client(const cli::Args& args) {
     return 2;
   }
 
-  serve::Client client;
-  robust::Status status;
-  if (const auto socket = args.value("socket")) {
-    status = client.connect_unix(*socket);
-  } else if (args.value("port")) {
-    status = client.connect_tcp(static_cast<int>(args.integer("port", 0)));
-  } else {
+  const std::string socket_path = args.value("socket").value_or("");
+  const int tcp_port = static_cast<int>(args.integer("port", 0));
+  if (socket_path.empty() && !args.value("port")) {
     std::cerr << "client: need --socket <path> or --port <n>\n";
     return 2;
   }
-  if (!status.is_ok()) {
-    std::cerr << "client: " << status.str() << '\n';
-    return 4;
+
+  if (const auto chaos_spec = args.value("chaos")) {
+    // Chaos mode: the request becomes the template for a storm of seeded
+    // hostile exchanges. The only failure is a hung session — everything
+    // else (structured errors, slammed doors) is the contract working.
+    serve::ChaosProfile profile;
+    if (const auto parsed = serve::parse_chaos_spec(*chaos_spec, &profile);
+        !parsed.is_ok()) {
+      std::cerr << "client: --chaos: " << parsed.message() << '\n';
+      return 2;
+    }
+    const serve::ChaosSummary summary =
+        serve::run_chaos(profile, socket_path, tcp_port, request);
+    std::cout << summary.str() << '\n';
+    return summary.clean() ? 0 : 1;
+  }
+
+  serve::RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(args.integer("max-attempts", 1));
+  if (policy.max_attempts < 1) {
+    std::cerr << "client: --max-attempts must be >= 1\n";
+    return 2;
+  }
+  policy.deadline_s = args.number("deadline", 0.0);
+  policy.base_backoff_s = args.number("retry-base", 0.05);
+  policy.max_backoff_s = args.number("retry-max", 2.0);
+  policy.seed = args.unsigned_integer("retry-seed", 1);
+  if (policy.deadline_s < 0.0 || policy.base_backoff_s < 0.0 ||
+      policy.max_backoff_s < 0.0) {
+    std::cerr << "client: --deadline/--retry-base/--retry-max must be >= 0\n";
+    return 2;
   }
 
   serve::Response response;
-  status = client.call(request, &response);
+  serve::RetryStats stats;
+  const robust::Status status = serve::call_with_retries(
+      socket_path, tcp_port, request, policy, &response, &stats);
+  if (stats.retries > 0) {
+    // Retry-budget accounting, on stderr so stdout stays byte-identical
+    // to a single-shot call.
+    std::cerr << "client: " << stats.attempts << " attempts, "
+              << stats.retries << " retries, " << stats.backoff_s
+              << " s backoff (last error: " << stats.last_error.str()
+              << ")\n";
+  }
   if (!status.is_ok()) {
     std::cerr << "client: " << status.str() << '\n';
-    return 4;
+    return status.code() == robust::StatusCode::kDeadlineExceeded
+               ? kClientExitDeadline
+               : 4;
   }
 
   const robust::StatusCode code = response.status.code();
+  if (code == robust::StatusCode::kDeadlineExceeded) {
+    std::cerr << "client: " << response.status.str() << '\n';
+    return kClientExitDeadline;
+  }
   if (code == robust::StatusCode::kOverloaded ||
-      code == robust::StatusCode::kDraining) {
+      code == robust::StatusCode::kDraining ||
+      (robust::is_retryable(code) && !response.status.is_ok())) {
     std::cerr << "client: " << response.status.str();
     if (response.retry_after_s > 0.0) {
       std::cerr << " (retry after " << response.retry_after_s << " s)";
     }
     std::cerr << '\n';
-    return 3;
+    // A retryable rejection on a single attempt says "try again" (3); the
+    // same answer after a spent retry budget says "budget exhausted" (5).
+    return policy.max_attempts > 1 ? kClientExitDeadline : 3;
   }
   if (!response.status.is_ok()) {
     if (!response.text.empty()) std::cout << response.text;

@@ -26,6 +26,13 @@
 #      equal locally recomputed CLI bytes), a per-tenant injected fault, a
 #      warm-cache re-request proven by healthz counters, and a SIGTERM
 #      drain with an in-flight request that must complete (docs/SERVING.md).
+#   8. a chaos smoke: the daemon starts over a crash-littered cache dir
+#      (corrupt spill entry + orphaned tmp file) and must report both
+#      recovered; a seeded `swsim client --chaos` storm must end every
+#      exchange terminally (0 hung); an expired deadline must come back as
+#      a deadline-exceeded rejection (client exit 5) without engine work;
+#      and the daemon must still SIGTERM-drain clean afterwards
+#      (docs/ROBUSTNESS.md).
 #
 # Usage: scripts/check.sh [build-dir]           (default: build)
 # Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
@@ -33,7 +40,7 @@
 #        SWSIM_CHECK_SKIP_ASAN=1 skips stage 3 (toolchains without libasan).
 #        SWSIM_CHECK_SKIP_BENCH=1 skips stage 5.
 #        SWSIM_CHECK_SKIP_OBSOFF=1 skips stage 6.
-#        SWSIM_CHECK_SKIP_SERVE=1 skips stage 7.
+#        SWSIM_CHECK_SKIP_SERVE=1 skips stages 7 and 8.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,7 +68,8 @@ else
               test_mag_kernels
               test_obs_trace test_obs_metrics test_obs_log
               test_obs_determinism
-              test_serve_admission test_serve_server)
+              test_serve_admission test_serve_server
+              test_serve_codec test_serve_chaos)
 
   echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
   cmake -B "${TSAN_DIR}" -S . \
@@ -241,6 +249,86 @@ ${JOBS_AFTER}, hits ${HITS_BEFORE} -> ${HITS_AFTER})" >&2
   grep -q '"client":"inflight".*"type":"yield".*"code":"ok"' \
     "${SERVE_DIR}/requests.jsonl"
   echo "stage 7: serve smoke passed"
+fi
+
+if [[ "${SWSIM_CHECK_SKIP_SERVE:-0}" == "1" ]]; then
+  echo "== stage 8: chaos smoke skipped (SWSIM_CHECK_SKIP_SERVE=1) =="
+else
+  echo "== stage 8: chaos transport + crash-recovery smoke =="
+  CHAOS_DIR="${BUILD_DIR}/chaos-smoke"
+  rm -rf "${CHAOS_DIR}"
+  mkdir -p "${CHAOS_DIR}/cache"
+  SOCK="${CHAOS_DIR}/chaos.sock"
+  SWSIM="${BUILD_DIR}/cli/swsim"
+
+  # Litter the cache dir the way a crash does: a torn spill entry and a
+  # tmp file that never reached its atomic rename. Startup must quarantine
+  # the one and remove the other, and say so.
+  printf 'definitely not a spill file' > "${CHAOS_DIR}/cache/00ff.swc"
+  printf 'partial write' > "${CHAOS_DIR}/cache/dead.swc.tmp.4242"
+  "${SWSIM}" serve --socket "${SOCK}" --jobs 2 \
+    --cache-dir "${CHAOS_DIR}/cache" \
+    --idle-timeout 5 --frame-timeout 1 \
+    > "${CHAOS_DIR}/serve.log" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do
+    "${SWSIM}" client --socket "${SOCK}" hello >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+  grep -q "cache recovery: 1 scanned, 0 healthy, 1 quarantined, 1 tmp" \
+    "${CHAOS_DIR}/serve.log"
+  test -e "${CHAOS_DIR}/cache/quarantine/00ff.swc"
+  test ! -e "${CHAOS_DIR}/cache/dead.swc.tmp.4242"
+
+  # A seeded hostile storm: torn frames, garbage, oversized prefixes,
+  # vanishing clients. Exit 0 == every exchange ended terminally (a hung
+  # session is the only failure), and the printed summary must agree.
+  "${SWSIM}" client --socket "${SOCK}" --client storm \
+    --chaos "seed=7,count=16,slow-byte-s=0.005" truthtable maj \
+    > "${CHAOS_DIR}/storm.txt"
+  grep -q " 0 hung" "${CHAOS_DIR}/storm.txt"
+
+  # A request that cannot finish inside its budget comes back as a
+  # deadline-exceeded rejection: the dedicated client exit code 5 and a
+  # rejected_deadline healthz counter (the queued-shed-without-engine-work
+  # half of this contract is pinned by ServeServer.QueuedDeadline* in
+  # ctest and the engine_jobs_during_shed bench scalar).
+  health() {
+    "${SWSIM}" client --socket "${SOCK}" healthz |
+      grep -o "\"${1}\":[0-9]*" | head -1 | cut -d: -f2
+  }
+  HURRIED_RC=0
+  "${SWSIM}" client --socket "${SOCK}" --client hurried \
+    --deadline 0.05 yield maj --trials 100000 \
+    > "${CHAOS_DIR}/hurried.txt" 2>&1 || HURRIED_RC=$?
+  if [[ "${HURRIED_RC}" -ne 5 ]]; then
+    echo "stage 8: expected exit 5 for a deadline-exceeded request," \
+         "got ${HURRIED_RC}" >&2
+    exit 1
+  fi
+  # The client can give up (exit 5) a beat before the server finishes
+  # accounting the rejection, so give the counter a moment to land.
+  REJECTED=0
+  for _ in $(seq 50); do
+    REJECTED="$(health rejected_deadline)"
+    [[ "${REJECTED:-0}" -ge 1 ]] && break
+    sleep 0.1
+  done
+  if [[ "${REJECTED:-0}" -lt 1 ]]; then
+    echo "stage 8: deadline rejection not visible in healthz" >&2
+    exit 1
+  fi
+
+  # After the storm the daemon still answers honestly and drains clean.
+  "${SWSIM}" client --socket "${SOCK}" --client after truthtable maj \
+    --verify > "${CHAOS_DIR}/after.txt" 2>&1
+  grep -q "verify OK" "${CHAOS_DIR}/after.txt"
+  kill -TERM "${SERVE_PID}"
+  wait "${SERVE_PID}"
+  trap - EXIT
+  test ! -e "${SOCK}" || { echo "stage 8: socket not unlinked" >&2; exit 1; }
+  echo "stage 8: chaos smoke passed"
 fi
 
 echo "== all checks passed =="

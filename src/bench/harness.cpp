@@ -408,6 +408,7 @@ const std::vector<BenchTarget>& bench_registry() {
       {"ablation_cascade", "bench_ablation_cascade.csv", false},
       {"ladder_vs_triangle", "bench_ladder_vs_triangle.csv", false},
       {"solver_perf", "bench_engine_speedup.csv", true},
+      {"serve_resilience", "BENCH_serve_resilience.json", false},
   };
   return targets;
 }

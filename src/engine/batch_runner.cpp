@@ -70,10 +70,13 @@ class WallClock {
       std::chrono::steady_clock::now();
 };
 
-bool job_struck_out(JobState s) {
+bool job_struck_out(const Job& j) {
   // Strikes count jobs whose closure itself misbehaved; cancelled jobs are
-  // collateral damage and do not poison the config.
-  return s == JobState::kFailed || s == JobState::kTimedOut;
+  // collateral damage and do not poison the config. A request-deadline
+  // expiry is the caller's budget running out, not the config's fault, so
+  // it never strikes either.
+  if (j.status.code() == robust::StatusCode::kDeadlineExceeded) return false;
+  return j.state == JobState::kFailed || j.state == JobState::kTimedOut;
 }
 
 }  // namespace
@@ -120,11 +123,17 @@ BatchRunner::BatchRunner(const EngineConfig& config)
   shared_pool_ = std::make_unique<mag::kernels::ScopedSharedPool>(&pool_);
 }
 
-JobOptions BatchRunner::job_options() const {
+JobOptions BatchRunner::job_options(double deadline_seconds) const {
   JobOptions o;
   o.timeout_seconds = config_.job_timeout_seconds;
   o.max_retries = config_.max_retries;
   o.backoff_seconds = config_.retry_backoff_seconds;
+  if (deadline_seconds > 0.0) {
+    o.not_after = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(deadline_seconds));
+  }
   return o;
 }
 
@@ -176,7 +185,8 @@ core::ValidationReport BatchRunner::run_truth_table(
 
 TruthTableOutcome BatchRunner::run_truth_table_checked(
     const GateFactory& factory, std::uint64_t config_key,
-    std::function<void()> prepare, const std::string& label) {
+    std::function<void()> prepare, const std::string& label,
+    double deadline_seconds) {
   const WallClock clock;
   const std::string prefix = label.empty() ? "" : label + " / ";
   // Probe instance: name, arity and the (pure) reference function. Gate
@@ -230,7 +240,7 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
 
   if (!missing.empty()) {
     Scheduler scheduler(pool_);
-    const JobOptions options = job_options();
+    const JobOptions options = job_options(deadline_seconds);
     std::vector<JobId> deps;
     std::optional<JobId> prepare_id;
     if (prepare) {
@@ -266,7 +276,7 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
       if (j.state != JobState::kDone) {
         failed.push_back({j.label, j.status, j.attempts, false,
                           j.failed_at_us, config_key, j.seconds});
-        strikes += job_struck_out(j.state) ? 1 : 0;
+        strikes += job_struck_out(j) ? 1 : 0;
       }
     }
     for (std::size_t k = 0; k < missing.size(); ++k) {
@@ -279,7 +289,7 @@ TruthTableOutcome BatchRunner::run_truth_table_checked(
       rows[i].status = j.status;
       failed.push_back({j.label, j.status, j.attempts, false,
                         j.failed_at_us, config_key, j.seconds});
-      strikes += job_struck_out(j.state) ? 1 : 0;
+      strikes += job_struck_out(j) ? 1 : 0;
     }
 
     {
@@ -334,7 +344,7 @@ core::YieldReport BatchRunner::run_yield(const TriangleFactory& factory,
 
 YieldOutcome BatchRunner::run_yield_checked(
     const TriangleFactory& factory, const core::VariabilityModel& model,
-    std::size_t trials, const std::string& label) {
+    std::size_t trials, const std::string& label, double deadline_seconds) {
   if (trials == 0) {
     throw std::invalid_argument("BatchRunner::run_yield: trials must be >= 1");
   }
@@ -354,7 +364,7 @@ YieldOutcome BatchRunner::run_yield_checked(
   std::vector<ChunkPartial> partials(chunks);
 
   Scheduler scheduler(pool_);
-  const JobOptions options = job_options();
+  const JobOptions options = job_options(deadline_seconds);
   std::vector<JobId> chunk_ids;
   chunk_ids.reserve(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {

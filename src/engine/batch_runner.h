@@ -121,10 +121,15 @@ class BatchRunner {
   // under the EngineConfig resilience policy (timeout, retries); a config
   // key that keeps failing is quarantined and refused outright on later
   // calls. `label` prefixes job names in the failure report ("job 3 / row
-  // 2") so batch front-ends can attribute failures.
+  // 2") so batch front-ends can attribute failures. `deadline_seconds`, when
+  // > 0, is the caller's remaining end-to-end budget: every job gets an
+  // absolute not_after deadline, so rows nobody is waiting for any more are
+  // refused at pickup with a retryable kDeadlineExceeded instead of solved
+  // (deadline expiries never count as quarantine strikes).
   TruthTableOutcome run_truth_table_checked(
       const GateFactory& factory, std::uint64_t config_key,
-      std::function<void()> prepare = {}, const std::string& label = "");
+      std::function<void()> prepare = {}, const std::string& label = "",
+      double deadline_seconds = 0.0);
 
   // Parallel equivalent of core::estimate_yield, deterministic for any job
   // count (per-trial RNG streams; fixed-size chunks). Never cached. Throws
@@ -140,7 +145,8 @@ class BatchRunner {
   YieldOutcome run_yield_checked(const TriangleFactory& factory,
                                  const core::VariabilityModel& model,
                                  std::size_t trials,
-                                 const std::string& label = "");
+                                 const std::string& label = "",
+                                 double deadline_seconds = 0.0);
 
   // True when `config_key` has been quarantined (too many failed jobs).
   bool is_quarantined(std::uint64_t config_key) const;
@@ -151,7 +157,7 @@ class BatchRunner {
   EngineStats stats() const;
 
  private:
-  JobOptions job_options() const;
+  JobOptions job_options(double deadline_seconds = 0.0) const;
   void absorb_scheduler_stats_locked(const class Scheduler& scheduler);
 
   EngineConfig config_;

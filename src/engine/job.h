@@ -61,6 +61,19 @@ struct JobOptions {
   // Delay before retry attempt k (1-based) is backoff_seconds * k. The
   // job waits in kBackoff without occupying a pool worker.
   double backoff_seconds = 0.0;
+  // Absolute end-to-end deadline (steady clock). Unlike timeout_seconds —
+  // which is a *per-attempt* budget measured from the attempt's start —
+  // this caps the job's whole life, including pool-queue wait and backoff
+  // sleeps. A job whose deadline has already passed when a worker picks it
+  // up fails kTimedOut with StatusCode::kDeadlineExceeded *without running*
+  // (this is how a served request's deadline keeps the engine from
+  // computing answers nobody is waiting for). max() disables it.
+  std::chrono::steady_clock::time_point not_after =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return not_after != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 struct Job {

@@ -59,6 +59,27 @@ std::uint64_t payload_checksum(const double* data, std::uint64_t count) {
   }
   return h;
 }
+
+// Full integrity check of one spill file — the same magic/size/checksum
+// tests load_spilled_locked applies, without touching cache state.
+bool spill_file_intact(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  constexpr std::uint64_t kHeaderBytes = 3 * sizeof(std::uint64_t);
+  std::uint64_t magic = 0, count = 0, checksum = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  in.read(reinterpret_cast<char*>(&checksum), sizeof checksum);
+  if (!in || magic != kSpillMagic) return false;
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  if (ec || file_size != kHeaderBytes + count * sizeof(double)) return false;
+  std::vector<double> payload(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) return false;
+  return payload_checksum(payload.data(), count) == checksum;
+}
 }  // namespace
 
 double ResultCache::Stats::hit_rate() const {
@@ -79,6 +100,60 @@ std::string ResultCache::spill_filename(std::uint64_t key) {
   std::snprintf(buf, sizeof buf, "%016llx.swc",
                 static_cast<unsigned long long>(key));
   return buf;
+}
+
+ResultCache::RecoveryReport ResultCache::recover_spill_dir() {
+  RecoveryReport report;
+  if (spill_dir_.empty()) return report;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto dir = std::filesystem::path(spill_dir_);
+  const auto quarantine = dir / "quarantine";
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const auto& path = entry.path();
+    const std::string name = path.filename().string();
+    if (name.find(".tmp.") != std::string::npos) {
+      // A tmp file at startup is a write that never reached its rename: a
+      // torn shutdown. The publish path never reads tmp names, so deleting
+      // is always safe at a quiescent start.
+      std::error_code rm;
+      std::filesystem::remove(path, rm);
+      if (!rm) ++report.removed_tmp;
+      continue;
+    }
+    if (path.extension() != ".swc") continue;
+    ++report.scanned;
+    if (spill_file_intact(path)) {
+      ++report.healthy;
+      continue;
+    }
+    ++report.quarantined;
+    ++stats_.spill_corrupt;
+    cache_metrics().spill_corrupt.add();
+    std::error_code mv;
+    std::filesystem::create_directories(quarantine, mv);
+    std::filesystem::rename(path, quarantine / name, mv);
+    if (mv) std::filesystem::remove(path, mv);  // cross-device etc: drop it
+    auto& elog = obs::EventLog::global();
+    if (elog.enabled(obs::LogLevel::kWarn)) {
+      elog.event(obs::LogLevel::kWarn, "cache_recovery_quarantined")
+          .str("path", path.string())
+          .emit();
+    }
+  }
+  {
+    auto& elog = obs::EventLog::global();
+    if (elog.enabled(obs::LogLevel::kInfo)) {
+      elog.event(obs::LogLevel::kInfo, "cache_recovery")
+          .uint("scanned", report.scanned)
+          .uint("healthy", report.healthy)
+          .uint("quarantined", report.quarantined)
+          .uint("removed_tmp", report.removed_tmp)
+          .emit();
+    }
+  }
+  return report;
 }
 
 std::optional<std::vector<double>> ResultCache::lookup(std::uint64_t key) {

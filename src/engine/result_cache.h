@@ -45,9 +45,26 @@ class ResultCache {
     double hit_rate() const;      // hits / (hits + misses), 0 when idle
   };
 
+  // What a recover_spill_dir() pass found in the spill directory.
+  struct RecoveryReport {
+    std::size_t scanned = 0;      // *.swc entries examined
+    std::size_t healthy = 0;      // entries that passed every check
+    std::size_t quarantined = 0;  // corrupt entries moved to quarantine/
+    std::size_t removed_tmp = 0;  // stale .tmp.* files deleted
+  };
+
   // capacity: max in-memory entries (>= 1). spill_dir: optional directory
   // for evicted entries; created if missing; empty disables spill.
   explicit ResultCache(std::size_t capacity, std::string spill_dir = "");
+
+  // Crash-safe startup scan over the spill directory: validates every
+  // *.swc entry (magic, size, checksum) and moves the corrupt ones into a
+  // `quarantine/` subdirectory for post-mortem instead of serving them;
+  // deletes stale `*.tmp.*` files left behind by a torn shutdown (writers
+  // publish via atomic rename, so at a quiescent start any surviving tmp
+  // file is garbage — do not run this concurrently with other processes
+  // actively spilling into the same directory). No-op without a spill dir.
+  RecoveryReport recover_spill_dir();
 
   std::optional<std::vector<double>> lookup(std::uint64_t key);
   void insert(std::uint64_t key, std::vector<double> value);

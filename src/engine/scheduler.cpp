@@ -173,6 +173,32 @@ void Scheduler::execute(JobId id) {
       for (const JobId d : j.dependents) cancel_locked(d);
       return;
     }
+    if (j.options.has_deadline() &&
+        std::chrono::steady_clock::now() >= j.options.not_after) {
+      // The request-level deadline expired while the job waited in the pool
+      // queue: nobody is waiting for this answer, so refuse to compute it.
+      j.state = JobState::kTimedOut;
+      j.failed_at_us = obs::wall_now_us();
+      j.status = robust::Status::error(
+          robust::StatusCode::kDeadlineExceeded,
+          "request deadline expired before the job started",
+          "job '" + j.label + "'");
+      j.error = j.status.message();
+      sched_metrics().timed_out.add();
+      auto& elog = obs::EventLog::global();
+      if (elog.enabled(obs::LogLevel::kWarn)) {
+        elog.event(obs::LogLevel::kWarn, "job_deadline_shed", j.failed_at_us)
+            .str("job", j.label)
+            .emit();
+      }
+      if (first_error_.empty()) {
+        first_error_ = "job '" + j.label + "' failed: " + j.error;
+        first_status_ = j.status;
+      }
+      settle_locked();
+      for (const JobId d : j.dependents) cancel_locked(d);
+      return;
+    }
     j.state = JobState::kRunning;
     j.token = robust::CancelToken();  // fresh token per attempt
     j.started_at = std::chrono::steady_clock::now();
@@ -180,7 +206,7 @@ void Scheduler::execute(JobId id) {
     token = j.token;
     label = j.label;
     fn = j.fn;  // copy out: run without holding the lock
-    if (j.options.timeout_seconds > 0.0) {
+    if (j.options.timeout_seconds > 0.0 || j.options.has_deadline()) {
       // Wake the run() waiter so it starts watching this deadline.
       done_cv_.notify_all();
     }
@@ -226,7 +252,9 @@ void Scheduler::execute(JobId id) {
     return;
   }
   if (robust::is_retryable(outcome.code()) &&
-      j.attempts <= j.options.max_retries) {
+      j.attempts <= j.options.max_retries &&
+      !(j.options.has_deadline() &&
+        std::chrono::steady_clock::now() >= j.options.not_after)) {
     // Budget left: re-queue this job after a linear backoff. outstanding_
     // is untouched — the job is still in flight. The backoff is served by
     // the run_all() timer loop, not by parking a pool worker: the job sits
@@ -284,20 +312,26 @@ void Scheduler::execute(JobId id) {
 std::optional<std::chrono::steady_clock::time_point>
 Scheduler::next_timer_locked() const {
   std::optional<std::chrono::steady_clock::time_point> next;
+  const auto consider = [&next](std::chrono::steady_clock::time_point t) {
+    if (!next || t < *next) next = t;
+  };
   for (const Job& j : jobs_) {
     if (j.state == JobState::kBackoff) {
-      if (!next || j.retry_at < *next) next = j.retry_at;
+      // A backoff whose request deadline lands first should fail then, not
+      // wait out the full backoff just to be shed at the next attempt.
+      consider(j.options.has_deadline() && j.options.not_after < j.retry_at
+                   ? j.options.not_after
+                   : j.retry_at);
       continue;
     }
-    if (j.state != JobState::kRunning || j.options.timeout_seconds <= 0.0) {
-      continue;
+    if (j.state != JobState::kRunning) continue;
+    if (j.options.timeout_seconds > 0.0) {
+      consider(j.started_at + std::chrono::duration_cast<
+                                  std::chrono::steady_clock::duration>(
+                                  std::chrono::duration<double>(
+                                      j.options.timeout_seconds)));
     }
-    const auto deadline =
-        j.started_at + std::chrono::duration_cast<
-                           std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(
-                               j.options.timeout_seconds));
-    if (!next || deadline < *next) next = deadline;
+    if (j.options.has_deadline()) consider(j.options.not_after);
   }
   return next;
 }
@@ -306,26 +340,54 @@ void Scheduler::service_timers_locked() {
   const auto now = std::chrono::steady_clock::now();
   for (Job& j : jobs_) {
     if (j.state == JobState::kBackoff) {
-      if (now >= j.retry_at) {
+      if (j.options.has_deadline() && now >= j.options.not_after) {
+        // The request deadline expired during the backoff sleep: the retry
+        // would only be shed at pickup, so fail the job here. It is off the
+        // pool (not queued), so it settles like a cancelled backoff job.
+        j.state = JobState::kTimedOut;
+        j.failed_at_us = obs::wall_now_us();
+        j.status = robust::Status::error(
+            robust::StatusCode::kDeadlineExceeded,
+            "request deadline expired during retry backoff",
+            "job '" + j.label + "'");
+        j.error = j.status.message();
+        sched_metrics().timed_out.add();
+        if (first_error_.empty()) {
+          first_error_ = "job '" + j.label + "' failed: " + j.error;
+          first_status_ = j.status;
+        }
+        for (const JobId d : j.dependents) cancel_locked(d);
+        settle_locked();
+      } else if (now >= j.retry_at) {
         j.state = JobState::kReady;
         const JobId id = j.id;
         pool_.submit([this, id] { execute(id); });
       }
       continue;
     }
-    if (j.state != JobState::kRunning || j.options.timeout_seconds <= 0.0) {
-      continue;
-    }
+    if (j.state != JobState::kRunning) continue;
     const double elapsed =
         std::chrono::duration<double>(now - j.started_at).count();
-    if (elapsed < j.options.timeout_seconds) continue;
+    const bool attempt_over = j.options.timeout_seconds > 0.0 &&
+                              elapsed >= j.options.timeout_seconds;
+    const bool deadline_over =
+        j.options.has_deadline() && now >= j.options.not_after;
+    if (!attempt_over && !deadline_over) continue;
     j.state = JobState::kTimedOut;
     j.failed_at_us = obs::wall_now_us();
-    j.status = robust::Status::error(
-        robust::StatusCode::kTimeout,
-        "exceeded " + format_seconds(j.options.timeout_seconds) +
-            " s deadline",
-        "job '" + j.label + "'");
+    // The request deadline takes classification precedence: the caller
+    // stopped waiting, which is retryable with a fresh budget (and never a
+    // quarantine strike), unlike a per-attempt kTimeout.
+    j.status =
+        deadline_over
+            ? robust::Status::error(robust::StatusCode::kDeadlineExceeded,
+                                    "exceeded request deadline while running",
+                                    "job '" + j.label + "'")
+            : robust::Status::error(
+                  robust::StatusCode::kTimeout,
+                  "exceeded " + format_seconds(j.options.timeout_seconds) +
+                      " s deadline",
+                  "job '" + j.label + "'");
     j.error = j.status.message();
     sched_metrics().timed_out.add();
     {
@@ -333,6 +395,7 @@ void Scheduler::service_timers_locked() {
       if (elog.enabled(obs::LogLevel::kWarn)) {
         elog.event(obs::LogLevel::kWarn, "job_timeout", j.failed_at_us)
             .str("job", j.label)
+            .str("code", robust::to_string(j.status.code()))
             .num("limit_s", j.options.timeout_seconds)
             .num("elapsed_s", elapsed)
             .emit();
@@ -363,6 +426,7 @@ robust::Status Scheduler::run_all() {
     for (const Job& j : jobs_) {
       if (!is_terminal(j.state)) ++outstanding_;
       any_timer = any_timer || j.options.timeout_seconds > 0.0 ||
+                  j.options.has_deadline() ||
                   (j.options.max_retries > 0 &&
                    j.options.backoff_seconds > 0.0);
     }

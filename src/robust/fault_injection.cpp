@@ -60,11 +60,19 @@ void FaultPlan::inject_divergence_at_trial(std::size_t trial, int times) {
   bump_armed(+1);
 }
 
+void FaultPlan::inject_transport(const std::string& action, int times) {
+  if (times <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  transport_faults_.push_back(TransportFault{action, times});
+  bump_armed(+1);
+}
+
 void FaultPlan::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   nan_faults_.clear();
   job_faults_.clear();
   trial_faults_.clear();
+  transport_faults_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
 }
 
@@ -143,6 +151,18 @@ void FaultPlan::on_trial_enter(std::size_t trial) {
                                    "injected divergence at trial " +
                                        std::to_string(trial)));
   }
+}
+
+std::string FaultPlan::consume_transport() {
+  if (!armed()) return "";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& f : transport_faults_) {
+    if (f.budget <= 0) continue;
+    --f.budget;
+    if (f.budget == 0) bump_armed(-1);
+    return f.action;
+  }
+  return "";
 }
 
 void FaultPlan::flip_bytes(const std::string& path, std::uint64_t seed,

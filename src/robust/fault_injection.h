@@ -54,6 +54,12 @@ class FaultPlan {
   void inject_stall_in_job(const std::string& label_substr, double seconds,
                            int times = 1);
   void inject_divergence_at_trial(std::size_t trial, int times = 1);
+  // Arms a named transport fault for the serve-layer chaos harness
+  // (serve/chaos.h): the next `times` consume_transport() calls return
+  // `action` instead of letting the chaos RNG draw one. Action names are
+  // the ChaosAction spellings ("torn", "disconnect", "slowloris", ...);
+  // the plan does not interpret them.
+  void inject_transport(const std::string& action, int times = 1);
   void clear();
   bool armed() const;
 
@@ -68,6 +74,10 @@ class FaultPlan {
   // each trial. Throws a kNumericalDivergence SolveError when an armed
   // trial fault matches (consumes one budget unit).
   void on_trial_enter(std::size_t trial);
+  // Chaos-transport hook: the next armed transport action, or "" when none
+  // is armed (consumes one budget unit). FIFO across arming calls, so a
+  // test can script an exact fault sequence.
+  std::string consume_transport();
 
   // Seeded byte corruption: flips `flips` bytes of the file at positions
   // drawn from an xorshift stream of `seed`. Deterministic: same file
@@ -92,6 +102,10 @@ class FaultPlan {
     std::size_t trial = 0;
     int budget = 0;
   };
+  struct TransportFault {
+    std::string action;
+    int budget = 0;
+  };
 
   void bump_armed(int delta);
 
@@ -99,6 +113,7 @@ class FaultPlan {
   std::vector<NanFault> nan_faults_;
   std::vector<JobFault> job_faults_;
   std::vector<TrialFault> trial_faults_;
+  std::vector<TransportFault> transport_faults_;
   std::atomic<int> armed_count_{0};
 };
 

@@ -26,6 +26,8 @@ std::string to_string(StatusCode code) {
       return "overloaded";
     case StatusCode::kDraining:
       return "draining";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -37,6 +39,7 @@ bool is_retryable(StatusCode code) {
     case StatusCode::kInternal:
     case StatusCode::kOverloaded:
     case StatusCode::kDraining:
+    case StatusCode::kDeadlineExceeded:
       return true;
     default:
       return false;

@@ -30,6 +30,7 @@ enum class StatusCode {
   kInternal,              // unclassified exception (a bug or injected fault)
   kOverloaded,            // serve: admission queue full — retry later
   kDraining,              // serve: shutting down gracefully — retry elsewhere
+  kDeadlineExceeded,      // serve: request deadline expired — retry with budget
 };
 
 std::string to_string(StatusCode code);
@@ -40,6 +41,9 @@ std::string to_string(StatusCode code);
 // concurrent retry would race it on shared result slots. kOverloaded and
 // kDraining are retryable from the CLIENT side of the serve protocol (the
 // server said "come back later"); no engine job ever produces them.
+// kDeadlineExceeded is retryable for the same reason: the *request's* budget
+// ran out, not the configuration — a fresh attempt with a fresh deadline is
+// expected to succeed, so it must never count as a quarantine strike.
 bool is_retryable(StatusCode code);
 
 class Status {

@@ -10,6 +10,7 @@ Admit AdmissionQueue::push(std::unique_ptr<PendingRequest> req) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return Admit::kClosed;
     if (depth_ >= capacity_) return Admit::kOverloaded;
+    req->enqueued_at = std::chrono::steady_clock::now();
     Band& band = bands_[req->request.priority];
     auto& fifo = band.per_client[req->request.client];
     if (fifo.empty()) band.order.push_back(req->request.client);
@@ -69,6 +70,36 @@ void AdmissionQueue::close() {
 std::size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return depth_;
+}
+
+std::size_t AdmissionQueue::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void AdmissionQueue::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+}
+
+double AdmissionQueue::oldest_wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The oldest request overall is the oldest among the FIFO fronts: each
+  // per-client FIFO is push-ordered, so its front is its oldest.
+  std::chrono::steady_clock::time_point oldest =
+      std::chrono::steady_clock::time_point::max();
+  bool any = false;
+  for (const auto& [priority, band] : bands_) {
+    for (const auto& [client, fifo] : band.per_client) {
+      if (fifo.empty()) continue;
+      if (fifo.front()->enqueued_at < oldest) oldest = fifo.front()->enqueued_at;
+      any = true;
+    }
+  }
+  if (!any) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       oldest)
+      .count();
 }
 
 }  // namespace swsim::serve

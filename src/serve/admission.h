@@ -18,6 +18,7 @@
 //     requests complete, new ones are rejected").
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,16 @@ struct PendingRequest {
   Request request;
   std::promise<Response> promise;
   std::uint64_t enqueued_us = 0;  // wall clock, for request-log latency
+  // Steady-clock stamps the serve layer works in: when the request entered
+  // the queue (healthz oldest-wait age) and when its budget expires
+  // (max() = no deadline; the dispatcher sheds expired requests at pop).
+  std::chrono::steady_clock::time_point enqueued_at{};
+  std::chrono::steady_clock::time_point deadline_at =
+      std::chrono::steady_clock::time_point::max();
+
+  bool has_deadline() const {
+    return deadline_at != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 enum class Admit { kAdmitted, kOverloaded, kClosed };
@@ -60,7 +71,15 @@ class AdmissionQueue {
   void close();
 
   std::size_t depth() const;
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const;
+  // Hot-reload hook (SIGHUP tunables): applies to future pushes only —
+  // shrinking below the current depth rejects new work until the backlog
+  // drains, it never evicts admitted requests.
+  void set_capacity(std::size_t capacity);
+  // Queue age of the oldest waiting request in seconds; 0 when empty. The
+  // saturation signal healthz exposes: depth says how much is queued,
+  // this says how *stale* the head of the line is.
+  double oldest_wait_seconds() const;
 
  private:
   // One priority band: per-client FIFOs plus a rotation order. A client
@@ -76,7 +95,7 @@ class AdmissionQueue {
 
   std::unique_ptr<PendingRequest> pop_locked();
 
-  const std::size_t capacity_;
+  std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<int, Band, std::greater<int>> bands_;  // highest priority first

@@ -1,0 +1,348 @@
+#include "serve/chaos.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "robust/fault_injection.h"
+#include "serve/client.h"
+#include "serve/codec.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace swsim::serve {
+
+namespace {
+
+// Best-effort raw send for intentionally broken frames. A false return is
+// not an error for the harness: the server may legitimately slam the door
+// mid-write (read timeout, oversize rejection) and EPIPE is then the
+// *expected* terminal outcome.
+bool raw_send(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t rc = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+void frame_header(std::uint32_t n, char out[4]) {
+  out[0] = static_cast<char>((n >> 24) & 0xff);
+  out[1] = static_cast<char>((n >> 16) & 0xff);
+  out[2] = static_cast<char>((n >> 8) & 0xff);
+  out[3] = static_cast<char>(n & 0xff);
+}
+
+ChaosAction action_from_name(const std::string& name, bool* known) {
+  *known = true;
+  if (name == "clean") return ChaosAction::kClean;
+  if (name == "delay") return ChaosAction::kDelay;
+  if (name == "torn") return ChaosAction::kTorn;
+  if (name == "garbage") return ChaosAction::kGarbage;
+  if (name == "oversize") return ChaosAction::kOversize;
+  if (name == "slowloris") return ChaosAction::kSlowLoris;
+  if (name == "disconnect") return ChaosAction::kDisconnect;
+  *known = false;
+  return ChaosAction::kClean;
+}
+
+robust::Status invalid_spec(const std::string& message) {
+  return robust::Status::error(robust::StatusCode::kInvalidConfig, message,
+                               "chaos spec");
+}
+
+}  // namespace
+
+const char* to_string(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kClean:
+      return "clean";
+    case ChaosAction::kDelay:
+      return "delay";
+    case ChaosAction::kTorn:
+      return "torn";
+    case ChaosAction::kGarbage:
+      return "garbage";
+    case ChaosAction::kOversize:
+      return "oversize";
+    case ChaosAction::kSlowLoris:
+      return "slowloris";
+    case ChaosAction::kDisconnect:
+      return "disconnect";
+  }
+  return "unknown";
+}
+
+robust::Status parse_chaos_spec(const std::string& spec, ChaosProfile* out) {
+  *out = ChaosProfile{};
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      return invalid_spec("expected key=value, got '" + item + "'");
+    }
+    std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    for (char& c : key) {
+      if (c == '-') c = '_';
+    }
+    char* end = nullptr;
+    const double num = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return invalid_spec("'" + key + "' needs a numeric value, got '" +
+                          value + "'");
+    }
+    const auto as_weight = [&](int* dst) -> robust::Status {
+      if (num < 0.0) return invalid_spec("'" + key + "' must be >= 0");
+      *dst = static_cast<int>(num);
+      return robust::Status::ok();
+    };
+    robust::Status s = robust::Status::ok();
+    if (key == "seed") {
+      out->seed = static_cast<std::uint64_t>(num);
+    } else if (key == "count" || key == "exchanges") {
+      if (num < 1.0) return invalid_spec("'count' must be >= 1");
+      out->exchanges = static_cast<int>(num);
+    } else if (key == "clean") {
+      s = as_weight(&out->clean);
+    } else if (key == "delay") {
+      s = as_weight(&out->delay);
+    } else if (key == "torn") {
+      s = as_weight(&out->torn);
+    } else if (key == "garbage") {
+      s = as_weight(&out->garbage);
+    } else if (key == "oversize") {
+      s = as_weight(&out->oversize);
+    } else if (key == "slowloris") {
+      s = as_weight(&out->slowloris);
+    } else if (key == "disconnect") {
+      s = as_weight(&out->disconnect);
+    } else if (key == "delay_s") {
+      out->delay_s = num;
+    } else if (key == "slow_byte_s") {
+      out->slow_byte_s = num;
+    } else if (key == "deadline_s") {
+      if (num <= 0.0) return invalid_spec("'deadline_s' must be > 0");
+      out->exchange_deadline_s = num;
+    } else {
+      return invalid_spec("unknown key '" + key + "'");
+    }
+    if (!s.is_ok()) return s;
+  }
+  if (out->clean + out->delay + out->torn + out->garbage + out->oversize +
+          out->slowloris + out->disconnect <=
+      0) {
+    return invalid_spec("all action weights are zero");
+  }
+  return robust::Status::ok();
+}
+
+std::string ChaosSummary::str() const {
+  std::ostringstream os;
+  os << "chaos: " << exchanges << " exchanges, " << answered_ok << " ok, "
+     << answered_error << " error (" << retryable << " retryable), "
+     << transport_closed << " closed, " << hung << " hung";
+  return os.str();
+}
+
+FaultyTransport::FaultyTransport(std::string socket_path, int tcp_port,
+                                 const ChaosProfile& profile)
+    : socket_path_(std::move(socket_path)),
+      tcp_port_(tcp_port),
+      profile_(profile),
+      rng_state_(profile.seed ? profile.seed : 0x9e3779b97f4a7c15ULL) {}
+
+ChaosAction FaultyTransport::next_action() {
+  // A scripted FaultPlan action wins over the seeded draw, so tests can
+  // force an exact sequence; unknown names fall back to clean.
+  const std::string scripted = robust::FaultPlan::global().consume_transport();
+  if (!scripted.empty()) {
+    bool known = false;
+    const ChaosAction a = action_from_name(scripted, &known);
+    if (known) return a;
+  }
+  // xorshift64, same generator family as FaultPlan::flip_bytes: chaos
+  // schedules must not shift when the simulation RNG evolves.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  const int total = profile_.clean + profile_.delay + profile_.torn +
+                    profile_.garbage + profile_.oversize +
+                    profile_.slowloris + profile_.disconnect;
+  int pick = total > 0 ? static_cast<int>(rng_state_ %
+                                          static_cast<std::uint64_t>(total))
+                       : 0;
+  struct WeightedAction {
+    int weight;
+    ChaosAction action;
+  };
+  const WeightedAction table[] = {
+      {profile_.clean, ChaosAction::kClean},
+      {profile_.delay, ChaosAction::kDelay},
+      {profile_.torn, ChaosAction::kTorn},
+      {profile_.garbage, ChaosAction::kGarbage},
+      {profile_.oversize, ChaosAction::kOversize},
+      {profile_.slowloris, ChaosAction::kSlowLoris},
+      {profile_.disconnect, ChaosAction::kDisconnect},
+  };
+  for (const auto& entry : table) {
+    if (pick < entry.weight) return entry.action;
+    pick -= entry.weight;
+  }
+  return ChaosAction::kClean;
+}
+
+ChaosOutcome FaultyTransport::exchange(const Request& request) {
+  ChaosOutcome out;
+  out.action = next_action();
+
+  Client client;
+  const robust::Status connected =
+      socket_path_.empty() ? client.connect_tcp(tcp_port_)
+                           : client.connect_unix(socket_path_);
+  if (!connected.is_ok()) {
+    out.transport = connected;
+    return out;
+  }
+  const int fd = client.fd();
+  const std::string payload = serialize_request(request);
+  char header[4];
+  frame_header(static_cast<std::uint32_t>(payload.size()), header);
+
+  bool expect_response = false;
+  switch (out.action) {
+    case ChaosAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(profile_.delay_s));
+      [[fallthrough]];
+    case ChaosAction::kClean:
+      expect_response = raw_send(fd, header, sizeof header) &&
+                        raw_send(fd, payload.data(), payload.size());
+      out.sent_full_request = expect_response;
+      break;
+    case ChaosAction::kTorn: {
+      // Header plus half the payload, then hang up mid-frame: the server
+      // must treat it as a torn frame, not a request.
+      raw_send(fd, header, sizeof header);
+      raw_send(fd, payload.data(), payload.size() / 2);
+      break;
+    }
+    case ChaosAction::kGarbage: {
+      // Correctly framed, unparseable payload: the server owes us a
+      // structured invalid-config answer, not a dropped session.
+      const std::string garbage(payload.size(), '\x01');
+      frame_header(static_cast<std::uint32_t>(garbage.size()), header);
+      expect_response = raw_send(fd, header, sizeof header) &&
+                        raw_send(fd, garbage.data(), garbage.size());
+      out.sent_full_request = expect_response;
+      break;
+    }
+    case ChaosAction::kOversize: {
+      frame_header(static_cast<std::uint32_t>(kMaxFrameBytes) + 1, header);
+      raw_send(fd, header, sizeof header);
+      // The server rejects the length prefix and closes; reading the
+      // close (below) is how the harness observes no session leaked.
+      break;
+    }
+    case ChaosAction::kSlowLoris: {
+      // Trickle the frame a byte at a time. The server's frame deadline is
+      // allowed to cut us off (EPIPE/ECONNRESET) — also terminal.
+      bool alive = raw_send(fd, header, sizeof header);
+      for (std::size_t i = 0; alive && i < payload.size(); ++i) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(profile_.slow_byte_s));
+        alive = raw_send(fd, payload.data() + i, 1);
+      }
+      expect_response = alive;
+      out.sent_full_request = alive;
+      break;
+    }
+    case ChaosAction::kDisconnect:
+      // Full request, then vanish before the answer. The dispatcher's
+      // write fails EPIPE; nothing may leak or hang because of it.
+      raw_send(fd, header, sizeof header);
+      raw_send(fd, payload.data(), payload.size());
+      client.close();
+      return out;
+  }
+
+  // Read whatever the server does with us, under the harness budget so a
+  // chaos run can never hang: a response, a close, or (failure) nothing.
+  std::string reply;
+  std::string error;
+  const IoDeadlines deadlines{profile_.exchange_deadline_s,
+                              profile_.exchange_deadline_s};
+  switch (read_frame(fd, &reply, &error, deadlines)) {
+    case ReadResult::kFrame:
+      if (parse_response_text(reply, &out.response).is_ok()) {
+        out.got_response = true;
+      } else {
+        out.transport = robust::Status::error(robust::StatusCode::kIoError,
+                                              "unparseable response frame",
+                                              "chaos recv");
+      }
+      break;
+    case ReadResult::kEof:
+      out.transport = robust::Status::error(robust::StatusCode::kIoError,
+                                            "server closed the connection",
+                                            "chaos recv");
+      break;
+    case ReadResult::kError:
+      out.transport = robust::Status::error(robust::StatusCode::kIoError,
+                                            error, "chaos recv");
+      break;
+    case ReadResult::kTimeout:
+      out.transport = robust::Status::error(robust::StatusCode::kTimeout,
+                                            "no response within the budget",
+                                            "chaos recv");
+      out.hung = expect_response;
+      break;
+  }
+  return out;
+}
+
+ChaosSummary run_chaos(const ChaosProfile& profile,
+                       const std::string& socket_path, int tcp_port,
+                       const Request& base) {
+  FaultyTransport transport(socket_path, tcp_port, profile);
+  ChaosSummary summary;
+  for (int i = 0; i < profile.exchanges; ++i) {
+    Request request = base;
+    request.id = base.id + static_cast<std::uint64_t>(i);
+    const ChaosOutcome out = transport.exchange(request);
+    ++summary.exchanges;
+    if (out.hung) {
+      ++summary.hung;
+    } else if (out.got_response) {
+      if (out.response.status.is_ok()) {
+        ++summary.answered_ok;
+      } else {
+        ++summary.answered_error;
+        if (robust::is_retryable(out.response.status.code())) {
+          ++summary.retryable;
+        }
+      }
+    } else {
+      ++summary.transport_closed;
+    }
+  }
+  return summary;
+}
+
+}  // namespace swsim::serve

@@ -1,0 +1,110 @@
+// Deterministic chaos harness for the serve transport.
+//
+// FaultyTransport is a hostile client: each exchange connects to a real
+// daemon and misbehaves in one seeded, reproducible way — tearing a frame
+// mid-payload, hanging up after the request, trickling bytes slow-loris
+// style, sending garbage or an oversized length prefix — or behaves
+// cleanly, so a chaos run interleaves hostile and honest traffic exactly
+// the way a sick fleet does. The action sequence is drawn from an
+// xorshift stream of the profile seed, and robust::FaultPlan can override
+// it (inject_transport) so a test can script an exact fault order.
+//
+// The invariant a chaos run checks is *terminality*: every exchange must
+// end in one of (a) a parsed response, (b) a closed/refused transport, or
+// (c) nothing-owed (the client itself tore the request). What must never
+// happen is (d): a full request sent, no response, no close — a hung
+// session. ChaosSummary counts each bucket; hung == 0 is the pass
+// condition, and the daemon must afterwards still drain clean.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "robust/status.h"
+#include "serve/protocol.h"
+
+namespace swsim::serve {
+
+enum class ChaosAction {
+  kClean,       // honest request/response exchange
+  kDelay,       // honest, after a fixed pre-send delay
+  kTorn,        // header + half the payload, then close (mid-frame tear)
+  kGarbage,     // well-framed payload that is not JSON
+  kOversize,    // length prefix past kMaxFrameBytes
+  kSlowLoris,   // the request trickles out one byte per slow_byte_s
+  kDisconnect,  // full request sent, then immediate close (no read)
+};
+
+const char* to_string(ChaosAction action);
+
+struct ChaosProfile {
+  std::uint64_t seed = 1;
+  int exchanges = 16;
+  // Relative weights of the action draw (0 disables an action).
+  int clean = 2;
+  int delay = 1;
+  int torn = 1;
+  int garbage = 1;
+  int oversize = 1;
+  int slowloris = 1;
+  int disconnect = 1;
+  double delay_s = 0.02;       // kDelay pre-send sleep
+  double slow_byte_s = 0.002;  // kSlowLoris inter-byte gap
+  // Client-side budget for any read a chaos exchange performs; an
+  // exchange can therefore never hang the harness, only report `hung`.
+  double exchange_deadline_s = 30.0;
+};
+
+// "seed=7,count=24,clean=2,torn=1,delay-s=0.01,..." — keys are the field
+// names above (count = exchanges; '-' or '_' both accepted). Unknown keys
+// and malformed values are kInvalidConfig.
+robust::Status parse_chaos_spec(const std::string& spec, ChaosProfile* out);
+
+struct ChaosOutcome {
+  ChaosAction action = ChaosAction::kClean;
+  bool sent_full_request = false;  // true = the server owes a response
+  bool got_response = false;
+  Response response;         // valid when got_response
+  robust::Status transport;  // non-ok when the pipe died / was refused
+  bool hung = false;         // response owed, none arrived in the budget
+};
+
+struct ChaosSummary {
+  int exchanges = 0;
+  int answered_ok = 0;       // response with status ok
+  int answered_error = 0;    // response with a structured non-ok status
+  int retryable = 0;         // subset of answered_error that is retryable
+  int transport_closed = 0;  // no response; connection closed or refused
+  int hung = 0;              // the failure bucket — must be 0
+  bool clean() const { return hung == 0; }
+  std::string str() const;  // one-line human summary
+};
+
+// One chaotic client. Not thread-safe; run one per thread for storms.
+class FaultyTransport {
+ public:
+  // Exactly one of socket_path (non-empty) / tcp_port (> 0), matching the
+  // daemon's endpoint.
+  FaultyTransport(std::string socket_path, int tcp_port,
+                  const ChaosProfile& profile);
+
+  // Draws the next action (FaultPlan override first, then the seeded
+  // stream), performs one connect + exchange, and classifies the result.
+  ChaosOutcome exchange(const Request& request);
+
+ private:
+  ChaosAction next_action();
+
+  std::string socket_path_;
+  int tcp_port_ = 0;
+  ChaosProfile profile_;
+  std::uint64_t rng_state_ = 0;
+};
+
+// Runs profile.exchanges exchanges of `base` (ids rebased per exchange)
+// against the endpoint and folds the outcomes.
+ChaosSummary run_chaos(const ChaosProfile& profile,
+                       const std::string& socket_path, int tcp_port,
+                       const Request& base);
+
+}  // namespace swsim::serve

@@ -7,7 +7,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "serve/codec.h"
 
@@ -86,25 +88,149 @@ robust::Status Client::connect_tcp(int port) {
 }
 
 robust::Status Client::call(const Request& request, Response* response) {
+  return call(request, response, 0.0);
+}
+
+robust::Status Client::call(const Request& request, Response* response,
+                            double deadline_s) {
   if (fd_ == -1) return io_error("not connected", "client");
   std::string error;
-  if (!write_frame(fd_, serialize_request(request), &error)) {
+  const IoDeadlines deadlines{deadline_s, deadline_s};
+  if (!write_frame(fd_, serialize_request(request), &error, deadlines)) {
     return io_error(error, "client send");
   }
   std::string payload;
-  switch (read_frame(fd_, &payload, &error)) {
+  switch (read_frame(fd_, &payload, &error, deadlines)) {
     case ReadResult::kFrame:
       break;
     case ReadResult::kEof:
       return io_error("server closed the connection", "client recv");
     case ReadResult::kError:
       return io_error(error, "client recv");
+    case ReadResult::kTimeout:
+      return robust::Status::error(robust::StatusCode::kDeadlineExceeded,
+                                   "no response within the deadline",
+                                   "client recv");
   }
   if (const auto parsed = parse_response_text(payload, response);
       !parsed.is_ok()) {
     return io_error(parsed.message(), "client recv");
   }
   return robust::Status::ok();
+}
+
+namespace {
+
+struct Jitter {
+  std::uint64_t state;
+  explicit Jitter(std::uint64_t seed)
+      : state(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+  double uniform01() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  }
+};
+
+}  // namespace
+
+robust::Status call_with_retries(const std::string& socket_path, int tcp_port,
+                                 const Request& request,
+                                 const RetryPolicy& policy,
+                                 Response* response, RetryStats* stats) {
+  using Clock = std::chrono::steady_clock;
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  const auto started = Clock::now();
+  const auto remaining = [&]() -> double {
+    if (policy.deadline_s <= 0.0) return 0.0;  // 0 = unbounded
+    return policy.deadline_s -
+           std::chrono::duration<double>(Clock::now() - started).count();
+  };
+  const auto deadline_status = [](const char* where) {
+    return robust::Status::error(robust::StatusCode::kDeadlineExceeded,
+                                 "call deadline exhausted", where);
+  };
+  Jitter jitter(policy.seed);
+  RetryStats local;
+  RetryStats& acct = stats ? *stats : local;
+  acct = RetryStats{};
+  double previous_sleep = policy.base_backoff_s;
+
+  for (int attempt = 1;; ++attempt) {
+    double budget = 0.0;
+    if (policy.deadline_s > 0.0) {
+      budget = remaining();
+      if (budget <= 0.0) {
+        response->status = deadline_status("client retry loop");
+        return response->status;
+      }
+    }
+    ++acct.attempts;
+    Request attempt_request = request;
+    if (budget > 0.0 &&
+        (attempt_request.deadline_s <= 0.0 ||
+         attempt_request.deadline_s > budget)) {
+      // Ship the remaining budget so the server sheds work this client
+      // has already stopped waiting for.
+      attempt_request.deadline_s = budget;
+    }
+
+    Client client;
+    robust::Status status = socket_path.empty()
+                                ? client.connect_tcp(tcp_port)
+                                : client.connect_unix(socket_path);
+    if (status.is_ok()) {
+      status = client.call(attempt_request, response, budget);
+    }
+    bool retryable = false;
+    if (status.is_ok()) {
+      const robust::StatusCode code = response->status.code();
+      if (response->status.is_ok() ||
+          code == robust::StatusCode::kDeadlineExceeded ||
+          !robust::is_retryable(code)) {
+        // Terminal: success, a non-retryable failure, or the server
+        // reporting that *our* budget expired (retrying cannot help).
+        return robust::Status::ok();
+      }
+      retryable = true;
+      acct.last_error = response->status;
+    } else if (status.code() == robust::StatusCode::kDeadlineExceeded) {
+      response->status = status;
+      return status;
+    } else {
+      retryable = true;  // transport error: connect refused, torn reply
+      acct.last_error = status;
+    }
+
+    if (!retryable || attempt >= max_attempts) {
+      if (status.is_ok()) return robust::Status::ok();  // retryable response
+      return status;  // transport error with no budget left
+    }
+    ++acct.retries;
+
+    // Decorrelated jitter, floored at the server's retry_after_s hint.
+    double sleep_s = policy.base_backoff_s +
+                     jitter.uniform01() *
+                         (previous_sleep * 3.0 - policy.base_backoff_s);
+    if (sleep_s > policy.max_backoff_s) sleep_s = policy.max_backoff_s;
+    if (sleep_s < 0.0) sleep_s = 0.0;
+    if (status.is_ok() && response->retry_after_s > sleep_s) {
+      sleep_s = response->retry_after_s;
+    }
+    previous_sleep = sleep_s > policy.base_backoff_s ? sleep_s
+                                                     : policy.base_backoff_s;
+    if (policy.deadline_s > 0.0 && sleep_s >= remaining()) {
+      // The backoff alone would blow the budget: report the deadline now
+      // instead of sleeping into it.
+      response->status = deadline_status("client backoff");
+      return response->status;
+    }
+    acct.backoff_s += sleep_s;
+    if (sleep_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+  }
 }
 
 }  // namespace swsim::serve

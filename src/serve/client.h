@@ -3,8 +3,16 @@
 // A thin, synchronous connection: connect, call (one request frame in,
 // one response frame out), destroy. `swsim client` is built on it, and
 // the server tests use it to act as real tenants over the real socket.
+//
+// call_with_retries() layers the retry policy on top: one connection per
+// attempt, capped exponential backoff with decorrelated jitter between
+// attempts, the server's retry_after_s hint honoured as a floor, and an
+// end-to-end deadline that bounds the whole call — each attempt's request
+// carries the *remaining* budget as its deadline_s, so the server sheds
+// work this client has already given up on.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "robust/status.h"
@@ -30,6 +38,10 @@ class Client {
   // torn frame, unparseable response) is kIoError; a server-side
   // rejection arrives as a successful call with response->status set.
   robust::Status call(const Request& request, Response* response);
+  // Timed variant: kDeadlineExceeded if the server does not answer within
+  // deadline_s (<= 0 waits forever, same as call()).
+  robust::Status call(const Request& request, Response* response,
+                      double deadline_s);
 
   void close();
 
@@ -40,5 +52,42 @@ class Client {
  private:
   int fd_ = -1;
 };
+
+// Retry policy for call_with_retries. Defaults are the conservative CLI
+// defaults: one attempt, no deadline — exactly the old single-shot call.
+struct RetryPolicy {
+  int max_attempts = 1;
+  double base_backoff_s = 0.05;  // first sleep; also the jitter floor
+  double max_backoff_s = 2.0;    // cap on any single sleep
+  double deadline_s = 0.0;       // whole-call budget; 0 = none
+  std::uint64_t seed = 1;        // jitter stream (deterministic for tests)
+};
+
+// Accounting a caller can surface as retry-budget metrics.
+struct RetryStats {
+  int attempts = 0;
+  int retries = 0;            // attempts - 1, when > 0
+  double backoff_s = 0.0;     // total time slept between attempts
+  robust::Status last_error;  // last transport / retryable status seen
+};
+
+// Connects (unix if socket_path is non-empty, else loopback TCP) and calls
+// until a terminal outcome:
+//   * kOk          — a response arrived. response->status may still be a
+//                    server-side failure; a *retryable* one (overloaded /
+//                    draining / transient engine fault) is only returned
+//                    once the attempt budget is spent.
+//   * kDeadlineExceeded — the end-to-end budget expired between or during
+//                    attempts (response->status mirrors it).
+//   * kIoError     — transport kept failing through the attempt budget.
+// Retries fire on transport errors and retryable response codes, sleeping
+// min(max_backoff, uniform(base_backoff, 3 * previous)) — decorrelated
+// jitter — floored at the server's retry_after_s hint. A response of
+// kDeadlineExceeded is terminal: the budget that expired was this call's.
+robust::Status call_with_retries(const std::string& socket_path, int tcp_port,
+                                 const Request& request,
+                                 const RetryPolicy& policy,
+                                 Response* response,
+                                 RetryStats* stats = nullptr);
 
 }  // namespace swsim::serve

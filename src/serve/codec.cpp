@@ -1,11 +1,14 @@
 #include "serve/codec.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
@@ -15,20 +18,75 @@ namespace swsim::serve {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+using Deadline = std::optional<Clock::time_point>;
+
 std::string errno_message(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+Deadline after(double seconds) {
+  if (seconds <= 0.0) return std::nullopt;
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(seconds));
+}
+
+// Waits until fd is ready for `events` or the deadline passes.
+// Returns 1 ready, 0 deadline expired, -1 poll error. POLLHUP/POLLERR
+// count as ready: the following read/send surfaces the actual condition.
+int wait_for(int fd, short events, const Deadline& deadline,
+             std::string* error) {
+  for (;;) {
+    int timeout_ms = -1;
+    if (deadline) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(*deadline - Clock::now());
+      if (remaining.count() <= 0) return 0;
+      timeout_ms = remaining.count() > 60000
+                       ? 60000  // re-check; poll timeouts are int ms
+                       : static_cast<int>(remaining.count());
+    }
+    struct pollfd p;
+    p.fd = fd;
+    p.events = events;
+    p.revents = 0;
+    const int rc = ::poll(&p, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (error) *error = errno_message("poll");
+      return -1;
+    }
+    if (rc > 0) return 1;
+    if (deadline) {
+      const auto remaining = *deadline - Clock::now();
+      if (remaining.count() <= 0) return 0;
+    }
+  }
 }
 
 // Writes exactly n bytes, looping over partial writes and EINTR. send()
 // with MSG_NOSIGNAL, not write(): a peer that hung up must surface as an
 // EPIPE return the session loop can handle, not a SIGPIPE that kills the
-// whole daemon.
-bool write_all(int fd, const char* data, std::size_t n, std::string* error) {
+// whole daemon. Under a deadline the send is non-blocking and EAGAIN is
+// waited out with poll, so a peer that stops reading cannot park this
+// thread past the budget.
+bool write_all(int fd, const char* data, std::size_t n,
+               const Deadline& deadline, std::string* error) {
   std::size_t off = 0;
+  const int flags = MSG_NOSIGNAL | (deadline ? MSG_DONTWAIT : 0);
   while (off < n) {
-    const ssize_t rc = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    const ssize_t rc = ::send(fd, data + off, n - off, flags);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (deadline && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        const int w = wait_for(fd, POLLOUT, deadline, error);
+        if (w == 0) {
+          if (error) *error = "write timed out (peer not reading)";
+          return false;
+        }
+        if (w < 0) return false;
+        continue;
+      }
       if (error) *error = errno_message("write");
       return false;
     }
@@ -38,14 +96,21 @@ bool write_all(int fd, const char* data, std::size_t n, std::string* error) {
 }
 
 // Reads exactly n bytes. Returns 1 on success, 0 on EOF before the first
-// byte, -1 on error (including EOF mid-read when allow_eof is false).
+// byte, -1 on error (including EOF mid-read when allow_eof is false),
+// -2 when the deadline expires.
 int read_all(int fd, char* data, std::size_t n, bool eof_ok_at_start,
-             std::string* error) {
+             const Deadline& deadline, std::string* error) {
   std::size_t off = 0;
   while (off < n) {
+    if (deadline) {
+      const int w = wait_for(fd, POLLIN, deadline, error);
+      if (w == 0) return -2;
+      if (w < 0) return -1;
+    }
     const ssize_t rc = ::read(fd, data + off, n - off);
     if (rc < 0) {
       if (errno == EINTR) continue;
+      if (deadline && (errno == EAGAIN || errno == EWOULDBLOCK)) continue;
       if (error) *error = errno_message("read");
       return -1;
     }
@@ -59,9 +124,8 @@ int read_all(int fd, char* data, std::size_t n, bool eof_ok_at_start,
   return 1;
 }
 
-}  // namespace
-
-bool write_frame(int fd, const std::string& payload, std::string* error) {
+bool write_frame_impl(int fd, const std::string& payload,
+                      const Deadline& deadline, std::string* error) {
   if (payload.size() > kMaxFrameBytes) {
     if (error) *error = "frame payload exceeds the 1 MiB limit";
     return false;
@@ -70,16 +134,33 @@ bool write_frame(int fd, const std::string& payload, std::string* error) {
   const char header[4] = {
       static_cast<char>((n >> 24) & 0xff), static_cast<char>((n >> 16) & 0xff),
       static_cast<char>((n >> 8) & 0xff), static_cast<char>(n & 0xff)};
-  return write_all(fd, header, sizeof header, error) &&
-         write_all(fd, payload.data(), payload.size(), error);
+  return write_all(fd, header, sizeof header, deadline, error) &&
+         write_all(fd, payload.data(), payload.size(), deadline, error);
 }
 
-ReadResult read_frame(int fd, std::string* payload, std::string* error) {
+ReadResult read_frame_impl(int fd, std::string* payload, std::string* error,
+                           const IoDeadlines& deadlines) {
+  // The first header byte waits under the *idle* budget (a quiet
+  // connection is healthy); once a frame has begun, the rest of the
+  // header and the payload share one *frame* budget, so a peer trickling
+  // bytes cannot extend its welcome indefinitely (slow-loris).
   char header[4];
-  const int h = read_all(fd, header, sizeof header,
-                         /*eof_ok_at_start=*/true, error);
-  if (h == 0) return ReadResult::kEof;
-  if (h < 0) return ReadResult::kError;
+  const int first = read_all(fd, header, 1, /*eof_ok_at_start=*/true,
+                             after(deadlines.idle_s), error);
+  if (first == 0) return ReadResult::kEof;
+  if (first == -2) {
+    if (error) *error = "idle timeout waiting for a frame";
+    return ReadResult::kTimeout;
+  }
+  if (first < 0) return ReadResult::kError;
+  const Deadline frame_deadline = after(deadlines.frame_s);
+  const int rest = read_all(fd, header + 1, sizeof header - 1,
+                            /*eof_ok_at_start=*/false, frame_deadline, error);
+  if (rest == -2) {
+    if (error) *error = "timed out mid-frame (slow peer)";
+    return ReadResult::kTimeout;
+  }
+  if (rest < 0) return ReadResult::kError;
   const std::uint32_t n =
       (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))
        << 24) |
@@ -96,11 +177,37 @@ ReadResult read_frame(int fd, std::string* payload, std::string* error) {
     return ReadResult::kError;
   }
   payload->resize(n);
-  if (n > 0 &&
-      read_all(fd, payload->data(), n, /*eof_ok_at_start=*/false, error) < 0) {
-    return ReadResult::kError;
+  if (n > 0) {
+    const int body = read_all(fd, payload->data(), n,
+                              /*eof_ok_at_start=*/false, frame_deadline,
+                              error);
+    if (body == -2) {
+      if (error) *error = "timed out mid-frame (slow peer)";
+      return ReadResult::kTimeout;
+    }
+    if (body < 0) return ReadResult::kError;
   }
   return ReadResult::kFrame;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload, std::string* error) {
+  return write_frame_impl(fd, payload, std::nullopt, error);
+}
+
+bool write_frame(int fd, const std::string& payload, std::string* error,
+                 const IoDeadlines& deadlines) {
+  return write_frame_impl(fd, payload, after(deadlines.frame_s), error);
+}
+
+ReadResult read_frame(int fd, std::string* payload, std::string* error) {
+  return read_frame_impl(fd, payload, error, IoDeadlines{});
+}
+
+ReadResult read_frame(int fd, std::string* payload, std::string* error,
+                      const IoDeadlines& deadlines) {
+  return read_frame_impl(fd, payload, error, deadlines);
 }
 
 }  // namespace swsim::serve

@@ -9,6 +9,14 @@
 // The functions below are the only place raw fds are read or written;
 // both loop over partial transfers and EINTR, so SA_RESTART-less signals
 // and small socket buffers are invisible to callers.
+//
+// The IoDeadlines overloads bound how long a peer can stall the calling
+// thread — the server's defence against slow-loris clients, and the
+// client's guarantee that a call returns by its deadline. `idle_s` caps
+// the wait for the *first byte* of a new frame (a quiet-but-healthy
+// connection); `frame_s` caps the rest of the frame once started (a peer
+// trickling one byte per poll interval gets cut off at the frame budget,
+// not never). Either 0 waits forever, reproducing the untimed overloads.
 #pragma once
 
 #include <cstddef>
@@ -22,17 +30,30 @@ namespace swsim::serve {
 // fast instead of allocating gigabytes.
 inline constexpr std::size_t kMaxFrameBytes = 1u << 20;  // 1 MiB
 
+struct IoDeadlines {
+  double idle_s = 0.0;   // max wait for a new frame to begin; 0 = forever
+  double frame_s = 0.0;  // max wait to finish a started frame; 0 = forever
+};
+
 // Writes one frame. Returns false (with *error set) on any write failure.
 bool write_frame(int fd, const std::string& payload, std::string* error);
+// Timed variant: fails with a "timed out" error if the peer does not
+// accept the frame within deadlines.frame_s.
+bool write_frame(int fd, const std::string& payload, std::string* error,
+                 const IoDeadlines& deadlines);
 
 enum class ReadResult {
-  kFrame,  // *payload holds a complete frame
-  kEof,    // orderly close before any byte of a new frame
-  kError,  // short read mid-frame, oversize length, or an errno failure
+  kFrame,    // *payload holds a complete frame
+  kEof,      // orderly close before any byte of a new frame
+  kError,    // short read mid-frame, oversize length, or an errno failure
+  kTimeout,  // an IoDeadlines budget expired (timed overload only)
 };
 
 // Reads one frame. EOF exactly on a frame boundary is kEof; EOF inside a
 // frame is kError (a truncated message must not look like a hangup).
 ReadResult read_frame(int fd, std::string* payload, std::string* error);
+// Timed variant: kTimeout when the idle or frame budget expires.
+ReadResult read_frame(int fd, std::string* payload, std::string* error,
+                      const IoDeadlines& deadlines);
 
 }  // namespace swsim::serve

@@ -134,6 +134,13 @@ robust::Status parse_request(const obs::JsonValue& doc, Request* out) {
     return s;
   }
   if (present) out->priority = static_cast<int>(num);
+  if (auto s = read_number(doc, "deadline_s", &num, &present); !s.is_ok()) {
+    return s;
+  }
+  if (present) {
+    if (num <= 0.0) return invalid("'deadline_s' must be > 0");
+    out->deadline_s = num;
+  }
 
   if (out->type != RequestType::kTruthTable &&
       out->type != RequestType::kYield) {
@@ -215,6 +222,9 @@ std::string serialize_request(const Request& r) {
                     ",\"id\":" + std::to_string(r.id) +
                     ",\"client\":" + quoted(r.client) +
                     ",\"priority\":" + std::to_string(r.priority);
+  if (r.deadline_s > 0.0) {
+    out += ",\"deadline_s\":" + fmt_double(r.deadline_s);
+  }
   if (r.type == RequestType::kTruthTable) {
     out += ",\"gate\":" + quoted(r.gate.kind) +
            ",\"lambda_nm\":" + fmt_double(r.gate.lambda_nm);
@@ -325,7 +335,8 @@ robust::StatusCode status_code_from_string(const std::string& name) {
         StatusCode::kNumericalDivergence, StatusCode::kTimeout,
         StatusCode::kCancelled, StatusCode::kCacheCorrupt,
         StatusCode::kIoError, StatusCode::kQuarantined, StatusCode::kInternal,
-        StatusCode::kOverloaded, StatusCode::kDraining}) {
+        StatusCode::kOverloaded, StatusCode::kDraining,
+        StatusCode::kDeadlineExceeded}) {
     if (robust::to_string(code) == name) return code;
   }
   return StatusCode::kInternal;

@@ -47,6 +47,11 @@ struct Request {
   std::uint64_t id = 0;
   std::string client = "anon";
   int priority = 0;        // higher drains first; same band is round-robin
+  // End-to-end budget in seconds, measured by the server from the moment
+  // the request is parsed. 0 = no deadline. A request whose budget runs
+  // out — in the queue or mid-solve — answers kDeadlineExceeded
+  // (retryable) instead of its result, and the engine stops computing it.
+  double deadline_s = 0.0;
   GateParams gate;         // truthtable payload
   YieldParams yield;       // yield payload
 };

@@ -7,10 +7,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 
 #include "core/validator.h"
 #include "obs/obs.h"
@@ -33,6 +37,10 @@ struct ServeMetrics {
       obs::MetricsRegistry::global().counter("serve.rejected_overload");
   obs::Counter& rejected_draining =
       obs::MetricsRegistry::global().counter("serve.rejected_draining");
+  obs::Counter& rejected_deadline =
+      obs::MetricsRegistry::global().counter("serve.rejected_deadline");
+  obs::Counter& sessions_timed_out =
+      obs::MetricsRegistry::global().counter("serve.sessions_timed_out");
   obs::Histogram& request_seconds =
       obs::MetricsRegistry::global().histogram("serve.request_seconds");
   obs::Gauge& queue_depth =
@@ -55,6 +63,14 @@ std::string errno_status_message(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config)
@@ -62,6 +78,90 @@ Server::Server(ServerConfig config)
       queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity) {
   if (config_.dispatchers == 0) config_.dispatchers = 1;
   if (config_.max_sessions == 0) config_.max_sessions = 1;
+  tunables_.queue_capacity =
+      config_.queue_capacity == 0 ? 1 : config_.queue_capacity;
+  tunables_.retry_after_s = config_.retry_after_s;
+  tunables_.idle_timeout_s = config_.idle_timeout_s;
+  tunables_.frame_timeout_s = config_.frame_timeout_s;
+  tunables_.default_deadline_s = config_.default_deadline_s;
+  tunables_.max_deadline_s = config_.max_deadline_s;
+}
+
+ServeTunables Server::tunables() const {
+  std::lock_guard<std::mutex> lock(tunables_mutex_);
+  return tunables_;
+}
+
+robust::Status Server::apply_tunables_file() {
+  using robust::Status;
+  using robust::StatusCode;
+  if (config_.tunables_file.empty()) return Status::ok();
+  std::ifstream in(config_.tunables_file);
+  if (!in) {
+    return Status::error(StatusCode::kIoError,
+                         "cannot open tunables file '" + config_.tunables_file +
+                             "'",
+                         "serve reload");
+  }
+  // One `key = value` per line, '#' comments — deliberately not JSON so an
+  // operator can edit it with sed mid-incident. The whole file must parse
+  // before anything is applied: a reload is all-or-nothing.
+  ServeTunables next = tunables();
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto bad = [&](const std::string& why) {
+      return Status::error(StatusCode::kInvalidConfig,
+                           config_.tunables_file + ":" +
+                               std::to_string(lineno) + ": " + why,
+                           "serve reload");
+    };
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) return bad("expected key = value");
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    char* end = nullptr;
+    const double num = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return bad("'" + key + "' needs a numeric value, got '" + value + "'");
+    }
+    if (key == "queue_capacity") {
+      if (num < 1.0) return bad("queue_capacity must be >= 1");
+      next.queue_capacity = static_cast<std::size_t>(num);
+    } else if (key == "retry_after_s") {
+      if (num < 0.0) return bad("retry_after_s must be >= 0");
+      next.retry_after_s = num;
+    } else if (key == "idle_timeout_s") {
+      if (num < 0.0) return bad("idle_timeout_s must be >= 0");
+      next.idle_timeout_s = num;
+    } else if (key == "frame_timeout_s") {
+      if (num < 0.0) return bad("frame_timeout_s must be >= 0");
+      next.frame_timeout_s = num;
+    } else if (key == "default_deadline_s") {
+      if (num < 0.0) return bad("default_deadline_s must be >= 0");
+      next.default_deadline_s = num;
+    } else if (key == "max_deadline_s") {
+      if (num < 0.0) return bad("max_deadline_s must be >= 0");
+      next.max_deadline_s = num;
+    } else {
+      return bad("unknown tunable '" + key + "'");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(tunables_mutex_);
+    tunables_ = next;
+  }
+  queue_.set_capacity(next.queue_capacity);
+  auto& elog = obs::EventLog::global();
+  if (elog.enabled(obs::LogLevel::kInfo)) {
+    elog.event(obs::LogLevel::kInfo, "serve_tunables_applied")
+        .uint("queue_capacity", next.queue_capacity)
+        .emit();
+  }
+  return Status::ok();
 }
 
 Server::~Server() {
@@ -159,6 +259,15 @@ robust::Status Server::start() {
   }
 
   runner_ = std::make_unique<engine::BatchRunner>(config_.engine);
+  // Crash-safe startup: a previous daemon killed mid-spill leaves partial
+  // tmp files and possibly torn .swc entries behind. Quarantine/remove
+  // them now, before any request can load one.
+  if (!config_.engine.spill_dir.empty()) {
+    recovery_ = runner_->cache().recover_spill_dir();
+  }
+  // A broken tunables file at startup is a hard error (fail fast); on
+  // SIGHUP the same failure keeps the previous values instead.
+  if (Status s = apply_tunables_file(); !s.is_ok()) return s;
   start_t_us_ = obs::now_us();
   started_.store(true, std::memory_order_release);
 
@@ -195,7 +304,7 @@ void Server::accept_loop() {
           "session limit reached (" + std::to_string(config_.max_sessions) +
               ")",
           "serve " + endpoint());
-      resp.retry_after_s = config_.retry_after_s;
+      resp.retry_after_s = tunables().retry_after_s;
       std::string err;
       write_frame(fd, serialize_response(resp), &err);
       ::close(fd);
@@ -203,11 +312,24 @@ void Server::accept_loop() {
       serve_metrics().rejected_overload.add();
       continue;
     }
-    auto session = std::make_unique<Session>();
-    session->fd = fd;
-    Session* raw = session.get();
-    const std::size_t slot = sessions_.size();
-    sessions_.push_back(std::move(session));
+    // Reuse a finished session's slot when one is free (joining its dead
+    // thread first) so a chaos storm of short connections cannot grow an
+    // unbounded vector of joinable-but-finished threads.
+    Session* raw = nullptr;
+    std::size_t slot = 0;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      raw = sessions_[slot].get();
+      if (raw->thread.joinable()) raw->thread.join();
+      raw->fd = fd;
+    } else {
+      auto session = std::make_unique<Session>();
+      session->fd = fd;
+      raw = session.get();
+      slot = sessions_.size();
+      sessions_.push_back(std::move(session));
+    }
     ++active_sessions_;
     serve_metrics().sessions.set(static_cast<std::int64_t>(active_sessions_));
     raw->thread = std::thread([this, slot, fd] { session_loop(slot, fd); });
@@ -218,7 +340,18 @@ void Server::session_loop(std::size_t slot, int fd) {
   std::string payload;
   std::string error;
   while (true) {
-    const ReadResult r = read_frame(fd, &payload, &error);
+    const ServeTunables tun = tunables();
+    const ReadResult r =
+        read_frame(fd, &payload, &error,
+                   IoDeadlines{tun.idle_timeout_s, tun.frame_timeout_s});
+    if (r == ReadResult::kTimeout) {
+      // Idle past the budget, or a slow-loris trickle: reclaim the thread.
+      // The peer sees a plain close — the same outcome as a crash, which
+      // a robust client must already handle.
+      sessions_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      serve_metrics().sessions_timed_out.add();
+      break;
+    }
     if (r != ReadResult::kFrame) break;  // EOF / torn frame: drop session
 
     const double t0 = obs::now_us();
@@ -239,11 +372,26 @@ void Server::session_loop(std::size_t slot, int fd) {
       response.status = robust::Status::error(
           robust::StatusCode::kDraining, "server is draining",
           "serve " + endpoint());
-      response.retry_after_s = config_.retry_after_s;
+      response.retry_after_s = tun.retry_after_s;
     } else {
       auto pending = std::make_unique<PendingRequest>();
       pending->request = request;
       pending->enqueued_us = obs::wall_now_us();
+      // Deadline policy: the client's deadline_s, defaulted and capped by
+      // the tunables, becomes an absolute steady-clock point stamped at
+      // admission — queue wait burns the same budget the engine gets.
+      double deadline_s = request.deadline_s;
+      if (deadline_s <= 0.0) deadline_s = tun.default_deadline_s;
+      if (tun.max_deadline_s > 0.0 &&
+          (deadline_s <= 0.0 || deadline_s > tun.max_deadline_s)) {
+        deadline_s = tun.max_deadline_s;
+      }
+      if (deadline_s > 0.0) {
+        pending->deadline_at =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(deadline_s));
+      }
       std::future<Response> future = pending->promise.get_future();
       switch (queue_.push(std::move(pending))) {
         case Admit::kAdmitted:
@@ -256,14 +404,14 @@ void Server::session_loop(std::size_t slot, int fd) {
               "admission queue full (" +
                   std::to_string(queue_.capacity()) + ")",
               "serve " + endpoint());
-          response.retry_after_s = config_.retry_after_s;
+          response.retry_after_s = tun.retry_after_s;
           break;
         case Admit::kClosed:
           response.id = request.id;
           response.status = robust::Status::error(
               robust::StatusCode::kDraining, "server is draining",
               "serve " + endpoint());
-          response.retry_after_s = config_.retry_after_s;
+          response.retry_after_s = tun.retry_after_s;
           break;
       }
     }
@@ -271,12 +419,18 @@ void Server::session_loop(std::size_t slot, int fd) {
     const double wall_s = (obs::now_us() - t0) * 1e-6;
     observe_request(request, response, wall_s);
     log_request(request, response, wall_s);
-    if (!write_frame(fd, serialize_response(response), &error)) break;
+    // The write is also bounded: a peer that sent a request and then
+    // stopped reading must not pin this thread past the frame budget.
+    if (!write_frame(fd, serialize_response(response), &error,
+                     IoDeadlines{0.0, tun.frame_timeout_s})) {
+      break;
+    }
   }
   ::close(fd);
   std::lock_guard<std::mutex> lock(sessions_mutex_);
   sessions_[slot]->fd = -1;
   --active_sessions_;
+  free_slots_.push_back(slot);
   serve_metrics().sessions.set(static_cast<std::int64_t>(active_sessions_));
 }
 
@@ -285,18 +439,35 @@ void Server::dispatch_loop() {
     serve_metrics().queue_depth.set(
         static_cast<std::int64_t>(queue_.depth()));
     Response response;
-    try {
-      response = handle_workload(pending->request);
-    } catch (...) {
+    const auto now = std::chrono::steady_clock::now();
+    if (pending->has_deadline() && now >= pending->deadline_at) {
+      // Admission shedding: the client stopped waiting while this sat in
+      // the queue — answer kDeadlineExceeded without burning engine work.
       response.id = pending->request.id;
-      response.status = robust::status_of_current_exception().with_context(
-          "serve dispatch");
+      response.status = robust::Status::error(
+          robust::StatusCode::kDeadlineExceeded,
+          "deadline expired while queued", "serve " + endpoint());
+      response.retry_after_s = tunables().retry_after_s;
+    } else {
+      double budget_s = 0.0;
+      if (pending->has_deadline()) {
+        budget_s =
+            std::chrono::duration<double>(pending->deadline_at - now).count();
+      }
+      try {
+        response = handle_workload(pending->request, budget_s);
+      } catch (...) {
+        response.id = pending->request.id;
+        response.status = robust::status_of_current_exception().with_context(
+            "serve dispatch");
+      }
     }
     pending->promise.set_value(std::move(response));
   }
 }
 
-Response Server::handle_workload(const Request& request) {
+Response Server::handle_workload(const Request& request,
+                                 double deadline_seconds) {
   // Labels carry the tenant so the failure report, the event log, and a
   // fault plan's label matching (--inject "throw:<client>") are per-client.
   const std::string label =
@@ -313,8 +484,8 @@ Response Server::handle_workload(const Request& request) {
           "unknown gate '" + request.gate.kind + "'", "serve " + label);
       return response;
     }
-    const auto outcome =
-        runner_->run_truth_table_checked(spec->factory, spec->key, {}, label);
+    const auto outcome = runner_->run_truth_table_checked(
+        spec->factory, spec->key, {}, label, deadline_seconds);
     response.text = core::format_report(outcome.report);
     if (outcome.ok()) {
       response.all_pass = outcome.report.all_pass ? 1.0 : 0.0;
@@ -332,8 +503,8 @@ Response Server::handle_workload(const Request& request) {
           "serve " + label);
       return response;
     }
-    const auto outcome = runner_->run_yield_checked(spec->factory, spec->model,
-                                                    spec->trials, label);
+    const auto outcome = runner_->run_yield_checked(
+        spec->factory, spec->model, spec->trials, label, deadline_seconds);
     response.text = render_yield(spec->kind, outcome.report);
     if (outcome.ok()) {
       response.yield_value = outcome.report.yield;
@@ -345,6 +516,12 @@ Response Server::handle_workload(const Request& request) {
     response.status = robust::Status::error(
         robust::StatusCode::kInternal,
         "built-in request reached the dispatcher", "serve " + label);
+  }
+  if (response.status.code() == robust::StatusCode::kDeadlineExceeded) {
+    // The engine shed (or tripped) this request's deadline mid-solve; the
+    // rejection is retryable-with-budget, so hint a pause like the other
+    // shedding paths do.
+    response.retry_after_s = tunables().retry_after_s;
   }
   return response;
 }
@@ -379,12 +556,18 @@ std::string Server::healthz_payload() const {
     sessions = active_sessions_;
   }
   const double uptime_s = (obs::now_us() - start_t_us_) * 1e-6;
+  const ServeTunables tun = tunables();
   std::string out = "{\"status\":\"";
   out += draining() ? "draining" : "ok";
   out += "\",\"uptime_s\":" + fmt(uptime_s) +
          ",\"sessions\":" + std::to_string(sessions) +
+         ",\"sessions_timed_out\":" +
+         std::to_string(sessions_timed_out_.load(std::memory_order_relaxed)) +
+         // oldest_wait_s is the head-of-line age: the single best signal
+         // that dispatchers are starved relative to the arrival rate.
          ",\"queue\":{\"depth\":" + std::to_string(queue_.depth()) +
-         ",\"capacity\":" + std::to_string(queue_.capacity()) + "}" +
+         ",\"capacity\":" + std::to_string(queue_.capacity()) +
+         ",\"oldest_wait_s\":" + fmt(queue_.oldest_wait_seconds()) + "}" +
          ",\"requests\":{\"total\":" +
          std::to_string(requests_total_.load(std::memory_order_relaxed)) +
          ",\"failed\":" +
@@ -393,7 +576,22 @@ std::string Server::healthz_payload() const {
          std::to_string(rejected_overload_.load(std::memory_order_relaxed)) +
          ",\"rejected_draining\":" +
          std::to_string(rejected_draining_.load(std::memory_order_relaxed)) +
+         ",\"rejected_deadline\":" +
+         std::to_string(rejected_deadline_.load(std::memory_order_relaxed)) +
          "}" +
+         // Tunables are surfaced so a SIGHUP reload is observable without
+         // reading the daemon's logs.
+         ",\"tunables\":{\"queue_capacity\":" +
+         std::to_string(tun.queue_capacity) +
+         ",\"retry_after_s\":" + fmt(tun.retry_after_s) +
+         ",\"idle_timeout_s\":" + fmt(tun.idle_timeout_s) +
+         ",\"frame_timeout_s\":" + fmt(tun.frame_timeout_s) +
+         ",\"default_deadline_s\":" + fmt(tun.default_deadline_s) +
+         ",\"max_deadline_s\":" + fmt(tun.max_deadline_s) + "}" +
+         ",\"recovery\":{\"scanned\":" + std::to_string(recovery_.scanned) +
+         ",\"healthy\":" + std::to_string(recovery_.healthy) +
+         ",\"quarantined\":" + std::to_string(recovery_.quarantined) +
+         ",\"removed_tmp\":" + std::to_string(recovery_.removed_tmp) + "}" +
          // The warm-cache proof surface: a repeated request raises hits
          // while jobs_executed stays put.
          ",\"cache\":{\"hits\":" + std::to_string(stats.cache.hits) +
@@ -423,6 +621,12 @@ void Server::observe_request(const Request& request, const Response& response,
     case robust::StatusCode::kDraining:
       rejected_draining_.fetch_add(1, std::memory_order_relaxed);
       serve_metrics().rejected_draining.add();
+      break;
+    case robust::StatusCode::kDeadlineExceeded:
+      // A shed deadline is the client's budget running out, not a server
+      // failure — tracked apart so the failure rate stays meaningful.
+      rejected_deadline_.fetch_add(1, std::memory_order_relaxed);
+      serve_metrics().rejected_deadline.add();
       break;
     default:
       requests_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -498,10 +702,21 @@ void Server::shutdown() {
 }
 
 void Server::reload() {
-  std::lock_guard<std::mutex> lock(log_mutex_);
-  if (config_.request_log.empty()) return;
-  if (log_out_.is_open()) log_out_.close();
-  log_out_.open(config_.request_log, std::ios::app);
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    if (!config_.request_log.empty()) {
+      if (log_out_.is_open()) log_out_.close();
+      log_out_.open(config_.request_log, std::ios::app);
+    }
+  }
+  if (!config_.tunables_file.empty()) {
+    if (const robust::Status s = apply_tunables_file(); !s.is_ok()) {
+      // Keep serving with the previous tunables; a broken reload must
+      // never take the daemon down.
+      std::fprintf(stderr, "swsim serve: tunables reload failed: %s\n",
+                   s.message().c_str());
+    }
+  }
 }
 
 int Server::run_until_shutdown() {

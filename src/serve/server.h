@@ -54,8 +54,32 @@ struct ServerConfig {
   std::size_t queue_capacity = 64;  // admission bound (backpressure)
   std::size_t max_sessions = 64;    // concurrent connections
   double retry_after_s = 0.5;       // hint on kOverloaded / kDraining
+  // Per-session read deadlines (serve/codec.h IoDeadlines): idle bounds
+  // the wait for a new frame, frame bounds finishing a started one — the
+  // slow-loris defence. 0 disables either.
+  double idle_timeout_s = 300.0;
+  double frame_timeout_s = 30.0;
+  // Deadline policy: a request without deadline_s gets the default (0 =
+  // none); a client-supplied deadline is capped at max (0 = uncapped).
+  double default_deadline_s = 0.0;
+  double max_deadline_s = 0.0;
+  // Optional JSON overlay of the runtime tunables above (plus
+  // queue_capacity), re-read on SIGHUP — see ServeTunables.
+  std::string tunables_file;
   std::string request_log;          // JSONL request log path (optional)
   engine::EngineConfig engine;      // shared runner configuration
+};
+
+// The knobs that may change while the daemon runs (SIGHUP hot-reload from
+// ServerConfig::tunables_file). Everything else — endpoint, thread counts,
+// engine shape — is fixed at start().
+struct ServeTunables {
+  std::size_t queue_capacity = 64;
+  double retry_after_s = 0.5;
+  double idle_timeout_s = 300.0;
+  double frame_timeout_s = 30.0;
+  double default_deadline_s = 0.0;
+  double max_deadline_s = 0.0;
 };
 
 class Server {
@@ -74,8 +98,19 @@ class Server {
   void shutdown();
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
-  // Reopens the request log (SIGHUP semantics, for log rotation).
+  // SIGHUP semantics: reopens the request log (rotation) and re-reads the
+  // tunables file, if one was configured. A malformed file is reported and
+  // ignored — the daemon keeps the last good tunables.
   void reload();
+
+  // Snapshot of the current runtime tunables (hot-reloadable knobs).
+  ServeTunables tunables() const;
+
+  // The crash-recovery scan start() ran over the spill directory (all
+  // zeros when the engine has no spill_dir).
+  engine::ResultCache::RecoveryReport recovery_report() const {
+    return recovery_;
+  }
 
   // Signal-driven service loop; returns the process exit code.
   int run_until_shutdown();
@@ -94,17 +129,27 @@ class Server {
   void accept_loop();
   void dispatch_loop();
   void session_loop(std::size_t slot, int fd);
-  Response handle_workload(const Request& request);
+  // deadline_seconds > 0 is the remaining request budget, plumbed into the
+  // engine as an absolute JobOptions::not_after.
+  Response handle_workload(const Request& request, double deadline_seconds);
   Response make_builtin_response(const Request& request);
   std::string healthz_payload() const;
   void log_request(const Request& request, const Response& response,
                    double wall_s);
   void observe_request(const Request& request, const Response& response,
                        double wall_s);
+  // Overlays config_.tunables_file onto the current tunables (no-op when
+  // unset). kInvalidConfig on parse/validation failure; tunables keep
+  // their previous values in that case.
+  robust::Status apply_tunables_file();
 
   ServerConfig config_;
   std::unique_ptr<engine::BatchRunner> runner_;
   AdmissionQueue queue_;
+
+  mutable std::mutex tunables_mutex_;
+  ServeTunables tunables_;
+  engine::ResultCache::RecoveryReport recovery_;
 
   int listen_fd_ = -1;
   int wake_read_ = -1;   // accept-loop wake pipe (begin_drain writes)
@@ -119,6 +164,7 @@ class Server {
 
   mutable std::mutex sessions_mutex_;
   std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::size_t> free_slots_;  // finished sessions, reusable
   std::size_t active_sessions_ = 0;
 
   std::mutex log_mutex_;
@@ -130,6 +176,8 @@ class Server {
   std::atomic<std::uint64_t> requests_failed_{0};
   std::atomic<std::uint64_t> rejected_overload_{0};
   std::atomic<std::uint64_t> rejected_draining_{0};
+  std::atomic<std::uint64_t> rejected_deadline_{0};
+  std::atomic<std::uint64_t> sessions_timed_out_{0};
 };
 
 }  // namespace swsim::serve

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 namespace swsim::engine {
 namespace {
@@ -89,6 +90,65 @@ TEST(ResultCache, SpillRoundTrip) {
   EXPECT_TRUE(fresh.lookup(1).has_value());
 
   std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, RecoverSpillDirQuarantinesCorruptKeepsHealthyDropsTmp) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "swsim_recover_test";
+  std::filesystem::remove_all(dir);
+
+  // A healthy spilled entry (from a "previous run")...
+  {
+    ResultCache writer(1, dir.string());
+    writer.insert(1, {1.5, 2.5});
+    writer.insert(2, {3.5});  // evicts key 1 -> spilled intact
+  }
+  // ...plus the litter a crash leaves behind: a torn .swc and a tmp file
+  // that never reached its atomic rename.
+  {
+    std::ofstream torn(dir / ResultCache::spill_filename(99),
+                       std::ios::binary);
+    torn << "not a spill file";
+  }
+  {
+    std::ofstream tmp(dir / "abcd.swc.tmp.4242", std::ios::binary);
+    tmp << "partial";
+  }
+
+  ResultCache cache(4, dir.string());
+  const ResultCache::RecoveryReport report = cache.recover_spill_dir();
+  EXPECT_EQ(report.scanned, 2u);  // the two .swc files; tmp is not scanned
+  EXPECT_EQ(report.healthy, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.removed_tmp, 1u);
+
+  // The corrupt entry is preserved for inspection, not destroyed.
+  EXPECT_TRUE(std::filesystem::exists(dir / "quarantine" /
+                                      ResultCache::spill_filename(99)));
+  EXPECT_FALSE(
+      std::filesystem::exists(dir / ResultCache::spill_filename(99)));
+  EXPECT_FALSE(std::filesystem::exists(dir / "abcd.swc.tmp.4242"));
+
+  // The healthy entry still loads, and the quarantined key is a miss —
+  // never an error surfaced to the engine.
+  const auto hit = cache.lookup(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (std::vector<double>{1.5, 2.5}));
+  EXPECT_FALSE(cache.lookup(99).has_value());
+
+  // Idempotent: a second scan finds a clean directory.
+  const auto again = cache.recover_spill_dir();
+  EXPECT_EQ(again.quarantined, 0u);
+  EXPECT_EQ(again.removed_tmp, 0u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, RecoverSpillDirWithoutSpillDirIsANoOp) {
+  ResultCache cache(4);  // memory-only
+  const auto report = cache.recover_spill_dir();
+  EXPECT_EQ(report.scanned, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
 }
 
 TEST(ResultCache, ClearDropsMemoryKeepsStats) {

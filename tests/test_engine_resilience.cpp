@@ -236,6 +236,78 @@ TEST(EngineResilience, TimedOutJobIsTerminalAndDependentsCancelled) {
   EXPECT_TRUE(observed_cancel.load());  // the token really was tripped
 }
 
+TEST(EngineResilience, ExpiredDeadlineShedsJobBeforeItRuns) {
+  // not_after already in the past at pickup: the job must be shed without
+  // its closure ever running — the serve layer's "don't burn engine work
+  // for a client that stopped waiting" contract.
+  ThreadPool pool(2);
+  Scheduler sched(pool);
+  JobOptions expired;
+  expired.not_after =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  std::atomic<bool> ran{false};
+  const JobId doomed = sched.add("doomed", [&ran] { ran = true; }, expired);
+  const JobId dependent = sched.add("downstream", [] {}, JobOptions{},
+                                    {doomed});
+
+  const robust::Status status = sched.run_all();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(sched.job(doomed).state, JobState::kTimedOut);
+  EXPECT_EQ(sched.job(doomed).status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(sched.job(doomed).status.message().find("before the job"),
+            std::string::npos);
+  EXPECT_EQ(sched.job(dependent).state, JobState::kCancelled);
+}
+
+TEST(EngineResilience, MidRunDeadlineTripsTheRunningJob) {
+  ThreadPool pool(2);
+  Scheduler sched(pool);
+  JobOptions opts;
+  opts.not_after =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  std::atomic<bool> observed_cancel{false};
+  const JobId slow = sched.add(
+      "slow",
+      [&observed_cancel](const robust::CancelToken& token) {
+        const auto give_up =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (!token.cancelled() &&
+               std::chrono::steady_clock::now() < give_up) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        observed_cancel = token.cancelled();
+      },
+      opts);
+
+  const robust::Status status = sched.run_all();
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(sched.job(slow).state, JobState::kTimedOut);
+  EXPECT_EQ(sched.job(slow).status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(observed_cancel.load());
+}
+
+TEST(EngineResilience, DeadlineShedsDoNotQuarantineTheConfig) {
+  // Three whole batches shed on an expired deadline — far past the strike
+  // threshold if sheds counted. They must not: the config is healthy, the
+  // *client's budget* was the problem, and the next funded run solves.
+  EngineConfig cfg;
+  cfg.jobs = 2;
+  BatchRunner runner(cfg);
+  for (int i = 0; i < 3; ++i) {
+    const TruthTableOutcome shed = runner.run_truth_table_checked(
+        maj_factory(), maj_key(), {}, "budgetless", /*deadline_seconds=*/1e-9);
+    EXPECT_FALSE(shed.ok());
+    ASSERT_FALSE(shed.failures.failures().empty());
+    EXPECT_EQ(shed.failures.failures().front().status.code(),
+              StatusCode::kDeadlineExceeded);
+  }
+  const TruthTableOutcome healthy =
+      runner.run_truth_table_checked(maj_factory(), maj_key());
+  EXPECT_TRUE(healthy.ok()) << healthy.failures.str();
+  EXPECT_TRUE(healthy.report.all_pass);
+}
+
 TEST(EngineResilience, BatchTimeoutLandsInFailureReport) {
   ScopedFaultPlan plan;
   plan->inject_stall_in_job("row 3", /*seconds=*/2.0);

@@ -52,6 +52,7 @@ TEST(Status, ToStringCoversEveryCode) {
   EXPECT_EQ(to_string(StatusCode::kInternal), "internal");
   EXPECT_EQ(to_string(StatusCode::kOverloaded), "overloaded");
   EXPECT_EQ(to_string(StatusCode::kDraining), "draining");
+  EXPECT_EQ(to_string(StatusCode::kDeadlineExceeded), "deadline-exceeded");
 }
 
 TEST(Status, RetryPolicy) {
@@ -62,6 +63,8 @@ TEST(Status, RetryPolicy) {
   // The serve admission rejections tell the CLIENT to come back later.
   EXPECT_TRUE(is_retryable(StatusCode::kOverloaded));
   EXPECT_TRUE(is_retryable(StatusCode::kDraining));
+  // A shed deadline is the caller's budget, not the work: retry with more.
+  EXPECT_TRUE(is_retryable(StatusCode::kDeadlineExceeded));
   // Timeouts must NOT retry: the timed-out closure may still be running.
   EXPECT_FALSE(is_retryable(StatusCode::kTimeout));
   EXPECT_FALSE(is_retryable(StatusCode::kCancelled));

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <set>
 #include <string>
@@ -155,6 +156,60 @@ TEST(AdmissionQueue, ConcurrentProducersAndConsumersLoseNothing) {
   for (auto& t : consumers) t.join();
   EXPECT_EQ(popped.load(), kProducers * kPerProducer);
   EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(AdmissionQueue, PushStampsEnqueueTimeAndOldestWaitTracksTheHead) {
+  AdmissionQueue q(8);
+  EXPECT_EQ(q.oldest_wait_seconds(), 0.0);  // empty queue: no waiter
+  const auto before = std::chrono::steady_clock::now();
+  ASSERT_EQ(q.push(make_request("a", 0, 1)), Admit::kAdmitted);
+  const auto r_peek_wait = q.oldest_wait_seconds();
+  EXPECT_GE(r_peek_wait, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // The head has now aged visibly.
+  EXPECT_GE(q.oldest_wait_seconds(), 0.025);
+  const auto r = q.pop();
+  ASSERT_NE(r, nullptr);
+  EXPECT_GE(r->enqueued_at, before);
+  EXPECT_EQ(q.oldest_wait_seconds(), 0.0);
+}
+
+TEST(AdmissionQueue, OldestWaitSpansPriorityBands) {
+  // The oldest waiter may sit in a *lower* band than the head-of-service;
+  // the age metric reports the oldest regardless of band.
+  AdmissionQueue q(8);
+  ASSERT_EQ(q.push(make_request("bulk", 0, 1)), Admit::kAdmitted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_EQ(q.push(make_request("urgent", 5, 2)), Admit::kAdmitted);
+  EXPECT_GE(q.oldest_wait_seconds(), 0.025);
+}
+
+TEST(AdmissionQueue, SetCapacityShrinksAdmissionWithoutEvicting) {
+  AdmissionQueue q(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(q.push(make_request("a", 0, i)), Admit::kAdmitted);
+  }
+  // Shrinking below the live depth never evicts admitted work — it only
+  // gates new pushes until the backlog drains under the new bound.
+  q.set_capacity(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.push(make_request("a", 0, 9)), Admit::kOverloaded);
+  ASSERT_NE(q.pop(), nullptr);
+  ASSERT_NE(q.pop(), nullptr);
+  EXPECT_EQ(q.push(make_request("a", 0, 9)), Admit::kOverloaded);  // at 2
+  ASSERT_NE(q.pop(), nullptr);
+  EXPECT_EQ(q.push(make_request("a", 0, 9)), Admit::kAdmitted);
+  // Growing takes effect immediately; zero clamps to one.
+  q.set_capacity(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(AdmissionQueue, DeadlineFieldsDefaultToUnset) {
+  PendingRequest r;
+  EXPECT_FALSE(r.has_deadline());
+  r.deadline_at = std::chrono::steady_clock::now();
+  EXPECT_TRUE(r.has_deadline());
 }
 
 }  // namespace

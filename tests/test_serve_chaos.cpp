@@ -1,0 +1,203 @@
+// The chaos harness against a live in-process daemon: every exchange —
+// torn frames, garbage, oversized prefixes, slow-loris trickles, vanishing
+// clients — must end terminally (response, closed transport, or nothing
+// owed), the daemon must stay byte-deterministic for the honest traffic
+// interleaved with the hostile, and it must still drain clean afterwards.
+#include "serve/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/validator.h"
+#include "engine/batch_runner.h"
+#include "robust/fault_injection.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/workload.h"
+
+namespace swsim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+ServerConfig chaos_config(const std::string& name) {
+  ServerConfig cfg;
+  const fs::path dir = fs::path(::testing::TempDir()) / "swsim_chaos_test";
+  fs::create_directories(dir);
+  cfg.socket_path = (dir / (name + ".sock")).string();
+  fs::remove(cfg.socket_path);
+  cfg.dispatchers = 2;
+  cfg.engine.jobs = 2;
+  // Tight-but-fair I/O budgets so hostile sessions are cut off quickly
+  // and the test stays fast.
+  cfg.idle_timeout_s = 2.0;
+  cfg.frame_timeout_s = 1.0;
+  return cfg;
+}
+
+Request base_request() {
+  Request r;
+  r.type = RequestType::kTruthTable;
+  r.id = 100;
+  r.client = "chaos";
+  r.gate.kind = "maj";
+  return r;
+}
+
+struct FaultPlanGuard {
+  ~FaultPlanGuard() { robust::FaultPlan::global().clear(); }
+};
+
+TEST(ServeChaos, ParseSpecAcceptsKeysAliasesAndRejectsJunk) {
+  ChaosProfile p;
+  ASSERT_TRUE(
+      parse_chaos_spec("seed=7,count=24,clean=3,torn=0,delay-s=0.01", &p)
+          .is_ok());
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_EQ(p.exchanges, 24);
+  EXPECT_EQ(p.clean, 3);
+  EXPECT_EQ(p.torn, 0);
+  EXPECT_DOUBLE_EQ(p.delay_s, 0.01);
+
+  ChaosProfile alias;
+  ASSERT_TRUE(parse_chaos_spec("exchanges=5", &alias).is_ok());
+  EXPECT_EQ(alias.exchanges, 5);
+
+  ChaosProfile bad;
+  EXPECT_FALSE(parse_chaos_spec("warpfield=1", &bad).is_ok());
+  EXPECT_FALSE(parse_chaos_spec("seed", &bad).is_ok());
+  EXPECT_FALSE(parse_chaos_spec("seed=banana", &bad).is_ok());
+  EXPECT_FALSE(parse_chaos_spec(
+                   "clean=0,delay=0,torn=0,garbage=0,oversize=0,"
+                   "slowloris=0,disconnect=0",
+                   &bad)
+                   .is_ok());
+}
+
+TEST(ServeChaos, ScriptedFaultsForceExactActionsWithTerminalOutcomes) {
+  FaultPlanGuard guard;
+  auto cfg = chaos_config("scripted");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  ChaosProfile profile;  // draw would be random; the script overrides it
+  FaultyTransport transport(cfg.socket_path, 0, profile);
+
+  // Oversize: the daemon rejects the length prefix and slams the door —
+  // a closed transport, never a hang, and no session leaked.
+  robust::FaultPlan::global().inject_transport("oversize");
+  ChaosOutcome oversize = transport.exchange(base_request());
+  EXPECT_EQ(oversize.action, ChaosAction::kOversize);
+  EXPECT_FALSE(oversize.hung);
+  EXPECT_FALSE(oversize.got_response);
+  EXPECT_FALSE(oversize.transport.is_ok());
+
+  // Garbage: well-framed non-JSON earns a structured invalid-config
+  // answer on a *surviving* session, not a disconnect.
+  robust::FaultPlan::global().inject_transport("garbage");
+  ChaosOutcome garbage = transport.exchange(base_request());
+  EXPECT_EQ(garbage.action, ChaosAction::kGarbage);
+  ASSERT_TRUE(garbage.got_response);
+  EXPECT_EQ(garbage.response.status.code(),
+            robust::StatusCode::kInvalidConfig);
+
+  // Torn: we hung up mid-frame, so nothing is owed.
+  robust::FaultPlan::global().inject_transport("torn");
+  ChaosOutcome torn = transport.exchange(base_request());
+  EXPECT_EQ(torn.action, ChaosAction::kTorn);
+  EXPECT_FALSE(torn.sent_full_request);
+  EXPECT_FALSE(torn.hung);
+
+  // Clean, after all that abuse: full honest exchange.
+  robust::FaultPlan::global().inject_transport("clean");
+  ChaosOutcome clean = transport.exchange(base_request());
+  EXPECT_EQ(clean.action, ChaosAction::kClean);
+  ASSERT_TRUE(clean.got_response);
+  EXPECT_TRUE(clean.response.status.is_ok()) << clean.response.status.str();
+
+  server.shutdown();
+}
+
+TEST(ServeChaos, SeededSoakIsTerminalDeterministicAndByteExactForHonestTraffic) {
+  auto cfg = chaos_config("soak");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  ChaosProfile profile;
+  profile.seed = 42;
+  profile.exchanges = 24;
+  profile.slow_byte_s = 0.001;
+  profile.exchange_deadline_s = 20.0;
+
+  const ChaosSummary first =
+      run_chaos(profile, cfg.socket_path, 0, base_request());
+  EXPECT_EQ(first.exchanges, 24);
+  EXPECT_EQ(first.hung, 0) << first.str();
+  EXPECT_GT(first.answered_ok, 0) << first.str();
+
+  // Same seed, same daemon: the warm cache changes *timing* but must not
+  // change a single outcome bucket — the schedule is the seed's alone.
+  const ChaosSummary second =
+      run_chaos(profile, cfg.socket_path, 0, base_request());
+  EXPECT_EQ(second.answered_ok, first.answered_ok);
+  EXPECT_EQ(second.answered_error, first.answered_error);
+  EXPECT_EQ(second.transport_closed, first.transport_closed);
+  EXPECT_EQ(second.hung, 0);
+
+  // After the storm: an honest client gets byte-identical results to a
+  // local solve, and the daemon drains clean (shutdown() would hang on a
+  // leaked session or dispatcher).
+  engine::EngineConfig ecfg;
+  ecfg.jobs = 2;
+  engine::BatchRunner runner(ecfg);
+  GateParams p;
+  p.kind = "maj";
+  const auto spec = make_truth_table_spec(p);
+  ASSERT_TRUE(spec.has_value());
+  const auto outcome =
+      runner.run_truth_table_checked(spec->factory, spec->key, {}, "local");
+  ASSERT_TRUE(outcome.ok());
+
+  Client honest;
+  ASSERT_TRUE(honest.connect_unix(cfg.socket_path).is_ok());
+  Response resp;
+  ASSERT_TRUE(honest.call(base_request(), &resp).is_ok());
+  ASSERT_TRUE(resp.status.is_ok()) << resp.status.str();
+  EXPECT_EQ(resp.text, core::format_report(outcome.report));
+
+  server.shutdown();
+
+  const auto health_after = server.runner().stats();
+  EXPECT_EQ(health_after.jobs_failed, 0u);
+}
+
+TEST(ServeChaos, SlowLorisSessionIsCutOffNotServedForever) {
+  FaultPlanGuard guard;
+  auto cfg = chaos_config("loris");
+  cfg.frame_timeout_s = 0.1;  // trickle slower than the frame budget
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  ChaosProfile profile;
+  profile.slow_byte_s = 0.02;  // ~4 s for a full request: never finishes
+  FaultyTransport transport(cfg.socket_path, 0, profile);
+  robust::FaultPlan::global().inject_transport("slowloris");
+  const ChaosOutcome out = transport.exchange(base_request());
+  EXPECT_EQ(out.action, ChaosAction::kSlowLoris);
+  // The server must cut us off (closed transport) — not answer, not hang.
+  EXPECT_FALSE(out.hung);
+  EXPECT_FALSE(out.got_response);
+
+  // And the daemon is fine: a clean exchange right after succeeds.
+  Client honest;
+  ASSERT_TRUE(honest.connect_unix(cfg.socket_path).is_ok());
+  Response resp;
+  ASSERT_TRUE(honest.call(base_request(), &resp).is_ok());
+  EXPECT_TRUE(resp.status.is_ok());
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace swsim::serve

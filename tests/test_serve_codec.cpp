@@ -4,9 +4,14 @@
 #include "serve/codec.h"
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <thread>
@@ -158,6 +163,151 @@ TEST(ServeCodec, MaxFrameBoundaryIsExact) {
   // One byte over is refused by the writer before anything hits the wire.
   std::string over(kMaxFrameBytes + 1, 'o');
   EXPECT_FALSE(write_frame(sp.a, over, &error));
+}
+
+TEST(ServeCodec, PrefixSplitAtEveryByteBoundaryStillFrames) {
+  // The 4-byte length prefix can arrive fragmented at any point — a
+  // kernel quirk or a deliberately torn sender. Every split must produce
+  // the same whole frame.
+  const std::string payload = "split-me";
+  for (std::size_t split = 0; split <= 4; ++split) {
+    SocketPair sp;
+    const auto n = static_cast<std::uint32_t>(payload.size());
+    const unsigned char prefix[4] = {
+        static_cast<unsigned char>(n >> 24),
+        static_cast<unsigned char>(n >> 16),
+        static_cast<unsigned char>(n >> 8),
+        static_cast<unsigned char>(n),
+    };
+    std::thread writer([&] {
+      if (split > 0) ASSERT_EQ(::send(sp.a, prefix, split, 0), (ssize_t)split);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      if (split < 4) {
+        ASSERT_EQ(::send(sp.a, prefix + split, 4 - split,
+                         0),
+                  (ssize_t)(4 - split));
+      }
+      ASSERT_EQ(::send(sp.a, payload.data(), payload.size(), 0),
+                (ssize_t)payload.size());
+    });
+    std::string got;
+    std::string error;
+    EXPECT_EQ(read_frame(sp.b, &got, &error), ReadResult::kFrame)
+        << "split=" << split << ": " << error;
+    EXPECT_EQ(got, payload) << "split=" << split;
+    writer.join();
+  }
+}
+
+namespace {
+void noop_handler(int) {}
+}  // namespace
+
+TEST(ServeCodec, EintrMidFrameIsInvisibleToTheReader) {
+  // Signals without SA_RESTART make blocking reads fail EINTR mid-frame;
+  // the read loop must resume, not report a torn frame.
+  struct sigaction sa{};
+  struct sigaction old{};
+  sa.sa_handler = noop_handler;
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  SocketPair sp;
+  const std::string payload(64u * 1024u, 'e');
+  std::atomic<bool> done{false};
+  std::string got;
+  std::string error;
+  ReadResult result = ReadResult::kError;
+  std::thread reader([&] {
+    result = read_frame(sp.b, &got, &error);
+    done.store(true);
+  });
+  const pthread_t handle = reader.native_handle();
+
+  // Trickle the frame while peppering the reader with signals so some
+  // land inside read()/poll().
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  const unsigned char prefix[4] = {
+      static_cast<unsigned char>(n >> 24), static_cast<unsigned char>(n >> 16),
+      static_cast<unsigned char>(n >> 8), static_cast<unsigned char>(n)};
+  ASSERT_EQ(::send(sp.a, prefix, 4, 0), 4);
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    pthread_kill(handle, SIGUSR1);
+    const std::size_t chunk = std::min<std::size_t>(4096, payload.size() - off);
+    const ssize_t rc = ::send(sp.a, payload.data() + off, chunk, 0);
+    ASSERT_GT(rc, 0);
+    off += static_cast<std::size_t>(rc);
+  }
+  for (int i = 0; i < 16 && !done.load(); ++i) {
+    pthread_kill(handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reader.join();
+  ::sigaction(SIGUSR1, &old, nullptr);
+  EXPECT_EQ(result, ReadResult::kFrame) << error;
+  EXPECT_EQ(got, payload);
+}
+
+TEST(ServeCodec, TimedReadReportsIdleTimeoutOnSilence) {
+  SocketPair sp;
+  std::string got;
+  std::string error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error, IoDeadlines{0.05, 1.0}),
+            ReadResult::kTimeout);
+  EXPECT_NE(error.find("idle"), std::string::npos) << error;
+  // The session is still usable afterwards: a frame sent now reads fine.
+  ASSERT_TRUE(write_frame(sp.a, "late", &error)) << error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error, IoDeadlines{1.0, 1.0}),
+            ReadResult::kFrame);
+  EXPECT_EQ(got, "late");
+}
+
+TEST(ServeCodec, TimedReadCutsOffASlowLorisMidFrame) {
+  // Header promising 100 bytes, then one byte and silence: the frame
+  // budget (not the idle budget) must trip.
+  SocketPair sp;
+  const unsigned char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::send(sp.a, prefix, 4, 0), 4);
+  ASSERT_EQ(::send(sp.a, "x", 1, 0), 1);
+  std::string got;
+  std::string error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error, IoDeadlines{5.0, 0.05}),
+            ReadResult::kTimeout);
+  EXPECT_NE(error.find("mid-frame"), std::string::npos) << error;
+}
+
+TEST(ServeCodec, TimedWriteFailsWhenThePeerStopsReading) {
+  // Fill the socket buffers against a non-reading peer; the timed write
+  // must fail with a timeout instead of blocking forever.
+  SocketPair sp;
+  std::string error;
+  bool timed_out = false;
+  for (int i = 0; i < 64 && !timed_out; ++i) {
+    if (!write_frame(sp.a, std::string(256u * 1024u, 'w'), &error,
+                     IoDeadlines{0.0, 0.05})) {
+      timed_out = error.find("timed out") != std::string::npos;
+      break;
+    }
+  }
+  EXPECT_TRUE(timed_out) << error;
+}
+
+TEST(ServeCodec, UntimedSignatureStillWaitsOutASlowStart) {
+  // Zero deadlines reproduce the untimed behaviour: a frame that begins
+  // after a pause still arrives.
+  SocketPair sp;
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    std::string werr;
+    EXPECT_TRUE(write_frame(sp.a, "patience", &werr)) << werr;
+  });
+  std::string got;
+  std::string error;
+  EXPECT_EQ(read_frame(sp.b, &got, &error, IoDeadlines{}), ReadResult::kFrame)
+      << error;
+  EXPECT_EQ(got, "patience");
+  writer.join();
 }
 
 }  // namespace

@@ -305,6 +305,261 @@ TEST(ServeServer, RequestLogRecordsEveryRequest) {
   EXPECT_TRUE(saw_truthtable);
 }
 
+Request yield_request(std::size_t trials, std::uint64_t id = 0,
+                      double deadline_s = 0.0,
+                      const std::string& client = "anon") {
+  Request r;
+  r.type = RequestType::kYield;
+  r.id = id;
+  r.client = client;
+  r.yield.kind = "maj";
+  r.yield.trials = trials;
+  r.deadline_s = deadline_s;
+  return r;
+}
+
+TEST(ServeServer, QueuedDeadlineIsShedWithoutEngineWork) {
+  auto cfg = test_config("dlqueue");
+  cfg.dispatchers = 1;  // one lane, so a slow request blocks the queue
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Occupy the only dispatcher with a ~1 s yield sweep.
+  std::thread blocker([&] {
+    Client c;
+    ASSERT_TRUE(c.connect_unix(cfg.socket_path).is_ok());
+    Response r;
+    ASSERT_TRUE(c.call(yield_request(50000, 1), &r).is_ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A deadline far shorter than the blocker: by the time the dispatcher
+  // frees up, this request's budget is gone — it must be answered
+  // kDeadlineExceeded without the engine touching it.
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  Request doomed = truth_table_request("maj", 2);
+  doomed.deadline_s = 0.05;
+  Response shed;
+  ASSERT_TRUE(client.call(doomed, &shed).is_ok());
+  blocker.join();
+  EXPECT_EQ(shed.status.code(), robust::StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(robust::is_retryable(shed.status.code()));
+  EXPECT_GT(shed.retry_after_s, 0.0);
+
+  // The shed request never reached the engine: solving the same gate now
+  // executes fresh jobs (a cache hit here would mean it HAD been solved).
+  const auto before = healthz(client);
+  const double jobs_before =
+      before.find("engine")->find("jobs_executed")->number();
+  EXPECT_GE(before.find("requests")->find("rejected_deadline")->number(), 1.0);
+  Response solved;
+  ASSERT_TRUE(client.call(truth_table_request("maj", 3), &solved).is_ok());
+  EXPECT_TRUE(solved.status.is_ok());
+  const auto after = healthz(client);
+  EXPECT_GT(after.find("engine")->find("jobs_executed")->number(),
+            jobs_before);
+  // Deadline sheds are tracked apart from failures.
+  EXPECT_EQ(after.find("requests")->find("failed")->number(),
+            before.find("requests")->find("failed")->number());
+  server.shutdown();
+}
+
+TEST(ServeServer, MidSolveDeadlineTripsToDeadlineExceeded) {
+  auto cfg = test_config("dlsolve");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // A ~1 s sweep with a 0.2 s budget: the engine must abandon it mid-run
+  // and the client gets the structured, retryable deadline status.
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  Response resp;
+  ASSERT_TRUE(client.call(yield_request(50000, 7, 0.2), &resp).is_ok());
+  EXPECT_EQ(resp.status.code(), robust::StatusCode::kDeadlineExceeded)
+      << resp.status.str();
+  EXPECT_GT(resp.retry_after_s, 0.0);
+
+  // The daemon is healthy afterwards: a request with room to breathe runs.
+  Response ok;
+  ASSERT_TRUE(client.call(truth_table_request("maj", 8), &ok).is_ok());
+  EXPECT_TRUE(ok.status.is_ok()) << ok.status.str();
+  server.shutdown();
+}
+
+TEST(ServeServer, IdleSessionIsTimedOutAndReclaimed) {
+  auto cfg = test_config("idle");
+  cfg.idle_timeout_s = 0.1;
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client silent;
+  ASSERT_TRUE(silent.connect_unix(cfg.socket_path).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // The server hung up on the silent session...
+  std::string payload, error;
+  EXPECT_EQ(read_frame(silent.fd(), &payload, &error, IoDeadlines{1.0, 1.0}),
+            ReadResult::kEof);
+
+  // ...and accounted for it; only the fresh healthz session is live.
+  Client fresh;
+  ASSERT_TRUE(fresh.connect_unix(cfg.socket_path).is_ok());
+  const auto health = healthz(fresh);
+  EXPECT_GE(health.find("sessions_timed_out")->number(), 1.0);
+  EXPECT_EQ(health.find("sessions")->number(), 1.0);
+  server.shutdown();
+}
+
+TEST(ServeServer, HealthzExposesQueueAgeTunablesAndRecovery) {
+  auto cfg = test_config("healthfields");
+  cfg.queue_capacity = 17;
+  cfg.retry_after_s = 0.75;
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  const auto health = healthz(client);
+  ASSERT_NE(health.find("queue"), nullptr);
+  ASSERT_NE(health.find("queue")->find("oldest_wait_s"), nullptr);
+  EXPECT_EQ(health.find("queue")->find("oldest_wait_s")->number(), 0.0);
+  const auto* tun = health.find("tunables");
+  ASSERT_NE(tun, nullptr);
+  EXPECT_EQ(tun->find("queue_capacity")->number(), 17.0);
+  EXPECT_DOUBLE_EQ(tun->find("retry_after_s")->number(), 0.75);
+  const auto* rec = health.find("recovery");
+  ASSERT_NE(rec, nullptr);  // no spill dir: present, all zeros
+  EXPECT_EQ(rec->find("scanned")->number(), 0.0);
+  EXPECT_EQ(health.find("requests")->find("rejected_deadline")->number(),
+            0.0);
+  server.shutdown();
+}
+
+TEST(ServeServer, ReloadAppliesTunablesFileAndKeepsOldOnParseFailure) {
+  auto cfg = test_config("reload");
+  const fs::path tunables =
+      fs::path(::testing::TempDir()) / "swsim_serve_test" / "tunables.conf";
+  {
+    std::ofstream out(tunables);
+    out << "queue_capacity = 5\n# comment\nretry_after_s = 0.25\n";
+  }
+  cfg.tunables_file = tunables.string();
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  auto health = healthz(client);
+  EXPECT_EQ(health.find("tunables")->find("queue_capacity")->number(), 5.0);
+
+  // SIGHUP semantics: rewrite + reload → new values live without restart.
+  {
+    std::ofstream out(tunables);
+    out << "queue_capacity = 9\nretry_after_s = 1.5\nidle_timeout_s = 60\n";
+  }
+  server.reload();
+  health = healthz(client);
+  EXPECT_EQ(health.find("tunables")->find("queue_capacity")->number(), 9.0);
+  EXPECT_DOUBLE_EQ(health.find("tunables")->find("retry_after_s")->number(),
+                   1.5);
+
+  // A broken file must not take the daemon down or change anything.
+  {
+    std::ofstream out(tunables);
+    out << "queue_capacity = not-a-number\n";
+  }
+  server.reload();
+  health = healthz(client);
+  EXPECT_EQ(health.find("tunables")->find("queue_capacity")->number(), 9.0);
+  server.shutdown();
+}
+
+TEST(ServeServer, StartRefusesABrokenTunablesFile) {
+  auto cfg = test_config("badtunables");
+  const fs::path tunables =
+      fs::path(::testing::TempDir()) / "swsim_serve_test" / "bad.conf";
+  {
+    std::ofstream out(tunables);
+    out << "bogus_knob = 1\n";
+  }
+  cfg.tunables_file = tunables.string();
+  Server server(cfg);
+  EXPECT_EQ(server.start().code(), robust::StatusCode::kInvalidConfig);
+}
+
+TEST(ServeServer, StartupRecoveryQuarantinesCorruptSpillEntries) {
+  auto cfg = test_config("recovery");
+  const fs::path spill =
+      fs::path(::testing::TempDir()) / "swsim_serve_test" / "spill_recovery";
+  fs::remove_all(spill);
+  fs::create_directories(spill);
+  {
+    std::ofstream out(spill / "00ff.swc", std::ios::binary);
+    out << "definitely not a spill file";
+  }
+  {
+    std::ofstream out(spill / "1234.swc.tmp.777", std::ios::binary);
+    out << "partial write from a crashed daemon";
+  }
+  cfg.engine.spill_dir = spill.string();
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  const auto rec = server.recovery_report();
+  EXPECT_EQ(rec.scanned, 1u);
+  EXPECT_EQ(rec.healthy, 0u);
+  EXPECT_EQ(rec.quarantined, 1u);
+  EXPECT_EQ(rec.removed_tmp, 1u);
+  // The corrupt entry moved aside (inspectable), the tmp litter is gone.
+  EXPECT_TRUE(fs::exists(spill / "quarantine" / "00ff.swc"));
+  EXPECT_FALSE(fs::exists(spill / "00ff.swc"));
+  EXPECT_FALSE(fs::exists(spill / "1234.swc.tmp.777"));
+
+  // And healthz agrees.
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  const auto health = healthz(client);
+  EXPECT_EQ(health.find("recovery")->find("quarantined")->number(), 1.0);
+  EXPECT_EQ(health.find("recovery")->find("removed_tmp")->number(), 1.0);
+  server.shutdown();
+}
+
+TEST(ServeServer, ClientRetriesRideOutADeadlineAndReportStats) {
+  auto cfg = test_config("retries");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Deadline generous, server healthy: one attempt, success.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.deadline_s = 30.0;
+  Response resp;
+  RetryStats stats;
+  const auto status = call_with_retries(cfg.socket_path, 0,
+                                        truth_table_request("maj", 1), policy,
+                                        &resp, &stats);
+  EXPECT_TRUE(status.is_ok()) << status.str();
+  EXPECT_TRUE(resp.status.is_ok());
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+  server.shutdown();
+
+  // Endpoint gone: retries burn the budget, then the deadline reports.
+  RetryPolicy doomed;
+  doomed.max_attempts = 50;
+  doomed.deadline_s = 0.3;
+  doomed.base_backoff_s = 0.02;
+  Response none;
+  RetryStats burned;
+  const auto failed = call_with_retries(cfg.socket_path, 0,
+                                        truth_table_request("maj", 2), doomed,
+                                        &none, &burned);
+  EXPECT_EQ(failed.code(), robust::StatusCode::kDeadlineExceeded);
+  EXPECT_GT(burned.attempts, 1);
+  EXPECT_EQ(burned.last_error.code(), robust::StatusCode::kIoError);
+}
+
 TEST(ServeServer, StartRefusesAmbiguousEndpoints) {
   ServerConfig cfg;  // neither socket nor port
   Server none(cfg);
