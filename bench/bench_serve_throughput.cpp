@@ -1,0 +1,221 @@
+// Serve-plane throughput figures: what the daemon sustains under
+// concurrent tenants, and where the latency tail sits.
+//
+//   1. closed_loop  — N workers, each firing its next request the moment
+//                     the previous answer lands: saturated requests/s at
+//                     fixed concurrency, mixed truthtable/yield/hello
+//                     traffic over a warm cache.
+//   2. open_loop    — arrivals paced at a target rate on a global
+//                     schedule (coordinated-omission-free): queueing
+//                     delay lands in the recorded tail, not in a quietly
+//                     slower arrival rate.
+//   3. telemetry overhead — the same hello-only storm with tracing
+//                     disarmed vs armed; the scalar telemetry_overhead_pct
+//                     is the serve-plane cost of leaving spans/flows on.
+//
+// Invariants (exit 1 when violated): no exchange may hang past the
+// client-side cap, and the shed rate of an unsaturated run must stay 0.
+// Runtime: a few seconds; the daemon lives in-process on a temp socket.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace swsim;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Keeps BENCH_serve_throughput.json bounded: an even stride over the
+// sorted latencies preserves the quantile shape the gate compares.
+std::vector<double> thin_sorted(std::vector<double> samples,
+                                std::size_t cap = 512) {
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() <= cap) return samples;
+  std::vector<double> out;
+  out.reserve(cap);
+  const double stride = static_cast<double>(samples.size()) /
+                        static_cast<double>(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    out.push_back(samples[static_cast<std::size_t>(
+        static_cast<double>(i) * stride)]);
+  }
+  return out;
+}
+
+// One warm-up pass per gate so the measured window runs over a hot
+// result cache — the serve plane, not the solver, is under test.
+bool warm_cache(const std::string& socket_path) {
+  serve::Client client;
+  if (!client.connect_unix(socket_path).is_ok()) return false;
+  for (const char* gate : {"maj", "xor"}) {
+    serve::Request req;
+    req.type = serve::RequestType::kTruthTable;
+    req.client = "warmup";
+    req.gate.kind = gate;
+    serve::Response resp;
+    if (!client.call(req, &resp).is_ok() || !resp.status.is_ok()) {
+      return false;
+    }
+  }
+  {
+    serve::Request req;
+    req.type = serve::RequestType::kYield;
+    req.client = "warmup";
+    req.yield.kind = "maj";
+    req.yield.trials = 20;
+    serve::Response resp;
+    if (!client.call(req, &resp).is_ok() || !resp.status.is_ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness harness("serve_throughput", &argc, argv);
+  const bool quick = harness.quick();
+
+  const fs::path dir = fs::temp_directory_path() / "swsim_bench_throughput";
+  fs::create_directories(dir);
+
+  serve::ServerConfig cfg;
+  cfg.socket_path = (dir / "bench.sock").string();
+  fs::remove(cfg.socket_path);
+  cfg.dispatchers = 2;
+  cfg.engine.jobs = 2;
+  cfg.queue_capacity = 256;
+  cfg.idle_timeout_s = 30.0;
+  cfg.frame_timeout_s = 10.0;
+
+  serve::Server server(cfg);
+  if (const auto st = server.start(); !st.is_ok()) {
+    std::fprintf(stderr, "bench_serve_throughput: start: %s\n",
+                 st.str().c_str());
+    return 1;
+  }
+  if (!warm_cache(cfg.socket_path)) {
+    std::fprintf(stderr, "bench_serve_throughput: warmup failed\n");
+    return 1;
+  }
+
+  serve::LoadgenConfig base;
+  base.socket_path = cfg.socket_path;
+  base.seed = 42;
+  base.concurrency = 4;
+  base.yield_trials = 20;
+  base.weight_truthtable = 0.5;
+  base.weight_yield = 0.1;
+  base.weight_hello = 0.4;
+  base.call_timeout_s = 10.0;
+
+  std::uint64_t hung = 0;
+  std::uint64_t transport_errors = 0;
+
+  // 1. Saturated closed loop.
+  serve::LoadgenConfig closed = base;
+  closed.duration_s = quick ? 1.0 : 3.0;
+  serve::LoadgenReport closed_report;
+  if (const auto st = serve::run_loadgen(closed, &closed_report);
+      !st.is_ok()) {
+    std::fprintf(stderr, "bench_serve_throughput: closed loop: %s\n",
+                 st.str().c_str());
+    return 1;
+  }
+  harness.record_samples("closed_loop_latency", "s",
+                         thin_sorted(closed_report.latencies_s));
+  hung += closed_report.hung;
+  transport_errors += closed_report.transport_errors;
+
+  // 2. Open loop at a rate the daemon holds comfortably, so the recorded
+  // tail is service jitter rather than saturation queueing.
+  serve::LoadgenConfig open = base;
+  open.duration_s = quick ? 1.0 : 3.0;
+  open.target_rps =
+      std::max(10.0, closed_report.rps > 0.0 ? closed_report.rps * 0.5 : 10.0);
+  serve::LoadgenReport open_report;
+  if (const auto st = serve::run_loadgen(open, &open_report); !st.is_ok()) {
+    std::fprintf(stderr, "bench_serve_throughput: open loop: %s\n",
+                 st.str().c_str());
+    return 1;
+  }
+  harness.record_samples("open_loop_latency", "s",
+                         thin_sorted(open_report.latencies_s));
+  hung += open_report.hung;
+  transport_errors += open_report.transport_errors;
+
+  // 3. Telemetry overhead: hello-only storms with tracing disarmed vs
+  // armed (trace_id stamped, so the full span + flow path runs).
+  serve::LoadgenConfig hello = base;
+  hello.weight_truthtable = 0.0;
+  hello.weight_yield = 0.0;
+  hello.weight_hello = 1.0;
+  hello.concurrency = 2;
+  hello.duration_s = quick ? 0.5 : 1.5;
+  serve::LoadgenReport plain_report;
+  if (const auto st = serve::run_loadgen(hello, &plain_report); !st.is_ok()) {
+    std::fprintf(stderr, "bench_serve_throughput: hello plain: %s\n",
+                 st.str().c_str());
+    return 1;
+  }
+  obs::TraceSession::global().start();
+  hello.trace_id = "benchtrace";
+  serve::LoadgenReport traced_report;
+  const auto traced_status = serve::run_loadgen(hello, &traced_report);
+  obs::TraceSession::global().stop();
+  obs::TraceSession::global().clear();
+  if (!traced_status.is_ok()) {
+    std::fprintf(stderr, "bench_serve_throughput: hello traced: %s\n",
+                 traced_status.str().c_str());
+    return 1;
+  }
+  hung += plain_report.hung + traced_report.hung;
+  transport_errors +=
+      plain_report.transport_errors + traced_report.transport_errors;
+
+  server.shutdown();
+  fs::remove_all(dir);
+
+  harness.add_scalar("closed_loop_rps", closed_report.rps);
+  harness.add_scalar("closed_loop_p99_s", closed_report.p99_s);
+  harness.add_scalar("closed_loop_p999_s", closed_report.p999_s);
+  harness.add_scalar("closed_loop_shed_rate", closed_report.shed_rate());
+  harness.add_scalar("open_loop_rps", open_report.rps);
+  harness.add_scalar("open_loop_target_rps", open.target_rps);
+  harness.add_scalar("open_loop_p99_s", open_report.p99_s);
+  harness.add_scalar("hello_plain_rps", plain_report.rps);
+  harness.add_scalar("hello_traced_rps", traced_report.rps);
+  const double overhead_pct =
+      plain_report.rps > 0.0
+          ? (plain_report.rps - traced_report.rps) / plain_report.rps * 100.0
+          : 0.0;
+  harness.add_scalar("telemetry_overhead_pct", overhead_pct);
+  harness.add_scalar("hung", static_cast<double>(hung));
+  harness.add_scalar("transport_errors",
+                     static_cast<double>(transport_errors));
+
+  bool ok = harness.finish();
+  // An unsaturated run (queue capacity 256, no deadlines) must not shed,
+  // and nothing may ever hang past the client cap.
+  if (hung != 0 || closed_report.shed_rate() > 0.0 ||
+      open_report.shed_rate() > 0.0) {
+    std::fprintf(stderr,
+                 "bench_serve_throughput: invariant failures (hung %llu, "
+                 "closed shed %.4f, open shed %.4f)\n",
+                 static_cast<unsigned long long>(hung),
+                 closed_report.shed_rate(), open_report.shed_rate());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -50,6 +50,7 @@
 #include "perf/comparison.h"
 #include "serve/chaos.h"
 #include "serve/client.h"
+#include "serve/loadgen.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/version.h"
@@ -78,26 +79,49 @@ int usage() {
       "  batch      <jobfile> [--out <csv>] [--report <csv>] [--fail-fast]\n"
       "             (jobfile: one 'truthtable ...' or 'yield ...' per line;\n"
       "              failed jobs are reported, healthy rows still returned)\n"
-      "  stats      <metrics.json>   (pretty-print a --metrics-out dump)\n"
-      "  trace-check <trace.json>    (validate a --trace-out file)\n"
+      "  stats      <metrics.json> [--prom]\n"
+      "             (pretty-print a --metrics-out dump; --prom emits\n"
+      "              Prometheus text exposition instead of tables)\n"
+      "  trace-check <trace.json>    (validate a --trace-out file,\n"
+      "              including flow events and merged multi-process files)\n"
+      "  trace merge --out <merged.json> <trace.json...>\n"
+      "             (join traces from different processes — e.g. a client's\n"
+      "              --trace-out and the daemon's — onto one timeline via\n"
+      "              their wall_anchor_us; one pid per input file)\n"
       "  version    (build fingerprint: version, git sha, compiler, flags)\n"
       "  serve      --socket <path> | --port <n>  [--dispatchers <n>]\n"
       "             [--queue <n>] [--max-sessions <n>] [--retry-after <s>]\n"
       "             [--idle-timeout <s>] [--frame-timeout <s>]\n"
       "             [--default-deadline <s>] [--max-deadline <s>]\n"
       "             [--tunables <file>] [--request-log <jsonl>]\n"
-      "             [engine flags]\n"
+      "             [--trace-out <f>] [engine flags]\n"
       "             (long-lived daemon; protocol swsim.serve/1 — see\n"
       "              docs/SERVING.md. SIGTERM drains, SIGHUP reloads the\n"
-      "              request log and the --tunables file)\n"
+      "              request log and the --tunables file, SIGQUIT dumps\n"
+      "              the flight recorder of recent requests)\n"
       "  client     --socket <path> | --port <n>\n"
       "             <hello|healthz|metrics|truthtable <gate>|yield [gate]>\n"
       "             [--client <name>] [--priority <n>] [--id <n>]\n"
       "             [--deadline <s>] [--max-attempts <n>]\n"
       "             [--retry-base <s>] [--retry-max <s>] [--retry-seed <n>]\n"
-      "             [--chaos <spec>] [--verify] [gate flags as above]\n"
+      "             [--chaos <spec>] [--verify] [--timing]\n"
+      "             [--trace-id <id>] [--trace-out <f>]\n"
+      "             [gate flags as above]\n"
       "             (exit 0 ok, 1 remote/logic fail, 2 usage, 3 retryable\n"
-      "              rejection, 4 transport, 5 deadline/attempts exhausted)\n"
+      "              rejection, 4 transport, 5 deadline/attempts exhausted;\n"
+      "              --timing prints the server's per-phase latency split on\n"
+      "              stderr; --trace-id stamps requests so the daemon's\n"
+      "              trace carries them, --trace-out also records a local\n"
+      "              client span — merge the two files with `trace merge`)\n"
+      "  loadgen    --socket <path> | --port <n> [--duration <s>]\n"
+      "             [--rps <n>] [--concurrency <n>] [--requests <n>]\n"
+      "             [--seed <n>] [--mix <tt:yield:hello>] [--trials <n>]\n"
+      "             [--deadline <s>] [--call-timeout <s>] [--tenant <prefix>]\n"
+      "             [--trace-id <id>] [--out-dir <dir>] [--quick]\n"
+      "             (multi-tenant load generator against a live daemon:\n"
+      "              closed loop by default, open loop with --rps; writes\n"
+      "              BENCH_serve_throughput.json for bench diff/gate and\n"
+      "              exits 1 if any exchange hung past --call-timeout)\n"
       "  bench list                  (known bench targets)\n"
       "  bench run  [name...] [--quick] [--repeats <n>] [--warmup <n>]\n"
       "             [--bin-dir <dir>] [--out-dir <dir>]\n"
@@ -744,6 +768,65 @@ std::optional<obs::JsonValue> parse_dump(const std::string& path,
   }
 }
 
+// A registry metric name as a Prometheus metric name: [a-zA-Z0-9_:] only,
+// "swsim_" prefix so the whole family is namespaced in a shared scrape.
+std::string prom_name(const std::string& name) {
+  std::string out = "swsim_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+// Renders a metrics dump as Prometheus text exposition (format 0.0.4):
+// counters/gauges as single samples, histograms as the _bucket/_sum/_count
+// triple with *cumulative* le buckets (the dump stores per-bucket counts).
+int print_prometheus(const obs::JsonValue& counters,
+                     const obs::JsonValue& gauges,
+                     const obs::JsonValue& histograms) {
+  std::ostringstream os;
+  os.precision(15);
+  for (const auto& [name, v] : counters.object()) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v.number() << "\n";
+  }
+  for (const auto& [name, v] : gauges.object()) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << v.number() << "\n";
+  }
+  for (const auto& [name, h] : histograms.object()) {
+    const auto* count = h.find("count");
+    const auto* sum = h.find("sum");
+    const auto* buckets = h.find("buckets");
+    if (!count || !sum || !buckets || !buckets->is_array()) {
+      std::cerr << "stats: histogram '" << name << "' is malformed\n";
+      return 2;
+    }
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    double cumulative = 0.0;
+    for (const auto& pair : buckets->array()) {
+      if (!pair.is_array() || pair.array().size() != 2) {
+        std::cerr << "stats: histogram '" << name << "' has a bad bucket\n";
+        return 2;
+      }
+      const auto& le = pair.array()[0];
+      cumulative += pair.array()[1].number();
+      if (le.is_number()) {
+        os << n << "_bucket{le=\"" << le.number() << "\"} " << cumulative
+           << "\n";
+      }
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << count->number() << "\n"
+       << n << "_sum " << sum->number() << "\n"
+       << n << "_count " << count->number() << "\n";
+  }
+  std::cout << os.str();
+  return 0;
+}
+
 // Pretty-prints a --metrics-out dump as console tables.
 int cmd_stats(const cli::Args& args) {
   if (args.positional().empty()) {
@@ -769,6 +852,9 @@ int cmd_stats(const cli::Args& args) {
     std::cerr << "stats: '" << path << "': dump contains no metrics (was "
               << "the registry armed? see --metrics-out)\n";
     return 2;
+  }
+  if (args.has("prom")) {
+    return print_prometheus(*counters, *gauges, *histograms);
   }
 
   Table scalars({"metric", "value"});
@@ -820,8 +906,10 @@ int cmd_stats(const cli::Args& args) {
 }
 
 // Validates a --trace-out file: parseable JSON, the Chrome trace_event
-// wrapper shape, and well-formed X/M events. The structural half of the
-// acceptance check scripts/check.sh runs after a traced batch.
+// wrapper shape, and well-formed X (complete), M (metadata) and s/t/f
+// (flow) events — including files produced by `swsim trace merge`, where
+// events span several pids. The structural half of the acceptance check
+// scripts/check.sh runs after a traced batch.
 int cmd_trace_check(const cli::Args& args) {
   if (args.positional().empty()) {
     std::cerr << "trace-check: missing trace file (from --trace-out)\n";
@@ -837,8 +925,9 @@ int cmd_trace_check(const cli::Args& args) {
               << "': missing \"traceEvents\" array\n";
     return 2;
   }
-  std::size_t complete = 0, metadata = 0;
-  std::vector<double> tids;
+  std::size_t complete = 0, metadata = 0, flows = 0;
+  std::vector<std::pair<double, double>> pid_tids;  // distinct (pid, tid)
+  std::vector<double> pids;
   for (std::size_t i = 0; i < events->array().size(); ++i) {
     const auto& e = events->array()[i];
     const auto fail = [&](const std::string& why) {
@@ -852,23 +941,45 @@ int cmd_trace_check(const cli::Args& args) {
     if (!ph || !ph->is_string()) return fail("missing \"ph\"");
     if (!name || !name->is_string()) return fail("missing \"name\"");
     if (!tid || !tid->is_number()) return fail("missing \"tid\"");
+    const double pid = [&] {
+      const auto* p = e.find("pid");
+      return p && p->is_number() ? p->number() : 1.0;
+    }();
+    if (std::find(pids.begin(), pids.end(), pid) == pids.end()) {
+      pids.push_back(pid);
+    }
     if (ph->str() == "M") {
       ++metadata;
       continue;
     }
-    if (ph->str() != "X") return fail("unexpected phase '" + ph->str() + "'");
+    const std::string& phase = ph->str();
+    const bool is_flow = phase == "s" || phase == "t" || phase == "f";
+    if (phase != "X" && !is_flow) {
+      return fail("unexpected phase '" + phase + "'");
+    }
     const auto* ts = e.find("ts");
-    const auto* dur = e.find("dur");
     if (!ts || !ts->is_number() || ts->number() < 0.0) {
       return fail("bad \"ts\"");
     }
-    if (!dur || !dur->is_number() || dur->number() < 0.0) {
-      return fail("bad \"dur\"");
+    if (is_flow) {
+      // Flow events carry the arrow id instead of a duration; we export it
+      // as a hex string so 64-bit ids survive JSON doubles.
+      const auto* id = e.find("id");
+      if (!id || (!id->is_string() && !id->is_number())) {
+        return fail("flow event without \"id\"");
+      }
+      ++flows;
+    } else {
+      const auto* dur = e.find("dur");
+      if (!dur || !dur->is_number() || dur->number() < 0.0) {
+        return fail("bad \"dur\"");
+      }
+      ++complete;
     }
-    if (std::find(tids.begin(), tids.end(), tid->number()) == tids.end()) {
-      tids.push_back(tid->number());
+    const std::pair<double, double> key{pid, tid->number()};
+    if (std::find(pid_tids.begin(), pid_tids.end(), key) == pid_tids.end()) {
+      pid_tids.push_back(key);
     }
-    ++complete;
   }
   if (complete == 0) {
     // A trace with no complete events means the session never recorded a
@@ -877,10 +988,179 @@ int cmd_trace_check(const cli::Args& args) {
               << "(was tracing armed for the whole run?)\n";
     return 2;
   }
-  std::cout << "trace OK: " << complete << " complete events, " << metadata
-            << " metadata events, " << tids.size() << " thread"
-            << (tids.size() == 1 ? "" : "s") << '\n';
+  std::cout << "trace OK: " << complete << " complete events, " << flows
+            << " flow events, " << metadata << " metadata events, "
+            << pid_tids.size() << " thread"
+            << (pid_tids.size() == 1 ? "" : "s") << " across " << pids.size()
+            << " process" << (pids.size() == 1 ? "" : "es") << '\n';
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// swsim trace merge — join traces exported by different processes (the
+// client's --trace-out, the daemon's) onto one timeline.
+
+// Serializes a parsed JsonValue back to text (the merge rewrites events it
+// did not produce, so it must round-trip arbitrary args objects).
+void write_json_value(std::ostringstream& os, const obs::JsonValue& v) {
+  using Kind = obs::JsonValue::Kind;
+  switch (v.kind()) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (v.boolean() ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      os << v.number();
+      break;
+    case Kind::kString:
+      os << '"' << obs::escape_json(v.str()) << '"';
+      break;
+    case Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& e : v.array()) {
+        if (!first) os << ", ";
+        first = false;
+        write_json_value(os, e);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object()) {
+        if (!first) os << ", ";
+        first = false;
+        os << '"' << obs::escape_json(k) << "\": ";
+        write_json_value(os, e);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+// Each trace's timestamps are monotonic-since-ITS-process-start; the files
+// are joined by rebasing every event onto the earliest process's clock via
+// otherData.wall_anchor_us (epoch µs at ts 0), and giving each input file
+// its own pid (plus a process_name metadata event naming the source file).
+// Flow events sharing an id — the client's 's', the server's 't' chain —
+// then connect across the pid boundary in Perfetto.
+int cmd_trace_merge(const cli::Args& args) {
+  const auto out_path = args.value("out");
+  if (!out_path) {
+    std::cerr << "trace merge: --out <merged.json> is required\n";
+    return 2;
+  }
+  std::vector<std::string> inputs(args.positional().begin() + 1,
+                                  args.positional().end());
+  if (inputs.size() < 2) {
+    std::cerr << "trace merge: need at least two trace files\n";
+    return 2;
+  }
+
+  struct Input {
+    std::string path;
+    obs::JsonValue doc;
+    double anchor_us = 0.0;
+  };
+  std::vector<Input> parsed;
+  double min_anchor = 0.0;
+  for (const auto& p : inputs) {
+    auto doc = parse_dump(p, "trace merge");
+    if (!doc) return 2;
+    const auto* events = doc->find("traceEvents");
+    if (!events || !events->is_array()) {
+      std::cerr << "trace merge: '" << p
+                << "': missing \"traceEvents\" array\n";
+      return 2;
+    }
+    double anchor = 0.0;
+    if (const auto* other = doc->find("otherData")) {
+      if (const auto* a = other->find("wall_anchor_us")) {
+        if (a->is_number()) anchor = a->number();
+      }
+    }
+    if (anchor == 0.0) {
+      std::cerr << "trace merge: '" << p << "': no otherData.wall_anchor_us "
+                << "(exported by an older build? re-record the trace)\n";
+      return 2;
+    }
+    if (parsed.empty() || anchor < min_anchor) min_anchor = anchor;
+    parsed.push_back({p, std::move(*doc), anchor});
+  }
+
+  // Offsets are taken relative to the earliest anchor, not the epoch, so
+  // rebased timestamps stay small and double-exact.
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  std::size_t total = 0;
+  for (std::size_t fi = 0; fi < parsed.size(); ++fi) {
+    const Input& in = parsed[fi];
+    const double offset_us = in.anchor_us - min_anchor;
+    const long long pid = static_cast<long long>(fi) + 1;
+    const std::string label =
+        std::filesystem::path(in.path).filename().string();
+    comma();
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"tid\": 0, \"args\": {\"name\": \"" << obs::escape_json(label)
+       << "\"}}";
+    for (const auto& e : in.doc.find("traceEvents")->array()) {
+      if (!e.is_object()) {
+        std::cerr << "trace merge: '" << in.path
+                  << "': non-object trace event\n";
+        return 2;
+      }
+      comma();
+      os << '{';
+      bool first_key = true;
+      for (const auto& [k, v] : e.object()) {
+        if (!first_key) os << ", ";
+        first_key = false;
+        os << '"' << obs::escape_json(k) << "\": ";
+        if (k == "ts" && v.is_number()) {
+          os << v.number() + offset_us;
+        } else if (k == "pid") {
+          os << pid;
+        } else {
+          write_json_value(os, v);
+        }
+      }
+      os << '}';
+      ++total;
+    }
+  }
+  os << "\n], \"otherData\": {\"wall_anchor_us\": " << min_anchor
+     << ", \"merged_from\": " << parsed.size() << "}}\n";
+
+  std::ofstream out(*out_path, std::ios::trunc);
+  if (!out || !(out << os.str())) {
+    std::cerr << "trace merge: cannot write '" << *out_path << "'\n";
+    return 1;
+  }
+  std::cout << "merged " << parsed.size() << " traces (" << total
+            << " events) -> " << *out_path << '\n';
+  return 0;
+}
+
+int cmd_trace(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "trace: missing subcommand (merge)\n";
+    return 2;
+  }
+  if (args.positional()[0] == "merge") return cmd_trace_merge(args);
+  std::cerr << "trace: unknown subcommand '" << args.positional()[0]
+            << "' (want merge)\n";
+  return 2;
 }
 
 // ---------------------------------------------------------------------------
@@ -913,6 +1193,9 @@ int cmd_serve(const cli::Args& args) {
   }
   cfg.tunables_file = args.value("tunables").value_or("");
   cfg.request_log = args.value("request-log").value_or("");
+  // The daemon is the crash-dump case the flight recorder exists for; the
+  // in-process servers tests/benches start leave it disarmed.
+  cfg.arm_crash_dump = true;
   cfg.engine = engine_config_from(args);
   if (const auto inject = args.value("inject")) arm_faults(*inject);
 
@@ -923,6 +1206,10 @@ int cmd_serve(const cli::Args& args) {
   // serves the registry to any client.
   obs::MetricsRegistry::global().reset();
   obs::MetricsRegistry::arm();
+  // --trace-out arms tracing for the daemon's whole lifetime; the file is
+  // written at shutdown. Merge it with a client's trace via `trace merge`.
+  const std::string trace_out = args.value("trace-out").value_or("");
+  if (!trace_out.empty()) obs::TraceSession::global().start();
 
   serve::Server server(cfg);
   if (const auto status = server.start(); !status.is_ok()) {
@@ -938,7 +1225,20 @@ int cmd_serve(const cli::Args& args) {
   std::cout << "serve: listening on " << server.endpoint() << " (sha "
             << serve::build_info().git_sha << ")\n"
             << std::flush;
-  return server.run_until_shutdown();
+  const int rc = server.run_until_shutdown();
+  if (!trace_out.empty()) {
+    auto& session = obs::TraceSession::global();
+    session.stop();
+    const std::size_t events = session.event_count();
+    std::string error;
+    if (!session.write_chrome_json(trace_out, &error)) {
+      std::cerr << "serve: --trace-out: " << error << '\n';
+      return rc == 0 ? 1 : rc;
+    }
+    std::cout << "serve: trace: " << events << " events -> " << trace_out
+              << '\n';
+  }
+  return rc;
 }
 
 // Exit codes: 0 success (truthtable additionally requires all_pass), 1
@@ -997,6 +1297,18 @@ int cmd_client(const cli::Args& args) {
     return 2;
   }
 
+  // Cross-process trace context: --trace-id stamps the request so the
+  // daemon's spans and request log carry it; --trace-out additionally
+  // records the client's side of the exchange, ready for `trace merge`
+  // against the daemon's own --trace-out file.
+  const std::string trace_out = args.value("trace-out").value_or("");
+  std::string trace_id = args.value("trace-id").value_or("");
+  if (trace_id.empty() && !trace_out.empty()) {
+    trace_id = "cli-" + std::to_string(::getpid()) + "-" +
+               std::to_string(static_cast<long long>(obs::wall_now_us()));
+  }
+  request.trace_id = trace_id;
+
   if (const auto chaos_spec = args.value("chaos")) {
     // Chaos mode: the request becomes the template for a storm of seeded
     // hostile exchanges. The only failure is a hung session — everything
@@ -1031,8 +1343,33 @@ int cmd_client(const cli::Args& args) {
 
   serve::Response response;
   serve::RetryStats stats;
-  const robust::Status status = serve::call_with_retries(
-      socket_path, tcp_port, request, policy, &response, &stats);
+  robust::Status status;
+  {
+    // The client's half of the cross-process trace: a span over the whole
+    // exchange with the flow 's' (start) the server's 't' steps chain to.
+    // Both sides derive the flow id from trace_id via the same hash, so
+    // the merged file connects them with no negotiation. When --trace-out
+    // is absent tracing stays disarmed and all of this is a no-op.
+    if (!trace_out.empty()) obs::TraceSession::global().start();
+    obs::Span span("client.request " + type, "client",
+                   "{\"trace_id\": \"" + obs::escape_json(trace_id) + "\"}");
+    obs::record_flow("client.request", "client", request.flow_id(), 's');
+    status = serve::call_with_retries(socket_path, tcp_port, request, policy,
+                                      &response, &stats);
+  }
+  if (!trace_out.empty()) {
+    auto& session = obs::TraceSession::global();
+    session.stop();
+    const std::size_t events = session.event_count();
+    std::string error;
+    // Reporting on stderr keeps stdout byte-identical to an untraced call.
+    if (!session.write_chrome_json(trace_out, &error)) {
+      std::cerr << "client: --trace-out: " << error << '\n';
+    } else {
+      std::cerr << "client: trace: " << events << " events -> " << trace_out
+                << " (trace id " << trace_id << ")\n";
+    }
+  }
   if (stats.retries > 0) {
     // Retry-budget accounting, on stderr so stdout stays byte-identical
     // to a single-shot call.
@@ -1046,6 +1383,27 @@ int cmd_client(const cli::Args& args) {
     return status.code() == robust::StatusCode::kDeadlineExceeded
                ? kClientExitDeadline
                : 4;
+  }
+
+  if (args.has("timing")) {
+    // The server's own phase split (echoed on every response), on stderr
+    // so stdout stays byte-clean for --verify and piped consumers.
+    const auto& t = response.timing;
+    if (t.any()) {
+      std::ostringstream os;
+      os.precision(6);
+      os << "client: timing:";
+      if (t.queue_s >= 0.0) os << " queue " << t.queue_s << "s";
+      if (t.engine_s >= 0.0) os << " engine " << t.engine_s << "s";
+      if (t.render_s >= 0.0) os << " render " << t.render_s << "s";
+      if (t.total_s >= 0.0) os << " total " << t.total_s << "s";
+      if (t.budget_consumed >= 0.0) {
+        os << " (deadline budget " << t.budget_consumed * 100.0 << "% used)";
+      }
+      std::cerr << os.str() << '\n';
+    } else {
+      std::cerr << "client: timing: server reported no timing block\n";
+    }
   }
 
   const robust::StatusCode code = response.status.code();
@@ -1133,6 +1491,141 @@ int cmd_client(const cli::Args& args) {
   if (request.type == serve::RequestType::kTruthTable &&
       serve::Response::set(response.all_pass)) {
     return response.all_pass != 0.0 ? 0 : 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// swsim loadgen — the multi-tenant load generator (serve/loadgen.h) as a
+// command against a live daemon. Prints a summary and writes
+// BENCH_serve_throughput.json through the shared bench harness, so a
+// loadgen run gates against the committed baseline exactly like the
+// in-process bench binary (the case name matches the loop mode).
+
+int cmd_loadgen(const cli::Args& args) {
+  serve::LoadgenConfig cfg;
+  cfg.socket_path = args.value("socket").value_or("");
+  cfg.tcp_port = static_cast<int>(args.integer("port", 0));
+  if (cfg.socket_path.empty() && !args.value("port")) {
+    std::cerr << "loadgen: need --socket <path> or --port <n>\n";
+    return 2;
+  }
+  const bool quick = args.has("quick");
+  cfg.duration_s = args.number("duration", quick ? 2.0 : 10.0);
+  cfg.max_requests = args.unsigned_integer("requests", 0);
+  cfg.target_rps = args.number("rps", 0.0);
+  cfg.concurrency = args.unsigned_integer("concurrency", 4);
+  cfg.seed = args.unsigned_integer("seed", 1);
+  cfg.yield_trials = args.unsigned_integer("trials", 40);
+  cfg.deadline_s = args.number("deadline", 0.0);
+  cfg.call_timeout_s = args.number("call-timeout", 30.0);
+  cfg.tenant_prefix = args.value("tenant").value_or("loadgen");
+  cfg.trace_id = args.value("trace-id").value_or("");
+  if (const auto mix = args.value("mix")) {
+    // --mix tt:yield:hello, e.g. "6:2:2" (any non-negative scale).
+    double w[3] = {0.0, 0.0, 0.0};
+    std::istringstream ms(*mix);
+    std::string part;
+    std::size_t i = 0;
+    bool bad = false;
+    for (; i < 3 && std::getline(ms, part, ':'); ++i) {
+      try {
+        w[i] = std::stod(part);
+      } catch (const std::exception&) {
+        bad = true;
+        break;
+      }
+    }
+    std::string rest;
+    if (bad || i != 3 || std::getline(ms, rest, ':') || w[0] < 0.0 ||
+        w[1] < 0.0 || w[2] < 0.0) {
+      std::cerr << "loadgen: --mix wants three non-negative weights "
+                   "'tt:yield:hello' (e.g. 6:2:2)\n";
+      return 2;
+    }
+    cfg.weight_truthtable = w[0];
+    cfg.weight_yield = w[1];
+    cfg.weight_hello = w[2];
+  }
+
+  const bool open_loop = cfg.target_rps > 0.0;
+  std::cout << "loadgen: " << (open_loop ? "open" : "closed") << " loop, "
+            << cfg.concurrency << " tenants";
+  if (open_loop) std::cout << ", target " << cfg.target_rps << " req/s";
+  if (cfg.duration_s > 0.0) std::cout << ", " << cfg.duration_s << " s";
+  if (cfg.max_requests > 0) std::cout << ", cap " << cfg.max_requests;
+  std::cout << '\n' << std::flush;
+
+  serve::LoadgenReport report;
+  if (const auto st = serve::run_loadgen(cfg, &report); !st.is_ok()) {
+    std::cerr << "loadgen: " << st.str() << '\n';
+    return st.code() == robust::StatusCode::kInvalidConfig ? 2 : 4;
+  }
+
+  Table t({"figure", "value"});
+  t.add_row({"sent", Table::num(static_cast<double>(report.sent), 0)});
+  t.add_row({"completed",
+             Table::num(static_cast<double>(report.completed), 0)});
+  t.add_row({"ok", Table::num(static_cast<double>(report.ok), 0)});
+  t.add_row({"shed (overloaded/draining)",
+             Table::num(static_cast<double>(report.shed), 0)});
+  t.add_row({"deadline exceeded",
+             Table::num(static_cast<double>(report.deadline_exceeded), 0)});
+  t.add_row({"failed", Table::num(static_cast<double>(report.failed), 0)});
+  t.add_row({"transport errors",
+             Table::num(static_cast<double>(report.transport_errors), 0)});
+  t.add_row({"hung (> call timeout)",
+             Table::num(static_cast<double>(report.hung), 0)});
+  t.add_row({"mix tt/yield/hello",
+             Table::num(static_cast<double>(report.truthtable), 0) + "/" +
+                 Table::num(static_cast<double>(report.yield), 0) + "/" +
+                 Table::num(static_cast<double>(report.hello), 0)});
+  t.add_row({"wall [s]", Table::num(report.wall_s, 3)});
+  t.add_row({"requests/s", Table::num(report.rps, 1)});
+  t.add_row({"latency mean [s]", Table::num(report.mean_s, 6)});
+  t.add_row({"latency p50 [s]", Table::num(report.p50_s, 6)});
+  t.add_row({"latency p95 [s]", Table::num(report.p95_s, 6)});
+  t.add_row({"latency p99 [s]", Table::num(report.p99_s, 6)});
+  t.add_row({"latency p99.9 [s]", Table::num(report.p999_s, 6)});
+  t.add_row({"latency max [s]", Table::num(report.max_s, 6)});
+  std::cout << t.str();
+
+  // The BENCH artifact, through the same harness as the bench binaries so
+  // env fingerprinting and `bench diff/gate` semantics match. The harness
+  // parses flags from argv; hand it a synthetic one.
+  std::vector<std::string> hold = {"loadgen"};
+  if (quick) hold.emplace_back("--quick");
+  if (const auto out_dir = args.value("out-dir")) {
+    hold.emplace_back("--out-dir");
+    hold.emplace_back(*out_dir);
+  }
+  std::vector<char*> hargv;
+  hargv.reserve(hold.size() + 1);
+  for (auto& s : hold) hargv.push_back(s.data());
+  hargv.push_back(nullptr);
+  int hargc = static_cast<int>(hold.size());
+  swsim::bench::Harness harness("serve_throughput", &hargc, hargv.data());
+  harness.record_samples(
+      open_loop ? "open_loop_latency" : "closed_loop_latency", "s",
+      report.latencies_s);
+  harness.add_scalar(open_loop ? "open_loop_rps" : "closed_loop_rps",
+                     report.rps);
+  if (open_loop) harness.add_scalar("open_loop_target_rps", cfg.target_rps);
+  harness.add_scalar("p50_s", report.p50_s);
+  harness.add_scalar("p95_s", report.p95_s);
+  harness.add_scalar("p99_s", report.p99_s);
+  harness.add_scalar("p999_s", report.p999_s);
+  harness.add_scalar("shed_rate", report.shed_rate());
+  harness.add_scalar("hung", static_cast<double>(report.hung));
+  harness.add_scalar("transport_errors",
+                     static_cast<double>(report.transport_errors));
+  if (!harness.finish()) return 1;
+
+  if (report.hung > 0) {
+    std::cerr << "loadgen: FAIL — " << report.hung << " exchange"
+              << (report.hung == 1 ? "" : "s") << " hung past the "
+              << cfg.call_timeout_s << " s call timeout\n";
+    return 1;
   }
   return 0;
 }
@@ -1411,10 +1904,12 @@ int main(int argc, char** argv) {
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "trace-check") return cmd_trace_check(args);
+    if (cmd == "trace") return cmd_trace(args);
     if (cmd == "bench") return cmd_bench(args);
     if (cmd == "version") return cmd_version();
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "client") return cmd_client(args);
+    if (cmd == "loadgen") return cmd_loadgen(args);
     std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
     return 2;
   } catch (const std::invalid_argument& e) {

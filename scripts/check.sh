@@ -33,6 +33,13 @@
 #      a deadline-exceeded rejection (client exit 5) without engine work;
 #      and the daemon must still SIGTERM-drain clean afterwards
 #      (docs/ROBUSTNESS.md).
+#   9. a serve-telemetry smoke: a traced daemon + traced client round trip
+#      merged into one timeline by `swsim trace merge` and validated by
+#      `swsim trace-check` (flow events across two pids); the request log
+#      must carry the client's trace id; SIGQUIT must dump the flight
+#      recorder without killing the daemon; and a quick `swsim loadgen`
+#      run must emit a BENCH_serve_throughput.json with 0 hung exchanges
+#      and a bounded shed rate (docs/OBSERVABILITY.md).
 #
 # Usage: scripts/check.sh [build-dir]           (default: build)
 # Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
@@ -69,7 +76,7 @@ else
               test_obs_trace test_obs_metrics test_obs_log
               test_obs_determinism
               test_serve_admission test_serve_server
-              test_serve_codec test_serve_chaos)
+              test_serve_codec test_serve_chaos test_serve_slo)
 
   echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
   cmake -B "${TSAN_DIR}" -S . \
@@ -329,6 +336,93 @@ else
   trap - EXIT
   test ! -e "${SOCK}" || { echo "stage 8: socket not unlinked" >&2; exit 1; }
   echo "stage 8: chaos smoke passed"
+fi
+
+if [[ "${SWSIM_CHECK_SKIP_SERVE:-0}" == "1" ]]; then
+  echo "== stage 9: serve telemetry smoke skipped (SWSIM_CHECK_SKIP_SERVE=1) =="
+else
+  echo "== stage 9: serve telemetry smoke (traces, slo, loadgen) =="
+  TELEM_DIR="${BUILD_DIR}/telemetry-smoke"
+  rm -rf "${TELEM_DIR}"
+  mkdir -p "${TELEM_DIR}"
+  SOCK="${TELEM_DIR}/telemetry.sock"
+  SWSIM="${BUILD_DIR}/cli/swsim"
+
+  "${SWSIM}" serve --socket "${SOCK}" --jobs 2 \
+    --idle-timeout 30 --frame-timeout 5 \
+    --trace-out "${TELEM_DIR}/server_trace.json" \
+    --request-log "${TELEM_DIR}/requests.jsonl" \
+    > "${TELEM_DIR}/serve.log" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do
+    "${SWSIM}" client --socket "${SOCK}" hello >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+
+  # A traced request: the client stamps the trace context, the server
+  # continues the same flow, and both sides echo/record the timing split.
+  "${SWSIM}" client --socket "${SOCK}" --client tracer \
+    --trace-id smoke-trace --trace-out "${TELEM_DIR}/client_trace.json" \
+    truthtable maj --timing > "${TELEM_DIR}/traced.txt" 2>&1
+  grep -q "client: timing: queue" "${TELEM_DIR}/traced.txt"
+
+  # Per-tenant SLO accounting is visible over the wire.
+  "${SWSIM}" client --socket "${SOCK}" healthz > "${TELEM_DIR}/healthz.txt"
+  grep -q '"slo"' "${TELEM_DIR}/healthz.txt"
+  grep -q '"tracer"' "${TELEM_DIR}/healthz.txt"
+
+  # SIGQUIT dumps the flight recorder into the request log without taking
+  # the daemon down: it must keep answering afterwards.
+  kill -QUIT "${SERVE_PID}"
+  DUMPED=0
+  for _ in $(seq 50); do
+    grep -q '"flight_recorder":"begin"' "${TELEM_DIR}/requests.jsonl" \
+      2>/dev/null && { DUMPED=1; break; }
+    sleep 0.1
+  done
+  if [[ "${DUMPED}" -ne 1 ]]; then
+    echo "stage 9: SIGQUIT did not dump the flight recorder" >&2
+    exit 1
+  fi
+  "${SWSIM}" client --socket "${SOCK}" hello >/dev/null
+
+  # A quick load-generator run against the same daemon: its BENCH file
+  # must report zero hung exchanges and a bounded shed rate.
+  "${SWSIM}" loadgen --socket "${SOCK}" --quick --duration 1 \
+    --concurrency 2 --tenant smokegen --seed 11 \
+    --out-dir "${TELEM_DIR}" > "${TELEM_DIR}/loadgen.txt"
+  BENCH_JSON="${TELEM_DIR}/BENCH_serve_throughput.json"
+  test -s "${BENCH_JSON}"
+  grep -q '"hung": 0\(\.0\+\)\?\([,}]\|$\)' "${BENCH_JSON}" || {
+    echo "stage 9: loadgen reported hung exchanges" >&2
+    cat "${TELEM_DIR}/loadgen.txt" >&2
+    exit 1
+  }
+  grep -q '"closed_loop_latency"' "${BENCH_JSON}"
+
+  # Drain so the server writes its trace file, then merge both sides into
+  # one timeline and validate it: the merged trace must span two processes
+  # and still carry the flow arrows that tie client to solver.
+  kill -TERM "${SERVE_PID}"
+  wait "${SERVE_PID}"
+  trap - EXIT
+  test -s "${TELEM_DIR}/server_trace.json"
+  test -s "${TELEM_DIR}/client_trace.json"
+  "${SWSIM}" trace merge --out "${TELEM_DIR}/merged_trace.json" \
+    "${TELEM_DIR}/client_trace.json" "${TELEM_DIR}/server_trace.json"
+  "${SWSIM}" trace-check "${TELEM_DIR}/merged_trace.json" \
+    > "${TELEM_DIR}/trace_check.txt"
+  grep -q "trace OK" "${TELEM_DIR}/trace_check.txt"
+  if grep -q " 0 flow events" "${TELEM_DIR}/trace_check.txt"; then
+    echo "stage 9: merged trace carries no flow events" >&2
+    exit 1
+  fi
+  grep -q "across 2 processes" "${TELEM_DIR}/trace_check.txt"
+
+  # The request log carries the client's trace id end to end.
+  grep -q '"trace_id":"smoke-trace"' "${TELEM_DIR}/requests.jsonl"
+  echo "stage 9: serve telemetry smoke passed"
 fi
 
 echo "== all checks passed =="

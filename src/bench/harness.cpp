@@ -409,6 +409,7 @@ const std::vector<BenchTarget>& bench_registry() {
       {"ladder_vs_triangle", "bench_ladder_vs_triangle.csv", false},
       {"solver_perf", "bench_engine_speedup.csv", true},
       {"serve_resilience", "BENCH_serve_resilience.json", false},
+      {"serve_throughput", "BENCH_serve_throughput.json", false},
   };
   return targets;
 }

@@ -79,6 +79,11 @@ struct JobOptions {
 struct Job {
   JobId id = 0;
   std::string label;
+  // The obs flow id (obs::current_flow_id()) of the thread that added the
+  // job — a served request's dispatcher sets it so the job's span on the
+  // pool worker is linked back to the request's trace across threads
+  // (and, after `swsim trace merge`, across processes). 0 = no flow.
+  std::uint64_t flow_id = 0;
   std::function<void(const robust::CancelToken&)> fn;
   JobOptions options;
   JobState state = JobState::kPending;

@@ -57,6 +57,7 @@ JobId Scheduler::add(std::string label,
   Job job;
   job.id = id;
   job.label = std::move(label);
+  job.flow_id = obs::current_flow_id();
   job.fn = std::move(fn);
   job.options = options;
   for (const JobId d : deps) {
@@ -149,6 +150,7 @@ void Scheduler::execute(JobId id) {
   std::function<void(const robust::CancelToken&)> fn;
   robust::CancelToken token;
   std::string label;
+  std::uint64_t flow = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Job& j = jobs_[id];
@@ -205,6 +207,7 @@ void Scheduler::execute(JobId id) {
     ++j.attempts;
     token = j.token;
     label = j.label;
+    flow = j.flow_id;
     fn = j.fn;  // copy out: run without holding the lock
     if (j.options.timeout_seconds > 0.0 || j.options.has_deadline()) {
       // Wake the run() waiter so it starts watching this deadline.
@@ -216,6 +219,9 @@ void Scheduler::execute(JobId id) {
   robust::Status outcome = robust::Status::ok();
   {
     obs::Span span(label, "job");
+    // Bind this worker-thread span into the originating request's flow
+    // (the arrow chain client → session → dispatcher → solver jobs).
+    if (flow != 0) obs::record_flow(label, "job", flow, 't');
     try {
       // Deterministic fault harness: a no-op unless a test or --inject
       // armed a plan for this label.

@@ -18,6 +18,7 @@ namespace {
 // the handler touches is async-signal-safe.
 std::atomic<std::uint64_t> g_interrupts{0};
 std::atomic<std::uint64_t> g_hups{0};
+std::atomic<std::uint64_t> g_quits{0};
 std::atomic<bool> g_cancel_on_first{true};
 int g_pipe_read = -1;
 int g_pipe_write = -1;
@@ -27,11 +28,13 @@ struct SavedAction {
   bool saved = false;
   struct sigaction action {};
 };
-SavedAction g_saved[3];
+SavedAction g_saved[4];
 
 void shutdown_handler(int signum) {
   if (signum == SIGHUP) {
     g_hups.fetch_add(1, std::memory_order_relaxed);
+  } else if (signum == SIGQUIT) {
+    g_quits.fetch_add(1, std::memory_order_relaxed);
   } else {
     const std::uint64_t n =
         g_interrupts.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -77,10 +80,11 @@ void ShutdownSignal::install(const ShutdownConfig& config) {
   // prompt wakeup watch poll_fd() (the self-pipe wakes poll() regardless).
   action.sa_flags = SA_RESTART;
 
-  const int signums[3] = {config.handle_int ? SIGINT : 0,
+  const int signums[4] = {config.handle_int ? SIGINT : 0,
                           config.handle_term ? SIGTERM : 0,
-                          config.handle_hup ? SIGHUP : 0};
-  for (int i = 0; i < 3; ++i) {
+                          config.handle_hup ? SIGHUP : 0,
+                          config.handle_quit ? SIGQUIT : 0};
+  for (int i = 0; i < 4; ++i) {
     if (signums[i] == 0) continue;
     struct sigaction previous;
     if (::sigaction(signums[i], &action, &previous) == 0 &&
@@ -106,6 +110,10 @@ std::uint64_t ShutdownSignal::hups() const {
   return g_hups.load(std::memory_order_relaxed);
 }
 
+std::uint64_t ShutdownSignal::quits() const {
+  return g_quits.load(std::memory_order_relaxed);
+}
+
 int ShutdownSignal::poll_fd() const { return g_pipe_read; }
 
 void ShutdownSignal::drain_poll_fd() {
@@ -118,6 +126,7 @@ void ShutdownSignal::drain_poll_fd() {
 void ShutdownSignal::reset() {
   g_interrupts.store(0, std::memory_order_relaxed);
   g_hups.store(0, std::memory_order_relaxed);
+  g_quits.store(0, std::memory_order_relaxed);
   reset_process_cancel();
   drain_poll_fd();
 }

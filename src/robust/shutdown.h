@@ -32,6 +32,9 @@ struct ShutdownConfig {
   bool handle_int = true;
   bool handle_term = true;
   bool handle_hup = false;
+  // SIGQUIT is a diagnostics request, not a shutdown: `swsim serve` dumps
+  // its flight-recorder ring to the request log and keeps serving.
+  bool handle_quit = false;
   // true: the first SIGINT/SIGTERM trips the process-wide cancel flag
   // (batch policy). false: only the second one does (serve drains first).
   bool cancel_on_first = true;
@@ -51,6 +54,7 @@ class ShutdownSignal {
   // SIGINT + SIGTERM deliveries since install()/reset().
   std::uint64_t interrupts() const;
   std::uint64_t hups() const;
+  std::uint64_t quits() const;
   bool requested() const { return interrupts() > 0; }
 
   // Read end of the self-pipe: becomes readable whenever a handled signal

@@ -46,6 +46,10 @@ struct PendingRequest {
   std::chrono::steady_clock::time_point enqueued_at{};
   std::chrono::steady_clock::time_point deadline_at =
       std::chrono::steady_clock::time_point::max();
+  // The deadline granted at admission in seconds (0 = none) — kept beside
+  // the absolute deadline_at so the dispatcher can report what fraction
+  // of the budget a request consumed.
+  double granted_deadline_s = 0.0;
 
   bool has_deadline() const {
     return deadline_at != std::chrono::steady_clock::time_point::max();

@@ -1,0 +1,74 @@
+// Flight recorder: a bounded in-memory ring of the most recent serve
+// events, kept so a postmortem has the last seconds of traffic even when
+// the request log was disabled, rotated, or lost with the process.
+//
+// Two dump paths with very different contracts:
+//   * dump(ostream) — normal-context dump, mutex-taken, used by the
+//     SIGQUIT handler's *main-loop* side (the signal handler only bumps a
+//     counter; Server::run_until_shutdown notices and dumps here).
+//   * dump_to_fd(fd) — async-signal-safe best effort for the crash path
+//     (SIGSEGV/SIGABRT...): no locks, no allocation, raw ::write() of the
+//     fixed-size slots. A slot being concurrently rewritten may come out
+//     torn; a torn line in a crash dump beats no dump.
+//
+// Entries are preformatted JSON lines truncated to kSlotBytes so the
+// crash path never touches the heap.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace swsim::serve {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kSlotBytes = 384;
+
+  explicit FlightRecorder(std::size_t capacity = 256);
+  // Unbinds this recorder from the crash handlers if it was the armed one
+  // (the handlers stay installed but become no-ops), so a crash after an
+  // in-process Server is destroyed cannot touch freed memory.
+  ~FlightRecorder();
+
+  // Records one event line (a JSON object, no trailing newline); lines
+  // longer than kSlotBytes - 1 are truncated.
+  void record(const std::string& line);
+
+  std::uint64_t total_recorded() const;
+  std::size_t size() const;  // entries currently held (<= capacity)
+  std::size_t capacity() const { return slots_.size(); }
+
+  // Writes the ring oldest-first between marker lines:
+  //   {"flight_recorder":"begin","dropped":N}
+  //   ... entries ...
+  //   {"flight_recorder":"end","entries":M}
+  void dump(std::ostream& out) const;
+
+  // Async-signal-safe: raw write(2) of the ring to `fd`, oldest-first.
+  // No locking — only call from a crash handler (or a test that accepts
+  // the race). Returns bytes written (best effort).
+  std::size_t dump_to_fd(int fd) const;
+
+  // Registers this recorder as the process crash recorder and installs
+  // SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump_to_fd(stderr) and
+  // re-raise with the default disposition. At most one recorder per
+  // process can be armed; later calls rebind the pointer.
+  void arm_crash_dump(int fd = 2);
+
+ private:
+  struct Slot {
+    char text[kSlotBytes];
+    // Bytes valid in `text`; 0 = never written. Written last so the
+    // lock-free crash reader sees len==0 or a fully copied prefix.
+    std::uint16_t len = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::uint64_t next_ = 0;  // total records; next slot is next_ % capacity
+};
+
+}  // namespace swsim::serve

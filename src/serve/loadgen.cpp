@@ -1,0 +1,272 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace swsim::serve {
+
+namespace {
+
+// xorshift64*: cheap, seedable, good enough for mix/chaos draws. Each
+// worker owns one stream (seed + worker index) so runs are deterministic
+// in what they *send* regardless of scheduling.
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+  std::uint64_t next() {
+    std::uint64_t x = state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+};
+
+enum class Kind { kTruthTable, kYield, kHello };
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+robust::Status run_loadgen(const LoadgenConfig& config, LoadgenReport* out) {
+  using robust::Status;
+  using robust::StatusCode;
+  *out = LoadgenReport{};
+  const bool unix_ep = !config.socket_path.empty();
+  const bool tcp_ep = config.tcp_port > 0;
+  if (unix_ep == tcp_ep) {
+    return Status::error(StatusCode::kInvalidConfig,
+                         "exactly one endpoint required: a Unix socket path "
+                         "or a TCP port",
+                         "loadgen");
+  }
+  if (config.concurrency == 0) {
+    return Status::error(StatusCode::kInvalidConfig,
+                         "concurrency must be >= 1", "loadgen");
+  }
+  if (config.duration_s <= 0.0 && config.max_requests == 0) {
+    return Status::error(StatusCode::kInvalidConfig,
+                         "need a positive duration or a request cap",
+                         "loadgen");
+  }
+  const double wsum = config.weight_truthtable + config.weight_yield +
+                      config.weight_hello;
+  if (config.weight_truthtable < 0.0 || config.weight_yield < 0.0 ||
+      config.weight_hello < 0.0) {
+    return Status::error(StatusCode::kInvalidConfig,
+                         "mix weights must be >= 0", "loadgen");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto issue_end =
+      config.duration_s > 0.0
+          ? start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(config.duration_s))
+          : std::chrono::steady_clock::time_point::max();
+
+  // Shared issue ledger: a worker claims slot k (open loop: the arrival
+  // scheduled at start + k/target_rps) by incrementing, and backs out by
+  // never sending if the window closed first.
+  std::atomic<std::uint64_t> next_slot{0};
+  std::atomic<bool> any_connected{false};
+
+  struct WorkerResult {
+    LoadgenReport partial;  // counters + latencies only
+  };
+  std::vector<WorkerResult> results(config.concurrency);
+
+  const auto worker = [&](std::size_t index) {
+    LoadgenReport& r = results[index].partial;
+    Rng rng(config.seed * 0x9e3779b97f4a7c15ull + index + 1);
+    Client client;
+    const auto connect = [&]() -> bool {
+      client.close();
+      const Status st = unix_ep ? client.connect_unix(config.socket_path)
+                                : client.connect_tcp(config.tcp_port);
+      if (st.is_ok()) any_connected.store(true, std::memory_order_relaxed);
+      return st.is_ok();
+    };
+    if (!connect()) {
+      // One retry after a breath — the daemon may still be binding.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (!connect()) return;
+    }
+    const std::string tenant =
+        config.tenant_prefix + "-" + std::to_string(index);
+    std::uint64_t request_seq = 0;
+
+    while (true) {
+      const std::uint64_t slot =
+          next_slot.fetch_add(1, std::memory_order_relaxed);
+      if (config.max_requests != 0 && slot >= config.max_requests) break;
+      if (config.target_rps > 0.0) {
+        // Open loop: wait for this slot's scheduled arrival, even if the
+        // daemon is slow — lateness becomes measured latency, not a
+        // silently reduced rate.
+        const auto at =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(slot) / config.target_rps));
+        if (at >= issue_end) break;
+        std::this_thread::sleep_until(at);
+      } else if (std::chrono::steady_clock::now() >= issue_end) {
+        break;
+      }
+
+      Kind kind = Kind::kHello;
+      if (wsum > 0.0) {
+        const double draw = rng.uniform() * wsum;
+        kind = draw < config.weight_truthtable ? Kind::kTruthTable
+               : draw < config.weight_truthtable + config.weight_yield
+                   ? Kind::kYield
+                   : Kind::kHello;
+      }
+
+      Request request;
+      request.client = tenant;
+      request.id = ++request_seq;
+      request.deadline_s = config.deadline_s;
+      request.trace_id = config.trace_id;
+      switch (kind) {
+        case Kind::kTruthTable:
+          request.type = RequestType::kTruthTable;
+          request.gate.kind =
+              config.gates.empty()
+                  ? "maj"
+                  : config.gates[static_cast<std::size_t>(rng.next() %
+                                                          config.gates.size())];
+          ++r.truthtable;
+          break;
+        case Kind::kYield:
+          request.type = RequestType::kYield;
+          request.yield.kind = "maj";
+          request.yield.trials =
+              config.yield_trials == 0 ? 1 : config.yield_trials;
+          ++r.yield;
+          break;
+        case Kind::kHello:
+          request.type = RequestType::kHello;
+          ++r.hello;
+          break;
+      }
+
+      ++r.sent;
+      Response response;
+      const auto t0 = std::chrono::steady_clock::now();
+      const Status st = config.call_timeout_s > 0.0
+                            ? client.call(request, &response,
+                                          config.call_timeout_s)
+                            : client.call(request, &response);
+      const double latency =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (!st.is_ok()) {
+        if (st.code() == StatusCode::kDeadlineExceeded ||
+            (config.call_timeout_s > 0.0 &&
+             latency >= config.call_timeout_s)) {
+          // The daemon never answered inside the cap: the one failure
+          // mode the throughput bench treats as disqualifying.
+          ++r.hung;
+        } else {
+          ++r.transport_errors;
+        }
+        if (!connect()) break;
+        continue;
+      }
+      ++r.completed;
+      r.latencies_s.push_back(latency);
+      switch (response.status.code()) {
+        case StatusCode::kOk:
+          ++r.ok;
+          break;
+        case StatusCode::kOverloaded:
+        case StatusCode::kDraining:
+          ++r.shed;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++r.deadline_exceeded;
+          break;
+        default:
+          ++r.failed;
+          break;
+      }
+      if (config.chaos_close_prob > 0.0 &&
+          rng.uniform() < config.chaos_close_prob) {
+        if (!connect()) break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.concurrency);
+  for (std::size_t i = 0; i < config.concurrency; ++i) {
+    threads.emplace_back(worker, i);
+  }
+  for (auto& t : threads) t.join();
+
+  out->wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const auto& w : results) {
+    const LoadgenReport& r = w.partial;
+    out->sent += r.sent;
+    out->completed += r.completed;
+    out->ok += r.ok;
+    out->shed += r.shed;
+    out->deadline_exceeded += r.deadline_exceeded;
+    out->failed += r.failed;
+    out->transport_errors += r.transport_errors;
+    out->hung += r.hung;
+    out->truthtable += r.truthtable;
+    out->yield += r.yield;
+    out->hello += r.hello;
+    out->latencies_s.insert(out->latencies_s.end(), r.latencies_s.begin(),
+                            r.latencies_s.end());
+  }
+  if (!any_connected.load(std::memory_order_relaxed)) {
+    return Status::error(StatusCode::kIoError,
+                         "no worker could connect to " +
+                             (unix_ep ? "unix:" + config.socket_path
+                                      : "tcp:" + std::to_string(
+                                            config.tcp_port)),
+                         "loadgen");
+  }
+  if (out->wall_s > 0.0) {
+    out->rps = static_cast<double>(out->completed) / out->wall_s;
+  }
+  if (!out->latencies_s.empty()) {
+    std::vector<double> sorted = out->latencies_s;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (const double v : sorted) sum += v;
+    out->mean_s = sum / static_cast<double>(sorted.size());
+    out->p50_s = quantile_sorted(sorted, 0.50);
+    out->p95_s = quantile_sorted(sorted, 0.95);
+    out->p99_s = quantile_sorted(sorted, 0.99);
+    out->p999_s = quantile_sorted(sorted, 0.999);
+    out->max_s = sorted.back();
+  }
+  return Status::ok();
+}
+
+}  // namespace swsim::serve

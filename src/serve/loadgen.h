@@ -1,0 +1,91 @@
+// Multi-tenant load generator for a live swsim.serve daemon.
+//
+// Drives N worker connections ("tenants") against an endpoint with a
+// seeded mix of truthtable / yield / hello requests, in either mode:
+//
+//   * closed loop (target_rps == 0) — every worker issues its next
+//     request the moment the previous response lands: measures the
+//     daemon's saturated throughput at a fixed concurrency.
+//   * open loop (target_rps > 0) — arrivals are paced on a global
+//     schedule (slot k fires at start + k/target_rps, workers race for
+//     slots); queueing delay then shows up in the latency tail instead
+//     of silently slowing the arrival rate — the coordinated-omission-
+//     free way to measure tail latency at a target rate.
+//
+// Both `swsim loadgen` (live daemon over a socket) and
+// bench_serve_throughput (in-process daemon) are built on run_loadgen();
+// the report carries everything BENCH_serve_throughput.json gates on:
+// requests/s, p50/p95/p99/p99.9, shed and timeout rates, and the hung
+// count that must stay zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+
+namespace swsim::serve {
+
+struct LoadgenConfig {
+  // Exactly one endpoint, like ServerConfig.
+  std::string socket_path;
+  int tcp_port = 0;
+
+  double duration_s = 5.0;        // stop issuing new requests after this
+  std::uint64_t max_requests = 0; // additional cap (0 = duration only)
+  double target_rps = 0.0;        // > 0: open loop; 0: closed loop
+  std::size_t concurrency = 4;    // worker connections, one tenant each
+  std::uint64_t seed = 1;         // request-mix + chaos randomness
+
+  // Request mix weights (any non-negative scale; all zero = hello only).
+  double weight_truthtable = 0.6;
+  double weight_yield = 0.2;
+  double weight_hello = 0.2;
+  std::size_t yield_trials = 40;
+  std::vector<std::string> gates = {"maj", "xor"};
+
+  double deadline_s = 0.0;       // per-request server budget (0 = none)
+  // Client-side cap on one exchange; a call still unanswered past it
+  // counts as hung — the invariant the bench gates at zero.
+  double call_timeout_s = 30.0;
+  // Optional chaos: probability a worker drops its connection between
+  // exchanges (session-churn stress; reconnect cost lands in latency).
+  double chaos_close_prob = 0.0;
+  std::string tenant_prefix = "loadgen";
+  // Stamped into every request when non-empty, so a loadgen run can be
+  // traced end to end like any other client traffic.
+  std::string trace_id;
+};
+
+struct LoadgenReport {
+  std::uint64_t sent = 0;        // requests issued
+  std::uint64_t completed = 0;   // responses received (any status)
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;        // kOverloaded + kDraining
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed = 0;      // other non-ok responses
+  std::uint64_t transport_errors = 0;
+  std::uint64_t hung = 0;        // exchanges that outlived call_timeout_s
+  std::uint64_t truthtable = 0, yield = 0, hello = 0;  // sent per kind
+
+  double wall_s = 0.0;
+  double rps = 0.0;              // completed / wall_s
+  double mean_s = 0.0, p50_s = 0.0, p95_s = 0.0, p99_s = 0.0, p999_s = 0.0,
+         max_s = 0.0;
+  std::vector<double> latencies_s;  // one per completed exchange, unsorted
+
+  double shed_rate() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(shed + deadline_exceeded) /
+                                static_cast<double>(completed);
+  }
+};
+
+// Runs the configured load against the endpoint. kInvalidConfig for a
+// nonsensical config, kIoError when no worker ever connected; otherwise
+// kOk with *out filled (individual transport errors are counted, not
+// fatal).
+robust::Status run_loadgen(const LoadgenConfig& config, LoadgenReport* out);
+
+}  // namespace swsim::serve

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.h"
 
 namespace swsim::serve {
 
@@ -82,6 +85,12 @@ std::string to_string(RequestType type) {
   return "unknown";
 }
 
+std::uint64_t Request::flow_id() const {
+  if (parent_span != 0) return parent_span;
+  if (trace_id.empty()) return 0;
+  return obs::flow_hash(trace_id + "#" + std::to_string(id));
+}
+
 robust::Status parse_request(const obs::JsonValue& doc, Request* out) {
   *out = Request{};
   if (!doc.is_object()) return invalid("request must be a JSON object");
@@ -140,6 +149,25 @@ robust::Status parse_request(const obs::JsonValue& doc, Request* out) {
   if (present) {
     if (num <= 0.0) return invalid("'deadline_s' must be > 0");
     out->deadline_s = num;
+  }
+  if (auto s = read_string(doc, "trace_id", &out->trace_id, &present);
+      !s.is_ok()) {
+    return s;
+  }
+  // parent_span travels as a hex string: 64-bit ids do not survive the
+  // double-backed JSON number representation above 2^53.
+  std::string span_hex;
+  if (auto s = read_string(doc, "parent_span", &span_hex, &present);
+      !s.is_ok()) {
+    return s;
+  }
+  if (present) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(span_hex.c_str(), &end, 16);
+    if (span_hex.empty() || end == nullptr || *end != '\0') {
+      return invalid("'parent_span' must be a hex string");
+    }
+    out->parent_span = static_cast<std::uint64_t>(v);
   }
 
   if (out->type != RequestType::kTruthTable &&
@@ -225,6 +253,13 @@ std::string serialize_request(const Request& r) {
   if (r.deadline_s > 0.0) {
     out += ",\"deadline_s\":" + fmt_double(r.deadline_s);
   }
+  if (!r.trace_id.empty()) out += ",\"trace_id\":" + quoted(r.trace_id);
+  if (r.parent_span != 0) {
+    char hex[20];
+    std::snprintf(hex, sizeof hex, "%llx",
+                  static_cast<unsigned long long>(r.parent_span));
+    out += ",\"parent_span\":\"" + std::string(hex) + "\"";
+  }
   if (r.type == RequestType::kTruthTable) {
     out += ",\"gate\":" + quoted(r.gate.kind) +
            ",\"lambda_nm\":" + fmt_double(r.gate.lambda_nm);
@@ -267,6 +302,20 @@ std::string serialize_response(const Response& r) {
   add_scalar("max_asymmetry", r.max_asymmetry);
   add_scalar("min_margin", r.min_margin);
   if (!scalars.empty()) out += ",\"scalars\":{" + scalars + "}";
+  if (r.timing.any()) {
+    std::string timing;
+    const auto add_phase = [&timing](const char* name, double v) {
+      if (v < 0.0) return;
+      if (!timing.empty()) timing += ",";
+      timing += "\"" + std::string(name) + "\":" + fmt_double(v);
+    };
+    add_phase("queue_s", r.timing.queue_s);
+    add_phase("engine_s", r.timing.engine_s);
+    add_phase("render_s", r.timing.render_s);
+    add_phase("total_s", r.timing.total_s);
+    add_phase("budget_consumed", r.timing.budget_consumed);
+    out += ",\"timing\":{" + timing + "}";
+  }
   if (!r.payload_json.empty()) out += ",\"payload\":" + r.payload_json;
   out += "}";
   return out;
@@ -321,6 +370,18 @@ robust::Status parse_response_text(const std::string& text, Response* out) {
     get("mean_worst_margin", &out->mean_worst_margin);
     get("max_asymmetry", &out->max_asymmetry);
     get("min_margin", &out->min_margin);
+  }
+  if (const auto* timing = doc.find("timing"); timing && timing->is_object()) {
+    const auto get = [timing](const char* name, double* dst) {
+      if (const auto* v = timing->find(name); v && v->is_number()) {
+        *dst = v->number();
+      }
+    };
+    get("queue_s", &out->timing.queue_s);
+    get("engine_s", &out->timing.engine_s);
+    get("render_s", &out->timing.render_s);
+    get("total_s", &out->timing.total_s);
+    get("budget_consumed", &out->timing.budget_consumed);
   }
   if (const auto* payload = doc.find("payload")) {
     out->payload_json = dump_json(*payload);

@@ -52,8 +52,21 @@ struct Request {
   // out — in the queue or mid-solve — answers kDeadlineExceeded
   // (retryable) instead of its result, and the engine stops computing it.
   double deadline_s = 0.0;
+  // Cross-process trace correlation ("" = not traced). A traced client
+  // stamps an opaque id here; the server continues the trace under it —
+  // flow events on both sides share obs::flow_hash(trace_id + "#" + id)
+  // so `swsim trace merge` can join the two trace files — and copies it
+  // into the request-log line.
+  std::string trace_id;
+  // The client-side flow/span id the server should bind its spans to;
+  // 0 = derive it from trace_id (the flow_hash above). Lets a client that
+  // runs several traced requests under one trace_id keep them distinct.
+  std::uint64_t parent_span = 0;
   GateParams gate;         // truthtable payload
   YieldParams yield;       // yield payload
+
+  // The flow id tying this request's spans together across processes.
+  std::uint64_t flow_id() const;
 };
 
 // Validates and extracts a request. Returns kInvalidConfig (with a
@@ -78,6 +91,25 @@ struct Response {
 
   static constexpr double kUnsetScalar = -1.0e308;
   static bool set(double v) { return v != kUnsetScalar; }
+
+  // Server-side phase breakdown, echoed as a "timing" object so every
+  // client can attribute latency without server logs: seconds spent
+  // waiting in the admission queue, inside the engine, rendering the
+  // reply, and end-to-end inside the server; budget_consumed is
+  // total_s / granted deadline (only when the request carried one).
+  // Negative = unset (built-ins report total_s only).
+  struct Timing {
+    double queue_s = -1.0;
+    double engine_s = -1.0;
+    double render_s = -1.0;
+    double total_s = -1.0;
+    double budget_consumed = -1.0;
+    bool any() const {
+      return queue_s >= 0.0 || engine_s >= 0.0 || render_s >= 0.0 ||
+             total_s >= 0.0 || budget_consumed >= 0.0;
+    }
+  };
+  Timing timing;
 };
 
 std::string serialize_response(const Response& r);

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 
 #include "core/validator.h"
 #include "obs/obs.h"
@@ -75,7 +76,10 @@ std::string trim(const std::string& s) {
 
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
-      queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity) {
+      queue_(config_.queue_capacity == 0 ? 1 : config_.queue_capacity),
+      flight_(config_.flight_recorder_capacity == 0
+                  ? 256
+                  : config_.flight_recorder_capacity) {
   if (config_.dispatchers == 0) config_.dispatchers = 1;
   if (config_.max_sessions == 0) config_.max_sessions = 1;
   tunables_.queue_capacity =
@@ -268,6 +272,7 @@ robust::Status Server::start() {
   // A broken tunables file at startup is a hard error (fail fast); on
   // SIGHUP the same failure keeps the previous values instead.
   if (Status s = apply_tunables_file(); !s.is_ok()) return s;
+  if (config_.arm_crash_dump) flight_.arm_crash_dump(2);
   start_t_us_ = obs::now_us();
   started_.store(true, std::memory_order_release);
 
@@ -358,65 +363,94 @@ void Server::session_loop(std::size_t slot, int fd) {
     Request request;
     Response response;
     const robust::Status parsed = parse_request_text(payload, &request);
-    if (!parsed.is_ok()) {
-      response.id = request.id;
-      response.status = parsed;
-    } else if (request.type == RequestType::kHello ||
-               request.type == RequestType::kHealthz ||
-               request.type == RequestType::kMetrics) {
-      // Built-ins bypass admission (and keep answering while draining):
-      // they are cheap, and an orchestrator needs them to watch the drain.
-      response = make_builtin_response(request);
-    } else if (draining()) {
-      response.id = request.id;
-      response.status = robust::Status::error(
-          robust::StatusCode::kDraining, "server is draining",
-          "serve " + endpoint());
-      response.retry_after_s = tun.retry_after_s;
-    } else {
-      auto pending = std::make_unique<PendingRequest>();
-      pending->request = request;
-      pending->enqueued_us = obs::wall_now_us();
-      // Deadline policy: the client's deadline_s, defaulted and capped by
-      // the tunables, becomes an absolute steady-clock point stamped at
-      // admission — queue wait burns the same budget the engine gets.
-      double deadline_s = request.deadline_s;
-      if (deadline_s <= 0.0) deadline_s = tun.default_deadline_s;
-      if (tun.max_deadline_s > 0.0 &&
-          (deadline_s <= 0.0 || deadline_s > tun.max_deadline_s)) {
-        deadline_s = tun.max_deadline_s;
-      }
-      if (deadline_s > 0.0) {
-        pending->deadline_at =
-            std::chrono::steady_clock::now() +
-            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                std::chrono::duration<double>(deadline_s));
-      }
-      std::future<Response> future = pending->promise.get_future();
-      switch (queue_.push(std::move(pending))) {
-        case Admit::kAdmitted:
-          response = future.get();
-          break;
-        case Admit::kOverloaded:
-          response.id = request.id;
-          response.status = robust::Status::error(
-              robust::StatusCode::kOverloaded,
-              "admission queue full (" +
-                  std::to_string(queue_.capacity()) + ")",
-              "serve " + endpoint());
-          response.retry_after_s = tun.retry_after_s;
-          break;
-        case Admit::kClosed:
-          response.id = request.id;
-          response.status = robust::Status::error(
-              robust::StatusCode::kDraining, "server is draining",
-              "serve " + endpoint());
-          response.retry_after_s = tun.retry_after_s;
-          break;
+    // Deadline granted at admission (after defaulting/capping); > 0 makes
+    // the response's timing block report budget consumption.
+    double granted_deadline_s = 0.0;
+    {
+      // The session-side span covers the whole exchange — admission wait
+      // included — and continues the client's trace when the request
+      // carries a trace_id (the flow step links this span to the client's
+      // and, downstream, to the dispatcher's and the solver jobs').
+      const std::uint64_t flow = request.flow_id();
+      obs::Span span("serve.request " + request.client + " req " +
+                         std::to_string(request.id),
+                     "serve",
+                     request.trace_id.empty()
+                         ? std::string()
+                         : "{\"trace_id\":\"" +
+                               obs::escape_json(request.trace_id) + "\"}");
+      if (flow != 0) obs::record_flow("serve.request", "serve", flow, 't');
+      if (!parsed.is_ok()) {
+        response.id = request.id;
+        response.status = parsed;
+      } else if (request.type == RequestType::kHello ||
+                 request.type == RequestType::kHealthz ||
+                 request.type == RequestType::kMetrics) {
+        // Built-ins bypass admission (and keep answering while draining):
+        // they are cheap, and an orchestrator needs them to watch the drain.
+        response = make_builtin_response(request);
+      } else if (draining()) {
+        response.id = request.id;
+        response.status = robust::Status::error(
+            robust::StatusCode::kDraining, "server is draining",
+            "serve " + endpoint());
+        response.retry_after_s = tun.retry_after_s;
+      } else {
+        auto pending = std::make_unique<PendingRequest>();
+        pending->request = request;
+        pending->enqueued_us = obs::wall_now_us();
+        // Deadline policy: the client's deadline_s, defaulted and capped by
+        // the tunables, becomes an absolute steady-clock point stamped at
+        // admission — queue wait burns the same budget the engine gets.
+        double deadline_s = request.deadline_s;
+        if (deadline_s <= 0.0) deadline_s = tun.default_deadline_s;
+        if (tun.max_deadline_s > 0.0 &&
+            (deadline_s <= 0.0 || deadline_s > tun.max_deadline_s)) {
+          deadline_s = tun.max_deadline_s;
+        }
+        if (deadline_s > 0.0) {
+          granted_deadline_s = deadline_s;
+          pending->granted_deadline_s = deadline_s;
+          pending->deadline_at =
+              std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(deadline_s));
+        }
+        std::future<Response> future = pending->promise.get_future();
+        switch (queue_.push(std::move(pending))) {
+          case Admit::kAdmitted: {
+            obs::Span wait_span("serve.queue_wait", "serve");
+            response = future.get();
+            break;
+          }
+          case Admit::kOverloaded:
+            response.id = request.id;
+            response.status = robust::Status::error(
+                robust::StatusCode::kOverloaded,
+                "admission queue full (" +
+                    std::to_string(queue_.capacity()) + ")",
+                "serve " + endpoint());
+            response.retry_after_s = tun.retry_after_s;
+            break;
+          case Admit::kClosed:
+            response.id = request.id;
+            response.status = robust::Status::error(
+                robust::StatusCode::kDraining, "server is draining",
+                "serve " + endpoint());
+            response.retry_after_s = tun.retry_after_s;
+            break;
+        }
       }
     }
 
     const double wall_s = (obs::now_us() - t0) * 1e-6;
+    // Every response echoes the server-side view of its latency; workload
+    // responses already carry the queue/engine/render split the
+    // dispatcher measured.
+    response.timing.total_s = wall_s;
+    if (granted_deadline_s > 0.0) {
+      response.timing.budget_consumed = wall_s / granted_deadline_s;
+    }
     observe_request(request, response, wall_s);
     log_request(request, response, wall_s);
     // The write is also bounded: a peer that sent a request and then
@@ -440,6 +474,11 @@ void Server::dispatch_loop() {
         static_cast<std::int64_t>(queue_.depth()));
     Response response;
     const auto now = std::chrono::steady_clock::now();
+    // Queue-wait is attributed at pickup: everything between admission
+    // and this point was spent behind other tenants' work.
+    const double queue_s =
+        std::chrono::duration<double>(now - pending->enqueued_at).count();
+    response.timing.queue_s = queue_s < 0.0 ? 0.0 : queue_s;
     if (pending->has_deadline() && now >= pending->deadline_at) {
       // Admission shedding: the client stopped waiting while this sat in
       // the queue — answer kDeadlineExceeded without burning engine work.
@@ -454,25 +493,43 @@ void Server::dispatch_loop() {
         budget_s =
             std::chrono::duration<double>(pending->deadline_at - now).count();
       }
+      // Everything the dispatcher (and the engine jobs it schedules) does
+      // from here runs under the request's flow id, so solver spans on
+      // pool workers link back to this request in the merged trace.
+      obs::ScopedFlow flow_scope(pending->request.flow_id());
+      const double h0 = obs::now_us();
+      double engine_s = 0.0;
       try {
-        response = handle_workload(pending->request, budget_s);
+        response = handle_workload(pending->request, budget_s, &engine_s);
       } catch (...) {
         response.id = pending->request.id;
         response.status = robust::status_of_current_exception().with_context(
             "serve dispatch");
       }
+      const double handled_s = (obs::now_us() - h0) * 1e-6;
+      response.timing.queue_s = queue_s < 0.0 ? 0.0 : queue_s;
+      response.timing.engine_s = engine_s;
+      response.timing.render_s =
+          handled_s > engine_s ? handled_s - engine_s : 0.0;
     }
     pending->promise.set_value(std::move(response));
   }
 }
 
 Response Server::handle_workload(const Request& request,
-                                 double deadline_seconds) {
+                                 double deadline_seconds,
+                                 double* engine_seconds) {
   // Labels carry the tenant so the failure report, the event log, and a
   // fault plan's label matching (--inject "throw:<client>") are per-client.
   const std::string label =
       request.client + " req " + std::to_string(request.id);
   obs::Span span("serve." + to_string(request.type) + " " + label, "serve");
+  if (const std::uint64_t flow = obs::current_flow_id(); flow != 0) {
+    obs::record_flow("serve.dispatch", "serve", flow, 't');
+  }
+  const auto engine_timer = [engine_seconds](double t0_us) {
+    if (engine_seconds) *engine_seconds += (obs::now_us() - t0_us) * 1e-6;
+  };
 
   Response response;
   response.id = request.id;
@@ -484,8 +541,10 @@ Response Server::handle_workload(const Request& request,
           "unknown gate '" + request.gate.kind + "'", "serve " + label);
       return response;
     }
+    const double e0 = obs::now_us();
     const auto outcome = runner_->run_truth_table_checked(
         spec->factory, spec->key, {}, label, deadline_seconds);
+    engine_timer(e0);
     response.text = core::format_report(outcome.report);
     if (outcome.ok()) {
       response.all_pass = outcome.report.all_pass ? 1.0 : 0.0;
@@ -503,8 +562,10 @@ Response Server::handle_workload(const Request& request,
           "serve " + label);
       return response;
     }
+    const double e0 = obs::now_us();
     const auto outcome = runner_->run_yield_checked(
         spec->factory, spec->model, spec->trials, label, deadline_seconds);
+    engine_timer(e0);
     response.text = render_yield(spec->kind, outcome.report);
     if (outcome.ok()) {
       response.yield_value = outcome.report.yield;
@@ -602,13 +663,15 @@ std::string Server::healthz_payload() const {
          "}" +
          ",\"engine\":{\"threads\":" + std::to_string(stats.threads) +
          ",\"jobs_executed\":" + std::to_string(stats.jobs_executed) +
-         ",\"jobs_failed\":" + std::to_string(stats.jobs_failed) + "}}";
+         ",\"jobs_failed\":" + std::to_string(stats.jobs_failed) + "}" +
+         // Per-tenant SLO accounting (serve/slo.h): phase histograms,
+         // shed counters and budget consumption per tenant and kind.
+         ",\"slo\":" + slo_.json() + "}";
   return out;
 }
 
 void Server::observe_request(const Request& request, const Response& response,
                              double wall_s) {
-  (void)request;
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   serve_metrics().requests.add();
   switch (response.status.code()) {
@@ -635,20 +698,51 @@ void Server::observe_request(const Request& request, const Response& response,
   }
   serve_metrics().request_seconds.observe(wall_s);
   serve_metrics().queue_depth.set(static_cast<std::int64_t>(queue_.depth()));
+
+  SloTracker::Sample sample;
+  sample.tenant = request.client;
+  sample.kind = to_string(request.type);
+  sample.code = response.status.code();
+  sample.queue_s = response.timing.queue_s;
+  sample.engine_s = response.timing.engine_s;
+  sample.render_s = response.timing.render_s;
+  sample.total_s = wall_s;
+  sample.budget_consumed = response.timing.budget_consumed;
+  slo_.record(sample);
 }
 
 void Server::log_request(const Request& request, const Response& response,
                          double wall_s) {
+  const std::uint64_t t_us = obs::wall_now_us();
+  std::string line =
+      "{\"t_us\":" + std::to_string(t_us) + ",\"ts\":\"" +
+      obs::format_iso8601_us(t_us) + "\",\"client\":\"" +
+      obs::escape_json(request.client) + "\",\"type\":\"" +
+      to_string(request.type) + "\",\"id\":" + std::to_string(request.id);
+  if (!request.trace_id.empty()) {
+    // Correlation key: the same id appears in the client's log and in
+    // both trace files, so one grep joins all four views of a request.
+    line += ",\"trace_id\":\"" + obs::escape_json(request.trace_id) + "\"";
+  }
+  line += ",\"code\":\"" + robust::to_string(response.status.code()) +
+          "\",\"wall_s\":" + fmt(wall_s) + "}";
+  // The flight recorder sees every request, log file or not: the ring is
+  // what a SIGQUIT / crash postmortem reads back.
+  flight_.record(line);
   std::lock_guard<std::mutex> lock(log_mutex_);
   if (!log_out_.is_open()) return;
-  const std::uint64_t t_us = obs::wall_now_us();
-  log_out_ << "{\"t_us\":" << t_us << ",\"ts\":\""
-           << obs::format_iso8601_us(t_us) << "\",\"client\":\""
-           << obs::escape_json(request.client) << "\",\"type\":\""
-           << to_string(request.type) << "\",\"id\":" << request.id
-           << ",\"code\":\"" << robust::to_string(response.status.code())
-           << "\",\"wall_s\":" << fmt(wall_s) << "}\n";
+  log_out_ << line << "\n";
   log_out_.flush();
+}
+
+void Server::dump_flight_recorder() {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  if (log_out_.is_open()) {
+    flight_.dump(log_out_);
+    log_out_.flush();
+  } else {
+    flight_.dump(std::cerr);
+  }
 }
 
 void Server::begin_drain() {
@@ -723,10 +817,12 @@ int Server::run_until_shutdown() {
   auto& signal = robust::ShutdownSignal::global();
   robust::ShutdownConfig sc;
   sc.handle_hup = true;
+  sc.handle_quit = true;  // SIGQUIT: dump the flight recorder, keep serving
   sc.cancel_on_first = false;  // first signal drains; the second cancels
   signal.install(sc);
 
   std::uint64_t seen_hups = signal.hups();
+  std::uint64_t seen_quits = signal.quits();
   while (signal.interrupts() == 0) {
     pollfd p{signal.poll_fd(), POLLIN, 0};
     if (::poll(&p, 1, -1) < 0 && errno != EINTR) break;
@@ -735,6 +831,11 @@ int Server::run_until_shutdown() {
     if (hups != seen_hups) {
       seen_hups = hups;
       reload();
+    }
+    const std::uint64_t quits = signal.quits();
+    if (quits != seen_quits) {
+      seen_quits = quits;
+      dump_flight_recorder();
     }
   }
   // Graceful drain. A second SIGTERM/SIGINT during the drain trips the

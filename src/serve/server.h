@@ -41,7 +41,9 @@
 #include "engine/batch_runner.h"
 #include "robust/status.h"
 #include "serve/admission.h"
+#include "serve/flight_recorder.h"
 #include "serve/protocol.h"
+#include "serve/slo.h"
 
 namespace swsim::serve {
 
@@ -67,6 +69,13 @@ struct ServerConfig {
   // queue_capacity), re-read on SIGHUP — see ServeTunables.
   std::string tunables_file;
   std::string request_log;          // JSONL request log path (optional)
+  // Flight-recorder ring size (recent request lines kept in memory for
+  // SIGQUIT / crash postmortems); 0 keeps the default.
+  std::size_t flight_recorder_capacity = 256;
+  // true: install SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that dump the
+  // flight recorder to stderr before re-raising. The daemon turns this
+  // on; in-process tests leave it off.
+  bool arm_crash_dump = false;
   engine::EngineConfig engine;      // shared runner configuration
 };
 
@@ -119,6 +128,12 @@ class Server {
   std::string endpoint() const;
 
   const engine::BatchRunner& runner() const { return *runner_; }
+  const SloTracker& slo() const { return slo_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
+
+  // Appends the flight-recorder ring to the request log (stderr when no
+  // log is configured). run_until_shutdown() calls this on SIGQUIT.
+  void dump_flight_recorder();
 
  private:
   struct Session {
@@ -130,8 +145,11 @@ class Server {
   void dispatch_loop();
   void session_loop(std::size_t slot, int fd);
   // deadline_seconds > 0 is the remaining request budget, plumbed into the
-  // engine as an absolute JobOptions::not_after.
-  Response handle_workload(const Request& request, double deadline_seconds);
+  // engine as an absolute JobOptions::not_after. *engine_seconds (when
+  // non-null) accumulates the wall time spent inside the BatchRunner so
+  // the dispatcher can split engine from render time.
+  Response handle_workload(const Request& request, double deadline_seconds,
+                           double* engine_seconds);
   Response make_builtin_response(const Request& request);
   std::string healthz_payload() const;
   void log_request(const Request& request, const Response& response,
@@ -178,6 +196,11 @@ class Server {
   std::atomic<std::uint64_t> rejected_draining_{0};
   std::atomic<std::uint64_t> rejected_deadline_{0};
   std::atomic<std::uint64_t> sessions_timed_out_{0};
+
+  // Per-tenant SLO accounting (healthz "slo" section) and the bounded
+  // ring of recent request lines for postmortems.
+  SloTracker slo_;
+  FlightRecorder flight_;
 };
 
 }  // namespace swsim::serve

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <thread>
 #include <vector>
@@ -168,6 +169,98 @@ TEST_F(TraceTest, SpanNamesAreJsonEscaped) {
   const auto events = complete_events(TraceSession::global().chrome_json());
   ASSERT_EQ(events.size(), 1u);
   EXPECT_EQ(events[0].name, "quote \" backslash \\ newline \n end");
+}
+
+TEST_F(TraceTest, FlowEventsExportHexIdsAndPhases) {
+  TraceSession::global().start();
+  const std::uint64_t id = flow_hash("trace-1#7");
+  {
+    Span a("client.request");
+    record_flow("client.request", "client", id, 's');
+  }
+  {
+    Span b("serve.request");
+    record_flow("serve.request", "serve", id, 't');
+  }
+  record_flow("serve.done", "serve", id, 'f');
+  TraceSession::global().stop();
+
+  const JsonValue root = parse_json(TraceSession::global().chrome_json());
+  std::vector<std::string> phases;
+  std::vector<std::string> ids;
+  for (const auto& e : root.find("traceEvents")->array()) {
+    const std::string& ph = e.find("ph")->str();
+    if (ph != "s" && ph != "t" && ph != "f") continue;
+    phases.push_back(ph);
+    // The arrow id is a hex string, not a JSON number: 64-bit ids would
+    // lose precision as doubles.
+    const auto* idv = e.find("id");
+    ASSERT_NE(idv, nullptr);
+    ASSERT_TRUE(idv->is_string());
+    ids.push_back(idv->str());
+    if (ph == "f") {
+      ASSERT_NE(e.find("bp"), nullptr);
+      EXPECT_EQ(e.find("bp")->str(), "e");
+    } else {
+      EXPECT_EQ(e.find("bp"), nullptr);
+    }
+  }
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[1], ids[2]);
+  char expect[19];
+  std::snprintf(expect, sizeof expect, "0x%llx",
+                static_cast<unsigned long long>(id));
+  EXPECT_EQ(ids[0], expect);
+}
+
+TEST_F(TraceTest, DisarmedOrZeroIdFlowsRecordNothing) {
+  record_flow("never", "x", 123, 's');  // disarmed
+  TraceSession::global().start();
+  record_flow("no-flow", "x", 0, 's');  // id 0 means "no flow"
+  TraceSession::global().stop();
+  EXPECT_EQ(TraceSession::global().event_count(), 0u);
+}
+
+TEST_F(TraceTest, ScopedFlowSetsAndRestoresTheThreadFlow) {
+  EXPECT_EQ(current_flow_id(), 0u);
+  {
+    ScopedFlow outer(11);
+    EXPECT_EQ(current_flow_id(), 11u);
+    {
+      ScopedFlow inner(22);
+      EXPECT_EQ(current_flow_id(), 22u);
+    }
+    EXPECT_EQ(current_flow_id(), 11u);
+  }
+  EXPECT_EQ(current_flow_id(), 0u);
+  // And the flow is per-thread, not global.
+  {
+    ScopedFlow outer(33);
+    std::uint64_t seen = 99;
+    std::thread([&] { seen = current_flow_id(); }).join();
+    EXPECT_EQ(seen, 0u);
+  }
+}
+
+TEST_F(TraceTest, ExportCarriesAWallAnchorForCrossProcessMerge) {
+  TraceSession::global().start();
+  { Span a("anchored"); }
+  TraceSession::global().stop();
+  const JsonValue root = parse_json(TraceSession::global().chrome_json());
+  const auto* other = root.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const auto* anchor = other->find("wall_anchor_us");
+  ASSERT_NE(anchor, nullptr);
+  ASSERT_TRUE(anchor->is_number());
+  // Epoch microseconds at trace ts 0: after 2020, before the heat death.
+  EXPECT_GT(anchor->number(), 1.5e15);
+}
+
+TEST_F(TraceTest, FlowHashIsDeterministicAndNeverZero) {
+  EXPECT_EQ(flow_hash("trace-a#1"), flow_hash("trace-a#1"));
+  EXPECT_NE(flow_hash("trace-a#1"), flow_hash("trace-a#2"));
+  EXPECT_NE(flow_hash(""), 0u);
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/json.h"
+#include "obs/trace.h"
 
 namespace swsim::serve {
 namespace {
@@ -158,6 +159,87 @@ TEST(ServeProtocol, SerializedRequestIsValidJson) {
   r.type = RequestType::kHello;
   r.client = "with \"quotes\" and \n newline";
   EXPECT_NO_THROW(obs::parse_json(serialize_request(r)));
+}
+
+TEST(ServeProtocol, TraceContextRoundTrips) {
+  Request r;
+  r.type = RequestType::kHello;
+  r.id = 9;
+  r.trace_id = "cli-1234-99";
+  // A parent span id whose value exceeds 2^53 — the hex-string wire form
+  // exists precisely because a JSON double would mangle it.
+  r.parent_span = 0xfeedfacecafebeefull;
+
+  Request back;
+  ASSERT_TRUE(parse_request_text(serialize_request(r), &back).is_ok());
+  EXPECT_EQ(back.trace_id, "cli-1234-99");
+  EXPECT_EQ(back.parent_span, 0xfeedfacecafebeefull);
+  // An explicit parent span wins as the flow id.
+  EXPECT_EQ(back.flow_id(), 0xfeedfacecafebeefull);
+
+  // Without one, both ends derive the same id from trace_id + request id.
+  r.parent_span = 0;
+  ASSERT_TRUE(parse_request_text(serialize_request(r), &back).is_ok());
+  EXPECT_EQ(back.flow_id(), obs::flow_hash("cli-1234-99#9"));
+  EXPECT_NE(back.flow_id(), 0u);
+
+  // No trace context at all: no flow, and the wire stays clean of the
+  // optional keys.
+  Request plain;
+  plain.type = RequestType::kHello;
+  EXPECT_EQ(plain.flow_id(), 0u);
+  const std::string wire = serialize_request(plain);
+  EXPECT_EQ(wire.find("trace_id"), std::string::npos);
+  EXPECT_EQ(wire.find("parent_span"), std::string::npos);
+}
+
+TEST(ServeProtocol, ParentSpanMustBeAHexString) {
+  Request r;
+  EXPECT_EQ(parse_request_text(
+                R"({"type":"hello","parent_span":12345})", &r)
+                .code(),
+            robust::StatusCode::kInvalidConfig);
+  EXPECT_EQ(parse_request_text(
+                R"({"type":"hello","parent_span":"xyzzy"})", &r)
+                .code(),
+            robust::StatusCode::kInvalidConfig);
+}
+
+TEST(ServeProtocol, TimingBlockRoundTripsAndOmitsUnsetPhases) {
+  Response r;
+  r.id = 3;
+  r.status = robust::Status::ok();
+  r.timing.queue_s = 0.001;
+  r.timing.engine_s = 0.25;
+  r.timing.render_s = 0.0005;
+  r.timing.total_s = 0.2521;
+  r.timing.budget_consumed = 0.42;
+
+  Response back;
+  ASSERT_TRUE(parse_response_text(serialize_response(r), &back).is_ok());
+  ASSERT_TRUE(back.timing.any());
+  EXPECT_DOUBLE_EQ(back.timing.queue_s, 0.001);
+  EXPECT_DOUBLE_EQ(back.timing.engine_s, 0.25);
+  EXPECT_DOUBLE_EQ(back.timing.render_s, 0.0005);
+  EXPECT_DOUBLE_EQ(back.timing.total_s, 0.2521);
+  EXPECT_DOUBLE_EQ(back.timing.budget_consumed, 0.42);
+
+  // Partially measured (a shed request has no engine/render phase): the
+  // unset fields stay unset through the round trip.
+  Response shed;
+  shed.timing.queue_s = 0.002;
+  shed.timing.total_s = 0.003;
+  ASSERT_TRUE(parse_response_text(serialize_response(shed), &back).is_ok());
+  EXPECT_DOUBLE_EQ(back.timing.queue_s, 0.002);
+  EXPECT_LT(back.timing.engine_s, 0.0);
+  EXPECT_LT(back.timing.render_s, 0.0);
+  EXPECT_LT(back.timing.budget_consumed, 0.0);
+
+  // No timing at all: the key is absent from the wire.
+  Response none;
+  EXPECT_EQ(serialize_response(none).find("timing"), std::string::npos);
+  ASSERT_TRUE(parse_response_text(serialize_response(none), &back).is_ok());
+  EXPECT_FALSE(back.timing.any());
 }
 
 }  // namespace
