@@ -190,10 +190,13 @@ int main(int argc, char** argv) {
   harness.add_scalar("closed_loop_rps", closed_report.rps);
   harness.add_scalar("closed_loop_p99_s", closed_report.p99_s);
   harness.add_scalar("closed_loop_p999_s", closed_report.p999_s);
+  harness.add_scalar("closed_loop_max_s", closed_report.max_s);
   harness.add_scalar("closed_loop_shed_rate", closed_report.shed_rate());
   harness.add_scalar("open_loop_rps", open_report.rps);
   harness.add_scalar("open_loop_target_rps", open.target_rps);
   harness.add_scalar("open_loop_p99_s", open_report.p99_s);
+  harness.add_scalar("open_loop_p999_s", open_report.p999_s);
+  harness.add_scalar("open_loop_max_s", open_report.max_s);
   harness.add_scalar("hello_plain_rps", plain_report.rps);
   harness.add_scalar("hello_traced_rps", traced_report.rps);
   const double overhead_pct =

@@ -45,11 +45,14 @@
 #include "io/table.h"
 #include "mag/kernels/runtime.h"
 #include "math/constants.h"
+#include "math/spectrum.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/trace_merge.h"
 #include "perf/comparison.h"
 #include "serve/chaos.h"
 #include "serve/client.h"
+#include "serve/codec.h"
 #include "serve/loadgen.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -76,6 +79,9 @@ int usage() {
       "             [--sigma-amp <frac>] [--trials <n>] [--lambda <nm>]\n"
       "  compare    (regenerate the paper's Table III)\n"
       "  micromag   [--xor] [--lambda <nm>] [--width <nm>] [--cell <nm>]\n"
+      "             [--early-stop]  (stop each LLG solve once the live\n"
+      "              port envelopes settle; logic unchanged, saved steps\n"
+      "              reported — raw amplitudes may differ from a full run)\n"
       "  batch      <jobfile> [--out <csv>] [--report <csv>] [--fail-fast]\n"
       "             (jobfile: one 'truthtable ...' or 'yield ...' per line;\n"
       "              failed jobs are reported, healthy rows still returned)\n"
@@ -100,7 +106,8 @@ int usage() {
       "              request log and the --tunables file, SIGQUIT dumps\n"
       "              the flight recorder of recent requests)\n"
       "  client     --socket <path> | --port <n>\n"
-      "             <hello|healthz|metrics|truthtable <gate>|yield [gate]>\n"
+      "             <hello|healthz|metrics|truthtable <gate>|yield [gate]\n"
+      "              |micromag [gate]>\n"
       "             [--client <name>] [--priority <n>] [--id <n>]\n"
       "             [--deadline <s>] [--max-attempts <n>]\n"
       "             [--retry-base <s>] [--retry-max <s>] [--retry-seed <n>]\n"
@@ -122,6 +129,15 @@ int usage() {
       "              closed loop by default, open loop with --rps; writes\n"
       "              BENCH_serve_throughput.json for bench diff/gate and\n"
       "              exits 1 if any exchange hung past --call-timeout)\n"
+      "  probe record   [--xor] [--lambda <nm>] [--width <nm>]\n"
+      "             [--cell <nm>] [--pattern <bits>] --out <csv>\n"
+      "             (one LLG solve; detector series as probe,t,mx,my,mz)\n"
+      "  probe spectrum <series.csv> [--probe <name>] [--out <csv>]\n"
+      "             (periodogram of a recorded series; prints the peak)\n"
+      "  probe tail --socket <path> | --port <n> [--max-frames <n>]\n"
+      "             [--duration <s>] [--probe <name>]\n"
+      "             (live lock-in envelopes of a serve daemon's solves —\n"
+      "              one line per completed demodulation window)\n"
       "  bench list                  (known bench targets)\n"
       "  bench run  [name...] [--quick] [--repeats <n>] [--warmup <n>]\n"
       "             [--bin-dir <dir>] [--out-dir <dir>]\n"
@@ -477,17 +493,22 @@ int cmd_compare() {
 }
 
 int cmd_micromag(const cli::Args& args) {
-  const double lambda_nm = args.number("lambda", 50.0);
-  const double width_nm = args.number("width", 20.0);
-  core::MicromagGateConfig cfg;
-  cfg.params = args.has("xor")
-                   ? geom::TriangleGateParams::reduced_xor(nm(lambda_nm),
-                                                           nm(width_nm))
-                   : geom::TriangleGateParams::reduced_maj3(nm(lambda_nm),
-                                                            nm(width_nm));
-  cfg.cell_size = nm(args.number("cell", 4.0));
+  // Built through the same spec the serve daemon uses, so the CLI and a
+  // served "micromag" request share one configuration (and cache key).
+  serve::MicromagParams params;
+  params.kind = args.has("xor") ? "xor" : "maj";
+  params.lambda_nm = args.number("lambda", 50.0);
+  params.width_nm = args.number("width", 20.0);
+  params.cell_nm = args.number("cell", 4.0);
+  params.early_stop = args.has("early-stop");
+  const auto spec = serve::make_micromag_spec(params);
+  const core::MicromagGateConfig& cfg = spec->config;
   const ObsOptions obs_opts = obs_options_from(args);
   arm_observability(obs_opts);
+  // Early stop reports its savings through PhysicsRegistry, which records
+  // only while metrics are armed — arm them for the run regardless of
+  // --metrics-out so the console line below is meaningful.
+  if (params.early_stop) obs::MetricsRegistry::arm();
 
   {
     // Banner from a probe instance (construction is cheap; no LLG run).
@@ -499,39 +520,28 @@ int cmd_micromag(const cli::Args& args) {
   }
 
   core::ValidationReport report;
+  std::unique_ptr<engine::BatchRunner> runner;
   if (args.has("serial")) {
     core::MicromagTriangleGate gate(cfg);
     report = core::validate_gate(gate);
-    std::cout << core::format_report(report);
-    const int obs_rc = finish_observability(obs_opts);
-    if (obs_rc != 0) return obs_rc;
-    return report.all_pass ? 0 : 1;
+  } else {
+    engine::EngineConfig ecfg = engine_config_from(args);
+    // Seeded physics (thermal noise, edge roughness) must not be served
+    // from the cache: the seed is part of the sample, and sweeps want
+    // fresh draws.
+    if (cfg.temperature > 0.0 || cfg.roughness.has_value()) {
+      ecfg.use_cache = false;
+    }
+    runner = std::make_unique<engine::BatchRunner>(ecfg);
+    report = runner->run_truth_table(spec->factory, spec->key, spec->prepare);
   }
-
-  engine::EngineConfig ecfg = engine_config_from(args);
-  // Seeded physics (thermal noise, edge roughness) must not be served from
-  // the cache: the seed is part of the sample, and sweeps want fresh draws.
-  if (cfg.temperature > 0.0 || cfg.roughness.has_value()) {
-    ecfg.use_cache = false;
-  }
-  engine::BatchRunner runner(ecfg);
-
-  // One calibration job (the all-zero reference LLG run) feeds every
-  // per-row job through a dependency edge, so the reference solve happens
-  // once instead of once per row.
-  auto calib = std::make_shared<std::optional<core::MicromagCalibration>>();
-  const engine::BatchRunner::GateFactory factory = [cfg, calib] {
-    auto gate = std::make_unique<core::MicromagTriangleGate>(cfg);
-    if (calib->has_value()) gate->set_calibration(**calib);
-    return gate;
-  };
-  const auto prepare = [cfg, calib] {
-    core::MicromagTriangleGate gate(cfg);
-    *calib = gate.calibrate();
-  };
-  report = runner.run_truth_table(factory, engine::hash_of(cfg), prepare);
   std::cout << core::format_report(report);
-  maybe_print_stats(args, runner);
+  if (params.early_stop) {
+    const auto phys = obs::PhysicsRegistry::global().snapshot();
+    std::cout << "early stop saved " << phys.early_stop_saved_steps
+              << " integration steps\n";
+  }
+  if (runner) maybe_print_stats(args, *runner);
   const int obs_rc = finish_observability(obs_opts);
   if (obs_rc != 0) return obs_rc;
   return report.all_pass ? 0 : 1;
@@ -998,57 +1008,9 @@ int cmd_trace_check(const cli::Args& args) {
 
 // ---------------------------------------------------------------------------
 // swsim trace merge — join traces exported by different processes (the
-// client's --trace-out, the daemon's) onto one timeline.
+// client's --trace-out, the daemon's) onto one timeline. The rebase logic
+// lives in obs::merge_trace_dumps; this wrapper only does file I/O.
 
-// Serializes a parsed JsonValue back to text (the merge rewrites events it
-// did not produce, so it must round-trip arbitrary args objects).
-void write_json_value(std::ostringstream& os, const obs::JsonValue& v) {
-  using Kind = obs::JsonValue::Kind;
-  switch (v.kind()) {
-    case Kind::kNull:
-      os << "null";
-      break;
-    case Kind::kBool:
-      os << (v.boolean() ? "true" : "false");
-      break;
-    case Kind::kNumber:
-      os << v.number();
-      break;
-    case Kind::kString:
-      os << '"' << obs::escape_json(v.str()) << '"';
-      break;
-    case Kind::kArray: {
-      os << '[';
-      bool first = true;
-      for (const auto& e : v.array()) {
-        if (!first) os << ", ";
-        first = false;
-        write_json_value(os, e);
-      }
-      os << ']';
-      break;
-    }
-    case Kind::kObject: {
-      os << '{';
-      bool first = true;
-      for (const auto& [k, e] : v.object()) {
-        if (!first) os << ", ";
-        first = false;
-        os << '"' << obs::escape_json(k) << "\": ";
-        write_json_value(os, e);
-      }
-      os << '}';
-      break;
-    }
-  }
-}
-
-// Each trace's timestamps are monotonic-since-ITS-process-start; the files
-// are joined by rebasing every event onto the earliest process's clock via
-// otherData.wall_anchor_us (epoch µs at ts 0), and giving each input file
-// its own pid (plus a process_name metadata event naming the source file).
-// Flow events sharing an id — the client's 's', the server's 't' chain —
-// then connect across the pid boundary in Perfetto.
 int cmd_trace_merge(const cli::Args& args) {
   const auto out_path = args.value("out");
   if (!out_path) {
@@ -1057,97 +1019,39 @@ int cmd_trace_merge(const cli::Args& args) {
   }
   std::vector<std::string> inputs(args.positional().begin() + 1,
                                   args.positional().end());
-  if (inputs.size() < 2) {
-    std::cerr << "trace merge: need at least two trace files\n";
+  if (inputs.empty()) {
+    std::cerr << "trace merge: need at least one trace file\n";
     return 2;
   }
 
-  struct Input {
-    std::string path;
-    obs::JsonValue doc;
-    double anchor_us = 0.0;
-  };
-  std::vector<Input> parsed;
-  double min_anchor = 0.0;
+  std::vector<obs::JsonValue> docs;
+  docs.reserve(inputs.size());
   for (const auto& p : inputs) {
     auto doc = parse_dump(p, "trace merge");
     if (!doc) return 2;
-    const auto* events = doc->find("traceEvents");
-    if (!events || !events->is_array()) {
-      std::cerr << "trace merge: '" << p
-                << "': missing \"traceEvents\" array\n";
-      return 2;
-    }
-    double anchor = 0.0;
-    if (const auto* other = doc->find("otherData")) {
-      if (const auto* a = other->find("wall_anchor_us")) {
-        if (a->is_number()) anchor = a->number();
-      }
-    }
-    if (anchor == 0.0) {
-      std::cerr << "trace merge: '" << p << "': no otherData.wall_anchor_us "
-                << "(exported by an older build? re-record the trace)\n";
-      return 2;
-    }
-    if (parsed.empty() || anchor < min_anchor) min_anchor = anchor;
-    parsed.push_back({p, std::move(*doc), anchor});
+    docs.push_back(std::move(*doc));
+  }
+  std::vector<std::pair<std::string, const obs::JsonValue*>> refs;
+  refs.reserve(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    refs.emplace_back(inputs[i], &docs[i]);
   }
 
-  // Offsets are taken relative to the earliest anchor, not the epoch, so
-  // rebased timestamps stay small and double-exact.
-  std::ostringstream os;
-  os.precision(15);
-  os << "{\"traceEvents\": [\n";
-  bool first = true;
-  const auto comma = [&] {
-    if (!first) os << ",\n";
-    first = false;
-  };
-  std::size_t total = 0;
-  for (std::size_t fi = 0; fi < parsed.size(); ++fi) {
-    const Input& in = parsed[fi];
-    const double offset_us = in.anchor_us - min_anchor;
-    const long long pid = static_cast<long long>(fi) + 1;
-    const std::string label =
-        std::filesystem::path(in.path).filename().string();
-    comma();
-    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
-       << ", \"tid\": 0, \"args\": {\"name\": \"" << obs::escape_json(label)
-       << "\"}}";
-    for (const auto& e : in.doc.find("traceEvents")->array()) {
-      if (!e.is_object()) {
-        std::cerr << "trace merge: '" << in.path
-                  << "': non-object trace event\n";
-        return 2;
-      }
-      comma();
-      os << '{';
-      bool first_key = true;
-      for (const auto& [k, v] : e.object()) {
-        if (!first_key) os << ", ";
-        first_key = false;
-        os << '"' << obs::escape_json(k) << "\": ";
-        if (k == "ts" && v.is_number()) {
-          os << v.number() + offset_us;
-        } else if (k == "pid") {
-          os << pid;
-        } else {
-          write_json_value(os, v);
-        }
-      }
-      os << '}';
-      ++total;
-    }
+  obs::TraceMergeStats stats;
+  std::string merged;
+  try {
+    merged = obs::merge_trace_dumps(refs, &stats);
+  } catch (const std::exception& ex) {
+    std::cerr << "trace merge: " << ex.what() << '\n';
+    return 2;
   }
-  os << "\n], \"otherData\": {\"wall_anchor_us\": " << min_anchor
-     << ", \"merged_from\": " << parsed.size() << "}}\n";
 
   std::ofstream out(*out_path, std::ios::trunc);
-  if (!out || !(out << os.str())) {
+  if (!out || !(out << merged)) {
     std::cerr << "trace merge: cannot write '" << *out_path << "'\n";
     return 1;
   }
-  std::cout << "merged " << parsed.size() << " traces (" << total
+  std::cout << "merged " << stats.files << " traces (" << stats.events
             << " events) -> " << *out_path << '\n';
   return 0;
 }
@@ -1284,9 +1188,19 @@ int cmd_client(const cli::Args& args) {
     p.sigma_amp = args.number("sigma-amp", 0.05);
     p.trials = static_cast<std::size_t>(args.integer("trials", 500));
     request.yield = p;
+  } else if (type == "micromag") {
+    request.type = serve::RequestType::kMicromag;
+    serve::MicromagParams p;
+    p.kind = args.positional().size() > 1 ? args.positional()[1]
+                                          : args.value("gate").value_or("maj");
+    p.lambda_nm = args.number("lambda", 50.0);
+    p.width_nm = args.number("width", 20.0);
+    p.cell_nm = args.number("cell", 4.0);
+    p.early_stop = args.has("early-stop");
+    request.micromag = p;
   } else {
     std::cerr << "client: unknown request type '" << type
-              << "' (want hello|healthz|metrics|truthtable|yield)\n";
+              << "' (want hello|healthz|metrics|truthtable|yield|micromag)\n";
     return 2;
   }
 
@@ -1615,6 +1529,7 @@ int cmd_loadgen(const cli::Args& args) {
   harness.add_scalar("p95_s", report.p95_s);
   harness.add_scalar("p99_s", report.p99_s);
   harness.add_scalar("p999_s", report.p999_s);
+  harness.add_scalar("max_s", report.max_s);
   harness.add_scalar("shed_rate", report.shed_rate());
   harness.add_scalar("hung", static_cast<double>(report.hung));
   harness.add_scalar("transport_errors",
@@ -1628,6 +1543,236 @@ int cmd_loadgen(const cli::Args& args) {
     return 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// swsim probe — physics telemetry: record a detector time series, export
+// its spectrum, or tail the live envelope stream of a serve daemon.
+
+// Round-trip-exact cell rendering for the probe CSVs (Table::num would
+// truncate; spectra re-read these files).
+std::string fmt_full(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// One LLG solve of the reduced-scale gate, detector series to CSV
+// (columns probe,t,mx,my,mz — the input of `probe spectrum`).
+int cmd_probe_record(const cli::Args& args) {
+  const auto out = args.value("out");
+  if (!out) {
+    std::cerr << "probe record: missing --out <csv>\n";
+    return 2;
+  }
+  serve::MicromagParams params;
+  params.kind = args.has("xor") ? "xor" : "maj";
+  params.lambda_nm = args.number("lambda", 50.0);
+  params.width_nm = args.number("width", 20.0);
+  params.cell_nm = args.number("cell", 4.0);
+  const auto spec = serve::make_micromag_spec(params);
+  core::MicromagTriangleGate gate(spec->config);
+
+  std::vector<bool> inputs(gate.num_inputs(), false);
+  if (const auto pattern = args.value("pattern")) {
+    if (pattern->size() != inputs.size() ||
+        pattern->find_first_not_of("01") != std::string::npos) {
+      std::cerr << "probe record: --pattern wants " << inputs.size()
+                << " bits of 0/1\n";
+      return 2;
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      inputs[i] = (*pattern)[i] == '1';
+    }
+  }
+  std::string bits;
+  for (const bool b : inputs) bits += b ? '1' : '0';
+  std::cout << "recording " << gate.name() << " " << bits
+            << " (calibration + one LLG solve, f = "
+            << Table::num(to_ghz(gate.drive_frequency()), 1) << " GHz)...\n";
+
+  const core::MicromagEvaluation ev = gate.evaluate_full(inputs);
+  io::CsvWriter csv(*out);
+  csv.write_row({"probe", "t", "mx", "my", "mz"});
+  std::size_t samples = 0;
+  for (const auto& series : ev.probe_series) {
+    for (std::size_t i = 0; i < series.t.size(); ++i) {
+      csv.write_row({series.name, fmt_full(series.t[i]),
+                     fmt_full(series.mx[i]), fmt_full(series.my[i]),
+                     fmt_full(series.mz[i])});
+      ++samples;
+    }
+  }
+  std::cout << "wrote " << samples << " samples ("
+            << ev.probe_series.size() << " probes) -> " << *out << '\n';
+  return 0;
+}
+
+// FFT of a recorded series: reads a `probe record` CSV, periodogram of
+// the chosen probe's m_x, prints the peak and optionally dumps
+// frequency,power rows.
+int cmd_probe_spectrum(const cli::Args& args) {
+  if (args.positional().size() < 2) {
+    std::cerr << "probe spectrum: missing <series.csv>\n";
+    return 2;
+  }
+  const std::string& path = args.positional()[1];
+  const std::string want = args.value("probe").value_or("");
+  std::vector<std::vector<std::string>> rows;
+  try {
+    rows = io::read_csv(path);
+  } catch (const std::exception& e) {
+    std::cerr << "probe spectrum: " << e.what() << '\n';
+    return 2;
+  }
+  if (rows.size() < 2 || rows[0].size() < 3 || rows[0][0] != "probe") {
+    std::cerr << "probe spectrum: '" << path
+              << "' is not a probe-series CSV (want probe,t,mx,... rows)\n";
+    return 2;
+  }
+  // Default to the first probe in the file; rows of other probes are
+  // skipped so a multi-probe recording works without --probe.
+  std::string probe = want;
+  std::vector<double> t;
+  std::vector<double> mx;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() < 3) continue;
+    if (probe.empty()) probe = rows[i][0];
+    if (rows[i][0] != probe) continue;
+    t.push_back(std::strtod(rows[i][1].c_str(), nullptr));
+    mx.push_back(std::strtod(rows[i][2].c_str(), nullptr));
+  }
+  if (t.size() < 4) {
+    std::cerr << "probe spectrum: probe '" << probe << "' has " << t.size()
+              << " samples in '" << path << "' (need at least 4)\n";
+    return 2;
+  }
+  const double dt = (t.back() - t.front()) / static_cast<double>(t.size() - 1);
+  math::Spectrum spectrum;
+  try {
+    spectrum = math::power_spectrum(mx, dt);
+  } catch (const std::exception& e) {
+    std::cerr << "probe spectrum: " << e.what() << '\n';
+    return 2;
+  }
+  if (const auto out = args.value("out")) {
+    io::CsvWriter csv(*out);
+    csv.write_row({"frequency", "power"});
+    for (std::size_t i = 0; i < spectrum.frequency.size(); ++i) {
+      csv.write_row({fmt_full(spectrum.frequency[i]),
+                     fmt_full(spectrum.power[i])});
+    }
+    std::cout << "wrote " << spectrum.frequency.size() << " bins -> " << *out
+              << '\n';
+  }
+  std::cout << "probe " << probe << ": " << t.size() << " samples, dt "
+            << Table::num(dt * 1e12, 3) << " ps, peak "
+            << Table::num(spectrum.peak_frequency() * 1e-9, 3) << " GHz\n";
+  return 0;
+}
+
+// Live stream: subscribes to a daemon's probe hub and renders each
+// envelope frame as one line until the stream ends.
+int cmd_probe_tail(const cli::Args& args) {
+  const std::string socket = args.value("socket").value_or("");
+  const int port = static_cast<int>(args.integer("port", 0));
+  if (socket.empty() && port <= 0) {
+    std::cerr << "probe tail: need --socket <path> or --port <n>\n";
+    return 2;
+  }
+  serve::Client client;
+  robust::Status st =
+      socket.empty() ? client.connect_tcp(port) : client.connect_unix(socket);
+  if (!st.is_ok()) {
+    std::cerr << "probe tail: " << st.str() << '\n';
+    return 4;
+  }
+  serve::Request request;
+  request.type = serve::RequestType::kProbeSubscribe;
+  request.id = args.unsigned_integer("id", 1);
+  request.client = args.value("client").value_or("probe-tail");
+  request.probe_max_frames = args.unsigned_integer("max-frames", 0);
+  request.probe_duration_s = args.number("duration", 0.0);
+  request.probe_filter = args.value("probe").value_or("");
+
+  serve::Response ack;
+  if (st = client.call(request, &ack); !st.is_ok()) {
+    std::cerr << "probe tail: " << st.str() << '\n';
+    return 4;
+  }
+  if (!ack.status.is_ok()) {
+    std::cerr << "probe tail: " << ack.status.str() << '\n';
+    return 3;
+  }
+  std::cerr << "subscribed"
+            << (request.probe_filter.empty()
+                    ? std::string()
+                    : " (probe " + request.probe_filter + ")")
+            << "; streaming...\n";
+
+  std::string payload;
+  std::string error;
+  while (true) {
+    const serve::ReadResult r =
+        serve::read_frame(client.fd(), &payload, &error, serve::IoDeadlines{});
+    if (r != serve::ReadResult::kFrame) {
+      if (r == serve::ReadResult::kError) {
+        std::cerr << "probe tail: " << error << '\n';
+        return 4;
+      }
+      break;  // EOF: daemon went away
+    }
+    obs::JsonValue doc;
+    try {
+      doc = obs::parse_json(payload);
+    } catch (const std::exception& e) {
+      std::cerr << "probe tail: bad frame: " << e.what() << '\n';
+      return 4;
+    }
+    const auto str = [&doc](const char* k) {
+      const auto* v = doc.find(k);
+      return v && v->is_string() ? v->str() : std::string();
+    };
+    const auto num = [&doc](const char* k, double d) {
+      const auto* v = doc.find(k);
+      return v && v->is_number() ? v->number() : d;
+    };
+    if (str("type") == "probe.end") {
+      std::cout << "stream ended (" << str("reason") << "): "
+                << Table::num(num("frames", 0.0), 0) << " frames, "
+                << Table::num(num("dropped", 0.0), 0) << " dropped\n";
+      break;
+    }
+    std::cout << "[" << str("job") << "] " << str("probe") << " window "
+              << Table::num(num("window", 0.0), 0) << "  t "
+              << Table::num(num("t", 0.0) * 1e9, 3) << " ns  A "
+              << Table::num(num("amplitude", 0.0), 6) << "  phase "
+              << Table::num(num("phase", 0.0), 3) << " rad";
+    if (const auto* v = doc.find("converged"); v && v->is_bool() &&
+                                               v->boolean()) {
+      std::cout << "  converged @ " << Table::num(
+                       num("converged_at", 0.0) * 1e9, 3) << " ns";
+    }
+    if (num("dropped", 0.0) > 0.0) {
+      std::cout << "  dropped " << Table::num(num("dropped", 0.0), 0);
+    }
+    std::cout << '\n' << std::flush;
+  }
+  return 0;
+}
+
+int cmd_probe(const cli::Args& args) {
+  if (args.positional().empty()) {
+    std::cerr << "probe: missing subcommand (record|spectrum|tail)\n";
+    return 2;
+  }
+  const std::string& sub = args.positional()[0];
+  if (sub == "record") return cmd_probe_record(args);
+  if (sub == "spectrum") return cmd_probe_spectrum(args);
+  if (sub == "tail") return cmd_probe_tail(args);
+  std::cerr << "probe: unknown subcommand '" << sub
+            << "' (want record|spectrum|tail)\n";
+  return 2;
 }
 
 // ---------------------------------------------------------------------------
@@ -1910,6 +2055,7 @@ int main(int argc, char** argv) {
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "client") return cmd_client(args);
     if (cmd == "loadgen") return cmd_loadgen(args);
+    if (cmd == "probe") return cmd_probe(args);
     std::cerr << "unknown command '" << cmd << "' (try: swsim help)\n";
     return 2;
   } catch (const std::invalid_argument& e) {

@@ -40,6 +40,13 @@
 #      recorder without killing the daemon; and a quick `swsim loadgen`
 #      run must emit a BENCH_serve_throughput.json with 0 hung exchanges
 #      and a bounded shed rate (docs/OBSERVABILITY.md).
+#  10. a physics-telemetry smoke: a served micromag job watched live by
+#      `swsim probe tail` (frames must stream while the solve runs and the
+#      daemon's healthz must account for them); a local run whose
+#      swsim.profile/1 dump carries a physics block with a real
+#      converged_at; and an `--early-stop` run that must save integration
+#      steps while producing exactly the same logic truth table as the
+#      full-length run (docs/OBSERVABILITY.md §8).
 #
 # Usage: scripts/check.sh [build-dir]           (default: build)
 # Env:   SWSIM_CHECK_SKIP_TSAN=1 skips stage 2 (e.g. toolchains without
@@ -47,7 +54,7 @@
 #        SWSIM_CHECK_SKIP_ASAN=1 skips stage 3 (toolchains without libasan).
 #        SWSIM_CHECK_SKIP_BENCH=1 skips stage 5.
 #        SWSIM_CHECK_SKIP_OBSOFF=1 skips stage 6.
-#        SWSIM_CHECK_SKIP_SERVE=1 skips stages 7 and 8.
+#        SWSIM_CHECK_SKIP_SERVE=1 skips stages 7-10.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,8 +82,10 @@ else
               test_mag_kernels
               test_obs_trace test_obs_metrics test_obs_log
               test_obs_determinism
+              test_obs_physics
               test_serve_admission test_serve_server
-              test_serve_codec test_serve_chaos test_serve_slo)
+              test_serve_codec test_serve_chaos test_serve_slo
+              test_serve_probe_stream)
 
   echo "== stage 2: ThreadSanitizer engine tests (${TSAN_DIR}) =="
   cmake -B "${TSAN_DIR}" -S . \
@@ -423,6 +432,78 @@ else
   # The request log carries the client's trace id end to end.
   grep -q '"trace_id":"smoke-trace"' "${TELEM_DIR}/requests.jsonl"
   echo "stage 9: serve telemetry smoke passed"
+fi
+
+if [[ "${SWSIM_CHECK_SKIP_SERVE:-0}" == "1" ]]; then
+  echo "== stage 10: physics telemetry smoke skipped (SWSIM_CHECK_SKIP_SERVE=1) =="
+else
+  echo "== stage 10: physics telemetry smoke (probe stream, convergence) =="
+  PROBE_DIR="${BUILD_DIR}/probe-smoke"
+  rm -rf "${PROBE_DIR}"
+  mkdir -p "${PROBE_DIR}"
+  SOCK="${PROBE_DIR}/probe.sock"
+  SWSIM="${BUILD_DIR}/cli/swsim"
+
+  "${SWSIM}" serve --socket "${SOCK}" --jobs 2 \
+    --idle-timeout 30 --frame-timeout 5 \
+    > "${PROBE_DIR}/serve.log" 2>&1 &
+  SERVE_PID=$!
+  trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+  for _ in $(seq 50); do
+    "${SWSIM}" client --socket "${SOCK}" hello >/dev/null 2>&1 && break
+    sleep 0.1
+  done
+
+  # A live subscriber first, then the job: lock-in frames must stream out
+  # of the daemon *while* the LLG solve is running, and the tail must see
+  # its bounded stream through to the terminal marker.
+  "${SWSIM}" probe tail --socket "${SOCK}" --max-frames 6 \
+    > "${PROBE_DIR}/tail.txt" 2>&1 &
+  TAIL_PID=$!
+  sleep 0.3
+  "${SWSIM}" client --socket "${SOCK}" --client probesmoke \
+    micromag maj --early-stop --deadline 300 \
+    > "${PROBE_DIR}/served.txt" 2>&1
+  grep -q "verdict: PASS" "${PROBE_DIR}/served.txt"
+  wait "${TAIL_PID}"
+  grep -q "stream ended (done): 6 frames" "${PROBE_DIR}/tail.txt"
+  grep -Eq "O[12] window [0-9]+ .* A [0-9.]+" "${PROBE_DIR}/tail.txt"
+
+  # The daemon accounted for the stream and holds no subscriber open.
+  "${SWSIM}" client --socket "${SOCK}" healthz > "${PROBE_DIR}/healthz.txt"
+  grep -q '"probe":{"active":0' "${PROBE_DIR}/healthz.txt"
+  grep -q '"streams":1' "${PROBE_DIR}/healthz.txt"
+  kill -TERM "${SERVE_PID}"
+  wait "${SERVE_PID}"
+  trap - EXIT
+
+  # Full-length local run: the profile's physics block must carry a real
+  # convergence time for the detection probes (-1 would mean "never").
+  "${SWSIM}" micromag --jobs "${JOBS}" \
+    --profile-out "${PROBE_DIR}/profile.json" \
+    > "${PROBE_DIR}/full.txt" 2>&1
+  grep -q '"physics"' "${PROBE_DIR}/profile.json"
+  grep -q '"converged_at": *[0-9]' "${PROBE_DIR}/profile.json"
+
+  # Early stop must actually save integration steps, and the saved steps
+  # must be free: the detected logic table is identical to the full run.
+  "${SWSIM}" micromag --jobs "${JOBS}" --early-stop \
+    > "${PROBE_DIR}/early.txt" 2>&1
+  SAVED="$(grep -o 'early stop saved [0-9]*' "${PROBE_DIR}/early.txt" \
+           | awk '{print $4}')"
+  if [[ -z "${SAVED}" || "${SAVED}" -eq 0 ]]; then
+    echo "stage 10: --early-stop saved no integration steps" >&2
+    exit 1
+  fi
+  for f in full early; do
+    grep -E '^[01] ' "${PROBE_DIR}/${f}.txt" \
+      | awk '{print $1, $2, $3, $6, $7, $8, $9}' > "${PROBE_DIR}/${f}.logic"
+  done
+  if ! diff -u "${PROBE_DIR}/full.logic" "${PROBE_DIR}/early.logic"; then
+    echo "stage 10: --early-stop changed the detected logic" >&2
+    exit 1
+  fi
+  echo "stage 10: physics telemetry smoke passed"
 fi
 
 echo "== all checks passed =="

@@ -410,6 +410,7 @@ const std::vector<BenchTarget>& bench_registry() {
       {"solver_perf", "bench_engine_speedup.csv", true},
       {"serve_resilience", "BENCH_serve_resilience.json", false},
       {"serve_throughput", "BENCH_serve_throughput.json", false},
+      {"probe_overhead", "BENCH_probe_overhead.json", false},
   };
   return targets;
 }

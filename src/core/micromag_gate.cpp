@@ -148,20 +148,23 @@ MicromagTriangleGate::MicromagTriangleGate(const MicromagGateConfig& config)
     }
   }
 
+  // Longest input->output path sets the transit time (the convergence
+  // trackers' earliest-decision floor, and the default duration).
+  double longest = 0.0;
+  for (Port in : {Port::kIn1, Port::kIn2, Port::kIn3}) {
+    if (in == Port::kIn3 && !config_.params.has_third_input) continue;
+    for (Port out : {Port::kOut1, Port::kOut2}) {
+      longest = std::max(longest, layout_.path_length(in, out));
+    }
+  }
+  transit_time_ = longest / dispersion_.group_velocity(k);
+
   if (config_.duration > 0.0) {
     duration_ = config_.duration;
   } else {
-    // Longest input->output path sets the transit time; give the wave twice
-    // that plus a generous settled window for the lock-in.
-    double longest = 0.0;
-    for (Port in : {Port::kIn1, Port::kIn2, Port::kIn3}) {
-      if (in == Port::kIn3 && !config_.params.has_third_input) continue;
-      for (Port out : {Port::kOut1, Port::kOut2}) {
-        longest = std::max(longest, layout_.path_length(in, out));
-      }
-    }
-    const double vg = dispersion_.group_velocity(k);
-    duration_ = 2.0 * longest / vg + 20.0 / frequency_;
+    // Give the wave twice the transit time plus a generous settled window
+    // for the lock-in.
+    duration_ = 2.0 * transit_time_ + 20.0 / frequency_;
   }
 }
 
@@ -234,6 +237,26 @@ MicromagEvaluation MicromagTriangleGate::run(const std::vector<bool>& inputs) {
     sim.add_probe(geom::to_string(out), region, sample_dt);
   }
 
+  if (config_.live_probes) {
+    // 32 samples per drive period (sample_dt above), so demod_periods
+    // drive periods span demod_periods * 32 samples per tumbling window.
+    const auto window = static_cast<std::size_t>(std::max(
+        2.0, std::round(config_.demod_periods / (sample_dt * frequency_))));
+    for (const char* out : {"O1", "O2"}) {
+      sim.probe(out).arm_demodulator(frequency_, window);
+    }
+    swsim::obs::ConvergencePolicy policy = config_.convergence;
+    if (policy.min_time <= 0.0) {
+      // Never decide before the wave has reached the farthest output and
+      // had a few periods to settle.
+      policy.min_time = transit_time_ + 8.0 / frequency_;
+    }
+    sim.set_convergence(policy, config_.early_stop);
+    std::string label = name() + " ";
+    for (const bool b : inputs) label += b ? '1' : '0';
+    sim.set_telemetry_label(std::move(label));
+  }
+
   sim.set_watchdog(config_.watchdog);
   if (cancel_token_) sim.set_cancel_token(*cancel_token_);
   const robust::Status solve = sim.run_guarded(duration_);
@@ -261,6 +284,11 @@ MicromagEvaluation MicromagTriangleGate::run(const std::vector<bool>& inputs) {
   const auto& m = sim.magnetization();
   for (std::size_t i = 0; i < m.size(); ++i) ev.snapshot_mx[i] = m[i].x;
   ev.body = body_;
+  for (const auto* p : {&p1, &p2}) {
+    ev.probe_series.push_back(
+        {p->name(), p->times(), p->mx(), p->my(), p->mz()});
+  }
+  ev.saved_steps = sim.early_stop_saved_steps();
   return ev;
 }
 

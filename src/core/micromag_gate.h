@@ -12,8 +12,11 @@
 // calibration run with all inputs at logic 0.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/gate.h"
 #include "geom/gate_layout.h"
@@ -55,6 +58,24 @@ struct MicromagGateConfig {
   // (see robust/watchdog.h). Part of the cache key: a recovered solve can
   // legitimately differ bit-for-bit from an unguarded one.
   swsim::robust::WatchdogConfig watchdog;
+  // Live telemetry: with live_probes each detector probe runs an online
+  // lock-in demodulator at the drive frequency (tumbling window of
+  // demod_periods drive periods) feeding convergence tracking, the
+  // physics block of swsim.profile/1, and the serve-plane probe stream.
+  // Passive observation: the stored probe series and the offline lock-in
+  // that decides logic are untouched, so output bytes do not change.
+  bool live_probes = true;
+  double demod_periods = 4.0;
+  // Convergence policy for the live envelopes. min_time <= 0 is replaced
+  // per solve by the wave transit time to the farthest output plus a
+  // settling allowance, so a port the wave has not reached cannot count
+  // as decided.
+  swsim::obs::ConvergencePolicy convergence;
+  // Terminate each LLG solve once both detector envelopes have settled.
+  // This shortens the series the offline lock-in sees, so raw amplitudes
+  // (and output bytes) may differ from a full-length solve; detected
+  // *logic* must not. Off by default.
+  bool early_stop = false;
 };
 
 // The calibration run's distilled output: the all-zero-input reference
@@ -78,6 +99,15 @@ struct MicromagEvaluation {
   // Final m_x map for Fig. 5-style snapshot rendering.
   swsim::math::ScalarField snapshot_mx;
   swsim::math::Mask body;
+  // Detector time series as recorded (for --probe-out / offline spectra).
+  struct ProbeSeries {
+    std::string name;
+    std::vector<double> t, mx, my, mz;
+  };
+  std::vector<ProbeSeries> probe_series;
+  // Integration steps skipped by early stop (0 when disabled or the solve
+  // ran to full duration).
+  std::uint64_t saved_steps = 0;
 };
 
 class MicromagTriangleGate final : public FanoutGate {
@@ -129,6 +159,7 @@ class MicromagTriangleGate final : public FanoutGate {
   wavenet::Dispersion dispersion_;
   double frequency_ = 0.0;
   double duration_ = 0.0;
+  double transit_time_ = 0.0;  // longest input->output path / group velocity
   swsim::math::Grid grid_;
   swsim::math::Mask body_;
   swsim::math::ScalarField alpha_;          // per-cell damping (absorbers)

@@ -128,6 +128,20 @@ std::uint64_t hash_of(const core::MicromagGateConfig& c) {
         .f64(c.roughness->correlation_length)
         .u64(c.roughness->seed);
   }
+  // Early stop shortens the integration window, so the bits the offline
+  // lock-in sees depend on it and on everything shaping the stop decision.
+  // Hashed only when armed: passive telemetry (live_probes, demod window,
+  // convergence tracking without early stop) does not change output bytes
+  // and must keep the key — and any spilled cache entries — stable.
+  if (c.early_stop) {
+    h.str("early_stop")
+        .f64(c.demod_periods)
+        .f64(c.convergence.rel_tolerance)
+        .f64(c.convergence.abs_floor)
+        .f64(c.convergence.phase_tolerance)
+        .i64(c.convergence.windows)
+        .f64(c.convergence.min_time);
+  }
   return h.digest();
 }
 

@@ -66,6 +66,91 @@ void Simulation::set_cancel_token(const robust::CancelToken& token) {
   cancel_token_ = token;
 }
 
+void Simulation::set_convergence(const obs::ConvergencePolicy& policy,
+                                 bool early_stop) {
+  convergence_ = policy;
+  early_stop_ = early_stop;
+  trackers_.assign(probes_.size(), obs::ConvergenceTracker(policy));
+}
+
+void Simulation::set_telemetry_label(std::string label) {
+  telemetry_label_ = std::move(label);
+}
+
+bool Simulation::all_converged() const {
+  if (!convergence_ || trackers_.empty() ||
+      trackers_.size() != probes_.size()) {
+    return false;
+  }
+  for (const auto& tracker : trackers_) {
+    if (!tracker.converged()) return false;
+  }
+  return true;
+}
+
+void Simulation::ensure_trackers() {
+  if (!convergence_) {
+    trackers_.clear();
+    return;
+  }
+  if (trackers_.size() != probes_.size()) {
+    trackers_.assign(probes_.size(), obs::ConvergenceTracker(*convergence_));
+  }
+}
+
+void Simulation::on_window_completed(std::size_t i) {
+  RegionProbe& p = *probes_[i];
+  const LockinDemodulator* demod = p.demodulator();
+  if (!demod || demod->window_count() == 0) return;
+  const std::uint64_t window = demod->window_count();
+  const double wt = demod->times().back();
+  const double amplitude = demod->amplitude().back();
+  const double phase = demod->phase().back();
+
+  obs::PhysicsRegistry::global().record_window(p.name(), amplitude, phase);
+  if (obs::metrics_armed()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("mag.probe.windows").add();
+    // Gauges are integral; export the tiny normalized amplitudes in nano
+    // units and phases in milliradians.
+    reg.gauge("mag.probe." + p.name() + ".amplitude_nano")
+        .set(static_cast<std::int64_t>(std::llround(amplitude * 1e9)));
+    reg.gauge("mag.probe." + p.name() + ".phase_mrad")
+        .set(static_cast<std::int64_t>(std::llround(phase * 1e3)));
+  }
+
+  if (convergence_ && i < trackers_.size()) {
+    if (trackers_[i].add_window(wt, amplitude, phase)) {
+      obs::PhysicsRegistry::global().record_converged(p.name(), wt);
+      obs::MetricsRegistry::global().counter("mag.probe.converged").add();
+      auto& elog = obs::EventLog::global();
+      if (elog.enabled(obs::LogLevel::kInfo)) {
+        elog.event(obs::LogLevel::kInfo, "probe.converged_at")
+            .str("probe", p.name())
+            .num("t_sim_s", wt)
+            .uint("window", window)
+            .emit();
+      }
+    }
+  }
+
+  auto& hub = obs::ProbeHub::global();
+  if (hub.active()) {
+    obs::ProbeHub::Frame frame;
+    frame.job = telemetry_label_;
+    frame.probe = p.name();
+    frame.window = window;
+    frame.t = wt;
+    frame.amplitude = amplitude;
+    frame.phase = phase;
+    if (convergence_ && i < trackers_.size() && trackers_[i].converged()) {
+      frame.converged = true;
+      frame.converged_at = trackers_[i].converged_at();
+    }
+    hub.publish(frame);
+  }
+}
+
 const StepperStats& Simulation::stepper_stats() const {
   return stepper_->stats();
 }
@@ -76,6 +161,7 @@ void Simulation::run(double duration) {
   }
   const double t_end = time_ + duration;
   energy_watchdog_.reset();
+  ensure_trackers();
   std::size_t steps = 0;
   obs::Span span("sim.run", "mag");
   // Per-step spans would swamp the trace (tens of thousands of RK4 steps);
@@ -84,7 +170,9 @@ void Simulation::run(double duration) {
   double block_t0_us = 0.0;
   std::size_t block_steps = 0;
   // Record the initial state so probes always hold the t = start sample.
-  for (auto& p : probes_) p->maybe_record(system_, m_, time_);
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    if (probes_[i]->maybe_record(system_, m_, time_)) on_window_completed(i);
+  }
   while (time_ < t_end - 1e-18) {
     if (cancel_token_ && cancel_token_->cancelled()) {
       throw robust::SolveError(robust::Status::error(
@@ -102,11 +190,42 @@ void Simulation::run(double duration) {
     const double taken = stepper_->step(system_, terms_, m_, time_);
     time_ += taken;
     obs::ProgressReporter::global().on_llg_steps(1);
-    for (auto& p : probes_) p->maybe_record(system_, m_, time_);
+    bool window_done = false;
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+      if (probes_[i]->maybe_record(system_, m_, time_)) {
+        on_window_completed(i);
+        window_done = true;
+      }
+    }
+    if (window_done && early_stop_ && time_ < t_end - 1e-18 &&
+        all_converged()) {
+      // Every port's envelope has settled: the remainder of the solve
+      // cannot change the detector verdicts, so stop integrating and
+      // report the steps the decision saved.
+      const auto saved = static_cast<std::uint64_t>(
+          (t_end - time_) / stepper_->dt());
+      early_stop_saved_steps_ += saved;
+      obs::PhysicsRegistry::global().record_early_stop(saved);
+      obs::MetricsRegistry::global()
+          .counter("mag.early_stop.saved_steps")
+          .add(saved);
+      auto& elog = obs::EventLog::global();
+      if (elog.enabled(obs::LogLevel::kInfo)) {
+        elog.event(obs::LogLevel::kInfo, "early_stop")
+            .num("t_sim_s", time_)
+            .num("t_end_s", t_end)
+            .uint("saved_steps", saved)
+            .emit();
+      }
+      break;
+    }
     if (watchdog_.cadence > 0 && ++steps % watchdog_.cadence == 0) {
       obs::Span check_span("watchdog.energy", "robust");
+      double exchange_j = 0.0;
+      const double energy_j = total_energy(&exchange_j);
+      obs::PhysicsRegistry::global().record_energy(energy_j, exchange_j);
       const robust::Status health =
-          energy_watchdog_.check(total_energy(),
+          energy_watchdog_.check(energy_j,
                                  watchdog_.energy_growth_factor,
                                  watchdog_.energy_warmup_checks);
       if (!health.is_ok()) {
@@ -135,13 +254,19 @@ void Simulation::run(double duration) {
 
 robust::Status Simulation::run_guarded(double duration) {
   // Checkpoint everything a failed attempt mutates: the magnetization, the
-  // clock, and the probe records. Field terms are stateless across steps
-  // for the conservative physics; stochastic terms redraw per step anyway.
+  // clock, the probe records, and the convergence trackers riding on them.
+  // Field terms are stateless across steps for the conservative physics;
+  // stochastic terms redraw per step anyway.
   const VectorField m0 = m_;
   const double t0 = time_;
   std::vector<RegionProbe::Checkpoint> probe_cps;
   probe_cps.reserve(probes_.size());
   for (const auto& p : probes_) probe_cps.push_back(p->checkpoint());
+  ensure_trackers();
+  std::vector<obs::ConvergenceTracker::Checkpoint> tracker_cps;
+  tracker_cps.reserve(trackers_.size());
+  for (const auto& tracker : trackers_) tracker_cps.push_back(tracker.checkpoint());
+  const std::uint64_t saved_steps0 = early_stop_saved_steps_;
 
   double dt = stepper_->dt();
   for (std::size_t halvings = 0;; ++halvings) {
@@ -172,6 +297,10 @@ robust::Status Simulation::run_guarded(double duration) {
       for (std::size_t i = 0; i < probes_.size(); ++i) {
         probes_[i]->restore(probe_cps[i]);
       }
+      for (std::size_t i = 0; i < trackers_.size(); ++i) {
+        trackers_[i].restore(tracker_cps[i]);
+      }
+      early_stop_saved_steps_ = saved_steps0;
       dt *= 0.5;
       set_stepper(stepper_->kind(), dt, stepper_->tolerance());
     }
@@ -198,12 +327,17 @@ double Simulation::relax(double max_time, double torque_tol,
   return torque;
 }
 
-double Simulation::total_energy() const {
+double Simulation::total_energy(double* exchange_j) const {
   double e = 0.0;
+  double exchange = 0.0;
   for (const auto& term : terms_) {
     const double te = term->energy(system_, m_);
-    if (!std::isnan(te)) e += te;
+    if (!std::isnan(te)) {
+      e += te;
+      if (exchange_j && term->name() == "exchange") exchange += te;
+    }
   }
+  if (exchange_j) *exchange_j = exchange;
   return e;
 }
 

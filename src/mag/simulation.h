@@ -13,6 +13,7 @@
 //   sim.run(duration);
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -20,6 +21,7 @@
 
 #include "mag/llg.h"
 #include "mag/probe.h"
+#include "obs/physics.h"
 #include "robust/cancel.h"
 #include "robust/status.h"
 #include "robust/watchdog.h"
@@ -64,6 +66,25 @@ class Simulation {
   // engine's per-job timeout path).
   void set_cancel_token(const robust::CancelToken& token);
 
+  // Arms convergence tracking: every probe with an armed demodulator gets a
+  // ConvergenceTracker fed on each completed envelope window. With
+  // early_stop, run() terminates the solve once every probe's tracker has
+  // decided (probes without a demodulator never decide, so early stop only
+  // fires when all ports are demodulated). The solve then reports the
+  // integration steps it skipped via early_stop_saved_steps().
+  void set_convergence(const obs::ConvergencePolicy& policy,
+                       bool early_stop = false);
+  // True when convergence is armed, at least one probe exists, and every
+  // probe's tracker has decided.
+  bool all_converged() const;
+  std::uint64_t early_stop_saved_steps() const {
+    return early_stop_saved_steps_;
+  }
+
+  // Job label attached to streamed probe frames (obs::ProbeHub), e.g.
+  // "micromag MAJ3 101". Streaming stays inert while nothing subscribes.
+  void set_telemetry_label(std::string label);
+
   // Integrates for `duration` seconds of simulated time. Throws
   // robust::SolveError on watchdog violation or cancellation.
   void run(double duration);
@@ -83,13 +104,21 @@ class Simulation {
   double relax(double max_time, double torque_tol = 1.0,
                double relax_alpha = 0.5);
 
-  // Total energy (sum over terms that define one) [J].
-  double total_energy() const;
+  // Total energy (sum over terms that define one) [J]. When exchange_j is
+  // non-null it receives the exchange term's contribution (the magnon-band
+  // carrier tracked by the telemetry energy series).
+  double total_energy(double* exchange_j = nullptr) const;
 
   // Max |m x H_eff| over magnetic cells — the convergence measure.
   double max_torque();
 
  private:
+  // Reacts to probe i completing a demodulator window: registry stats,
+  // gauges, convergence tracking, and the live frame stream.
+  void on_window_completed(std::size_t i);
+  // (Re)builds trackers_ to parallel probes_ when convergence is armed.
+  void ensure_trackers();
+
   System system_;
   VectorField m_;
   std::vector<std::unique_ptr<FieldTerm>> terms_;
@@ -99,6 +128,11 @@ class Simulation {
   robust::WatchdogConfig watchdog_;
   robust::EnergyWatchdog energy_watchdog_;
   std::optional<robust::CancelToken> cancel_token_;
+  std::optional<obs::ConvergencePolicy> convergence_;
+  bool early_stop_ = false;
+  std::vector<obs::ConvergenceTracker> trackers_;  // parallel to probes_
+  std::string telemetry_label_;
+  std::uint64_t early_stop_saved_steps_ = 0;
 };
 
 }  // namespace swsim::mag

@@ -9,6 +9,7 @@
 #include "obs/clock.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/physics.h"
 #include "obs/profile.h"
 #include "obs/progress.h"
 #include "obs/trace.h"

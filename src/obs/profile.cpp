@@ -8,6 +8,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/physics.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -120,6 +121,16 @@ RunProfile RunProfile::collect(double wall_seconds, std::uint64_t cells) {
     p.cache_hit_rate = finite_or_zero(static_cast<double>(p.cache_hits) /
                                       static_cast<double>(lookups));
   }
+  const PhysicsRegistry::Snapshot phys = PhysicsRegistry::global().snapshot();
+  for (const auto& [name, stats] : phys.probes) {
+    p.physics_probes.push_back({name, stats.windows, stats.amplitude,
+                                stats.phase, stats.converged_at});
+  }
+  p.physics_energy_samples = phys.energy_samples;
+  p.physics_total_energy_j = phys.total_energy_j;
+  p.physics_exchange_energy_j = phys.exchange_energy_j;
+  p.early_stop_saved_steps = phys.early_stop_saved_steps;
+
   p.peak_rss_bytes = ::swsim::obs::peak_rss_bytes();
   return p;
 }
@@ -151,6 +162,21 @@ std::string RunProfile::to_json() const {
      << ", \"utilization\": " << num_str(pool_utilization) << "},\n"
      << "  \"jobs\": {\"done\": " << jobs_done << ", \"failed\": " << jobs_failed
      << ", \"retried\": " << jobs_retried << "},\n"
+     << "  \"physics\": {\"energy_samples\": " << physics_energy_samples
+     << ", \"total_energy_j\": " << num_str(physics_total_energy_j)
+     << ", \"exchange_energy_j\": " << num_str(physics_exchange_energy_j)
+     << ", \"early_stop_saved_steps\": " << early_stop_saved_steps
+     << ", \"probes\": [";
+  first = true;
+  for (const auto& probe : physics_probes) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \""
+       << escape_json(probe.name) << "\", \"windows\": " << probe.windows
+       << ", \"amplitude\": " << num_str(probe.amplitude)
+       << ", \"phase\": " << num_str(probe.phase)
+       << ", \"converged_at\": " << num_str(probe.converged_at) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "]},\n"
      << "  \"peak_rss_bytes\": " << peak_rss_bytes << "\n"
      << "}\n";
   return os.str();
@@ -207,6 +233,36 @@ RunProfile RunProfile::from_json(const JsonValue& root) {
   p.jobs_done = uint_field(*jobs, "done");
   p.jobs_failed = uint_field(*jobs, "failed");
   p.jobs_retried = uint_field(*jobs, "retried");
+  // Optional: documents written before the physics block existed parse as
+  // all-zero physics.
+  if (const JsonValue* phys = root.find("physics")) {
+    if (!phys->is_object()) {
+      throw std::runtime_error("RunProfile: \"physics\" is not an object");
+    }
+    p.physics_energy_samples = uint_field(*phys, "energy_samples");
+    p.physics_total_energy_j = number_field(*phys, "total_energy_j");
+    p.physics_exchange_energy_j = number_field(*phys, "exchange_energy_j");
+    p.early_stop_saved_steps = uint_field(*phys, "early_stop_saved_steps");
+    const JsonValue* probes = phys->find("probes");
+    if (!probes || !probes->is_array()) {
+      throw std::runtime_error("RunProfile: missing \"physics.probes\" array");
+    }
+    for (const JsonValue& entry : probes->array()) {
+      if (!entry.is_object()) {
+        throw std::runtime_error(
+            "RunProfile: physics.probes entry is not an object");
+      }
+      const JsonValue* name = entry.find("name");
+      if (!name || !name->is_string()) {
+        throw std::runtime_error(
+            "RunProfile: physics.probes entry missing \"name\"");
+      }
+      p.physics_probes.push_back({name->str(), uint_field(entry, "windows"),
+                                  number_field(entry, "amplitude"),
+                                  number_field(entry, "phase"),
+                                  number_field(entry, "converged_at")});
+    }
+  }
   p.peak_rss_bytes = uint_field(root, "peak_rss_bytes");
   return p;
 }

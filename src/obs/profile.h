@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace swsim::obs {
 
@@ -52,6 +53,23 @@ struct RunProfile {
   std::uint64_t jobs_done = 0;
   std::uint64_t jobs_failed = 0;
   std::uint64_t jobs_retried = 0;
+
+  // Physics telemetry (PhysicsRegistry snapshot): what the live lock-in
+  // probes saw during the solve. Empty/zero when no probe was armed — and
+  // always zero under SWSIM_OBS_OFF or with metrics disarmed. The block is
+  // *optional* on the reader side so documents from older builds parse.
+  struct ProbePhysics {
+    std::string name;
+    std::uint64_t windows = 0;
+    double amplitude = 0.0;      // last completed window
+    double phase = 0.0;
+    double converged_at = -1.0;  // seconds; < 0 = never converged
+  };
+  std::vector<ProbePhysics> physics_probes;  // sorted by name
+  std::uint64_t physics_energy_samples = 0;
+  double physics_total_energy_j = 0.0;
+  double physics_exchange_energy_j = 0.0;
+  std::uint64_t early_stop_saved_steps = 0;
 
   std::uint64_t peak_rss_bytes = 0;
 

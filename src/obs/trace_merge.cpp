@@ -1,0 +1,147 @@
+#include "obs/trace_merge.h"
+
+#include <cstddef>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace swsim::obs {
+
+namespace {
+
+// Serializes a parsed JsonValue back to text (the merge rewrites events it
+// did not produce, so it must round-trip arbitrary args objects).
+void write_json_value(std::ostringstream& os, const JsonValue& v) {
+  using Kind = JsonValue::Kind;
+  switch (v.kind()) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (v.boolean() ? "true" : "false");
+      break;
+    case Kind::kNumber:
+      os << v.number();
+      break;
+    case Kind::kString:
+      os << '"' << escape_json(v.str()) << '"';
+      break;
+    case Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& e : v.array()) {
+        if (!first) os << ", ";
+        first = false;
+        write_json_value(os, e);
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object()) {
+        if (!first) os << ", ";
+        first = false;
+        os << '"' << escape_json(k) << "\": ";
+        write_json_value(os, e);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+[[noreturn]] void fail(const std::string& label, const std::string& what) {
+  throw std::runtime_error("'" + label + "': " + what);
+}
+
+}  // namespace
+
+std::string merge_trace_dumps(
+    const std::vector<std::pair<std::string, const JsonValue*>>& inputs,
+    TraceMergeStats* stats) {
+  if (inputs.empty()) {
+    throw std::runtime_error("need at least one trace document");
+  }
+
+  // Validate every input and find the earliest anchor before emitting
+  // anything, so a bad third file cannot leave a half-written result.
+  std::vector<double> anchors;
+  anchors.reserve(inputs.size());
+  double min_anchor = 0.0;
+  for (const auto& [label, doc] : inputs) {
+    if (!doc || !doc->is_object()) fail(label, "not a JSON object");
+    const auto* events = doc->find("traceEvents");
+    if (!events || !events->is_array()) {
+      fail(label, "missing \"traceEvents\" array");
+    }
+    double anchor = 0.0;
+    if (const auto* other = doc->find("otherData")) {
+      if (const auto* a = other->find("wall_anchor_us")) {
+        if (a->is_number()) anchor = a->number();
+      }
+    }
+    if (anchor == 0.0) {
+      fail(label,
+           "no otherData.wall_anchor_us "
+           "(exported by an older build? re-record the trace)");
+    }
+    if (anchors.empty() || anchor < min_anchor) min_anchor = anchor;
+    anchors.push_back(anchor);
+  }
+
+  // Offsets are taken relative to the earliest anchor, not the epoch, so
+  // rebased timestamps stay small and double-exact.
+  std::ostringstream os;
+  os.precision(15);
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  std::size_t total = 0;
+  for (std::size_t fi = 0; fi < inputs.size(); ++fi) {
+    const auto& [label, doc] = inputs[fi];
+    const double offset_us = anchors[fi] - min_anchor;
+    const long long pid = static_cast<long long>(fi) + 1;
+    const std::string name = std::filesystem::path(label).filename().string();
+    comma();
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+       << ", \"tid\": 0, \"args\": {\"name\": \"" << escape_json(name)
+       << "\"}}";
+    for (const auto& e : doc->find("traceEvents")->array()) {
+      if (!e.is_object()) fail(label, "non-object trace event");
+      comma();
+      os << '{';
+      bool first_key = true;
+      for (const auto& [k, v] : e.object()) {
+        if (!first_key) os << ", ";
+        first_key = false;
+        os << '"' << escape_json(k) << "\": ";
+        if (k == "ts" && v.is_number()) {
+          os << v.number() + offset_us;
+        } else if (k == "pid") {
+          os << pid;
+        } else {
+          write_json_value(os, v);
+        }
+      }
+      os << '}';
+      ++total;
+    }
+  }
+  os << "\n], \"otherData\": {\"wall_anchor_us\": " << min_anchor
+     << ", \"merged_from\": " << inputs.size() << "}}\n";
+
+  if (stats) {
+    stats->files = inputs.size();
+    stats->events = total;
+  }
+  return os.str();
+}
+
+}  // namespace swsim::obs

@@ -1,0 +1,41 @@
+// Merging Chrome trace dumps from different processes onto one timeline.
+//
+// Each --trace-out file's timestamps are monotonic-since-its-process-start;
+// otherData.wall_anchor_us (epoch µs at ts 0) is the bridge. merge rebases
+// every event onto the earliest anchor, assigns one pid per input file
+// (plus a process_name metadata event naming the source), and emits a
+// single trace document — flow events sharing an id then connect across
+// the pid boundary in Perfetto. Any number of dumps (>= 1) merges; a
+// single dump simply gets rebased and labelled.
+//
+// The core is a library function (rather than CLI-only code) so the
+// N-dump rebase logic is unit-testable without spawning processes; `swsim
+// trace merge` is a thin wrapper over it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swsim::obs {
+
+class JsonValue;
+
+struct TraceMergeStats {
+  std::size_t files = 0;
+  std::size_t events = 0;  // trace events copied (metadata lines excluded)
+};
+
+// Merges parsed trace documents, each paired with a label (typically the
+// source file name) used for its process_name metadata. Inputs must each
+// carry a traceEvents array and a nonzero otherData.wall_anchor_us; the
+// merged document's anchor is the earliest input anchor and it records
+// merged_from = inputs.size(). Throws std::runtime_error naming the
+// offending input on a structural problem (missing events array, missing
+// anchor, non-object event) or when `inputs` is empty.
+std::string merge_trace_dumps(
+    const std::vector<std::pair<std::string, const JsonValue*>>& inputs,
+    TraceMergeStats* stats = nullptr);
+
+}  // namespace swsim::obs

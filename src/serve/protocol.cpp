@@ -81,6 +81,10 @@ std::string to_string(RequestType type) {
       return "truthtable";
     case RequestType::kYield:
       return "yield";
+    case RequestType::kMicromag:
+      return "micromag";
+    case RequestType::kProbeSubscribe:
+      return "probe.subscribe";
   }
   return "unknown";
 }
@@ -120,9 +124,15 @@ robust::Status parse_request(const obs::JsonValue& doc, Request* out) {
     out->type = RequestType::kTruthTable;
   } else if (type == "yield") {
     out->type = RequestType::kYield;
+  } else if (type == "micromag") {
+    out->type = RequestType::kMicromag;
+  } else if (type == "probe.subscribe") {
+    out->type = RequestType::kProbeSubscribe;
   } else {
-    return invalid("unknown type '" + type +
-                   "' (want hello|healthz|metrics|truthtable|yield)");
+    return invalid(
+        "unknown type '" + type +
+        "' (want hello|healthz|metrics|truthtable|yield|micromag|"
+        "probe.subscribe)");
   }
 
   double num = 0.0;
@@ -168,6 +178,65 @@ robust::Status parse_request(const obs::JsonValue& doc, Request* out) {
       return invalid("'parent_span' must be a hex string");
     }
     out->parent_span = static_cast<std::uint64_t>(v);
+  }
+
+  if (out->type == RequestType::kProbeSubscribe) {
+    if (auto s = read_number(doc, "max_frames", &num, &present); !s.is_ok()) {
+      return s;
+    }
+    if (present) {
+      if (num < 0.0 || num != std::floor(num)) {
+        return invalid("'max_frames' must be a non-negative integer");
+      }
+      out->probe_max_frames = static_cast<std::uint64_t>(num);
+    }
+    if (auto s = read_number(doc, "duration_s", &num, &present); !s.is_ok()) {
+      return s;
+    }
+    if (present) {
+      if (num <= 0.0) return invalid("'duration_s' must be > 0");
+      out->probe_duration_s = num;
+    }
+    if (auto s = read_string(doc, "probe", &out->probe_filter, &present);
+        !s.is_ok()) {
+      return s;
+    }
+    return robust::Status::ok();
+  }
+
+  if (out->type == RequestType::kMicromag) {
+    // Own defaults (maj / 50 / 20 / 4) — deliberately NOT the shared
+    // geometry block below, whose lambda default is the analytic gates' 55.
+    if (auto s = read_string(doc, "gate", &out->micromag.kind, &present);
+        !s.is_ok()) {
+      return s;
+    }
+    if (auto s = read_number(doc, "lambda_nm", &num, &present); !s.is_ok()) {
+      return s;
+    }
+    if (present) {
+      if (num <= 0.0) return invalid("'lambda_nm' must be > 0");
+      out->micromag.lambda_nm = num;
+    }
+    if (auto s = read_number(doc, "width_nm", &num, &present); !s.is_ok()) {
+      return s;
+    }
+    if (present) {
+      if (num <= 0.0) return invalid("'width_nm' must be > 0");
+      out->micromag.width_nm = num;
+    }
+    if (auto s = read_number(doc, "cell_nm", &num, &present); !s.is_ok()) {
+      return s;
+    }
+    if (present) {
+      if (num <= 0.0) return invalid("'cell_nm' must be > 0");
+      out->micromag.cell_nm = num;
+    }
+    if (const auto* v = member(doc, "early_stop")) {
+      if (!v->is_bool()) return invalid("'early_stop' must be a boolean");
+      out->micromag.early_stop = v->boolean();
+    }
+    return robust::Status::ok();
   }
 
   if (out->type != RequestType::kTruthTable &&
@@ -275,6 +344,20 @@ std::string serialize_request(const Request& r) {
     out += ",\"sigma_length_nm\":" + fmt_double(r.yield.sigma_length_nm) +
            ",\"sigma_amp\":" + fmt_double(r.yield.sigma_amp) +
            ",\"trials\":" + std::to_string(r.yield.trials);
+  } else if (r.type == RequestType::kMicromag) {
+    out += ",\"gate\":" + quoted(r.micromag.kind) +
+           ",\"lambda_nm\":" + fmt_double(r.micromag.lambda_nm) +
+           ",\"width_nm\":" + fmt_double(r.micromag.width_nm) +
+           ",\"cell_nm\":" + fmt_double(r.micromag.cell_nm);
+    if (r.micromag.early_stop) out += ",\"early_stop\":true";
+  } else if (r.type == RequestType::kProbeSubscribe) {
+    if (r.probe_max_frames > 0) {
+      out += ",\"max_frames\":" + std::to_string(r.probe_max_frames);
+    }
+    if (r.probe_duration_s > 0.0) {
+      out += ",\"duration_s\":" + fmt_double(r.probe_duration_s);
+    }
+    if (!r.probe_filter.empty()) out += ",\"probe\":" + quoted(r.probe_filter);
   }
   out += "}";
   return out;

@@ -1,15 +1,24 @@
 // Request/response document model for the swsim.serve/1 protocol.
 //
 // One frame (serve/codec.h) carries one JSON document. Requests name a
-// type — the two workload types mirror the CLI commands, the three
-// built-ins are answered by the server itself:
+// type — the workload types (truthtable, yield, micromag) mirror the CLI
+// commands, the three built-ins are answered by the server itself, and
+// probe.subscribe turns the session into a live telemetry stream:
 //
 //   {"proto": "swsim.serve/1", "type": "truthtable", "id": 7,
 //    "client": "sweeper", "priority": 1,
 //    "gate": "maj", "lambda_nm": 55, "width_nm": 22}
 //   {"type": "yield", "gate": "xor", "trials": 200,
 //    "sigma_length_nm": 2.0, "sigma_amp": 0.05}
+//   {"type": "micromag", "gate": "maj", "lambda_nm": 50, "cell_nm": 4,
+//    "early_stop": true}
+//   {"type": "probe.subscribe", "max_frames": 64, "duration_s": 30}
 //   {"type": "hello"}  {"type": "healthz"}  {"type": "metrics"}
+//
+// probe.subscribe answers with a normal ack response, then pushes raw
+// length-prefixed JSON frames ({"type":"probe.frame",...}) as the live
+// lock-in windows complete, ending with {"type":"probe.end",...} — see
+// docs/OBSERVABILITY.md §8 for the frame schema.
 //
 // Responses always carry the request id and a robust::Status — the serve
 // error contract is the same taxonomy the engine uses, extended with the
@@ -38,7 +47,15 @@ namespace swsim::serve {
 
 inline constexpr const char* kProtocol = "swsim.serve/1";
 
-enum class RequestType { kHello, kHealthz, kMetrics, kTruthTable, kYield };
+enum class RequestType {
+  kHello,
+  kHealthz,
+  kMetrics,
+  kTruthTable,
+  kYield,
+  kMicromag,
+  kProbeSubscribe,
+};
 
 std::string to_string(RequestType type);
 
@@ -64,6 +81,14 @@ struct Request {
   std::uint64_t parent_span = 0;
   GateParams gate;         // truthtable payload
   YieldParams yield;       // yield payload
+  MicromagParams micromag; // micromag payload (LLG truth table)
+  // probe.subscribe payload: the stream ends after max_frames frames or
+  // duration_s seconds, whichever comes first (0 = unbounded — the stream
+  // then runs until the client disconnects or the server drains). probe
+  // narrows the stream to one port name ("" = all probes).
+  std::uint64_t probe_max_frames = 0;
+  double probe_duration_s = 0.0;
+  std::string probe_filter;
 
   // The flow id tying this request's spans together across processes.
   std::uint64_t flow_id() const;

@@ -19,6 +19,7 @@
 
 #include "core/validator.h"
 #include "obs/obs.h"
+#include "obs/physics.h"
 #include "robust/shutdown.h"
 #include "serve/codec.h"
 #include "serve/version.h"
@@ -47,6 +48,14 @@ struct ServeMetrics {
   obs::Gauge& queue_depth =
       obs::MetricsRegistry::global().gauge("serve.queue_depth");
   obs::Gauge& sessions = obs::MetricsRegistry::global().gauge("serve.sessions");
+  obs::Counter& probe_streams =
+      obs::MetricsRegistry::global().counter("serve.probe_streams");
+  obs::Counter& probe_frames =
+      obs::MetricsRegistry::global().counter("serve.probe_frames");
+  obs::Counter& probe_dropped =
+      obs::MetricsRegistry::global().counter("serve.probe_dropped");
+  obs::Gauge& probe_active =
+      obs::MetricsRegistry::global().gauge("serve.probe_active");
 };
 
 ServeMetrics& serve_metrics() {
@@ -363,6 +372,13 @@ void Server::session_loop(std::size_t slot, int fd) {
     Request request;
     Response response;
     const robust::Status parsed = parse_request_text(payload, &request);
+    if (parsed.is_ok() && request.type == RequestType::kProbeSubscribe) {
+      // A subscription turns the session into a push stream; it does its
+      // own accounting (observe/log fire when the stream ends) and then
+      // hands the socket back for the next request.
+      if (!stream_probes(fd, request)) break;
+      continue;
+    }
     // Deadline granted at admission (after defaulting/capping); > 0 makes
     // the response's timing block report budget consumption.
     double granted_deadline_s = 0.0;
@@ -573,6 +589,28 @@ Response Server::handle_workload(const Request& request,
     } else {
       response.status = outcome.failures.failures().front().status;
     }
+  } else if (request.type == RequestType::kMicromag) {
+    const auto spec = make_micromag_spec(request.micromag);
+    if (!spec) {
+      response.status = robust::Status::error(
+          robust::StatusCode::kInvalidConfig,
+          "unknown gate '" + request.micromag.kind +
+              "' (micromag wants maj|xor)",
+          "serve " + label);
+      return response;
+    }
+    const double e0 = obs::now_us();
+    const auto outcome = runner_->run_truth_table_checked(
+        spec->factory, spec->key, spec->prepare, label, deadline_seconds);
+    engine_timer(e0);
+    response.text = core::format_report(outcome.report);
+    if (outcome.ok()) {
+      response.all_pass = outcome.report.all_pass ? 1.0 : 0.0;
+      response.max_asymmetry = outcome.report.max_output_asymmetry;
+      response.min_margin = outcome.report.min_margin;
+    } else {
+      response.status = outcome.failures.failures().front().status;
+    }
   } else {
     response.status = robust::Status::error(
         robust::StatusCode::kInternal,
@@ -585,6 +623,126 @@ Response Server::handle_workload(const Request& request,
     response.retry_after_s = tunables().retry_after_s;
   }
   return response;
+}
+
+bool Server::stream_probes(int fd, const Request& request) {
+  const double t0 = obs::now_us();
+  const ServeTunables tun = tunables();
+  std::string error;
+
+  // The ack is a normal response frame, so existing clients can tell a
+  // granted subscription from a drain rejection before raw frames start.
+  Response ack;
+  ack.id = request.id;
+  std::shared_ptr<obs::ProbeHub::Subscription> sub;
+  if (draining()) {
+    ack.status =
+        robust::Status::error(robust::StatusCode::kDraining,
+                              "server is draining", "serve " + endpoint());
+    ack.retry_after_s = tun.retry_after_s;
+  } else {
+    sub = obs::ProbeHub::global().subscribe();
+    ack.payload_json = "{\"subscribed\":true}";
+  }
+  bool write_ok = write_frame(fd, serialize_response(ack), &error,
+                              IoDeadlines{0.0, tun.frame_timeout_s});
+  if (!sub || !write_ok) {
+    const double wall_s = (obs::now_us() - t0) * 1e-6;
+    ack.timing.total_s = wall_s;
+    observe_request(request, ack, wall_s);
+    log_request(request, ack, wall_s);
+    return write_ok;
+  }
+
+  probe_streams_.fetch_add(1, std::memory_order_relaxed);
+  probe_active_.fetch_add(1, std::memory_order_relaxed);
+  serve_metrics().probe_streams.add();
+  serve_metrics().probe_active.set(static_cast<std::int64_t>(
+      probe_active_.load(std::memory_order_relaxed)));
+
+  std::uint64_t frames = 0;
+  const char* end_reason = "done";
+  while (true) {
+    if (draining()) {
+      end_reason = "draining";
+      break;
+    }
+    if (request.probe_max_frames > 0 && frames >= request.probe_max_frames) {
+      break;
+    }
+    if (request.probe_duration_s > 0.0 &&
+        (obs::now_us() - t0) * 1e-6 >= request.probe_duration_s) {
+      break;
+    }
+    // A readable subscribed socket means EOF, reset, or a pipelined next
+    // request — all three end the stream (the session loop re-reads the
+    // socket afterwards), so an abandoned stream can never hang a thread.
+    pollfd p{fd, POLLIN, 0};
+    if (::poll(&p, 1, 0) > 0 &&
+        (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      break;
+    }
+    obs::ProbeHub::Frame frame;
+    // The short wait bounds how stale the draining/deadline checks get;
+    // it is not a per-frame latency (frames push as soon as one arrives).
+    if (!sub->next(&frame, 0.25)) continue;
+    if (!request.probe_filter.empty() &&
+        frame.probe != request.probe_filter) {
+      continue;
+    }
+    std::string doc =
+        "{\"type\":\"probe.frame\",\"job\":\"" + obs::escape_json(frame.job) +
+        "\",\"probe\":\"" + obs::escape_json(frame.probe) +
+        "\",\"window\":" + std::to_string(frame.window) +
+        ",\"t\":" + fmt(frame.t) + ",\"amplitude\":" + fmt(frame.amplitude) +
+        ",\"phase\":" + fmt(frame.phase) +
+        ",\"converged\":" + (frame.converged ? "true" : "false");
+    if (frame.converged_at >= 0.0) {
+      doc += ",\"converged_at\":" + fmt(frame.converged_at);
+    }
+    doc += ",\"dropped\":" + std::to_string(sub->dropped()) + "}";
+    if (!write_frame(fd, doc, &error,
+                     IoDeadlines{0.0, tun.frame_timeout_s})) {
+      write_ok = false;
+      end_reason = "error";
+      break;
+    }
+    ++frames;
+    probe_frames_.fetch_add(1, std::memory_order_relaxed);
+    serve_metrics().probe_frames.add();
+  }
+
+  const std::uint64_t dropped = sub->dropped();
+  if (dropped > 0) {
+    probe_dropped_.fetch_add(dropped, std::memory_order_relaxed);
+    serve_metrics().probe_dropped.add(dropped);
+  }
+  if (write_ok) {
+    const std::string fin = "{\"type\":\"probe.end\",\"reason\":\"" +
+                            std::string(end_reason) +
+                            "\",\"frames\":" + std::to_string(frames) +
+                            ",\"dropped\":" + std::to_string(dropped) + "}";
+    write_ok =
+        write_frame(fd, fin, &error, IoDeadlines{0.0, tun.frame_timeout_s});
+  }
+  sub.reset();  // unsubscribe: publishers stop paying for this stream
+  probe_active_.fetch_sub(1, std::memory_order_relaxed);
+  serve_metrics().probe_active.set(static_cast<std::int64_t>(
+      probe_active_.load(std::memory_order_relaxed)));
+
+  const double wall_s = (obs::now_us() - t0) * 1e-6;
+  Response summary;
+  summary.id = request.id;
+  if (!write_ok) {
+    summary.status = robust::Status::error(robust::StatusCode::kIoError,
+                                           "probe stream write failed: " +
+                                               error,
+                                           "serve " + endpoint());
+  }
+  summary.timing.total_s = wall_s;
+  observe_request(request, summary, wall_s);
+  log_request(request, summary, wall_s);
+  return write_ok;
 }
 
 Response Server::make_builtin_response(const Request& request) {
@@ -664,6 +822,16 @@ std::string Server::healthz_payload() const {
          ",\"engine\":{\"threads\":" + std::to_string(stats.threads) +
          ",\"jobs_executed\":" + std::to_string(stats.jobs_executed) +
          ",\"jobs_failed\":" + std::to_string(stats.jobs_failed) + "}" +
+         // Probe-stream accounting: lifetime streams/frames/drops plus the
+         // number of live subscriptions right now.
+         ",\"probe\":{\"streams\":" +
+         std::to_string(probe_streams_.load(std::memory_order_relaxed)) +
+         ",\"frames\":" +
+         std::to_string(probe_frames_.load(std::memory_order_relaxed)) +
+         ",\"dropped\":" +
+         std::to_string(probe_dropped_.load(std::memory_order_relaxed)) +
+         ",\"active\":" +
+         std::to_string(probe_active_.load(std::memory_order_relaxed)) + "}" +
          // Per-tenant SLO accounting (serve/slo.h): phase histograms,
          // shed counters and budget consumption per tenant and kind.
          ",\"slo\":" + slo_.json() + "}";

@@ -151,6 +151,11 @@ class Server {
   Response handle_workload(const Request& request, double deadline_seconds,
                            double* engine_seconds);
   Response make_builtin_response(const Request& request);
+  // probe.subscribe: acks the request, then pushes probe frames from
+  // obs::ProbeHub until the request's bounds are hit, the hub drains dry
+  // past the bounds, or the server drains. Returns false when the socket
+  // died (the session loop then closes the connection).
+  bool stream_probes(int fd, const Request& request);
   std::string healthz_payload() const;
   void log_request(const Request& request, const Response& response,
                    double wall_s);
@@ -196,6 +201,12 @@ class Server {
   std::atomic<std::uint64_t> rejected_draining_{0};
   std::atomic<std::uint64_t> rejected_deadline_{0};
   std::atomic<std::uint64_t> sessions_timed_out_{0};
+
+  // Probe-stream accounting (healthz "probe" section; OBS_OFF-safe).
+  std::atomic<std::uint64_t> probe_streams_{0};
+  std::atomic<std::uint64_t> probe_frames_{0};
+  std::atomic<std::uint64_t> probe_dropped_{0};
+  std::atomic<std::uint64_t> probe_active_{0};
 
   // Per-tenant SLO accounting (healthz "slo" section) and the bounded
   // ring of recent request lines for postmortems.

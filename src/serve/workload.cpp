@@ -94,6 +94,36 @@ std::optional<YieldSpec> make_yield_spec(const YieldParams& p) {
   return spec;
 }
 
+std::optional<MicromagSpec> make_micromag_spec(const MicromagParams& p) {
+  if (p.kind != "maj" && p.kind != "xor") return std::nullopt;
+  core::MicromagGateConfig cfg;
+  const double lambda = math::nm(p.lambda_nm);
+  const double width = math::nm(p.width_nm);
+  cfg.params = p.kind == "xor"
+                   ? geom::TriangleGateParams::reduced_xor(lambda, width)
+                   : geom::TriangleGateParams::reduced_maj3(lambda, width);
+  cfg.cell_size = math::nm(p.cell_nm);
+  cfg.early_stop = p.early_stop;
+
+  MicromagSpec spec;
+  spec.config = cfg;
+  // One calibration job (the all-zero reference LLG run) feeds every
+  // per-row job through a dependency edge, so the reference solve happens
+  // once instead of once per row.
+  auto calib = std::make_shared<std::optional<core::MicromagCalibration>>();
+  spec.factory = [cfg, calib] {
+    auto gate = std::make_unique<core::MicromagTriangleGate>(cfg);
+    if (calib->has_value()) gate->set_calibration(**calib);
+    return gate;
+  };
+  spec.prepare = [cfg, calib] {
+    core::MicromagTriangleGate gate(cfg);
+    *calib = gate.calibrate();
+  };
+  spec.key = engine::hash_of(cfg);
+  return spec;
+}
+
 std::string render_yield(const std::string& kind,
                          const core::YieldReport& r) {
   using swsim::io::Table;

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
+#include "core/micromag_gate.h"
 #include "core/variability.h"
 #include "engine/batch_runner.h"
 
@@ -59,6 +61,32 @@ struct YieldSpec {
 
 // nullopt for an unknown gate kind (yield supports maj and xor).
 std::optional<YieldSpec> make_yield_spec(const YieldParams& p);
+
+// A micromagnetic (LLG-backend) truth-table request: the reduced-scale
+// triangle gate `swsim micromag` runs, served over the same engine.
+// Defaults mirror the CLI flags.
+struct MicromagParams {
+  std::string kind = "maj";  // maj | xor
+  double lambda_nm = 50.0;
+  double width_nm = 20.0;
+  double cell_nm = 4.0;
+  // Stop each LLG solve once the live port envelopes have settled
+  // (core::MicromagGateConfig::early_stop). Detected logic is unchanged;
+  // raw amplitudes (and output bytes) may differ from a full-length run.
+  bool early_stop = false;
+};
+
+struct MicromagSpec {
+  engine::BatchRunner::GateFactory factory;
+  // One-shot shared calibration (the all-zero reference solve); pass as
+  // the engine's `prepare` hook so it runs once rather than once per row.
+  std::function<void()> prepare;
+  std::uint64_t key = 0;  // content hash of the gate configuration
+  core::MicromagGateConfig config;
+};
+
+// nullopt for an unknown gate kind (micromag supports maj and xor).
+std::optional<MicromagSpec> make_micromag_spec(const MicromagParams& p);
 
 // The exact bytes `swsim yield` prints for a report (the truth-table
 // counterpart is core::format_report).

@@ -1,0 +1,192 @@
+// Probe rewind under divergence recovery: a run that hits an injected NaN,
+// rewinds, and re-solves at dt/2 must record the exact series — raw
+// samples and demodulated envelope — that a clean dt/2 run records. Plus
+// the bounded-probe (decimating) and mid-window demodulator checkpoint
+// paths driven directly, without a solver in the loop.
+#include "mag/probe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+
+#include "mag/simulation.h"
+#include "mag/zeeman_field.h"
+#include "math/constants.h"
+#include "robust/fault_injection.h"
+#include "wavenet/dispersion.h"
+
+namespace swsim::mag {
+namespace {
+
+using namespace swsim::math;
+
+System small_system() {
+  return System(Grid(4, 4, 1, 5e-9, 5e-9, 1e-9), Material::fecob());
+}
+
+double drive_frequency() {
+  static const double f =
+      wavenet::Dispersion(Material::fecob(), 1e-9).frequency(0.0) * 1.001;
+  return f;
+}
+
+// Antenna-driven rig with one demodulated probe, the paper's detection
+// geometry in miniature. Watchdog cadence 4 so an injected NaN is caught
+// on the poisoned step itself.
+RegionProbe& configure(Simulation& sim, double dt) {
+  sim.add_standard_terms();
+  Mask region(sim.system().grid(), true);
+  const double f = drive_frequency();
+  sim.add_term(
+      std::make_unique<AntennaField>(region, 2e3, Vec3{1, 0, 0}, f, 0.0));
+  auto& probe = sim.add_probe("port", region, 1.0 / (32.0 * f));
+  probe.arm_demodulator(f, 32);
+  sim.set_stepper(StepperKind::kRk4, dt);
+  robust::WatchdogConfig dog;
+  dog.cadence = 4;
+  sim.set_watchdog(dog);
+  return probe;
+}
+
+void expect_same_series(const RegionProbe& a, const RegionProbe& b) {
+  EXPECT_EQ(a.times(), b.times());
+  EXPECT_EQ(a.mx(), b.mx());
+  EXPECT_EQ(a.my(), b.my());
+  EXPECT_EQ(a.mz(), b.mz());
+}
+
+TEST(ProbeRewind, RecoveredRunMatchesCleanHalvedRunBitExact) {
+  // Recovery rewinds probes (and their demodulators) to the run_guarded
+  // call point and re-solves the whole interval at dt/2, so the recorded
+  // series must be byte-identical to a run that used dt/2 from the start.
+  Simulation recovered(small_system());
+  auto& dirty = configure(recovered, ps(0.2));
+  {
+    robust::ScopedFaultPlan plan;
+    plan->inject_nan_at_step(8);  // budget 1: only the first attempt is hit
+    const auto status = recovered.run_guarded(ns(0.4));
+    ASSERT_TRUE(status.is_ok()) << status.str();
+  }
+  EXPECT_NEAR(recovered.stepper_stats().last_dt, ps(0.1), 1e-18);
+
+  Simulation clean(small_system());
+  auto& reference = configure(clean, ps(0.1));
+  const auto status = clean.run_guarded(ns(0.4));
+  ASSERT_TRUE(status.is_ok()) << status.str();
+
+  ASSERT_GT(reference.sample_count(), 0u);
+  expect_same_series(dirty, reference);
+
+  // The live lock-in envelope came through the rewind bit-exact too.
+  const auto* d1 = dirty.demodulator();
+  const auto* d2 = reference.demodulator();
+  ASSERT_NE(d1, nullptr);
+  ASSERT_NE(d2, nullptr);
+  ASSERT_GT(d2->window_count(), 0u);
+  EXPECT_EQ(d1->times(), d2->times());
+  EXPECT_EQ(d1->amplitude(), d2->amplitude());
+  EXPECT_EQ(d1->phase(), d2->phase());
+}
+
+// --- direct probe checkpointing, no solver ------------------------------
+
+TEST(ProbeRewind, BoundedProbeValidatesMaxSamples) {
+  const System sys = small_system();
+  const Mask region(sys.grid(), true);
+  EXPECT_THROW(RegionProbe("p", region, 1.0, 6), std::invalid_argument);
+  EXPECT_THROW(RegionProbe("p", region, 1.0, 9), std::invalid_argument);
+  EXPECT_NO_THROW(RegionProbe("p", region, 1.0, 8));
+  EXPECT_NO_THROW(RegionProbe("p", region, 1.0, 0));  // unbounded
+}
+
+TEST(ProbeRewind, UnboundedProbeRestoreDropsTheTail) {
+  const System sys = small_system();
+  VectorField m(sys.grid(), Vec3{0, 0, 1});
+  RegionProbe probe("p", Mask(sys.grid(), true), 1.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    m[0].x = std::sin(0.1 * static_cast<double>(i));
+    probe.maybe_record(sys, m, static_cast<double>(i));
+  }
+  const auto cp = probe.checkpoint();
+  EXPECT_FALSE(cp.full);  // unbounded: position only, no series snapshot
+  for (std::size_t i = 10; i < 15; ++i) {
+    probe.maybe_record(sys, m, static_cast<double>(i));
+  }
+  ASSERT_EQ(probe.sample_count(), 15u);
+  probe.restore(cp);
+  EXPECT_EQ(probe.sample_count(), 10u);
+  EXPECT_DOUBLE_EQ(probe.times().back(), 9.0);
+}
+
+TEST(ProbeRewind, BoundedProbeCheckpointSurvivesDecimation) {
+  // A decimation after the checkpoint rewrites earlier samples in place,
+  // so the bounded checkpoint snapshots the series wholesale. Diverge past
+  // another decimation, restore, replay — identical to a straight run.
+  const System sys = small_system();
+  VectorField m(sys.grid(), Vec3{0, 0, 1});
+  const auto feed = [&](RegionProbe& p, std::size_t from, std::size_t to,
+                        bool garbage) {
+    for (std::size_t i = from; i < to; ++i) {
+      m[0].x = garbage ? 99.0 : std::sin(0.1 * static_cast<double>(i));
+      p.maybe_record(sys, m, static_cast<double>(i));
+    }
+  };
+
+  RegionProbe straight("b", Mask(sys.grid(), true), 1.0, 8);
+  feed(straight, 0, 40, false);
+  // The bound held and the interval doubled along the way.
+  EXPECT_LE(straight.sample_count(), 8u);
+  EXPECT_GT(straight.sample_dt(), 1.0);
+
+  RegionProbe rewound("b", Mask(sys.grid(), true), 1.0, 8);
+  feed(rewound, 0, 20, false);  // already past the first decimation
+  const auto cp = rewound.checkpoint();
+  EXPECT_TRUE(cp.full);
+  feed(rewound, 20, 40, true);  // the divergent branch
+  rewound.restore(cp);
+  feed(rewound, 20, 40, false);  // replay the true stream
+
+  expect_same_series(rewound, straight);
+  EXPECT_DOUBLE_EQ(rewound.sample_dt(), straight.sample_dt());
+}
+
+TEST(ProbeRewind, DemodulatorCheckpointRidesAlongMidWindow) {
+  const System sys = small_system();
+  VectorField m(sys.grid(), Vec3{0, 0, 1});
+  const double f0 = 0.03;
+  const auto feed = [&](RegionProbe& p, std::size_t from, std::size_t to,
+                        bool garbage) {
+    for (std::size_t i = from; i < to; ++i) {
+      const double t = static_cast<double>(i);
+      m[0].x = garbage ? 99.0 : std::cos(kTwoPi * f0 * t) + 0.01 * t;
+      p.maybe_record(sys, m, t);
+    }
+  };
+
+  RegionProbe straight("d", Mask(sys.grid(), true), 1.0);
+  straight.arm_demodulator(f0, 8);
+  feed(straight, 0, 32, false);
+
+  RegionProbe rewound("d", Mask(sys.grid(), true), 1.0);
+  rewound.arm_demodulator(f0, 8);
+  feed(rewound, 0, 21, false);  // 2 windows + 5 samples into the third
+  const auto cp = rewound.checkpoint();
+  EXPECT_EQ(cp.demod.windows, 2u);
+  EXPECT_EQ(cp.demod.in_window, 5u);
+  feed(rewound, 21, 32, true);
+  rewound.restore(cp);
+  feed(rewound, 21, 32, false);
+
+  expect_same_series(rewound, straight);
+  ASSERT_NE(rewound.demodulator(), nullptr);
+  EXPECT_EQ(rewound.demodulator()->times(), straight.demodulator()->times());
+  EXPECT_EQ(rewound.demodulator()->amplitude(),
+            straight.demodulator()->amplitude());
+  EXPECT_EQ(rewound.demodulator()->phase(), straight.demodulator()->phase());
+}
+
+}  // namespace
+}  // namespace swsim::mag

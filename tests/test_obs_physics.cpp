@@ -1,0 +1,265 @@
+// Physics health instrumentation: ConvergenceTracker decision logic and
+// its rewind checkpoint, the ProbeHub bounded fan-out contract, and the
+// PhysicsRegistry -> swsim.profile/1 "physics" block round trip.
+#include "obs/physics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+namespace swsim::obs {
+namespace {
+
+ConvergencePolicy strict_policy() {
+  ConvergencePolicy p;
+  p.rel_tolerance = 0.02;
+  p.abs_floor = 1e-6;
+  p.phase_tolerance = 0.05;
+  p.windows = 3;
+  p.min_time = 0.0;
+  return p;
+}
+
+TEST(ConvergenceTracker, PolicyIsValidated) {
+  ConvergencePolicy p = strict_policy();
+  p.windows = 0;
+  EXPECT_THROW(ConvergenceTracker{p}, std::invalid_argument);
+  p = strict_policy();
+  p.rel_tolerance = -0.1;
+  EXPECT_THROW(ConvergenceTracker{p}, std::invalid_argument);
+}
+
+TEST(ConvergenceTracker, DecidesAfterConsecutiveStableWindowsExactlyOnce) {
+  ConvergenceTracker tracker(strict_policy());
+  // windows = 3 stable *deltas*: the fourth identical window decides.
+  EXPECT_FALSE(tracker.add_window(1.0, 0.5, 0.1));
+  EXPECT_FALSE(tracker.add_window(2.0, 0.5, 0.1));
+  EXPECT_FALSE(tracker.add_window(3.0, 0.5, 0.1));
+  EXPECT_FALSE(tracker.converged());
+  EXPECT_TRUE(tracker.add_window(4.0, 0.5, 0.1));
+  EXPECT_TRUE(tracker.converged());
+  EXPECT_DOUBLE_EQ(tracker.converged_at(), 4.0);
+  // Further windows keep counting but never re-decide.
+  EXPECT_FALSE(tracker.add_window(5.0, 0.5, 0.1));
+  EXPECT_EQ(tracker.windows_seen(), 5u);
+  EXPECT_DOUBLE_EQ(tracker.converged_at(), 4.0);
+}
+
+TEST(ConvergenceTracker, UnstableWindowResetsTheStreak) {
+  ConvergenceTracker tracker(strict_policy());
+  EXPECT_FALSE(tracker.add_window(1.0, 0.5, 0.1));
+  EXPECT_FALSE(tracker.add_window(2.0, 0.5, 0.1));
+  EXPECT_FALSE(tracker.add_window(3.0, 0.5, 0.1));
+  // Amplitude jumps 40%: streak back to zero. The jump window is the new
+  // baseline, so three stable deltas after it decide.
+  EXPECT_FALSE(tracker.add_window(4.0, 0.7, 0.1));
+  EXPECT_FALSE(tracker.add_window(5.0, 0.7, 0.1));
+  EXPECT_FALSE(tracker.add_window(6.0, 0.7, 0.1));
+  EXPECT_TRUE(tracker.add_window(7.0, 0.7, 0.1));
+}
+
+TEST(ConvergenceTracker, PhaseDriftBlocksConvergence) {
+  ConvergenceTracker tracker(strict_policy());
+  double phase = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    phase += 0.2;  // 0.2 rad per window > phase_tolerance 0.05
+    EXPECT_FALSE(tracker.add_window(1.0 + i, 0.5, phase));
+  }
+  EXPECT_FALSE(tracker.converged());
+}
+
+TEST(ConvergenceTracker, MinTimeDefersTheDecision) {
+  ConvergencePolicy p = strict_policy();
+  p.min_time = 10.0;  // e.g. the wave transit time
+  ConvergenceTracker tracker(p);
+  // Flat-at-zero before the wave arrives: stable, but too early to count.
+  EXPECT_FALSE(tracker.add_window(1.0, 0.0, 0.0));
+  EXPECT_FALSE(tracker.add_window(2.0, 0.0, 0.0));
+  EXPECT_FALSE(tracker.add_window(3.0, 0.0, 0.0));
+  EXPECT_FALSE(tracker.add_window(4.0, 0.0, 0.0));
+  EXPECT_FALSE(tracker.converged());
+  // The first stable window past min_time decides.
+  EXPECT_TRUE(tracker.add_window(11.0, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(tracker.converged_at(), 11.0);
+}
+
+TEST(ConvergenceTracker, CheckpointRestoreReplaysTheSameDecision) {
+  ConvergenceTracker tracker(strict_policy());
+  tracker.add_window(1.0, 0.5, 0.1);
+  tracker.add_window(2.0, 0.5, 0.1);
+  const auto cp = tracker.checkpoint();
+
+  // Divergent branch: converges on different data.
+  tracker.add_window(3.0, 0.5, 0.1);
+  tracker.add_window(4.0, 0.5, 0.1);
+  ASSERT_TRUE(tracker.converged());
+
+  // Rewind, replay the true stream: same verdict a clean run gives.
+  tracker.restore(cp);
+  EXPECT_FALSE(tracker.converged());
+  EXPECT_EQ(tracker.windows_seen(), 2u);
+  EXPECT_FALSE(tracker.add_window(3.0, 0.9, 0.1));  // jump resets streak
+  EXPECT_FALSE(tracker.add_window(4.0, 0.9, 0.1));
+  EXPECT_FALSE(tracker.add_window(5.0, 0.9, 0.1));
+  EXPECT_TRUE(tracker.add_window(6.0, 0.9, 0.1));
+  EXPECT_DOUBLE_EQ(tracker.converged_at(), 6.0);
+}
+
+// --- ProbeHub -------------------------------------------------------------
+
+ProbeHub::Frame frame(std::uint64_t window, double amplitude) {
+  ProbeHub::Frame f;
+  f.job = "micromag MAJ3 101";
+  f.probe = "O1";
+  f.window = window;
+  f.t = 1e-9 * static_cast<double>(window);
+  f.amplitude = amplitude;
+  f.phase = 0.25;
+  f.converged = window >= 3;
+  f.converged_at = window >= 3 ? 3e-9 : -1.0;
+  return f;
+}
+
+TEST(ProbeHub, InertWithoutSubscribersAndDeliversInOrder) {
+  auto& hub = ProbeHub::global();
+  EXPECT_FALSE(hub.active());
+  hub.publish(frame(0, 0.1));  // nobody listening: dropped on the floor
+
+  auto sub = hub.subscribe();
+  EXPECT_TRUE(hub.active());
+  hub.publish(frame(1, 0.2));
+  hub.publish(frame(2, 0.3));
+
+  ProbeHub::Frame got;
+  ASSERT_TRUE(sub->next(&got, 1.0));
+  EXPECT_EQ(got.window, 1u);
+  EXPECT_EQ(got.job, "micromag MAJ3 101");
+  EXPECT_EQ(got.probe, "O1");
+  EXPECT_DOUBLE_EQ(got.amplitude, 0.2);
+  EXPECT_FALSE(got.converged);
+  ASSERT_TRUE(sub->next(&got, 1.0));
+  EXPECT_EQ(got.window, 2u);
+  // Queue drained: next() times out instead of blocking forever.
+  EXPECT_FALSE(sub->next(&got, 0.01));
+  EXPECT_EQ(sub->dropped(), 0u);
+
+  sub.reset();
+  EXPECT_FALSE(hub.active());
+}
+
+TEST(ProbeHub, SlowSubscriberLosesOldestFramesWithACount) {
+  auto& hub = ProbeHub::global();
+  auto slow = hub.subscribe(/*capacity=*/2);
+  for (std::uint64_t w = 1; w <= 5; ++w) hub.publish(frame(w, 0.1));
+
+  EXPECT_EQ(slow->dropped(), 3u);
+  ProbeHub::Frame got;
+  ASSERT_TRUE(slow->next(&got, 1.0));
+  EXPECT_EQ(got.window, 4u);  // oldest went first: 1..3 are gone
+  ASSERT_TRUE(slow->next(&got, 1.0));
+  EXPECT_EQ(got.window, 5u);
+  EXPECT_TRUE(got.converged);
+  EXPECT_DOUBLE_EQ(got.converged_at, 3e-9);
+}
+
+TEST(ProbeHub, IndependentSubscribersGetIndependentQueues) {
+  auto& hub = ProbeHub::global();
+  auto a = hub.subscribe();
+  auto b = hub.subscribe(2);
+  for (std::uint64_t w = 1; w <= 4; ++w) hub.publish(frame(w, 0.1));
+
+  ProbeHub::Frame got;
+  for (std::uint64_t w = 1; w <= 4; ++w) {
+    ASSERT_TRUE(a->next(&got, 1.0));
+    EXPECT_EQ(got.window, w);
+  }
+  EXPECT_EQ(a->dropped(), 0u);
+  EXPECT_EQ(b->dropped(), 2u);
+}
+
+// --- PhysicsRegistry and the profile "physics" block ----------------------
+
+class PhysicsRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::arm();
+    PhysicsRegistry::global().reset();
+  }
+  void TearDown() override {
+    PhysicsRegistry::global().reset();
+    MetricsRegistry::disarm();
+  }
+};
+
+TEST_F(PhysicsRegistryTest, RecordersAccumulateIntoTheSnapshot) {
+  auto& reg = PhysicsRegistry::global();
+  reg.record_window("O1", 0.5, 0.1);
+  reg.record_window("O1", 0.6, 0.2);
+  reg.record_window("O2", 0.1, -1.0);
+  reg.record_converged("O1", 2.5e-9);
+  reg.record_energy(1e-18, 4e-19);
+  reg.record_energy(2e-18, 5e-19);
+  reg.record_early_stop(1200);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.probes.count("O1"), 1u);
+  EXPECT_EQ(snap.probes.at("O1").windows, 2u);
+  EXPECT_DOUBLE_EQ(snap.probes.at("O1").amplitude, 0.6);  // last window wins
+  EXPECT_DOUBLE_EQ(snap.probes.at("O1").phase, 0.2);
+  EXPECT_DOUBLE_EQ(snap.probes.at("O1").converged_at, 2.5e-9);
+  EXPECT_LT(snap.probes.at("O2").converged_at, 0.0);  // never decided
+  EXPECT_EQ(snap.energy_samples, 2u);
+  EXPECT_DOUBLE_EQ(snap.total_energy_j, 2e-18);
+  EXPECT_DOUBLE_EQ(snap.exchange_energy_j, 5e-19);
+  EXPECT_EQ(snap.early_stop_saved_steps, 1200u);
+}
+
+TEST_F(PhysicsRegistryTest, DisarmedRecordersAreNoOps) {
+  MetricsRegistry::disarm();
+  auto& reg = PhysicsRegistry::global();
+  reg.record_window("O1", 0.5, 0.1);
+  reg.record_energy(1e-18, 4e-19);
+  reg.record_early_stop(77);
+  const auto snap = reg.snapshot();
+  EXPECT_TRUE(snap.probes.empty());
+  EXPECT_EQ(snap.energy_samples, 0u);
+  EXPECT_EQ(snap.early_stop_saved_steps, 0u);
+}
+
+TEST_F(PhysicsRegistryTest, ProfilePhysicsBlockRoundTrips) {
+  auto& reg = PhysicsRegistry::global();
+  reg.record_window("O2", 0.3, 0.7);
+  reg.record_window("O1", 0.5, 0.1);
+  reg.record_converged("O1", 1.5e-9);
+  reg.record_energy(3e-18, 1e-18);
+  reg.record_early_stop(500);
+
+  const RunProfile profile = RunProfile::collect(0.25);
+  ASSERT_EQ(profile.physics_probes.size(), 2u);
+  EXPECT_EQ(profile.physics_probes[0].name, "O1");  // sorted by name
+  EXPECT_EQ(profile.physics_probes[1].name, "O2");
+  EXPECT_DOUBLE_EQ(profile.physics_probes[0].converged_at, 1.5e-9);
+  EXPECT_EQ(profile.early_stop_saved_steps, 500u);
+
+  const auto parsed = parse_json(profile.to_json());
+  ASSERT_NE(parsed.find("physics"), nullptr);
+  const RunProfile back = RunProfile::from_json(parsed);
+  ASSERT_EQ(back.physics_probes.size(), 2u);
+  EXPECT_EQ(back.physics_probes[0].name, "O1");
+  EXPECT_EQ(back.physics_probes[0].windows, 1u);
+  EXPECT_DOUBLE_EQ(back.physics_probes[0].amplitude, 0.5);
+  EXPECT_DOUBLE_EQ(back.physics_probes[0].converged_at, 1.5e-9);
+  EXPECT_LT(back.physics_probes[1].converged_at, 0.0);
+  EXPECT_EQ(back.physics_energy_samples, 1u);
+  EXPECT_DOUBLE_EQ(back.physics_total_energy_j, 3e-18);
+  EXPECT_DOUBLE_EQ(back.physics_exchange_energy_j, 1e-18);
+  EXPECT_EQ(back.early_stop_saved_steps, 500u);
+}
+
+}  // namespace
+}  // namespace swsim::obs

@@ -6,11 +6,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/json.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 
 namespace swsim::obs {
 namespace {
@@ -261,6 +264,111 @@ TEST_F(TraceTest, FlowHashIsDeterministicAndNeverZero) {
   EXPECT_EQ(flow_hash("trace-a#1"), flow_hash("trace-a#1"));
   EXPECT_NE(flow_hash("trace-a#1"), flow_hash("trace-a#2"));
   EXPECT_NE(flow_hash(""), 0u);
+}
+
+// --- cross-process merge --------------------------------------------------
+
+// A synthetic single-event dump as --trace-out writes it: monotonic ts,
+// pid 0, and the wall anchor that lets merge rebase across processes.
+std::string dump_json(double anchor_us, double ts_us, const char* event) {
+  return std::string("{\"traceEvents\":[{\"name\":\"") + event +
+         "\",\"ph\":\"X\",\"ts\":" + std::to_string(ts_us) +
+         ",\"dur\":5,\"pid\":0,\"tid\":1}],\"otherData\":{"
+         "\"wall_anchor_us\":" +
+         std::to_string(anchor_us) + "}}";
+}
+
+TEST(TraceMerge, ThreeDumpsRebaseOntoTheEarliestAnchor) {
+  // Three processes started 1 ms apart; the middle file started first, so
+  // its anchor wins and its events keep their timestamps.
+  const JsonValue cli = parse_json(dump_json(2'000'000'000'000.0, 10.0, "a"));
+  const JsonValue daemon =
+      parse_json(dump_json(1'999'999'999'000.0, 10.0, "b"));
+  const JsonValue worker =
+      parse_json(dump_json(2'000'000'001'000.0, 10.0, "c"));
+
+  TraceMergeStats stats;
+  const std::string merged = merge_trace_dumps(
+      {{"cli.json", &cli}, {"daemon.json", &daemon}, {"worker.json", &worker}},
+      &stats);
+  EXPECT_EQ(stats.files, 3u);
+  EXPECT_EQ(stats.events, 3u);
+
+  const JsonValue root = parse_json(merged);
+  const auto* other = root.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->find("wall_anchor_us")->number(),
+                   1'999'999'999'000.0);
+  EXPECT_EQ(other->find("merged_from")->number(), 3.0);
+
+  // One pid per input file (1..3, input order), each with a process_name
+  // metadata event, and every trace event rebased by its file's offset
+  // from the earliest anchor.
+  const auto& events = root.find("traceEvents")->array();
+  ASSERT_EQ(events.size(), 6u);  // 3 metadata + 3 trace events
+  double rebased[4] = {0, 0, 0, 0};
+  std::map<long long, std::string> names;
+  for (const auto& e : events) {
+    const long long pid = static_cast<long long>(e.find("pid")->number());
+    ASSERT_GE(pid, 1);
+    ASSERT_LE(pid, 3);
+    if (e.find("name")->str() == "process_name") {
+      names[pid] = e.find("args")->find("name")->str();
+    } else {
+      rebased[pid] = e.find("ts")->number();
+    }
+  }
+  EXPECT_EQ(names[1], "cli.json");
+  EXPECT_EQ(names[2], "daemon.json");
+  EXPECT_EQ(names[3], "worker.json");
+  EXPECT_DOUBLE_EQ(rebased[1], 1010.0);  // anchor 1000 us after the earliest
+  EXPECT_DOUBLE_EQ(rebased[2], 10.0);    // the earliest anchor: unshifted
+  EXPECT_DOUBLE_EQ(rebased[3], 2010.0);
+}
+
+TEST(TraceMerge, SingleDumpIsRebasedAndLabelled) {
+  const JsonValue only = parse_json(dump_json(2e12, 42.0, "solo"));
+  TraceMergeStats stats;
+  const JsonValue root =
+      parse_json(merge_trace_dumps({{"/tmp/run/solo.json", &only}}, &stats));
+  EXPECT_EQ(stats.events, 1u);
+  EXPECT_EQ(root.find("otherData")->find("merged_from")->number(), 1.0);
+  // Labels are reduced to file names for the Perfetto process list.
+  bool labelled = false;
+  for (const auto& e : root.find("traceEvents")->array()) {
+    if (e.find("name")->str() == "process_name") {
+      labelled = true;
+      EXPECT_EQ(e.find("args")->find("name")->str(), "solo.json");
+    }
+  }
+  EXPECT_TRUE(labelled);
+}
+
+TEST(TraceMerge, StructuralProblemsNameTheOffendingInput) {
+  const JsonValue good = parse_json(dump_json(2e12, 1.0, "ok"));
+  const JsonValue no_anchor =
+      parse_json("{\"traceEvents\":[],\"otherData\":{}}");
+  const JsonValue no_events = parse_json("{\"otherData\":{}}");
+
+  const auto message_of = [](auto&& fn) -> std::string {
+    try {
+      fn();
+    } catch (const std::runtime_error& e) {
+      return e.what();
+    }
+    return "";
+  };
+
+  std::string msg = message_of([&] {
+    merge_trace_dumps({{"good.json", &good}, {"stale.json", &no_anchor}});
+  });
+  EXPECT_NE(msg.find("stale.json"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("wall_anchor_us"), std::string::npos) << msg;
+
+  msg = message_of([&] { merge_trace_dumps({{"empty.json", &no_events}}); });
+  EXPECT_NE(msg.find("empty.json"), std::string::npos) << msg;
+
+  EXPECT_THROW(merge_trace_dumps({}), std::runtime_error);
 }
 
 }  // namespace

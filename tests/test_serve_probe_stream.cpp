@@ -1,0 +1,215 @@
+// The probe.subscribe stream: ack-then-frames over a live daemon socket,
+// bounded delivery, per-port filtering, drain rejection, and the healthz
+// "probe" section — with synthetic frames pushed through the process-global
+// ProbeHub, so no solver runs in these tests.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/physics.h"
+#include "serve/client.h"
+#include "serve/codec.h"
+#include "serve/protocol.h"
+
+namespace swsim::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+ServerConfig test_config(const std::string& name) {
+  ServerConfig cfg;
+  const fs::path dir = fs::path(::testing::TempDir()) / "swsim_probe_test";
+  fs::create_directories(dir);
+  cfg.socket_path = (dir / (name + ".sock")).string();
+  fs::remove(cfg.socket_path);
+  cfg.dispatchers = 2;
+  cfg.engine.jobs = 2;
+  return cfg;
+}
+
+Request subscribe_request(std::uint64_t max_frames,
+                          const std::string& filter = "",
+                          std::uint64_t id = 1) {
+  Request r;
+  r.type = RequestType::kProbeSubscribe;
+  r.id = id;
+  r.client = "probe-test";
+  r.probe_max_frames = max_frames;
+  r.probe_filter = filter;
+  return r;
+}
+
+obs::ProbeHub::Frame frame(const std::string& probe, std::uint64_t window,
+                           double amplitude) {
+  obs::ProbeHub::Frame f;
+  f.job = "micromag MAJ3 101";
+  f.probe = probe;
+  f.window = window;
+  f.t = 1e-9 * static_cast<double>(window);
+  f.amplitude = amplitude;
+  f.phase = 0.5;
+  return f;
+}
+
+// Reads one raw stream frame off the subscribed socket and parses it.
+obs::JsonValue next_stream_doc(int fd) {
+  std::string payload, error;
+  EXPECT_EQ(read_frame(fd, &payload, &error, IoDeadlines{10.0, 10.0}),
+            ReadResult::kFrame)
+      << error;
+  return obs::parse_json(payload);
+}
+
+obs::JsonValue healthz(Client& client) {
+  Request req;
+  req.type = RequestType::kHealthz;
+  Response resp;
+  EXPECT_TRUE(client.call(req, &resp).is_ok());
+  EXPECT_TRUE(resp.status.is_ok());
+  return obs::parse_json(resp.payload_json);
+}
+
+TEST(ServeProbeStream, AckThenFramesThenEndAndTheSessionSurvives) {
+  auto cfg = test_config("stream");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  // call() writes the request and reads exactly one response frame — the
+  // ack. The hub subscription is live before the ack is written, so every
+  // frame published after this point is delivered.
+  Response ack;
+  ASSERT_TRUE(client.call(subscribe_request(2), &ack).is_ok());
+  ASSERT_TRUE(ack.status.is_ok()) << ack.status.str();
+  EXPECT_EQ(ack.id, 1u);
+  const auto granted = obs::parse_json(ack.payload_json);
+  ASSERT_NE(granted.find("subscribed"), nullptr);
+  EXPECT_TRUE(granted.find("subscribed")->boolean());
+
+  auto& hub = obs::ProbeHub::global();
+  ASSERT_TRUE(hub.active());
+  hub.publish(frame("O1", 7, 0.25));
+  auto converged = frame("O1", 8, 0.26);
+  converged.converged = true;
+  converged.converged_at = 6e-9;
+  hub.publish(converged);
+
+  const auto first = next_stream_doc(client.fd());
+  EXPECT_EQ(first.find("type")->str(), "probe.frame");
+  EXPECT_EQ(first.find("job")->str(), "micromag MAJ3 101");
+  EXPECT_EQ(first.find("probe")->str(), "O1");
+  EXPECT_EQ(first.find("window")->number(), 7.0);
+  EXPECT_NEAR(first.find("t")->number(), 7e-9, 1e-14);
+  EXPECT_NEAR(first.find("amplitude")->number(), 0.25, 1e-7);
+  EXPECT_FALSE(first.find("converged")->boolean());
+  EXPECT_EQ(first.find("converged_at"), nullptr);  // only present once set
+  EXPECT_EQ(first.find("dropped")->number(), 0.0);
+
+  const auto second = next_stream_doc(client.fd());
+  EXPECT_TRUE(second.find("converged")->boolean());
+  ASSERT_NE(second.find("converged_at"), nullptr);
+  EXPECT_NEAR(second.find("converged_at")->number(), 6e-9, 1e-14);
+
+  // max_frames reached: the stream closes with a terminal marker...
+  const auto fin = next_stream_doc(client.fd());
+  EXPECT_EQ(fin.find("type")->str(), "probe.end");
+  EXPECT_EQ(fin.find("reason")->str(), "done");
+  EXPECT_EQ(fin.find("frames")->number(), 2.0);
+
+  // ...the server side unsubscribed...
+  EXPECT_FALSE(hub.active());
+
+  // ...and the socket is handed back to the request loop: the same
+  // connection keeps answering, and healthz accounts for the stream.
+  const auto health = healthz(client);
+  const auto* probe = health.find("probe");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_GE(probe->find("streams")->number(), 1.0);
+  EXPECT_GE(probe->find("frames")->number(), 2.0);
+  EXPECT_EQ(probe->find("active")->number(), 0.0);
+
+  server.shutdown();
+}
+
+TEST(ServeProbeStream, FilterDeliversOnlyTheNamedPort) {
+  auto cfg = test_config("filter");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  Response ack;
+  ASSERT_TRUE(client.call(subscribe_request(1, "O2"), &ack).is_ok());
+  ASSERT_TRUE(ack.status.is_ok());
+
+  auto& hub = obs::ProbeHub::global();
+  hub.publish(frame("O1", 1, 0.1));  // filtered out server-side
+  hub.publish(frame("O2", 2, 0.2));
+
+  const auto doc = next_stream_doc(client.fd());
+  EXPECT_EQ(doc.find("type")->str(), "probe.frame");
+  EXPECT_EQ(doc.find("probe")->str(), "O2");
+  const auto fin = next_stream_doc(client.fd());
+  EXPECT_EQ(fin.find("type")->str(), "probe.end");
+  EXPECT_EQ(fin.find("frames")->number(), 1.0);
+
+  server.shutdown();
+}
+
+TEST(ServeProbeStream, DrainingRejectsTheSubscriptionButKeepsTheSession) {
+  auto cfg = test_config("drain");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+  healthz(client);  // ensure the session is accepted before the drain
+  server.begin_drain();
+
+  Response rejected;
+  ASSERT_TRUE(client.call(subscribe_request(1), &rejected).is_ok());
+  EXPECT_EQ(rejected.status.code(), robust::StatusCode::kDraining);
+  EXPECT_GT(rejected.retry_after_s, 0.0);
+  EXPECT_FALSE(obs::ProbeHub::global().active());
+
+  // No raw frames followed the rejection: built-ins still answer in order.
+  const auto health = healthz(client);
+  EXPECT_EQ(health.find("status")->str(), "draining");
+
+  server.shutdown();
+}
+
+TEST(ServeProbeStream, ClientHangupEndsTheStreamWithoutHangingTheServer) {
+  auto cfg = test_config("hangup");
+  Server server(cfg);
+  ASSERT_TRUE(server.start().is_ok());
+
+  {
+    Client client;
+    ASSERT_TRUE(client.connect_unix(cfg.socket_path).is_ok());
+    // Unbounded stream (no max_frames, no duration)...
+    Response ack;
+    ASSERT_TRUE(client.call(subscribe_request(0), &ack).is_ok());
+    ASSERT_TRUE(ack.status.is_ok());
+    client.close();  // ...abandoned by the client.
+  }
+
+  // The stream notices the dead socket and unsubscribes; shutdown() would
+  // hang (or TSan would flag the leaked session) if it did not. Poll
+  // briefly: the server detects the hangup on its next 0.25 s tick.
+  for (int i = 0; i < 40 && obs::ProbeHub::global().active(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_FALSE(obs::ProbeHub::global().active());
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace swsim::serve

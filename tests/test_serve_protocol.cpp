@@ -50,6 +50,80 @@ TEST(ServeProtocol, YieldRequestRoundTrip) {
   EXPECT_DOUBLE_EQ(back.yield.sigma_amp, 0.07);
 }
 
+TEST(ServeProtocol, MicromagRequestRoundTripAndDefaults) {
+  Request r;
+  r.type = RequestType::kMicromag;
+  r.micromag.kind = "xor";
+  r.micromag.lambda_nm = 60.0;
+  r.micromag.width_nm = 25.0;
+  r.micromag.cell_nm = 5.0;
+  r.micromag.early_stop = true;
+
+  Request back;
+  ASSERT_TRUE(parse_request_text(serialize_request(r), &back).is_ok());
+  EXPECT_EQ(back.type, RequestType::kMicromag);
+  EXPECT_EQ(back.micromag.kind, "xor");
+  EXPECT_DOUBLE_EQ(back.micromag.lambda_nm, 60.0);
+  EXPECT_DOUBLE_EQ(back.micromag.width_nm, 25.0);
+  EXPECT_DOUBLE_EQ(back.micromag.cell_nm, 5.0);
+  EXPECT_TRUE(back.micromag.early_stop);
+
+  // A bare document gets the CLI's micromag defaults, early stop off.
+  Request bare;
+  ASSERT_TRUE(parse_request_text(R"({"type":"micromag"})", &bare).is_ok());
+  EXPECT_EQ(bare.micromag.kind, "maj");
+  EXPECT_DOUBLE_EQ(bare.micromag.lambda_nm, 50.0);
+  EXPECT_DOUBLE_EQ(bare.micromag.width_nm, 20.0);
+  EXPECT_DOUBLE_EQ(bare.micromag.cell_nm, 4.0);
+  EXPECT_FALSE(bare.micromag.early_stop);
+}
+
+TEST(ServeProtocol, MicromagRequestValidatesFields) {
+  Request r;
+  EXPECT_FALSE(
+      parse_request_text(R"({"type":"micromag","lambda_nm":-3})", &r).is_ok());
+  EXPECT_FALSE(
+      parse_request_text(R"({"type":"micromag","cell_nm":0})", &r).is_ok());
+  const auto st =
+      parse_request_text(R"({"type":"micromag","early_stop":"yes"})", &r);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("boolean"), std::string::npos);
+}
+
+TEST(ServeProtocol, ProbeSubscribeRoundTripAndValidation) {
+  Request r;
+  r.type = RequestType::kProbeSubscribe;
+  r.id = 9;
+  r.probe_max_frames = 32;
+  r.probe_duration_s = 1.5;
+  r.probe_filter = "O1";
+
+  Request back;
+  ASSERT_TRUE(parse_request_text(serialize_request(r), &back).is_ok());
+  EXPECT_EQ(back.type, RequestType::kProbeSubscribe);
+  EXPECT_EQ(back.probe_max_frames, 32u);
+  EXPECT_DOUBLE_EQ(back.probe_duration_s, 1.5);
+  EXPECT_EQ(back.probe_filter, "O1");
+
+  // Unset bounds mean "stream until the client goes away".
+  Request bare;
+  ASSERT_TRUE(
+      parse_request_text(R"({"type":"probe.subscribe"})", &bare).is_ok());
+  EXPECT_EQ(bare.probe_max_frames, 0u);
+  EXPECT_DOUBLE_EQ(bare.probe_duration_s, 0.0);
+  EXPECT_TRUE(bare.probe_filter.empty());
+
+  EXPECT_FALSE(parse_request_text(
+                   R"({"type":"probe.subscribe","max_frames":-1})", &r)
+                   .is_ok());
+  EXPECT_FALSE(parse_request_text(
+                   R"({"type":"probe.subscribe","max_frames":2.5})", &r)
+                   .is_ok());
+  EXPECT_FALSE(parse_request_text(
+                   R"({"type":"probe.subscribe","duration_s":0})", &r)
+                   .is_ok());
+}
+
 TEST(ServeProtocol, LenientDefaultsMirrorTheCli) {
   // A minimal document gets the CLI's defaults, not an error.
   Request r;
